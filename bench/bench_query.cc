@@ -1,0 +1,119 @@
+// EXT-TIME (b) — google-benchmark microbenchmarks of query answering:
+// estimate latency per synopsis family (histograms answer in O(log B),
+// wavelet synopses in O(log n)), versus the exact executor's O(1) prefix
+// lookup and a raw scan.
+
+#include <benchmark/benchmark.h>
+
+#include "core/logging.h"
+#include "core/random.h"
+#include "data/distribution.h"
+#include "data/rounding.h"
+#include "engine/factory.h"
+#include "engine/table.h"
+#include "histogram/builders.h"
+#include "histogram/prefix_stats.h"
+
+namespace rangesyn {
+namespace {
+
+std::vector<int64_t> Dataset(int64_t n) {
+  Rng rng(7);
+  ZipfOptions options;
+  options.n = n;
+  options.total_volume = 50000.0;
+  auto floats = ZipfFrequencies(options, &rng);
+  RANGESYN_CHECK_OK(floats.status());
+  auto data = RandomRound(floats.value(), RandomRoundingMode::kHalf, &rng);
+  RANGESYN_CHECK_OK(data.status());
+  return data.value();
+}
+
+void BM_EstimateRange(benchmark::State& state, const std::string& method) {
+  const int64_t n = state.range(0);
+  const std::vector<int64_t> data = Dataset(n);
+  // Query latency does not depend on how boundaries were chosen, so the
+  // SAP representations are built on cheap equi-depth boundaries here
+  // (their optimal DP construction is O(n^2 B) — measured separately in
+  // bench_construction at feasible sizes).
+  RangeEstimatorPtr est;
+  if (method == "sap0" || method == "sap1") {
+    auto cheap = BuildEquiDepth(data, 32);
+    RANGESYN_CHECK_OK(cheap.status());
+    if (method == "sap0") {
+      auto h = Sap0Histogram::Build(data, cheap->partition());
+      RANGESYN_CHECK_OK(h.status());
+      est = std::make_unique<Sap0Histogram>(std::move(h).value());
+    } else {
+      auto h = Sap1Histogram::Build(data, cheap->partition());
+      RANGESYN_CHECK_OK(h.status());
+      est = std::make_unique<Sap1Histogram>(std::move(h).value());
+    }
+  } else {
+    SynopsisSpec spec;
+    spec.method = method;
+    spec.budget_words = 64;
+    auto built = BuildSynopsis(spec, data);
+    RANGESYN_CHECK_OK(built.status());
+    est = std::move(built).value();
+  }
+  Rng rng(3);
+  int64_t a = 1, b = n;
+  for (auto _ : state) {
+    a = rng.NextInt(1, n);
+    b = rng.NextInt(a, n);
+    benchmark::DoNotOptimize(est->EstimateRange(a, b));
+  }
+}
+
+void BM_QueryEquiDepth(benchmark::State& state) {
+  BM_EstimateRange(state, "equidepth");
+}
+void BM_QuerySap0(benchmark::State& state) {
+  BM_EstimateRange(state, "sap0");
+}
+void BM_QuerySap1(benchmark::State& state) {
+  BM_EstimateRange(state, "sap1");
+}
+void BM_QueryWaveRangeOpt(benchmark::State& state) {
+  BM_EstimateRange(state, "wave-range-opt");
+}
+void BM_QueryTopBB(benchmark::State& state) {
+  BM_EstimateRange(state, "topbb");
+}
+BENCHMARK(BM_QueryEquiDepth)->Arg(1024)->Arg(65536);
+BENCHMARK(BM_QuerySap0)->Arg(1024)->Arg(65536);
+BENCHMARK(BM_QuerySap1)->Arg(1024)->Arg(65536);
+BENCHMARK(BM_QueryWaveRangeOpt)->Arg(1024)->Arg(65536);
+BENCHMARK(BM_QueryTopBB)->Arg(1024)->Arg(65536);
+
+void BM_ExactPrefixLookup(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const std::vector<int64_t> data = Dataset(n);
+  PrefixStats stats(data);
+  Rng rng(5);
+  for (auto _ : state) {
+    const int64_t a = rng.NextInt(1, n);
+    const int64_t b = rng.NextInt(a, n);
+    benchmark::DoNotOptimize(stats.Sum(a, b));
+  }
+}
+BENCHMARK(BM_ExactPrefixLookup)->Arg(1024)->Arg(65536);
+
+void BM_ExactColumnScan(benchmark::State& state) {
+  // The executor path a synopsis is meant to replace: scan all records.
+  Column column("v");
+  Rng rng(11);
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    column.Append(rng.NextInt(0, 1000));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(column.CountRange(100, 500));
+  }
+}
+BENCHMARK(BM_ExactColumnScan)->Arg(10000)->Arg(100000);
+
+}  // namespace
+}  // namespace rangesyn
+
+BENCHMARK_MAIN();

@@ -1,0 +1,101 @@
+// CLAIM-P — the paper's §4 claim: "For our datasets the point optimal
+// histogram is up to 8 times worse than OPT-A with respect to SSE and, on
+// average, OPT-A is more than three times better. POINT-OPT is inferior to
+// all histograms for range queries that we present."
+//
+// This harness prints the POINT-OPT / OPT-A SSE ratio across the storage
+// sweep and across several dataset seeds, plus the per-budget comparison
+// against every range-aware histogram.
+
+#include <algorithm>
+#include <iostream>
+
+#include "core/flags.h"
+#include "core/logging.h"
+#include "core/strings.h"
+#include "data/rounding.h"
+#include "eval/experiment.h"
+#include "eval/report.h"
+
+int main(int argc, char** argv) {
+  using namespace rangesyn;
+
+  FlagSet flags("tbl_pointopt_ratio", "POINT-OPT vs OPT-A SSE ratios");
+  flags.DefineInt64("n", 127, "number of attribute values");
+  flags.DefineDouble("alpha", 1.8, "Zipf tail exponent");
+  flags.DefineDouble("volume", 2000.0, "total record count");
+  flags.DefineString("seeds", "20010521,1,2,3", "dataset seeds");
+  flags.DefineString("budgets", "8,12,16,24,32,48,64", "budgets (words)");
+  if (Status s = flags.Parse(argc, argv); !s.ok()) {
+    if (s.code() == StatusCode::kFailedPrecondition) return 0;
+    std::cerr << s << "\n";
+    return 1;
+  }
+
+  std::vector<int64_t> budgets;
+  for (const std::string& b : StrSplit(flags.GetString("budgets"), ',')) {
+    int64_t v = 0;
+    RANGESYN_CHECK(ParseInt64(b, &v));
+    budgets.push_back(v);
+  }
+
+  TextTable table({"seed", "budget(w)", "POINT-OPT SSE", "OPT-A SSE",
+                   "ratio", "POINT-OPT worst among range methods?"});
+  double ratio_sum = 0.0;
+  double ratio_max = 0.0;
+  int64_t ratio_count = 0;
+
+  for (const std::string& seed_text :
+       StrSplit(flags.GetString("seeds"), ',')) {
+    int64_t seed = 0;
+    RANGESYN_CHECK(ParseInt64(seed_text, &seed));
+    PaperDatasetOptions dataset_options;
+    dataset_options.n = flags.GetInt64("n");
+    dataset_options.alpha = flags.GetDouble("alpha");
+    dataset_options.total_volume = flags.GetDouble("volume");
+    dataset_options.seed = static_cast<uint64_t>(seed);
+    auto data = MakePaperDataset(dataset_options);
+    RANGESYN_CHECK_OK(data.status());
+
+    SweepOptions sweep;
+    sweep.methods = {"pointopt", "opta", "a0", "sap0", "sap1"};
+    sweep.budgets_words = budgets;
+    auto rows = RunStorageSweep(data.value(), sweep);
+    RANGESYN_CHECK_OK(rows.status());
+
+    for (int64_t budget : budgets) {
+      const ExperimentRow* p = FindRow(rows.value(), "pointopt", budget);
+      const ExperimentRow* o = FindRow(rows.value(), "opta", budget);
+      if (p == nullptr || o == nullptr) continue;
+      const double ratio = p->all_ranges.sse / o->all_ranges.sse;
+      ratio_sum += ratio;
+      ratio_max = std::max(ratio_max, ratio);
+      ++ratio_count;
+      // The paper: POINT-OPT inferior to all the range-aware histograms
+      // it plots (OPT-A, A0, SAP1 per-bucket; SAP0 is the storage-hungry
+      // one) — compare at equal storage against opta/a0.
+      bool worst = true;
+      for (const char* m : {"opta", "a0"}) {
+        const ExperimentRow* r = FindRow(rows.value(), m, budget);
+        if (r != nullptr && r->all_ranges.sse > p->all_ranges.sse) {
+          worst = false;
+        }
+      }
+      table.AddRow({StrCat(seed), StrCat(budget),
+                    FormatG(p->all_ranges.sse), FormatG(o->all_ranges.sse),
+                    FormatG(ratio, 3), worst ? "yes" : "no"});
+    }
+  }
+
+  std::cout << "# CLAIM-P: POINT-OPT vs OPT-A (paper: up to 8x worse, "
+               "avg > 3x)\n";
+  table.Print(std::cout);
+  if (ratio_count > 0) {
+    std::cout << "\nmax ratio   = " << FormatG(ratio_max, 4)
+              << "   (paper: up to 8x)\n"
+              << "mean ratio  = "
+              << FormatG(ratio_sum / static_cast<double>(ratio_count), 4)
+              << "   (paper: > 3x on average)\n";
+  }
+  return 0;
+}

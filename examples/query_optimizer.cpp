@@ -1,0 +1,121 @@
+// Cost-based optimization demo: the classical use of selectivity
+// estimation (the paper's introduction). A toy optimizer chooses between
+// a full scan and an index range scan based on the estimated selectivity
+// of a range predicate; we show how histograms that are NOT optimized for
+// range queries mis-estimate selectivity and flip plans, while the
+// range-optimal synopsis keeps the optimizer on the cheap plan.
+//
+//   ./build/examples/query_optimizer [--rows=100000]
+
+#include <cmath>
+#include <iostream>
+
+#include "core/flags.h"
+#include "core/logging.h"
+#include "core/random.h"
+#include "core/strings.h"
+#include "engine/catalog.h"
+#include "engine/table.h"
+#include "eval/report.h"
+
+namespace {
+
+// A toy cost model: a full scan touches every row once; an index range
+// scan pays a per-matching-row random-access penalty.
+constexpr double kScanCostPerRow = 1.0;
+constexpr double kIndexCostPerMatch = 4.0;
+
+const char* ChoosePlan(double selectivity, int64_t rows) {
+  const double scan = kScanCostPerRow * static_cast<double>(rows);
+  const double index =
+      kIndexCostPerMatch * selectivity * static_cast<double>(rows);
+  return index < scan ? "INDEX-SCAN" : "FULL-SCAN";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rangesyn;
+
+  FlagSet flags("query_optimizer",
+                "plan choice driven by selectivity estimates");
+  flags.DefineInt64("rows", 100000, "number of records");
+  flags.DefineInt64("budget", 24, "synopsis budget (words)");
+  flags.DefineInt64("seed", 3, "record generator seed");
+  if (Status s = flags.Parse(argc, argv); !s.ok()) {
+    if (s.code() == StatusCode::kFailedPrecondition) return 0;
+    std::cerr << s << "\n";
+    return 1;
+  }
+
+  // Skewed attribute: most records cluster in a hot band [100, 140],
+  // a thin tail spreads over [1, 999]. Range predicates on the tail are
+  // highly selective; predicates on the band are not.
+  Table t("events");
+  RANGESYN_CHECK_OK(t.AddColumn("latency_ms"));
+  Rng rng(static_cast<uint64_t>(flags.GetInt64("seed")));
+  const int64_t rows = flags.GetInt64("rows");
+  for (int64_t i = 0; i < rows; ++i) {
+    int64_t v;
+    if (rng.NextBool(0.9)) {
+      v = 100 + rng.NextInt(0, 40);  // hot band
+    } else {
+      v = 1 + rng.NextInt(0, 998);  // tail
+    }
+    RANGESYN_CHECK_OK(t.AppendRow({v}));
+  }
+  auto col = t.GetColumn("latency_ms");
+  RANGESYN_CHECK_OK(col.status());
+
+  // Register three synopsis choices at the same budget.
+  SynopsisCatalog catalog;
+  const int64_t budget = flags.GetInt64("budget");
+  for (const char* method : {"equiwidth", "pointopt", "sap1"}) {
+    SynopsisSpec spec;
+    spec.method = method;
+    spec.budget_words = budget;
+    RANGESYN_CHECK_OK(catalog.RegisterColumn(
+        StrCat("events.latency.", method), *col.value(), spec));
+  }
+
+  const std::vector<std::pair<int64_t, int64_t>> predicates = {
+      {100, 140},  // hot band: ~90% of rows -> FULL-SCAN is right
+      {500, 999},  // tail: ~5% -> INDEX-SCAN is right
+      {1, 50},     // tail: ~2.5% -> INDEX-SCAN is right
+      {130, 200},  // straddles the band edge
+      {100, 112},  // third of the hot band: a coarse synopsis smears the
+                   // band over a wide bucket and underestimates -> flip
+      {108, 132},  // interior slice of the band
+  };
+
+  std::cout << "plan choice per synopsis (budget " << budget
+            << " words, " << rows << " rows)\n";
+  std::cout << "cost model: full scan = rows, index scan = 4 * matches\n\n";
+  TextTable table({"predicate", "true sel.", "true plan", "EQUI-WIDTH",
+                   "POINT-OPT", "SAP1"});
+  int flips_equiwidth = 0, flips_pointopt = 0, flips_sap1 = 0;
+  for (const auto& [lo, hi] : predicates) {
+    const double true_sel =
+        static_cast<double>(col.value()->CountRange(lo, hi)) /
+        static_cast<double>(rows);
+    const char* true_plan = ChoosePlan(true_sel, rows);
+    auto plan_for = [&](const char* method, int* flips) {
+      auto sel = catalog.EstimateSelectivity(
+          StrCat("events.latency.", method), lo, hi);
+      RANGESYN_CHECK_OK(sel.status());
+      const char* plan = ChoosePlan(sel.value(), rows);
+      if (std::string(plan) != true_plan) ++(*flips);
+      return StrCat(plan, " (", FormatG(100.0 * sel.value(), 3), "%)");
+    };
+    table.AddRow({StrCat("[", lo, ",", hi, "]"),
+                  StrCat(FormatG(100.0 * true_sel, 3), "%"), true_plan,
+                  plan_for("equiwidth", &flips_equiwidth),
+                  plan_for("pointopt", &flips_pointopt),
+                  plan_for("sap1", &flips_sap1)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nwrong plans: EQUI-WIDTH=" << flips_equiwidth
+            << "  POINT-OPT=" << flips_pointopt << "  SAP1=" << flips_sap1
+            << "\n";
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Synopsis tuning demo: given an attribute-value distribution and an
+// accuracy target (RMSE over all ranges), find the cheapest
+// (method, budget) combination — the decision a DBA or an automated
+// advisor makes when sizing a statistics catalog.
+//
+//   ./build/examples/synopsis_tuning [--dist=zipf] [--target_rmse=20]
+
+#include <iostream>
+
+#include "core/flags.h"
+#include "core/logging.h"
+#include "core/random.h"
+#include "core/strings.h"
+#include "data/distribution.h"
+#include "data/rounding.h"
+#include "eval/experiment.h"
+#include "eval/report.h"
+
+int main(int argc, char** argv) {
+  using namespace rangesyn;
+
+  FlagSet flags("synopsis_tuning",
+                "find the cheapest synopsis meeting an RMSE target");
+  flags.DefineInt64("n", 256, "domain size");
+  flags.DefineDouble("volume", 10000.0, "total record count");
+  flags.DefineString("dist", "zipf", "distribution family");
+  flags.DefineDouble("target_rmse", 20.0, "all-ranges RMSE target");
+  flags.DefineInt64("seed", 5, "generator seed");
+  if (Status s = flags.Parse(argc, argv); !s.ok()) {
+    if (s.code() == StatusCode::kFailedPrecondition) return 0;
+    std::cerr << s << "\n";
+    return 1;
+  }
+
+  Rng rng(static_cast<uint64_t>(flags.GetInt64("seed")));
+  auto floats = MakeNamedDistribution(flags.GetString("dist"),
+                                      flags.GetInt64("n"),
+                                      flags.GetDouble("volume"), &rng);
+  RANGESYN_CHECK_OK(floats.status());
+  auto data = RandomRound(floats.value(), RandomRoundingMode::kHalf, &rng);
+  RANGESYN_CHECK_OK(data.status());
+
+  // Candidate methods: the polynomial-time constructions an advisor can
+  // afford to run online (OPT-A is pseudo-polynomial, so the advisor uses
+  // its fast A0 approximation instead).
+  SweepOptions sweep;
+  sweep.methods = {"equidepth", "pointopt", "a0", "a0-reopt", "sap0",
+                   "sap1", "wave-range-opt"};
+  sweep.budgets_words = {8, 12, 16, 24, 32, 48, 64, 96, 128};
+  auto rows = RunStorageSweep(data.value(), sweep);
+  RANGESYN_CHECK_OK(rows.status());
+
+  const double target = flags.GetDouble("target_rmse");
+  std::cout << "distribution '" << flags.GetString("dist") << "', n="
+            << flags.GetInt64("n") << ", target all-ranges RMSE <= "
+            << target << "\n\n";
+
+  // Cheapest budget per method that meets the target.
+  TextTable table({"method", "cheapest budget meeting target", "RMSE",
+                   "SSE"});
+  std::string best_method;
+  int64_t best_budget = -1;
+  double best_rmse = 0;
+  for (const std::string& method : sweep.methods) {
+    bool found = false;
+    for (int64_t budget : sweep.budgets_words) {
+      const ExperimentRow* row = FindRow(rows.value(), method, budget);
+      if (row == nullptr) continue;
+      if (row->all_ranges.rmse <= target) {
+        table.AddRow({method, StrCat(budget, " words"),
+                      FormatG(row->all_ranges.rmse, 4),
+                      FormatG(row->all_ranges.sse)});
+        if (best_budget < 0 || budget < best_budget) {
+          best_budget = budget;
+          best_method = method;
+          best_rmse = row->all_ranges.rmse;
+        }
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      table.AddRow({method, "not within 128 words", "-", "-"});
+    }
+  }
+  table.Print(std::cout);
+
+  if (best_budget > 0) {
+    std::cout << "\nadvisor pick: " << best_method << " at " << best_budget
+              << " words (RMSE " << FormatG(best_rmse, 4) << ")\n";
+  } else {
+    std::cout << "\nno candidate met the target within 128 words; raise "
+                 "the budget ceiling or relax the target.\n";
+  }
+  return 0;
+}

@@ -1,0 +1,200 @@
+#include "cli/commands.h"
+
+#include <sstream>
+
+#include "core/flags.h"
+#include "core/random.h"
+#include "core/strings.h"
+#include "data/distribution.h"
+#include "data/io.h"
+#include "data/rounding.h"
+#include "engine/factory.h"
+#include "engine/serialize.h"
+#include "eval/experiment.h"
+#include "eval/metrics.h"
+#include "eval/report.h"
+
+namespace rangesyn {
+namespace {
+
+/// Parses a FlagSet from string args (argv-style, without argv[0]).
+Status ParseArgs(FlagSet* flags, const std::vector<std::string>& args) {
+  std::vector<char*> argv;
+  std::string program = "rangesyn";
+  argv.push_back(program.data());
+  std::vector<std::string> storage(args);
+  for (std::string& a : storage) argv.push_back(a.data());
+  return flags->Parse(static_cast<int>(argv.size()), argv.data());
+}
+
+Result<std::string> CmdGenerate(const std::vector<std::string>& args) {
+  FlagSet flags("rangesyn generate", "write a synthetic distribution CSV");
+  flags.DefineString("dist", "zipf", "distribution family");
+  flags.DefineInt64("n", 127, "domain size");
+  flags.DefineDouble("volume", 2000.0, "total record count");
+  flags.DefineInt64("seed", 20010521, "generator seed");
+  flags.DefineString("out", "data.csv", "output path");
+  RANGESYN_RETURN_IF_ERROR(ParseArgs(&flags, args));
+  Rng rng(static_cast<uint64_t>(flags.GetInt64("seed")));
+  RANGESYN_ASSIGN_OR_RETURN(
+      std::vector<double> floats,
+      MakeNamedDistribution(flags.GetString("dist"), flags.GetInt64("n"),
+                            flags.GetDouble("volume"), &rng));
+  RANGESYN_ASSIGN_OR_RETURN(
+      std::vector<int64_t> data,
+      RandomRound(floats, RandomRoundingMode::kHalf, &rng));
+  RANGESYN_RETURN_IF_ERROR(
+      SaveDistributionCsv(data, flags.GetString("out")));
+  int64_t total = 0;
+  for (int64_t v : data) total += v;
+  return StrCat("wrote ", data.size(), " counts (", total, " records) to ",
+                flags.GetString("out"), "\n");
+}
+
+Result<std::string> CmdBuild(const std::vector<std::string>& args) {
+  FlagSet flags("rangesyn build", "build and persist a synopsis");
+  flags.DefineString("data", "data.csv", "input distribution CSV");
+  flags.DefineString("method", "sap1", "synopsis method");
+  flags.DefineInt64("budget", 24, "storage budget (words)");
+  flags.DefineInt64("granularity", 2, "OPT-A-ROUNDED granularity");
+  flags.DefineString("out", "synopsis.rsn", "output path");
+  RANGESYN_RETURN_IF_ERROR(ParseArgs(&flags, args));
+  RANGESYN_ASSIGN_OR_RETURN(std::vector<int64_t> data,
+                            LoadDistributionCsv(flags.GetString("data")));
+  SynopsisSpec spec;
+  spec.method = flags.GetString("method");
+  spec.budget_words = flags.GetInt64("budget");
+  spec.granularity = flags.GetInt64("granularity");
+  RANGESYN_ASSIGN_OR_RETURN(RangeEstimatorPtr est,
+                            BuildSynopsis(spec, data));
+  RANGESYN_RETURN_IF_ERROR(
+      SaveSynopsisToFile(*est, flags.GetString("out")));
+  return StrCat("built ", est->Name(), " (", est->StorageWords(),
+                " words over domain ", est->domain_size(), ") -> ",
+                flags.GetString("out"), "\n");
+}
+
+Result<std::string> CmdInspect(const std::vector<std::string>& args) {
+  FlagSet flags("rangesyn inspect", "describe a persisted synopsis");
+  flags.DefineString("synopsis", "synopsis.rsn", "synopsis path");
+  RANGESYN_RETURN_IF_ERROR(ParseArgs(&flags, args));
+  RANGESYN_ASSIGN_OR_RETURN(RangeEstimatorPtr est,
+                            LoadSynopsisFromFile(flags.GetString("synopsis")));
+  return StrCat("name:    ", est->Name(), "\nstorage: ",
+                est->StorageWords(), " words\ndomain:  1..",
+                est->domain_size(), "\n");
+}
+
+Result<std::string> CmdEstimate(const std::vector<std::string>& args) {
+  FlagSet flags("rangesyn estimate", "answer one range query");
+  flags.DefineString("synopsis", "synopsis.rsn", "synopsis path");
+  flags.DefineInt64("a", 1, "range start (1-based, inclusive)");
+  flags.DefineInt64("b", 1, "range end (inclusive)");
+  RANGESYN_RETURN_IF_ERROR(ParseArgs(&flags, args));
+  RANGESYN_ASSIGN_OR_RETURN(RangeEstimatorPtr est,
+                            LoadSynopsisFromFile(flags.GetString("synopsis")));
+  const int64_t a = flags.GetInt64("a");
+  const int64_t b = flags.GetInt64("b");
+  if (a < 1 || a > b || b > est->domain_size()) {
+    return InvalidArgumentError(
+        StrCat("bad range [", a, ",", b, "] for domain 1..",
+               est->domain_size()));
+  }
+  return StrCat("s[", a, ",", b, "] ~= ",
+                FormatG(est->EstimateRange(a, b), 10), "\n");
+}
+
+Result<std::string> CmdEvaluate(const std::vector<std::string>& args) {
+  FlagSet flags("rangesyn evaluate",
+                "score a synopsis against exact answers");
+  flags.DefineString("synopsis", "synopsis.rsn", "synopsis path");
+  flags.DefineString("data", "data.csv", "ground-truth distribution CSV");
+  flags.DefineString("workload", "",
+                     "optional query-log CSV (default: all ranges)");
+  RANGESYN_RETURN_IF_ERROR(ParseArgs(&flags, args));
+  RANGESYN_ASSIGN_OR_RETURN(RangeEstimatorPtr est,
+                            LoadSynopsisFromFile(flags.GetString("synopsis")));
+  RANGESYN_ASSIGN_OR_RETURN(std::vector<int64_t> data,
+                            LoadDistributionCsv(flags.GetString("data")));
+  ErrorStats stats;
+  if (flags.GetString("workload").empty()) {
+    RANGESYN_ASSIGN_OR_RETURN(stats, AllRangesStats(data, *est));
+  } else {
+    RANGESYN_ASSIGN_OR_RETURN(std::vector<RangeQuery> queries,
+                              LoadWorkloadCsv(flags.GetString("workload")));
+    RANGESYN_ASSIGN_OR_RETURN(stats,
+                              EvaluateOnWorkload(data, *est, queries));
+  }
+  return StrCat("queries:  ", stats.count, "\nSSE:      ",
+                FormatG(stats.sse, 10), "\nRMSE:     ",
+                FormatG(stats.rmse, 6), "\nmax|err|: ",
+                FormatG(stats.max_abs, 6), "\n");
+}
+
+Result<std::string> CmdSweep(const std::vector<std::string>& args) {
+  FlagSet flags("rangesyn sweep", "Figure-1 style storage sweep");
+  flags.DefineString("data", "data.csv", "input distribution CSV");
+  flags.DefineString("methods", "naive,pointopt,a0,sap0,sap1",
+                     "comma-separated methods");
+  flags.DefineString("budgets", "8,16,32,64", "comma-separated budgets");
+  flags.DefineBool("csv", false, "emit CSV");
+  RANGESYN_RETURN_IF_ERROR(ParseArgs(&flags, args));
+  RANGESYN_ASSIGN_OR_RETURN(std::vector<int64_t> data,
+                            LoadDistributionCsv(flags.GetString("data")));
+  SweepOptions sweep;
+  sweep.methods = StrSplit(flags.GetString("methods"), ',');
+  for (const std::string& b : StrSplit(flags.GetString("budgets"), ',')) {
+    int64_t v = 0;
+    if (!ParseInt64(b, &v)) {
+      return InvalidArgumentError(StrCat("bad budget '", b, "'"));
+    }
+    sweep.budgets_words.push_back(v);
+  }
+  RANGESYN_ASSIGN_OR_RETURN(std::vector<ExperimentRow> rows,
+                            RunStorageSweep(data, sweep));
+  std::ostringstream os;
+  if (flags.GetBool("csv")) {
+    PrintSweepCsv(rows, os);
+  } else {
+    PrintSweep(rows, os);
+  }
+  return os.str();
+}
+
+}  // namespace
+
+std::string CliUsage() {
+  return
+      "rangesyn — summary statistics for range aggregates (PODS 2001)\n"
+      "\n"
+      "usage: rangesyn <command> [--flags]\n"
+      "\n"
+      "commands:\n"
+      "  generate   write a synthetic attribute-value distribution CSV\n"
+      "  build      build a synopsis from a CSV and persist it\n"
+      "  inspect    describe a persisted synopsis\n"
+      "  estimate   answer one range query from a synopsis\n"
+      "  evaluate   score a synopsis against exact answers\n"
+      "  sweep      run a Figure-1 style storage sweep\n"
+      "  help       show this text\n"
+      "\n"
+      "run 'rangesyn <command> --help' for per-command flags.\n";
+}
+
+Result<std::string> RunCliCommand(const std::vector<std::string>& args) {
+  if (args.empty() || args[0] == "help" || args[0] == "--help") {
+    return CliUsage();
+  }
+  const std::string& command = args[0];
+  const std::vector<std::string> rest(args.begin() + 1, args.end());
+  if (command == "generate") return CmdGenerate(rest);
+  if (command == "build") return CmdBuild(rest);
+  if (command == "inspect") return CmdInspect(rest);
+  if (command == "estimate") return CmdEstimate(rest);
+  if (command == "evaluate") return CmdEvaluate(rest);
+  if (command == "sweep") return CmdSweep(rest);
+  return InvalidArgumentError(
+      StrCat("unknown command '", command, "'\n\n", CliUsage()));
+}
+
+}  // namespace rangesyn

@@ -1,0 +1,26 @@
+// The rangesyn command-line tool. All logic lives in cli/commands.{h,cc}
+// so it is unit-testable; this file only adapts argv and exit codes.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/commands.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  rangesyn::Result<std::string> result = rangesyn::RunCliCommand(args);
+  if (!result.ok()) {
+    // --help inside a subcommand surfaces as FailedPrecondition after the
+    // usage text has been printed; treat it as success.
+    if (result.status().code() ==
+        rangesyn::StatusCode::kFailedPrecondition &&
+        result.status().message() == "--help requested") {
+      return 0;
+    }
+    std::cerr << "rangesyn: " << result.status() << "\n";
+    return 1;
+  }
+  std::cout << result.value();
+  return 0;
+}

@@ -1,0 +1,41 @@
+#ifndef RANGESYN_CORE_ESTIMATOR_H_
+#define RANGESYN_CORE_ESTIMATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace rangesyn {
+
+/// Interface shared by every synopsis in the library (histograms, wavelet
+/// synopses, the naive global average, ...). A RangeEstimator answers
+/// range-sum queries s[a,b] = sum of A[a..b] (1-based, inclusive) over the
+/// attribute-value distribution it was built from, and reports the storage
+/// footprint its representation would occupy in a catalog, measured in
+/// machine words (one word per stored boundary or summary value — the
+/// accounting used on the x-axis of the paper's Figure 1).
+class RangeEstimator {
+ public:
+  virtual ~RangeEstimator() = default;
+
+  /// Estimate of s[a,b]. Requires 1 <= a <= b <= n.
+  virtual double EstimateRange(int64_t a, int64_t b) const = 0;
+
+  /// Estimate of the point query A[i] (= EstimateRange(i, i)).
+  virtual double EstimatePoint(int64_t i) const { return EstimateRange(i, i); }
+
+  /// Number of machine words the serialized synopsis occupies.
+  virtual int64_t StorageWords() const = 0;
+
+  /// Domain size n of the underlying attribute-value distribution.
+  virtual int64_t domain_size() const = 0;
+
+  /// Short identifier used in reports, e.g. "OPT-A" or "SAP0".
+  virtual std::string Name() const = 0;
+};
+
+using RangeEstimatorPtr = std::unique_ptr<RangeEstimator>;
+
+}  // namespace rangesyn
+
+#endif  // RANGESYN_CORE_ESTIMATOR_H_

@@ -1,0 +1,157 @@
+#include "core/flags.h"
+
+#include <iostream>
+
+#include "core/logging.h"
+#include "core/strings.h"
+
+namespace rangesyn {
+
+FlagSet::FlagSet(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+void FlagSet::DefineInt64(std::string_view name, int64_t default_value,
+                          std::string_view help) {
+  Flag f;
+  f.type = Type::kInt64;
+  f.help = std::string(help);
+  f.int_value = default_value;
+  f.default_text = StrCat(default_value);
+  flags_.emplace(std::string(name), std::move(f));
+}
+
+void FlagSet::DefineDouble(std::string_view name, double default_value,
+                           std::string_view help) {
+  Flag f;
+  f.type = Type::kDouble;
+  f.help = std::string(help);
+  f.double_value = default_value;
+  f.default_text = StrCat(default_value);
+  flags_.emplace(std::string(name), std::move(f));
+}
+
+void FlagSet::DefineString(std::string_view name,
+                           std::string_view default_value,
+                           std::string_view help) {
+  Flag f;
+  f.type = Type::kString;
+  f.help = std::string(help);
+  f.string_value = std::string(default_value);
+  f.default_text = std::string(default_value);
+  flags_.emplace(std::string(name), std::move(f));
+}
+
+void FlagSet::DefineBool(std::string_view name, bool default_value,
+                         std::string_view help) {
+  Flag f;
+  f.type = Type::kBool;
+  f.help = std::string(help);
+  f.bool_value = default_value;
+  f.default_text = default_value ? "true" : "false";
+  flags_.emplace(std::string(name), std::move(f));
+}
+
+Status FlagSet::SetValue(Flag* flag, std::string_view text) {
+  switch (flag->type) {
+    case Type::kInt64:
+      if (!ParseInt64(text, &flag->int_value)) {
+        return InvalidArgumentError(StrCat("bad int64 value '", text, "'"));
+      }
+      return OkStatus();
+    case Type::kDouble:
+      if (!ParseDouble(text, &flag->double_value)) {
+        return InvalidArgumentError(StrCat("bad double value '", text, "'"));
+      }
+      return OkStatus();
+    case Type::kString:
+      flag->string_value = std::string(text);
+      return OkStatus();
+    case Type::kBool:
+      if (text == "true" || text == "1") {
+        flag->bool_value = true;
+      } else if (text == "false" || text == "0") {
+        flag->bool_value = false;
+      } else {
+        return InvalidArgumentError(StrCat("bad bool value '", text, "'"));
+      }
+      return OkStatus();
+  }
+  return InternalError("unreachable flag type");
+}
+
+Status FlagSet::Parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (!StartsWith(arg, "--")) {
+      positional_.emplace_back(arg);
+      continue;
+    }
+    arg.remove_prefix(2);
+    if (arg == "help") {
+      std::cout << Usage();
+      return FailedPreconditionError("--help requested");
+    }
+    std::string_view name = arg;
+    std::string_view value;
+    bool have_value = false;
+    const size_t eq = arg.find('=');
+    if (eq != std::string_view::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+      have_value = true;
+    }
+    auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      return InvalidArgumentError(StrCat("unknown flag --", name));
+    }
+    Flag& flag = it->second;
+    if (!have_value) {
+      if (flag.type == Type::kBool) {
+        flag.bool_value = true;  // bare --flag sets a bool
+        continue;
+      }
+      if (i + 1 >= argc) {
+        return InvalidArgumentError(StrCat("missing value for --", name));
+      }
+      value = argv[++i];
+    }
+    RANGESYN_RETURN_IF_ERROR(SetValue(&flag, value));
+  }
+  return OkStatus();
+}
+
+const FlagSet::Flag& FlagSet::FindOrDie(std::string_view name,
+                                        Type type) const {
+  auto it = flags_.find(name);
+  RANGESYN_CHECK(it != flags_.end()) << "undefined flag --" << name;
+  RANGESYN_CHECK(it->second.type == type) << "flag --" << name
+                                          << " accessed with wrong type";
+  return it->second;
+}
+
+int64_t FlagSet::GetInt64(std::string_view name) const {
+  return FindOrDie(name, Type::kInt64).int_value;
+}
+
+double FlagSet::GetDouble(std::string_view name) const {
+  return FindOrDie(name, Type::kDouble).double_value;
+}
+
+const std::string& FlagSet::GetString(std::string_view name) const {
+  return FindOrDie(name, Type::kString).string_value;
+}
+
+bool FlagSet::GetBool(std::string_view name) const {
+  return FindOrDie(name, Type::kBool).bool_value;
+}
+
+std::string FlagSet::Usage() const {
+  std::string out = StrCat(program_, " — ", description_, "\n\nFlags:\n");
+  for (const auto& [name, flag] : flags_) {
+    out += StrCat("  --", name, " (default ", flag.default_text, ")  ",
+                  flag.help, "\n");
+  }
+  return out;
+}
+
+}  // namespace rangesyn

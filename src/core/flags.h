@@ -1,0 +1,75 @@
+#ifndef RANGESYN_CORE_FLAGS_H_
+#define RANGESYN_CORE_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/status.h"
+
+namespace rangesyn {
+
+/// Minimal command-line flag parser for the benchmark/example binaries.
+/// Accepts `--name=value` and `--name value`; `--help` prints usage.
+///
+/// Usage:
+///   FlagSet flags("fig1", "Reproduces Figure 1");
+///   flags.DefineInt64("n", 127, "domain size");
+///   flags.DefineDouble("alpha", 1.8, "Zipf tail exponent");
+///   RANGESYN_CHECK_OK(flags.Parse(argc, argv));
+///   int64_t n = flags.GetInt64("n");
+class FlagSet {
+ public:
+  FlagSet(std::string program, std::string description);
+
+  void DefineInt64(std::string_view name, int64_t default_value,
+                   std::string_view help);
+  void DefineDouble(std::string_view name, double default_value,
+                    std::string_view help);
+  void DefineString(std::string_view name, std::string_view default_value,
+                    std::string_view help);
+  void DefineBool(std::string_view name, bool default_value,
+                  std::string_view help);
+
+  /// Parses argv. Unknown flags or malformed values produce an error.
+  /// When `--help` is present, prints usage and returns an error with code
+  /// kFailedPrecondition so the caller can exit cleanly.
+  Status Parse(int argc, char** argv);
+
+  int64_t GetInt64(std::string_view name) const;
+  double GetDouble(std::string_view name) const;
+  const std::string& GetString(std::string_view name) const;
+  bool GetBool(std::string_view name) const;
+
+  /// Positional (non-flag) arguments in order of appearance.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Renders the usage text.
+  std::string Usage() const;
+
+ private:
+  enum class Type { kInt64, kDouble, kString, kBool };
+  struct Flag {
+    Type type;
+    std::string help;
+    std::string default_text;
+    int64_t int_value = 0;
+    double double_value = 0.0;
+    std::string string_value;
+    bool bool_value = false;
+  };
+
+  Status SetValue(Flag* flag, std::string_view text);
+  const Flag& FindOrDie(std::string_view name, Type type) const;
+
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Flag, std::less<>> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace rangesyn
+
+#endif  // RANGESYN_CORE_FLAGS_H_

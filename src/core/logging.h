@@ -1,0 +1,101 @@
+#ifndef RANGESYN_CORE_LOGGING_H_
+#define RANGESYN_CORE_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace rangesyn {
+
+/// Log severities in increasing order of importance.
+enum class LogSeverity : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+namespace internal_logging {
+
+/// Collects a log message via operator<< and emits it (to stderr) on
+/// destruction. Severity kFatal aborts the process after emitting.
+class LogMessage {
+ public:
+  LogMessage(LogSeverity severity, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogSeverity severity_;
+  std::ostringstream stream_;
+};
+
+/// Turns a streamed LogMessage expression into void so it can sit in the
+/// false branch of the CHECK ternary (the glog "voidify" idiom). operator&
+/// binds more loosely than operator<<, so the stream chain completes first.
+class Voidify {
+ public:
+  void operator&(LogMessage&) {}
+};
+
+}  // namespace internal_logging
+
+/// Sets the minimum severity that is actually emitted (default kInfo).
+void SetMinLogSeverity(LogSeverity severity);
+LogSeverity MinLogSeverity();
+
+#define RANGESYN_LOG(severity)                                       \
+  ::rangesyn::internal_logging::LogMessage(                          \
+      ::rangesyn::LogSeverity::k##severity, __FILE__, __LINE__)
+
+/// Aborts with a message when `cond` is false. Always on (release included):
+/// these guard library invariants whose violation would produce silently
+/// wrong statistics.
+#define RANGESYN_CHECK(cond)                                         \
+  (cond) ? (void)0                                                   \
+         : ::rangesyn::internal_logging::Voidify() &                 \
+               ::rangesyn::internal_logging::LogMessage(             \
+                   ::rangesyn::LogSeverity::kFatal, __FILE__,        \
+                   __LINE__)                                         \
+                   << "Check failed: " #cond " "
+
+#define RANGESYN_CHECK_OP_(name, op, a, b)                           \
+  RANGESYN_CHECK((a)op(b)) << "(" #a " " #op " " #b ") with " #a "=" \
+                           << (a) << " " #b "=" << (b) << " "
+
+#define RANGESYN_CHECK_EQ(a, b) RANGESYN_CHECK_OP_(EQ, ==, a, b)
+#define RANGESYN_CHECK_NE(a, b) RANGESYN_CHECK_OP_(NE, !=, a, b)
+#define RANGESYN_CHECK_LE(a, b) RANGESYN_CHECK_OP_(LE, <=, a, b)
+#define RANGESYN_CHECK_LT(a, b) RANGESYN_CHECK_OP_(LT, <, a, b)
+#define RANGESYN_CHECK_GE(a, b) RANGESYN_CHECK_OP_(GE, >=, a, b)
+#define RANGESYN_CHECK_GT(a, b) RANGESYN_CHECK_OP_(GT, >, a, b)
+
+/// Checks that a Status-returning expression is OK.
+#define RANGESYN_CHECK_OK(expr)                                   \
+  do {                                                            \
+    ::rangesyn::Status _rangesyn_check_status = (expr);           \
+    RANGESYN_CHECK(_rangesyn_check_status.ok())                   \
+        << _rangesyn_check_status.ToString();                     \
+  } while (false)
+
+/// Debug-only checks (compiled out under NDEBUG).
+#ifdef NDEBUG
+#define RANGESYN_DCHECK(cond) \
+  while (false) RANGESYN_CHECK(cond)
+#define RANGESYN_DCHECK_EQ(a, b) RANGESYN_DCHECK((a) == (b))
+#define RANGESYN_DCHECK_LE(a, b) RANGESYN_DCHECK((a) <= (b))
+#define RANGESYN_DCHECK_LT(a, b) RANGESYN_DCHECK((a) < (b))
+#else
+#define RANGESYN_DCHECK(cond) RANGESYN_CHECK(cond)
+#define RANGESYN_DCHECK_EQ(a, b) RANGESYN_CHECK_EQ(a, b)
+#define RANGESYN_DCHECK_LE(a, b) RANGESYN_CHECK_LE(a, b)
+#define RANGESYN_DCHECK_LT(a, b) RANGESYN_CHECK_LT(a, b)
+#endif
+
+}  // namespace rangesyn
+
+#endif  // RANGESYN_CORE_LOGGING_H_

@@ -1,0 +1,64 @@
+#ifndef RANGESYN_CORE_MATHUTIL_H_
+#define RANGESYN_CORE_MATHUTIL_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace rangesyn {
+
+/// Rounds to the nearest integer with ties broken toward even
+/// (banker's rounding). This is the deterministic instantiation of the
+/// paper's "round to a nearby integer in an arbitrary way".
+inline int64_t RoundHalfToEven(double x) {
+  const double r = std::nearbyint(x);  // default FE_TONEAREST = ties-to-even
+  return static_cast<int64_t>(r);
+}
+
+/// Rounds to the nearest integer, ties away from zero.
+inline int64_t RoundHalfAway(double x) {
+  return static_cast<int64_t>(std::llround(x));
+}
+
+/// True iff `x` is a power of two (x > 0).
+inline bool IsPowerOfTwo(uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+/// Smallest power of two >= x (x >= 1).
+inline uint64_t NextPowerOfTwo(uint64_t x) {
+  if (x <= 1) return 1;
+  uint64_t p = 1;
+  while (p < x) p <<= 1;
+  return p;
+}
+
+/// Floor of log2(x) for x >= 1.
+inline int FloorLog2(uint64_t x) {
+  int l = 0;
+  while (x >>= 1) ++l;
+  return l;
+}
+
+/// Sum of 1..m as a double (avoids intermediate overflow for large m).
+inline double TriangleNumber(int64_t m) {
+  return 0.5 * static_cast<double>(m) * static_cast<double>(m + 1);
+}
+
+/// Number of distinct ranges (a,b), 1 <= a <= b <= n.
+inline int64_t NumRanges(int64_t n) { return n * (n + 1) / 2; }
+
+/// Relative difference |a-b| / max(|a|,|b|,eps); symmetric, safe near zero.
+inline double RelDiff(double a, double b, double eps = 1e-12) {
+  const double scale = std::fmax(std::fmax(std::fabs(a), std::fabs(b)), eps);
+  return std::fabs(a - b) / scale;
+}
+
+/// True iff `a` and `b` agree to relative tolerance `tol` (with an absolute
+/// floor `abs_tol` so exact zeros compare equal to tiny values).
+inline bool AlmostEqual(double a, double b, double tol = 1e-9,
+                        double abs_tol = 1e-9) {
+  return std::fabs(a - b) <= abs_tol + tol * std::fmax(std::fabs(a),
+                                                       std::fabs(b));
+}
+
+}  // namespace rangesyn
+
+#endif  // RANGESYN_CORE_MATHUTIL_H_

@@ -1,0 +1,93 @@
+#ifndef RANGESYN_CORE_RESULT_H_
+#define RANGESYN_CORE_RESULT_H_
+
+#include <utility>
+#include <variant>
+
+#include "core/logging.h"
+#include "core/status.h"
+
+namespace rangesyn {
+
+/// Result<T> holds either a value of type T or a non-OK Status, mirroring
+/// absl::StatusOr. Accessing the value of an error Result aborts the
+/// program (library code never relies on that path).
+///
+/// Usage:
+///   Result<Histogram> r = Histogram::Build(...);
+///   if (!r.ok()) return r.status();
+///   Use(r.value());
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  /// Constructs a Result holding `value`.
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs a Result holding a non-OK `status`. Passing an OK status is
+  /// a programming error and aborts.
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : payload_(std::move(status)) {
+    RANGESYN_CHECK(!std::get<Status>(payload_).ok())
+        << "Result<T> constructed from OK status without a value";
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  /// True iff a value is present.
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  /// Returns the status: OK when a value is present.
+  Status status() const {
+    if (ok()) return OkStatus();
+    return std::get<Status>(payload_);
+  }
+
+  /// Returns the contained value; aborts if `!ok()`.
+  const T& value() const& {
+    RANGESYN_CHECK(ok()) << "Result::value() on error: " << status();
+    return std::get<T>(payload_);
+  }
+  T& value() & {
+    RANGESYN_CHECK(ok()) << "Result::value() on error: " << status();
+    return std::get<T>(payload_);
+  }
+  T&& value() && {
+    RANGESYN_CHECK(ok()) << "Result::value() on error: " << status();
+    return std::get<T>(std::move(payload_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` if this Result holds an error.
+  T value_or(T fallback) const {
+    if (ok()) return std::get<T>(payload_);
+    return fallback;
+  }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+/// Evaluates `rexpr` (a Result<T>); on error returns the status from the
+/// enclosing function, otherwise moves the value into `lhs`.
+#define RANGESYN_ASSIGN_OR_RETURN(lhs, rexpr)               \
+  RANGESYN_ASSIGN_OR_RETURN_IMPL_(                          \
+      RANGESYN_CONCAT_(_rangesyn_result, __LINE__), lhs, rexpr)
+
+#define RANGESYN_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                    \
+  if (!tmp.ok()) return tmp.status();                    \
+  lhs = std::move(tmp).value()
+
+#define RANGESYN_CONCAT_INNER_(a, b) a##b
+#define RANGESYN_CONCAT_(a, b) RANGESYN_CONCAT_INNER_(a, b)
+
+}  // namespace rangesyn
+
+#endif  // RANGESYN_CORE_RESULT_H_

@@ -1,0 +1,40 @@
+#ifndef RANGESYN_CORE_STRINGS_H_
+#define RANGESYN_CORE_STRINGS_H_
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rangesyn {
+
+/// Concatenates the string representations of all arguments.
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+
+/// Splits `text` on `sep`, keeping empty pieces.
+std::vector<std::string> StrSplit(std::string_view text, char sep);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view text);
+
+/// True iff `text` begins with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// Parses a signed integer; returns false on any malformed input.
+bool ParseInt64(std::string_view text, int64_t* out);
+
+/// Parses a double; returns false on any malformed input.
+bool ParseDouble(std::string_view text, double* out);
+
+}  // namespace rangesyn
+
+#endif  // RANGESYN_CORE_STRINGS_H_

@@ -1,0 +1,250 @@
+#include "data/distribution.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "core/logging.h"
+#include "core/mathutil.h"
+#include "core/strings.h"
+
+namespace rangesyn {
+namespace {
+
+/// Rearranges sorted-descending frequencies according to `placement`.
+std::vector<double> Place(std::vector<double> descending,
+                          Placement placement, Rng* rng) {
+  const size_t n = descending.size();
+  switch (placement) {
+    case Placement::kDecreasing:
+      return descending;
+    case Placement::kIncreasing: {
+      std::reverse(descending.begin(), descending.end());
+      return descending;
+    }
+    case Placement::kAlternating: {
+      std::vector<double> out(n);
+      size_t lo = 0, hi = n - 1;
+      for (size_t i = 0; i < n; ++i) {
+        out[i] = (i % 2 == 0) ? descending[lo++] : descending[hi--];
+      }
+      return out;
+    }
+    case Placement::kRandom: {
+      // Fisher-Yates with the library rng for determinism.
+      for (size_t i = n; i > 1; --i) {
+        const size_t j = static_cast<size_t>(rng->NextBounded(i));
+        std::swap(descending[i - 1], descending[j]);
+      }
+      return descending;
+    }
+  }
+  return descending;
+}
+
+}  // namespace
+
+Result<std::vector<double>> ZipfFrequencies(const ZipfOptions& options,
+                                            Rng* rng) {
+  if (options.n < 1) return InvalidArgumentError("Zipf: n must be >= 1");
+  if (options.alpha < 0) {
+    return InvalidArgumentError("Zipf: alpha must be >= 0");
+  }
+  if (options.total_volume <= 0) {
+    return InvalidArgumentError("Zipf: total_volume must be > 0");
+  }
+  std::vector<double> freq(options.n);
+  double norm = 0.0;
+  for (int64_t k = 1; k <= options.n; ++k) {
+    norm += std::pow(static_cast<double>(k), -options.alpha);
+  }
+  for (int64_t k = 1; k <= options.n; ++k) {
+    freq[k - 1] = options.total_volume *
+                  std::pow(static_cast<double>(k), -options.alpha) / norm;
+  }
+  return Place(std::move(freq), options.placement, rng);
+}
+
+Result<std::vector<double>> UniformFrequencies(int64_t n, double lo,
+                                               double hi, Rng* rng) {
+  if (n < 1) return InvalidArgumentError("Uniform: n must be >= 1");
+  if (lo > hi) return InvalidArgumentError("Uniform: lo must be <= hi");
+  if (lo < 0) return InvalidArgumentError("Uniform: frequencies must be >= 0");
+  std::vector<double> freq(n);
+  for (auto& f : freq) f = rng->NextDouble(lo, hi);
+  return freq;
+}
+
+Result<std::vector<double>> GaussianMixtureFrequencies(
+    const GaussianMixtureOptions& options, Rng* rng) {
+  if (options.n < 1) return InvalidArgumentError("Gauss: n must be >= 1");
+  if (options.num_bumps < 1) {
+    return InvalidArgumentError("Gauss: num_bumps must be >= 1");
+  }
+  if (options.min_sigma <= 0 || options.max_sigma < options.min_sigma) {
+    return InvalidArgumentError("Gauss: need 0 < min_sigma <= max_sigma");
+  }
+  std::vector<double> freq(options.n, 0.0);
+  for (int b = 0; b < options.num_bumps; ++b) {
+    const double center = rng->NextDouble(0.0, static_cast<double>(options.n));
+    const double sigma = rng->NextDouble(options.min_sigma, options.max_sigma);
+    const double weight = rng->NextDouble(0.5, 1.5);
+    for (int64_t i = 0; i < options.n; ++i) {
+      const double z = (static_cast<double>(i) + 0.5 - center) / sigma;
+      freq[i] += weight * std::exp(-0.5 * z * z);
+    }
+  }
+  const double mass = std::accumulate(freq.begin(), freq.end(), 0.0);
+  RANGESYN_CHECK_GT(mass, 0.0);
+  for (auto& f : freq) f *= options.total_volume / mass;
+  return freq;
+}
+
+Result<std::vector<double>> StepFrequencies(int64_t n, int num_steps,
+                                            double max_level, Rng* rng) {
+  if (n < 1) return InvalidArgumentError("Step: n must be >= 1");
+  if (num_steps < 1 || num_steps > n) {
+    return InvalidArgumentError("Step: need 1 <= num_steps <= n");
+  }
+  if (max_level <= 0) return InvalidArgumentError("Step: max_level must be > 0");
+  // Choose num_steps-1 distinct interior breakpoints.
+  std::vector<int64_t> breaks;
+  breaks.push_back(0);
+  while (static_cast<int>(breaks.size()) < num_steps) {
+    const int64_t b = rng->NextInt(1, n - 1);
+    if (std::find(breaks.begin(), breaks.end(), b) == breaks.end()) {
+      breaks.push_back(b);
+    }
+  }
+  breaks.push_back(n);
+  std::sort(breaks.begin(), breaks.end());
+  std::vector<double> freq(n);
+  for (size_t s = 0; s + 1 < breaks.size(); ++s) {
+    const double level = rng->NextDouble(0.0, max_level);
+    for (int64_t i = breaks[s]; i < breaks[s + 1]; ++i) freq[i] = level;
+  }
+  return freq;
+}
+
+Result<std::vector<double>> SpikeFrequencies(int64_t n, int num_spikes,
+                                             double background,
+                                             double spike_mass, Rng* rng) {
+  if (n < 1) return InvalidArgumentError("Spike: n must be >= 1");
+  if (num_spikes < 0 || num_spikes > n) {
+    return InvalidArgumentError("Spike: need 0 <= num_spikes <= n");
+  }
+  if (background < 0 || spike_mass < 0) {
+    return InvalidArgumentError("Spike: masses must be >= 0");
+  }
+  std::vector<double> freq(n, background);
+  std::vector<int64_t> positions(n);
+  std::iota(positions.begin(), positions.end(), 0);
+  for (int s = 0; s < num_spikes; ++s) {
+    const size_t remaining = positions.size() - static_cast<size_t>(s);
+    const size_t j =
+        static_cast<size_t>(s) + static_cast<size_t>(rng->NextBounded(remaining));
+    std::swap(positions[s], positions[j]);
+    freq[positions[s]] += spike_mass * rng->NextDouble(0.5, 1.5);
+  }
+  return freq;
+}
+
+Result<std::vector<double>> SelfSimilarFrequencies(int64_t n, double bias,
+                                                   double total_volume,
+                                                   Rng* rng) {
+  if (n < 1 || !IsPowerOfTwo(static_cast<uint64_t>(n))) {
+    return InvalidArgumentError("SelfSimilar: n must be a power of two");
+  }
+  if (bias <= 0.0 || bias >= 1.0) {
+    return InvalidArgumentError("SelfSimilar: bias must be in (0,1)");
+  }
+  if (total_volume <= 0) {
+    return InvalidArgumentError("SelfSimilar: total_volume must be > 0");
+  }
+  std::vector<double> freq(n, 0.0);
+  // Recursive b-model: split mass between halves with a randomly oriented
+  // bias at every level.
+  struct Frame {
+    int64_t lo, len;
+    double mass;
+  };
+  std::vector<Frame> stack{{0, n, total_volume}};
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    if (f.len == 1) {
+      freq[f.lo] += f.mass;
+      continue;
+    }
+    const double left = rng->NextBool() ? bias : (1.0 - bias);
+    stack.push_back({f.lo, f.len / 2, f.mass * left});
+    stack.push_back({f.lo + f.len / 2, f.len / 2, f.mass * (1.0 - left)});
+  }
+  return freq;
+}
+
+Result<std::vector<double>> CuspFrequencies(int64_t n, double alpha,
+                                            double total_volume) {
+  if (n < 1) return InvalidArgumentError("Cusp: n must be >= 1");
+  if (total_volume <= 0) {
+    return InvalidArgumentError("Cusp: total_volume must be > 0");
+  }
+  std::vector<double> freq(n);
+  const int64_t mid = n / 2;
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t dist = (i < mid) ? (mid - i) : (i - mid);
+    freq[i] = std::pow(static_cast<double>(dist + 1), -alpha);
+  }
+  const double mass = std::accumulate(freq.begin(), freq.end(), 0.0);
+  for (auto& f : freq) f *= total_volume / mass;
+  return freq;
+}
+
+Result<std::vector<double>> MakeNamedDistribution(const std::string& name,
+                                                  int64_t n,
+                                                  double total_volume,
+                                                  Rng* rng) {
+  if (name == "zipf") {
+    ZipfOptions opt;
+    opt.n = n;
+    opt.total_volume = total_volume;
+    return ZipfFrequencies(opt, rng);
+  }
+  if (name == "zipf_sorted") {
+    ZipfOptions opt;
+    opt.n = n;
+    opt.total_volume = total_volume;
+    opt.placement = Placement::kDecreasing;
+    return ZipfFrequencies(opt, rng);
+  }
+  if (name == "uniform") {
+    return UniformFrequencies(n, 0.0, 2.0 * total_volume / static_cast<double>(n),
+                              rng);
+  }
+  if (name == "gauss") {
+    GaussianMixtureOptions opt;
+    opt.n = n;
+    opt.total_volume = total_volume;
+    return GaussianMixtureFrequencies(opt, rng);
+  }
+  if (name == "step") {
+    return StepFrequencies(n, std::max<int>(2, static_cast<int>(n / 16)),
+                           2.0 * total_volume / static_cast<double>(n), rng);
+  }
+  if (name == "spike") {
+    return SpikeFrequencies(n, std::max<int>(1, static_cast<int>(n / 25)),
+                            total_volume / (4.0 * static_cast<double>(n)),
+                            total_volume / 20.0, rng);
+  }
+  if (name == "selfsim") {
+    const int64_t n2 = static_cast<int64_t>(NextPowerOfTwo(
+        static_cast<uint64_t>(n)));
+    return SelfSimilarFrequencies(n2, 0.8, total_volume, rng);
+  }
+  if (name == "cusp") {
+    return CuspFrequencies(n, 1.2, total_volume);
+  }
+  return InvalidArgumentError(StrCat("unknown distribution '", name, "'"));
+}
+
+}  // namespace rangesyn

@@ -1,0 +1,87 @@
+#ifndef RANGESYN_DATA_DISTRIBUTION_H_
+#define RANGESYN_DATA_DISTRIBUTION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/random.h"
+#include "core/result.h"
+
+namespace rangesyn {
+
+/// How generated frequency masses are laid out over the attribute domain.
+enum class Placement {
+  kDecreasing,   // heaviest frequency at position 1, monotone decreasing
+  kIncreasing,   // mirror image of kDecreasing
+  kRandom,       // random permutation of the frequency multiset
+  kAlternating,  // heavy/light interleaved (max, min, 2nd max, 2nd min, ...)
+};
+
+/// Parameters for the Zipf frequency generator. With `n` distinct attribute
+/// values the k-th largest frequency is proportional to 1/k^alpha, scaled so
+/// frequencies sum to `total_volume`. This is the generator behind the
+/// paper's experimental dataset ("Zipf distribution with tail exponent
+/// alpha = 1.8").
+struct ZipfOptions {
+  int64_t n = 127;
+  double alpha = 1.8;
+  double total_volume = 2000.0;
+  Placement placement = Placement::kRandom;
+};
+
+/// Generates real-valued Zipf frequencies. Requires n >= 1, alpha >= 0,
+/// total_volume > 0. The rng is used only for placement.
+Result<std::vector<double>> ZipfFrequencies(const ZipfOptions& options,
+                                            Rng* rng);
+
+/// Uniform iid frequencies in [lo, hi].
+Result<std::vector<double>> UniformFrequencies(int64_t n, double lo,
+                                               double hi, Rng* rng);
+
+/// Mixture of `k` Gaussian bumps over the domain with random centers,
+/// widths in [min_sigma, max_sigma] (in domain units) and total mass
+/// `total_volume`. Produces smooth multi-modal distributions.
+struct GaussianMixtureOptions {
+  int64_t n = 256;
+  int num_bumps = 5;
+  double min_sigma = 2.0;
+  double max_sigma = 16.0;
+  double total_volume = 10000.0;
+};
+Result<std::vector<double>> GaussianMixtureFrequencies(
+    const GaussianMixtureOptions& options, Rng* rng);
+
+/// Piecewise-constant distribution with `num_steps` random plateau levels —
+/// the best case for bucket-based synopses.
+Result<std::vector<double>> StepFrequencies(int64_t n, int num_steps,
+                                            double max_level, Rng* rng);
+
+/// Mostly-flat background with `num_spikes` isolated heavy values — the
+/// hard case that separates point-optimal from range-optimal synopses.
+Result<std::vector<double>> SpikeFrequencies(int64_t n, int num_spikes,
+                                             double background,
+                                             double spike_mass, Rng* rng);
+
+/// Self-similar ("80/20 law", b-model) distribution: mass splits between
+/// halves with ratio `bias` recursively. n must be a power of two.
+Result<std::vector<double>> SelfSimilarFrequencies(int64_t n, double bias,
+                                                   double total_volume,
+                                                   Rng* rng);
+
+/// "Cusp" distribution: increasing Zipf frequencies up to the middle of the
+/// domain, decreasing after (a classic histogram-literature shape).
+Result<std::vector<double>> CuspFrequencies(int64_t n, double alpha,
+                                            double total_volume);
+
+/// Named dataset factory used by benchmark harnesses:
+/// "zipf", "uniform", "gauss", "step", "spike", "selfsim", "cusp".
+/// `total_volume` applies where the family supports it.
+Result<std::vector<double>> MakeNamedDistribution(const std::string& name,
+                                                  int64_t n,
+                                                  double total_volume,
+                                                  Rng* rng);
+
+}  // namespace rangesyn
+
+#endif  // RANGESYN_DATA_DISTRIBUTION_H_

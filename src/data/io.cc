@@ -1,0 +1,106 @@
+#include "data/io.h"
+
+#include <fstream>
+
+#include "core/strings.h"
+
+namespace rangesyn {
+namespace {
+
+Result<std::vector<std::string>> ReadLines(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return NotFoundError(StrCat("cannot open '", path, "'"));
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::string_view stripped = StripWhitespace(line);
+    if (!stripped.empty()) lines.emplace_back(stripped);
+  }
+  return lines;
+}
+
+}  // namespace
+
+Status SaveDistributionCsv(const std::vector<int64_t>& data,
+                           const std::string& path) {
+  if (data.empty()) return InvalidArgumentError("SaveDistributionCsv: empty");
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return InternalError(StrCat("cannot open '", path, "'"));
+  out << "position,count\n";
+  for (size_t i = 0; i < data.size(); ++i) {
+    out << (i + 1) << "," << data[i] << "\n";
+  }
+  if (!out) return InternalError(StrCat("write to '", path, "' failed"));
+  return OkStatus();
+}
+
+Result<std::vector<int64_t>> LoadDistributionCsv(const std::string& path) {
+  RANGESYN_ASSIGN_OR_RETURN(std::vector<std::string> lines, ReadLines(path));
+  if (lines.empty()) return InvalidArgumentError("distribution CSV empty");
+  size_t start = 0;
+  if (StartsWith(lines[0], "position")) start = 1;
+  const size_t n = lines.size() - start;
+  if (n == 0) return InvalidArgumentError("distribution CSV has no rows");
+  std::vector<int64_t> data(n, -1);
+  for (size_t i = start; i < lines.size(); ++i) {
+    const std::vector<std::string> cells = StrSplit(lines[i], ',');
+    int64_t pos = 0, count = 0;
+    if (cells.size() != 2 || !ParseInt64(cells[0], &pos) ||
+        !ParseInt64(cells[1], &count)) {
+      return InvalidArgumentError(
+          StrCat("bad distribution CSV line: '", lines[i], "'"));
+    }
+    if (pos < 1 || pos > static_cast<int64_t>(n)) {
+      return InvalidArgumentError(
+          StrCat("position ", pos, " outside 1..", n));
+    }
+    if (count < 0) {
+      return InvalidArgumentError(StrCat("negative count at position ", pos));
+    }
+    if (data[static_cast<size_t>(pos - 1)] != -1) {
+      return InvalidArgumentError(StrCat("duplicate position ", pos));
+    }
+    data[static_cast<size_t>(pos - 1)] = count;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (data[i] == -1) {
+      return InvalidArgumentError(StrCat("missing position ", i + 1));
+    }
+  }
+  return data;
+}
+
+Status SaveWorkloadCsv(const std::vector<RangeQuery>& queries,
+                       const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return InternalError(StrCat("cannot open '", path, "'"));
+  out << "a,b\n";
+  for (const RangeQuery& q : queries) out << q.a << "," << q.b << "\n";
+  if (!out) return InternalError(StrCat("write to '", path, "' failed"));
+  return OkStatus();
+}
+
+Result<std::vector<RangeQuery>> LoadWorkloadCsv(const std::string& path) {
+  RANGESYN_ASSIGN_OR_RETURN(std::vector<std::string> lines, ReadLines(path));
+  std::vector<RangeQuery> out;
+  size_t start = 0;
+  if (!lines.empty() && StartsWith(lines[0], "a")) start = 1;
+  out.reserve(lines.size());
+  for (size_t i = start; i < lines.size(); ++i) {
+    const std::vector<std::string> cells = StrSplit(lines[i], ',');
+    RangeQuery q;
+    if (cells.size() != 2 || !ParseInt64(cells[0], &q.a) ||
+        !ParseInt64(cells[1], &q.b)) {
+      return InvalidArgumentError(
+          StrCat("bad workload CSV line: '", lines[i], "'"));
+    }
+    if (q.a < 1 || q.a > q.b) {
+      return InvalidArgumentError(
+          StrCat("bad query [", q.a, ",", q.b, "] in workload CSV"));
+    }
+    out.push_back(q);
+  }
+  return out;
+}
+
+}  // namespace rangesyn

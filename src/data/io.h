@@ -1,0 +1,35 @@
+#ifndef RANGESYN_DATA_IO_H_
+#define RANGESYN_DATA_IO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/result.h"
+#include "data/workload.h"
+
+namespace rangesyn {
+
+/// Plain-text persistence for datasets and query logs, so experiments can
+/// be pinned to files and external traces can be loaded.
+
+/// Writes one count per line ("position,count" with a header).
+Status SaveDistributionCsv(const std::vector<int64_t>& data,
+                           const std::string& path);
+
+/// Reads a file written by SaveDistributionCsv (or any two-column CSV of
+/// "position,count" with positions 1..n appearing exactly once, in any
+/// order). Validates completeness and non-negativity.
+Result<std::vector<int64_t>> LoadDistributionCsv(const std::string& path);
+
+/// Writes a query log as "a,b" lines with a header.
+Status SaveWorkloadCsv(const std::vector<RangeQuery>& queries,
+                       const std::string& path);
+
+/// Reads a query log; validates 1 <= a <= b (the domain bound is the
+/// caller's to check).
+Result<std::vector<RangeQuery>> LoadWorkloadCsv(const std::string& path);
+
+}  // namespace rangesyn
+
+#endif  // RANGESYN_DATA_IO_H_

@@ -1,0 +1,76 @@
+#include "data/rounding.h"
+
+#include <cmath>
+#include <numeric>
+
+#include "core/mathutil.h"
+#include "core/strings.h"
+#include "data/distribution.h"
+
+namespace rangesyn {
+
+Result<std::vector<int64_t>> RandomRound(const std::vector<double>& values,
+                                         RandomRoundingMode mode, Rng* rng) {
+  std::vector<int64_t> out(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    const double v = values[i];
+    if (!std::isfinite(v) || v < 0.0) {
+      return InvalidArgumentError(
+          StrCat("RandomRound: value at index ", i, " is ", v,
+                 "; need finite non-negative"));
+    }
+    const double lo = std::floor(v);
+    const double frac = v - lo;
+    int64_t r;
+    switch (mode) {
+      case RandomRoundingMode::kHalf:
+        // Exact integers stay put; otherwise flip a fair coin.
+        r = static_cast<int64_t>(lo) +
+            ((frac > 0.0 && rng->NextBool(0.5)) ? 1 : 0);
+        break;
+      case RandomRoundingMode::kUnbiased:
+        r = static_cast<int64_t>(lo) + (rng->NextBool(frac) ? 1 : 0);
+        break;
+      case RandomRoundingMode::kNearest:
+        r = RoundHalfToEven(v);
+        break;
+      default:
+        return InvalidArgumentError("RandomRound: unknown mode");
+    }
+    out[i] = r < 0 ? 0 : r;
+  }
+  return out;
+}
+
+Result<std::vector<int64_t>> ScaleAndRound(const std::vector<double>& values,
+                                           double target_total,
+                                           RandomRoundingMode mode,
+                                           Rng* rng) {
+  if (target_total <= 0) {
+    return InvalidArgumentError("ScaleAndRound: target_total must be > 0");
+  }
+  const double total = std::accumulate(values.begin(), values.end(), 0.0);
+  if (total <= 0) {
+    return InvalidArgumentError("ScaleAndRound: values sum to zero");
+  }
+  std::vector<double> scaled(values.size());
+  const double factor = target_total / total;
+  for (size_t i = 0; i < values.size(); ++i) scaled[i] = values[i] * factor;
+  return RandomRound(scaled, mode, rng);
+}
+
+Result<std::vector<int64_t>> MakePaperDataset(
+    const PaperDatasetOptions& options) {
+  Rng rng(options.seed);
+  ZipfOptions zipf;
+  zipf.n = options.n;
+  zipf.alpha = options.alpha;
+  zipf.total_volume = options.total_volume;
+  zipf.placement =
+      options.random_placement ? Placement::kRandom : Placement::kDecreasing;
+  RANGESYN_ASSIGN_OR_RETURN(std::vector<double> floats,
+                            ZipfFrequencies(zipf, &rng));
+  return RandomRound(floats, RandomRoundingMode::kHalf, &rng);
+}
+
+}  // namespace rangesyn

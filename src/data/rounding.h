@@ -1,0 +1,52 @@
+#ifndef RANGESYN_DATA_ROUNDING_H_
+#define RANGESYN_DATA_ROUNDING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/random.h"
+#include "core/result.h"
+
+namespace rangesyn {
+
+/// Stochastic rounding policies for converting real-valued frequencies to
+/// the integer attribute-value counts the paper's algorithms operate on.
+enum class RandomRoundingMode {
+  /// Round up or down with probability 1/2 each (the paper's §4 recipe:
+  /// "created after doing random rounding, up or down with probability
+  /// 1/2, of floats").
+  kHalf,
+  /// Unbiased: round up with probability frac(x), so E[round(x)] = x.
+  kUnbiased,
+  /// Deterministic round-to-nearest (ties to even); no rng used.
+  kNearest,
+};
+
+/// Randomly rounds each entry to an adjacent integer per `mode`, clamping
+/// at zero (frequencies cannot be negative). Values must be finite and
+/// non-negative.
+Result<std::vector<int64_t>> RandomRound(const std::vector<double>& values,
+                                         RandomRoundingMode mode, Rng* rng);
+
+/// Scales `values` so they sum to `target_total` and then rounds per `mode`.
+/// Useful for producing integer datasets with a controlled total volume
+/// (which bounds the Λ state space of the OPT-A dynamic program).
+Result<std::vector<int64_t>> ScaleAndRound(const std::vector<double>& values,
+                                           double target_total,
+                                           RandomRoundingMode mode, Rng* rng);
+
+/// The paper's experimental dataset in one call: n integer keys obtained by
+/// random rounding of Zipf(alpha) floats. Deterministic given `seed`.
+struct PaperDatasetOptions {
+  int64_t n = 127;
+  double alpha = 1.8;
+  double total_volume = 2000.0;
+  uint64_t seed = 20010521;  // PODS 2001 conference date
+  bool random_placement = true;
+};
+Result<std::vector<int64_t>> MakePaperDataset(
+    const PaperDatasetOptions& options);
+
+}  // namespace rangesyn
+
+#endif  // RANGESYN_DATA_ROUNDING_H_

@@ -1,0 +1,112 @@
+#include "data/workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/logging.h"
+
+namespace rangesyn {
+
+std::vector<RangeQuery> AllRanges(int64_t n) {
+  RANGESYN_CHECK_GE(n, 1);
+  std::vector<RangeQuery> out;
+  out.reserve(static_cast<size_t>(n * (n + 1) / 2));
+  for (int64_t a = 1; a <= n; ++a) {
+    for (int64_t b = a; b <= n; ++b) out.push_back({a, b});
+  }
+  return out;
+}
+
+Result<std::vector<RangeQuery>> UniformRandomRanges(int64_t n, int64_t count,
+                                                    Rng* rng) {
+  if (n < 1) return InvalidArgumentError("UniformRandomRanges: n >= 1");
+  if (count < 0) return InvalidArgumentError("UniformRandomRanges: count >= 0");
+  std::vector<RangeQuery> out;
+  out.reserve(static_cast<size_t>(count));
+  for (int64_t i = 0; i < count; ++i) {
+    int64_t a = rng->NextInt(1, n);
+    int64_t b = rng->NextInt(1, n);
+    if (a > b) std::swap(a, b);
+    out.push_back({a, b});
+  }
+  return out;
+}
+
+Result<std::vector<RangeQuery>> ShortBiasedRanges(int64_t n, int64_t count,
+                                                  double mean_length,
+                                                  Rng* rng) {
+  if (n < 1) return InvalidArgumentError("ShortBiasedRanges: n >= 1");
+  if (count < 0) return InvalidArgumentError("ShortBiasedRanges: count >= 0");
+  if (mean_length < 1.0) {
+    return InvalidArgumentError("ShortBiasedRanges: mean_length >= 1");
+  }
+  // Geometric length with mean mean_length: success prob p = 1/mean_length.
+  const double p = 1.0 / mean_length;
+  std::vector<RangeQuery> out;
+  out.reserve(static_cast<size_t>(count));
+  for (int64_t i = 0; i < count; ++i) {
+    int64_t len = 1;
+    while (len < n && rng->NextDouble() > p) ++len;
+    const int64_t a = rng->NextInt(1, n - len + 1);
+    out.push_back({a, a + len - 1});
+  }
+  return out;
+}
+
+std::vector<RangeQuery> PointQueries(int64_t n) {
+  RANGESYN_CHECK_GE(n, 1);
+  std::vector<RangeQuery> out;
+  out.reserve(static_cast<size_t>(n));
+  for (int64_t i = 1; i <= n; ++i) out.push_back({i, i});
+  return out;
+}
+
+std::vector<RangeQuery> PrefixQueries(int64_t n) {
+  RANGESYN_CHECK_GE(n, 1);
+  std::vector<RangeQuery> out;
+  out.reserve(static_cast<size_t>(n));
+  for (int64_t b = 1; b <= n; ++b) out.push_back({1, b});
+  return out;
+}
+
+std::vector<RangeQuery> DyadicQueries(int64_t n) {
+  RANGESYN_CHECK_GE(n, 1);
+  std::vector<RangeQuery> out;
+  for (int64_t len = 1; len <= n; len *= 2) {
+    for (int64_t start = 1; start + len - 1 <= n; start += len) {
+      out.push_back({start, start + len - 1});
+    }
+  }
+  return out;
+}
+
+Result<std::vector<RangeQuery>> HotSpotRanges(int64_t n, int64_t count,
+                                              double center_fraction,
+                                              double spread_fraction,
+                                              Rng* rng) {
+  if (n < 1) return InvalidArgumentError("HotSpotRanges: n >= 1");
+  if (count < 0) return InvalidArgumentError("HotSpotRanges: count >= 0");
+  if (center_fraction < 0.0 || center_fraction > 1.0) {
+    return InvalidArgumentError("HotSpotRanges: center_fraction in [0,1]");
+  }
+  if (spread_fraction <= 0.0) {
+    return InvalidArgumentError("HotSpotRanges: spread_fraction > 0");
+  }
+  const double center = center_fraction * static_cast<double>(n);
+  const double spread = spread_fraction * static_cast<double>(n);
+  std::vector<RangeQuery> out;
+  out.reserve(static_cast<size_t>(count));
+  for (int64_t i = 0; i < count; ++i) {
+    const double c = center + spread * rng->NextGaussian();
+    const double half = std::fabs(spread * rng->NextGaussian()) / 2.0 + 0.5;
+    int64_t a = static_cast<int64_t>(std::llround(c - half));
+    int64_t b = static_cast<int64_t>(std::llround(c + half));
+    a = std::clamp<int64_t>(a, 1, n);
+    b = std::clamp<int64_t>(b, 1, n);
+    if (a > b) std::swap(a, b);
+    out.push_back({a, b});
+  }
+  return out;
+}
+
+}  // namespace rangesyn

@@ -1,0 +1,57 @@
+#ifndef RANGESYN_DATA_WORKLOAD_H_
+#define RANGESYN_DATA_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/random.h"
+#include "core/result.h"
+
+namespace rangesyn {
+
+/// A range-sum query over the attribute domain: sum of A[a..b] with
+/// 1 <= a <= b <= n (1-based, inclusive on both ends, the paper's
+/// convention).
+struct RangeQuery {
+  int64_t a = 1;
+  int64_t b = 1;
+
+  friend bool operator==(const RangeQuery&, const RangeQuery&) = default;
+};
+
+/// All n(n+1)/2 ranges in lexicographic order — the query population that
+/// defines the paper's SSE objective.
+std::vector<RangeQuery> AllRanges(int64_t n);
+
+/// `count` ranges with endpoints drawn uniformly from all ranges.
+Result<std::vector<RangeQuery>> UniformRandomRanges(int64_t n, int64_t count,
+                                                    Rng* rng);
+
+/// `count` short ranges: left endpoint uniform, length geometric with mean
+/// `mean_length` (clamped to the domain). Models drill-down workloads.
+Result<std::vector<RangeQuery>> ShortBiasedRanges(int64_t n, int64_t count,
+                                                  double mean_length,
+                                                  Rng* rng);
+
+/// All n equality (point) queries a == b.
+std::vector<RangeQuery> PointQueries(int64_t n);
+
+/// All n prefix ranges [1, b] — the hierarchical special case earlier work
+/// optimized for.
+std::vector<RangeQuery> PrefixQueries(int64_t n);
+
+/// All dyadic ranges [k*2^j + 1, (k+1)*2^j] that fit inside [1, n] — the
+/// other restricted family ("hierarchically-limited range queries")
+/// earlier work handled optimally. O(n) queries.
+std::vector<RangeQuery> DyadicQueries(int64_t n);
+
+/// `count` ranges whose centers follow a Gaussian around `center_fraction`
+/// of the domain — models hot-spot analytical workloads.
+Result<std::vector<RangeQuery>> HotSpotRanges(int64_t n, int64_t count,
+                                              double center_fraction,
+                                              double spread_fraction,
+                                              Rng* rng);
+
+}  // namespace rangesyn
+
+#endif  // RANGESYN_DATA_WORKLOAD_H_

@@ -1,0 +1,195 @@
+#include "engine/catalog.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "core/bytes.h"
+#include "core/strings.h"
+#include "engine/serialize.h"
+
+namespace rangesyn {
+
+Status SynopsisCatalog::RegisterColumn(const std::string& key,
+                                       const Column& column,
+                                       const SynopsisSpec& spec) {
+  RANGESYN_ASSIGN_OR_RETURN(AttributeDistribution dist,
+                            BuildDistribution(column));
+  return RegisterDistribution(key, std::move(dist), spec);
+}
+
+Status SynopsisCatalog::RegisterDistribution(const std::string& key,
+                                             AttributeDistribution dist,
+                                             const SynopsisSpec& spec) {
+  if (entries_.contains(key)) {
+    return AlreadyExistsError(StrCat("catalog entry '", key, "' exists"));
+  }
+  RANGESYN_ASSIGN_OR_RETURN(RangeEstimatorPtr estimator,
+                            BuildSynopsis(spec, dist.counts));
+  Entry entry;
+  entry.domain_lo = dist.domain_lo;
+  entry.domain_size = dist.domain_size();
+  entry.method = spec.method;
+  entry.estimator = std::move(estimator);
+  // The raw counts are not retained — the synopsis is the point.
+  entry.distribution.domain_lo = dist.domain_lo;
+  entries_.emplace(key, std::move(entry));
+  return OkStatus();
+}
+
+Result<const SynopsisCatalog::Entry*> SynopsisCatalog::Find(
+    const std::string& key) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    return NotFoundError(StrCat("no catalog entry '", key, "'"));
+  }
+  return &it->second;
+}
+
+Result<double> SynopsisCatalog::EstimateCountBetween(const std::string& key,
+                                                     int64_t lo,
+                                                     int64_t hi) const {
+  if (hi < lo) return InvalidArgumentError("EstimateCountBetween: hi < lo");
+  RANGESYN_ASSIGN_OR_RETURN(const Entry* entry, Find(key));
+  // Clip the value range to the registered domain.
+  const int64_t d_lo = entry->domain_lo;
+  const int64_t d_hi = entry->domain_lo + entry->domain_size - 1;
+  const int64_t c_lo = std::max(lo, d_lo);
+  const int64_t c_hi = std::min(hi, d_hi);
+  if (c_lo > c_hi) return 0.0;
+  const int64_t a = c_lo - d_lo + 1;
+  const int64_t b = c_hi - d_lo + 1;
+  return entry->estimator->EstimateRange(a, b);
+}
+
+Result<double> SynopsisCatalog::EstimateEquals(const std::string& key,
+                                               int64_t v) const {
+  return EstimateCountBetween(key, v, v);
+}
+
+Result<double> SynopsisCatalog::EstimateSelectivity(const std::string& key,
+                                                    int64_t lo,
+                                                    int64_t hi) const {
+  RANGESYN_ASSIGN_OR_RETURN(const Entry* entry, Find(key));
+  const int64_t d_lo = entry->domain_lo;
+  const int64_t d_hi = entry->domain_lo + entry->domain_size - 1;
+  RANGESYN_ASSIGN_OR_RETURN(double total,
+                            EstimateCountBetween(key, d_lo, d_hi));
+  if (total <= 0.0) return 0.0;
+  RANGESYN_ASSIGN_OR_RETURN(double hits, EstimateCountBetween(key, lo, hi));
+  return std::clamp(hits / total, 0.0, 1.0);
+}
+
+Result<double> SynopsisCatalog::EstimateConjunctionSelectivity(
+    const std::vector<Predicate>& predicates) const {
+  if (predicates.empty()) {
+    return InvalidArgumentError(
+        "EstimateConjunctionSelectivity: empty conjunction");
+  }
+  double selectivity = 1.0;
+  for (const Predicate& p : predicates) {
+    RANGESYN_ASSIGN_OR_RETURN(double s,
+                              EstimateSelectivity(p.key, p.lo, p.hi));
+    selectivity *= s;
+  }
+  return selectivity;
+}
+
+Result<int64_t> SynopsisCatalog::StorageWords(const std::string& key) const {
+  RANGESYN_ASSIGN_OR_RETURN(const Entry* entry, Find(key));
+  return entry->estimator->StorageWords();
+}
+
+int64_t SynopsisCatalog::TotalStorageWords() const {
+  int64_t total = 0;
+  for (const auto& [key, entry] : entries_) {
+    total += entry.estimator->StorageWords();
+  }
+  return total;
+}
+
+namespace {
+constexpr uint32_t kCatalogMagic = 0x52534343;  // "RSCC"
+constexpr uint8_t kCatalogVersion = 1;
+}  // namespace
+
+Result<std::string> SynopsisCatalog::Serialize() const {
+  ByteWriter w;
+  w.WriteU32(kCatalogMagic);
+  w.WriteU8(kCatalogVersion);
+  w.WriteU32(static_cast<uint32_t>(entries_.size()));
+  for (const auto& [key, entry] : entries_) {
+    w.WriteString(key);
+    w.WriteI64(entry.domain_lo);
+    w.WriteI64(entry.domain_size);
+    w.WriteString(entry.method);
+    RANGESYN_ASSIGN_OR_RETURN(std::string synopsis,
+                              SerializeSynopsis(*entry.estimator));
+    w.WriteString(synopsis);
+  }
+  return w.Release();
+}
+
+Result<SynopsisCatalog> SynopsisCatalog::Deserialize(
+    std::string_view bytes) {
+  ByteReader r(bytes);
+  RANGESYN_ASSIGN_OR_RETURN(uint32_t magic, r.ReadU32());
+  if (magic != kCatalogMagic) {
+    return InvalidArgumentError("catalog deserialize: bad magic");
+  }
+  RANGESYN_ASSIGN_OR_RETURN(uint8_t version, r.ReadU8());
+  if (version != kCatalogVersion) {
+    return InvalidArgumentError("catalog deserialize: bad version");
+  }
+  RANGESYN_ASSIGN_OR_RETURN(uint32_t count, r.ReadU32());
+  SynopsisCatalog catalog;
+  for (uint32_t i = 0; i < count; ++i) {
+    RANGESYN_ASSIGN_OR_RETURN(std::string key, r.ReadString());
+    Entry entry;
+    RANGESYN_ASSIGN_OR_RETURN(entry.domain_lo, r.ReadI64());
+    RANGESYN_ASSIGN_OR_RETURN(entry.domain_size, r.ReadI64());
+    RANGESYN_ASSIGN_OR_RETURN(entry.method, r.ReadString());
+    RANGESYN_ASSIGN_OR_RETURN(std::string synopsis, r.ReadString());
+    RANGESYN_ASSIGN_OR_RETURN(entry.estimator,
+                              DeserializeSynopsis(synopsis));
+    if (entry.domain_size != entry.estimator->domain_size()) {
+      return InvalidArgumentError(
+          StrCat("catalog deserialize: domain mismatch for '", key, "'"));
+    }
+    entry.distribution.domain_lo = entry.domain_lo;
+    if (!catalog.entries_.emplace(std::move(key), std::move(entry)).second) {
+      return InvalidArgumentError("catalog deserialize: duplicate key");
+    }
+  }
+  return catalog;
+}
+
+Status SynopsisCatalog::SaveToFile(const std::string& path) const {
+  RANGESYN_ASSIGN_OR_RETURN(std::string bytes, Serialize());
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return InternalError(StrCat("cannot open '", path, "'"));
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!out) return InternalError(StrCat("write to '", path, "' failed"));
+  return OkStatus();
+}
+
+Result<SynopsisCatalog> SynopsisCatalog::LoadFromFile(
+    const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return NotFoundError(StrCat("cannot open '", path, "'"));
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  return Deserialize(bytes);
+}
+
+std::vector<SynopsisCatalog::EntryInfo> SynopsisCatalog::ListEntries() const {
+  std::vector<EntryInfo> out;
+  out.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) {
+    out.push_back({key, entry.method, entry.estimator->StorageWords(),
+                   entry.domain_lo,
+                   entry.domain_lo + entry.domain_size - 1});
+  }
+  return out;
+}
+
+}  // namespace rangesyn

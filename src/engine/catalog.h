@@ -1,0 +1,114 @@
+#ifndef RANGESYN_ENGINE_CATALOG_H_
+#define RANGESYN_ENGINE_CATALOG_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/estimator.h"
+#include "core/result.h"
+#include "engine/factory.h"
+#include "engine/table.h"
+
+namespace rangesyn {
+
+/// Statistics catalog: one synopsis per registered column, with storage
+/// accounting. This is the component a query optimizer or approximate
+/// query processor would consult instead of scanning the table.
+class SynopsisCatalog {
+ public:
+  SynopsisCatalog() = default;
+
+  // Move-only (owns estimators).
+  SynopsisCatalog(SynopsisCatalog&&) noexcept = default;
+  SynopsisCatalog& operator=(SynopsisCatalog&&) noexcept = default;
+  SynopsisCatalog(const SynopsisCatalog&) = delete;
+  SynopsisCatalog& operator=(const SynopsisCatalog&) = delete;
+
+  /// Builds and registers a synopsis for `column` under `key` (e.g.
+  /// "orders.price"). The distribution is derived from the column's own
+  /// value bounds.
+  Status RegisterColumn(const std::string& key, const Column& column,
+                        const SynopsisSpec& spec);
+
+  /// Registers a synopsis over an explicit, pre-built distribution.
+  Status RegisterDistribution(const std::string& key,
+                              AttributeDistribution distribution,
+                              const SynopsisSpec& spec);
+
+  bool Contains(const std::string& key) const {
+    return entries_.contains(key);
+  }
+
+  /// Estimated COUNT(*) WHERE lo <= value <= hi against the synopsis for
+  /// `key`. Value ranges are clipped to the registered domain; a range
+  /// entirely outside it estimates 0.
+  Result<double> EstimateCountBetween(const std::string& key, int64_t lo,
+                                      int64_t hi) const;
+
+  /// Estimated number of records with value exactly `v`.
+  Result<double> EstimateEquals(const std::string& key, int64_t v) const;
+
+  /// Estimated selectivity (fraction of rows) of lo <= value <= hi, using
+  /// the synopsis' own estimate of the total row count as denominator.
+  Result<double> EstimateSelectivity(const std::string& key, int64_t lo,
+                                     int64_t hi) const;
+
+  /// One range predicate of a conjunction.
+  struct Predicate {
+    std::string key;
+    int64_t lo = 0;
+    int64_t hi = 0;
+  };
+
+  /// Estimated selectivity of a conjunction of range predicates over
+  /// distinct columns under the classical attribute-value-independence
+  /// assumption: the product of per-column selectivities. (The standard
+  /// optimizer heuristic; correlated columns need joint statistics, which
+  /// single-column synopses cannot provide.)
+  Result<double> EstimateConjunctionSelectivity(
+      const std::vector<Predicate>& predicates) const;
+
+  /// Storage (words) of one entry / of the whole catalog.
+  Result<int64_t> StorageWords(const std::string& key) const;
+  int64_t TotalStorageWords() const;
+
+  /// Serializes every entry (keys, domain metadata, synopsis bytes) into
+  /// one buffer; Deserialize restores an equivalent catalog. This is what
+  /// a database would persist across restarts instead of rebuilding
+  /// statistics from table scans.
+  Result<std::string> Serialize() const;
+  static Result<SynopsisCatalog> Deserialize(std::string_view bytes);
+
+  /// File convenience wrappers around Serialize/Deserialize.
+  Status SaveToFile(const std::string& path) const;
+  static Result<SynopsisCatalog> LoadFromFile(const std::string& path);
+
+  /// Registered keys with method names, for introspection.
+  struct EntryInfo {
+    std::string key;
+    std::string method;
+    int64_t storage_words = 0;
+    int64_t domain_lo = 0;
+    int64_t domain_hi = 0;
+  };
+  std::vector<EntryInfo> ListEntries() const;
+
+ private:
+  struct Entry {
+    AttributeDistribution distribution;  // counts cleared after build
+    int64_t domain_lo = 0;
+    int64_t domain_size = 0;
+    std::string method;
+    RangeEstimatorPtr estimator;
+  };
+
+  Result<const Entry*> Find(const std::string& key) const;
+
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace rangesyn
+
+#endif  // RANGESYN_ENGINE_CATALOG_H_

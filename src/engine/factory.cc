@@ -1,0 +1,157 @@
+#include "engine/factory.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "core/strings.h"
+#include "histogram/builders.h"
+#include "histogram/opt_a_dp.h"
+#include "histogram/reopt.h"
+#include "wavelet/selection.h"
+
+namespace rangesyn {
+namespace {
+
+int64_t UnitsForBudget(int64_t budget_words, int64_t words_per_unit) {
+  return std::max<int64_t>(1, budget_words / words_per_unit);
+}
+
+template <typename T>
+RangeEstimatorPtr Wrap(T value) {
+  return std::make_unique<T>(std::move(value));
+}
+
+}  // namespace
+
+std::vector<std::string> KnownSynopsisMethods() {
+  return {"naive",    "equiwidth",   "equidepth",      "maxdiff",
+          "vopt",     "pointopt",    "a0",             "sap0",
+          "sap1",     "sap2",        "prefixopt",   "opta",        "opta-rounded",   "equidepth-reopt",
+          "a0-reopt", "opta-reopt",  "wave-point",     "topbb",
+          "wave-range-opt"};
+}
+
+Result<int64_t> WordsPerUnit(const std::string& method) {
+  if (method == "naive") return 1;
+  if (method == "sap0") return 3;
+  if (method == "sap1") return 5;
+  if (method == "sap2") return 7;
+  if (method == "equiwidth" || method == "equidepth" || method == "maxdiff" ||
+      method == "vopt" || method == "pointopt" || method == "a0" ||
+      method == "prefixopt" ||
+      method == "opta" || method == "opta-rounded" ||
+      method == "equidepth-reopt" || method == "a0-reopt" ||
+      method == "opta-reopt" || method == "wave-point" || method == "topbb" ||
+      method == "wave-range-opt") {
+    return 2;
+  }
+  return InvalidArgumentError(StrCat("unknown synopsis method '", method,
+                                     "'"));
+}
+
+Result<RangeEstimatorPtr> BuildSynopsis(const SynopsisSpec& spec,
+                                        const std::vector<int64_t>& data) {
+  RANGESYN_ASSIGN_OR_RETURN(const int64_t words_per_unit,
+                            WordsPerUnit(spec.method));
+  const int64_t units = UnitsForBudget(spec.budget_words, words_per_unit);
+  const std::string& m = spec.method;
+
+  if (m == "naive") {
+    RANGESYN_ASSIGN_OR_RETURN(NaiveEstimator e, BuildNaive(data));
+    return Wrap(std::move(e));
+  }
+  if (m == "equiwidth") {
+    RANGESYN_ASSIGN_OR_RETURN(AvgHistogram e, BuildEquiWidth(data, units));
+    return Wrap(std::move(e));
+  }
+  if (m == "equidepth") {
+    RANGESYN_ASSIGN_OR_RETURN(AvgHistogram e, BuildEquiDepth(data, units));
+    return Wrap(std::move(e));
+  }
+  if (m == "maxdiff") {
+    RANGESYN_ASSIGN_OR_RETURN(AvgHistogram e, BuildMaxDiff(data, units));
+    return Wrap(std::move(e));
+  }
+  if (m == "vopt") {
+    RANGESYN_ASSIGN_OR_RETURN(AvgHistogram e, BuildVOptimal(data, units));
+    return Wrap(std::move(e));
+  }
+  if (m == "pointopt") {
+    RANGESYN_ASSIGN_OR_RETURN(AvgHistogram e, BuildPointOpt(data, units));
+    return Wrap(std::move(e));
+  }
+  if (m == "a0") {
+    RANGESYN_ASSIGN_OR_RETURN(AvgHistogram e, BuildA0(data, units));
+    return Wrap(std::move(e));
+  }
+  if (m == "sap0") {
+    RANGESYN_ASSIGN_OR_RETURN(Sap0Histogram e, BuildSap0(data, units));
+    return Wrap(std::move(e));
+  }
+  if (m == "sap1") {
+    RANGESYN_ASSIGN_OR_RETURN(Sap1Histogram e, BuildSap1(data, units));
+    return Wrap(std::move(e));
+  }
+  if (m == "sap2") {
+    RANGESYN_ASSIGN_OR_RETURN(Sap2Histogram e, BuildSap2(data, units));
+    return Wrap(std::move(e));
+  }
+  if (m == "prefixopt") {
+    RANGESYN_ASSIGN_OR_RETURN(
+        AvgHistogram e,
+        BuildPrefixOpt(data, units, PieceRounding::kPerPiece));
+    return Wrap(std::move(e));
+  }
+  if (m == "opta") {
+    OptAOptions options;
+    options.max_buckets = units;
+    options.max_states = spec.max_states;
+    RANGESYN_ASSIGN_OR_RETURN(OptAResult r, BuildOptA(data, options));
+    return Wrap(std::move(r.histogram));
+  }
+  if (m == "opta-rounded") {
+    OptARoundedOptions options;
+    options.max_buckets = units;
+    options.granularity = spec.granularity;
+    options.max_states = spec.max_states;
+    RANGESYN_ASSIGN_OR_RETURN(OptAResult r, BuildOptARounded(data, options));
+    return Wrap(std::move(r.histogram));
+  }
+  if (m == "equidepth-reopt") {
+    RANGESYN_ASSIGN_OR_RETURN(AvgHistogram base,
+                              BuildEquiDepth(data, units));
+    RANGESYN_ASSIGN_OR_RETURN(AvgHistogram e, Reoptimize(data, base));
+    return Wrap(std::move(e));
+  }
+  if (m == "a0-reopt") {
+    RANGESYN_ASSIGN_OR_RETURN(AvgHistogram base, BuildA0(data, units));
+    RANGESYN_ASSIGN_OR_RETURN(AvgHistogram e, Reoptimize(data, base));
+    return Wrap(std::move(e));
+  }
+  if (m == "opta-reopt") {
+    OptAOptions options;
+    options.max_buckets = units;
+    options.max_states = spec.max_states;
+    RANGESYN_ASSIGN_OR_RETURN(OptAResult r, BuildOptA(data, options));
+    RANGESYN_ASSIGN_OR_RETURN(AvgHistogram e,
+                              Reoptimize(data, r.histogram));
+    return Wrap(std::move(e));
+  }
+  if (m == "wave-point") {
+    RANGESYN_ASSIGN_OR_RETURN(WaveletSynopsis e,
+                              BuildWavePoint(data, units));
+    return Wrap(std::move(e));
+  }
+  if (m == "topbb") {
+    RANGESYN_ASSIGN_OR_RETURN(WaveletSynopsis e, BuildTopBB(data, units));
+    return Wrap(std::move(e));
+  }
+  if (m == "wave-range-opt") {
+    RANGESYN_ASSIGN_OR_RETURN(WaveletSynopsis e,
+                              BuildWaveRangeOpt(data, units));
+    return Wrap(std::move(e));
+  }
+  return InvalidArgumentError(StrCat("unknown synopsis method '", m, "'"));
+}
+
+}  // namespace rangesyn

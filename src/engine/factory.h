@@ -1,0 +1,51 @@
+#ifndef RANGESYN_ENGINE_FACTORY_H_
+#define RANGESYN_ENGINE_FACTORY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/estimator.h"
+#include "core/result.h"
+
+namespace rangesyn {
+
+/// A request to build one synopsis under a storage budget measured in
+/// machine words — the accounting of the paper's Figure 1 x-axis. The
+/// factory converts the budget into the method's natural parameter
+/// (buckets or coefficients) using the per-method words-per-unit cost.
+struct SynopsisSpec {
+  /// One of KnownSynopsisMethods().
+  std::string method;
+
+  /// Storage budget in words; the built synopsis uses at most this much.
+  int64_t budget_words = 16;
+
+  /// OPT-A family only: rounding granularity for "opta-rounded"
+  /// (Definition 3's parameter x).
+  int64_t granularity = 2;
+
+  /// OPT-A family only: DP state safety cap.
+  uint64_t max_states = 50'000'000;
+};
+
+/// Methods the factory understands:
+///   "naive", "equiwidth", "equidepth", "maxdiff", "vopt", "pointopt",
+///   "a0", "sap0", "sap1", "sap2", "prefixopt", "opta", "opta-rounded",
+///   "equidepth-reopt", "a0-reopt", "opta-reopt",
+///   "wave-point", "topbb", "wave-range-opt".
+std::vector<std::string> KnownSynopsisMethods();
+
+/// Builds a synopsis for `data` per `spec`. The heavy constructions
+/// (pseudo-polynomial OPT-A) can fail with ResourceExhausted; everything
+/// else is polynomial.
+Result<RangeEstimatorPtr> BuildSynopsis(const SynopsisSpec& spec,
+                                        const std::vector<int64_t>& data);
+
+/// Words each stored unit (bucket / coefficient) of `method` costs, e.g.
+/// 2 for "opta", 3 for "sap0", 5 for "sap1". Fails on unknown methods.
+Result<int64_t> WordsPerUnit(const std::string& method);
+
+}  // namespace rangesyn
+
+#endif  // RANGESYN_ENGINE_FACTORY_H_

@@ -1,0 +1,79 @@
+#include "engine/query_ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/strings.h"
+
+namespace rangesyn {
+namespace {
+
+double PrefixEstimate(const RangeEstimator& est, int64_t x) {
+  return x < 1 ? 0.0 : est.EstimateRange(1, x);
+}
+
+double ClampedPoint(const RangeEstimator& est, int64_t i) {
+  return std::fmax(0.0, est.EstimatePoint(i));
+}
+
+}  // namespace
+
+Result<int64_t> EstimateQuantilePosition(const RangeEstimator& estimator,
+                                         double q) {
+  if (!(q > 0.0 && q < 1.0)) {
+    return InvalidArgumentError("EstimateQuantilePosition: q in (0,1)");
+  }
+  const int64_t n = estimator.domain_size();
+  const double total = PrefixEstimate(estimator, n);
+  if (total <= 0.0) {
+    return FailedPreconditionError(
+        "EstimateQuantilePosition: estimated total mass is not positive");
+  }
+  const double target = q * total;
+  // Binary search; exact for monotone prefix estimates (all histograms).
+  int64_t lo = 1, hi = n;
+  while (lo < hi) {
+    const int64_t mid = lo + (hi - lo) / 2;
+    if (PrefixEstimate(estimator, mid) >= target) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  // Local refinement for mildly non-monotone estimators (wavelet
+  // reconstructions can dip): walk left while the inequality still holds,
+  // right if it does not.
+  while (lo > 1 && PrefixEstimate(estimator, lo - 1) >= target) --lo;
+  while (lo < n && PrefixEstimate(estimator, lo) < target) ++lo;
+  return lo;
+}
+
+Result<double> EstimateEquiJoinSize(const RangeEstimator& r,
+                                    const RangeEstimator& s) {
+  const int64_t n = std::min(r.domain_size(), s.domain_size());
+  if (n < 1) return InvalidArgumentError("EstimateEquiJoinSize: empty");
+  double join = 0.0;
+  for (int64_t v = 1; v <= n; ++v) {
+    join += ClampedPoint(r, v) * ClampedPoint(s, v);
+  }
+  return join;
+}
+
+Result<double> ExactEquiJoinSize(const std::vector<int64_t>& r,
+                                 const std::vector<int64_t>& s) {
+  if (r.empty() || s.empty()) {
+    return InvalidArgumentError("ExactEquiJoinSize: empty input");
+  }
+  const size_t n = std::min(r.size(), s.size());
+  double join = 0.0;
+  for (size_t v = 0; v < n; ++v) {
+    join += static_cast<double>(r[v]) * static_cast<double>(s[v]);
+  }
+  return join;
+}
+
+Result<double> EstimateSelfJoinSize(const RangeEstimator& estimator) {
+  return EstimateEquiJoinSize(estimator, estimator);
+}
+
+}  // namespace rangesyn

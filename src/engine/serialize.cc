@@ -1,0 +1,308 @@
+#include "engine/serialize.h"
+
+#include <fstream>
+#include <memory>
+
+#include "core/bytes.h"
+#include "core/strings.h"
+#include "histogram/histogram.h"
+#include "histogram/partition.h"
+#include "histogram/weighted_sap0.h"
+#include "wavelet/synopsis.h"
+
+namespace rangesyn {
+namespace {
+
+constexpr uint32_t kMagic = 0x52534e31;  // "RSN1"
+constexpr uint8_t kVersion = 1;
+
+enum class Kind : uint8_t {
+  kAvgHistogram = 1,
+  kSap0 = 2,
+  kSap1 = 3,
+  kNaive = 4,
+  kWavelet = 5,
+  kSap2 = 6,
+  kWeightedSap0 = 7,
+};
+
+void WriteHeader(ByteWriter* w, Kind kind) {
+  w->WriteU32(kMagic);
+  w->WriteU8(kVersion);
+  w->WriteU8(static_cast<uint8_t>(kind));
+}
+
+void WritePartition(ByteWriter* w, const Partition& p) {
+  w->WriteI64(p.n());
+  w->WriteI64Vector(p.ends());
+}
+
+Result<Partition> ReadPartition(ByteReader* r) {
+  RANGESYN_ASSIGN_OR_RETURN(int64_t n, r->ReadI64());
+  RANGESYN_ASSIGN_OR_RETURN(std::vector<int64_t> ends, r->ReadI64Vector());
+  return Partition::FromEnds(n, std::move(ends));
+}
+
+Result<RangeEstimatorPtr> ReadAvgHistogram(ByteReader* r) {
+  RANGESYN_ASSIGN_OR_RETURN(Partition partition, ReadPartition(r));
+  RANGESYN_ASSIGN_OR_RETURN(std::vector<double> values,
+                            r->ReadDoubleVector());
+  RANGESYN_ASSIGN_OR_RETURN(std::string name, r->ReadString());
+  RANGESYN_ASSIGN_OR_RETURN(uint8_t rounding, r->ReadU8());
+  if (rounding > static_cast<uint8_t>(PieceRounding::kWhole)) {
+    return InvalidArgumentError("deserialize: bad rounding mode");
+  }
+  RANGESYN_ASSIGN_OR_RETURN(
+      AvgHistogram hist,
+      AvgHistogram::Create(std::move(partition), std::move(values),
+                           std::move(name),
+                           static_cast<PieceRounding>(rounding)));
+  return RangeEstimatorPtr(
+      std::make_unique<AvgHistogram>(std::move(hist)));
+}
+
+Result<RangeEstimatorPtr> ReadSap0(ByteReader* r) {
+  RANGESYN_ASSIGN_OR_RETURN(Partition partition, ReadPartition(r));
+  RANGESYN_ASSIGN_OR_RETURN(std::vector<double> suff,
+                            r->ReadDoubleVector());
+  RANGESYN_ASSIGN_OR_RETURN(std::vector<double> pref,
+                            r->ReadDoubleVector());
+  RANGESYN_ASSIGN_OR_RETURN(
+      Sap0Histogram hist,
+      Sap0Histogram::FromSummaries(std::move(partition), std::move(suff),
+                                   std::move(pref)));
+  return RangeEstimatorPtr(
+      std::make_unique<Sap0Histogram>(std::move(hist)));
+}
+
+Result<RangeEstimatorPtr> ReadSap1(ByteReader* r) {
+  RANGESYN_ASSIGN_OR_RETURN(Partition partition, ReadPartition(r));
+  RANGESYN_ASSIGN_OR_RETURN(std::vector<double> ss, r->ReadDoubleVector());
+  RANGESYN_ASSIGN_OR_RETURN(std::vector<double> si, r->ReadDoubleVector());
+  RANGESYN_ASSIGN_OR_RETURN(std::vector<double> ps, r->ReadDoubleVector());
+  RANGESYN_ASSIGN_OR_RETURN(std::vector<double> pi, r->ReadDoubleVector());
+  RANGESYN_ASSIGN_OR_RETURN(
+      Sap1Histogram hist,
+      Sap1Histogram::FromSummaries(std::move(partition), std::move(ss),
+                                   std::move(si), std::move(ps),
+                                   std::move(pi)));
+  return RangeEstimatorPtr(
+      std::make_unique<Sap1Histogram>(std::move(hist)));
+}
+
+Result<RangeEstimatorPtr> ReadSap2(ByteReader* r) {
+  RANGESYN_ASSIGN_OR_RETURN(Partition partition, ReadPartition(r));
+  RANGESYN_ASSIGN_OR_RETURN(std::vector<double> flat_suff,
+                            r->ReadDoubleVector());
+  RANGESYN_ASSIGN_OR_RETURN(std::vector<double> flat_pref,
+                            r->ReadDoubleVector());
+  if (flat_suff.size() % 3 != 0 || flat_pref.size() != flat_suff.size()) {
+    return InvalidArgumentError("deserialize: bad SAP2 payload");
+  }
+  auto unflatten = [](const std::vector<double>& flat) {
+    std::vector<Sap2Histogram::Model> models(flat.size() / 3);
+    for (size_t k = 0; k < models.size(); ++k) {
+      models[k] = {flat[3 * k], flat[3 * k + 1], flat[3 * k + 2]};
+    }
+    return models;
+  };
+  RANGESYN_ASSIGN_OR_RETURN(
+      Sap2Histogram hist,
+      Sap2Histogram::FromSummaries(std::move(partition),
+                                   unflatten(flat_suff),
+                                   unflatten(flat_pref)));
+  return RangeEstimatorPtr(
+      std::make_unique<Sap2Histogram>(std::move(hist)));
+}
+
+Result<RangeEstimatorPtr> ReadWeightedSap0(ByteReader* r) {
+  RANGESYN_ASSIGN_OR_RETURN(Partition partition, ReadPartition(r));
+  RANGESYN_ASSIGN_OR_RETURN(std::vector<double> suff,
+                            r->ReadDoubleVector());
+  RANGESYN_ASSIGN_OR_RETURN(std::vector<double> pref,
+                            r->ReadDoubleVector());
+  RANGESYN_ASSIGN_OR_RETURN(std::vector<double> avg,
+                            r->ReadDoubleVector());
+  RANGESYN_ASSIGN_OR_RETURN(
+      WeightedSap0Histogram hist,
+      WeightedSap0Histogram::FromSummaries(std::move(partition),
+                                           std::move(suff), std::move(pref),
+                                           std::move(avg)));
+  return RangeEstimatorPtr(
+      std::make_unique<WeightedSap0Histogram>(std::move(hist)));
+}
+
+Result<RangeEstimatorPtr> ReadNaive(ByteReader* r) {
+  RANGESYN_ASSIGN_OR_RETURN(int64_t n, r->ReadI64());
+  RANGESYN_ASSIGN_OR_RETURN(double avg, r->ReadDouble());
+  RANGESYN_ASSIGN_OR_RETURN(NaiveEstimator est,
+                            NaiveEstimator::FromAverage(n, avg));
+  return RangeEstimatorPtr(
+      std::make_unique<NaiveEstimator>(std::move(est)));
+}
+
+Result<RangeEstimatorPtr> ReadWavelet(ByteReader* r) {
+  RANGESYN_ASSIGN_OR_RETURN(int64_t padded, r->ReadI64());
+  RANGESYN_ASSIGN_OR_RETURN(int64_t n, r->ReadI64());
+  RANGESYN_ASSIGN_OR_RETURN(uint8_t domain, r->ReadU8());
+  if (domain > static_cast<uint8_t>(WaveletDomain::kPrefix)) {
+    return InvalidArgumentError("deserialize: bad wavelet domain");
+  }
+  RANGESYN_ASSIGN_OR_RETURN(std::string name, r->ReadString());
+  RANGESYN_ASSIGN_OR_RETURN(std::vector<int64_t> indices,
+                            r->ReadI64Vector());
+  RANGESYN_ASSIGN_OR_RETURN(std::vector<double> values,
+                            r->ReadDoubleVector());
+  if (indices.size() != values.size()) {
+    return InvalidArgumentError("deserialize: wavelet payload mismatch");
+  }
+  std::vector<WaveletCoefficient> coeffs(indices.size());
+  for (size_t i = 0; i < indices.size(); ++i) {
+    coeffs[i] = {indices[i], values[i]};
+  }
+  RANGESYN_ASSIGN_OR_RETURN(
+      WaveletSynopsis synopsis,
+      WaveletSynopsis::Create(std::move(coeffs), padded, n,
+                              static_cast<WaveletDomain>(domain),
+                              std::move(name)));
+  return RangeEstimatorPtr(
+      std::make_unique<WaveletSynopsis>(std::move(synopsis)));
+}
+
+}  // namespace
+
+Result<std::string> SerializeSynopsis(const RangeEstimator& estimator) {
+  ByteWriter w;
+  if (const auto* h = dynamic_cast<const AvgHistogram*>(&estimator)) {
+    WriteHeader(&w, Kind::kAvgHistogram);
+    WritePartition(&w, h->partition());
+    w.WriteDoubleVector(h->values());
+    w.WriteString(h->Name());
+    w.WriteU8(static_cast<uint8_t>(h->rounding()));
+    return w.Release();
+  }
+  if (const auto* h = dynamic_cast<const Sap0Histogram*>(&estimator)) {
+    WriteHeader(&w, Kind::kSap0);
+    WritePartition(&w, h->partition());
+    w.WriteDoubleVector(h->suffix_values());
+    w.WriteDoubleVector(h->prefix_values());
+    return w.Release();
+  }
+  if (const auto* h = dynamic_cast<const Sap1Histogram*>(&estimator)) {
+    WriteHeader(&w, Kind::kSap1);
+    WritePartition(&w, h->partition());
+    w.WriteDoubleVector(h->suffix_slopes());
+    w.WriteDoubleVector(h->suffix_intercepts());
+    w.WriteDoubleVector(h->prefix_slopes());
+    w.WriteDoubleVector(h->prefix_intercepts());
+    return w.Release();
+  }
+  if (const auto* h = dynamic_cast<const Sap2Histogram*>(&estimator)) {
+    WriteHeader(&w, Kind::kSap2);
+    WritePartition(&w, h->partition());
+    auto flatten = [](const std::vector<Sap2Histogram::Model>& models) {
+      std::vector<double> flat;
+      flat.reserve(models.size() * 3);
+      for (const auto& m : models) {
+        flat.push_back(m.c0);
+        flat.push_back(m.c1);
+        flat.push_back(m.c2);
+      }
+      return flat;
+    };
+    w.WriteDoubleVector(flatten(h->suffix_models()));
+    w.WriteDoubleVector(flatten(h->prefix_models()));
+    return w.Release();
+  }
+  if (const auto* h =
+          dynamic_cast<const WeightedSap0Histogram*>(&estimator)) {
+    WriteHeader(&w, Kind::kWeightedSap0);
+    WritePartition(&w, h->partition());
+    w.WriteDoubleVector(h->suffix_values());
+    w.WriteDoubleVector(h->prefix_values());
+    w.WriteDoubleVector(h->averages());
+    return w.Release();
+  }
+  if (const auto* h = dynamic_cast<const NaiveEstimator*>(&estimator)) {
+    WriteHeader(&w, Kind::kNaive);
+    w.WriteI64(h->domain_size());
+    w.WriteDouble(h->average());
+    return w.Release();
+  }
+  if (const auto* h = dynamic_cast<const WaveletSynopsis*>(&estimator)) {
+    WriteHeader(&w, Kind::kWavelet);
+    w.WriteI64(h->padded_size());
+    w.WriteI64(h->domain_size());
+    w.WriteU8(static_cast<uint8_t>(h->domain()));
+    w.WriteString(h->Name());
+    std::vector<int64_t> indices;
+    std::vector<double> values;
+    indices.reserve(h->coefficients().size());
+    values.reserve(h->coefficients().size());
+    for (const WaveletCoefficient& c : h->coefficients()) {
+      indices.push_back(c.index);
+      values.push_back(c.value);
+    }
+    w.WriteI64Vector(indices);
+    w.WriteDoubleVector(values);
+    return w.Release();
+  }
+  return UnimplementedError(
+      StrCat("SerializeSynopsis: unsupported synopsis type '",
+             estimator.Name(), "'"));
+}
+
+Result<RangeEstimatorPtr> DeserializeSynopsis(std::string_view bytes) {
+  ByteReader r(bytes);
+  RANGESYN_ASSIGN_OR_RETURN(uint32_t magic, r.ReadU32());
+  if (magic != kMagic) {
+    return InvalidArgumentError("deserialize: bad magic");
+  }
+  RANGESYN_ASSIGN_OR_RETURN(uint8_t version, r.ReadU8());
+  if (version != kVersion) {
+    return InvalidArgumentError(
+        StrCat("deserialize: unsupported version ", version));
+  }
+  RANGESYN_ASSIGN_OR_RETURN(uint8_t kind, r.ReadU8());
+  switch (static_cast<Kind>(kind)) {
+    case Kind::kAvgHistogram:
+      return ReadAvgHistogram(&r);
+    case Kind::kSap0:
+      return ReadSap0(&r);
+    case Kind::kSap1:
+      return ReadSap1(&r);
+    case Kind::kSap2:
+      return ReadSap2(&r);
+    case Kind::kWeightedSap0:
+      return ReadWeightedSap0(&r);
+    case Kind::kNaive:
+      return ReadNaive(&r);
+    case Kind::kWavelet:
+      return ReadWavelet(&r);
+  }
+  return InvalidArgumentError(
+      StrCat("deserialize: unknown kind tag ", kind));
+}
+
+Status SaveSynopsisToFile(const RangeEstimator& estimator,
+                          const std::string& path) {
+  RANGESYN_ASSIGN_OR_RETURN(std::string bytes,
+                            SerializeSynopsis(estimator));
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return InternalError(StrCat("cannot open '", path, "' for writing"));
+  }
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!out) return InternalError(StrCat("write to '", path, "' failed"));
+  return OkStatus();
+}
+
+Result<RangeEstimatorPtr> LoadSynopsisFromFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return NotFoundError(StrCat("cannot open '", path, "'"));
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  return DeserializeSynopsis(bytes);
+}
+
+}  // namespace rangesyn

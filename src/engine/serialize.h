@@ -1,0 +1,36 @@
+#ifndef RANGESYN_ENGINE_SERIALIZE_H_
+#define RANGESYN_ENGINE_SERIALIZE_H_
+
+#include <string>
+
+#include "core/estimator.h"
+#include "core/result.h"
+
+namespace rangesyn {
+
+/// Binary persistence for synopses. The format is a small versioned
+/// little-endian encoding (magic, version, kind tag, then the concrete
+/// representation's stored words — exactly the quantities the paper's
+/// storage accounting charges for, plus the boundaries' metadata).
+///
+/// Round-trip guarantee: the deserialized synopsis answers every range
+/// query identically (bit-for-bit for histograms; the derived bucket
+/// averages of SAP0/SAP1 are recovered from the stored summaries).
+///
+/// Supported concrete types: AvgHistogram (covers OPT-A / A0 / POINT-OPT
+/// / equi-* / reopt), Sap0Histogram, Sap1Histogram, Sap2Histogram,
+/// WeightedSap0Histogram, NaiveEstimator, WaveletSynopsis.
+Result<std::string> SerializeSynopsis(const RangeEstimator& estimator);
+
+/// Parses a buffer produced by SerializeSynopsis. Corrupt or truncated
+/// inputs fail with InvalidArgument/OutOfRange, never crash.
+Result<RangeEstimatorPtr> DeserializeSynopsis(std::string_view bytes);
+
+/// Convenience file wrappers.
+Status SaveSynopsisToFile(const RangeEstimator& estimator,
+                          const std::string& path);
+Result<RangeEstimatorPtr> LoadSynopsisFromFile(const std::string& path);
+
+}  // namespace rangesyn
+
+#endif  // RANGESYN_ENGINE_SERIALIZE_H_

@@ -1,0 +1,111 @@
+#include "engine/table.h"
+
+#include <algorithm>
+
+#include "core/strings.h"
+
+namespace rangesyn {
+
+void Column::AppendBatch(const std::vector<int64_t>& values) {
+  values_.insert(values_.end(), values.begin(), values.end());
+}
+
+int64_t Column::CountRange(int64_t lo, int64_t hi) const {
+  int64_t count = 0;
+  for (int64_t v : values_) {
+    if (v >= lo && v <= hi) ++count;
+  }
+  return count;
+}
+
+int64_t Column::SumRange(int64_t lo, int64_t hi) const {
+  int64_t sum = 0;
+  for (int64_t v : values_) {
+    if (v >= lo && v <= hi) sum += v;
+  }
+  return sum;
+}
+
+Result<std::pair<int64_t, int64_t>> Column::ValueBounds() const {
+  if (values_.empty()) {
+    return FailedPreconditionError(
+        StrCat("column '", name_, "' is empty"));
+  }
+  const auto [lo, hi] = std::minmax_element(values_.begin(), values_.end());
+  return std::make_pair(*lo, *hi);
+}
+
+int64_t AttributeDistribution::PositionOf(int64_t v) const {
+  const int64_t pos = v - domain_lo + 1;
+  return std::clamp<int64_t>(pos, 1, domain_size());
+}
+
+Result<AttributeDistribution> BuildDistribution(const Column& column,
+                                                int64_t lo, int64_t hi,
+                                                int64_t max_domain) {
+  if (hi < lo) return InvalidArgumentError("BuildDistribution: hi < lo");
+  const int64_t domain = hi - lo + 1;
+  if (domain > max_domain) {
+    return ResourceExhaustedError(
+        StrCat("BuildDistribution: domain ", domain, " exceeds cap ",
+               max_domain,
+               " (pre-aggregate values into coarser buckets first)"));
+  }
+  AttributeDistribution out;
+  out.domain_lo = lo;
+  out.counts.assign(static_cast<size_t>(domain), 0);
+  for (int64_t v : column.values()) {
+    if (v >= lo && v <= hi) {
+      ++out.counts[static_cast<size_t>(v - lo)];
+    }
+  }
+  return out;
+}
+
+Result<AttributeDistribution> BuildDistribution(const Column& column,
+                                                int64_t max_domain) {
+  RANGESYN_ASSIGN_OR_RETURN(auto bounds, column.ValueBounds());
+  return BuildDistribution(column, bounds.first, bounds.second, max_domain);
+}
+
+Status Table::AddColumn(const std::string& column_name) {
+  if (num_rows_ > 0) {
+    return FailedPreconditionError(
+        "Table::AddColumn: cannot add columns after rows");
+  }
+  if (index_.contains(column_name)) {
+    return AlreadyExistsError(
+        StrCat("column '", column_name, "' already exists"));
+  }
+  index_.emplace(column_name, columns_.size());
+  columns_.emplace_back(column_name);
+  return OkStatus();
+}
+
+Status Table::AppendRow(const std::vector<int64_t>& row) {
+  if (row.size() != columns_.size()) {
+    return InvalidArgumentError(
+        StrCat("Table::AppendRow: got ", row.size(), " values for ",
+               columns_.size(), " columns"));
+  }
+  for (size_t i = 0; i < row.size(); ++i) columns_[i].Append(row[i]);
+  ++num_rows_;
+  return OkStatus();
+}
+
+Result<const Column*> Table::GetColumn(const std::string& column_name) const {
+  const auto it = index_.find(column_name);
+  if (it == index_.end()) {
+    return NotFoundError(StrCat("no column '", column_name, "'"));
+  }
+  return &columns_[it->second];
+}
+
+std::vector<std::string> Table::ColumnNames() const {
+  std::vector<std::string> out;
+  out.reserve(columns_.size());
+  for (const Column& c : columns_) out.push_back(c.name());
+  return out;
+}
+
+}  // namespace rangesyn

@@ -1,0 +1,94 @@
+#ifndef RANGESYN_ENGINE_TABLE_H_
+#define RANGESYN_ENGINE_TABLE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/result.h"
+
+namespace rangesyn {
+
+/// A single integer column of an in-memory table: the record values, plus
+/// the machinery to derive the attribute-value distribution (frequency
+/// vector) that synopses are built from.
+class Column {
+ public:
+  explicit Column(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  int64_t num_rows() const { return static_cast<int64_t>(values_.size()); }
+  const std::vector<int64_t>& values() const { return values_; }
+
+  void Append(int64_t value) { values_.push_back(value); }
+  void AppendBatch(const std::vector<int64_t>& values);
+
+  /// Exact COUNT(*) WHERE lo <= value <= hi. O(rows).
+  int64_t CountRange(int64_t lo, int64_t hi) const;
+
+  /// Exact SUM(value) WHERE lo <= value <= hi. O(rows).
+  int64_t SumRange(int64_t lo, int64_t hi) const;
+
+  /// Smallest and largest value; fails on an empty column.
+  Result<std::pair<int64_t, int64_t>> ValueBounds() const;
+
+ private:
+  std::string name_;
+  std::vector<int64_t> values_;
+};
+
+/// The attribute-value distribution of a column over an explicit domain:
+/// counts[i] = number of records with value = domain_lo + i. Synopses are
+/// built over `counts`; the mapping converts between record-value space
+/// and the 1-based positions the estimators use.
+struct AttributeDistribution {
+  int64_t domain_lo = 0;
+  std::vector<int64_t> counts;
+
+  int64_t domain_size() const { return static_cast<int64_t>(counts.size()); }
+  int64_t domain_hi() const { return domain_lo + domain_size() - 1; }
+
+  /// 1-based estimator position of record value `v` (clamped to domain).
+  int64_t PositionOf(int64_t v) const;
+};
+
+/// Builds the distribution of `column` over [lo, hi] (values outside are
+/// ignored). Fails if hi < lo or the domain exceeds `max_domain` slots.
+Result<AttributeDistribution> BuildDistribution(const Column& column,
+                                                int64_t lo, int64_t hi,
+                                                int64_t max_domain = 1 << 22);
+
+/// As above with bounds taken from the column itself.
+Result<AttributeDistribution> BuildDistribution(const Column& column,
+                                                int64_t max_domain = 1 << 22);
+
+/// A minimal in-memory table: named integer columns of equal length.
+class Table {
+ public:
+  explicit Table(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  int64_t num_rows() const { return num_rows_; }
+  int64_t num_columns() const { return static_cast<int64_t>(columns_.size()); }
+
+  /// Adds an empty column; fails if the name exists or rows were added.
+  Status AddColumn(const std::string& column_name);
+
+  /// Appends one row; `row` must have one value per column in AddColumn
+  /// order.
+  Status AppendRow(const std::vector<int64_t>& row);
+
+  Result<const Column*> GetColumn(const std::string& column_name) const;
+  std::vector<std::string> ColumnNames() const;
+
+ private:
+  std::string name_;
+  std::vector<Column> columns_;
+  std::map<std::string, size_t> index_;
+  int64_t num_rows_ = 0;
+};
+
+}  // namespace rangesyn
+
+#endif  // RANGESYN_ENGINE_TABLE_H_

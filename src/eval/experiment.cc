@@ -1,0 +1,91 @@
+#include "eval/experiment.h"
+
+#include <chrono>
+
+#include "eval/report.h"
+
+namespace rangesyn {
+
+Result<std::vector<ExperimentRow>> RunStorageSweep(
+    const std::vector<int64_t>& data, const SweepOptions& options) {
+  if (options.methods.empty() || options.budgets_words.empty()) {
+    return InvalidArgumentError("RunStorageSweep: empty grid");
+  }
+  std::vector<ExperimentRow> rows;
+  rows.reserve(options.methods.size() * options.budgets_words.size());
+  for (const std::string& method : options.methods) {
+    for (int64_t budget : options.budgets_words) {
+      ExperimentRow row;
+      row.method = method;
+      row.budget_words = budget;
+      SynopsisSpec spec;
+      spec.method = method;
+      spec.budget_words = budget;
+      spec.granularity = options.granularity;
+      spec.max_states = options.max_states;
+      const auto t0 = std::chrono::steady_clock::now();
+      Result<RangeEstimatorPtr> built = BuildSynopsis(spec, data);
+      const auto t1 = std::chrono::steady_clock::now();
+      row.build_seconds =
+          std::chrono::duration<double>(t1 - t0).count();
+      if (!built.ok()) {
+        if (!options.tolerate_failures) return built.status();
+        row.failed = true;
+        row.failure = built.status().ToString();
+        rows.push_back(std::move(row));
+        continue;
+      }
+      const RangeEstimatorPtr& est = built.value();
+      row.actual_words = est->StorageWords();
+      RANGESYN_ASSIGN_OR_RETURN(row.all_ranges, AllRangesStats(data, *est));
+      rows.push_back(std::move(row));
+    }
+  }
+  return rows;
+}
+
+void PrintSweep(const std::vector<ExperimentRow>& rows, std::ostream& os) {
+  TextTable table({"method", "budget(w)", "used(w)", "SSE", "RMSE",
+                   "max|err|", "build(s)"});
+  for (const ExperimentRow& row : rows) {
+    if (row.failed) {
+      table.AddRow({row.method, FormatG(static_cast<double>(row.budget_words)),
+                    "-", "FAILED", "-", "-", FormatG(row.build_seconds, 3)});
+      continue;
+    }
+    table.AddRow({row.method,
+                  FormatG(static_cast<double>(row.budget_words)),
+                  FormatG(static_cast<double>(row.actual_words)),
+                  FormatG(row.all_ranges.sse),
+                  FormatG(row.all_ranges.rmse, 4),
+                  FormatG(row.all_ranges.max_abs, 4),
+                  FormatG(row.build_seconds, 3)});
+  }
+  table.Print(os);
+}
+
+void PrintSweepCsv(const std::vector<ExperimentRow>& rows, std::ostream& os) {
+  TextTable table({"method", "budget_words", "used_words", "sse", "rmse",
+                   "max_abs", "build_seconds", "failed"});
+  for (const ExperimentRow& row : rows) {
+    table.AddRow({row.method, FormatG(static_cast<double>(row.budget_words)),
+                  FormatG(static_cast<double>(row.actual_words)),
+                  FormatG(row.all_ranges.sse, 12),
+                  FormatG(row.all_ranges.rmse, 8),
+                  FormatG(row.all_ranges.max_abs, 8),
+                  FormatG(row.build_seconds, 6), row.failed ? "1" : "0"});
+  }
+  table.PrintCsv(os);
+}
+
+const ExperimentRow* FindRow(const std::vector<ExperimentRow>& rows,
+                             const std::string& method, int64_t budget) {
+  for (const ExperimentRow& row : rows) {
+    if (row.method == method && row.budget_words == budget && !row.failed) {
+      return &row;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace rangesyn

@@ -1,0 +1,85 @@
+#include "eval/metrics.h"
+
+#include <cmath>
+
+#include "core/strings.h"
+#include "histogram/prefix_stats.h"
+
+namespace rangesyn {
+namespace {
+
+Status ValidateEvalInput(const std::vector<int64_t>& data,
+                         const RangeEstimator& estimator) {
+  if (data.empty()) return InvalidArgumentError("eval: empty data");
+  if (estimator.domain_size() != static_cast<int64_t>(data.size())) {
+    return InvalidArgumentError(
+        StrCat("eval: estimator domain ", estimator.domain_size(),
+               " != data size ", data.size()));
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+Result<ErrorStats> EvaluateOnWorkload(
+    const std::vector<int64_t>& data, const RangeEstimator& estimator,
+    const std::vector<RangeQuery>& queries) {
+  RANGESYN_RETURN_IF_ERROR(ValidateEvalInput(data, estimator));
+  PrefixStats stats(data);
+  const int64_t n = stats.n();
+  ErrorStats out;
+  for (const RangeQuery& q : queries) {
+    if (q.a < 1 || q.a > q.b || q.b > n) {
+      return InvalidArgumentError(
+          StrCat("eval: bad query [", q.a, ",", q.b, "] for n=", n));
+    }
+    const double truth = static_cast<double>(stats.Sum(q.a, q.b));
+    const double est = estimator.EstimateRange(q.a, q.b);
+    const double err = truth - est;
+    out.sse += err * err;
+    out.max_abs = std::fmax(out.max_abs, std::fabs(err));
+    out.mean_abs += std::fabs(err);
+    out.max_rel = std::fmax(out.max_rel,
+                            std::fabs(err) / std::fmax(1.0, truth));
+    ++out.count;
+  }
+  if (out.count > 0) {
+    out.mean_sq = out.sse / static_cast<double>(out.count);
+    out.rmse = std::sqrt(out.mean_sq);
+    out.mean_abs /= static_cast<double>(out.count);
+  }
+  return out;
+}
+
+Result<double> AllRangesSse(const std::vector<int64_t>& data,
+                            const RangeEstimator& estimator) {
+  RANGESYN_RETURN_IF_ERROR(ValidateEvalInput(data, estimator));
+  PrefixStats stats(data);
+  const int64_t n = stats.n();
+  double sse = 0.0;
+  for (int64_t a = 1; a <= n; ++a) {
+    for (int64_t b = a; b <= n; ++b) {
+      const double err = static_cast<double>(stats.Sum(a, b)) -
+                         estimator.EstimateRange(a, b);
+      sse += err * err;
+    }
+  }
+  return sse;
+}
+
+Result<ErrorStats> AllRangesStats(const std::vector<int64_t>& data,
+                                  const RangeEstimator& estimator) {
+  return EvaluateOnWorkload(
+      data, estimator, AllRanges(static_cast<int64_t>(data.size())));
+}
+
+Result<double> PointQuerySse(const std::vector<int64_t>& data,
+                             const RangeEstimator& estimator) {
+  RANGESYN_ASSIGN_OR_RETURN(
+      ErrorStats stats,
+      EvaluateOnWorkload(data, estimator,
+                         PointQueries(static_cast<int64_t>(data.size()))));
+  return stats.sse;
+}
+
+}  // namespace rangesyn

@@ -1,0 +1,45 @@
+#ifndef RANGESYN_EVAL_METRICS_H_
+#define RANGESYN_EVAL_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/estimator.h"
+#include "core/result.h"
+#include "data/workload.h"
+
+namespace rangesyn {
+
+/// Aggregate error statistics of an estimator over a query workload.
+struct ErrorStats {
+  double sse = 0.0;       // sum of squared errors (the paper's metric)
+  double mean_sq = 0.0;   // sse / count
+  double rmse = 0.0;      // sqrt(mean_sq)
+  double max_abs = 0.0;   // worst absolute error
+  double mean_abs = 0.0;  // average absolute error
+  double max_rel = 0.0;   // worst |err| / max(1, true value)
+  int64_t count = 0;      // number of queries evaluated
+};
+
+/// Evaluates `estimator` on an explicit workload against exact answers
+/// computed from `data`. Queries must satisfy 1 <= a <= b <= n.
+Result<ErrorStats> EvaluateOnWorkload(const std::vector<int64_t>& data,
+                                      const RangeEstimator& estimator,
+                                      const std::vector<RangeQuery>& queries);
+
+/// SSE over all n(n+1)/2 ranges — the objective every construction in the
+/// paper is measured by (Figure 1's y-axis).
+Result<double> AllRangesSse(const std::vector<int64_t>& data,
+                            const RangeEstimator& estimator);
+
+/// Full statistics over all ranges.
+Result<ErrorStats> AllRangesStats(const std::vector<int64_t>& data,
+                                  const RangeEstimator& estimator);
+
+/// SSE over the n point (equality) queries.
+Result<double> PointQuerySse(const std::vector<int64_t>& data,
+                             const RangeEstimator& estimator);
+
+}  // namespace rangesyn
+
+#endif  // RANGESYN_EVAL_METRICS_H_

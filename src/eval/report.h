@@ -1,0 +1,37 @@
+#ifndef RANGESYN_EVAL_REPORT_H_
+#define RANGESYN_EVAL_REPORT_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace rangesyn {
+
+/// Minimal aligned text-table writer used by the figure/table harnesses.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Adds one row; must have as many cells as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders with space-padded columns.
+  void Print(std::ostream& os) const;
+
+  /// Renders as CSV (no quoting — callers keep cells comma-free).
+  void PrintCsv(std::ostream& os) const;
+
+  int64_t num_rows() const { return static_cast<int64_t>(rows_.size()); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` significant digits (scientific for very
+/// large/small magnitudes) — compact cells for SSE-scale numbers.
+std::string FormatG(double v, int digits = 6);
+
+}  // namespace rangesyn
+
+#endif  // RANGESYN_EVAL_REPORT_H_

@@ -1,0 +1,213 @@
+#include "histogram/builders.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <numeric>
+
+#include "core/strings.h"
+#include "histogram/bucket_cost.h"
+#include "histogram/dp.h"
+#include "histogram/prefix_stats.h"
+
+namespace rangesyn {
+namespace {
+
+Status ValidateInput(const std::vector<int64_t>& data, int64_t buckets) {
+  if (data.empty()) return InvalidArgumentError("builder: empty data");
+  if (buckets < 1) return InvalidArgumentError("builder: buckets must be >= 1");
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (data[i] < 0) {
+      return InvalidArgumentError(
+          StrCat("builder: negative count at index ", i));
+    }
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+Result<Sap0Histogram> BuildSap0(const std::vector<int64_t>& data,
+                                int64_t buckets) {
+  RANGESYN_RETURN_IF_ERROR(ValidateInput(data, buckets));
+  PrefixStats stats(data);
+  BucketCosts costs(stats);
+  RANGESYN_ASSIGN_OR_RETURN(
+      IntervalDpResult dp,
+      SolveIntervalDp(stats.n(), buckets,
+                      [&costs](int64_t l, int64_t r) {
+                        return costs.Sap0Cost(l, r);
+                      }));
+  return Sap0Histogram::Build(data, dp.partition);
+}
+
+Result<Sap1Histogram> BuildSap1(const std::vector<int64_t>& data,
+                                int64_t buckets) {
+  RANGESYN_RETURN_IF_ERROR(ValidateInput(data, buckets));
+  PrefixStats stats(data);
+  BucketCosts costs(stats);
+  RANGESYN_ASSIGN_OR_RETURN(
+      IntervalDpResult dp,
+      SolveIntervalDp(stats.n(), buckets,
+                      [&costs](int64_t l, int64_t r) {
+                        return costs.Sap1Cost(l, r);
+                      }));
+  return Sap1Histogram::Build(data, dp.partition);
+}
+
+Result<Sap2Histogram> BuildSap2(const std::vector<int64_t>& data,
+                                int64_t buckets) {
+  RANGESYN_RETURN_IF_ERROR(ValidateInput(data, buckets));
+  PrefixStats stats(data);
+  BucketCosts costs(stats);
+  RANGESYN_ASSIGN_OR_RETURN(
+      IntervalDpResult dp,
+      SolveIntervalDp(stats.n(), buckets,
+                      [&costs](int64_t l, int64_t r) {
+                        return costs.Sap2Cost(l, r);
+                      }));
+  return Sap2Histogram::Build(data, dp.partition);
+}
+
+Result<AvgHistogram> BuildA0(const std::vector<int64_t>& data,
+                             int64_t buckets, PieceRounding rounding) {
+  RANGESYN_RETURN_IF_ERROR(ValidateInput(data, buckets));
+  PrefixStats stats(data);
+  BucketCosts costs(stats);
+  RANGESYN_ASSIGN_OR_RETURN(
+      IntervalDpResult dp,
+      SolveIntervalDp(stats.n(), buckets,
+                      [&costs](int64_t l, int64_t r) {
+                        return costs.A0Cost(l, r);
+                      }));
+  return AvgHistogram::WithTrueAverages(data, dp.partition, "A0", rounding);
+}
+
+Result<AvgHistogram> BuildPointOpt(const std::vector<int64_t>& data,
+                                   int64_t buckets, PieceRounding rounding) {
+  RANGESYN_RETURN_IF_ERROR(ValidateInput(data, buckets));
+  const int64_t n = static_cast<int64_t>(data.size());
+  WeightedPointCosts costs(data,
+                           WeightedPointCosts::RangeCoverageWeights(n));
+  RANGESYN_ASSIGN_OR_RETURN(
+      IntervalDpResult dp,
+      SolveIntervalDp(n, buckets, [&costs](int64_t l, int64_t r) {
+        return costs.Cost(l, r);
+      }));
+  // POINT-OPT stores the value that is optimal for its own (weighted point
+  // query) objective: the weighted bucket mean.
+  std::vector<double> values(static_cast<size_t>(dp.partition.num_buckets()));
+  for (int64_t k = 0; k < dp.partition.num_buckets(); ++k) {
+    values[static_cast<size_t>(k)] = costs.WeightedMean(
+        dp.partition.bucket_start(k), dp.partition.bucket_end(k));
+  }
+  return AvgHistogram::Create(std::move(dp.partition), std::move(values),
+                              "POINT-OPT", rounding);
+}
+
+Result<AvgHistogram> BuildVOptimal(const std::vector<int64_t>& data,
+                                   int64_t buckets, PieceRounding rounding) {
+  RANGESYN_RETURN_IF_ERROR(ValidateInput(data, buckets));
+  const int64_t n = static_cast<int64_t>(data.size());
+  WeightedPointCosts costs(data, WeightedPointCosts::UniformWeights(n));
+  RANGESYN_ASSIGN_OR_RETURN(
+      IntervalDpResult dp,
+      SolveIntervalDp(n, buckets, [&costs](int64_t l, int64_t r) {
+        return costs.Cost(l, r);
+      }));
+  return AvgHistogram::WithTrueAverages(data, dp.partition, "V-OPT",
+                                        rounding);
+}
+
+Result<AvgHistogram> BuildEquiWidth(const std::vector<int64_t>& data,
+                                    int64_t buckets, PieceRounding rounding) {
+  RANGESYN_RETURN_IF_ERROR(ValidateInput(data, buckets));
+  RANGESYN_ASSIGN_OR_RETURN(
+      Partition partition,
+      Partition::EquiWidth(static_cast<int64_t>(data.size()), buckets));
+  return AvgHistogram::WithTrueAverages(data, std::move(partition),
+                                        "EQUI-WIDTH", rounding);
+}
+
+Result<AvgHistogram> BuildEquiDepth(const std::vector<int64_t>& data,
+                                    int64_t buckets, PieceRounding rounding) {
+  RANGESYN_RETURN_IF_ERROR(ValidateInput(data, buckets));
+  const int64_t n = static_cast<int64_t>(data.size());
+  PrefixStats stats(data);
+  const int64_t b = std::min<int64_t>(buckets, n);
+  const double total = static_cast<double>(stats.TotalVolume());
+  std::vector<int64_t> ends;
+  ends.reserve(static_cast<size_t>(b));
+  int64_t prev = 0;
+  for (int64_t k = 1; k < b; ++k) {
+    // Smallest position whose prefix mass reaches k/b of the total, while
+    // leaving room for the remaining buckets.
+    const double target = total * static_cast<double>(k) /
+                          static_cast<double>(b);
+    int64_t e = prev + 1;
+    while (e < n - (b - k) &&
+           static_cast<double>(stats.P(e)) < target) {
+      ++e;
+    }
+    e = std::min<int64_t>(e, n - (b - k));
+    e = std::max<int64_t>(e, prev + 1);
+    ends.push_back(e);
+    prev = e;
+  }
+  ends.push_back(n);
+  RANGESYN_ASSIGN_OR_RETURN(Partition partition,
+                            Partition::FromEnds(n, std::move(ends)));
+  return AvgHistogram::WithTrueAverages(data, std::move(partition),
+                                        "EQUI-DEPTH", rounding);
+}
+
+Result<AvgHistogram> BuildMaxDiff(const std::vector<int64_t>& data,
+                                  int64_t buckets, PieceRounding rounding) {
+  RANGESYN_RETURN_IF_ERROR(ValidateInput(data, buckets));
+  const int64_t n = static_cast<int64_t>(data.size());
+  const int64_t b = std::min<int64_t>(buckets, n);
+  // Rank interior boundaries 1..n-1 by |A[i+1] - A[i]| descending and keep
+  // the b-1 largest as bucket ends.
+  std::vector<int64_t> order(static_cast<size_t>(n - 1));
+  std::iota(order.begin(), order.end(), int64_t{1});
+  std::sort(order.begin(), order.end(), [&data](int64_t x, int64_t y) {
+    const int64_t dx = std::llabs(data[static_cast<size_t>(x)] -
+                                  data[static_cast<size_t>(x - 1)]);
+    const int64_t dy = std::llabs(data[static_cast<size_t>(y)] -
+                                  data[static_cast<size_t>(y - 1)]);
+    if (dx != dy) return dx > dy;
+    return x < y;  // deterministic tie-break
+  });
+  std::vector<int64_t> ends(order.begin(),
+                            order.begin() + std::min<int64_t>(b - 1, n - 1));
+  ends.push_back(n);
+  std::sort(ends.begin(), ends.end());
+  ends.erase(std::unique(ends.begin(), ends.end()), ends.end());
+  RANGESYN_ASSIGN_OR_RETURN(Partition partition,
+                            Partition::FromEnds(n, std::move(ends)));
+  return AvgHistogram::WithTrueAverages(data, std::move(partition),
+                                        "MAXDIFF", rounding);
+}
+
+Result<AvgHistogram> BuildPrefixOpt(const std::vector<int64_t>& data,
+                                    int64_t buckets,
+                                    PieceRounding rounding) {
+  RANGESYN_RETURN_IF_ERROR(ValidateInput(data, buckets));
+  PrefixStats stats(data);
+  BucketCosts costs(stats);
+  RANGESYN_ASSIGN_OR_RETURN(
+      IntervalDpResult dp,
+      SolveIntervalDp(stats.n(), buckets,
+                      [&costs](int64_t l, int64_t r) {
+                        return costs.SumV2(l, r);
+                      }));
+  return AvgHistogram::WithTrueAverages(data, dp.partition, "PREFIX-OPT",
+                                        rounding);
+}
+
+Result<NaiveEstimator> BuildNaive(const std::vector<int64_t>& data) {
+  RANGESYN_RETURN_IF_ERROR(ValidateInput(data, 1));
+  return NaiveEstimator::Build(data);
+}
+
+}  // namespace rangesyn

@@ -1,0 +1,124 @@
+#include "histogram/dp.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/logging.h"
+
+namespace rangesyn {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Shared DP core. Fills best[k][i] = optimal cost of partitioning [1, i]
+/// into exactly k buckets, and parent[k][i] = the end of the (k-1)-th
+/// bucket in an optimal solution.
+struct DpTable {
+  int64_t n;
+  int64_t max_buckets;
+  // Indexed [k][i] with k in 0..max_buckets, i in 0..n.
+  std::vector<std::vector<double>> best;
+  std::vector<std::vector<int64_t>> parent;
+};
+
+DpTable RunDp(int64_t n, int64_t max_buckets, const BucketCostFn& cost) {
+  DpTable t;
+  t.n = n;
+  t.max_buckets = max_buckets;
+  t.best.assign(static_cast<size_t>(max_buckets) + 1,
+                std::vector<double>(static_cast<size_t>(n) + 1, kInf));
+  t.parent.assign(static_cast<size_t>(max_buckets) + 1,
+                  std::vector<int64_t>(static_cast<size_t>(n) + 1, -1));
+  t.best[0][0] = 0.0;
+  for (int64_t k = 1; k <= max_buckets; ++k) {
+    auto& bk = t.best[static_cast<size_t>(k)];
+    auto& pk = t.parent[static_cast<size_t>(k)];
+    const auto& prev = t.best[static_cast<size_t>(k - 1)];
+    for (int64_t i = k; i <= n; ++i) {
+      double best_cost = kInf;
+      int64_t best_j = -1;
+      for (int64_t j = k - 1; j < i; ++j) {
+        const double pj = prev[static_cast<size_t>(j)];
+        if (pj == kInf) continue;
+        const double c = pj + cost(j + 1, i);
+        if (c < best_cost) {
+          best_cost = c;
+          best_j = j;
+        }
+      }
+      bk[static_cast<size_t>(i)] = best_cost;
+      pk[static_cast<size_t>(i)] = best_j;
+    }
+  }
+  return t;
+}
+
+Result<IntervalDpResult> ExtractSolution(const DpTable& t, int64_t k) {
+  const double cost = t.best[static_cast<size_t>(k)][static_cast<size_t>(t.n)];
+  if (cost == kInf) {
+    return InternalError("interval DP produced no feasible solution");
+  }
+  std::vector<int64_t> ends;
+  int64_t i = t.n;
+  for (int64_t kk = k; kk >= 1; --kk) {
+    ends.push_back(i);
+    i = t.parent[static_cast<size_t>(kk)][static_cast<size_t>(i)];
+    RANGESYN_CHECK_GE(i, 0);
+  }
+  RANGESYN_CHECK_EQ(i, 0);
+  std::reverse(ends.begin(), ends.end());
+  IntervalDpResult out;
+  RANGESYN_ASSIGN_OR_RETURN(out.partition, Partition::FromEnds(t.n, ends));
+  out.cost = cost;
+  out.buckets_used = k;
+  return out;
+}
+
+}  // namespace
+
+Result<IntervalDpResult> SolveIntervalDp(int64_t n, int64_t max_buckets,
+                                         const BucketCostFn& cost,
+                                         bool exact_buckets) {
+  if (n < 1) return InvalidArgumentError("SolveIntervalDp: n must be >= 1");
+  if (max_buckets < 1) {
+    return InvalidArgumentError("SolveIntervalDp: max_buckets must be >= 1");
+  }
+  const int64_t b = std::min(max_buckets, n);
+  if (exact_buckets && max_buckets > n) {
+    return InvalidArgumentError(
+        "SolveIntervalDp: cannot use more buckets than elements");
+  }
+  const DpTable t = RunDp(n, b, cost);
+  if (exact_buckets) return ExtractSolution(t, b);
+  // "At most" semantics: pick the best k (more buckets can hurt some cost
+  // models, e.g. SAP-style costs, so we do not assume monotonicity).
+  int64_t best_k = 1;
+  double best_cost = kInf;
+  for (int64_t k = 1; k <= b; ++k) {
+    const double c = t.best[static_cast<size_t>(k)][static_cast<size_t>(n)];
+    if (c < best_cost) {
+      best_cost = c;
+      best_k = k;
+    }
+  }
+  return ExtractSolution(t, best_k);
+}
+
+Result<std::vector<IntervalDpResult>> SolveIntervalDpAllK(
+    int64_t n, int64_t max_buckets, const BucketCostFn& cost) {
+  if (n < 1) return InvalidArgumentError("SolveIntervalDpAllK: n >= 1");
+  if (max_buckets < 1) {
+    return InvalidArgumentError("SolveIntervalDpAllK: max_buckets >= 1");
+  }
+  const int64_t b = std::min(max_buckets, n);
+  const DpTable t = RunDp(n, b, cost);
+  std::vector<IntervalDpResult> out;
+  out.reserve(static_cast<size_t>(b));
+  for (int64_t k = 1; k <= b; ++k) {
+    RANGESYN_ASSIGN_OR_RETURN(IntervalDpResult r, ExtractSolution(t, k));
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+}  // namespace rangesyn

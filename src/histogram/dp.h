@@ -1,0 +1,43 @@
+#ifndef RANGESYN_HISTOGRAM_DP_H_
+#define RANGESYN_HISTOGRAM_DP_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/result.h"
+#include "histogram/partition.h"
+
+namespace rangesyn {
+
+/// Additive bucket cost oracle: cost of making [l, r] (1-based, inclusive)
+/// one bucket. Must be defined for all 1 <= l <= r <= n.
+using BucketCostFn = std::function<double(int64_t l, int64_t r)>;
+
+/// Result of an interval-partition dynamic program.
+struct IntervalDpResult {
+  Partition partition = Partition::Whole(1);
+  double cost = 0.0;
+  int64_t buckets_used = 0;
+};
+
+/// Finds the partition of 1..n into at most `max_buckets` contiguous
+/// buckets minimizing the sum of bucket costs, by the classical O(n^2 * B)
+/// dynamic program (the engine behind SAP0/SAP1/A0/POINT-OPT construction,
+/// and behind V-optimal [6]).
+///
+/// When `exact_buckets` is true the partition must use exactly
+/// `max_buckets` buckets (requires max_buckets <= n).
+Result<IntervalDpResult> SolveIntervalDp(int64_t n, int64_t max_buckets,
+                                         const BucketCostFn& cost,
+                                         bool exact_buckets = false);
+
+/// As above but returns, for every k in 1..max_buckets, the optimal
+/// exactly-k-bucket solution. Used by storage-sweep experiments to avoid
+/// recomputing the DP table per budget.
+Result<std::vector<IntervalDpResult>> SolveIntervalDpAllK(
+    int64_t n, int64_t max_buckets, const BucketCostFn& cost);
+
+}  // namespace rangesyn
+
+#endif  // RANGESYN_HISTOGRAM_DP_H_

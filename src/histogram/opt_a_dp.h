@@ -1,0 +1,99 @@
+#ifndef RANGESYN_HISTOGRAM_OPT_A_DP_H_
+#define RANGESYN_HISTOGRAM_OPT_A_DP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/result.h"
+#include "histogram/histogram.h"
+
+namespace rangesyn {
+
+/// Options for the pseudo-polynomial range-optimal histogram construction
+/// (paper §2.1, Theorems 1 and 2).
+struct OptAOptions {
+  /// Maximum number of buckets B.
+  int64_t max_buckets = 8;
+
+  /// Require exactly max_buckets buckets instead of the best k <= B.
+  bool exact_buckets = false;
+
+  /// Safety valve: abort with ResourceExhausted when the total number of
+  /// live DP states (i, k, Λ) exceeds this bound. The paper bounds the
+  /// state count by O(n * B * Λ*) with Λ* <= min(OPT, n*s[1,n]); in
+  /// practice reachable states are far fewer, but heavy-volume inputs can
+  /// explode — callers should fall back to OPT-A-ROUNDED then.
+  uint64_t max_states = 50'000'000;
+
+  /// Ablation switches (both prunes are admissible — disabling them never
+  /// changes the optimum, only the state count; see bench/tbl_ablation).
+  /// Dominance prune: keep only the lower envelope of cost + 2ΛV lines
+  /// over the achievable future cross-sum interval.
+  bool enable_dominance_prune = true;
+  /// Λ-cap prune: discard |Λ| > sqrt(n * UB) with UB a cheap feasible
+  /// upper bound on OPT.
+  bool enable_lambda_cap = true;
+};
+
+/// Result of the OPT-A construction.
+struct OptAResult {
+  /// The range-optimal classical histogram (true bucket averages,
+  /// per-piece rounding — the answering rule the DP optimizes exactly).
+  AvgHistogram histogram;
+
+  /// The optimal all-ranges SSE as computed by the DP. Matches a
+  /// brute-force SSE evaluation of `histogram` up to floating-point noise.
+  double optimal_sse = 0.0;
+
+  int64_t buckets_used = 0;
+
+  /// Total DP states materialized (for reporting / tuning).
+  uint64_t states_explored = 0;
+};
+
+/// Builds the provably range-optimal OPT-A histogram via the improved
+/// Λ-state dynamic program (paper Theorem 2; DESIGN.md §3.1). Runtime is
+/// pseudo-polynomial: O(n^2 * B * |reachable Λ|) after an O(n^3)
+/// bucket-statistics precomputation. Requires non-negative integer counts.
+Result<OptAResult> BuildOptA(const std::vector<int64_t>& data,
+                             const OptAOptions& options);
+
+/// The paper's warm-up formulation (§2.1.1, Theorem 1) tracking the pair
+/// (Λ, Λ2) = (sum of piece errors, sum of squared piece errors). Strictly
+/// slower than BuildOptA and exposed for cross-validation on small inputs.
+Result<OptAResult> BuildOptAWarmup(const std::vector<int64_t>& data,
+                                   const OptAOptions& options);
+
+/// Options for the rounding approximation (paper §2.1.3, Theorem 4).
+struct OptARoundedOptions {
+  int64_t max_buckets = 8;
+  bool exact_buckets = false;
+  uint64_t max_states = 50'000'000;
+
+  /// Rounding granularity x >= 1: data is rounded to multiples of x and
+  /// divided by x before the exact DP runs, shrinking the Λ state space by
+  /// a factor of about x at a bounded loss in histogram quality.
+  int64_t granularity = 2;
+
+  /// When true (default), the final histogram stores the true bucket
+  /// averages of the *original* data over the boundaries found on the
+  /// rounded data — never worse than the paper's literal "multiply through
+  /// by x" (set false for the literal Definition 3 behavior).
+  bool refit_values = true;
+};
+
+/// Builds the OPT-A-ROUNDED histogram. The returned optimal_sse field is
+/// the DP objective on the rounded data scaled back by granularity^2 — an
+/// estimate, not the exact SSE of the returned histogram.
+Result<OptAResult> BuildOptARounded(const std::vector<int64_t>& data,
+                                    const OptARoundedOptions& options);
+
+/// Picks a granularity aiming for a (1+epsilon)-style quality target using
+/// the paper's analysis: x proportional to epsilon * sqrt(OPT / (n^3)),
+/// estimated with a cheap SAP1 upper bound on OPT. Returns at least 1.
+int64_t SuggestGranularity(const std::vector<int64_t>& data,
+                           int64_t max_buckets, double epsilon);
+
+}  // namespace rangesyn
+
+#endif  // RANGESYN_HISTOGRAM_OPT_A_DP_H_

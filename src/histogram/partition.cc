@@ -1,0 +1,82 @@
+#include "histogram/partition.h"
+
+#include <algorithm>
+
+#include "core/logging.h"
+#include "core/strings.h"
+
+namespace rangesyn {
+
+Result<Partition> Partition::FromEnds(int64_t n, std::vector<int64_t> ends) {
+  if (n < 1) return InvalidArgumentError("Partition: n must be >= 1");
+  if (ends.empty()) {
+    return InvalidArgumentError("Partition: need at least one bucket");
+  }
+  int64_t prev = 0;
+  for (int64_t e : ends) {
+    if (e <= prev || e > n) {
+      return InvalidArgumentError(
+          StrCat("Partition: endpoints must be strictly increasing in [1,",
+                 n, "]"));
+    }
+    prev = e;
+  }
+  if (ends.back() != n) {
+    return InvalidArgumentError("Partition: last endpoint must equal n");
+  }
+  return Partition(n, std::move(ends));
+}
+
+Partition Partition::Whole(int64_t n) {
+  RANGESYN_CHECK_GE(n, 1);
+  return Partition(n, {n});
+}
+
+Result<Partition> Partition::EquiWidth(int64_t n, int64_t buckets) {
+  if (n < 1) return InvalidArgumentError("EquiWidth: n must be >= 1");
+  if (buckets < 1) return InvalidArgumentError("EquiWidth: buckets >= 1");
+  const int64_t b = std::min(buckets, n);
+  std::vector<int64_t> ends;
+  ends.reserve(static_cast<size_t>(b));
+  for (int64_t k = 1; k <= b; ++k) {
+    // Round so the widths differ by at most one.
+    ends.push_back((n * k) / b);
+  }
+  // Deduplicate in case of extreme ratios (cannot happen for b <= n, but be
+  // defensive).
+  ends.erase(std::unique(ends.begin(), ends.end()), ends.end());
+  return Partition(n, std::move(ends));
+}
+
+int64_t Partition::BucketOf(int64_t i) const {
+  RANGESYN_DCHECK(i >= 1 && i <= n_);
+  const auto it = std::lower_bound(ends_.begin(), ends_.end(), i);
+  return static_cast<int64_t>(it - ends_.begin());
+}
+
+void ForEachPartition(int64_t n, int64_t buckets,
+                      const std::function<void(const Partition&)>& fn) {
+  RANGESYN_CHECK_GE(n, 1);
+  RANGESYN_CHECK_GE(buckets, 1);
+  RANGESYN_CHECK_LE(buckets, n);
+  // Choose buckets-1 interior endpoints from 1..n-1 in increasing order.
+  std::vector<int64_t> interior(static_cast<size_t>(buckets - 1));
+  std::function<void(int64_t, int64_t)> rec = [&](int64_t idx, int64_t lo) {
+    if (idx == buckets - 1) {
+      std::vector<int64_t> ends(interior.begin(), interior.end());
+      ends.push_back(n);
+      auto part = Partition::FromEnds(n, std::move(ends));
+      RANGESYN_CHECK(part.ok());
+      fn(part.value());
+      return;
+    }
+    // Leave room for the remaining interior endpoints.
+    for (int64_t e = lo; e <= n - (buckets - 1 - idx); ++e) {
+      interior[static_cast<size_t>(idx)] = e;
+      rec(idx + 1, e + 1);
+    }
+  };
+  rec(0, 1);
+}
+
+}  // namespace rangesyn

@@ -1,0 +1,66 @@
+#ifndef RANGESYN_HISTOGRAM_PARTITION_H_
+#define RANGESYN_HISTOGRAM_PARTITION_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/result.h"
+
+namespace rangesyn {
+
+/// A partition of the domain 1..n into contiguous buckets, represented by
+/// the 1-based right endpoints of the buckets; the last endpoint is always
+/// n. E.g. {3, 7, 10} over n=10 is buckets [1,3], [4,7], [8,10].
+class Partition {
+ public:
+  /// Validated construction. Requires strictly increasing endpoints in
+  /// [1, n] with ends.back() == n and at least one bucket.
+  static Result<Partition> FromEnds(int64_t n, std::vector<int64_t> ends);
+
+  /// The trivial single-bucket partition of 1..n.
+  static Partition Whole(int64_t n);
+
+  /// Equal-width partition into (at most) `buckets` buckets.
+  static Result<Partition> EquiWidth(int64_t n, int64_t buckets);
+
+  int64_t n() const { return n_; }
+  int64_t num_buckets() const { return static_cast<int64_t>(ends_.size()); }
+  const std::vector<int64_t>& ends() const { return ends_; }
+
+  /// Left endpoint of bucket k (0-based bucket index), 1-based position.
+  int64_t bucket_start(int64_t k) const {
+    return k == 0 ? 1 : ends_[static_cast<size_t>(k - 1)] + 1;
+  }
+  /// Right endpoint of bucket k, 1-based position.
+  int64_t bucket_end(int64_t k) const {
+    return ends_[static_cast<size_t>(k)];
+  }
+  /// Width of bucket k.
+  int64_t bucket_width(int64_t k) const {
+    return bucket_end(k) - bucket_start(k) + 1;
+  }
+
+  /// 0-based index of the bucket containing position i (1 <= i <= n);
+  /// O(log B).
+  int64_t BucketOf(int64_t i) const;
+
+  friend bool operator==(const Partition&, const Partition&) = default;
+
+ private:
+  Partition(int64_t n, std::vector<int64_t> ends)
+      : n_(n), ends_(std::move(ends)) {}
+
+  int64_t n_ = 0;
+  std::vector<int64_t> ends_;
+};
+
+/// Invokes `fn` for every partition of 1..n into exactly `buckets`
+/// non-empty buckets — C(n-1, buckets-1) partitions. Exhaustive-search
+/// oracle for optimality tests; use only for small n.
+void ForEachPartition(int64_t n, int64_t buckets,
+                      const std::function<void(const Partition&)>& fn);
+
+}  // namespace rangesyn
+
+#endif  // RANGESYN_HISTOGRAM_PARTITION_H_

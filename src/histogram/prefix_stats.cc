@@ -1,0 +1,30 @@
+#include "histogram/prefix_stats.h"
+
+namespace rangesyn {
+
+PrefixStats::PrefixStats(const std::vector<int64_t>& data)
+    : n_(static_cast<int64_t>(data.size())) {
+  RANGESYN_CHECK_GE(n_, 1);
+  p_.resize(static_cast<size_t>(n_) + 1);
+  p_[0] = 0;
+  for (int64_t i = 1; i <= n_; ++i) {
+    const int64_t a = data[static_cast<size_t>(i - 1)];
+    RANGESYN_CHECK_GE(a, 0) << "attribute-value counts must be non-negative";
+    p_[static_cast<size_t>(i)] = p_[static_cast<size_t>(i - 1)] + a;
+  }
+  cum_p_.assign(static_cast<size_t>(n_) + 2, 0.0);
+  cum_p2_.assign(static_cast<size_t>(n_) + 2, 0.0);
+  cum_tp_.assign(static_cast<size_t>(n_) + 2, 0.0);
+  cum_t2p_.assign(static_cast<size_t>(n_) + 2, 0.0);
+  for (int64_t t = 0; t <= n_; ++t) {
+    const double pt = static_cast<double>(p_[static_cast<size_t>(t)]);
+    const double td = static_cast<double>(t);
+    const size_t k = static_cast<size_t>(t);
+    cum_p_[k + 1] = cum_p_[k] + pt;
+    cum_p2_[k + 1] = cum_p2_[k] + pt * pt;
+    cum_tp_[k + 1] = cum_tp_[k] + td * pt;
+    cum_t2p_[k + 1] = cum_t2p_[k] + td * td * pt;
+  }
+}
+
+}  // namespace rangesyn

@@ -1,0 +1,116 @@
+#ifndef RANGESYN_HISTOGRAM_PREFIX_STATS_H_
+#define RANGESYN_HISTOGRAM_PREFIX_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/logging.h"
+
+namespace rangesyn {
+
+/// Precomputed prefix statistics over an integer attribute-value
+/// distribution A[1..n]. Provides exact O(1) range sums and the O(1)
+/// window moments of the prefix-sum sequence P that all closed-form bucket
+/// costs in this library are built from (see DESIGN.md §3.2).
+///
+/// Index conventions (matching the paper):
+///  - data positions are 1-based: A[1..n];
+///  - P[t] = A[1] + ... + A[t] for t in 0..n with P[0] = 0;
+///  - window-moment methods take inclusive index ranges over 0..n.
+class PrefixStats {
+ public:
+  /// Builds statistics for `data` (data[i] = A[i+1]); all entries must be
+  /// non-negative (attribute-value counts).
+  explicit PrefixStats(const std::vector<int64_t>& data);
+
+  int64_t n() const { return n_; }
+
+  /// Exact A[i], 1 <= i <= n.
+  int64_t value(int64_t i) const {
+    RANGESYN_DCHECK(i >= 1 && i <= n_);
+    return p_[static_cast<size_t>(i)] - p_[static_cast<size_t>(i - 1)];
+  }
+
+  /// Exact prefix sum P[t], 0 <= t <= n.
+  int64_t P(int64_t t) const {
+    RANGESYN_DCHECK(t >= 0 && t <= n_);
+    return p_[static_cast<size_t>(t)];
+  }
+
+  /// Exact range sum s[a,b] = A[a] + ... + A[b], 1 <= a <= b <= n.
+  int64_t Sum(int64_t a, int64_t b) const {
+    RANGESYN_DCHECK(a >= 1 && a <= b && b <= n_);
+    return p_[static_cast<size_t>(b)] - p_[static_cast<size_t>(a - 1)];
+  }
+
+  /// Total volume s[1,n].
+  int64_t TotalVolume() const { return p_[static_cast<size_t>(n_)]; }
+
+  // ---- Window moments over P, inclusive t in [x, y], 0 <= x <= y <= n ----
+
+  /// Σ P[t]
+  double SumP(int64_t x, int64_t y) const {
+    return WindowSum(cum_p_, x, y);
+  }
+  /// Σ P[t]²
+  double SumP2(int64_t x, int64_t y) const {
+    return WindowSum(cum_p2_, x, y);
+  }
+  /// Σ t·P[t]
+  double SumTP(int64_t x, int64_t y) const {
+    return WindowSum(cum_tp_, x, y);
+  }
+  /// Σ t²·P[t]
+  double SumT2P(int64_t x, int64_t y) const {
+    return WindowSum(cum_t2p_, x, y);
+  }
+  /// Σ t over [x, y] (closed form).
+  static double SumT(int64_t x, int64_t y) {
+    const double lo = static_cast<double>(x);
+    const double hi = static_cast<double>(y);
+    return (hi * (hi + 1) - lo * (lo - 1)) / 2.0;
+  }
+  /// Σ t² over [x, y] (closed form).
+  static double SumT2(int64_t x, int64_t y) {
+    auto sq_sum = [](double m) { return m * (m + 1) * (2 * m + 1) / 6.0; };
+    return sq_sum(static_cast<double>(y)) -
+           sq_sum(static_cast<double>(x) - 1.0);
+  }
+  /// Σ t³ over [x, y] (closed form).
+  static double SumT3(int64_t x, int64_t y) {
+    auto cube_sum = [](double m) {
+      const double tri = m * (m + 1) / 2.0;
+      return tri * tri;
+    };
+    return cube_sum(static_cast<double>(y)) -
+           cube_sum(static_cast<double>(x) - 1.0);
+  }
+  /// Σ t⁴ over [x, y] (closed form).
+  static double SumT4(int64_t x, int64_t y) {
+    auto quart_sum = [](double m) {
+      return m * (m + 1) * (2 * m + 1) * (3 * m * m + 3 * m - 1) / 30.0;
+    };
+    return quart_sum(static_cast<double>(y)) -
+           quart_sum(static_cast<double>(x) - 1.0);
+  }
+
+ private:
+  double WindowSum(const std::vector<double>& cum, int64_t x,
+                   int64_t y) const {
+    RANGESYN_DCHECK(x >= 0 && x <= y && y <= n_);
+    const double hi = cum[static_cast<size_t>(y + 1)];
+    const double lo = cum[static_cast<size_t>(x)];
+    return hi - lo;
+  }
+
+  int64_t n_;
+  std::vector<int64_t> p_;      // P[0..n], exact
+  std::vector<double> cum_p_;   // cum_p_[k] = Σ_{t<k} P[t]
+  std::vector<double> cum_p2_;  // Σ_{t<k} P[t]²
+  std::vector<double> cum_tp_;   // Σ_{t<k} t·P[t]
+  std::vector<double> cum_t2p_;  // Σ_{t<k} t²·P[t]
+};
+
+}  // namespace rangesyn
+
+#endif  // RANGESYN_HISTOGRAM_PREFIX_STATS_H_

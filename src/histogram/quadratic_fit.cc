@@ -1,0 +1,88 @@
+#include "histogram/quadratic_fit.h"
+
+#include <cmath>
+
+namespace rangesyn {
+namespace {
+
+/// Solves the symmetric 3x3 system G c = b by Gaussian elimination with
+/// partial pivoting; returns false when (numerically) singular.
+bool Solve3x3(double g[3][3], double b[3], double c[3]) {
+  int perm[3] = {0, 1, 2};
+  for (int col = 0; col < 3; ++col) {
+    int pivot = col;
+    for (int r = col + 1; r < 3; ++r) {
+      if (std::fabs(g[perm[r]][col]) > std::fabs(g[perm[pivot]][col])) {
+        pivot = r;
+      }
+    }
+    std::swap(perm[col], perm[pivot]);
+    const double d = g[perm[col]][col];
+    if (std::fabs(d) < 1e-12) return false;
+    for (int r = col + 1; r < 3; ++r) {
+      const double f = g[perm[r]][col] / d;
+      for (int cc = col; cc < 3; ++cc) g[perm[r]][cc] -= f * g[perm[col]][cc];
+      b[perm[r]] -= f * b[perm[col]];
+    }
+  }
+  for (int col = 2; col >= 0; --col) {
+    double acc = b[perm[col]];
+    for (int cc = col + 1; cc < 3; ++cc) acc -= g[perm[col]][cc] * c[cc];
+    c[col] = acc / g[perm[col]][col];
+  }
+  return true;
+}
+
+}  // namespace
+
+QuadraticFit FitQuadraticFromMoments(double m, double sx, double sx2,
+                                     double sx3, double sx4, double sy,
+                                     double sxy, double sx2y, double sy2) {
+  QuadraticFit fit;
+  if (m <= 0.5) return fit;
+  if (m < 1.5) {
+    // One point: exact constant.
+    fit.c0 = sy / m;
+    fit.ssr = 0.0;
+    return fit;
+  }
+  if (m < 2.5) {
+    // Two points: exact line through both (Sxx > 0 unless x's coincide).
+    const double sxx = sx2 - sx * sx / m;
+    if (sxx > 1e-12) {
+      fit.c1 = (sxy - sx * sy / m) / sxx;
+      fit.c0 = (sy - fit.c1 * sx) / m;
+      fit.ssr = 0.0;
+      return fit;
+    }
+    fit.c0 = sy / m;
+    fit.ssr = std::fmax(0.0, sy2 - sy * sy / m);
+    return fit;
+  }
+  double g[3][3] = {{m, sx, sx2}, {sx, sx2, sx3}, {sx2, sx3, sx4}};
+  double b[3] = {sy, sxy, sx2y};
+  double c[3] = {0, 0, 0};
+  if (!Solve3x3(g, b, c)) {
+    // Fall back to the linear fit (x's nearly collinear in x² space).
+    const double sxx = sx2 - sx * sx / m;
+    if (sxx > 1e-12) {
+      fit.c1 = (sxy - sx * sy / m) / sxx;
+      fit.c0 = (sy - fit.c1 * sx) / m;
+      const double syy = std::fmax(0.0, sy2 - sy * sy / m);
+      const double sxy_c = sxy - sx * sy / m;
+      fit.ssr = std::fmax(0.0, syy - sxy_c * sxy_c / sxx);
+    } else {
+      fit.c0 = sy / m;
+      fit.ssr = std::fmax(0.0, sy2 - sy * sy / m);
+    }
+    return fit;
+  }
+  fit.c0 = c[0];
+  fit.c1 = c[1];
+  fit.c2 = c[2];
+  // SSR = y'y - c'X'y for least squares.
+  fit.ssr = std::fmax(0.0, sy2 - (c[0] * sy + c[1] * sxy + c[2] * sx2y));
+  return fit;
+}
+
+}  // namespace rangesyn

@@ -1,0 +1,31 @@
+#ifndef RANGESYN_HISTOGRAM_QUADRATIC_FIT_H_
+#define RANGESYN_HISTOGRAM_QUADRATIC_FIT_H_
+
+#include <cstdint>
+
+namespace rangesyn {
+
+/// Least-squares fit y ≈ c0 + c1·x + c2·x² from the raw moments of the
+/// sample — the primitive behind the SAP2 histogram's O(1) bucket costs.
+/// All moments are over the same m >= 1 points.
+struct QuadraticFit {
+  double c0 = 0.0;
+  double c1 = 0.0;
+  double c2 = 0.0;
+  /// Residual sum of squares of the fit (>= 0, clamped).
+  double ssr = 0.0;
+
+  double At(double x) const { return c0 + c1 * x + c2 * x * x; }
+};
+
+/// Computes the fit from Σ1=m, Σx, Σx², Σx³, Σx⁴, Σy, Σxy, Σx²y, Σy².
+/// Degenerate sample sizes (m <= 2, or collinear moments) gracefully fall
+/// back to the exact lower-degree interpolant with ssr = 0 when the data
+/// admits one.
+QuadraticFit FitQuadraticFromMoments(double m, double sx, double sx2,
+                                     double sx3, double sx4, double sy,
+                                     double sxy, double sx2y, double sy2);
+
+}  // namespace rangesyn
+
+#endif  // RANGESYN_HISTOGRAM_QUADRATIC_FIT_H_

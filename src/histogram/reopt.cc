@@ -1,0 +1,171 @@
+#include "histogram/reopt.h"
+
+#include <cmath>
+
+#include "core/logging.h"
+#include "histogram/prefix_stats.h"
+#include "linalg/solve.h"
+
+namespace rangesyn {
+namespace {
+
+double SumSq(double m) { return m * (m + 1.0) * (2.0 * m + 1.0) / 6.0; }
+double SumCu(double m) {
+  const double t = m * (m + 1.0) / 2.0;
+  return t * t;
+}
+
+Status ValidateReoptInput(const std::vector<int64_t>& data,
+                          const Partition& partition) {
+  if (static_cast<int64_t>(data.size()) != partition.n()) {
+    return InvalidArgumentError("reopt: data size != partition n");
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+double NormalEquations::SseAt(const std::vector<double>& x) const {
+  RANGESYN_CHECK_EQ(static_cast<int64_t>(x.size()), q.rows());
+  const std::vector<double> qx = q.Multiply(x);
+  return c0 - 2.0 * Dot(rhs, x) + Dot(x, qx);
+}
+
+Result<NormalEquations> AssembleNormalEquations(
+    const std::vector<int64_t>& data, const Partition& partition) {
+  RANGESYN_RETURN_IF_ERROR(ValidateReoptInput(data, partition));
+  const int64_t n = partition.n();
+  const int64_t num_b = partition.num_buckets();
+  NormalEquations out{Matrix(num_b, num_b),
+                      std::vector<double>(static_cast<size_t>(num_b), 0.0),
+                      0.0};
+
+  // Per-bucket range-overlap mass seen from the left (L) and right (R):
+  //   L_k = Σ_{a <= e_k} |[a, ·] ∩ bucket_k|  (right endpoint beyond e_k)
+  //   R_k = Σ_{b >= p_k} |[·, b] ∩ bucket_k|  (left endpoint before p_k)
+  std::vector<double> lmass(static_cast<size_t>(num_b));
+  std::vector<double> rmass(static_cast<size_t>(num_b));
+  for (int64_t k = 0; k < num_b; ++k) {
+    const double p = static_cast<double>(partition.bucket_start(k));
+    const double e = static_cast<double>(partition.bucket_end(k));
+    const double w = e - p + 1.0;
+    lmass[static_cast<size_t>(k)] = (p - 1.0) * w + w * (w + 1.0) / 2.0;
+    rmass[static_cast<size_t>(k)] =
+        (static_cast<double>(n) - e) * w + w * (w + 1.0) / 2.0;
+  }
+  // Off-diagonal entries factorize because with k < j every range that
+  // touches both buckets has a <= e_k < p_j <= b, so the overlaps with the
+  // two buckets depend on a and b independently.
+  for (int64_t k = 0; k < num_b; ++k) {
+    for (int64_t j = k + 1; j < num_b; ++j) {
+      const double v = lmass[static_cast<size_t>(k)] *
+                       rmass[static_cast<size_t>(j)];
+      out.q(k, j) = v;
+      out.q(j, k) = v;
+    }
+  }
+  // Diagonal: split ranges by which side of the bucket each endpoint is on.
+  for (int64_t k = 0; k < num_b; ++k) {
+    const double p = static_cast<double>(partition.bucket_start(k));
+    const double e = static_cast<double>(partition.bucket_end(k));
+    const double w = e - p + 1.0;
+    const double left = p - 1.0;
+    const double right = static_cast<double>(n) - e;
+    double v = left * right * w * w;           // range covers the bucket
+    v += left * SumSq(w);                      // b inside, a left of bucket
+    v += right * SumSq(w);                     // a inside, b right of bucket
+    v += (w + 1.0) * SumSq(w) - SumCu(w);      // both endpoints inside
+    out.q(k, k) = v;
+  }
+
+  // rhs_k = Σ_{i in bucket_k} D(i) with
+  //   D(i) = Σ_t A[t] * min(t,i) * (n+1-max(t,i))
+  //        = (n+1-i) * Σ_{t<=i} t*A[t] + i * Σ_{t>i} (n+1-t)*A[t].
+  std::vector<double> cum_ta(static_cast<size_t>(n) + 1, 0.0);
+  std::vector<double> cum_na(static_cast<size_t>(n) + 1, 0.0);
+  for (int64_t t = 1; t <= n; ++t) {
+    const double a = static_cast<double>(data[static_cast<size_t>(t - 1)]);
+    cum_ta[static_cast<size_t>(t)] =
+        cum_ta[static_cast<size_t>(t - 1)] + static_cast<double>(t) * a;
+    cum_na[static_cast<size_t>(t)] =
+        cum_na[static_cast<size_t>(t - 1)] +
+        static_cast<double>(n + 1 - t) * a;
+  }
+  for (int64_t k = 0; k < num_b; ++k) {
+    double acc = 0.0;
+    for (int64_t i = partition.bucket_start(k); i <= partition.bucket_end(k);
+         ++i) {
+      const double d =
+          static_cast<double>(n + 1 - i) * cum_ta[static_cast<size_t>(i)] +
+          static_cast<double>(i) *
+              (cum_na[static_cast<size_t>(n)] -
+               cum_na[static_cast<size_t>(i)]);
+      acc += d;
+    }
+    out.rhs[static_cast<size_t>(k)] = acc;
+  }
+
+  // c0 = Σ_{a<=b} s[a,b]^2 = Σ pairs (x<y) (P[y]-P[x])^2 over P[0..n]
+  //    = (n+1) Σ P² - (Σ P)².
+  PrefixStats stats(data);
+  const double sum_p = stats.SumP(0, n);
+  const double sum_p2 = stats.SumP2(0, n);
+  out.c0 = static_cast<double>(n + 1) * sum_p2 - sum_p * sum_p;
+
+  return out;
+}
+
+Result<NormalEquations> AssembleNormalEquationsBrute(
+    const std::vector<int64_t>& data, const Partition& partition) {
+  RANGESYN_RETURN_IF_ERROR(ValidateReoptInput(data, partition));
+  const int64_t n = partition.n();
+  const int64_t num_b = partition.num_buckets();
+  PrefixStats stats(data);
+  NormalEquations out{Matrix(num_b, num_b),
+                      std::vector<double>(static_cast<size_t>(num_b), 0.0),
+                      0.0};
+  std::vector<double> c(static_cast<size_t>(num_b));
+  for (int64_t a = 1; a <= n; ++a) {
+    std::fill(c.begin(), c.end(), 0.0);
+    for (int64_t b = a; b <= n; ++b) {
+      c[static_cast<size_t>(partition.BucketOf(b))] += 1.0;
+      const double s = static_cast<double>(stats.Sum(a, b));
+      out.c0 += s * s;
+      for (int64_t k = 0; k < num_b; ++k) {
+        const double ck = c[static_cast<size_t>(k)];
+        if (ck == 0.0) continue;
+        out.rhs[static_cast<size_t>(k)] += s * ck;
+        for (int64_t j = k; j < num_b; ++j) {
+          const double cj = c[static_cast<size_t>(j)];
+          if (cj == 0.0) continue;
+          out.q(k, j) += ck * cj;
+        }
+      }
+    }
+  }
+  // Mirror the upper triangle.
+  for (int64_t k = 0; k < num_b; ++k) {
+    for (int64_t j = k + 1; j < num_b; ++j) out.q(j, k) = out.q(k, j);
+  }
+  return out;
+}
+
+Result<std::vector<double>> OptimalBucketValues(
+    const std::vector<int64_t>& data, const Partition& partition) {
+  RANGESYN_ASSIGN_OR_RETURN(NormalEquations eq,
+                            AssembleNormalEquations(data, partition));
+  return SolveSymmetricRobust(eq.q, eq.rhs);
+}
+
+Result<AvgHistogram> Reoptimize(const std::vector<int64_t>& data,
+                                const AvgHistogram& base) {
+  RANGESYN_ASSIGN_OR_RETURN(std::vector<double> values,
+                            OptimalBucketValues(data, base.partition()));
+  RANGESYN_ASSIGN_OR_RETURN(
+      AvgHistogram hist,
+      AvgHistogram::Create(base.partition(), std::move(values),
+                           base.Name() + "-reopt", PieceRounding::kNone));
+  return hist;
+}
+
+}  // namespace rangesyn

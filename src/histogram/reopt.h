@@ -1,0 +1,51 @@
+#ifndef RANGESYN_HISTOGRAM_REOPT_H_
+#define RANGESYN_HISTOGRAM_REOPT_H_
+
+#include <vector>
+
+#include "core/result.h"
+#include "histogram/histogram.h"
+#include "histogram/partition.h"
+#include "linalg/matrix.h"
+
+namespace rangesyn {
+
+/// The re-optimization post-pass of the paper's §5: with bucket boundaries
+/// fixed, the (unrounded) eq.(1) estimate is linear in the stored values,
+///   ŝ[a,b] = Σ_{t in [a,b]} x_{buck(t)},
+/// so the all-ranges SSE is the quadratic x^T Q x - 2 rhs^T x + c and the
+/// optimal stored values solve Q x = rhs.
+
+/// Normal equations of the all-ranges SSE for `partition` over `data`.
+struct NormalEquations {
+  Matrix q;                  // B x B, Q_kj = Σ_ranges c_k c_j
+  std::vector<double> rhs;   // rhs_k = Σ_ranges s[a,b] * c_k(a,b)
+  double c0 = 0.0;           // Σ_ranges s[a,b]^2
+
+  /// SSE the value vector `x` would achieve (all ranges, unrounded).
+  double SseAt(const std::vector<double>& x) const;
+};
+
+/// Closed-form assembly in O(n + B^2) (DESIGN.md §3.4).
+Result<NormalEquations> AssembleNormalEquations(
+    const std::vector<int64_t>& data, const Partition& partition);
+
+/// Direct O(n^2 B) assembly by enumerating every range; the oracle the
+/// closed form is tested against.
+Result<NormalEquations> AssembleNormalEquationsBrute(
+    const std::vector<int64_t>& data, const Partition& partition);
+
+/// Solves for the SSE-optimal stored values of `partition`.
+Result<std::vector<double>> OptimalBucketValues(
+    const std::vector<int64_t>& data, const Partition& partition);
+
+/// Re-optimizes an existing average-per-bucket histogram: same boundaries,
+/// least-squares stored values, unrounded answering. The result's name is
+/// "<base>-reopt". Never worse than `base` in all-ranges SSE (up to the
+/// sub-unit effect of `base`'s rounding mode).
+Result<AvgHistogram> Reoptimize(const std::vector<int64_t>& data,
+                                const AvgHistogram& base);
+
+}  // namespace rangesyn
+
+#endif  // RANGESYN_HISTOGRAM_REOPT_H_

@@ -1,0 +1,90 @@
+#include "linalg/matrix.h"
+
+#include <cmath>
+
+namespace rangesyn {
+
+Matrix Matrix::Identity(int64_t n) {
+  Matrix m(n, n);
+  for (int64_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::Multiply(const Matrix& other) const {
+  RANGESYN_CHECK_EQ(cols_, other.rows_);
+  Matrix out(rows_, other.cols_);
+  for (int64_t i = 0; i < rows_; ++i) {
+    for (int64_t k = 0; k < cols_; ++k) {
+      const double aik = (*this)(i, k);
+      if (aik == 0.0) continue;
+      for (int64_t j = 0; j < other.cols_; ++j) {
+        out(i, j) += aik * other(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<double> Matrix::Multiply(const std::vector<double>& v) const {
+  RANGESYN_CHECK_EQ(cols_, static_cast<int64_t>(v.size()));
+  std::vector<double> out(static_cast<size_t>(rows_), 0.0);
+  for (int64_t i = 0; i < rows_; ++i) {
+    double acc = 0.0;
+    for (int64_t j = 0; j < cols_; ++j) acc += (*this)(i, j) * v[static_cast<size_t>(j)];
+    out[static_cast<size_t>(i)] = acc;
+  }
+  return out;
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix out(cols_, rows_);
+  for (int64_t i = 0; i < rows_; ++i) {
+    for (int64_t j = 0; j < cols_; ++j) out(j, i) = (*this)(i, j);
+  }
+  return out;
+}
+
+double Matrix::MaxAbsDiff(const Matrix& other) const {
+  RANGESYN_CHECK_EQ(rows_, other.rows_);
+  RANGESYN_CHECK_EQ(cols_, other.cols_);
+  double m = 0.0;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    m = std::fmax(m, std::fabs(data_[i] - other.data_[i]));
+  }
+  return m;
+}
+
+bool Matrix::IsSymmetric(double tol) const {
+  if (rows_ != cols_) return false;
+  for (int64_t i = 0; i < rows_; ++i) {
+    for (int64_t j = i + 1; j < cols_; ++j) {
+      if (std::fabs((*this)(i, j) - (*this)(j, i)) > tol) return false;
+    }
+  }
+  return true;
+}
+
+std::vector<double> Subtract(const std::vector<double>& v,
+                             const std::vector<double>& w) {
+  RANGESYN_CHECK_EQ(v.size(), w.size());
+  std::vector<double> out(v.size());
+  for (size_t i = 0; i < v.size(); ++i) out[i] = v[i] - w[i];
+  return out;
+}
+
+double Dot(const std::vector<double>& v, const std::vector<double>& w) {
+  RANGESYN_CHECK_EQ(v.size(), w.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < v.size(); ++i) acc += v[i] * w[i];
+  return acc;
+}
+
+double Norm2(const std::vector<double>& v) { return std::sqrt(Dot(v, v)); }
+
+double NormInf(const std::vector<double>& v) {
+  double m = 0.0;
+  for (double x : v) m = std::fmax(m, std::fabs(x));
+  return m;
+}
+
+}  // namespace rangesyn

@@ -1,0 +1,82 @@
+#ifndef RANGESYN_LINALG_MATRIX_H_
+#define RANGESYN_LINALG_MATRIX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/logging.h"
+
+namespace rangesyn {
+
+/// Dense row-major matrix of doubles. Sized for the paper's needs (the
+/// re-optimization post-pass solves B x B systems with B in the tens to
+/// hundreds), so the implementation favors clarity over blocking.
+class Matrix {
+ public:
+  /// Creates a rows x cols matrix of zeros.
+  Matrix(int64_t rows, int64_t cols)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<size_t>(rows * cols), 0.0) {
+    RANGESYN_CHECK_GE(rows, 0);
+    RANGESYN_CHECK_GE(cols, 0);
+  }
+
+  /// Creates an empty 0x0 matrix.
+  Matrix() : Matrix(0, 0) {}
+
+  Matrix(const Matrix&) = default;
+  Matrix& operator=(const Matrix&) = default;
+  Matrix(Matrix&&) noexcept = default;
+  Matrix& operator=(Matrix&&) noexcept = default;
+
+  /// The n x n identity.
+  static Matrix Identity(int64_t n);
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+
+  double operator()(int64_t r, int64_t c) const {
+    RANGESYN_DCHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<size_t>(r * cols_ + c)];
+  }
+  double& operator()(int64_t r, int64_t c) {
+    RANGESYN_DCHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<size_t>(r * cols_ + c)];
+  }
+
+  /// Matrix product; requires cols() == other.rows().
+  Matrix Multiply(const Matrix& other) const;
+
+  /// Matrix-vector product; requires cols() == v.size().
+  std::vector<double> Multiply(const std::vector<double>& v) const;
+
+  Matrix Transposed() const;
+
+  /// Element-wise maximum absolute difference to `other` (same shape).
+  double MaxAbsDiff(const Matrix& other) const;
+
+  /// True iff max |(i,j) - (j,i)| <= tol.
+  bool IsSymmetric(double tol = 1e-9) const;
+
+ private:
+  int64_t rows_;
+  int64_t cols_;
+  std::vector<double> data_;
+};
+
+/// v - w elementwise; sizes must match.
+std::vector<double> Subtract(const std::vector<double>& v,
+                             const std::vector<double>& w);
+
+/// Dot product; sizes must match.
+double Dot(const std::vector<double>& v, const std::vector<double>& w);
+
+/// Euclidean norm.
+double Norm2(const std::vector<double>& v);
+
+/// Largest absolute entry (0 for empty vectors).
+double NormInf(const std::vector<double>& v);
+
+}  // namespace rangesyn
+
+#endif  // RANGESYN_LINALG_MATRIX_H_

@@ -1,0 +1,129 @@
+#include "linalg/solve.h"
+
+#include <cmath>
+
+namespace rangesyn {
+
+Result<std::vector<double>> SolveLU(const Matrix& a,
+                                    const std::vector<double>& b) {
+  const int64_t n = a.rows();
+  if (a.cols() != n) return InvalidArgumentError("SolveLU: A must be square");
+  if (static_cast<int64_t>(b.size()) != n) {
+    return InvalidArgumentError("SolveLU: b size mismatch");
+  }
+  Matrix lu = a;
+  std::vector<int64_t> perm(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) perm[static_cast<size_t>(i)] = i;
+
+  for (int64_t col = 0; col < n; ++col) {
+    // Partial pivoting: pick the largest magnitude entry in this column.
+    int64_t pivot = col;
+    double best = std::fabs(lu(col, col));
+    for (int64_t r = col + 1; r < n; ++r) {
+      const double v = std::fabs(lu(r, col));
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best == 0.0) {
+      return FailedPreconditionError("SolveLU: singular matrix");
+    }
+    if (pivot != col) {
+      for (int64_t c = 0; c < n; ++c) std::swap(lu(col, c), lu(pivot, c));
+      std::swap(perm[static_cast<size_t>(col)],
+                perm[static_cast<size_t>(pivot)]);
+    }
+    const double d = lu(col, col);
+    for (int64_t r = col + 1; r < n; ++r) {
+      const double factor = lu(r, col) / d;
+      lu(r, col) = factor;  // store L below the diagonal
+      if (factor == 0.0) continue;
+      for (int64_t c = col + 1; c < n; ++c) {
+        lu(r, c) -= factor * lu(col, c);
+      }
+    }
+  }
+
+  // Forward substitution with permuted b (L has implicit unit diagonal).
+  std::vector<double> y(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    double acc = b[static_cast<size_t>(perm[static_cast<size_t>(i)])];
+    for (int64_t j = 0; j < i; ++j) acc -= lu(i, j) * y[static_cast<size_t>(j)];
+    y[static_cast<size_t>(i)] = acc;
+  }
+  // Back substitution.
+  std::vector<double> x(static_cast<size_t>(n));
+  for (int64_t i = n - 1; i >= 0; --i) {
+    double acc = y[static_cast<size_t>(i)];
+    for (int64_t j = i + 1; j < n; ++j) acc -= lu(i, j) * x[static_cast<size_t>(j)];
+    x[static_cast<size_t>(i)] = acc / lu(i, i);
+  }
+  return x;
+}
+
+Result<std::vector<double>> SolveCholesky(const Matrix& a,
+                                          const std::vector<double>& b) {
+  const int64_t n = a.rows();
+  if (a.cols() != n) {
+    return InvalidArgumentError("SolveCholesky: A must be square");
+  }
+  if (static_cast<int64_t>(b.size()) != n) {
+    return InvalidArgumentError("SolveCholesky: b size mismatch");
+  }
+  Matrix l(n, n);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j <= i; ++j) {
+      double acc = a(i, j);
+      for (int64_t k = 0; k < j; ++k) acc -= l(i, k) * l(j, k);
+      if (i == j) {
+        if (acc <= 0.0) {
+          return FailedPreconditionError("SolveCholesky: matrix not SPD");
+        }
+        l(i, i) = std::sqrt(acc);
+      } else {
+        l(i, j) = acc / l(j, j);
+      }
+    }
+  }
+  // L y = b
+  std::vector<double> y(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    double acc = b[static_cast<size_t>(i)];
+    for (int64_t j = 0; j < i; ++j) acc -= l(i, j) * y[static_cast<size_t>(j)];
+    y[static_cast<size_t>(i)] = acc / l(i, i);
+  }
+  // L^T x = y
+  std::vector<double> x(static_cast<size_t>(n));
+  for (int64_t i = n - 1; i >= 0; --i) {
+    double acc = y[static_cast<size_t>(i)];
+    for (int64_t j = i + 1; j < n; ++j) acc -= l(j, i) * x[static_cast<size_t>(j)];
+    x[static_cast<size_t>(i)] = acc / l(i, i);
+  }
+  return x;
+}
+
+Result<std::vector<double>> SolveSymmetricRobust(const Matrix& a,
+                                                 const std::vector<double>& b,
+                                                 double ridge) {
+  const int64_t n = a.rows();
+  if (a.cols() != n || static_cast<int64_t>(b.size()) != n) {
+    return InvalidArgumentError("SolveSymmetricRobust: shape mismatch");
+  }
+  double trace = 0.0;
+  for (int64_t i = 0; i < n; ++i) trace += a(i, i);
+  const double lambda =
+      ridge * (n > 0 ? trace / static_cast<double>(n) : 1.0);
+  Matrix reg = a;
+  for (int64_t i = 0; i < n; ++i) reg(i, i) += lambda;
+  Result<std::vector<double>> chol = SolveCholesky(reg, b);
+  if (chol.ok()) return chol;
+  return SolveLU(reg, b);
+}
+
+double Residual(const Matrix& a, const std::vector<double>& x,
+                const std::vector<double>& b) {
+  return NormInf(Subtract(a.Multiply(x), b));
+}
+
+}  // namespace rangesyn

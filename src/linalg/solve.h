@@ -1,0 +1,37 @@
+#ifndef RANGESYN_LINALG_SOLVE_H_
+#define RANGESYN_LINALG_SOLVE_H_
+
+#include <vector>
+
+#include "core/result.h"
+#include "linalg/matrix.h"
+
+namespace rangesyn {
+
+/// Solves A x = b via LU decomposition with partial pivoting. A must be
+/// square with rows() == b.size(). Fails with InvalidArgument on shape
+/// mismatch and FailedPrecondition when A is (numerically) singular.
+Result<std::vector<double>> SolveLU(const Matrix& a,
+                                    const std::vector<double>& b);
+
+/// Solves A x = b for symmetric positive definite A via Cholesky.
+/// Fails with FailedPrecondition when A is not SPD (non-positive pivot).
+Result<std::vector<double>> SolveCholesky(const Matrix& a,
+                                          const std::vector<double>& b);
+
+/// Solves the possibly semi-definite symmetric system A x = b by adding a
+/// tiny ridge (`ridge * trace(A)/n`) before Cholesky; falls back to LU with
+/// pivoting if Cholesky still fails. Used for the re-optimization normal
+/// equations, which are PSD by construction and SPD in all non-degenerate
+/// bucketings.
+Result<std::vector<double>> SolveSymmetricRobust(const Matrix& a,
+                                                 const std::vector<double>& b,
+                                                 double ridge = 1e-12);
+
+/// Max-abs residual ||A x - b||_inf, for verifying solutions in tests.
+double Residual(const Matrix& a, const std::vector<double>& x,
+                const std::vector<double>& b);
+
+}  // namespace rangesyn
+
+#endif  // RANGESYN_LINALG_SOLVE_H_

@@ -1,0 +1,417 @@
+#include "twod/estimators2d.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/logging.h"
+#include "core/mathutil.h"
+#include "core/strings.h"
+#include "wavelet/haar.h"
+
+namespace rangesyn {
+namespace {
+
+Status ValidateRect(const RectQuery& q, int64_t rows, int64_t cols) {
+  if (q.r1 < 1 || q.r1 > q.r2 || q.r2 > rows || q.c1 < 1 || q.c1 > q.c2 ||
+      q.c2 > cols) {
+    return InvalidArgumentError(
+        StrCat("bad rectangle [", q.r1, ",", q.r2, "]x[", q.c1, ",", q.c2,
+               "] for ", rows, "x", cols));
+  }
+  return OkStatus();
+}
+
+/// Tile ends for an equi-width split of 1..n into k parts.
+std::vector<int64_t> TileEnds(int64_t n, int64_t k) {
+  std::vector<int64_t> ends;
+  ends.reserve(static_cast<size_t>(k));
+  for (int64_t i = 1; i <= k; ++i) ends.push_back((n * i) / k);
+  ends.erase(std::unique(ends.begin(), ends.end()), ends.end());
+  return ends;
+}
+
+int64_t TileOf(const std::vector<int64_t>& ends, int64_t pos) {
+  return std::lower_bound(ends.begin(), ends.end(), pos) - ends.begin();
+}
+
+}  // namespace
+
+// ----------------------------------------------------------------- Naive2D
+
+Result<Naive2D> Naive2D::Build(const Grid2D& grid) {
+  const double cells =
+      static_cast<double>(grid.rows()) * static_cast<double>(grid.cols());
+  return Naive2D(grid.rows(), grid.cols(),
+                 static_cast<double>(grid.TotalVolume()) / cells);
+}
+
+double Naive2D::EstimateRect(const RectQuery& q) const {
+  RANGESYN_DCHECK(ValidateRect(q, rows_, cols_).ok());
+  const double area = static_cast<double>(q.r2 - q.r1 + 1) *
+                      static_cast<double>(q.c2 - q.c1 + 1);
+  return area * avg_;
+}
+
+// --------------------------------------------------------- GridHistogram2D
+
+GridHistogram2D::GridHistogram2D(int64_t rows, int64_t cols, int64_t tiles_r,
+                                 int64_t tiles_c,
+                                 std::vector<int64_t> row_ends,
+                                 std::vector<int64_t> col_ends,
+                                 std::vector<double> mass)
+    : rows_(rows),
+      cols_(cols),
+      tiles_r_(tiles_r),
+      tiles_c_(tiles_c),
+      row_ends_(std::move(row_ends)),
+      col_ends_(std::move(col_ends)),
+      mass_(std::move(mass)) {}
+
+namespace {
+
+/// Equi-depth boundaries on a marginal mass vector: k ends covering
+/// roughly equal total mass each.
+std::vector<int64_t> EquiDepthEnds(const std::vector<int64_t>& marginal,
+                                   int64_t k) {
+  const int64_t n = static_cast<int64_t>(marginal.size());
+  const int64_t b = std::min(k, n);
+  double total = 0.0;
+  for (int64_t v : marginal) total += static_cast<double>(v);
+  std::vector<int64_t> ends;
+  ends.reserve(static_cast<size_t>(b));
+  double acc = 0.0;
+  int64_t prev = 0;
+  for (int64_t i = 1; i < b; ++i) {
+    const double target = total * static_cast<double>(i) /
+                          static_cast<double>(b);
+    int64_t e = prev + 1;
+    double run = acc + static_cast<double>(marginal[static_cast<size_t>(
+                           e - 1)]);
+    while (e < n - (b - i) && run < target) {
+      ++e;
+      run += static_cast<double>(marginal[static_cast<size_t>(e - 1)]);
+    }
+    ends.push_back(e);
+    prev = e;
+    acc = run;
+  }
+  ends.push_back(n);
+  ends.erase(std::unique(ends.begin(), ends.end()), ends.end());
+  return ends;
+}
+
+}  // namespace
+
+Result<GridHistogram2D> GridHistogram2D::Build(const Grid2D& grid,
+                                               int64_t tiles_r,
+                                               int64_t tiles_c) {
+  if (tiles_r < 1 || tiles_c < 1) {
+    return InvalidArgumentError("GridHistogram2D: tiles >= 1");
+  }
+  return BuildFromTileEnds(
+      grid, TileEnds(grid.rows(), std::min(tiles_r, grid.rows())),
+      TileEnds(grid.cols(), std::min(tiles_c, grid.cols())));
+}
+
+Result<GridHistogram2D> GridHistogram2D::BuildEquiDepth(const Grid2D& grid,
+                                                        int64_t tiles_r,
+                                                        int64_t tiles_c) {
+  if (tiles_r < 1 || tiles_c < 1) {
+    return InvalidArgumentError("GridHistogram2D: tiles >= 1");
+  }
+  std::vector<int64_t> row_marginal(static_cast<size_t>(grid.rows()), 0);
+  std::vector<int64_t> col_marginal(static_cast<size_t>(grid.cols()), 0);
+  for (int64_t r = 1; r <= grid.rows(); ++r) {
+    for (int64_t c = 1; c <= grid.cols(); ++c) {
+      row_marginal[static_cast<size_t>(r - 1)] += grid.at(r, c);
+      col_marginal[static_cast<size_t>(c - 1)] += grid.at(r, c);
+    }
+  }
+  return BuildFromTileEnds(grid, EquiDepthEnds(row_marginal, tiles_r),
+                           EquiDepthEnds(col_marginal, tiles_c));
+}
+
+Result<GridHistogram2D> GridHistogram2D::BuildFromTileEnds(
+    const Grid2D& grid, std::vector<int64_t> row_ends,
+    std::vector<int64_t> col_ends) {
+  PrefixGrid prefix(grid);
+  std::vector<double> mass(row_ends.size() * col_ends.size());
+  int64_t prev_r = 0;
+  for (size_t i = 0; i < row_ends.size(); ++i) {
+    int64_t prev_c = 0;
+    for (size_t j = 0; j < col_ends.size(); ++j) {
+      mass[i * col_ends.size() + j] = static_cast<double>(prefix.RectSum(
+          {prev_r + 1, row_ends[i], prev_c + 1, col_ends[j]}));
+      prev_c = col_ends[j];
+    }
+    prev_r = row_ends[i];
+  }
+  const int64_t num_tiles_r = static_cast<int64_t>(row_ends.size());
+  const int64_t num_tiles_c = static_cast<int64_t>(col_ends.size());
+  return GridHistogram2D(grid.rows(), grid.cols(), num_tiles_r, num_tiles_c,
+                         std::move(row_ends), std::move(col_ends),
+                         std::move(mass));
+}
+
+double GridHistogram2D::EstimateRect(const RectQuery& q) const {
+  RANGESYN_DCHECK(ValidateRect(q, rows_, cols_).ok());
+  const int64_t tr_lo = TileOf(row_ends_, q.r1);
+  const int64_t tr_hi = TileOf(row_ends_, q.r2);
+  const int64_t tc_lo = TileOf(col_ends_, q.c1);
+  const int64_t tc_hi = TileOf(col_ends_, q.c2);
+  double estimate = 0.0;
+  for (int64_t tr = tr_lo; tr <= tr_hi; ++tr) {
+    const int64_t t_r1 =
+        (tr == 0) ? 1 : row_ends_[static_cast<size_t>(tr - 1)] + 1;
+    const int64_t t_r2 = row_ends_[static_cast<size_t>(tr)];
+    const double row_overlap = static_cast<double>(
+        std::min(q.r2, t_r2) - std::max(q.r1, t_r1) + 1);
+    const double row_span = static_cast<double>(t_r2 - t_r1 + 1);
+    for (int64_t tc = tc_lo; tc <= tc_hi; ++tc) {
+      const int64_t t_c1 =
+          (tc == 0) ? 1 : col_ends_[static_cast<size_t>(tc - 1)] + 1;
+      const int64_t t_c2 = col_ends_[static_cast<size_t>(tc)];
+      const double col_overlap = static_cast<double>(
+          std::min(q.c2, t_c2) - std::max(q.c1, t_c1) + 1);
+      const double col_span = static_cast<double>(t_c2 - t_c1 + 1);
+      estimate += CellMass(tr, tc) * (row_overlap / row_span) *
+                  (col_overlap / col_span);
+    }
+  }
+  return estimate;
+}
+
+// ----------------------------------------------------------- Wave2DRangeOpt
+
+Wave2DRangeOpt::Wave2DRangeOpt(
+    int64_t rows, int64_t cols, int64_t s, int64_t t,
+    std::vector<std::pair<int64_t, int64_t>> coeff_keys,
+    std::vector<double> coeff_values, double predicted_sse)
+    : rows_(rows),
+      cols_(cols),
+      s_(s),
+      t_(t),
+      coeff_keys_(std::move(coeff_keys)),
+      coeff_values_(std::move(coeff_values)),
+      predicted_sse_(predicted_sse) {
+  by_key_.reserve(coeff_keys_.size());
+  for (size_t i = 0; i < coeff_keys_.size(); ++i) {
+    by_key_.emplace(coeff_keys_[i].first * t_ + coeff_keys_[i].second,
+                    coeff_values_[i]);
+  }
+}
+
+namespace {
+
+/// Flat row-major tensor Haar coefficients of the constant-extended,
+/// padded prefix grid. Outputs the padded dims into *s / *t.
+Result<std::vector<double>> TensorPrefixCoefficients(const Grid2D& grid,
+                                                     int64_t* s,
+                                                     int64_t* t) {
+  const int64_t rows = grid.rows();
+  const int64_t cols = grid.cols();
+  *s = static_cast<int64_t>(NextPowerOfTwo(static_cast<uint64_t>(rows) + 1));
+  *t = static_cast<int64_t>(NextPowerOfTwo(static_cast<uint64_t>(cols) + 1));
+  PrefixGrid prefix(grid);
+  std::vector<double> flat(static_cast<size_t>(*s) *
+                           static_cast<size_t>(*t));
+  std::vector<double> line(static_cast<size_t>(*t));
+  for (int64_t t1 = 0; t1 < *s; ++t1) {
+    const int64_t cr = std::min(t1, rows);
+    for (int64_t t2 = 0; t2 < *t; ++t2) {
+      line[static_cast<size_t>(t2)] =
+          static_cast<double>(prefix.PP(cr, std::min(t2, cols)));
+    }
+    RANGESYN_ASSIGN_OR_RETURN(line, HaarTransform(line));
+    for (int64_t t2 = 0; t2 < *t; ++t2) {
+      flat[static_cast<size_t>(t1) * static_cast<size_t>(*t) +
+           static_cast<size_t>(t2)] = line[static_cast<size_t>(t2)];
+    }
+  }
+  std::vector<double> column(static_cast<size_t>(*s));
+  for (int64_t t2 = 0; t2 < *t; ++t2) {
+    for (int64_t t1 = 0; t1 < *s; ++t1) {
+      column[static_cast<size_t>(t1)] =
+          flat[static_cast<size_t>(t1) * static_cast<size_t>(*t) +
+               static_cast<size_t>(t2)];
+    }
+    RANGESYN_ASSIGN_OR_RETURN(column, HaarTransform(column));
+    for (int64_t t1 = 0; t1 < *s; ++t1) {
+      flat[static_cast<size_t>(t1) * static_cast<size_t>(*t) +
+           static_cast<size_t>(t2)] = column[static_cast<size_t>(t1)];
+    }
+  }
+  return flat;
+}
+
+}  // namespace
+
+Result<Wave2DRangeOpt> Wave2DRangeOpt::Build(const Grid2D& grid,
+                                             int64_t budget) {
+  int64_t s = 0, t = 0;
+  RANGESYN_ASSIGN_OR_RETURN(std::vector<double> coeffs,
+                            TensorPrefixCoefficients(grid, &s, &t));
+  return FromCoefficients(grid.rows(), grid.cols(), s, t, coeffs, budget);
+}
+
+Result<Wave2DRangeOpt> Wave2DRangeOpt::FromCoefficients(
+    int64_t rows, int64_t cols, int64_t s, int64_t t,
+    const std::vector<double>& coeffs, int64_t budget) {
+  if (budget < 1) return InvalidArgumentError("Wave2D: budget >= 1");
+  if (static_cast<int64_t>(coeffs.size()) != s * t || s < 2 || t < 2) {
+    return InvalidArgumentError("Wave2D: bad coefficient array shape");
+  }
+  // Rank coefficients with both factors non-DC; DC-factor coefficients
+  // cancel in every rectangle query and are never stored.
+  struct Ranked {
+    int64_t u, v;
+    double value;
+  };
+  std::vector<Ranked> ranked;
+  ranked.reserve(static_cast<size_t>((s - 1)) * static_cast<size_t>(t - 1));
+  double total_energy = 0.0;
+  for (int64_t u = 1; u < s; ++u) {
+    for (int64_t v = 1; v < t; ++v) {
+      const double c = coeffs[static_cast<size_t>(u) *
+                                  static_cast<size_t>(t) +
+                              static_cast<size_t>(v)];
+      total_energy += c * c;
+      ranked.push_back({u, v, c});
+    }
+  }
+  const size_t keep =
+      std::min<size_t>(static_cast<size_t>(budget), ranked.size());
+  std::partial_sort(ranked.begin(), ranked.begin() + keep, ranked.end(),
+                    [](const Ranked& a, const Ranked& b) {
+                      const double ma = std::fabs(a.value);
+                      const double mb = std::fabs(b.value);
+                      if (ma != mb) return ma > mb;
+                      if (a.u != b.u) return a.u < b.u;
+                      return a.v < b.v;
+                    });
+  std::vector<std::pair<int64_t, int64_t>> keys;
+  std::vector<double> values;
+  keys.reserve(keep);
+  values.reserve(keep);
+  double kept_energy = 0.0;
+  for (size_t i = 0; i < keep; ++i) {
+    keys.emplace_back(ranked[i].u, ranked[i].v);
+    values.push_back(ranked[i].value);
+    kept_energy += ranked[i].value * ranked[i].value;
+  }
+  const double predicted = static_cast<double>(s) * static_cast<double>(t) *
+                           std::fmax(0.0, total_energy - kept_energy);
+  return Wave2DRangeOpt(rows, cols, s, t, std::move(keys),
+                        std::move(values), predicted);
+}
+
+double Wave2DRangeOpt::EstimateRect(const RectQuery& q) const {
+  RANGESYN_DCHECK(ValidateRect(q, rows_, cols_).ok());
+  // 4-point inclusion-exclusion on the reconstruction: for the tensor
+  // basis this factorizes into axis differences, and each axis difference
+  // is nonzero only for ancestors of the two endpoints.
+  const int64_t x1 = q.r1 - 1, y1 = q.r2;
+  const int64_t x2 = q.c1 - 1, y2 = q.c2;
+  std::vector<int64_t> us = AncestorIndices(s_, x1);
+  {
+    const std::vector<int64_t> more = AncestorIndices(s_, y1);
+    us.insert(us.end(), more.begin(), more.end());
+    std::sort(us.begin(), us.end());
+    us.erase(std::unique(us.begin(), us.end()), us.end());
+  }
+  std::vector<int64_t> vs = AncestorIndices(t_, x2);
+  {
+    const std::vector<int64_t> more = AncestorIndices(t_, y2);
+    vs.insert(vs.end(), more.begin(), more.end());
+    std::sort(vs.begin(), vs.end());
+    vs.erase(std::unique(vs.begin(), vs.end()), vs.end());
+  }
+  double estimate = 0.0;
+  for (int64_t u : us) {
+    if (u == 0) continue;  // DC factors cancel
+    const double du = BasisValue(s_, u, y1) - BasisValue(s_, u, x1);
+    if (du == 0.0) continue;
+    for (int64_t v : vs) {
+      if (v == 0) continue;
+      const auto it = by_key_.find(u * t_ + v);
+      if (it == by_key_.end()) continue;
+      const double dv = BasisValue(t_, v, y2) - BasisValue(t_, v, x2);
+      estimate += it->second * du * dv;
+    }
+  }
+  return estimate;
+}
+
+// ------------------------------------------------- DynamicWave2DMaintainer
+
+Result<DynamicWave2DMaintainer> DynamicWave2DMaintainer::Create(
+    const Grid2D& grid) {
+  int64_t s = 0, t = 0;
+  RANGESYN_ASSIGN_OR_RETURN(std::vector<double> coeffs,
+                            TensorPrefixCoefficients(grid, &s, &t));
+  return DynamicWave2DMaintainer(grid, s, t, std::move(coeffs));
+}
+
+Status DynamicWave2DMaintainer::ApplyUpdate(int64_t r, int64_t c,
+                                            int64_t delta) {
+  if (r < 1 || r > rows_ || c < 1 || c > cols_) {
+    return InvalidArgumentError(
+        StrCat("Wave2D update: (", r, ",", c, ") outside the grid"));
+  }
+  const int64_t updated = grid_.at(r, c) + delta;
+  if (updated < 0) {
+    return FailedPreconditionError(
+        StrCat("Wave2D update: count at (", r, ",", c, ") would be ",
+               updated));
+  }
+  grid_.set(r, c, updated);
+  // PP gains `delta` on the quadrant t1 >= r, t2 >= c (the padding's
+  // clamped replication moves with it), which projects onto the tensor
+  // products of the ancestors of r and of c.
+  const double d = static_cast<double>(delta);
+  for (int64_t u : AncestorIndices(s_, r)) {
+    const double ru = BasisRangeSum(s_, u, r, s_ - 1);
+    if (ru == 0.0) continue;
+    for (int64_t v : AncestorIndices(t_, c)) {
+      const double rv = BasisRangeSum(t_, v, c, t_ - 1);
+      if (rv == 0.0) continue;
+      coeffs_[static_cast<size_t>(u) * static_cast<size_t>(t_) +
+              static_cast<size_t>(v)] += d * ru * rv;
+    }
+  }
+  ++updates_;
+  return OkStatus();
+}
+
+Result<Wave2DRangeOpt> DynamicWave2DMaintainer::Snapshot(
+    int64_t budget) const {
+  return Wave2DRangeOpt::FromCoefficients(rows_, cols_, s_, t_, coeffs_,
+                                          budget);
+}
+
+// ----------------------------------------------------------------- metrics
+
+Result<double> RectWorkloadSse(const Grid2D& grid,
+                               const RectEstimator& estimator,
+                               const std::vector<RectQuery>& queries) {
+  if (estimator.rows() != grid.rows() || estimator.cols() != grid.cols()) {
+    return InvalidArgumentError("RectWorkloadSse: shape mismatch");
+  }
+  PrefixGrid prefix(grid);
+  double sse = 0.0;
+  for (const RectQuery& q : queries) {
+    RANGESYN_RETURN_IF_ERROR(ValidateRect(q, grid.rows(), grid.cols()));
+    const double err = static_cast<double>(prefix.RectSum(q)) -
+                       estimator.EstimateRect(q);
+    sse += err * err;
+  }
+  return sse;
+}
+
+Result<double> AllRectanglesSse(const Grid2D& grid,
+                                const RectEstimator& estimator) {
+  return RectWorkloadSse(grid, estimator,
+                         AllRectangles(grid.rows(), grid.cols()));
+}
+
+}  // namespace rangesyn

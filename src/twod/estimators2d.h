@@ -1,0 +1,198 @@
+#ifndef RANGESYN_TWOD_ESTIMATORS2D_H_
+#define RANGESYN_TWOD_ESTIMATORS2D_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/result.h"
+#include "twod/grid.h"
+
+namespace rangesyn {
+
+/// The 2-D NAIVE bound: one stored value (the global cell average),
+/// answering every rectangle as area * average.
+class Naive2D : public RectEstimator {
+ public:
+  static Result<Naive2D> Build(const Grid2D& grid);
+
+  double EstimateRect(const RectQuery& query) const override;
+  int64_t StorageWords() const override { return 1; }
+  int64_t rows() const override { return rows_; }
+  int64_t cols() const override { return cols_; }
+  std::string Name() const override { return "NAIVE-2D"; }
+
+ private:
+  Naive2D(int64_t rows, int64_t cols, double avg)
+      : rows_(rows), cols_(cols), avg_(avg) {}
+  int64_t rows_;
+  int64_t cols_;
+  double avg_;
+};
+
+/// Equi-width grid histogram: tiles x tiles cells, each storing its true
+/// average; rectangles are answered cell by cell with the uniformity
+/// assumption inside partially covered cells. The classic engine baseline
+/// for multidimensional selectivity.
+class GridHistogram2D : public RectEstimator {
+ public:
+  /// `tiles_r` x `tiles_c` cells (clamped to the grid dims), equal-width
+  /// tile boundaries.
+  static Result<GridHistogram2D> Build(const Grid2D& grid, int64_t tiles_r,
+                                       int64_t tiles_c);
+
+  /// Same representation with tile boundaries chosen equi-depth on the
+  /// row/column *marginal* distributions — the classical stronger
+  /// baseline for skewed joint data.
+  static Result<GridHistogram2D> BuildEquiDepth(const Grid2D& grid,
+                                                int64_t tiles_r,
+                                                int64_t tiles_c);
+
+  double EstimateRect(const RectQuery& query) const override;
+  int64_t StorageWords() const override {
+    // Cell masses plus the two boundary vectors.
+    return tiles_r_ * tiles_c_ + tiles_r_ + tiles_c_;
+  }
+  int64_t rows() const override { return rows_; }
+  int64_t cols() const override { return cols_; }
+  std::string Name() const override { return "GRID-2D"; }
+
+  int64_t tiles_r() const { return tiles_r_; }
+  int64_t tiles_c() const { return tiles_c_; }
+
+ private:
+  GridHistogram2D(int64_t rows, int64_t cols, int64_t tiles_r,
+                  int64_t tiles_c, std::vector<int64_t> row_ends,
+                  std::vector<int64_t> col_ends, std::vector<double> mass);
+
+  static Result<GridHistogram2D> BuildFromTileEnds(
+      const Grid2D& grid, std::vector<int64_t> row_ends,
+      std::vector<int64_t> col_ends);
+
+  double CellMass(int64_t tr, int64_t tc) const {
+    return mass_[static_cast<size_t>(tr) * static_cast<size_t>(tiles_c_) +
+                 static_cast<size_t>(tc)];
+  }
+
+  int64_t rows_;
+  int64_t cols_;
+  int64_t tiles_r_;
+  int64_t tiles_c_;
+  std::vector<int64_t> row_ends_;  // 1-based inclusive tile row ends
+  std::vector<int64_t> col_ends_;
+  std::vector<double> mass_;       // total count per tile (row-major)
+};
+
+/// The rectangle-optimal 2-D wavelet synopsis — the tensorized Theorem 9.
+/// Every rectangle sum is a 4-point inclusion-exclusion on the 2-D
+/// prefix-sum grid PP; in the tensor Haar basis of PP the rectangle SSE
+/// decomposes as S*T * Σ c² over dropped coefficients whose *both* factors
+/// are non-DC, while coefficients with a DC factor cancel in every query.
+/// So: transform PP, never store DC-factor coefficients, keep the top-B
+/// magnitudes — provably optimal when rows+1 and cols+1 are powers of two
+/// (constant-extended padding otherwise). Queries take O(log² n).
+class Wave2DRangeOpt : public RectEstimator {
+ public:
+  static Result<Wave2DRangeOpt> Build(const Grid2D& grid, int64_t budget);
+
+  /// Advanced: selects the top-`budget` eligible coefficients from a
+  /// precomputed row-major S x T tensor-coefficient array of the padded
+  /// prefix grid (as produced internally by Build, or maintained by
+  /// DynamicWave2DMaintainer).
+  static Result<Wave2DRangeOpt> FromCoefficients(
+      int64_t rows, int64_t cols, int64_t s, int64_t t,
+      const std::vector<double>& coeffs, int64_t budget);
+
+  double EstimateRect(const RectQuery& query) const override;
+  int64_t StorageWords() const override {
+    return 3 * static_cast<int64_t>(coeff_values_.size());  // (u,v,value)
+  }
+  int64_t rows() const override { return rows_; }
+  int64_t cols() const override { return cols_; }
+  std::string Name() const override { return "WAVE-2D-RANGE-OPT"; }
+
+  int64_t padded_rows() const { return s_; }
+  int64_t padded_cols() const { return t_; }
+  int64_t num_coefficients() const {
+    return static_cast<int64_t>(coeff_values_.size());
+  }
+
+  /// Predicted all-rectangles SSE = S*T * (dropped energy over u,v >= 1);
+  /// exact when rows+1 == S and cols+1 == T. Exposed for tests.
+  double predicted_sse() const { return predicted_sse_; }
+
+ private:
+  Wave2DRangeOpt(int64_t rows, int64_t cols, int64_t s, int64_t t,
+                 std::vector<std::pair<int64_t, int64_t>> coeff_keys,
+                 std::vector<double> coeff_values, double predicted_sse);
+
+  /// Reconstructed PP difference functional for one axis pair.
+  double Lookup(int64_t u, int64_t v) const;
+
+  int64_t rows_;
+  int64_t cols_;
+  int64_t s_;  // padded rows+1 dimension
+  int64_t t_;  // padded cols+1 dimension
+  std::vector<std::pair<int64_t, int64_t>> coeff_keys_;
+  std::vector<double> coeff_values_;
+  std::unordered_map<int64_t, double> by_key_;
+  double predicted_sse_;
+};
+
+/// Dynamic maintenance of the rectangle-optimal wavelet coefficients —
+/// the 2-D counterpart of DynamicRangeSynopsisMaintainer. A point update
+/// grid[r][c] += delta bumps the prefix grid PP by a constant on the
+/// quadrant [r.., c..]; in the tensor Haar basis that projects onto
+/// (ancestors of r) x (ancestors of c): O(log² n) coefficients per
+/// update. Snapshot() re-selects the top-B eligible coefficients.
+class DynamicWave2DMaintainer {
+ public:
+  static Result<DynamicWave2DMaintainer> Create(const Grid2D& grid);
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  int64_t updates_applied() const { return updates_; }
+
+  /// Applies grid[r][c] += delta (1-based); fails if the count would go
+  /// negative. O(log² n).
+  Status ApplyUpdate(int64_t r, int64_t c, int64_t delta);
+
+  /// Current exact count.
+  int64_t CountAt(int64_t r, int64_t c) const { return grid_.at(r, c); }
+
+  /// Rectangle-optimal B-coefficient synopsis of the current grid —
+  /// identical to Wave2DRangeOpt::Build on the updated data.
+  Result<Wave2DRangeOpt> Snapshot(int64_t budget) const;
+
+ private:
+  DynamicWave2DMaintainer(Grid2D grid, int64_t s, int64_t t,
+                          std::vector<double> coeffs)
+      : rows_(grid.rows()),
+        cols_(grid.cols()),
+        s_(s),
+        t_(t),
+        grid_(std::move(grid)),
+        coeffs_(std::move(coeffs)) {}
+
+  int64_t rows_;
+  int64_t cols_;
+  int64_t s_;  // padded rows+1
+  int64_t t_;  // padded cols+1
+  int64_t updates_ = 0;
+  Grid2D grid_;
+  std::vector<double> coeffs_;  // row-major S x T tensor coefficients
+};
+
+/// SSE of `estimator` over an explicit rectangle workload (exact answers
+/// from the prefix grid).
+Result<double> RectWorkloadSse(const Grid2D& grid,
+                               const RectEstimator& estimator,
+                               const std::vector<RectQuery>& queries);
+
+/// SSE over all rectangles — O((rows*cols)²); small grids only.
+Result<double> AllRectanglesSse(const Grid2D& grid,
+                                const RectEstimator& estimator);
+
+}  // namespace rangesyn
+
+#endif  // RANGESYN_TWOD_ESTIMATORS2D_H_

@@ -1,0 +1,172 @@
+#include "twod/grid.h"
+
+#include <cmath>
+
+#include "core/logging.h"
+#include "core/strings.h"
+#include "data/distribution.h"
+#include "data/rounding.h"
+
+namespace rangesyn {
+
+size_t Grid2D::Index(int64_t r, int64_t c) const {
+  RANGESYN_DCHECK(r >= 1 && r <= rows_ && c >= 1 && c <= cols_);
+  return static_cast<size_t>(r - 1) * static_cast<size_t>(cols_) +
+         static_cast<size_t>(c - 1);
+}
+
+Result<Grid2D> Grid2D::Zero(int64_t rows, int64_t cols) {
+  if (rows < 1 || cols < 1) {
+    return InvalidArgumentError("Grid2D: dims must be >= 1");
+  }
+  return Grid2D(rows, cols,
+                std::vector<int64_t>(
+                    static_cast<size_t>(rows) * static_cast<size_t>(cols),
+                    0));
+}
+
+Result<Grid2D> Grid2D::FromCounts(int64_t rows, int64_t cols,
+                                  std::vector<int64_t> counts) {
+  if (rows < 1 || cols < 1) {
+    return InvalidArgumentError("Grid2D: dims must be >= 1");
+  }
+  if (static_cast<int64_t>(counts.size()) != rows * cols) {
+    return InvalidArgumentError(
+        StrCat("Grid2D: got ", counts.size(), " counts for ", rows, "x",
+               cols));
+  }
+  for (int64_t v : counts) {
+    if (v < 0) return InvalidArgumentError("Grid2D: negative count");
+  }
+  return Grid2D(rows, cols, std::move(counts));
+}
+
+int64_t Grid2D::TotalVolume() const {
+  int64_t total = 0;
+  for (int64_t v : counts_) total += v;
+  return total;
+}
+
+PrefixGrid::PrefixGrid(const Grid2D& grid)
+    : rows_(grid.rows()), cols_(grid.cols()) {
+  pp_.assign(static_cast<size_t>(rows_ + 1) * static_cast<size_t>(cols_ + 1),
+             0);
+  for (int64_t r = 1; r <= rows_; ++r) {
+    for (int64_t c = 1; c <= cols_; ++c) {
+      const size_t stride = static_cast<size_t>(cols_ + 1);
+      const size_t idx = static_cast<size_t>(r) * stride +
+                         static_cast<size_t>(c);
+      pp_[idx] = grid.at(r, c) + pp_[idx - 1] + pp_[idx - stride] -
+                 pp_[idx - stride - 1];
+    }
+  }
+}
+
+int64_t PrefixGrid::RectSum(const RectQuery& q) const {
+  RANGESYN_DCHECK(q.r1 >= 1 && q.r1 <= q.r2 && q.r2 <= rows_);
+  RANGESYN_DCHECK(q.c1 >= 1 && q.c1 <= q.c2 && q.c2 <= cols_);
+  return PP(q.r2, q.c2) - PP(q.r1 - 1, q.c2) - PP(q.r2, q.c1 - 1) +
+         PP(q.r1 - 1, q.c1 - 1);
+}
+
+std::vector<RectQuery> AllRectangles(int64_t rows, int64_t cols) {
+  RANGESYN_CHECK_GE(rows, 1);
+  RANGESYN_CHECK_GE(cols, 1);
+  std::vector<RectQuery> out;
+  out.reserve(static_cast<size_t>(rows * (rows + 1) / 2) *
+              static_cast<size_t>(cols * (cols + 1) / 2));
+  for (int64_t r1 = 1; r1 <= rows; ++r1) {
+    for (int64_t r2 = r1; r2 <= rows; ++r2) {
+      for (int64_t c1 = 1; c1 <= cols; ++c1) {
+        for (int64_t c2 = c1; c2 <= cols; ++c2) {
+          out.push_back({r1, r2, c1, c2});
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Result<std::vector<RectQuery>> UniformRandomRectangles(int64_t rows,
+                                                       int64_t cols,
+                                                       int64_t count,
+                                                       Rng* rng) {
+  if (rows < 1 || cols < 1) {
+    return InvalidArgumentError("UniformRandomRectangles: dims >= 1");
+  }
+  if (count < 0) {
+    return InvalidArgumentError("UniformRandomRectangles: count >= 0");
+  }
+  std::vector<RectQuery> out;
+  out.reserve(static_cast<size_t>(count));
+  for (int64_t i = 0; i < count; ++i) {
+    int64_t r1 = rng->NextInt(1, rows), r2 = rng->NextInt(1, rows);
+    int64_t c1 = rng->NextInt(1, cols), c2 = rng->NextInt(1, cols);
+    if (r1 > r2) std::swap(r1, r2);
+    if (c1 > c2) std::swap(c1, c2);
+    out.push_back({r1, r2, c1, c2});
+  }
+  return out;
+}
+
+Result<Grid2D> MakeNamedGrid(const std::string& name, int64_t rows,
+                             int64_t cols, double total_volume, Rng* rng) {
+  if (rows < 1 || cols < 1) {
+    return InvalidArgumentError("MakeNamedGrid: dims >= 1");
+  }
+  if (total_volume <= 0) {
+    return InvalidArgumentError("MakeNamedGrid: total_volume > 0");
+  }
+  std::vector<double> mass(
+      static_cast<size_t>(rows) * static_cast<size_t>(cols), 0.0);
+  if (name == "product_zipf") {
+    ZipfOptions row_opt;
+    row_opt.n = rows;
+    row_opt.total_volume = 1.0;
+    ZipfOptions col_opt;
+    col_opt.n = cols;
+    col_opt.total_volume = 1.0;
+    RANGESYN_ASSIGN_OR_RETURN(std::vector<double> row_m,
+                              ZipfFrequencies(row_opt, rng));
+    RANGESYN_ASSIGN_OR_RETURN(std::vector<double> col_m,
+                              ZipfFrequencies(col_opt, rng));
+    for (int64_t r = 0; r < rows; ++r) {
+      for (int64_t c = 0; c < cols; ++c) {
+        mass[static_cast<size_t>(r) * static_cast<size_t>(cols) +
+             static_cast<size_t>(c)] =
+            total_volume * row_m[static_cast<size_t>(r)] *
+            col_m[static_cast<size_t>(c)];
+      }
+    }
+  } else if (name == "gauss_blobs") {
+    const int blobs = 4;
+    for (int b = 0; b < blobs; ++b) {
+      const double cr = rng->NextDouble(0.0, static_cast<double>(rows));
+      const double cc = rng->NextDouble(0.0, static_cast<double>(cols));
+      const double sr = rng->NextDouble(1.0, static_cast<double>(rows) / 4);
+      const double sc = rng->NextDouble(1.0, static_cast<double>(cols) / 4);
+      const double w = rng->NextDouble(0.5, 1.5);
+      for (int64_t r = 0; r < rows; ++r) {
+        for (int64_t c = 0; c < cols; ++c) {
+          const double zr = (static_cast<double>(r) + 0.5 - cr) / sr;
+          const double zc = (static_cast<double>(c) + 0.5 - cc) / sc;
+          mass[static_cast<size_t>(r) * static_cast<size_t>(cols) +
+               static_cast<size_t>(c)] +=
+              w * std::exp(-0.5 * (zr * zr + zc * zc));
+        }
+      }
+    }
+    double sum = 0.0;
+    for (double v : mass) sum += v;
+    RANGESYN_CHECK_GT(sum, 0.0);
+    for (double& v : mass) v *= total_volume / sum;
+  } else {
+    return InvalidArgumentError(StrCat("unknown grid family '", name, "'"));
+  }
+  RANGESYN_ASSIGN_OR_RETURN(
+      std::vector<int64_t> counts,
+      RandomRound(mass, RandomRoundingMode::kHalf, rng));
+  return Grid2D::FromCounts(rows, cols, std::move(counts));
+}
+
+}  // namespace rangesyn

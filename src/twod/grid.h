@@ -1,0 +1,112 @@
+#ifndef RANGESYN_TWOD_GRID_H_
+#define RANGESYN_TWOD_GRID_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/random.h"
+#include "core/result.h"
+
+namespace rangesyn {
+
+/// Two-dimensional attribute-value distribution: counts[r][c] = number of
+/// records with joint value (r+1, c+1). The substrate for the paper's
+/// footnote-2 extension ("straightforward extension of our results to
+/// higher dimensions").
+class Grid2D {
+ public:
+  /// rows x cols grid of zeros.
+  static Result<Grid2D> Zero(int64_t rows, int64_t cols);
+
+  /// From row-major counts; all must be >= 0.
+  static Result<Grid2D> FromCounts(int64_t rows, int64_t cols,
+                                   std::vector<int64_t> counts);
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+
+  /// 1-based access, r in [1, rows], c in [1, cols].
+  int64_t at(int64_t r, int64_t c) const {
+    return counts_[Index(r, c)];
+  }
+  void set(int64_t r, int64_t c, int64_t v) { counts_[Index(r, c)] = v; }
+  void add(int64_t r, int64_t c, int64_t delta) {
+    counts_[Index(r, c)] += delta;
+  }
+
+  int64_t TotalVolume() const;
+
+ private:
+  Grid2D(int64_t rows, int64_t cols, std::vector<int64_t> counts)
+      : rows_(rows), cols_(cols), counts_(std::move(counts)) {}
+
+  size_t Index(int64_t r, int64_t c) const;
+
+  int64_t rows_;
+  int64_t cols_;
+  std::vector<int64_t> counts_;  // row-major
+};
+
+/// A rectangle range-sum query: sum of counts over rows [r1, r2] and
+/// columns [c1, c2], 1-based inclusive.
+struct RectQuery {
+  int64_t r1 = 1, r2 = 1, c1 = 1, c2 = 1;
+  friend bool operator==(const RectQuery&, const RectQuery&) = default;
+};
+
+/// Exact 2-D prefix sums: PP[t1][t2] = sum of counts over rows <= t1 and
+/// cols <= t2 (t's are 0..rows / 0..cols), giving O(1) exact rectangle
+/// sums by inclusion-exclusion.
+class PrefixGrid {
+ public:
+  explicit PrefixGrid(const Grid2D& grid);
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+
+  /// PP[t1][t2], 0 <= t1 <= rows, 0 <= t2 <= cols.
+  int64_t PP(int64_t t1, int64_t t2) const {
+    return pp_[static_cast<size_t>(t1) * static_cast<size_t>(cols_ + 1) +
+               static_cast<size_t>(t2)];
+  }
+
+  /// Exact rectangle sum; requires a valid query.
+  int64_t RectSum(const RectQuery& q) const;
+
+ private:
+  int64_t rows_;
+  int64_t cols_;
+  std::vector<int64_t> pp_;
+};
+
+/// Interface for 2-D rectangle-sum synopses.
+class RectEstimator {
+ public:
+  virtual ~RectEstimator() = default;
+  virtual double EstimateRect(const RectQuery& query) const = 0;
+  virtual int64_t StorageWords() const = 0;
+  virtual int64_t rows() const = 0;
+  virtual int64_t cols() const = 0;
+  virtual std::string Name() const = 0;
+};
+
+/// All rectangle queries of a grid (rows*(rows+1)/2 * cols*(cols+1)/2 of
+/// them — use only for small grids / tests).
+std::vector<RectQuery> AllRectangles(int64_t rows, int64_t cols);
+
+/// `count` uniformly random rectangles.
+Result<std::vector<RectQuery>> UniformRandomRectangles(int64_t rows,
+                                                       int64_t cols,
+                                                       int64_t count,
+                                                       Rng* rng);
+
+/// Synthetic 2-D distributions: "product_zipf" (outer product of two
+/// randomly placed Zipf marginals) and "gauss_blobs" (a few Gaussian
+/// bumps), rounded to integer counts with total ~ total_volume.
+Result<Grid2D> MakeNamedGrid(const std::string& name, int64_t rows,
+                             int64_t cols, double total_volume, Rng* rng);
+
+}  // namespace rangesyn
+
+#endif  // RANGESYN_TWOD_GRID_H_

@@ -1,0 +1,58 @@
+#include "wavelet/aa2d.h"
+
+#include "core/logging.h"
+#include "core/mathutil.h"
+
+namespace rangesyn {
+namespace {
+
+Status ValidateAAInput(const std::vector<int64_t>& data) {
+  if (data.empty()) return InvalidArgumentError("AA: empty data");
+  for (int64_t v : data) {
+    if (v < 0) return InvalidArgumentError("AA: negative count");
+  }
+  return OkStatus();
+}
+
+Matrix BuildAA(const std::vector<int64_t>& data, int64_t side) {
+  const int64_t n = static_cast<int64_t>(data.size());
+  Matrix aa(side, side);
+  for (int64_t i = 0; i < n; ++i) {
+    int64_t acc = 0;
+    for (int64_t j = i; j < n; ++j) {
+      acc += data[static_cast<size_t>(j)];
+      aa(i, j) = static_cast<double>(acc);
+    }
+  }
+  return aa;
+}
+
+}  // namespace
+
+Result<Matrix> MaterializeAA(const std::vector<int64_t>& data) {
+  RANGESYN_RETURN_IF_ERROR(ValidateAAInput(data));
+  return BuildAA(data, static_cast<int64_t>(data.size()));
+}
+
+Result<Matrix> MaterializeAAPadded(const std::vector<int64_t>& data) {
+  RANGESYN_RETURN_IF_ERROR(ValidateAAInput(data));
+  const int64_t side = static_cast<int64_t>(
+      NextPowerOfTwo(static_cast<uint64_t>(data.size())));
+  return BuildAA(data, side);
+}
+
+double UpperTriangleSse(const Matrix& a, const Matrix& b, int64_t n) {
+  RANGESYN_CHECK_EQ(a.rows(), b.rows());
+  RANGESYN_CHECK_EQ(a.cols(), b.cols());
+  RANGESYN_CHECK_LE(n, a.rows());
+  double sse = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = i; j < n; ++j) {
+      const double d = a(i, j) - b(i, j);
+      sse += d * d;
+    }
+  }
+  return sse;
+}
+
+}  // namespace rangesyn

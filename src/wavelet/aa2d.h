@@ -1,0 +1,34 @@
+#ifndef RANGESYN_WAVELET_AA2D_H_
+#define RANGESYN_WAVELET_AA2D_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/result.h"
+#include "linalg/matrix.h"
+
+namespace rangesyn {
+
+/// Validation tooling for the paper's Theorem 9 formulation: the virtual
+/// matrix AA[i][j] = s[i+1, j+1] (0-based storage of 1-based ranges; zero
+/// below the diagonal). The paper's optimal range-query wavelet synopsis
+/// is the pointwise-optimal 2-D wavelet synopsis of AA; because the
+/// pointwise SSE over AA's upper triangle *is* the all-ranges SSE, these
+/// helpers let tests verify our prefix-sum-domain construction against the
+/// virtual-AA view on small, materializable inputs.
+
+/// Materializes AA (n x n; O(n^2) memory — tests and small n only).
+Result<Matrix> MaterializeAA(const std::vector<int64_t>& data);
+
+/// Pointwise SSE between the upper triangles (i <= j) of two matrices
+/// whose shapes match: sum over i<=j of (a(i,j) - b(i,j))^2. Entries of
+/// padded rows/columns beyond `n` are ignored.
+double UpperTriangleSse(const Matrix& a, const Matrix& b, int64_t n);
+
+/// Materializes AA zero-padded to the next power of two — input shape for
+/// Haar2D.
+Result<Matrix> MaterializeAAPadded(const std::vector<int64_t>& data);
+
+}  // namespace rangesyn
+
+#endif  // RANGESYN_WAVELET_AA2D_H_

@@ -1,0 +1,93 @@
+#include "wavelet/dynamic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/mathutil.h"
+#include "core/strings.h"
+#include "wavelet/haar.h"
+
+namespace rangesyn {
+
+Result<DynamicRangeSynopsisMaintainer> DynamicRangeSynopsisMaintainer::Create(
+    const std::vector<int64_t>& data) {
+  const int64_t n = static_cast<int64_t>(data.size());
+  if (n < 1) return InvalidArgumentError("dynamic: empty data");
+  for (int64_t v : data) {
+    if (v < 0) return InvalidArgumentError("dynamic: negative count");
+  }
+  DynamicRangeSynopsisMaintainer out;
+  out.n_ = n;
+  out.padded_ = static_cast<int64_t>(
+      NextPowerOfTwo(static_cast<uint64_t>(n) + 1));
+  out.data_ = data;
+  std::vector<double> p(static_cast<size_t>(out.padded_), 0.0);
+  int64_t acc = 0;
+  for (int64_t t = 1; t <= n; ++t) {
+    acc += data[static_cast<size_t>(t - 1)];
+    p[static_cast<size_t>(t)] = static_cast<double>(acc);
+  }
+  for (int64_t t = n + 1; t < out.padded_; ++t) {
+    p[static_cast<size_t>(t)] = static_cast<double>(acc);
+  }
+  RANGESYN_ASSIGN_OR_RETURN(out.coeffs_, HaarTransform(p));
+  return out;
+}
+
+Status DynamicRangeSynopsisMaintainer::ApplyUpdate(int64_t i,
+                                                   int64_t delta) {
+  if (i < 1 || i > n_) {
+    return InvalidArgumentError(StrCat("dynamic: position ", i,
+                                       " outside [1,", n_, "]"));
+  }
+  const int64_t updated = data_[static_cast<size_t>(i - 1)] + delta;
+  if (updated < 0) {
+    return FailedPreconditionError(
+        StrCat("dynamic: update would make A[", i, "] = ", updated));
+  }
+  data_[static_cast<size_t>(i - 1)] = updated;
+  // P gains `delta` on slots [i, padded-1] (the constant extension moves
+  // with P[n]). That suffix-constant bump projects only onto the DC and
+  // the ancestors of slot i.
+  const double d = static_cast<double>(delta);
+  for (int64_t k : AncestorIndices(padded_, i)) {
+    coeffs_[static_cast<size_t>(k)] +=
+        d * BasisRangeSum(padded_, k, i, padded_ - 1);
+  }
+  ++updates_;
+  return OkStatus();
+}
+
+Result<WaveletSynopsis> DynamicRangeSynopsisMaintainer::Snapshot(
+    int64_t budget) const {
+  if (budget < 1) return InvalidArgumentError("dynamic: budget >= 1");
+  // Top `budget` non-DC coefficients by |c|, ties toward lower index —
+  // identical selection rule to BuildWaveRangeOpt.
+  std::vector<int64_t> order;
+  order.reserve(coeffs_.size() - 1);
+  for (int64_t k = 1; k < padded_; ++k) order.push_back(k);
+  const size_t keep =
+      std::min<size_t>(static_cast<size_t>(budget), order.size());
+  std::partial_sort(order.begin(), order.begin() + keep, order.end(),
+                    [this](int64_t x, int64_t y) {
+                      const double sx =
+                          std::fabs(coeffs_[static_cast<size_t>(x)]);
+                      const double sy =
+                          std::fabs(coeffs_[static_cast<size_t>(y)]);
+                      if (sx != sy) return sx > sy;
+                      return x < y;
+                    });
+  std::vector<WaveletCoefficient> kept;
+  kept.reserve(keep);
+  for (size_t i = 0; i < keep; ++i) {
+    kept.push_back({order[i], coeffs_[static_cast<size_t>(order[i])]});
+  }
+  std::sort(kept.begin(), kept.end(),
+            [](const WaveletCoefficient& a, const WaveletCoefficient& b) {
+              return a.index < b.index;
+            });
+  return WaveletSynopsis::Create(std::move(kept), padded_, n_,
+                                 WaveletDomain::kPrefix, "WAVE-RANGE-OPT");
+}
+
+}  // namespace rangesyn

@@ -1,0 +1,58 @@
+#ifndef RANGESYN_WAVELET_DYNAMIC_H_
+#define RANGESYN_WAVELET_DYNAMIC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/result.h"
+#include "wavelet/synopsis.h"
+
+namespace rangesyn {
+
+/// Dynamic maintenance of the range-optimal wavelet statistics (the §3
+/// related-work thread: "dynamic maintenance of such statistics"). A point
+/// update A[i] += delta changes the prefix-sum vector P by a constant on
+/// the suffix [i, n]; in the Haar basis a suffix-constant bump projects
+/// only onto the O(log n) basis vectors whose support straddles position
+/// i (plus the DC, which range answering ignores). So the maintainer
+/// keeps the full coefficient vector, applies updates in O(log n), and
+/// snapshots a provably range-optimal B-term synopsis on demand.
+///
+/// Memory is O(n) (the exact coefficient vector) — this is the exact
+/// maintenance counterpart of BuildWaveRangeOpt, not a sublinear sketch.
+class DynamicRangeSynopsisMaintainer {
+ public:
+  /// Builds the initial coefficients from `data` (counts >= 0).
+  static Result<DynamicRangeSynopsisMaintainer> Create(
+      const std::vector<int64_t>& data);
+
+  int64_t n() const { return n_; }
+  int64_t padded_size() const { return padded_; }
+  int64_t updates_applied() const { return updates_; }
+
+  /// Applies A[i] += delta (1-based i). Fails if the resulting count
+  /// would be negative. O(log n).
+  Status ApplyUpdate(int64_t i, int64_t delta);
+
+  /// Current exact count A[i]; O(1).
+  int64_t CountAt(int64_t i) const {
+    return data_[static_cast<size_t>(i - 1)];
+  }
+
+  /// The provably range-optimal B-coefficient synopsis of the *current*
+  /// data: top `budget` non-DC coefficients by magnitude. O(n) per call.
+  Result<WaveletSynopsis> Snapshot(int64_t budget) const;
+
+ private:
+  DynamicRangeSynopsisMaintainer() = default;
+
+  int64_t n_ = 0;
+  int64_t padded_ = 0;
+  int64_t updates_ = 0;
+  std::vector<int64_t> data_;     // current counts, for validation
+  std::vector<double> coeffs_;    // exact Haar coefficients of P
+};
+
+}  // namespace rangesyn
+
+#endif  // RANGESYN_WAVELET_DYNAMIC_H_

@@ -1,0 +1,167 @@
+#include "wavelet/haar.h"
+
+#include <cmath>
+
+#include "core/logging.h"
+#include "core/mathutil.h"
+
+namespace rangesyn {
+namespace {
+
+constexpr double kInvSqrt2 = 0.7071067811865475244;
+
+Status CheckPow2Size(size_t size) {
+  if (size == 0 || !IsPowerOfTwo(static_cast<uint64_t>(size))) {
+    return InvalidArgumentError("Haar: size must be a positive power of two");
+  }
+  return OkStatus();
+}
+
+double SumSquares(double m) { return m * (m + 1.0) * (2.0 * m + 1.0) / 6.0; }
+
+}  // namespace
+
+Result<std::vector<double>> HaarTransform(const std::vector<double>& v) {
+  RANGESYN_RETURN_IF_ERROR(CheckPow2Size(v.size()));
+  std::vector<double> out = v;
+  std::vector<double> scratch(v.size());
+  for (size_t len = v.size(); len > 1; len /= 2) {
+    const size_t half = len / 2;
+    for (size_t i = 0; i < half; ++i) {
+      scratch[i] = (out[2 * i] + out[2 * i + 1]) * kInvSqrt2;          // avg
+      scratch[half + i] = (out[2 * i] - out[2 * i + 1]) * kInvSqrt2;   // det
+    }
+    for (size_t i = 0; i < len; ++i) out[i] = scratch[i];
+  }
+  return out;
+}
+
+Result<std::vector<double>> HaarInverse(const std::vector<double>& coeffs) {
+  RANGESYN_RETURN_IF_ERROR(CheckPow2Size(coeffs.size()));
+  std::vector<double> out = coeffs;
+  std::vector<double> scratch(coeffs.size());
+  for (size_t len = 2; len <= coeffs.size(); len *= 2) {
+    const size_t half = len / 2;
+    for (size_t i = 0; i < half; ++i) {
+      scratch[2 * i] = (out[i] + out[half + i]) * kInvSqrt2;
+      scratch[2 * i + 1] = (out[i] - out[half + i]) * kInvSqrt2;
+    }
+    for (size_t i = 0; i < len; ++i) out[i] = scratch[i];
+  }
+  return out;
+}
+
+HaarBasis DescribeBasis(int64_t n, int64_t k) {
+  RANGESYN_CHECK(IsPowerOfTwo(static_cast<uint64_t>(n)));
+  RANGESYN_CHECK(k >= 0 && k < n);
+  HaarBasis b;
+  if (k == 0) {
+    b.start = 0;
+    b.length = n;
+    b.height = 1.0 / std::sqrt(static_cast<double>(n));
+    b.is_dc = true;
+    return b;
+  }
+  const int level = FloorLog2(static_cast<uint64_t>(k));
+  const int64_t offset = k - (int64_t{1} << level);
+  b.length = n >> level;
+  b.start = offset * b.length;
+  b.height = 1.0 / std::sqrt(static_cast<double>(b.length));
+  b.is_dc = false;
+  return b;
+}
+
+double BasisValue(int64_t n, int64_t k, int64_t t) {
+  const HaarBasis b = DescribeBasis(n, k);
+  if (t < b.start || t >= b.start + b.length) return 0.0;
+  if (b.is_dc) return b.height;
+  return (t < b.start + b.length / 2) ? b.height : -b.height;
+}
+
+double BasisRangeSum(int64_t n, int64_t k, int64_t lo, int64_t hi) {
+  RANGESYN_DCHECK(lo >= 0 && lo <= hi && hi < n);
+  const HaarBasis b = DescribeBasis(n, k);
+  const int64_t s_lo = std::max(lo, b.start);
+  const int64_t s_hi = std::min(hi, b.start + b.length - 1);
+  if (s_lo > s_hi) return 0.0;
+  if (b.is_dc) return static_cast<double>(s_hi - s_lo + 1) * b.height;
+  const int64_t mid = b.start + b.length / 2;  // first index of second half
+  const int64_t plus = std::max<int64_t>(
+      0, std::min(s_hi, mid - 1) - s_lo + 1);
+  const int64_t minus = std::max<int64_t>(0, s_hi - std::max(s_lo, mid) + 1);
+  return static_cast<double>(plus - minus) * b.height;
+}
+
+double BasisAllRangesWeight(int64_t n, int64_t k) {
+  // With Psi[t] = sum of the basis over 1-based positions 1..t, the range
+  // sum over (a,b) is Psi[b] - Psi[a-1], so the aggregate over all ranges
+  // is (n+1) * sum Psi^2 - (sum Psi)^2 with t running over 0..n.
+  const HaarBasis b = DescribeBasis(n, k);
+  const double dn = static_cast<double>(n);
+  if (b.is_dc) {
+    const double sum_psi2 = SumSquares(dn) * b.height * b.height;
+    const double sum_psi = dn * (dn + 1.0) / 2.0 * b.height;
+    return (dn + 1.0) * sum_psi2 - sum_psi * sum_psi;
+  }
+  const double m = static_cast<double>(b.length) / 2.0;
+  const double h2 = b.height * b.height;
+  const double sum_psi = b.height * m * m;
+  const double sum_psi2 = h2 * (2.0 * SumSquares(m) - m * m);
+  return (dn + 1.0) * sum_psi2 - sum_psi * sum_psi;
+}
+
+std::vector<int64_t> AncestorIndices(int64_t n, int64_t t) {
+  RANGESYN_CHECK(IsPowerOfTwo(static_cast<uint64_t>(n)));
+  RANGESYN_CHECK(t >= 0 && t < n);
+  std::vector<int64_t> out;
+  out.push_back(0);  // DC
+  for (int64_t level_size = n, base = 1; level_size > 1;
+       level_size /= 2, base *= 2) {
+    out.push_back(base + t / level_size);
+  }
+  return out;
+}
+
+Result<Matrix> Haar2D(const Matrix& m) {
+  if (m.rows() != m.cols()) {
+    return InvalidArgumentError("Haar2D: matrix must be square");
+  }
+  RANGESYN_RETURN_IF_ERROR(CheckPow2Size(static_cast<size_t>(m.rows())));
+  const int64_t n = m.rows();
+  Matrix out = m;
+  std::vector<double> line(static_cast<size_t>(n));
+  for (int64_t r = 0; r < n; ++r) {
+    for (int64_t c = 0; c < n; ++c) line[static_cast<size_t>(c)] = out(r, c);
+    RANGESYN_ASSIGN_OR_RETURN(std::vector<double> t, HaarTransform(line));
+    for (int64_t c = 0; c < n; ++c) out(r, c) = t[static_cast<size_t>(c)];
+  }
+  for (int64_t c = 0; c < n; ++c) {
+    for (int64_t r = 0; r < n; ++r) line[static_cast<size_t>(r)] = out(r, c);
+    RANGESYN_ASSIGN_OR_RETURN(std::vector<double> t, HaarTransform(line));
+    for (int64_t r = 0; r < n; ++r) out(r, c) = t[static_cast<size_t>(r)];
+  }
+  return out;
+}
+
+Result<Matrix> Haar2DInverse(const Matrix& m) {
+  if (m.rows() != m.cols()) {
+    return InvalidArgumentError("Haar2DInverse: matrix must be square");
+  }
+  RANGESYN_RETURN_IF_ERROR(CheckPow2Size(static_cast<size_t>(m.rows())));
+  const int64_t n = m.rows();
+  Matrix out = m;
+  std::vector<double> line(static_cast<size_t>(n));
+  for (int64_t c = 0; c < n; ++c) {
+    for (int64_t r = 0; r < n; ++r) line[static_cast<size_t>(r)] = out(r, c);
+    RANGESYN_ASSIGN_OR_RETURN(std::vector<double> t, HaarInverse(line));
+    for (int64_t r = 0; r < n; ++r) out(r, c) = t[static_cast<size_t>(r)];
+  }
+  for (int64_t r = 0; r < n; ++r) {
+    for (int64_t c = 0; c < n; ++c) line[static_cast<size_t>(c)] = out(r, c);
+    RANGESYN_ASSIGN_OR_RETURN(std::vector<double> t, HaarInverse(line));
+    for (int64_t c = 0; c < n; ++c) out(r, c) = t[static_cast<size_t>(c)];
+  }
+  return out;
+}
+
+}  // namespace rangesyn

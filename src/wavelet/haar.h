@@ -1,0 +1,65 @@
+#ifndef RANGESYN_WAVELET_HAAR_H_
+#define RANGESYN_WAVELET_HAAR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/result.h"
+#include "linalg/matrix.h"
+
+namespace rangesyn {
+
+/// Orthonormal 1-D Haar transform of a vector whose size is a power of
+/// two. Coefficient layout: index 0 is the DC (overall average scaled by
+/// sqrt(N)); index k in [2^j, 2^(j+1)) is the detail coefficient at level j
+/// with support length N / 2^j starting at (k - 2^j) * N / 2^j. The basis
+/// vector for k >= 1 is +1/sqrt(s) on the first half of its support and
+/// -1/sqrt(s) on the second half (s = support length), so the transform is
+/// orthonormal and energy-preserving.
+Result<std::vector<double>> HaarTransform(const std::vector<double>& v);
+
+/// Inverse of HaarTransform.
+Result<std::vector<double>> HaarInverse(const std::vector<double>& coeffs);
+
+/// Geometry of one Haar basis vector.
+struct HaarBasis {
+  int64_t start = 0;    // 0-based support start
+  int64_t length = 0;   // support length (power of two)
+  double height = 0.0;  // +height on first half, -height on second
+  bool is_dc = false;   // index 0: constant 1/sqrt(N)
+};
+
+/// Describes basis vector `k` of the size-`n` transform (n a power of two,
+/// 0 <= k < n).
+HaarBasis DescribeBasis(int64_t n, int64_t k);
+
+/// Value of basis vector `k` at 0-based position `t` (0 outside support).
+double BasisValue(int64_t n, int64_t k, int64_t t);
+
+/// Sum of basis vector `k` over 0-based positions [lo, hi] inclusive, in
+/// O(1). This is the contribution weight of coefficient k to the range sum
+/// over [lo, hi].
+double BasisRangeSum(int64_t n, int64_t k, int64_t lo, int64_t hi);
+
+/// Sum over all ranges 1 <= a <= b <= n of BasisRangeSum(n,k,a-1,b-1)^2 in
+/// O(1) — the aggregate weight with which coefficient k enters the
+/// all-ranges SSE (used by the TOPBB greedy selection).
+double BasisAllRangesWeight(int64_t n, int64_t k);
+
+/// The 0-based coefficient indices whose basis vectors have a nonzero
+/// range sum over some range with an endpoint at 0-based position `t`:
+/// the DC plus the ancestors of leaf t at every level — at most log2(n)+1
+/// indices. Every other coefficient contributes zero to such range sums.
+std::vector<int64_t> AncestorIndices(int64_t n, int64_t t);
+
+/// Orthonormal 2-D Haar transform (rows then columns) of a square matrix
+/// with power-of-two side; used to validate the virtual-AA formulation of
+/// the paper's Theorem 9 on small inputs.
+Result<Matrix> Haar2D(const Matrix& m);
+
+/// Inverse of Haar2D.
+Result<Matrix> Haar2DInverse(const Matrix& m);
+
+}  // namespace rangesyn
+
+#endif  // RANGESYN_WAVELET_HAAR_H_

@@ -1,0 +1,166 @@
+#include "wavelet/selection.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "core/mathutil.h"
+#include "wavelet/haar.h"
+
+namespace rangesyn {
+namespace {
+
+Status ValidateSelectionInput(const std::vector<int64_t>& data,
+                              int64_t budget) {
+  if (data.empty()) return InvalidArgumentError("wavelet: empty data");
+  if (budget < 1) return InvalidArgumentError("wavelet: budget >= 1");
+  for (int64_t v : data) {
+    if (v < 0) return InvalidArgumentError("wavelet: negative count");
+  }
+  return OkStatus();
+}
+
+/// Transforms `data` zero-padded to the next power of two.
+Result<std::vector<double>> TransformPaddedData(
+    const std::vector<int64_t>& data) {
+  const int64_t padded = static_cast<int64_t>(
+      NextPowerOfTwo(static_cast<uint64_t>(data.size())));
+  std::vector<double> v(static_cast<size_t>(padded), 0.0);
+  for (size_t i = 0; i < data.size(); ++i) {
+    v[i] = static_cast<double>(data[i]);
+  }
+  return HaarTransform(v);
+}
+
+/// Keeps the `budget` coefficients with the largest `score`, breaking ties
+/// toward lower indices (coarser coefficients) for determinism.
+std::vector<WaveletCoefficient> KeepTop(
+    const std::vector<double>& coeffs, const std::vector<double>& scores,
+    int64_t budget, int64_t first_index) {
+  std::vector<int64_t> order;
+  order.reserve(coeffs.size());
+  for (int64_t k = first_index; k < static_cast<int64_t>(coeffs.size());
+       ++k) {
+    order.push_back(k);
+  }
+  const size_t keep = std::min<size_t>(static_cast<size_t>(budget),
+                                       order.size());
+  std::partial_sort(order.begin(), order.begin() + keep, order.end(),
+                    [&scores](int64_t x, int64_t y) {
+                      const double sx = scores[static_cast<size_t>(x)];
+                      const double sy = scores[static_cast<size_t>(y)];
+                      if (sx != sy) return sx > sy;
+                      return x < y;
+                    });
+  std::vector<WaveletCoefficient> out;
+  out.reserve(keep);
+  for (size_t i = 0; i < keep; ++i) {
+    const int64_t k = order[i];
+    out.push_back({k, coeffs[static_cast<size_t>(k)]});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const WaveletCoefficient& a, const WaveletCoefficient& b) {
+              return a.index < b.index;
+            });
+  return out;
+}
+
+}  // namespace
+
+Result<WaveletSynopsis> BuildWavePoint(const std::vector<int64_t>& data,
+                                       int64_t budget) {
+  RANGESYN_RETURN_IF_ERROR(ValidateSelectionInput(data, budget));
+  RANGESYN_ASSIGN_OR_RETURN(std::vector<double> coeffs,
+                            TransformPaddedData(data));
+  std::vector<double> scores(coeffs.size());
+  for (size_t k = 0; k < coeffs.size(); ++k) {
+    scores[k] = std::fabs(coeffs[k]);
+  }
+  return WaveletSynopsis::Create(
+      KeepTop(coeffs, scores, budget, /*first_index=*/0),
+      static_cast<int64_t>(coeffs.size()),
+      static_cast<int64_t>(data.size()), WaveletDomain::kData, "WAVE-POINT");
+}
+
+Result<WaveletSynopsis> BuildTopBB(const std::vector<int64_t>& data,
+                                   int64_t budget) {
+  RANGESYN_RETURN_IF_ERROR(ValidateSelectionInput(data, budget));
+  RANGESYN_ASSIGN_OR_RETURN(std::vector<double> coeffs,
+                            TransformPaddedData(data));
+  const int64_t padded = static_cast<int64_t>(coeffs.size());
+  std::vector<double> scores(coeffs.size());
+  for (int64_t k = 0; k < padded; ++k) {
+    scores[static_cast<size_t>(k)] =
+        coeffs[static_cast<size_t>(k)] * coeffs[static_cast<size_t>(k)] *
+        BasisAllRangesWeight(padded, k);
+  }
+  return WaveletSynopsis::Create(
+      KeepTop(coeffs, scores, budget, /*first_index=*/0), padded,
+      static_cast<int64_t>(data.size()), WaveletDomain::kData, "TOPBB");
+}
+
+Result<WaveletSynopsis> BuildWaveRangeOpt(const std::vector<int64_t>& data,
+                                          int64_t budget) {
+  RANGESYN_RETURN_IF_ERROR(ValidateSelectionInput(data, budget));
+  const int64_t n = static_cast<int64_t>(data.size());
+  const int64_t padded = static_cast<int64_t>(
+      NextPowerOfTwo(static_cast<uint64_t>(n) + 1));
+  // Prefix-sum vector P[0..n], constant-extended into the padding so the
+  // padded region adds no artificial jumps.
+  std::vector<double> p(static_cast<size_t>(padded), 0.0);
+  int64_t acc = 0;
+  for (int64_t t = 1; t <= n; ++t) {
+    acc += data[static_cast<size_t>(t - 1)];
+    p[static_cast<size_t>(t)] = static_cast<double>(acc);
+  }
+  for (int64_t t = n + 1; t < padded; ++t) {
+    p[static_cast<size_t>(t)] = static_cast<double>(acc);
+  }
+  RANGESYN_ASSIGN_OR_RETURN(std::vector<double> coeffs, HaarTransform(p));
+  std::vector<double> scores(coeffs.size());
+  for (size_t k = 0; k < coeffs.size(); ++k) {
+    scores[k] = std::fabs(coeffs[k]);
+  }
+  // Skip the DC (index 0): it cancels in P̂[b] - P̂[a-1], so storing it
+  // would waste budget — this is exactly why top-B of the rest is optimal.
+  return WaveletSynopsis::Create(
+      KeepTop(coeffs, scores, budget, /*first_index=*/1), padded, n,
+      WaveletDomain::kPrefix, "WAVE-RANGE-OPT");
+}
+
+Result<double> PredictPrefixSynopsisSse(const std::vector<int64_t>& data,
+                                        const WaveletSynopsis& synopsis) {
+  if (synopsis.domain() != WaveletDomain::kPrefix) {
+    return InvalidArgumentError(
+        "PredictPrefixSynopsisSse: synopsis is not prefix-domain");
+  }
+  const int64_t n = static_cast<int64_t>(data.size());
+  if (synopsis.domain_size() != n) {
+    return InvalidArgumentError("PredictPrefixSynopsisSse: size mismatch");
+  }
+  if (synopsis.padded_size() != n + 1) {
+    return FailedPreconditionError(
+        "PredictPrefixSynopsisSse: exact prediction requires n+1 to be a "
+        "power of two");
+  }
+  const int64_t padded = synopsis.padded_size();
+  std::vector<double> p(static_cast<size_t>(padded), 0.0);
+  int64_t acc = 0;
+  for (int64_t t = 1; t <= n; ++t) {
+    acc += data[static_cast<size_t>(t - 1)];
+    p[static_cast<size_t>(t)] = static_cast<double>(acc);
+  }
+  RANGESYN_ASSIGN_OR_RETURN(std::vector<double> coeffs, HaarTransform(p));
+  // SSE = (n+1) * sum of squared dropped non-DC coefficients.
+  std::vector<bool> kept(coeffs.size(), false);
+  for (const WaveletCoefficient& c : synopsis.coefficients()) {
+    kept[static_cast<size_t>(c.index)] = true;
+  }
+  double dropped_energy = 0.0;
+  for (size_t k = 1; k < coeffs.size(); ++k) {
+    if (!kept[k]) dropped_energy += coeffs[k] * coeffs[k];
+  }
+  return static_cast<double>(n + 1) * dropped_energy;
+}
+
+}  // namespace rangesyn

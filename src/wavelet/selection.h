@@ -1,0 +1,49 @@
+#ifndef RANGESYN_WAVELET_SELECTION_H_
+#define RANGESYN_WAVELET_SELECTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/result.h"
+#include "wavelet/synopsis.h"
+
+namespace rangesyn {
+
+/// Coefficient-selection strategies for Haar synopses of an integer
+/// attribute-value distribution. Each builder retains (at most) `budget`
+/// coefficients, i.e. 2*budget storage words.
+
+/// Classical selection from the prior literature the paper compares
+/// against ([11,17]): transform the data vector and keep the `budget`
+/// largest-magnitude (orthonormal) coefficients — optimal for *point*
+/// query SSE, with no range-query guarantee. Name: "WAVE-POINT".
+Result<WaveletSynopsis> BuildWavePoint(const std::vector<int64_t>& data,
+                                       int64_t budget);
+
+/// The paper's TOPBB heuristic: still data-domain coefficients, but ranked
+/// by their individual contribution to the all-ranges SSE,
+/// c_k^2 * W_k with W_k = sum over ranges of the basis range-sum squared
+/// (BasisAllRangesWeight). Interactions between dropped coefficients are
+/// ignored, so this is greedy, not optimal. Name: "TOPBB".
+Result<WaveletSynopsis> BuildTopBB(const std::vector<int64_t>& data,
+                                   int64_t budget);
+
+/// The provably range-optimal selection (paper Theorem 9 via the
+/// prefix-sum domain, DESIGN.md §3.5): transform P[0..n], never store the
+/// DC (it cancels in every range answer), keep the `budget`
+/// largest-magnitude non-DC coefficients. When n+1 is a power of two the
+/// retained set minimizes the all-ranges SSE over every possible set of
+/// `budget` coefficients. Name: "WAVE-RANGE-OPT".
+Result<WaveletSynopsis> BuildWaveRangeOpt(const std::vector<int64_t>& data,
+                                          int64_t budget);
+
+/// Exact all-ranges SSE of a kPrefix synopsis predicted from its dropped
+/// coefficients: (n+1) * sum of dropped non-DC c^2 (valid when n+1 equals
+/// the padded size). Exposed so tests can check the prediction against
+/// brute-force evaluation.
+Result<double> PredictPrefixSynopsisSse(const std::vector<int64_t>& data,
+                                        const WaveletSynopsis& synopsis);
+
+}  // namespace rangesyn
+
+#endif  // RANGESYN_WAVELET_SELECTION_H_

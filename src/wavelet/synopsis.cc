@@ -1,0 +1,104 @@
+#include "wavelet/synopsis.h"
+
+#include <algorithm>
+
+#include "core/logging.h"
+#include "core/mathutil.h"
+#include "core/strings.h"
+#include "wavelet/haar.h"
+
+namespace rangesyn {
+
+WaveletSynopsis::WaveletSynopsis(
+    std::vector<WaveletCoefficient> coefficients, int64_t padded_size,
+    int64_t domain_size, WaveletDomain domain, std::string name)
+    : coefficients_(std::move(coefficients)),
+      padded_size_(padded_size),
+      n_(domain_size),
+      domain_(domain),
+      name_(std::move(name)) {
+  by_index_.reserve(coefficients_.size());
+  for (const WaveletCoefficient& c : coefficients_) {
+    by_index_.emplace(c.index, c.value);
+  }
+}
+
+Result<WaveletSynopsis> WaveletSynopsis::Create(
+    std::vector<WaveletCoefficient> coefficients, int64_t padded_size,
+    int64_t domain_size, WaveletDomain domain, std::string name) {
+  if (padded_size < 1 || !IsPowerOfTwo(static_cast<uint64_t>(padded_size))) {
+    return InvalidArgumentError("WaveletSynopsis: bad padded_size");
+  }
+  if (domain_size < 1 ||
+      (domain == WaveletDomain::kData && domain_size > padded_size) ||
+      (domain == WaveletDomain::kPrefix && domain_size + 1 > padded_size)) {
+    return InvalidArgumentError("WaveletSynopsis: bad domain_size");
+  }
+  for (const WaveletCoefficient& c : coefficients) {
+    if (c.index < 0 || c.index >= padded_size) {
+      return InvalidArgumentError(
+          StrCat("WaveletSynopsis: coefficient index ", c.index,
+                 " out of range"));
+    }
+  }
+  WaveletSynopsis out(std::move(coefficients), padded_size, domain_size,
+                      domain, std::move(name));
+  if (out.by_index_.size() != out.coefficients_.size()) {
+    return InvalidArgumentError(
+        "WaveletSynopsis: duplicate coefficient indices");
+  }
+  return out;
+}
+
+double WaveletSynopsis::ReconstructAt(int64_t t) const {
+  RANGESYN_DCHECK(t >= 0 && t < padded_size_);
+  double v = 0.0;
+  for (int64_t k : AncestorIndices(padded_size_, t)) {
+    const auto it = by_index_.find(k);
+    if (it != by_index_.end()) {
+      v += it->second * BasisValue(padded_size_, k, t);
+    }
+  }
+  return v;
+}
+
+double WaveletSynopsis::ReconstructRangeSum(int64_t lo, int64_t hi) const {
+  RANGESYN_DCHECK(lo >= 0 && lo <= hi && hi < padded_size_);
+  // A coefficient has nonzero sum over [lo, hi] only if its support
+  // straddles lo-1|lo or hi|hi+1, i.e. it is an ancestor of lo or hi (or
+  // the DC). Walk those O(log n) candidates.
+  double v = 0.0;
+  std::vector<int64_t> candidates = AncestorIndices(padded_size_, lo);
+  if (hi != lo) {
+    const std::vector<int64_t> more = AncestorIndices(padded_size_, hi);
+    candidates.insert(candidates.end(), more.begin(), more.end());
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                     candidates.end());
+  }
+  for (int64_t k : candidates) {
+    const auto it = by_index_.find(k);
+    if (it != by_index_.end()) {
+      v += it->second * BasisRangeSum(padded_size_, k, lo, hi);
+    }
+  }
+  return v;
+}
+
+double WaveletSynopsis::EstimatePoint(int64_t i) const {
+  RANGESYN_DCHECK(i >= 1 && i <= n_);
+  if (domain_ == WaveletDomain::kData) return ReconstructAt(i - 1);
+  // Prefix domain: A[i] = P[i] - P[i-1].
+  return ReconstructAt(i) - ReconstructAt(i - 1);
+}
+
+double WaveletSynopsis::EstimateRange(int64_t a, int64_t b) const {
+  RANGESYN_DCHECK(a >= 1 && a <= b && b <= n_);
+  if (domain_ == WaveletDomain::kData) {
+    return ReconstructRangeSum(a - 1, b - 1);
+  }
+  // Prefix domain: s[a,b] = P[b] - P[a-1]; P[t] sits at slot t.
+  return ReconstructAt(b) - ReconstructAt(a - 1);
+}
+
+}  // namespace rangesyn

@@ -1,0 +1,127 @@
+// Tests for the rangesyn CLI: every subcommand end-to-end through temp
+// files, plus argument validation.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cli/commands.h"
+#include "data/io.h"
+
+namespace rangesyn {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+class CliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    data_path_ = TempPath("cli_data.csv");
+    synopsis_path_ = TempPath("cli_synopsis.rsn");
+    auto out = RunCliCommand({"generate", "--dist=zipf", "--n=64",
+                              "--volume=1500", "--seed=5",
+                              "--out=" + data_path_});
+    ASSERT_TRUE(out.ok()) << out.status();
+  }
+  void TearDown() override {
+    std::remove(data_path_.c_str());
+    std::remove(synopsis_path_.c_str());
+  }
+  std::string data_path_;
+  std::string synopsis_path_;
+};
+
+TEST_F(CliTest, GenerateWritesLoadableCsv) {
+  auto data = LoadDistributionCsv(data_path_);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->size(), 64u);
+}
+
+TEST_F(CliTest, BuildInspectEstimateEvaluatePipeline) {
+  auto build = RunCliCommand({"build", "--data=" + data_path_,
+                              "--method=sap1", "--budget=20",
+                              "--out=" + synopsis_path_});
+  ASSERT_TRUE(build.ok()) << build.status();
+  EXPECT_NE(build->find("SAP1"), std::string::npos);
+
+  auto inspect = RunCliCommand({"inspect", "--synopsis=" + synopsis_path_});
+  ASSERT_TRUE(inspect.ok()) << inspect.status();
+  EXPECT_NE(inspect->find("SAP1"), std::string::npos);
+  EXPECT_NE(inspect->find("1..64"), std::string::npos);
+
+  auto estimate = RunCliCommand(
+      {"estimate", "--synopsis=" + synopsis_path_, "--a=5", "--b=30"});
+  ASSERT_TRUE(estimate.ok()) << estimate.status();
+  EXPECT_NE(estimate->find("s[5,30]"), std::string::npos);
+
+  auto evaluate = RunCliCommand({"evaluate",
+                                 "--synopsis=" + synopsis_path_,
+                                 "--data=" + data_path_});
+  ASSERT_TRUE(evaluate.ok()) << evaluate.status();
+  EXPECT_NE(evaluate->find("SSE"), std::string::npos);
+  EXPECT_NE(evaluate->find("queries:  2080"), std::string::npos);
+}
+
+TEST_F(CliTest, EvaluateWithExplicitWorkload) {
+  ASSERT_TRUE(RunCliCommand({"build", "--data=" + data_path_,
+                             "--method=a0", "--budget=16",
+                             "--out=" + synopsis_path_})
+                  .ok());
+  const std::string workload_path = TempPath("cli_workload.csv");
+  ASSERT_TRUE(
+      SaveWorkloadCsv({{1, 10}, {5, 5}, {20, 64}}, workload_path).ok());
+  auto evaluate = RunCliCommand({"evaluate",
+                                 "--synopsis=" + synopsis_path_,
+                                 "--data=" + data_path_,
+                                 "--workload=" + workload_path});
+  ASSERT_TRUE(evaluate.ok()) << evaluate.status();
+  EXPECT_NE(evaluate->find("queries:  3"), std::string::npos);
+  std::remove(workload_path.c_str());
+}
+
+TEST_F(CliTest, SweepProducesTable) {
+  auto sweep = RunCliCommand({"sweep", "--data=" + data_path_,
+                              "--methods=naive,a0", "--budgets=8,16"});
+  ASSERT_TRUE(sweep.ok()) << sweep.status();
+  EXPECT_NE(sweep->find("naive"), std::string::npos);
+  EXPECT_NE(sweep->find("a0"), std::string::npos);
+  auto csv = RunCliCommand({"sweep", "--data=" + data_path_,
+                            "--methods=naive", "--budgets=8", "--csv"});
+  ASSERT_TRUE(csv.ok());
+  EXPECT_NE(csv->find("method,budget_words"), std::string::npos);
+}
+
+TEST_F(CliTest, ErrorsAreClean) {
+  EXPECT_FALSE(RunCliCommand({"bogus"}).ok());
+  EXPECT_FALSE(
+      RunCliCommand({"build", "--data=/nonexistent.csv"}).ok());
+  EXPECT_FALSE(
+      RunCliCommand({"inspect", "--synopsis=/nonexistent.rsn"}).ok());
+  ASSERT_TRUE(RunCliCommand({"build", "--data=" + data_path_,
+                             "--method=naive",
+                             "--out=" + synopsis_path_})
+                  .ok());
+  EXPECT_FALSE(RunCliCommand({"estimate", "--synopsis=" + synopsis_path_,
+                              "--a=50", "--b=10"})
+                   .ok());
+  EXPECT_FALSE(RunCliCommand({"build", "--data=" + data_path_,
+                              "--method=not-a-method",
+                              "--out=" + synopsis_path_})
+                   .ok());
+}
+
+TEST(CliUsageTest, HelpPaths) {
+  auto empty = RunCliCommand({});
+  ASSERT_TRUE(empty.ok());
+  EXPECT_NE(empty->find("usage:"), std::string::npos);
+  auto help = RunCliCommand({"help"});
+  ASSERT_TRUE(help.ok());
+  EXPECT_EQ(help.value(), CliUsage());
+}
+
+}  // namespace
+}  // namespace rangesyn

@@ -1,0 +1,275 @@
+// Unit tests for the core foundation: Status/Result, strings, flags,
+// deterministic RNG, math helpers.
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/flags.h"
+#include "core/mathutil.h"
+#include "core/random.h"
+#include "core/result.h"
+#include "core/status.h"
+#include "core/strings.h"
+
+namespace rangesyn {
+namespace {
+
+// ---------------------------------------------------------------- Status
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = InvalidArgumentError("bad n");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad n");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad n");
+}
+
+TEST(StatusTest, AllConstructorsProduceMatchingCodes) {
+  EXPECT_EQ(OutOfRangeError("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(NotFoundError("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(AlreadyExistsError("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(FailedPreconditionError("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(ResourceExhaustedError("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(UnimplementedError("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(InternalError("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  auto fails = []() -> Status { return NotFoundError("gone"); };
+  auto wrapper = [&]() -> Status {
+    RANGESYN_RETURN_IF_ERROR(fails());
+    return OkStatus();
+  };
+  EXPECT_EQ(wrapper().code(), StatusCode::kNotFound);
+}
+
+// ---------------------------------------------------------------- Result
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = InvalidArgumentError("nope");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, AssignOrReturnMovesValue) {
+  auto makes = []() -> Result<std::vector<int>> {
+    return std::vector<int>{1, 2, 3};
+  };
+  auto wrapper = [&]() -> Result<int> {
+    RANGESYN_ASSIGN_OR_RETURN(std::vector<int> v, makes());
+    return static_cast<int>(v.size());
+  };
+  Result<int> r = wrapper();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 3);
+}
+
+TEST(ResultTest, AssignOrReturnPropagatesError) {
+  auto fails = []() -> Result<int> { return InternalError("boom"); };
+  auto wrapper = [&]() -> Result<int> {
+    RANGESYN_ASSIGN_OR_RETURN(int v, fails());
+    return v + 1;
+  };
+  EXPECT_EQ(wrapper().status().code(), StatusCode::kInternal);
+}
+
+// ---------------------------------------------------------------- Strings
+
+TEST(StringsTest, StrCatConcatenatesMixedTypes) {
+  EXPECT_EQ(StrCat("n=", 42, " x=", 1.5), "n=42 x=1.5");
+}
+
+TEST(StringsTest, SplitAndJoinRoundTrip) {
+  const std::vector<std::string> parts = StrSplit("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(StrJoin(parts, ","), "a,b,,c");
+}
+
+TEST(StringsTest, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  x y \t\n"), "x y");
+  EXPECT_EQ(StripWhitespace(""), "");
+  EXPECT_EQ(StripWhitespace("   "), "");
+}
+
+TEST(StringsTest, ParseInt64) {
+  int64_t v = 0;
+  EXPECT_TRUE(ParseInt64("-123", &v));
+  EXPECT_EQ(v, -123);
+  EXPECT_TRUE(ParseInt64("  77 ", &v));
+  EXPECT_EQ(v, 77);
+  EXPECT_FALSE(ParseInt64("12x", &v));
+  EXPECT_FALSE(ParseInt64("", &v));
+}
+
+TEST(StringsTest, ParseDouble) {
+  double v = 0;
+  EXPECT_TRUE(ParseDouble("1.5e3", &v));
+  EXPECT_DOUBLE_EQ(v, 1500.0);
+  EXPECT_FALSE(ParseDouble("abc", &v));
+}
+
+// ---------------------------------------------------------------- Flags
+
+TEST(FlagsTest, ParsesAllTypes) {
+  FlagSet flags("t", "test");
+  flags.DefineInt64("n", 10, "");
+  flags.DefineDouble("alpha", 1.0, "");
+  flags.DefineString("dist", "zipf", "");
+  flags.DefineBool("verbose", false, "");
+  const char* argv[] = {"prog", "--n=20", "--alpha", "2.5", "--verbose",
+                        "--dist=uniform", "pos"};
+  ASSERT_TRUE(flags.Parse(7, const_cast<char**>(argv)).ok());
+  EXPECT_EQ(flags.GetInt64("n"), 20);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("alpha"), 2.5);
+  EXPECT_EQ(flags.GetString("dist"), "uniform");
+  EXPECT_TRUE(flags.GetBool("verbose"));
+  ASSERT_EQ(flags.positional().size(), 1u);
+  EXPECT_EQ(flags.positional()[0], "pos");
+}
+
+TEST(FlagsTest, RejectsUnknownFlag) {
+  FlagSet flags("t", "test");
+  const char* argv[] = {"prog", "--bogus=1"};
+  EXPECT_FALSE(flags.Parse(2, const_cast<char**>(argv)).ok());
+}
+
+TEST(FlagsTest, RejectsMalformedValue) {
+  FlagSet flags("t", "test");
+  flags.DefineInt64("n", 1, "");
+  const char* argv[] = {"prog", "--n=abc"};
+  EXPECT_FALSE(flags.Parse(2, const_cast<char**>(argv)).ok());
+}
+
+TEST(FlagsTest, DefaultsSurviveEmptyParse) {
+  FlagSet flags("t", "test");
+  flags.DefineInt64("n", 127, "");
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(flags.Parse(1, const_cast<char**>(argv)).ok());
+  EXPECT_EQ(flags.GetInt64("n"), 127);
+}
+
+// ---------------------------------------------------------------- Random
+
+TEST(RandomTest, DeterministicGivenSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RandomTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RandomTest, BoundedStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+    const int64_t v = rng.NextInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RandomTest, BoundedCoversAllResidues) {
+  Rng rng(11);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.NextBounded(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RandomTest, DoubleInUnitInterval) {
+  Rng rng(3);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RandomTest, GaussianMoments) {
+  Rng rng(5);
+  double sum = 0.0, sum2 = 0.0;
+  const int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.05);
+  EXPECT_NEAR(sum2 / kN, 1.0, 0.05);
+}
+
+TEST(RandomTest, ForkProducesIndependentStream) {
+  Rng a(42);
+  Rng forked = a.Fork();
+  // The fork and the parent continue on different sequences.
+  EXPECT_NE(a.NextUint64(), forked.NextUint64());
+}
+
+// ---------------------------------------------------------------- Math
+
+TEST(MathTest, RoundHalfToEven) {
+  EXPECT_EQ(RoundHalfToEven(2.5), 2);
+  EXPECT_EQ(RoundHalfToEven(3.5), 4);
+  EXPECT_EQ(RoundHalfToEven(-2.5), -2);
+  EXPECT_EQ(RoundHalfToEven(2.4), 2);
+  EXPECT_EQ(RoundHalfToEven(2.6), 3);
+}
+
+TEST(MathTest, PowerOfTwoHelpers) {
+  EXPECT_TRUE(IsPowerOfTwo(1));
+  EXPECT_TRUE(IsPowerOfTwo(128));
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_FALSE(IsPowerOfTwo(127));
+  EXPECT_EQ(NextPowerOfTwo(1), 1u);
+  EXPECT_EQ(NextPowerOfTwo(127), 128u);
+  EXPECT_EQ(NextPowerOfTwo(128), 128u);
+  EXPECT_EQ(FloorLog2(1), 0);
+  EXPECT_EQ(FloorLog2(127), 6);
+  EXPECT_EQ(FloorLog2(128), 7);
+}
+
+TEST(MathTest, NumRanges) {
+  EXPECT_EQ(NumRanges(1), 1);
+  EXPECT_EQ(NumRanges(127), 127 * 128 / 2);
+}
+
+TEST(MathTest, AlmostEqual) {
+  EXPECT_TRUE(AlmostEqual(1.0, 1.0 + 1e-12));
+  EXPECT_FALSE(AlmostEqual(1.0, 1.1));
+  EXPECT_TRUE(AlmostEqual(0.0, 1e-12));
+}
+
+}  // namespace
+}  // namespace rangesyn

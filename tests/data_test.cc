@@ -1,0 +1,221 @@
+// Tests for the synthetic data substrate: distribution generators, random
+// rounding, and the paper-dataset recipe.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/random.h"
+#include "data/distribution.h"
+#include "data/rounding.h"
+
+namespace rangesyn {
+namespace {
+
+double Sum(const std::vector<double>& v) {
+  return std::accumulate(v.begin(), v.end(), 0.0);
+}
+
+TEST(ZipfTest, FrequenciesFollowPowerLaw) {
+  ZipfOptions opt;
+  opt.n = 100;
+  opt.alpha = 1.8;
+  opt.total_volume = 1000.0;
+  opt.placement = Placement::kDecreasing;
+  Rng rng(1);
+  auto f = ZipfFrequencies(opt, &rng);
+  ASSERT_TRUE(f.ok());
+  EXPECT_NEAR(Sum(f.value()), 1000.0, 1e-6);
+  // Ratio of consecutive ranked frequencies follows (k/(k+1))^-alpha.
+  for (int k = 1; k < 5; ++k) {
+    const double expected =
+        std::pow(static_cast<double>(k + 1) / k, 1.8);
+    EXPECT_NEAR(f.value()[static_cast<size_t>(k - 1)] /
+                    f.value()[static_cast<size_t>(k)],
+                expected, 1e-9);
+  }
+}
+
+TEST(ZipfTest, PlacementsPreserveMultiset) {
+  for (Placement placement :
+       {Placement::kDecreasing, Placement::kIncreasing,
+        Placement::kRandom, Placement::kAlternating}) {
+    ZipfOptions opt;
+    opt.n = 50;
+    opt.placement = placement;
+    Rng rng(3);
+    auto f = ZipfFrequencies(opt, &rng);
+    ASSERT_TRUE(f.ok());
+    std::vector<double> sorted = f.value();
+    std::sort(sorted.begin(), sorted.end(), std::greater<>());
+    opt.placement = Placement::kDecreasing;
+    Rng rng2(3);
+    auto ref = ZipfFrequencies(opt, &rng2);
+    ASSERT_TRUE(ref.ok());
+    for (size_t i = 0; i < sorted.size(); ++i) {
+      EXPECT_NEAR(sorted[i], ref.value()[i], 1e-9);
+    }
+  }
+}
+
+TEST(ZipfTest, RejectsBadParameters) {
+  Rng rng(1);
+  ZipfOptions opt;
+  opt.n = 0;
+  EXPECT_FALSE(ZipfFrequencies(opt, &rng).ok());
+  opt.n = 10;
+  opt.alpha = -1.0;
+  EXPECT_FALSE(ZipfFrequencies(opt, &rng).ok());
+  opt.alpha = 1.0;
+  opt.total_volume = 0.0;
+  EXPECT_FALSE(ZipfFrequencies(opt, &rng).ok());
+}
+
+TEST(GeneratorsTest, GaussianMixtureHasRequestedMass) {
+  GaussianMixtureOptions opt;
+  opt.n = 128;
+  opt.total_volume = 5000.0;
+  Rng rng(5);
+  auto f = GaussianMixtureFrequencies(opt, &rng);
+  ASSERT_TRUE(f.ok());
+  EXPECT_NEAR(Sum(f.value()), 5000.0, 1e-6);
+  for (double v : f.value()) EXPECT_GE(v, 0.0);
+}
+
+TEST(GeneratorsTest, StepHasAtMostKDistinctLevels) {
+  Rng rng(7);
+  auto f = StepFrequencies(64, 4, 100.0, &rng);
+  ASSERT_TRUE(f.ok());
+  std::vector<double> levels = f.value();
+  std::sort(levels.begin(), levels.end());
+  levels.erase(std::unique(levels.begin(), levels.end()), levels.end());
+  EXPECT_LE(levels.size(), 4u);
+}
+
+TEST(GeneratorsTest, SpikesSitAboveBackground) {
+  Rng rng(9);
+  auto f = SpikeFrequencies(50, 3, 1.0, 100.0, &rng);
+  ASSERT_TRUE(f.ok());
+  int spikes = 0;
+  for (double v : f.value()) {
+    if (v > 10.0) ++spikes;
+  }
+  EXPECT_EQ(spikes, 3);
+}
+
+TEST(GeneratorsTest, SelfSimilarRequiresPowerOfTwo) {
+  Rng rng(11);
+  EXPECT_FALSE(SelfSimilarFrequencies(100, 0.8, 1000.0, &rng).ok());
+  auto f = SelfSimilarFrequencies(128, 0.8, 1000.0, &rng);
+  ASSERT_TRUE(f.ok());
+  EXPECT_NEAR(Sum(f.value()), 1000.0, 1e-6);
+}
+
+TEST(GeneratorsTest, CuspPeaksInTheMiddle) {
+  auto f = CuspFrequencies(101, 1.2, 1000.0);
+  ASSERT_TRUE(f.ok());
+  const auto it = std::max_element(f->begin(), f->end());
+  const int64_t peak = it - f->begin();
+  EXPECT_NEAR(static_cast<double>(peak), 50.0, 1.0);
+}
+
+TEST(GeneratorsTest, NamedFactoryKnowsAllFamilies) {
+  for (const char* name : {"zipf", "zipf_sorted", "uniform", "gauss",
+                           "step", "spike", "selfsim", "cusp"}) {
+    Rng rng(13);
+    auto f = MakeNamedDistribution(name, 64, 1000.0, &rng);
+    EXPECT_TRUE(f.ok()) << name;
+  }
+  Rng rng(13);
+  EXPECT_FALSE(MakeNamedDistribution("bogus", 64, 1000.0, &rng).ok());
+}
+
+// ----------------------------------------------------------------- Rounding
+
+TEST(RoundingTest, HalfModeRoundsToAdjacentIntegers) {
+  Rng rng(1);
+  const std::vector<double> values = {1.3, 2.0, 0.2, 7.9};
+  auto r = RandomRound(values, RandomRoundingMode::kHalf, &rng);
+  ASSERT_TRUE(r.ok());
+  for (size_t i = 0; i < values.size(); ++i) {
+    const double lo = std::floor(values[i]);
+    EXPECT_TRUE(r.value()[i] == static_cast<int64_t>(lo) ||
+                r.value()[i] == static_cast<int64_t>(lo) + 1)
+        << values[i] << " -> " << r.value()[i];
+  }
+  // Exact integers never move.
+  EXPECT_EQ(r.value()[1], 2);
+}
+
+TEST(RoundingTest, UnbiasedModeIsUnbiasedInExpectation) {
+  Rng rng(2);
+  const double x = 3.25;
+  double total = 0.0;
+  const int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i) {
+    auto r = RandomRound({x}, RandomRoundingMode::kUnbiased, &rng);
+    ASSERT_TRUE(r.ok());
+    total += static_cast<double>(r.value()[0]);
+  }
+  EXPECT_NEAR(total / kTrials, x, 0.02);
+}
+
+TEST(RoundingTest, NearestModeIsDeterministic) {
+  Rng rng(3);
+  auto r = RandomRound({1.4, 1.6, 2.5}, RandomRoundingMode::kNearest, &rng);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value()[0], 1);
+  EXPECT_EQ(r.value()[1], 2);
+  EXPECT_EQ(r.value()[2], 2);  // ties to even
+}
+
+TEST(RoundingTest, RejectsNegativeAndNonFinite) {
+  Rng rng(4);
+  EXPECT_FALSE(RandomRound({-1.0}, RandomRoundingMode::kHalf, &rng).ok());
+  EXPECT_FALSE(RandomRound({std::nan("")}, RandomRoundingMode::kHalf, &rng)
+                   .ok());
+}
+
+TEST(RoundingTest, ScaleAndRoundHitsTargetApproximately) {
+  Rng rng(5);
+  const std::vector<double> values = {1, 2, 3, 4, 10};
+  auto r = ScaleAndRound(values, 2000.0, RandomRoundingMode::kNearest, &rng);
+  ASSERT_TRUE(r.ok());
+  const int64_t total =
+      std::accumulate(r->begin(), r->end(), int64_t{0});
+  EXPECT_NEAR(static_cast<double>(total), 2000.0, 3.0);
+}
+
+TEST(PaperDatasetTest, DeterministicAndPlausible) {
+  PaperDatasetOptions opt;
+  auto a = MakePaperDataset(opt);
+  auto b = MakePaperDataset(opt);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value(), b.value());
+  EXPECT_EQ(a->size(), 127u);
+  const int64_t total = std::accumulate(a->begin(), a->end(), int64_t{0});
+  EXPECT_NEAR(static_cast<double>(total), 2000.0, 60.0);
+  for (int64_t v : a.value()) EXPECT_GE(v, 0);
+  // Heavy tail: the max key frequency dominates the median.
+  std::vector<int64_t> sorted = a.value();
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_GT(sorted.back(), 20 * std::max<int64_t>(1, sorted[63]));
+}
+
+TEST(PaperDatasetTest, DifferentSeedsDiffer) {
+  PaperDatasetOptions a, b;
+  b.seed = a.seed + 1;
+  auto da = MakePaperDataset(a);
+  auto db = MakePaperDataset(b);
+  ASSERT_TRUE(da.ok());
+  ASSERT_TRUE(db.ok());
+  EXPECT_NE(da.value(), db.value());
+}
+
+}  // namespace
+}  // namespace rangesyn

@@ -1,0 +1,300 @@
+// Tests for the generic interval DP engine against exhaustive enumeration,
+// plus the builders that ride on it (SAP0/SAP1/A0/POINT-OPT optimality for
+// their own objectives).
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/random.h"
+#include "data/workload.h"
+#include "eval/metrics.h"
+#include "histogram/bucket_cost.h"
+#include "histogram/builders.h"
+#include "histogram/dp.h"
+#include "histogram/prefix_stats.h"
+
+namespace rangesyn {
+namespace {
+
+std::vector<int64_t> RandomData(int64_t n, uint64_t seed, int64_t hi = 25) {
+  Rng rng(seed);
+  std::vector<int64_t> data(static_cast<size_t>(n));
+  for (auto& v : data) v = rng.NextInt(0, hi);
+  return data;
+}
+
+double ExhaustiveBest(int64_t n, int64_t buckets, const BucketCostFn& cost,
+                      bool exact) {
+  double best = std::numeric_limits<double>::infinity();
+  const int64_t k_lo = exact ? buckets : 1;
+  for (int64_t k = k_lo; k <= buckets; ++k) {
+    ForEachPartition(n, k, [&](const Partition& p) {
+      double total = 0.0;
+      for (int64_t b = 0; b < p.num_buckets(); ++b) {
+        total += cost(p.bucket_start(b), p.bucket_end(b));
+      }
+      best = std::min(best, total);
+    });
+  }
+  return best;
+}
+
+TEST(IntervalDpTest, RejectsBadArguments) {
+  const BucketCostFn zero = [](int64_t, int64_t) { return 0.0; };
+  EXPECT_FALSE(SolveIntervalDp(0, 1, zero).ok());
+  EXPECT_FALSE(SolveIntervalDp(5, 0, zero).ok());
+  EXPECT_FALSE(SolveIntervalDp(3, 5, zero, /*exact_buckets=*/true).ok());
+}
+
+TEST(IntervalDpTest, SingleBucketIsWholeRange) {
+  const BucketCostFn width = [](int64_t l, int64_t r) {
+    return static_cast<double>(r - l + 1);
+  };
+  auto r = SolveIntervalDp(7, 1, width);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->partition.num_buckets(), 1);
+  EXPECT_DOUBLE_EQ(r->cost, 7.0);
+}
+
+TEST(IntervalDpTest, SquaredWidthPrefersBalancedSplit) {
+  // Cost (r-l+1)^2 is minimized by equal buckets.
+  const BucketCostFn sq = [](int64_t l, int64_t r) {
+    const double w = static_cast<double>(r - l + 1);
+    return w * w;
+  };
+  auto r = SolveIntervalDp(8, 4, sq, /*exact_buckets=*/true);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->cost, 4 * 4.0);
+  for (int64_t k = 0; k < 4; ++k) {
+    EXPECT_EQ(r->partition.bucket_width(k), 2);
+  }
+}
+
+class IntervalDpPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IntervalDpPropertyTest, MatchesExhaustiveSearchOnRealCosts) {
+  const int64_t n = 9;
+  const std::vector<int64_t> data = RandomData(n, GetParam());
+  PrefixStats stats(data);
+  BucketCosts costs(stats);
+  const std::vector<std::pair<const char*, BucketCostFn>> oracles = {
+      {"sap0", [&](int64_t l, int64_t r) { return costs.Sap0Cost(l, r); }},
+      {"sap1", [&](int64_t l, int64_t r) { return costs.Sap1Cost(l, r); }},
+      {"a0", [&](int64_t l, int64_t r) { return costs.A0Cost(l, r); }},
+      {"intra", [&](int64_t l, int64_t r) { return costs.Intra(l, r); }}};
+  for (const auto& [name, fn] : oracles) {
+    for (int64_t b = 1; b <= 4; ++b) {
+      auto dp = SolveIntervalDp(n, b, fn);
+      ASSERT_TRUE(dp.ok()) << name;
+      const double brute = ExhaustiveBest(n, b, fn, /*exact=*/false);
+      EXPECT_NEAR(dp->cost, brute, 1e-6 * (1.0 + brute))
+          << name << " with B=" << b;
+    }
+  }
+}
+
+TEST_P(IntervalDpPropertyTest, ExactBucketsMatchesExhaustive) {
+  const int64_t n = 8;
+  const std::vector<int64_t> data = RandomData(n, GetParam() + 50);
+  PrefixStats stats(data);
+  BucketCosts costs(stats);
+  const BucketCostFn fn = [&](int64_t l, int64_t r) {
+    return costs.Sap0Cost(l, r);
+  };
+  for (int64_t b = 1; b <= n; ++b) {
+    auto dp = SolveIntervalDp(n, b, fn, /*exact_buckets=*/true);
+    ASSERT_TRUE(dp.ok());
+    EXPECT_EQ(dp->partition.num_buckets(), b);
+    const double brute = ExhaustiveBest(n, b, fn, /*exact=*/true);
+    EXPECT_NEAR(dp->cost, brute, 1e-6 * (1.0 + brute));
+  }
+}
+
+TEST_P(IntervalDpPropertyTest, AllKIsConsistentWithSingleK) {
+  const int64_t n = 10;
+  const std::vector<int64_t> data = RandomData(n, GetParam() + 99);
+  PrefixStats stats(data);
+  BucketCosts costs(stats);
+  const BucketCostFn fn = [&](int64_t l, int64_t r) {
+    return costs.Sap1Cost(l, r);
+  };
+  auto all = SolveIntervalDpAllK(n, 5, fn);
+  ASSERT_TRUE(all.ok());
+  ASSERT_EQ(all->size(), 5u);
+  for (int64_t k = 1; k <= 5; ++k) {
+    auto single = SolveIntervalDp(n, k, fn, /*exact_buckets=*/true);
+    ASSERT_TRUE(single.ok());
+    EXPECT_NEAR((*all)[static_cast<size_t>(k - 1)].cost, single->cost,
+                1e-9 * (1.0 + single->cost));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntervalDpPropertyTest,
+                         ::testing::Values(3, 11, 21, 42));
+
+// ------------------------------------------------------------ Builders
+
+// SAP0's construction is exactly range-optimal for its representation:
+// no partition into <= B buckets yields a SAP0 histogram with lower SSE.
+TEST(BuildersOptimalityTest, Sap0IsRangeOptimalForItsRepresentation) {
+  for (uint64_t seed : {7u, 8u}) {
+    const std::vector<int64_t> data = RandomData(9, seed);
+    for (int64_t b = 1; b <= 4; ++b) {
+      auto built = BuildSap0(data, b);
+      ASSERT_TRUE(built.ok());
+      auto built_sse = AllRangesSse(data, built.value());
+      ASSERT_TRUE(built_sse.ok());
+      for (int64_t k = 1; k <= b; ++k) {
+        ForEachPartition(9, k, [&](const Partition& p) {
+          auto alt = Sap0Histogram::Build(data, p);
+          ASSERT_TRUE(alt.ok());
+          auto alt_sse = AllRangesSse(data, alt.value());
+          ASSERT_TRUE(alt_sse.ok());
+          EXPECT_GE(alt_sse.value(), built_sse.value() - 1e-6);
+        });
+      }
+    }
+  }
+}
+
+TEST(BuildersOptimalityTest, Sap1IsRangeOptimalForItsRepresentation) {
+  const std::vector<int64_t> data = RandomData(8, 15);
+  for (int64_t b = 1; b <= 3; ++b) {
+    auto built = BuildSap1(data, b);
+    ASSERT_TRUE(built.ok());
+    auto built_sse = AllRangesSse(data, built.value());
+    ASSERT_TRUE(built_sse.ok());
+    for (int64_t k = 1; k <= b; ++k) {
+      ForEachPartition(8, k, [&](const Partition& p) {
+        auto alt = Sap1Histogram::Build(data, p);
+        ASSERT_TRUE(alt.ok());
+        auto alt_sse = AllRangesSse(data, alt.value());
+        ASSERT_TRUE(alt_sse.ok());
+        EXPECT_GE(alt_sse.value(), built_sse.value() - 1e-6);
+      });
+    }
+  }
+}
+
+TEST(BuildersTest, EquiDepthBalancesMass) {
+  // One huge value: equi-depth must isolate the head region.
+  std::vector<int64_t> data(16, 1);
+  data[0] = 100;
+  auto h = BuildEquiDepth(data, 4);
+  ASSERT_TRUE(h.ok());
+  // First bucket should be the singleton spike.
+  EXPECT_EQ(h->partition().bucket_end(0), 1);
+}
+
+TEST(BuildersTest, MaxDiffPutsBoundariesAtLargestJumps) {
+  const std::vector<int64_t> data = {1, 1, 1, 50, 50, 50, 2, 2};
+  auto h = BuildMaxDiff(data, 3);
+  ASSERT_TRUE(h.ok());
+  const std::vector<int64_t>& ends = h->partition().ends();
+  // Jumps are at 3->4 (49) and 6->7 (48): boundaries after 3 and 6.
+  ASSERT_EQ(ends.size(), 3u);
+  EXPECT_EQ(ends[0], 3);
+  EXPECT_EQ(ends[1], 6);
+  EXPECT_EQ(ends[2], 8);
+}
+
+TEST(BuildersTest, VOptimalMinimizesUnweightedPointSse) {
+  // The classical [6] guarantee: no boundary choice with bucket averages
+  // gives lower point-query SSE.
+  const std::vector<int64_t> data = RandomData(9, 55);
+  auto built = BuildVOptimal(data, 3, PieceRounding::kNone);
+  ASSERT_TRUE(built.ok());
+  auto point_sse = [&](const AvgHistogram& h) {
+    auto s = PointQuerySse(data, h);
+    RANGESYN_CHECK(s.ok());
+    return s.value();
+  };
+  const double best = point_sse(built.value());
+  for (int64_t k = 1; k <= 3; ++k) {
+    ForEachPartition(9, k, [&](const Partition& p) {
+      auto alt = AvgHistogram::WithTrueAverages(data, p, "alt",
+                                                PieceRounding::kNone);
+      ASSERT_TRUE(alt.ok());
+      EXPECT_GE(point_sse(alt.value()), best - 1e-6);
+    });
+  }
+}
+
+TEST(BuildersTest, PrefixOptIsOptimalForPrefixQueries) {
+  // PREFIX-OPT minimizes SSE over the prefix family [1, b] — verify
+  // against exhaustive partitions, and confirm it is generally *not*
+  // range-optimal (the paper's motivating observation).
+  const std::vector<int64_t> data = RandomData(9, 44);
+  const int64_t b = 3;
+  auto built = BuildPrefixOpt(data, b, PieceRounding::kNone);
+  ASSERT_TRUE(built.ok());
+  auto prefix_sse = [&](const AvgHistogram& h) {
+    auto stats = EvaluateOnWorkload(data, h, PrefixQueries(9));
+    RANGESYN_CHECK(stats.ok());
+    return stats->sse;
+  };
+  const double built_prefix = prefix_sse(built.value());
+  for (int64_t k = 1; k <= b; ++k) {
+    ForEachPartition(9, k, [&](const Partition& p) {
+      auto alt = AvgHistogram::WithTrueAverages(data, p, "alt",
+                                                PieceRounding::kNone);
+      ASSERT_TRUE(alt.ok());
+      EXPECT_GE(prefix_sse(alt.value()), built_prefix - 1e-6);
+    });
+  }
+}
+
+TEST(BuildersTest, RejectNegativeCounts) {
+  EXPECT_FALSE(BuildSap0({1, -2, 3}, 2).ok());
+  EXPECT_FALSE(BuildA0({-1}, 1).ok());
+  EXPECT_FALSE(BuildEquiWidth({1, -1}, 1).ok());
+}
+
+TEST(BuildersTest, BucketCountClampedToN) {
+  const std::vector<int64_t> data = {5, 6, 7};
+  auto h = BuildEquiWidth(data, 10);
+  ASSERT_TRUE(h.ok());
+  EXPECT_LE(h->partition().num_buckets(), 3);
+}
+
+TEST(BuildersTest, PointOptMinimizesWeightedPointSse) {
+  // POINT-OPT must beat (or tie) other boundary choices on its own
+  // objective: weighted point-query SSE.
+  const std::vector<int64_t> data = RandomData(9, 33);
+  const int64_t n = 9;
+  const std::vector<double> w = WeightedPointCosts::RangeCoverageWeights(n);
+  auto h = BuildPointOpt(data, 3);
+  ASSERT_TRUE(h.ok());
+  auto weighted_point_sse = [&](const AvgHistogram& hist) {
+    double sse = 0.0;
+    for (int64_t i = 1; i <= n; ++i) {
+      const double est =
+          hist.values()[static_cast<size_t>(hist.partition().BucketOf(i))];
+      const double err = static_cast<double>(data[static_cast<size_t>(i - 1)]) -
+                         est;
+      sse += w[static_cast<size_t>(i - 1)] * err * err;
+    }
+    return sse;
+  };
+  const double built = weighted_point_sse(h.value());
+  for (int64_t k = 1; k <= 3; ++k) {
+    ForEachPartition(n, k, [&](const Partition& p) {
+      WeightedPointCosts costs(data, w);
+      std::vector<double> values(static_cast<size_t>(p.num_buckets()));
+      for (int64_t kk = 0; kk < p.num_buckets(); ++kk) {
+        values[static_cast<size_t>(kk)] =
+            costs.WeightedMean(p.bucket_start(kk), p.bucket_end(kk));
+      }
+      auto alt = AvgHistogram::Create(p, values, "alt",
+                                      PieceRounding::kNone);
+      ASSERT_TRUE(alt.ok());
+      EXPECT_GE(weighted_point_sse(alt.value()), built - 1e-6);
+    });
+  }
+}
+
+}  // namespace
+}  // namespace rangesyn

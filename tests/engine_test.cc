@@ -1,0 +1,252 @@
+// Integration tests for the query-engine substrate: table/column storage,
+// attribute-value distribution extraction, the synopsis factory, and the
+// catalog's approximate query answers against the exact executor.
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/random.h"
+#include "engine/catalog.h"
+#include "engine/factory.h"
+#include "engine/table.h"
+#include "eval/metrics.h"
+
+namespace rangesyn {
+namespace {
+
+TEST(ColumnTest, CountAndSumRange) {
+  Column c("price");
+  c.AppendBatch({5, 10, 15, 10, 20});
+  EXPECT_EQ(c.num_rows(), 5);
+  EXPECT_EQ(c.CountRange(10, 15), 3);
+  EXPECT_EQ(c.SumRange(10, 15), 35);
+  EXPECT_EQ(c.CountRange(100, 200), 0);
+  auto bounds = c.ValueBounds();
+  ASSERT_TRUE(bounds.ok());
+  EXPECT_EQ(bounds->first, 5);
+  EXPECT_EQ(bounds->second, 20);
+}
+
+TEST(ColumnTest, EmptyColumnHasNoBounds) {
+  Column c("empty");
+  EXPECT_FALSE(c.ValueBounds().ok());
+}
+
+TEST(DistributionTest, CountsMatchColumn) {
+  Column c("v");
+  c.AppendBatch({3, 3, 5, 7, 7, 7});
+  auto d = BuildDistribution(c);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->domain_lo, 3);
+  EXPECT_EQ(d->domain_size(), 5);  // 3..7
+  EXPECT_EQ(d->counts[0], 2);      // value 3
+  EXPECT_EQ(d->counts[2], 1);      // value 5
+  EXPECT_EQ(d->counts[4], 3);      // value 7
+  EXPECT_EQ(d->PositionOf(3), 1);
+  EXPECT_EQ(d->PositionOf(7), 5);
+  EXPECT_EQ(d->PositionOf(100), 5);  // clamped
+}
+
+TEST(DistributionTest, DomainCapEnforced) {
+  Column c("v");
+  c.AppendBatch({0, 1'000'000});
+  EXPECT_FALSE(BuildDistribution(c, /*max_domain=*/1000).ok());
+}
+
+TEST(TableTest, SchemaAndRows) {
+  Table t("orders");
+  ASSERT_TRUE(t.AddColumn("price").ok());
+  ASSERT_TRUE(t.AddColumn("qty").ok());
+  EXPECT_FALSE(t.AddColumn("price").ok());  // duplicate
+  ASSERT_TRUE(t.AppendRow({10, 2}).ok());
+  ASSERT_TRUE(t.AppendRow({20, 1}).ok());
+  EXPECT_FALSE(t.AppendRow({1}).ok());  // arity mismatch
+  EXPECT_FALSE(t.AddColumn("late").ok());  // after rows
+  EXPECT_EQ(t.num_rows(), 2);
+  auto col = t.GetColumn("price");
+  ASSERT_TRUE(col.ok());
+  EXPECT_EQ((*col.value()).values()[1], 20);
+  EXPECT_FALSE(t.GetColumn("nope").ok());
+  EXPECT_EQ(t.ColumnNames().size(), 2u);
+}
+
+TEST(FactoryTest, AllKnownMethodsBuildAndRespectBudget) {
+  Rng rng(21);
+  std::vector<int64_t> data(64);
+  for (auto& v : data) v = rng.NextInt(0, 40);
+  for (const std::string& method : KnownSynopsisMethods()) {
+    SynopsisSpec spec;
+    spec.method = method;
+    spec.budget_words = 16;
+    auto built = BuildSynopsis(spec, data);
+    ASSERT_TRUE(built.ok()) << method << ": " << built.status();
+    EXPECT_LE((*built)->StorageWords(), 16) << method;
+    EXPECT_EQ((*built)->domain_size(), 64) << method;
+    // Every synopsis must produce finite estimates.
+    const double est = (*built)->EstimateRange(5, 40);
+    EXPECT_TRUE(std::isfinite(est)) << method;
+  }
+}
+
+TEST(FactoryTest, UnknownMethodRejected) {
+  SynopsisSpec spec;
+  spec.method = "nope";
+  EXPECT_FALSE(BuildSynopsis(spec, {1, 2, 3}).ok());
+  EXPECT_FALSE(WordsPerUnit("nope").ok());
+}
+
+TEST(FactoryTest, WordsPerUnitMatchesRepresentations) {
+  EXPECT_EQ(WordsPerUnit("naive").value(), 1);
+  EXPECT_EQ(WordsPerUnit("opta").value(), 2);
+  EXPECT_EQ(WordsPerUnit("sap0").value(), 3);
+  EXPECT_EQ(WordsPerUnit("sap1").value(), 5);
+  EXPECT_EQ(WordsPerUnit("wave-range-opt").value(), 2);
+}
+
+TEST(CatalogTest, EstimatesTrackExactCounts) {
+  // Records concentrated between 100 and 160.
+  Rng rng(31);
+  Column c("price");
+  for (int i = 0; i < 5000; ++i) {
+    c.Append(100 + rng.NextInt(0, 60));
+  }
+  SynopsisCatalog catalog;
+  SynopsisSpec spec;
+  spec.method = "sap1";
+  spec.budget_words = 40;
+  ASSERT_TRUE(catalog.RegisterColumn("t.price", c, spec).ok());
+  EXPECT_TRUE(catalog.Contains("t.price"));
+
+  for (const auto& [lo, hi] :
+       std::vector<std::pair<int64_t, int64_t>>{
+           {100, 160}, {110, 120}, {100, 105}, {155, 160}}) {
+    auto est = catalog.EstimateCountBetween("t.price", lo, hi);
+    ASSERT_TRUE(est.ok());
+    const double exact = static_cast<double>(c.CountRange(lo, hi));
+    EXPECT_NEAR(est.value(), exact, 0.15 * exact + 40.0)
+        << "[" << lo << "," << hi << "]";
+  }
+}
+
+TEST(CatalogTest, ClipsQueriesToDomain) {
+  Column c("v");
+  c.AppendBatch({10, 11, 12});
+  SynopsisCatalog catalog;
+  SynopsisSpec spec;
+  spec.method = "naive";
+  ASSERT_TRUE(catalog.RegisterColumn("k", c, spec).ok());
+  auto below = catalog.EstimateCountBetween("k", 0, 5);
+  ASSERT_TRUE(below.ok());
+  EXPECT_DOUBLE_EQ(below.value(), 0.0);
+  auto spanning = catalog.EstimateCountBetween("k", 0, 100);
+  ASSERT_TRUE(spanning.ok());
+  EXPECT_NEAR(spanning.value(), 3.0, 1e-6);
+}
+
+TEST(CatalogTest, SelectivityInUnitInterval) {
+  Column c("v");
+  Rng rng(41);
+  for (int i = 0; i < 1000; ++i) c.Append(rng.NextInt(0, 99));
+  SynopsisCatalog catalog;
+  SynopsisSpec spec;
+  spec.method = "equidepth";
+  spec.budget_words = 20;
+  ASSERT_TRUE(catalog.RegisterColumn("k", c, spec).ok());
+  auto sel = catalog.EstimateSelectivity("k", 0, 49);
+  ASSERT_TRUE(sel.ok());
+  EXPECT_GE(sel.value(), 0.0);
+  EXPECT_LE(sel.value(), 1.0);
+  EXPECT_NEAR(sel.value(), 0.5, 0.1);
+}
+
+TEST(CatalogTest, DuplicateAndMissingKeys) {
+  Column c("v");
+  c.AppendBatch({1, 2, 3});
+  SynopsisCatalog catalog;
+  SynopsisSpec spec;
+  spec.method = "naive";
+  ASSERT_TRUE(catalog.RegisterColumn("k", c, spec).ok());
+  EXPECT_FALSE(catalog.RegisterColumn("k", c, spec).ok());
+  EXPECT_FALSE(catalog.EstimateCountBetween("missing", 1, 2).ok());
+  EXPECT_FALSE(catalog.StorageWords("missing").ok());
+}
+
+TEST(CatalogTest, SerializationRoundTrip) {
+  Column c("v");
+  Rng rng(61);
+  for (int i = 0; i < 800; ++i) c.Append(rng.NextInt(-20, 79));
+  SynopsisCatalog catalog;
+  SynopsisSpec spec;
+  spec.method = "sap1";
+  spec.budget_words = 25;
+  ASSERT_TRUE(catalog.RegisterColumn("t.a", c, spec).ok());
+  spec.method = "wave-range-opt";
+  spec.budget_words = 16;
+  ASSERT_TRUE(catalog.RegisterColumn("t.b", c, spec).ok());
+
+  auto bytes = catalog.Serialize();
+  ASSERT_TRUE(bytes.ok()) << bytes.status();
+  auto restored = SynopsisCatalog::Deserialize(bytes.value());
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  EXPECT_EQ(restored->ListEntries().size(), 2u);
+  EXPECT_EQ(restored->TotalStorageWords(), catalog.TotalStorageWords());
+  for (const auto& [lo, hi] :
+       std::vector<std::pair<int64_t, int64_t>>{{-20, 79}, {0, 10},
+                                                {50, 60}}) {
+    auto a = catalog.EstimateCountBetween("t.a", lo, hi);
+    auto b = restored->EstimateCountBetween("t.a", lo, hi);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_NEAR(a.value(), b.value(), 1e-9);
+  }
+  // Corrupt inputs fail cleanly.
+  EXPECT_FALSE(SynopsisCatalog::Deserialize("junk").ok());
+  EXPECT_FALSE(SynopsisCatalog::Deserialize(
+                   std::string_view(*bytes).substr(0, bytes->size() / 2))
+                   .ok());
+}
+
+TEST(CatalogTest, FileRoundTrip) {
+  Column c("v");
+  Rng rng(67);
+  for (int i = 0; i < 300; ++i) c.Append(rng.NextInt(0, 49));
+  SynopsisCatalog catalog;
+  SynopsisSpec spec;
+  spec.method = "equidepth";
+  spec.budget_words = 12;
+  ASSERT_TRUE(catalog.RegisterColumn("k", c, spec).ok());
+  const std::string path = ::testing::TempDir() + "/catalog.rsc";
+  ASSERT_TRUE(catalog.SaveToFile(path).ok());
+  auto loaded = SynopsisCatalog::LoadFromFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_TRUE(loaded->Contains("k"));
+  std::remove(path.c_str());
+  EXPECT_FALSE(SynopsisCatalog::LoadFromFile(path).ok());
+}
+
+TEST(CatalogTest, StorageAccounting) {
+  Column c("v");
+  Rng rng(51);
+  for (int i = 0; i < 500; ++i) c.Append(rng.NextInt(0, 63));
+  SynopsisCatalog catalog;
+  SynopsisSpec spec;
+  spec.method = "sap0";
+  spec.budget_words = 30;
+  ASSERT_TRUE(catalog.RegisterColumn("a", c, spec).ok());
+  spec.method = "wave-point";
+  spec.budget_words = 12;
+  ASSERT_TRUE(catalog.RegisterColumn("b", c, spec).ok());
+  auto a_words = catalog.StorageWords("a");
+  auto b_words = catalog.StorageWords("b");
+  ASSERT_TRUE(a_words.ok());
+  ASSERT_TRUE(b_words.ok());
+  EXPECT_EQ(catalog.TotalStorageWords(), a_words.value() + b_words.value());
+  EXPECT_EQ(catalog.ListEntries().size(), 2u);
+}
+
+}  // namespace
+}  // namespace rangesyn

@@ -1,0 +1,105 @@
+// Tests for the experiment grid runner and report writers.
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/random.h"
+#include "eval/experiment.h"
+#include "eval/report.h"
+
+namespace rangesyn {
+namespace {
+
+std::vector<int64_t> SmallData() {
+  Rng rng(61);
+  std::vector<int64_t> data(32);
+  for (auto& v : data) v = rng.NextInt(0, 25);
+  return data;
+}
+
+TEST(ExperimentTest, SweepProducesFullGrid) {
+  SweepOptions options;
+  options.methods = {"naive", "equiwidth", "sap0"};
+  options.budgets_words = {6, 12};
+  auto rows = RunStorageSweep(SmallData(), options);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 6u);
+  for (const ExperimentRow& row : rows.value()) {
+    EXPECT_FALSE(row.failed) << row.failure;
+    EXPECT_GT(row.all_ranges.count, 0);
+    EXPECT_LE(row.actual_words, row.budget_words);
+  }
+}
+
+TEST(ExperimentTest, SseDecreasesWithBudgetForDpMethods) {
+  SweepOptions options;
+  options.methods = {"sap0", "a0"};
+  options.budgets_words = {6, 12, 24};
+  auto rows = RunStorageSweep(SmallData(), options);
+  ASSERT_TRUE(rows.ok());
+  for (const std::string& m : options.methods) {
+    const ExperimentRow* small = FindRow(rows.value(), m, 6);
+    const ExperimentRow* large = FindRow(rows.value(), m, 24);
+    ASSERT_NE(small, nullptr);
+    ASSERT_NE(large, nullptr);
+    EXPECT_LE(large->all_ranges.sse, small->all_ranges.sse + 1e-6) << m;
+  }
+}
+
+TEST(ExperimentTest, ToleratesFailures) {
+  SweepOptions options;
+  options.methods = {"opta"};
+  options.budgets_words = {8};
+  options.max_states = 1;  // force ResourceExhausted
+  auto rows = RunStorageSweep(SmallData(), options);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_TRUE(rows->front().failed);
+  EXPECT_EQ(FindRow(rows.value(), "opta", 8), nullptr);
+}
+
+TEST(ExperimentTest, FailFastWhenRequested) {
+  SweepOptions options;
+  options.methods = {"opta"};
+  options.budgets_words = {8};
+  options.max_states = 1;
+  options.tolerate_failures = false;
+  EXPECT_FALSE(RunStorageSweep(SmallData(), options).ok());
+}
+
+TEST(ExperimentTest, RejectsEmptyGrid) {
+  SweepOptions options;
+  EXPECT_FALSE(RunStorageSweep(SmallData(), options).ok());
+}
+
+TEST(ReportTest, TextTableAlignsAndCounts) {
+  TextTable t({"name", "value"});
+  t.AddRow({"alpha", "1"});
+  t.AddRow({"b", "22222"});
+  EXPECT_EQ(t.num_rows(), 2);
+  std::ostringstream os;
+  t.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22222"), std::string::npos);
+  // Header separator line present.
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(ReportTest, CsvHasCommasAndNewlines) {
+  TextTable t({"a", "b"});
+  t.AddRow({"1", "2"});
+  std::ostringstream os;
+  t.PrintCsv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(ReportTest, FormatG) {
+  EXPECT_EQ(FormatG(1.0), "1");
+  EXPECT_EQ(FormatG(0.5, 3), "0.5");
+  EXPECT_EQ(FormatG(1234567.0, 3), "1.23e+06");
+}
+
+}  // namespace
+}  // namespace rangesyn

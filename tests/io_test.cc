@@ -1,0 +1,95 @@
+// Tests for CSV persistence of distributions and query workloads.
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/random.h"
+#include "data/io.h"
+#include "data/rounding.h"
+
+namespace rangesyn {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+void WriteFile(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::trunc);
+  out << contents;
+}
+
+TEST(DistributionCsvTest, RoundTrip) {
+  const std::string path = TempPath("dist.csv");
+  auto data = MakePaperDataset({});
+  ASSERT_TRUE(data.ok());
+  ASSERT_TRUE(SaveDistributionCsv(data.value(), path).ok());
+  auto loaded = LoadDistributionCsv(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded.value(), data.value());
+  std::remove(path.c_str());
+}
+
+TEST(DistributionCsvTest, AcceptsShuffledRowsWithoutHeader) {
+  const std::string path = TempPath("shuffled.csv");
+  WriteFile(path, "3,30\n1,10\n2,20\n");
+  auto loaded = LoadDistributionCsv(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded.value(), (std::vector<int64_t>{10, 20, 30}));
+  std::remove(path.c_str());
+}
+
+TEST(DistributionCsvTest, RejectsCorruptInputs) {
+  const std::string path = TempPath("bad.csv");
+  WriteFile(path, "position,count\n1,5\n1,6\n");  // duplicate position
+  EXPECT_FALSE(LoadDistributionCsv(path).ok());
+  WriteFile(path, "position,count\n1,5\n3,6\n");  // missing position 2
+  EXPECT_FALSE(LoadDistributionCsv(path).ok());
+  WriteFile(path, "position,count\n1,-5\n");  // negative
+  EXPECT_FALSE(LoadDistributionCsv(path).ok());
+  WriteFile(path, "position,count\nx,5\n");  // malformed
+  EXPECT_FALSE(LoadDistributionCsv(path).ok());
+  WriteFile(path, "");  // empty
+  EXPECT_FALSE(LoadDistributionCsv(path).ok());
+  std::remove(path.c_str());
+  EXPECT_FALSE(LoadDistributionCsv(TempPath("missing-file.csv")).ok());
+  EXPECT_FALSE(SaveDistributionCsv({}, path).ok());
+}
+
+TEST(WorkloadCsvTest, RoundTrip) {
+  const std::string path = TempPath("workload.csv");
+  Rng rng(3);
+  auto queries = UniformRandomRanges(50, 200, &rng);
+  ASSERT_TRUE(queries.ok());
+  ASSERT_TRUE(SaveWorkloadCsv(queries.value(), path).ok());
+  auto loaded = LoadWorkloadCsv(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded.value(), queries.value());
+  std::remove(path.c_str());
+}
+
+TEST(WorkloadCsvTest, RejectsBadQueries) {
+  const std::string path = TempPath("badq.csv");
+  WriteFile(path, "a,b\n5,3\n");  // a > b
+  EXPECT_FALSE(LoadWorkloadCsv(path).ok());
+  WriteFile(path, "a,b\n0,3\n");  // a < 1
+  EXPECT_FALSE(LoadWorkloadCsv(path).ok());
+  WriteFile(path, "a,b\n1\n");  // wrong arity
+  EXPECT_FALSE(LoadWorkloadCsv(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(WorkloadCsvTest, EmptyLogIsAllowed) {
+  const std::string path = TempPath("empty.csv");
+  ASSERT_TRUE(SaveWorkloadCsv({}, path).ok());
+  auto loaded = LoadWorkloadCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->empty());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace rangesyn

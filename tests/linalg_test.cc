@@ -1,0 +1,158 @@
+// Tests for the dense linear algebra used by SAP1 and the re-optimization
+// pass: LU, Cholesky, and the robust symmetric solver.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/random.h"
+#include "linalg/matrix.h"
+#include "linalg/solve.h"
+
+namespace rangesyn {
+namespace {
+
+Matrix RandomSpd(int64_t n, uint64_t seed) {
+  Rng rng(seed);
+  Matrix a(n, n);
+  for (int64_t r = 0; r < n; ++r) {
+    for (int64_t c = 0; c < n; ++c) a(r, c) = rng.NextDouble(-1.0, 1.0);
+  }
+  // A^T A + n*I is SPD.
+  Matrix spd = a.Transposed().Multiply(a);
+  for (int64_t i = 0; i < n; ++i) spd(i, i) += static_cast<double>(n);
+  return spd;
+}
+
+TEST(MatrixTest, MultiplyIdentity) {
+  Matrix a(2, 3);
+  a(0, 0) = 1;
+  a(0, 2) = 2;
+  a(1, 1) = 3;
+  const Matrix i3 = Matrix::Identity(3);
+  EXPECT_LT(a.Multiply(i3).MaxAbsDiff(a), 1e-12);
+}
+
+TEST(MatrixTest, MatVecProduct) {
+  Matrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 3;
+  a(1, 1) = 4;
+  const std::vector<double> x = {5, 6};
+  const std::vector<double> y = a.Multiply(x);
+  EXPECT_DOUBLE_EQ(y[0], 17.0);
+  EXPECT_DOUBLE_EQ(y[1], 39.0);
+}
+
+TEST(MatrixTest, TransposeAndSymmetry) {
+  Matrix a(2, 2);
+  a(0, 1) = 5;
+  EXPECT_FALSE(a.IsSymmetric());
+  Matrix s = a;
+  s(1, 0) = 5;
+  EXPECT_TRUE(s.IsSymmetric());
+  EXPECT_LT(a.Transposed().Transposed().MaxAbsDiff(a), 1e-12);
+}
+
+TEST(VectorOpsTest, DotNormSubtract) {
+  const std::vector<double> v = {3, 4};
+  EXPECT_DOUBLE_EQ(Dot(v, v), 25.0);
+  EXPECT_DOUBLE_EQ(Norm2(v), 5.0);
+  EXPECT_DOUBLE_EQ(NormInf({-7, 2}), 7.0);
+  const std::vector<double> d = Subtract({5, 5}, {2, 3});
+  EXPECT_DOUBLE_EQ(d[0], 3.0);
+  EXPECT_DOUBLE_EQ(d[1], 2.0);
+}
+
+class SolvePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SolvePropertyTest, LuSolvesRandomSystems) {
+  Rng rng(GetParam());
+  for (int64_t n : {1, 2, 5, 12}) {
+    Matrix a(n, n);
+    for (int64_t r = 0; r < n; ++r) {
+      for (int64_t c = 0; c < n; ++c) a(r, c) = rng.NextDouble(-5.0, 5.0);
+      a(r, r) += 10.0;  // keep well-conditioned
+    }
+    std::vector<double> b(static_cast<size_t>(n));
+    for (auto& v : b) v = rng.NextDouble(-5.0, 5.0);
+    auto x = SolveLU(a, b);
+    ASSERT_TRUE(x.ok());
+    EXPECT_LT(Residual(a, x.value(), b), 1e-9);
+  }
+}
+
+TEST_P(SolvePropertyTest, CholeskySolvesSpdSystems) {
+  for (int64_t n : {1, 3, 8, 20}) {
+    const Matrix a = RandomSpd(n, GetParam() * 100 + static_cast<uint64_t>(n));
+    Rng rng(GetParam() + 5);
+    std::vector<double> b(static_cast<size_t>(n));
+    for (auto& v : b) v = rng.NextDouble(-3.0, 3.0);
+    auto x = SolveCholesky(a, b);
+    ASSERT_TRUE(x.ok());
+    EXPECT_LT(Residual(a, x.value(), b), 1e-8);
+    // Must agree with LU.
+    auto x_lu = SolveLU(a, b);
+    ASSERT_TRUE(x_lu.ok());
+    EXPECT_LT(NormInf(Subtract(x.value(), x_lu.value())), 1e-8);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolvePropertyTest,
+                         ::testing::Values(1, 7, 42));
+
+TEST(SolveTest, LuDetectsSingular) {
+  Matrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 2;
+  a(1, 1) = 4;  // rank 1
+  EXPECT_FALSE(SolveLU(a, {1, 2}).ok());
+}
+
+TEST(SolveTest, CholeskyRejectsIndefinite) {
+  Matrix a(2, 2);
+  a(0, 0) = 1;
+  a(1, 1) = -1;
+  EXPECT_FALSE(SolveCholesky(a, {1, 1}).ok());
+}
+
+TEST(SolveTest, PivotingHandlesZeroLeadingEntry) {
+  Matrix a(2, 2);
+  a(0, 0) = 0;
+  a(0, 1) = 1;
+  a(1, 0) = 1;
+  a(1, 1) = 0;
+  auto x = SolveLU(a, {3, 4});
+  ASSERT_TRUE(x.ok());
+  EXPECT_DOUBLE_EQ(x.value()[0], 4.0);
+  EXPECT_DOUBLE_EQ(x.value()[1], 3.0);
+}
+
+TEST(SolveTest, ShapeMismatchRejected) {
+  Matrix a(2, 3);
+  EXPECT_FALSE(SolveLU(a, {1, 2}).ok());
+  Matrix sq(2, 2);
+  EXPECT_FALSE(SolveLU(sq, {1, 2, 3}).ok());
+}
+
+TEST(SolveTest, RobustSolverHandlesNearSingular) {
+  // Nearly rank-deficient PSD matrix: Cholesky may fail, the robust path
+  // must still return a finite solution with a small residual relative to
+  // the regularization.
+  Matrix a(2, 2);
+  a(0, 0) = 1.0;
+  a(0, 1) = 1.0;
+  a(1, 0) = 1.0;
+  a(1, 1) = 1.0 + 1e-13;
+  auto x = SolveSymmetricRobust(a, {2.0, 2.0});
+  ASSERT_TRUE(x.ok());
+  EXPECT_TRUE(std::isfinite(x.value()[0]));
+  EXPECT_TRUE(std::isfinite(x.value()[1]));
+  EXPECT_NEAR(x.value()[0] + x.value()[1], 2.0, 1e-5);
+}
+
+}  // namespace
+}  // namespace rangesyn

@@ -1,0 +1,97 @@
+// Tests for the evaluation metrics.
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/random.h"
+#include "eval/metrics.h"
+#include "histogram/builders.h"
+
+namespace rangesyn {
+namespace {
+
+TEST(MetricsTest, PerfectEstimatorHasZeroError) {
+  // A one-bucket histogram over constant data answers everything exactly.
+  const std::vector<int64_t> data = {4, 4, 4, 4};
+  auto h = BuildNaive(data);
+  ASSERT_TRUE(h.ok());
+  auto stats = AllRangesStats(data, h.value());
+  ASSERT_TRUE(stats.ok());
+  EXPECT_DOUBLE_EQ(stats->sse, 0.0);
+  EXPECT_DOUBLE_EQ(stats->max_abs, 0.0);
+  EXPECT_EQ(stats->count, 10);
+}
+
+TEST(MetricsTest, HandComputedErrorStats) {
+  // Data (2, 6); NAIVE average 4.
+  // Queries: [1,1] truth 2 est 4 (err -2); [2,2] truth 6 est 4 (err 2);
+  // [1,2] truth 8 est 8 (err 0).
+  const std::vector<int64_t> data = {2, 6};
+  auto h = BuildNaive(data);
+  ASSERT_TRUE(h.ok());
+  auto stats = AllRangesStats(data, h.value());
+  ASSERT_TRUE(stats.ok());
+  EXPECT_DOUBLE_EQ(stats->sse, 8.0);
+  EXPECT_DOUBLE_EQ(stats->mean_sq, 8.0 / 3.0);
+  EXPECT_DOUBLE_EQ(stats->rmse, std::sqrt(8.0 / 3.0));
+  EXPECT_DOUBLE_EQ(stats->max_abs, 2.0);
+  EXPECT_DOUBLE_EQ(stats->mean_abs, 4.0 / 3.0);
+  EXPECT_DOUBLE_EQ(stats->max_rel, 1.0);  // |err|/max(1,truth) = 2/2
+}
+
+TEST(MetricsTest, AllRangesSseMatchesStats) {
+  Rng rng(5);
+  std::vector<int64_t> data(20);
+  for (auto& v : data) v = rng.NextInt(0, 30);
+  auto h = BuildEquiWidth(data, 4);
+  ASSERT_TRUE(h.ok());
+  auto sse = AllRangesSse(data, h.value());
+  auto stats = AllRangesStats(data, h.value());
+  ASSERT_TRUE(sse.ok());
+  ASSERT_TRUE(stats.ok());
+  EXPECT_NEAR(sse.value(), stats->sse, 1e-9 * (1.0 + stats->sse));
+}
+
+TEST(MetricsTest, WorkloadSubsetsScoreDifferently) {
+  Rng rng(6);
+  std::vector<int64_t> data(30);
+  for (auto& v : data) v = rng.NextInt(0, 30);
+  auto h = BuildEquiWidth(data, 3);
+  ASSERT_TRUE(h.ok());
+  auto point = EvaluateOnWorkload(data, h.value(), PointQueries(30));
+  auto all = AllRangesStats(data, h.value());
+  ASSERT_TRUE(point.ok());
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(point->count, 30);
+  EXPECT_EQ(all->count, 30 * 31 / 2);
+  EXPECT_LE(point->sse, all->sse);
+}
+
+TEST(MetricsTest, RejectsBadQueriesAndMismatch) {
+  const std::vector<int64_t> data = {1, 2, 3};
+  auto h = BuildNaive(data);
+  ASSERT_TRUE(h.ok());
+  EXPECT_FALSE(
+      EvaluateOnWorkload(data, h.value(), {{0, 2}}).ok());
+  EXPECT_FALSE(
+      EvaluateOnWorkload(data, h.value(), {{2, 5}}).ok());
+  EXPECT_FALSE(
+      EvaluateOnWorkload(data, h.value(), {{3, 2}}).ok());
+  const std::vector<int64_t> other = {1, 2, 3, 4};
+  EXPECT_FALSE(AllRangesSse(other, h.value()).ok());
+}
+
+TEST(MetricsTest, PointQuerySseIsPointWorkloadSse) {
+  const std::vector<int64_t> data = {2, 6};
+  auto h = BuildNaive(data);
+  ASSERT_TRUE(h.ok());
+  auto sse = PointQuerySse(data, h.value());
+  ASSERT_TRUE(sse.ok());
+  EXPECT_DOUBLE_EQ(sse.value(), 8.0);
+}
+
+}  // namespace
+}  // namespace rangesyn

@@ -1,0 +1,104 @@
+// Tests for Partition: validation, bucket geometry, lookup, enumeration.
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "histogram/partition.h"
+
+namespace rangesyn {
+namespace {
+
+TEST(PartitionTest, FromEndsValidCase) {
+  auto p = Partition::FromEnds(10, {3, 7, 10});
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->num_buckets(), 3);
+  EXPECT_EQ(p->bucket_start(0), 1);
+  EXPECT_EQ(p->bucket_end(0), 3);
+  EXPECT_EQ(p->bucket_start(1), 4);
+  EXPECT_EQ(p->bucket_end(1), 7);
+  EXPECT_EQ(p->bucket_start(2), 8);
+  EXPECT_EQ(p->bucket_end(2), 10);
+  EXPECT_EQ(p->bucket_width(1), 4);
+}
+
+TEST(PartitionTest, FromEndsRejectsBadInput) {
+  EXPECT_FALSE(Partition::FromEnds(10, {}).ok());
+  EXPECT_FALSE(Partition::FromEnds(10, {3, 7}).ok());     // last != n
+  EXPECT_FALSE(Partition::FromEnds(10, {7, 3, 10}).ok()); // not increasing
+  EXPECT_FALSE(Partition::FromEnds(10, {3, 3, 10}).ok()); // duplicate
+  EXPECT_FALSE(Partition::FromEnds(10, {0, 10}).ok());    // below 1
+  EXPECT_FALSE(Partition::FromEnds(10, {11}).ok());       // beyond n
+  EXPECT_FALSE(Partition::FromEnds(0, {1}).ok());         // n < 1
+}
+
+TEST(PartitionTest, BucketOfCoversEveryPosition) {
+  auto p = Partition::FromEnds(10, {3, 7, 10});
+  ASSERT_TRUE(p.ok());
+  for (int64_t i = 1; i <= 10; ++i) {
+    const int64_t k = p->BucketOf(i);
+    EXPECT_GE(i, p->bucket_start(k));
+    EXPECT_LE(i, p->bucket_end(k));
+  }
+}
+
+TEST(PartitionTest, WholeIsSingleBucket) {
+  const Partition p = Partition::Whole(5);
+  EXPECT_EQ(p.num_buckets(), 1);
+  EXPECT_EQ(p.bucket_start(0), 1);
+  EXPECT_EQ(p.bucket_end(0), 5);
+  EXPECT_EQ(p.BucketOf(3), 0);
+}
+
+TEST(PartitionTest, EquiWidthBalanced) {
+  auto p = Partition::EquiWidth(10, 3);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->num_buckets(), 3);
+  // Widths differ by at most one.
+  int64_t min_w = 10, max_w = 0;
+  for (int64_t k = 0; k < p->num_buckets(); ++k) {
+    min_w = std::min(min_w, p->bucket_width(k));
+    max_w = std::max(max_w, p->bucket_width(k));
+  }
+  EXPECT_LE(max_w - min_w, 1);
+}
+
+TEST(PartitionTest, EquiWidthClampsBucketsToN) {
+  auto p = Partition::EquiWidth(3, 10);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->num_buckets(), 3);
+}
+
+int64_t Choose(int64_t n, int64_t k) {
+  if (k < 0 || k > n) return 0;
+  int64_t r = 1;
+  for (int64_t i = 1; i <= k; ++i) r = r * (n - k + i) / i;
+  return r;
+}
+
+class PartitionEnumTest
+    : public ::testing::TestWithParam<std::pair<int64_t, int64_t>> {};
+
+TEST_P(PartitionEnumTest, EnumeratesExactlyChooseCount) {
+  const auto [n, b] = GetParam();
+  int64_t count = 0;
+  ForEachPartition(n, b, [&](const Partition& p) {
+    EXPECT_EQ(p.num_buckets(), b);
+    EXPECT_EQ(p.n(), n);
+    ++count;
+  });
+  EXPECT_EQ(count, Choose(n - 1, b - 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, PartitionEnumTest,
+    ::testing::Values(std::make_pair<int64_t, int64_t>(1, 1),
+                      std::make_pair<int64_t, int64_t>(5, 1),
+                      std::make_pair<int64_t, int64_t>(5, 3),
+                      std::make_pair<int64_t, int64_t>(6, 6),
+                      std::make_pair<int64_t, int64_t>(8, 4),
+                      std::make_pair<int64_t, int64_t>(10, 2)));
+
+}  // namespace
+}  // namespace rangesyn

@@ -1,0 +1,96 @@
+// Tests for PrefixStats: exact range sums and the window moments every
+// closed-form bucket cost is built on, validated against brute force.
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/random.h"
+#include "histogram/prefix_stats.h"
+
+namespace rangesyn {
+namespace {
+
+std::vector<int64_t> RandomData(int64_t n, uint64_t seed, int64_t hi = 50) {
+  Rng rng(seed);
+  std::vector<int64_t> data(static_cast<size_t>(n));
+  for (auto& v : data) v = rng.NextInt(0, hi);
+  return data;
+}
+
+TEST(PrefixStatsTest, HandComputedSums) {
+  PrefixStats stats({1, 3, 5, 11, 12, 13});
+  EXPECT_EQ(stats.n(), 6);
+  EXPECT_EQ(stats.P(0), 0);
+  EXPECT_EQ(stats.P(6), 45);
+  EXPECT_EQ(stats.Sum(1, 6), 45);
+  EXPECT_EQ(stats.Sum(2, 4), 19);
+  EXPECT_EQ(stats.Sum(3, 3), 5);
+  EXPECT_EQ(stats.TotalVolume(), 45);
+  EXPECT_EQ(stats.value(4), 11);
+}
+
+TEST(PrefixStatsTest, SingleElement) {
+  PrefixStats stats({7});
+  EXPECT_EQ(stats.n(), 1);
+  EXPECT_EQ(stats.Sum(1, 1), 7);
+  EXPECT_DOUBLE_EQ(stats.SumP(0, 1), 7.0);  // P[0] + P[1] = 0 + 7
+}
+
+TEST(PrefixStatsTest, AllZeros) {
+  PrefixStats stats({0, 0, 0, 0});
+  EXPECT_EQ(stats.Sum(1, 4), 0);
+  EXPECT_DOUBLE_EQ(stats.SumP2(0, 4), 0.0);
+}
+
+class PrefixStatsPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PrefixStatsPropertyTest, WindowMomentsMatchBruteForce) {
+  const int64_t n = 33;
+  const std::vector<int64_t> data = RandomData(n, GetParam());
+  PrefixStats stats(data);
+  // Brute-force P.
+  std::vector<double> p(static_cast<size_t>(n) + 1, 0.0);
+  for (int64_t i = 1; i <= n; ++i) {
+    p[static_cast<size_t>(i)] = p[static_cast<size_t>(i - 1)] +
+                                static_cast<double>(data[static_cast<size_t>(i - 1)]);
+  }
+  for (int64_t x = 0; x <= n; x += 3) {
+    for (int64_t y = x; y <= n; y += 2) {
+      double sp = 0, sp2 = 0, stp = 0, st = 0, st2 = 0;
+      for (int64_t t = x; t <= y; ++t) {
+        const double pt = p[static_cast<size_t>(t)];
+        sp += pt;
+        sp2 += pt * pt;
+        stp += static_cast<double>(t) * pt;
+        st += static_cast<double>(t);
+        st2 += static_cast<double>(t) * static_cast<double>(t);
+      }
+      EXPECT_DOUBLE_EQ(stats.SumP(x, y), sp);
+      EXPECT_DOUBLE_EQ(stats.SumP2(x, y), sp2);
+      EXPECT_DOUBLE_EQ(stats.SumTP(x, y), stp);
+      EXPECT_DOUBLE_EQ(PrefixStats::SumT(x, y), st);
+      EXPECT_DOUBLE_EQ(PrefixStats::SumT2(x, y), st2);
+    }
+  }
+}
+
+TEST_P(PrefixStatsPropertyTest, RangeSumsMatchBruteForce) {
+  const int64_t n = 25;
+  const std::vector<int64_t> data = RandomData(n, GetParam() + 1000);
+  PrefixStats stats(data);
+  for (int64_t a = 1; a <= n; ++a) {
+    int64_t acc = 0;
+    for (int64_t b = a; b <= n; ++b) {
+      acc += data[static_cast<size_t>(b - 1)];
+      EXPECT_EQ(stats.Sum(a, b), acc);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PrefixStatsPropertyTest,
+                         ::testing::Values(1, 2, 3, 42, 99, 12345));
+
+}  // namespace
+}  // namespace rangesyn

@@ -1,0 +1,212 @@
+// Tests for the SAP2 extension (quadratic suffix/prefix models) and the
+// shared quadratic-fit primitive.
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/random.h"
+#include "eval/metrics.h"
+#include "histogram/bucket_cost.h"
+#include "histogram/builders.h"
+#include "histogram/histogram.h"
+#include "histogram/prefix_stats.h"
+#include "histogram/quadratic_fit.h"
+
+namespace rangesyn {
+namespace {
+
+std::vector<int64_t> RandomData(int64_t n, uint64_t seed, int64_t hi = 30) {
+  Rng rng(seed);
+  std::vector<int64_t> data(static_cast<size_t>(n));
+  for (auto& v : data) v = rng.NextInt(0, hi);
+  return data;
+}
+
+QuadraticFit FitPoints(const std::vector<double>& xs,
+                       const std::vector<double>& ys) {
+  double m = static_cast<double>(xs.size());
+  double sx = 0, sx2 = 0, sx3 = 0, sx4 = 0, sy = 0, sxy = 0, sx2y = 0,
+         sy2 = 0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    const double x = xs[i], y = ys[i];
+    sx += x;
+    sx2 += x * x;
+    sx3 += x * x * x;
+    sx4 += x * x * x * x;
+    sy += y;
+    sxy += x * y;
+    sx2y += x * x * y;
+    sy2 += y * y;
+  }
+  return FitQuadraticFromMoments(m, sx, sx2, sx3, sx4, sy, sxy, sx2y, sy2);
+}
+
+TEST(QuadraticFitTest, ExactQuadraticIsRecovered) {
+  // y = 2 - 3x + 0.5x² sampled at five points: ssr 0, coefficients exact.
+  std::vector<double> xs = {1, 2, 3, 4, 5};
+  std::vector<double> ys;
+  for (double x : xs) ys.push_back(2.0 - 3.0 * x + 0.5 * x * x);
+  const QuadraticFit fit = FitPoints(xs, ys);
+  EXPECT_NEAR(fit.c0, 2.0, 1e-8);
+  EXPECT_NEAR(fit.c1, -3.0, 1e-8);
+  EXPECT_NEAR(fit.c2, 0.5, 1e-8);
+  EXPECT_NEAR(fit.ssr, 0.0, 1e-7);
+}
+
+TEST(QuadraticFitTest, DegenerateSampleSizes) {
+  // One point: constant, exact.
+  QuadraticFit one = FitPoints({3.0}, {7.0});
+  EXPECT_NEAR(one.At(3.0), 7.0, 1e-12);
+  EXPECT_NEAR(one.ssr, 0.0, 1e-12);
+  // Two points: exact line.
+  QuadraticFit two = FitPoints({1.0, 3.0}, {2.0, 8.0});
+  EXPECT_NEAR(two.At(1.0), 2.0, 1e-9);
+  EXPECT_NEAR(two.At(3.0), 8.0, 1e-9);
+  EXPECT_NEAR(two.ssr, 0.0, 1e-9);
+  // Three points: exact parabola.
+  QuadraticFit three = FitPoints({1.0, 2.0, 3.0}, {1.0, 4.0, 9.0});
+  EXPECT_NEAR(three.At(2.0), 4.0, 1e-8);
+  EXPECT_NEAR(three.ssr, 0.0, 1e-7);
+}
+
+TEST(QuadraticFitTest, ResidualsSumToZero) {
+  // The with-intercept least-squares property the Decomposition Lemma
+  // relies on.
+  Rng rng(5);
+  std::vector<double> xs, ys;
+  for (int i = 1; i <= 12; ++i) {
+    xs.push_back(static_cast<double>(i));
+    ys.push_back(rng.NextDouble(-10.0, 10.0));
+  }
+  const QuadraticFit fit = FitPoints(xs, ys);
+  double residual_sum = 0.0;
+  double ssr = 0.0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    const double r = ys[i] - fit.At(xs[i]);
+    residual_sum += r;
+    ssr += r * r;
+  }
+  EXPECT_NEAR(residual_sum, 0.0, 1e-7);
+  EXPECT_NEAR(fit.ssr, ssr, 1e-6 * (1.0 + ssr));
+}
+
+class Sap2PropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(Sap2PropertyTest, CostSumEqualsHistogramSse) {
+  const int64_t n = 20;
+  const std::vector<int64_t> data = RandomData(n, GetParam());
+  PrefixStats stats(data);
+  BucketCosts costs(stats);
+  const std::vector<std::vector<int64_t>> partitions = {
+      {20}, {10, 20}, {5, 10, 15, 20}, {1, 2, 20}};
+  for (const auto& ends : partitions) {
+    auto partition = Partition::FromEnds(n, ends);
+    ASSERT_TRUE(partition.ok());
+    double cost_sum = 0.0;
+    for (int64_t k = 0; k < partition->num_buckets(); ++k) {
+      cost_sum += costs.Sap2Cost(partition->bucket_start(k),
+                                 partition->bucket_end(k));
+    }
+    auto hist = Sap2Histogram::Build(data, partition.value());
+    ASSERT_TRUE(hist.ok());
+    auto sse = AllRangesSse(data, hist.value());
+    ASSERT_TRUE(sse.ok());
+    EXPECT_NEAR(cost_sum, sse.value(), 1e-5 * (1.0 + sse.value()));
+  }
+}
+
+TEST_P(Sap2PropertyTest, NeverWorseThanSap1OnSameBoundaries) {
+  const std::vector<int64_t> data = RandomData(18, GetParam() + 9);
+  auto p = Partition::FromEnds(18, {6, 12, 18});
+  ASSERT_TRUE(p.ok());
+  auto h1 = Sap1Histogram::Build(data, p.value());
+  auto h2 = Sap2Histogram::Build(data, p.value());
+  ASSERT_TRUE(h1.ok());
+  ASSERT_TRUE(h2.ok());
+  auto sse1 = AllRangesSse(data, h1.value());
+  auto sse2 = AllRangesSse(data, h2.value());
+  ASSERT_TRUE(sse1.ok());
+  ASSERT_TRUE(sse2.ok());
+  // The quadratic model class contains the linear one.
+  EXPECT_LE(sse2.value(), sse1.value() + 1e-6);
+}
+
+TEST_P(Sap2PropertyTest, BuildIsRangeOptimalForItsRepresentation) {
+  const std::vector<int64_t> data = RandomData(8, GetParam() + 21);
+  for (int64_t b = 1; b <= 3; ++b) {
+    auto built = BuildSap2(data, b);
+    ASSERT_TRUE(built.ok());
+    auto built_sse = AllRangesSse(data, built.value());
+    ASSERT_TRUE(built_sse.ok());
+    for (int64_t k = 1; k <= b; ++k) {
+      ForEachPartition(8, k, [&](const Partition& p) {
+        auto alt = Sap2Histogram::Build(data, p);
+        ASSERT_TRUE(alt.ok());
+        auto alt_sse = AllRangesSse(data, alt.value());
+        ASSERT_TRUE(alt_sse.ok());
+        EXPECT_GE(alt_sse.value(), built_sse.value() - 1e-6);
+      });
+    }
+  }
+}
+
+TEST_P(Sap2PropertyTest, FromSummariesRecoversAverages) {
+  const std::vector<int64_t> data = RandomData(16, GetParam() + 33);
+  auto p = Partition::FromEnds(16, {4, 9, 16});
+  ASSERT_TRUE(p.ok());
+  auto built = Sap2Histogram::Build(data, p.value());
+  ASSERT_TRUE(built.ok());
+  auto rebuilt = Sap2Histogram::FromSummaries(
+      p.value(), built->suffix_models(), built->prefix_models());
+  ASSERT_TRUE(rebuilt.ok());
+  for (size_t k = 0; k < built->averages().size(); ++k) {
+    EXPECT_NEAR(rebuilt->averages()[k], built->averages()[k], 1e-6)
+        << "bucket " << k;
+  }
+  // And the full answering behavior matches.
+  for (int64_t a = 1; a <= 16; a += 2) {
+    for (int64_t b = a; b <= 16; b += 3) {
+      EXPECT_NEAR(rebuilt->EstimateRange(a, b), built->EstimateRange(a, b),
+                  1e-6);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Sap2PropertyTest,
+                         ::testing::Values(2, 7, 19, 40));
+
+TEST(Sap2Test, StorageIsSevenWordsPerBucket) {
+  const std::vector<int64_t> data = RandomData(14, 3);
+  auto h = BuildSap2(data, 2);
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(h->StorageWords(), 14);
+}
+
+TEST(Sap2Test, QuadraticSuffixDataIsExactlyRepresentable) {
+  // A[i] linear in i makes suffix sums quadratic in the piece length, so
+  // a single SAP2 bucket answers every inter-piece query exactly; with
+  // one bucket everything is intra, so make two buckets and check the
+  // suffix/prefix pieces.
+  std::vector<int64_t> data(16);
+  for (int64_t i = 0; i < 16; ++i) data[static_cast<size_t>(i)] = 2 * i + 1;
+  auto p = Partition::FromEnds(16, {8, 16});
+  ASSERT_TRUE(p.ok());
+  auto h = Sap2Histogram::Build(data, p.value());
+  ASSERT_TRUE(h.ok());
+  PrefixStats stats(data);
+  // Inter-bucket queries are exact: both partial pieces are quadratic in
+  // their lengths and the quadratic fit interpolates them exactly.
+  for (int64_t a = 1; a <= 8; ++a) {
+    for (int64_t b = 9; b <= 16; ++b) {
+      EXPECT_NEAR(h->EstimateRange(a, b),
+                  static_cast<double>(stats.Sum(a, b)), 1e-6)
+          << "[" << a << "," << b << "]";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rangesyn

@@ -1,0 +1,187 @@
+// Tests for synopsis serialization: byte-level primitives, full
+// round-trips for every factory method, corruption handling, file I/O.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/bytes.h"
+#include "core/random.h"
+#include "engine/factory.h"
+#include "engine/serialize.h"
+
+namespace rangesyn {
+namespace {
+
+TEST(BytesTest, PrimitiveRoundTrip) {
+  ByteWriter w;
+  w.WriteU8(0xab);
+  w.WriteU32(0xdeadbeef);
+  w.WriteU64(0x0123456789abcdefULL);
+  w.WriteI64(-42);
+  w.WriteDouble(3.141592653589793);
+  w.WriteString("hello");
+  w.WriteI64Vector({1, -2, 3});
+  w.WriteDoubleVector({0.5, -1.5});
+  const std::string buf = w.Release();
+
+  ByteReader r(buf);
+  EXPECT_EQ(r.ReadU8().value(), 0xab);
+  EXPECT_EQ(r.ReadU32().value(), 0xdeadbeefu);
+  EXPECT_EQ(r.ReadU64().value(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.ReadI64().value(), -42);
+  EXPECT_DOUBLE_EQ(r.ReadDouble().value(), 3.141592653589793);
+  EXPECT_EQ(r.ReadString().value(), "hello");
+  EXPECT_EQ(r.ReadI64Vector().value(), (std::vector<int64_t>{1, -2, 3}));
+  EXPECT_EQ(r.ReadDoubleVector().value(), (std::vector<double>{0.5, -1.5}));
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(BytesTest, TruncationIsReportedNotCrashed) {
+  ByteWriter w;
+  w.WriteU64(7);
+  const std::string buf = w.Release();
+  for (size_t cut = 0; cut < buf.size(); ++cut) {
+    ByteReader r(std::string_view(buf).substr(0, cut));
+    EXPECT_FALSE(r.ReadU64().ok()) << "cut=" << cut;
+  }
+}
+
+TEST(BytesTest, CorruptLengthPrefixRejected) {
+  ByteWriter w;
+  w.WriteU32(0xffffffffu);  // absurd string length
+  const std::string buf = w.Release();
+  ByteReader r(buf);
+  EXPECT_FALSE(r.ReadString().ok());
+}
+
+class SerializeRoundTripTest
+    : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SerializeRoundTripTest, EstimatesSurviveRoundTrip) {
+  Rng rng(17);
+  std::vector<int64_t> data(63);
+  for (auto& v : data) v = rng.NextInt(0, 50);
+
+  SynopsisSpec spec;
+  spec.method = GetParam();
+  spec.budget_words = 21;
+  auto original = BuildSynopsis(spec, data);
+  ASSERT_TRUE(original.ok()) << original.status();
+
+  auto bytes = SerializeSynopsis(*original.value());
+  ASSERT_TRUE(bytes.ok()) << bytes.status();
+  auto restored = DeserializeSynopsis(bytes.value());
+  ASSERT_TRUE(restored.ok()) << restored.status();
+
+  EXPECT_EQ((*restored)->Name(), (*original)->Name());
+  EXPECT_EQ((*restored)->StorageWords(), (*original)->StorageWords());
+  EXPECT_EQ((*restored)->domain_size(), (*original)->domain_size());
+  for (int64_t a = 1; a <= 63; a += 2) {
+    for (int64_t b = a; b <= 63; b += 5) {
+      EXPECT_NEAR((*restored)->EstimateRange(a, b),
+                  (*original)->EstimateRange(a, b), 1e-9)
+          << "[" << a << "," << b << "]";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Methods, SerializeRoundTripTest,
+    ::testing::Values("naive", "equiwidth", "equidepth", "maxdiff", "vopt",
+                      "pointopt", "a0", "sap0", "sap1", "sap2", "prefixopt", "opta",
+                      "a0-reopt", "wave-point", "topbb", "wave-range-opt"));
+
+TEST(SerializeTest, RejectsCorruptHeader) {
+  EXPECT_FALSE(DeserializeSynopsis("").ok());
+  EXPECT_FALSE(DeserializeSynopsis("garbage-bytes").ok());
+  // Right magic, bad kind.
+  ByteWriter w;
+  w.WriteU32(0x52534e31);
+  w.WriteU8(1);
+  w.WriteU8(99);
+  EXPECT_FALSE(DeserializeSynopsis(w.buffer()).ok());
+  // Bad version.
+  ByteWriter w2;
+  w2.WriteU32(0x52534e31);
+  w2.WriteU8(42);
+  w2.WriteU8(1);
+  EXPECT_FALSE(DeserializeSynopsis(w2.buffer()).ok());
+}
+
+TEST(SerializeTest, TruncatedPayloadsRejected) {
+  Rng rng(23);
+  std::vector<int64_t> data(32);
+  for (auto& v : data) v = rng.NextInt(0, 20);
+  SynopsisSpec spec;
+  spec.method = "sap1";
+  spec.budget_words = 15;
+  auto est = BuildSynopsis(spec, data);
+  ASSERT_TRUE(est.ok());
+  auto bytes = SerializeSynopsis(*est.value());
+  ASSERT_TRUE(bytes.ok());
+  // Every strict prefix must fail cleanly.
+  for (size_t cut = 0; cut < bytes->size(); cut += 3) {
+    EXPECT_FALSE(
+        DeserializeSynopsis(std::string_view(*bytes).substr(0, cut)).ok())
+        << "cut=" << cut;
+  }
+}
+
+TEST(SerializeTest, RandomByteCorruptionNeverCrashes) {
+  // Fuzz-style robustness: flip random bytes in valid buffers; the
+  // deserializer must either reject cleanly or produce a structurally
+  // valid synopsis — never crash or read out of bounds.
+  Rng rng(31);
+  std::vector<int64_t> data(48);
+  for (auto& v : data) v = rng.NextInt(0, 25);
+  for (const char* method : {"sap1", "wave-range-opt", "opta", "sap2"}) {
+    SynopsisSpec spec;
+    spec.method = method;
+    spec.budget_words = 14;
+    auto est = BuildSynopsis(spec, data);
+    ASSERT_TRUE(est.ok());
+    auto bytes = SerializeSynopsis(*est.value());
+    ASSERT_TRUE(bytes.ok());
+    for (int trial = 0; trial < 200; ++trial) {
+      std::string mutated = bytes.value();
+      const size_t pos =
+          static_cast<size_t>(rng.NextBounded(mutated.size()));
+      mutated[pos] = static_cast<char>(rng.NextUint64());
+      auto parsed = DeserializeSynopsis(mutated);
+      if (parsed.ok()) {
+        // If it parsed, it must behave like a valid synopsis.
+        const int64_t n = (*parsed)->domain_size();
+        ASSERT_GE(n, 1);
+        (void)(*parsed)->EstimateRange(1, n);
+        (void)(*parsed)->StorageWords();
+      }
+    }
+  }
+}
+
+TEST(SerializeTest, FileRoundTrip) {
+  Rng rng(29);
+  std::vector<int64_t> data(40);
+  for (auto& v : data) v = rng.NextInt(0, 30);
+  SynopsisSpec spec;
+  spec.method = "sap0";
+  spec.budget_words = 12;
+  auto est = BuildSynopsis(spec, data);
+  ASSERT_TRUE(est.ok());
+
+  const std::string path = ::testing::TempDir() + "/synopsis.rsn";
+  ASSERT_TRUE(SaveSynopsisToFile(*est.value(), path).ok());
+  auto loaded = LoadSynopsisFromFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ((*loaded)->Name(), "SAP0");
+  EXPECT_NEAR((*loaded)->EstimateRange(3, 30),
+              (*est)->EstimateRange(3, 30), 1e-9);
+  std::remove(path.c_str());
+  EXPECT_FALSE(LoadSynopsisFromFile(path + ".missing").ok());
+}
+
+}  // namespace
+}  // namespace rangesyn

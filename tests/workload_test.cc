@@ -1,0 +1,103 @@
+// Tests for the query-workload generators.
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/random.h"
+#include "data/workload.h"
+
+namespace rangesyn {
+namespace {
+
+TEST(WorkloadTest, AllRangesCountAndOrder) {
+  const std::vector<RangeQuery> q = AllRanges(5);
+  EXPECT_EQ(q.size(), 15u);
+  EXPECT_EQ(q.front(), (RangeQuery{1, 1}));
+  EXPECT_EQ(q.back(), (RangeQuery{5, 5}));
+  for (const RangeQuery& r : q) {
+    EXPECT_LE(r.a, r.b);
+    EXPECT_GE(r.a, 1);
+    EXPECT_LE(r.b, 5);
+  }
+}
+
+TEST(WorkloadTest, PointAndPrefixQueries) {
+  const std::vector<RangeQuery> points = PointQueries(4);
+  ASSERT_EQ(points.size(), 4u);
+  for (const RangeQuery& q : points) EXPECT_EQ(q.a, q.b);
+  const std::vector<RangeQuery> prefixes = PrefixQueries(4);
+  ASSERT_EQ(prefixes.size(), 4u);
+  for (const RangeQuery& q : prefixes) EXPECT_EQ(q.a, 1);
+  EXPECT_EQ(prefixes.back().b, 4);
+}
+
+TEST(WorkloadTest, DyadicQueriesAreExactlyTheDyadicIntervals) {
+  const std::vector<RangeQuery> q = DyadicQueries(8);
+  // 8 singletons + 4 pairs + 2 quads + 1 whole = 15.
+  EXPECT_EQ(q.size(), 15u);
+  for (const RangeQuery& r : q) {
+    const int64_t len = r.b - r.a + 1;
+    EXPECT_TRUE((len & (len - 1)) == 0) << "non-power-of-two length";
+    EXPECT_EQ((r.a - 1) % len, 0) << "not aligned";
+  }
+  // Non-power-of-two n: truncated tiling.
+  const std::vector<RangeQuery> q6 = DyadicQueries(6);
+  for (const RangeQuery& r : q6) EXPECT_LE(r.b, 6);
+  EXPECT_EQ(q6.size(), 6u + 3u + 1u);  // lengths 1, 2, 4
+}
+
+TEST(WorkloadTest, UniformRandomRangesValidAndDeterministic) {
+  Rng rng1(9), rng2(9);
+  auto a = UniformRandomRanges(100, 500, &rng1);
+  auto b = UniformRandomRanges(100, 500, &rng2);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value(), b.value());
+  for (const RangeQuery& q : a.value()) {
+    EXPECT_GE(q.a, 1);
+    EXPECT_LE(q.a, q.b);
+    EXPECT_LE(q.b, 100);
+  }
+}
+
+TEST(WorkloadTest, ShortBiasedRangesAreShortOnAverage) {
+  Rng rng(11);
+  auto q = ShortBiasedRanges(1000, 2000, 5.0, &rng);
+  ASSERT_TRUE(q.ok());
+  double mean_len = 0.0;
+  for (const RangeQuery& r : q.value()) {
+    EXPECT_GE(r.a, 1);
+    EXPECT_LE(r.b, 1000);
+    mean_len += static_cast<double>(r.b - r.a + 1);
+  }
+  mean_len /= static_cast<double>(q->size());
+  EXPECT_NEAR(mean_len, 5.0, 1.0);
+}
+
+TEST(WorkloadTest, HotSpotRangesClusterAroundCenter) {
+  Rng rng(13);
+  auto q = HotSpotRanges(1000, 2000, 0.25, 0.05, &rng);
+  ASSERT_TRUE(q.ok());
+  double mean_center = 0.0;
+  for (const RangeQuery& r : q.value()) {
+    EXPECT_GE(r.a, 1);
+    EXPECT_LE(r.b, 1000);
+    mean_center += 0.5 * static_cast<double>(r.a + r.b);
+  }
+  mean_center /= static_cast<double>(q->size());
+  EXPECT_NEAR(mean_center, 250.0, 25.0);
+}
+
+TEST(WorkloadTest, RejectsBadParameters) {
+  Rng rng(1);
+  EXPECT_FALSE(UniformRandomRanges(0, 10, &rng).ok());
+  EXPECT_FALSE(UniformRandomRanges(10, -1, &rng).ok());
+  EXPECT_FALSE(ShortBiasedRanges(10, 5, 0.5, &rng).ok());
+  EXPECT_FALSE(HotSpotRanges(10, 5, 2.0, 0.1, &rng).ok());
+  EXPECT_FALSE(HotSpotRanges(10, 5, 0.5, 0.0, &rng).ok());
+}
+
+}  // namespace
+}  // namespace rangesyn
