@@ -82,18 +82,40 @@ LogSeverity MinLogSeverity();
         << _rangesyn_check_status.ToString();                     \
   } while (false)
 
-/// Debug-only checks (compiled out under NDEBUG).
-#ifdef NDEBUG
+/// Debug-only checks (compiled out under NDEBUG). Audit builds
+/// (-DRANGESYN_AUDIT) re-enable them even under NDEBUG: the whole point of
+/// an audit build is that no invariant check is silently skipped.
+///
+/// Policy (see README "Correctness tooling"): RANGESYN_CHECK guards
+/// invariants whose violation would return silently wrong statistics to a
+/// caller and stays on in release; RANGESYN_DCHECK guards internal
+/// preconditions on hot paths (per-query index validation, oracle argument
+/// ranges) where the release-build cost is not acceptable.
+#if defined(NDEBUG) && !defined(RANGESYN_AUDIT)
 #define RANGESYN_DCHECK(cond) \
   while (false) RANGESYN_CHECK(cond)
 #define RANGESYN_DCHECK_EQ(a, b) RANGESYN_DCHECK((a) == (b))
+#define RANGESYN_DCHECK_NE(a, b) RANGESYN_DCHECK((a) != (b))
 #define RANGESYN_DCHECK_LE(a, b) RANGESYN_DCHECK((a) <= (b))
 #define RANGESYN_DCHECK_LT(a, b) RANGESYN_DCHECK((a) < (b))
+#define RANGESYN_DCHECK_GE(a, b) RANGESYN_DCHECK((a) >= (b))
+#define RANGESYN_DCHECK_GT(a, b) RANGESYN_DCHECK((a) > (b))
 #else
 #define RANGESYN_DCHECK(cond) RANGESYN_CHECK(cond)
 #define RANGESYN_DCHECK_EQ(a, b) RANGESYN_CHECK_EQ(a, b)
+#define RANGESYN_DCHECK_NE(a, b) RANGESYN_CHECK_NE(a, b)
 #define RANGESYN_DCHECK_LE(a, b) RANGESYN_CHECK_LE(a, b)
 #define RANGESYN_DCHECK_LT(a, b) RANGESYN_CHECK_LT(a, b)
+#define RANGESYN_DCHECK_GE(a, b) RANGESYN_CHECK_GE(a, b)
+#define RANGESYN_DCHECK_GT(a, b) RANGESYN_CHECK_GT(a, b)
+#endif
+
+/// True when RANGESYN_DCHECK expressions are evaluated in this build; lets
+/// tests gate DCHECK death-tests without duplicating the #if logic.
+#if defined(NDEBUG) && !defined(RANGESYN_AUDIT)
+inline constexpr bool kDCheckIsOn = false;
+#else
+inline constexpr bool kDCheckIsOn = true;
 #endif
 
 }  // namespace rangesyn

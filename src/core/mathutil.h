@@ -4,6 +4,8 @@
 #include <cmath>
 #include <cstdint>
 
+#include "core/logging.h"
+
 namespace rangesyn {
 
 /// Rounds to the nearest integer with ties broken toward even
@@ -30,8 +32,11 @@ inline uint64_t NextPowerOfTwo(uint64_t x) {
   return p;
 }
 
-/// Floor of log2(x) for x >= 1.
+/// Floor of log2(x) for x >= 1 (DCHECK'd). FloorLog2(0) has no
+/// mathematical value; release builds return 0 so the result is at least
+/// defined, debug/audit builds abort.
 inline int FloorLog2(uint64_t x) {
+  RANGESYN_DCHECK_GE(x, uint64_t{1});
   int l = 0;
   while (x >>= 1) ++l;
   return l;
@@ -42,8 +47,14 @@ inline double TriangleNumber(int64_t m) {
   return 0.5 * static_cast<double>(m) * static_cast<double>(m + 1);
 }
 
-/// Number of distinct ranges (a,b), 1 <= a <= b <= n.
-inline int64_t NumRanges(int64_t n) { return n * (n + 1) / 2; }
+/// Number of distinct ranges (a,b), 1 <= a <= b <= n. Divides the even
+/// factor first so the intermediate product cannot overflow int64_t unless
+/// the result itself does (exact for all n up to ~4.29e9, vs ~3.03e9 for
+/// the naive n*(n+1)/2).
+inline int64_t NumRanges(int64_t n) {
+  RANGESYN_DCHECK_GE(n, 0);
+  return (n % 2 == 0) ? (n / 2) * (n + 1) : ((n + 1) / 2) * n;
+}
 
 /// Relative difference |a-b| / max(|a|,|b|,eps); symmetric, safe near zero.
 inline double RelDiff(double a, double b, double eps = 1e-12) {

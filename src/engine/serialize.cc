@@ -1,9 +1,12 @@
 #include "engine/serialize.h"
 
+#include <algorithm>
 #include <fstream>
 #include <memory>
 
 #include "core/bytes.h"
+#include "core/logging.h"
+#include "core/mathutil.h"
 #include "core/strings.h"
 #include "histogram/histogram.h"
 #include "histogram/partition.h"
@@ -169,9 +172,7 @@ Result<RangeEstimatorPtr> ReadWavelet(ByteReader* r) {
       std::make_unique<WaveletSynopsis>(std::move(synopsis)));
 }
 
-}  // namespace
-
-Result<std::string> SerializeSynopsis(const RangeEstimator& estimator) {
+Result<std::string> SerializeSynopsisImpl(const RangeEstimator& estimator) {
   ByteWriter w;
   if (const auto* h = dynamic_cast<const AvgHistogram*>(&estimator)) {
     WriteHeader(&w, Kind::kAvgHistogram);
@@ -250,6 +251,50 @@ Result<std::string> SerializeSynopsis(const RangeEstimator& estimator) {
   return UnimplementedError(
       StrCat("SerializeSynopsis: unsupported synopsis type '",
              estimator.Name(), "'"));
+}
+
+#ifdef RANGESYN_AUDIT
+/// RANGESYN_AUDIT self-check, run on every serialization: the bytes just
+/// produced must deserialize into an estimator that (a) re-serializes to
+/// the exact same bytes and (b) answers a strided sample of range queries
+/// identically. Catches writer/reader drift the moment it is introduced,
+/// at the call site that introduced it.
+void AuditRoundTrip(const RangeEstimator& estimator,
+                    const std::string& bytes) {
+  Result<RangeEstimatorPtr> back = DeserializeSynopsis(bytes);
+  RANGESYN_CHECK(back.ok())
+      << "serialize audit: round-trip deserialize failed: "
+      << back.status().message();
+  const RangeEstimator& re = *back.value();
+  RANGESYN_CHECK_EQ(re.domain_size(), estimator.domain_size());
+  RANGESYN_CHECK_EQ(re.Name(), estimator.Name());
+  Result<std::string> again = SerializeSynopsisImpl(re);
+  RANGESYN_CHECK(again.ok()) << again.status().message();
+  RANGESYN_CHECK(again.value() == bytes)
+      << "serialize audit: re-serialization is not byte-identical for '"
+      << estimator.Name() << "'";
+  const int64_t n = estimator.domain_size();
+  const int64_t stride = std::max<int64_t>(1, n / 8);
+  for (int64_t a = 1; a <= n; a += stride) {
+    for (int64_t b = a; b <= n; b += stride) {
+      RANGESYN_CHECK(AlmostEqual(re.EstimateRange(a, b),
+                                 estimator.EstimateRange(a, b), 1e-12,
+                                 1e-9))
+          << "serialize audit: estimate drift on [" << a << "," << b
+          << "] for '" << estimator.Name() << "'";
+    }
+  }
+}
+#endif  // RANGESYN_AUDIT
+
+}  // namespace
+
+Result<std::string> SerializeSynopsis(const RangeEstimator& estimator) {
+  Result<std::string> bytes = SerializeSynopsisImpl(estimator);
+#ifdef RANGESYN_AUDIT
+  if (bytes.ok()) AuditRoundTrip(estimator, bytes.value());
+#endif
+  return bytes;
 }
 
 Result<RangeEstimatorPtr> DeserializeSynopsis(std::string_view bytes) {

@@ -1,14 +1,57 @@
 #include "histogram/dp.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
 #include "core/logging.h"
+#include "core/mathutil.h"
 
 namespace rangesyn {
 namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+#ifdef RANGESYN_AUDIT
+/// RANGESYN_AUDIT self-check, run on every DP solve in audit builds: the
+/// reported cost must re-sum from the bucket-cost oracle over the chosen
+/// partition, and for tiny domains no partition with the same budget may
+/// beat it — exhaustive enumeration over all C(n-1, k-1) candidates.
+/// Aborts on violation; see src/audit/ for the non-fatal verifier layer.
+void AuditDpSolution(int64_t n, int64_t max_buckets,
+                     const BucketCostFn& cost,
+                     const IntervalDpResult& result, bool exact_buckets) {
+  double resum = 0.0;
+  for (int64_t k = 0; k < result.partition.num_buckets(); ++k) {
+    resum += cost(result.partition.bucket_start(k),
+                  result.partition.bucket_end(k));
+  }
+  RANGESYN_CHECK(AlmostEqual(resum, result.cost, 1e-9, 1e-6))
+      << "DP audit: reported cost " << result.cost
+      << " != re-summed bucket costs " << resum;
+  constexpr int64_t kMaxExhaustiveN = 12;
+  if (n > kMaxExhaustiveN) return;
+  const double tol = 1e-9 * std::fabs(result.cost) + 1e-6;
+  const auto check_no_better = [&](int64_t k) {
+    ForEachPartition(n, k, [&](const Partition& p) {
+      double c = 0.0;
+      for (int64_t j = 0; j < p.num_buckets(); ++j) {
+        c += cost(p.bucket_start(j), p.bucket_end(j));
+      }
+      RANGESYN_CHECK(result.cost <= c + tol)
+          << "DP audit: a " << k << "-bucket partition costs " << c
+          << ", beating the DP's " << result.cost << " (n=" << n << ")";
+    });
+  };
+  if (exact_buckets) {
+    check_no_better(result.buckets_used);
+  } else {
+    for (int64_t k = 1; k <= std::min(max_buckets, n); ++k) {
+      check_no_better(k);
+    }
+  }
+}
+#endif  // RANGESYN_AUDIT
 
 /// Shared DP core. Fills best[k][i] = optimal cost of partitioning [1, i]
 /// into exactly k buckets, and parent[k][i] = the end of the (k-1)-th
@@ -89,7 +132,13 @@ Result<IntervalDpResult> SolveIntervalDp(int64_t n, int64_t max_buckets,
         "SolveIntervalDp: cannot use more buckets than elements");
   }
   const DpTable t = RunDp(n, b, cost);
-  if (exact_buckets) return ExtractSolution(t, b);
+  if (exact_buckets) {
+    Result<IntervalDpResult> r = ExtractSolution(t, b);
+#ifdef RANGESYN_AUDIT
+    if (r.ok()) AuditDpSolution(n, max_buckets, cost, r.value(), true);
+#endif
+    return r;
+  }
   // "At most" semantics: pick the best k (more buckets can hurt some cost
   // models, e.g. SAP-style costs, so we do not assume monotonicity).
   int64_t best_k = 1;
@@ -101,7 +150,11 @@ Result<IntervalDpResult> SolveIntervalDp(int64_t n, int64_t max_buckets,
       best_k = k;
     }
   }
-  return ExtractSolution(t, best_k);
+  Result<IntervalDpResult> r = ExtractSolution(t, best_k);
+#ifdef RANGESYN_AUDIT
+  if (r.ok()) AuditDpSolution(n, max_buckets, cost, r.value(), false);
+#endif
+  return r;
 }
 
 Result<std::vector<IntervalDpResult>> SolveIntervalDpAllK(
@@ -116,6 +169,9 @@ Result<std::vector<IntervalDpResult>> SolveIntervalDpAllK(
   out.reserve(static_cast<size_t>(b));
   for (int64_t k = 1; k <= b; ++k) {
     RANGESYN_ASSIGN_OR_RETURN(IntervalDpResult r, ExtractSolution(t, k));
+#ifdef RANGESYN_AUDIT
+    AuditDpSolution(n, k, cost, r, true);
+#endif
     out.push_back(std::move(r));
   }
   return out;

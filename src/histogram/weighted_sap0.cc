@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "core/logging.h"
+#include "core/mathutil.h"
 #include "core/strings.h"
 #include "histogram/dp.h"
 #include "histogram/prefix_stats.h"
@@ -260,7 +261,23 @@ Result<WeightedSap0Histogram> BuildWeightedSap0(
                       [&costs](int64_t l, int64_t r) {
                         return costs.Cost(l, r);
                       }));
-  return WeightedSap0Histogram::Build(data, dp.partition, weights);
+  Result<WeightedSap0Histogram> hist =
+      WeightedSap0Histogram::Build(data, dp.partition, weights);
+#ifdef RANGESYN_AUDIT
+  // The weighted Decomposition-Lemma identity: the DP's additive bucket
+  // costs must re-sum to the direct O(n²)-summed weighted all-ranges SSE
+  // of the histogram actually built. Gated on domain size — the direct
+  // summation is quadratic and this hook runs on every build.
+  constexpr int64_t kMaxAuditN = 48;
+  if (hist.ok() && costs.n() <= kMaxAuditN) {
+    Result<double> direct = WeightedRangeSse(data, hist.value(), weights);
+    RANGESYN_CHECK(direct.ok()) << direct.status().message();
+    RANGESYN_CHECK(AlmostEqual(dp.cost, direct.value(), 1e-7, 1e-6))
+        << "weighted SAP0 audit: DP cost " << dp.cost
+        << " != direct weighted all-ranges SSE " << direct.value();
+  }
+#endif
+  return hist;
 }
 
 Result<double> WeightedRangeSse(const std::vector<int64_t>& data,

@@ -2,13 +2,50 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <numeric>
 
+#include "core/logging.h"
 #include "core/mathutil.h"
 #include "wavelet/haar.h"
 
 namespace rangesyn {
 namespace {
+
+#ifdef RANGESYN_AUDIT
+/// RANGESYN_AUDIT self-check for every top-budget selection (shared by
+/// WAVE-POINT, TOPBB and WAVE-RANGE-OPT): the kept set must have the right
+/// cardinality, and no dropped candidate may out-score a kept one — the
+/// defining property of a top-B set, on which the paper's range-optimality
+/// argument (Theorem 9) rests.
+void AuditTopSelection(const std::vector<WaveletCoefficient>& kept,
+                       const std::vector<double>& coeffs,
+                       const std::vector<double>& scores, int64_t budget,
+                       int64_t first_index) {
+  const int64_t candidates =
+      static_cast<int64_t>(coeffs.size()) - first_index;
+  RANGESYN_CHECK_EQ(static_cast<int64_t>(kept.size()),
+                    std::min(budget, candidates));
+  std::vector<bool> is_kept(coeffs.size(), false);
+  double min_kept = std::numeric_limits<double>::infinity();
+  for (const WaveletCoefficient& c : kept) {
+    RANGESYN_CHECK_GE(c.index, first_index);
+    RANGESYN_CHECK_LT(c.index, static_cast<int64_t>(coeffs.size()));
+    RANGESYN_CHECK(!is_kept[static_cast<size_t>(c.index)])
+        << "selection audit: duplicate index " << c.index;
+    is_kept[static_cast<size_t>(c.index)] = true;
+    RANGESYN_CHECK_EQ(c.value, coeffs[static_cast<size_t>(c.index)]);
+    min_kept = std::min(min_kept, scores[static_cast<size_t>(c.index)]);
+  }
+  for (int64_t k = first_index; k < static_cast<int64_t>(coeffs.size());
+       ++k) {
+    if (is_kept[static_cast<size_t>(k)]) continue;
+    RANGESYN_CHECK_LE(scores[static_cast<size_t>(k)], min_kept)
+        << "selection audit: dropped coefficient " << k
+        << " out-scores a kept one";
+  }
+}
+#endif  // RANGESYN_AUDIT
 
 Status ValidateSelectionInput(const std::vector<int64_t>& data,
                               int64_t budget) {
@@ -62,6 +99,9 @@ std::vector<WaveletCoefficient> KeepTop(
             [](const WaveletCoefficient& a, const WaveletCoefficient& b) {
               return a.index < b.index;
             });
+#ifdef RANGESYN_AUDIT
+  AuditTopSelection(out, coeffs, scores, budget, first_index);
+#endif
   return out;
 }
 

@@ -14,7 +14,13 @@ namespace rangesyn {
 namespace {
 
 std::string TempPath(const std::string& name) {
-  return ::testing::TempDir() + "/" + name;
+  // Prefix with the running test's name: ctest runs each TEST as its own
+  // process, possibly in parallel, and shared fixed paths race (one
+  // test's TearDown unlinks a file another test is still reading).
+  const auto* info =
+      ::testing::UnitTest::GetInstance()->current_test_info();
+  const std::string prefix = info ? std::string(info->name()) + "_" : "";
+  return ::testing::TempDir() + "/" + prefix + name;
 }
 
 class CliTest : public ::testing::Test {

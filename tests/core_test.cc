@@ -261,8 +261,37 @@ TEST(MathTest, PowerOfTwoHelpers) {
 }
 
 TEST(MathTest, NumRanges) {
+  EXPECT_EQ(NumRanges(0), 0);
   EXPECT_EQ(NumRanges(1), 1);
+  EXPECT_EQ(NumRanges(2), 3);
+  EXPECT_EQ(NumRanges(3), 6);
   EXPECT_EQ(NumRanges(127), 127 * 128 / 2);
+}
+
+TEST(MathTest, NumRangesAvoidsIntermediateOverflow) {
+  // n*(n+1) overflows int64_t from n ≈ 3.04e9 even where n*(n+1)/2 fits;
+  // the even-factor-first form stays exact to the representable limit.
+  EXPECT_EQ(NumRanges(int64_t{3037000500}), int64_t{4611686020018625250});
+  EXPECT_EQ(NumRanges(int64_t{4000000000}), int64_t{8000000002000000000});
+  EXPECT_EQ(NumRanges(int64_t{4000000001}), int64_t{8000000006000000001});
+}
+
+TEST(MathTest, FloorLog2OfZeroIsGuarded) {
+  if (kDCheckIsOn) {
+    EXPECT_DEATH((void)FloorLog2(0), "Check failed");
+  } else {
+    // Release builds define the out-of-contract call to return 0 rather
+    // than loop or read garbage.
+    EXPECT_EQ(FloorLog2(0), 0);
+  }
+}
+
+TEST(MathTest, DCheckGateConstantMatchesBuildMode) {
+#if defined(NDEBUG) && !defined(RANGESYN_AUDIT)
+  EXPECT_FALSE(kDCheckIsOn);
+#else
+  EXPECT_TRUE(kDCheckIsOn);
+#endif
 }
 
 TEST(MathTest, AlmostEqual) {

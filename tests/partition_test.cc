@@ -1,10 +1,13 @@
-// Tests for Partition: validation, bucket geometry, lookup, enumeration.
+// Tests for Partition: validation, bucket geometry, lookup, enumeration,
+// DP edge cases, and the DCHECK'd precondition contracts.
 
 #include <cstdint>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "core/logging.h"
+#include "histogram/dp.h"
 #include "histogram/partition.h"
 
 namespace rangesyn {
@@ -99,6 +102,90 @@ INSTANTIATE_TEST_SUITE_P(
                       std::make_pair<int64_t, int64_t>(6, 6),
                       std::make_pair<int64_t, int64_t>(8, 4),
                       std::make_pair<int64_t, int64_t>(10, 2)));
+
+// ------------------------------------------------------------ DP edges
+
+TEST(PartitionDpTest, SinglePointDomain) {
+  // n=1 collapses every code path to the one-bucket partition; the cost
+  // oracle must be consulted exactly once, on [1, 1].
+  int64_t calls = 0;
+  auto r = SolveIntervalDp(1, 1, [&calls](int64_t l, int64_t r_) {
+    ++calls;
+    EXPECT_EQ(l, 1);
+    EXPECT_EQ(r_, 1);
+    return 2.5;
+  });
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->partition.num_buckets(), 1);
+  EXPECT_EQ(r->buckets_used, 1);
+  EXPECT_DOUBLE_EQ(r->cost, 2.5);
+  EXPECT_GE(calls, 1);
+}
+
+TEST(PartitionDpTest, ExactBucketsEqualsN) {
+  // exact_buckets == n forces the all-singletons partition.
+  const int64_t n = 6;
+  auto r = SolveIntervalDp(
+      n, n,
+      [](int64_t l, int64_t r_) { return static_cast<double>(r_ - l); },
+      /*exact_buckets=*/true);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->partition.num_buckets(), n);
+  EXPECT_DOUBLE_EQ(r->cost, 0.0);
+  for (int64_t k = 0; k < n; ++k) {
+    EXPECT_EQ(r->partition.bucket_width(k), 1);
+  }
+}
+
+TEST(PartitionDpTest, ExactBucketsBeyondNRejected) {
+  auto r = SolveIntervalDp(
+      3, 4, [](int64_t, int64_t) { return 0.0; }, /*exact_buckets=*/true);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(PartitionDpTest, CostOracleNeverSeesEmptyRange) {
+  // Probe oracle: every (l, r) the DP asks about must be a non-empty
+  // in-domain range — an l > r call would mean the recurrence indexed a
+  // phantom bucket.
+  const int64_t n = 9;
+  auto r = SolveIntervalDp(n, 4, [n](int64_t l, int64_t r_) {
+    EXPECT_GE(l, 1);
+    EXPECT_LE(l, r_);
+    EXPECT_LE(r_, n);
+    const double w = static_cast<double>(r_ - l + 1);
+    return w * w;
+  });
+  ASSERT_TRUE(r.ok()) << r.status();
+}
+
+TEST(PartitionDpTest, AllKCostOracleNeverSeesEmptyRange) {
+  const int64_t n = 7;
+  auto r = SolveIntervalDpAllK(n, n, [n](int64_t l, int64_t r_) {
+    EXPECT_GE(l, 1);
+    EXPECT_LE(l, r_);
+    EXPECT_LE(r_, n);
+    return 1.0;
+  });
+  ASSERT_TRUE(r.ok()) << r.status();
+  ASSERT_EQ(r->size(), static_cast<size_t>(n));
+  for (size_t i = 0; i < r->size(); ++i) {
+    EXPECT_EQ((*r)[i].buckets_used, static_cast<int64_t>(i) + 1);
+  }
+}
+
+// ---------------------------------------------------- DCHECK contracts
+
+TEST(PartitionDeathTest, BucketOfOutOfDomainIsDChecked) {
+  const Partition p = Partition::Whole(5);
+  if (kDCheckIsOn) {
+    EXPECT_DEATH((void)p.BucketOf(0), "Check failed");
+    EXPECT_DEATH((void)p.BucketOf(6), "Check failed");
+  } else {
+    // Release builds skip the precondition; the lookup still stays within
+    // the endpoints array for any input.
+    EXPECT_EQ(p.BucketOf(0), 0);
+  }
+}
 
 }  // namespace
 }  // namespace rangesyn

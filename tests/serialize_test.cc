@@ -1,6 +1,10 @@
 // Tests for synopsis serialization: byte-level primitives, full
-// round-trips for every factory method, corruption handling, file I/O.
+// round-trips for every factory method, randomly-constructed synopsis
+// fuzzing with bitwise re-serialization equality, corruption handling,
+// file I/O.
 
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -11,6 +15,10 @@
 #include "core/random.h"
 #include "engine/factory.h"
 #include "engine/serialize.h"
+#include "histogram/histogram.h"
+#include "histogram/partition.h"
+#include "histogram/weighted_sap0.h"
+#include "wavelet/synopsis.h"
 
 namespace rangesyn {
 namespace {
@@ -93,6 +101,135 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values("naive", "equiwidth", "equidepth", "maxdiff", "vopt",
                       "pointopt", "a0", "sap0", "sap1", "sap2", "prefixopt", "opta",
                       "a0-reopt", "wave-point", "topbb", "wave-range-opt"));
+
+// ------------------------------------------ random-construction fuzzing
+
+Partition RandomPartition(Rng* rng, int64_t max_n) {
+  const int64_t n = rng->NextInt(1, max_n);
+  std::vector<int64_t> ends;
+  for (int64_t e = 1; e < n; ++e) {
+    if (rng->NextBool(0.3)) ends.push_back(e);
+  }
+  ends.push_back(n);
+  auto p = Partition::FromEnds(n, std::move(ends));
+  EXPECT_TRUE(p.ok());
+  return p.value();
+}
+
+std::vector<double> RandomDoubles(Rng* rng, size_t count) {
+  std::vector<double> out(count);
+  for (auto& v : out) v = rng->NextDouble(-1e6, 1e6);
+  return out;
+}
+
+/// The round-trip contract on arbitrary (not builder-produced) synopses:
+/// deserializing and re-serializing must reproduce the *exact* bytes —
+/// every stored word survives bitwise — and estimates must be identical,
+/// not merely close.
+void ExpectExactRoundTrip(const RangeEstimator& original) {
+  auto bytes = SerializeSynopsis(original);
+  ASSERT_TRUE(bytes.ok()) << bytes.status();
+  auto restored = DeserializeSynopsis(bytes.value());
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  EXPECT_EQ((*restored)->Name(), original.Name());
+  EXPECT_EQ((*restored)->domain_size(), original.domain_size());
+  EXPECT_EQ((*restored)->StorageWords(), original.StorageWords());
+  auto bytes2 = SerializeSynopsis(*restored.value());
+  ASSERT_TRUE(bytes2.ok()) << bytes2.status();
+  EXPECT_EQ(bytes2.value(), bytes.value())
+      << original.Name() << ": re-serialization not byte-identical";
+  const int64_t n = original.domain_size();
+  for (int64_t a = 1; a <= n; ++a) {
+    EXPECT_EQ((*restored)->EstimateRange(a, n), original.EstimateRange(a, n));
+    EXPECT_EQ((*restored)->EstimateRange(1, a), original.EstimateRange(1, a));
+  }
+}
+
+TEST(SerializeFuzzTest, RandomAvgHistograms) {
+  Rng rng(101);
+  for (int trial = 0; trial < 50; ++trial) {
+    Partition p = RandomPartition(&rng, 32);
+    const size_t b = static_cast<size_t>(p.num_buckets());
+    const auto rounding = static_cast<PieceRounding>(rng.NextInt(0, 2));
+    auto hist = AvgHistogram::Create(std::move(p), RandomDoubles(&rng, b),
+                                     "FUZZ-AVG", rounding);
+    ASSERT_TRUE(hist.ok()) << hist.status();
+    ExpectExactRoundTrip(hist.value());
+  }
+}
+
+TEST(SerializeFuzzTest, RandomSapHistograms) {
+  Rng rng(103);
+  for (int trial = 0; trial < 50; ++trial) {
+    Partition p = RandomPartition(&rng, 32);
+    const size_t b = static_cast<size_t>(p.num_buckets());
+    auto sap0 = Sap0Histogram::FromSummaries(p, RandomDoubles(&rng, b),
+                                             RandomDoubles(&rng, b));
+    ASSERT_TRUE(sap0.ok()) << sap0.status();
+    ExpectExactRoundTrip(sap0.value());
+
+    auto sap1 = Sap1Histogram::FromSummaries(
+        p, RandomDoubles(&rng, b), RandomDoubles(&rng, b),
+        RandomDoubles(&rng, b), RandomDoubles(&rng, b));
+    ASSERT_TRUE(sap1.ok()) << sap1.status();
+    ExpectExactRoundTrip(sap1.value());
+
+    auto models = [&rng](size_t count) {
+      std::vector<Sap2Histogram::Model> out(count);
+      for (auto& m : out) {
+        m = {rng.NextDouble(-100.0, 100.0), rng.NextDouble(-10.0, 10.0),
+             rng.NextDouble(-1.0, 1.0)};
+      }
+      return out;
+    };
+    auto sap2 = Sap2Histogram::FromSummaries(p, models(b), models(b));
+    ASSERT_TRUE(sap2.ok()) << sap2.status();
+    ExpectExactRoundTrip(sap2.value());
+
+    auto wsap0 = WeightedSap0Histogram::FromSummaries(
+        p, RandomDoubles(&rng, b), RandomDoubles(&rng, b),
+        RandomDoubles(&rng, b));
+    ASSERT_TRUE(wsap0.ok()) << wsap0.status();
+    ExpectExactRoundTrip(wsap0.value());
+  }
+}
+
+TEST(SerializeFuzzTest, RandomNaiveEstimators) {
+  Rng rng(107);
+  for (int trial = 0; trial < 20; ++trial) {
+    auto naive = NaiveEstimator::FromAverage(rng.NextInt(1, 1000),
+                                             rng.NextDouble(-1e9, 1e9));
+    ASSERT_TRUE(naive.ok()) << naive.status();
+    ExpectExactRoundTrip(naive.value());
+  }
+}
+
+TEST(SerializeFuzzTest, RandomWaveletSynopses) {
+  Rng rng(109);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int64_t padded = int64_t{1} << rng.NextInt(0, 6);
+    const bool prefix = padded > 1 && rng.NextBool();
+    const auto domain =
+        prefix ? WaveletDomain::kPrefix : WaveletDomain::kData;
+    const int64_t n =
+        prefix ? rng.NextInt(1, padded - 1) : rng.NextInt(1, padded);
+    // Unique random subset of coefficient indices.
+    std::vector<int64_t> indices;
+    for (int64_t k = 0; k < padded; ++k) {
+      if (rng.NextBool(0.4)) indices.push_back(k);
+    }
+    if (indices.empty()) indices.push_back(rng.NextInt(0, padded - 1));
+    std::vector<WaveletCoefficient> coeffs;
+    coeffs.reserve(indices.size());
+    for (int64_t k : indices) {
+      coeffs.push_back({k, rng.NextDouble(-1e6, 1e6)});
+    }
+    auto synopsis = WaveletSynopsis::Create(std::move(coeffs), padded, n,
+                                            domain, "FUZZ-WAVE");
+    ASSERT_TRUE(synopsis.ok()) << synopsis.status();
+    ExpectExactRoundTrip(synopsis.value());
+  }
+}
 
 TEST(SerializeTest, RejectsCorruptHeader) {
   EXPECT_FALSE(DeserializeSynopsis("").ok());

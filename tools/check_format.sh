@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Verifies clang-format compliance (the repo .clang-format).
+#
+# Usage:
+#   tools/check_format.sh               # check every tracked C++ file
+#   tools/check_format.sh origin/main   # check only files changed vs a ref
+#                                       # (the CI "format-diff" mode)
+#
+# Exits 0 with a notice when clang-format is not installed.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FMT_BIN="${CLANG_FORMAT:-clang-format}"
+if ! command -v "$FMT_BIN" >/dev/null 2>&1; then
+  echo "check_format.sh: '$FMT_BIN' not found; skipping (install clang-format to enable)" >&2
+  exit 0
+fi
+
+declare -a files
+if [[ $# -gt 0 ]]; then
+  base="$(git merge-base "$1" HEAD)"
+  while IFS= read -r f; do
+    [[ -f "$f" ]] && files+=("$f")
+  done < <(git diff --name-only "$base" -- '*.cc' '*.h' '*.cpp')
+else
+  while IFS= read -r f; do files+=("$f"); done \
+    < <(git ls-files '*.cc' '*.h' '*.cpp')
+fi
+
+if [[ ${#files[@]} -eq 0 ]]; then
+  echo "check_format.sh: no C++ files to check"
+  exit 0
+fi
+
+echo "check_format.sh: checking ${#files[@]} files"
+"$FMT_BIN" --dry-run --Werror "${files[@]}"
+echo "check_format.sh: clean"

@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Runs clang-tidy over the library sources using the repo .clang-tidy and
+# the compile database exported by the `tidy` CMake preset.
+#
+# Usage:
+#   tools/run_tidy.sh              # tidy every .cc under src/
+#   tools/run_tidy.sh src/core     # tidy a subtree (or explicit files)
+#
+# Environment:
+#   CLANG_TIDY      clang-tidy binary (default: clang-tidy)
+#   TIDY_BUILD_DIR  compile-database dir (default: build/tidy)
+#
+# Exits 0 with a notice when clang-tidy is not installed, so the script is
+# safe to call from environments that only have gcc; CI installs clang-tidy
+# and therefore actually enforces the checks.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+TIDY_BIN="${CLANG_TIDY:-clang-tidy}"
+if ! command -v "$TIDY_BIN" >/dev/null 2>&1; then
+  echo "run_tidy.sh: '$TIDY_BIN' not found; skipping lint (install clang-tidy to enable)" >&2
+  exit 0
+fi
+
+BUILD_DIR="${TIDY_BUILD_DIR:-build/tidy}"
+if [[ ! -f "$BUILD_DIR/compile_commands.json" ]]; then
+  echo "run_tidy.sh: configuring '$BUILD_DIR' via the tidy preset" >&2
+  cmake --preset tidy >/dev/null
+fi
+
+declare -a sources
+if [[ $# -gt 0 ]]; then
+  for arg in "$@"; do
+    if [[ -d "$arg" ]]; then
+      while IFS= read -r f; do sources+=("$f"); done \
+        < <(find "$arg" -name '*.cc' | sort)
+    else
+      sources+=("$arg")
+    fi
+  done
+else
+  while IFS= read -r f; do sources+=("$f"); done \
+    < <(find src -name '*.cc' | sort)
+fi
+
+echo "run_tidy.sh: checking ${#sources[@]} files with $("$TIDY_BIN" --version | head -1)"
+status=0
+for f in "${sources[@]}"; do
+  "$TIDY_BIN" -p "$BUILD_DIR" --quiet "$f" || status=1
+done
+if [[ $status -ne 0 ]]; then
+  echo "run_tidy.sh: clang-tidy reported diagnostics" >&2
+  exit 1
+fi
+echo "run_tidy.sh: clean"
