@@ -17,6 +17,7 @@
 #include "core/strings.h"
 #include "data/rounding.h"
 #include "eval/experiment.h"
+#include "obs/obs.h"
 
 int main(int argc, char** argv) {
   using namespace rangesyn;
@@ -33,11 +34,15 @@ int main(int argc, char** argv) {
       "comma-separated synopsis methods (see KnownSynopsisMethods)");
   flags.DefineBool("csv", false, "emit CSV instead of an aligned table");
   flags.DefineInt64("max_states", 50000000, "OPT-A DP state cap");
+  flags.DefineString("json", "", "also write a schema-versioned JSON report");
+  flags.DefineString("trace-out", "",
+                     "write a Chrome trace (chrome://tracing) of the run");
   if (Status s = flags.Parse(argc, argv); !s.ok()) {
     if (s.code() == StatusCode::kFailedPrecondition) return 0;
     std::cerr << s << "\n";
     return 1;
   }
+  obs::TraceGuard trace_guard(flags.GetString("trace-out"));
 
   PaperDatasetOptions dataset_options;
   dataset_options.n = flags.GetInt64("n");
@@ -68,6 +73,16 @@ int main(int argc, char** argv) {
     PrintSweepCsv(rows.value(), std::cout);
   } else {
     PrintSweep(rows.value(), std::cout);
+  }
+  if (!flags.GetString("json").empty()) {
+    BenchReport report("fig1_sse_vs_storage");
+    report.AddMeta("n", dataset_options.n);
+    report.AddMeta("alpha", dataset_options.alpha);
+    report.AddMeta("volume", dataset_options.total_volume);
+    report.AddMeta("seed", static_cast<int64_t>(dataset_options.seed));
+    report.AddTable("sweep", SweepTable(rows.value()));
+    RANGESYN_CHECK_OK(report.WriteJsonFile(flags.GetString("json")));
+    std::cout << "# wrote JSON -> " << flags.GetString("json") << "\n";
   }
   return 0;
 }

@@ -11,6 +11,7 @@
 #include "core/random.h"
 #include "core/strings.h"
 #include "eval/report.h"
+#include "obs/obs.h"
 #include "twod/estimators2d.h"
 #include "twod/grid.h"
 
@@ -25,15 +26,25 @@ int main(int argc, char** argv) {
   flags.DefineInt64("queries", 20000, "sampled rectangle queries");
   flags.DefineString("grids", "product_zipf,gauss_blobs", "grid families");
   flags.DefineString("tiles", "3,5,8,12", "grid-histogram tilings t (t x t)");
+  flags.DefineString("json", "", "also write a schema-versioned JSON report");
+  flags.DefineString("trace-out", "",
+                     "write a Chrome trace (chrome://tracing) of the run");
   if (Status s = flags.Parse(argc, argv); !s.ok()) {
     if (s.code() == StatusCode::kFailedPrecondition) return 0;
     std::cerr << s << "\n";
     return 1;
   }
+  obs::TraceGuard trace_guard(flags.GetString("trace-out"));
 
   const int64_t rows = flags.GetInt64("rows");
   const int64_t cols = flags.GetInt64("cols");
 
+  BenchReport report("tbl_2d");
+  report.AddMeta("rows", rows);
+  report.AddMeta("cols", cols);
+  report.AddMeta("volume", flags.GetDouble("volume"));
+  report.AddMeta("seed", flags.GetInt64("seed"));
+  report.AddMeta("queries", flags.GetInt64("queries"));
   for (const std::string& family : StrSplit(flags.GetString("grids"), ',')) {
     Rng rng(static_cast<uint64_t>(flags.GetInt64("seed")));
     auto grid = MakeNamedGrid(family, rows, cols,
@@ -82,6 +93,11 @@ int main(int argc, char** argv) {
     }
     table.Print(std::cout);
     std::cout << "\n";
+    report.AddTable(family, table);
+  }
+  if (!flags.GetString("json").empty()) {
+    RANGESYN_CHECK_OK(report.WriteJsonFile(flags.GetString("json")));
+    std::cout << "# wrote JSON -> " << flags.GetString("json") << "\n";
   }
   return 0;
 }

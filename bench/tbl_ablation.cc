@@ -4,7 +4,6 @@
 // discard only provably dominated states), so the table reports identical
 // SSE with very different state counts and build times.
 
-#include <chrono>
 #include <iostream>
 
 #include "core/flags.h"
@@ -13,6 +12,7 @@
 #include "data/rounding.h"
 #include "eval/report.h"
 #include "histogram/opt_a_dp.h"
+#include "obs/obs.h"
 
 int main(int argc, char** argv) {
   using namespace rangesyn;
@@ -24,11 +24,15 @@ int main(int argc, char** argv) {
   flags.DefineInt64("seed", 20010521, "dataset seed");
   flags.DefineInt64("buckets", 8, "histogram buckets");
   flags.DefineInt64("max_states", 80000000, "DP state cap");
+  flags.DefineString("json", "", "also write a schema-versioned JSON report");
+  flags.DefineString("trace-out", "",
+                     "write a Chrome trace (chrome://tracing) of the run");
   if (Status s = flags.Parse(argc, argv); !s.ok()) {
     if (s.code() == StatusCode::kFailedPrecondition) return 0;
     std::cerr << s << "\n";
     return 1;
   }
+  obs::TraceGuard trace_guard(flags.GetString("trace-out"));
 
   PaperDatasetOptions dataset_options;
   dataset_options.n = flags.GetInt64("n");
@@ -61,10 +65,9 @@ int main(int argc, char** argv) {
         static_cast<uint64_t>(flags.GetInt64("max_states"));
     options.enable_dominance_prune = config.dominance;
     options.enable_lambda_cap = config.lambda_cap;
-    const auto t0 = std::chrono::steady_clock::now();
+    obs::Stopwatch watch;
     auto result = BuildOptA(data.value(), options);
-    const auto t1 = std::chrono::steady_clock::now();
-    const double secs = std::chrono::duration<double>(t1 - t0).count();
+    const double secs = watch.Seconds();
     if (result.ok()) {
       table.AddRow({config.label, FormatG(result->optimal_sse),
                     StrCat(result->states_explored), FormatG(secs, 3),
@@ -77,5 +80,16 @@ int main(int argc, char** argv) {
   table.Print(std::cout);
   std::cout << "\nAll successful configurations must report identical SSE "
                "(the prunes are admissible).\n";
+  if (!flags.GetString("json").empty()) {
+    BenchReport report("tbl_ablation");
+    report.AddMeta("n", dataset_options.n);
+    report.AddMeta("alpha", dataset_options.alpha);
+    report.AddMeta("volume", dataset_options.total_volume);
+    report.AddMeta("seed", static_cast<int64_t>(dataset_options.seed));
+    report.AddMeta("buckets", flags.GetInt64("buckets"));
+    report.AddTable("ablation", table);
+    RANGESYN_CHECK_OK(report.WriteJsonFile(flags.GetString("json")));
+    std::cout << "# wrote JSON -> " << flags.GetString("json") << "\n";
+  }
   return 0;
 }

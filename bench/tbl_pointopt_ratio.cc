@@ -16,6 +16,7 @@
 #include "data/rounding.h"
 #include "eval/experiment.h"
 #include "eval/report.h"
+#include "obs/obs.h"
 
 int main(int argc, char** argv) {
   using namespace rangesyn;
@@ -26,11 +27,15 @@ int main(int argc, char** argv) {
   flags.DefineDouble("volume", 2000.0, "total record count");
   flags.DefineString("seeds", "20010521,1,2,3", "dataset seeds");
   flags.DefineString("budgets", "8,12,16,24,32,48,64", "budgets (words)");
+  flags.DefineString("json", "", "also write a schema-versioned JSON report");
+  flags.DefineString("trace-out", "",
+                     "write a Chrome trace (chrome://tracing) of the run");
   if (Status s = flags.Parse(argc, argv); !s.ok()) {
     if (s.code() == StatusCode::kFailedPrecondition) return 0;
     std::cerr << s << "\n";
     return 1;
   }
+  obs::TraceGuard trace_guard(flags.GetString("trace-out"));
 
   std::vector<int64_t> budgets;
   for (const std::string& b : StrSplit(flags.GetString("budgets"), ',')) {
@@ -96,6 +101,20 @@ int main(int argc, char** argv) {
               << "mean ratio  = "
               << FormatG(ratio_sum / static_cast<double>(ratio_count), 4)
               << "   (paper: > 3x on average)\n";
+  }
+  if (!flags.GetString("json").empty()) {
+    BenchReport report("tbl_pointopt_ratio");
+    report.AddMeta("n", flags.GetInt64("n"));
+    report.AddMeta("alpha", flags.GetDouble("alpha"));
+    report.AddMeta("volume", flags.GetDouble("volume"));
+    report.AddMeta("ratio_max", ratio_max);
+    report.AddMeta("ratio_mean",
+                   ratio_count > 0
+                       ? ratio_sum / static_cast<double>(ratio_count)
+                       : 0.0);
+    report.AddTable("ratios", table);
+    RANGESYN_CHECK_OK(report.WriteJsonFile(flags.GetString("json")));
+    std::cout << "# wrote JSON -> " << flags.GetString("json") << "\n";
   }
   return 0;
 }

@@ -18,6 +18,7 @@
 #include "histogram/builders.h"
 #include "histogram/opt_a_dp.h"
 #include "histogram/reopt.h"
+#include "obs/obs.h"
 
 int main(int argc, char** argv) {
   using namespace rangesyn;
@@ -28,11 +29,15 @@ int main(int argc, char** argv) {
   flags.DefineDouble("volume", 2000.0, "total record count");
   flags.DefineInt64("seed", 20010521, "dataset seed");
   flags.DefineString("bucket_counts", "4,8,12,16,24", "bucket counts B");
+  flags.DefineString("json", "", "also write a schema-versioned JSON report");
+  flags.DefineString("trace-out", "",
+                     "write a Chrome trace (chrome://tracing) of the run");
   if (Status s = flags.Parse(argc, argv); !s.ok()) {
     if (s.code() == StatusCode::kFailedPrecondition) return 0;
     std::cerr << s << "\n";
     return 1;
   }
+  obs::TraceGuard trace_guard(flags.GetString("trace-out"));
 
   PaperDatasetOptions dataset_options;
   dataset_options.n = flags.GetInt64("n");
@@ -91,5 +96,16 @@ int main(int argc, char** argv) {
   std::cout << "\nbest OPT-A-reopt improvement over OPT-A: "
             << FormatG(100.0 * best_gain_vs_opta, 3)
             << "%   (paper reports up to 41% for A-reopt)\n";
+  if (!flags.GetString("json").empty()) {
+    BenchReport report("tbl_reopt");
+    report.AddMeta("n", dataset_options.n);
+    report.AddMeta("alpha", dataset_options.alpha);
+    report.AddMeta("volume", dataset_options.total_volume);
+    report.AddMeta("seed", static_cast<int64_t>(dataset_options.seed));
+    report.AddMeta("best_gain_vs_opta", best_gain_vs_opta);
+    report.AddTable("reopt", table);
+    RANGESYN_CHECK_OK(report.WriteJsonFile(flags.GetString("json")));
+    std::cout << "# wrote JSON -> " << flags.GetString("json") << "\n";
+  }
   return 0;
 }

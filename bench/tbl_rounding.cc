@@ -4,7 +4,6 @@
 // factor. We sweep x and report the SSE ratio to the exact optimum, the
 // DP state counts, and build times.
 
-#include <chrono>
 #include <iostream>
 
 #include "core/flags.h"
@@ -14,6 +13,7 @@
 #include "eval/metrics.h"
 #include "eval/report.h"
 #include "histogram/opt_a_dp.h"
+#include "obs/obs.h"
 
 int main(int argc, char** argv) {
   using namespace rangesyn;
@@ -26,11 +26,15 @@ int main(int argc, char** argv) {
   flags.DefineInt64("seed", 20010521, "dataset seed");
   flags.DefineInt64("buckets", 12, "histogram buckets");
   flags.DefineString("granularities", "1,2,4,8,16,32", "values of x");
+  flags.DefineString("json", "", "also write a schema-versioned JSON report");
+  flags.DefineString("trace-out", "",
+                     "write a Chrome trace (chrome://tracing) of the run");
   if (Status s = flags.Parse(argc, argv); !s.ok()) {
     if (s.code() == StatusCode::kFailedPrecondition) return 0;
     std::cerr << s << "\n";
     return 1;
   }
+  obs::TraceGuard trace_guard(flags.GetString("trace-out"));
 
   PaperDatasetOptions dataset_options;
   dataset_options.n = flags.GetInt64("n");
@@ -53,22 +57,32 @@ int main(int argc, char** argv) {
     OptARoundedOptions options;
     options.max_buckets = buckets;
     options.granularity = x;
-    const auto t0 = std::chrono::steady_clock::now();
+    obs::Stopwatch watch;
     auto result = BuildOptARounded(data, options);
-    const auto t1 = std::chrono::steady_clock::now();
+    const double build_seconds = watch.Seconds();
     RANGESYN_CHECK_OK(result.status());
     const double sse = AllRangesSse(data, result->histogram).value();
     if (x == 1) exact_sse = sse;
     table.AddRow(
         {StrCat(x), FormatG(sse),
          exact_sse > 0 ? FormatG(sse / exact_sse, 4) : "-",
-         StrCat(result->states_explored),
-         FormatG(std::chrono::duration<double>(t1 - t0).count(), 3)});
+         StrCat(result->states_explored), FormatG(build_seconds, 3)});
   }
   table.Print(std::cout);
   std::cout << "\nsuggested granularity for eps=0.5: "
             << SuggestGranularity(data, buckets, 0.5)
             << ", for eps=0.1: " << SuggestGranularity(data, buckets, 0.1)
             << "\n";
+  if (!flags.GetString("json").empty()) {
+    BenchReport report("tbl_rounding");
+    report.AddMeta("n", dataset_options.n);
+    report.AddMeta("alpha", dataset_options.alpha);
+    report.AddMeta("volume", dataset_options.total_volume);
+    report.AddMeta("seed", static_cast<int64_t>(dataset_options.seed));
+    report.AddMeta("buckets", buckets);
+    report.AddTable("rounding", table);
+    RANGESYN_CHECK_OK(report.WriteJsonFile(flags.GetString("json")));
+    std::cout << "# wrote JSON -> " << flags.GetString("json") << "\n";
+  }
   return 0;
 }

@@ -19,6 +19,7 @@
 #include "eval/report.h"
 #include "histogram/builders.h"
 #include "histogram/opt_a_dp.h"
+#include "obs/obs.h"
 
 int main(int argc, char** argv) {
   using namespace rangesyn;
@@ -29,11 +30,15 @@ int main(int argc, char** argv) {
   flags.DefineDouble("volume", 2000.0, "total record count");
   flags.DefineInt64("seed", 20010521, "dataset seed");
   flags.DefineString("bucket_counts", "4,6,8,12,16", "bucket counts B");
+  flags.DefineString("json", "", "also write a schema-versioned JSON report");
+  flags.DefineString("trace-out", "",
+                     "write a Chrome trace (chrome://tracing) of the run");
   if (Status s = flags.Parse(argc, argv); !s.ok()) {
     if (s.code() == StatusCode::kFailedPrecondition) return 0;
     std::cerr << s << "\n";
     return 1;
   }
+  obs::TraceGuard trace_guard(flags.GetString("trace-out"));
 
   PaperDatasetOptions dataset_options;
   dataset_options.n = flags.GetInt64("n");
@@ -101,5 +106,16 @@ int main(int argc, char** argv) {
                                                                    : "no"});
   }
   equal_w.Print(std::cout);
+  if (!flags.GetString("json").empty()) {
+    BenchReport report("tbl_sap_comparison");
+    report.AddMeta("n", dataset_options.n);
+    report.AddMeta("alpha", dataset_options.alpha);
+    report.AddMeta("volume", dataset_options.total_volume);
+    report.AddMeta("seed", static_cast<int64_t>(dataset_options.seed));
+    report.AddTable("equal_bucket_count", equal_b);
+    report.AddTable("equal_storage", equal_w);
+    RANGESYN_CHECK_OK(report.WriteJsonFile(flags.GetString("json")));
+    std::cout << "# wrote JSON -> " << flags.GetString("json") << "\n";
+  }
   return 0;
 }

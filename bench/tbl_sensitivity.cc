@@ -16,6 +16,7 @@
 #include "data/rounding.h"
 #include "eval/experiment.h"
 #include "eval/report.h"
+#include "obs/obs.h"
 
 int main(int argc, char** argv) {
   using namespace rangesyn;
@@ -27,11 +28,15 @@ int main(int argc, char** argv) {
   flags.DefineInt64("budget", 24, "storage budget (words)");
   flags.DefineString("dists", "zipf,zipf_sorted,uniform,gauss,step,spike,cusp",
                      "distribution families");
+  flags.DefineString("json", "", "also write a schema-versioned JSON report");
+  flags.DefineString("trace-out", "",
+                     "write a Chrome trace (chrome://tracing) of the run");
   if (Status s = flags.Parse(argc, argv); !s.ok()) {
     if (s.code() == StatusCode::kFailedPrecondition) return 0;
     std::cerr << s << "\n";
     return 1;
   }
+  obs::TraceGuard trace_guard(flags.GetString("trace-out"));
 
   const int64_t budget = flags.GetInt64("budget");
   std::cout << "# EXT-SENS: all-ranges SSE at " << budget
@@ -73,5 +78,15 @@ int main(int argc, char** argv) {
                   ordering ? "yes" : "NO"});
   }
   table.Print(std::cout);
+  if (!flags.GetString("json").empty()) {
+    BenchReport report("tbl_sensitivity");
+    report.AddMeta("n", flags.GetInt64("n"));
+    report.AddMeta("volume", flags.GetDouble("volume"));
+    report.AddMeta("seed", flags.GetInt64("seed"));
+    report.AddMeta("budget", budget);
+    report.AddTable("sensitivity", table);
+    RANGESYN_CHECK_OK(report.WriteJsonFile(flags.GetString("json")));
+    std::cout << "# wrote JSON -> " << flags.GetString("json") << "\n";
+  }
   return 0;
 }

@@ -16,6 +16,7 @@
 #include "data/rounding.h"
 #include "eval/experiment.h"
 #include "eval/report.h"
+#include "obs/obs.h"
 
 int main(int argc, char** argv) {
   using namespace rangesyn;
@@ -26,11 +27,15 @@ int main(int argc, char** argv) {
   flags.DefineDouble("volume", 2000.0, "total record count");
   flags.DefineInt64("seed", 20010521, "dataset seed");
   flags.DefineString("budgets", "8,12,16,24,32,48,64", "budgets (words)");
+  flags.DefineString("json", "", "also write a schema-versioned JSON report");
+  flags.DefineString("trace-out", "",
+                     "write a Chrome trace (chrome://tracing) of the run");
   if (Status s = flags.Parse(argc, argv); !s.ok()) {
     if (s.code() == StatusCode::kFailedPrecondition) return 0;
     std::cerr << s << "\n";
     return 1;
   }
+  obs::TraceGuard trace_guard(flags.GetString("trace-out"));
 
   PaperDatasetOptions dataset_options;
   dataset_options.n = flags.GetInt64("n");
@@ -76,5 +81,15 @@ int main(int argc, char** argv) {
   std::cout << "\nNote: WAVE-RANGE-OPT is optimal among prefix-domain "
                "coefficient subsets (Theorem 9); TOPBB/WAVE-POINT live in "
                "the data domain, a different family.\n";
+  if (!flags.GetString("json").empty()) {
+    BenchReport report("tbl_wavelet");
+    report.AddMeta("n", dataset_options.n);
+    report.AddMeta("alpha", dataset_options.alpha);
+    report.AddMeta("volume", dataset_options.total_volume);
+    report.AddMeta("seed", static_cast<int64_t>(dataset_options.seed));
+    report.AddTable("wavelet_vs_opta", table);
+    RANGESYN_CHECK_OK(report.WriteJsonFile(flags.GetString("json")));
+    std::cout << "# wrote JSON -> " << flags.GetString("json") << "\n";
+  }
   return 0;
 }

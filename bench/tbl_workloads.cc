@@ -17,6 +17,7 @@
 #include "engine/factory.h"
 #include "eval/metrics.h"
 #include "eval/report.h"
+#include "obs/obs.h"
 
 int main(int argc, char** argv) {
   using namespace rangesyn;
@@ -27,11 +28,15 @@ int main(int argc, char** argv) {
   flags.DefineDouble("volume", 2000.0, "total record count");
   flags.DefineInt64("seed", 20010521, "dataset seed");
   flags.DefineInt64("budget", 24, "storage budget (words)");
+  flags.DefineString("json", "", "also write a schema-versioned JSON report");
+  flags.DefineString("trace-out", "",
+                     "write a Chrome trace (chrome://tracing) of the run");
   if (Status s = flags.Parse(argc, argv); !s.ok()) {
     if (s.code() == StatusCode::kFailedPrecondition) return 0;
     std::cerr << s << "\n";
     return 1;
   }
+  obs::TraceGuard trace_guard(flags.GetString("trace-out"));
 
   PaperDatasetOptions dataset_options;
   dataset_options.n = flags.GetInt64("n");
@@ -83,5 +88,16 @@ int main(int argc, char** argv) {
   std::cout << "\nReadings: POINT-OPT/V-OPT lead on the point column but "
                "trail on ranges; PREFIX-OPT leads on prefixes; OPT-A "
                "leads on all-ranges (its objective).\n";
+  if (!flags.GetString("json").empty()) {
+    BenchReport report("tbl_workloads");
+    report.AddMeta("n", dataset_options.n);
+    report.AddMeta("alpha", dataset_options.alpha);
+    report.AddMeta("volume", dataset_options.total_volume);
+    report.AddMeta("seed", static_cast<int64_t>(dataset_options.seed));
+    report.AddMeta("budget", budget);
+    report.AddTable("workloads", table);
+    RANGESYN_CHECK_OK(report.WriteJsonFile(flags.GetString("json")));
+    std::cout << "# wrote JSON -> " << flags.GetString("json") << "\n";
+  }
   return 0;
 }

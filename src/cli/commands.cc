@@ -13,6 +13,7 @@
 #include "eval/experiment.h"
 #include "eval/metrics.h"
 #include "eval/report.h"
+#include "obs/obs.h"
 
 namespace rangesyn {
 namespace {
@@ -69,9 +70,14 @@ Result<std::string> CmdBuild(const std::vector<std::string>& args) {
                             BuildSynopsis(spec, data));
   RANGESYN_RETURN_IF_ERROR(
       SaveSynopsisToFile(*est, flags.GetString("out")));
+  // Total-mass self-check: one real query through the freshly built
+  // synopsis, so even a bare `build` run exercises the query path.
+  const double total = est->EstimateRange(1, est->domain_size());
+  RANGESYN_OBS_COUNTER_INC("engine.query.count");
   return StrCat("built ", est->Name(), " (", est->StorageWords(),
                 " words over domain ", est->domain_size(), ") -> ",
-                flags.GetString("out"), "\n");
+                flags.GetString("out"), "\nself-check: s[1,",
+                est->domain_size(), "] ~= ", FormatG(total, 10), "\n");
 }
 
 Result<std::string> CmdInspect(const std::vector<std::string>& args) {
@@ -161,6 +167,47 @@ Result<std::string> CmdSweep(const std::vector<std::string>& args) {
   return os.str();
 }
 
+Result<std::string> CmdStats(const std::vector<std::string>& args) {
+  FlagSet flags("rangesyn stats",
+                "run an instrumented pipeline and report obs metrics");
+  flags.DefineString("data", "",
+                     "input distribution CSV (default: synthetic Zipf)");
+  flags.DefineString("method", "sap1", "synopsis method");
+  flags.DefineInt64("budget", 24, "storage budget (words)");
+  flags.DefineBool("json", false, "emit the metrics registry as JSON");
+  RANGESYN_RETURN_IF_ERROR(ParseArgs(&flags, args));
+  std::vector<int64_t> data;
+  if (flags.GetString("data").empty()) {
+    Rng rng(20010521);
+    RANGESYN_ASSIGN_OR_RETURN(
+        std::vector<double> floats,
+        MakeNamedDistribution("zipf", 127, 2000.0, &rng));
+    RANGESYN_ASSIGN_OR_RETURN(
+        data, RandomRound(floats, RandomRoundingMode::kHalf, &rng));
+  } else {
+    RANGESYN_ASSIGN_OR_RETURN(data,
+                              LoadDistributionCsv(flags.GetString("data")));
+  }
+  SynopsisSpec spec;
+  spec.method = flags.GetString("method");
+  spec.budget_words = flags.GetInt64("budget");
+  // Build -> evaluate -> serialize, so the dump below covers every
+  // instrumented phase of the pipeline.
+  RANGESYN_ASSIGN_OR_RETURN(RangeEstimatorPtr est, BuildSynopsis(spec, data));
+  RANGESYN_ASSIGN_OR_RETURN(ErrorStats err, AllRangesStats(data, *est));
+  RANGESYN_ASSIGN_OR_RETURN(const std::string bytes, SerializeSynopsis(*est));
+  const obs::RegistrySnapshot snapshot = obs::Registry::Get().Snapshot();
+  if (flags.GetBool("json")) {
+    std::ostringstream os;
+    obs::WriteStatsJson(snapshot, os);
+    return os.str();
+  }
+  return StrCat("pipeline: ", est->Name(), " budget=",
+                flags.GetInt64("budget"), " n=", data.size(), " queries=",
+                err.count, " sse=", FormatG(err.sse, 6), " bytes=",
+                bytes.size(), "\n\n", obs::FormatStatsText(snapshot));
+}
+
 }  // namespace
 
 std::string CliUsage() {
@@ -176,25 +223,73 @@ std::string CliUsage() {
       "  estimate   answer one range query from a synopsis\n"
       "  evaluate   score a synopsis against exact answers\n"
       "  sweep      run a Figure-1 style storage sweep\n"
+      "  stats      run an instrumented pipeline and report obs metrics\n"
       "  help       show this text\n"
+      "\n"
+      "global flags (any command):\n"
+      "  --trace-out=FILE   write a Chrome trace (chrome://tracing) of the "
+      "run\n"
+      "  --stats-json=FILE  dump the metrics registry as JSON after the "
+      "run\n"
       "\n"
       "run 'rangesyn <command> --help' for per-command flags.\n";
 }
 
 Result<std::string> RunCliCommand(const std::vector<std::string>& args) {
-  if (args.empty() || args[0] == "help" || args[0] == "--help") {
+  // Global observability flags work on every command; strip them here so
+  // the per-command FlagSets stay unaware of them.
+  std::string trace_out;
+  std::string stats_json;
+  std::vector<std::string> kept;
+  kept.reserve(args.size());
+  for (const std::string& a : args) {
+    if (a.rfind("--trace-out=", 0) == 0) {
+      trace_out = a.substr(sizeof("--trace-out=") - 1);
+    } else if (a.rfind("--stats-json=", 0) == 0) {
+      stats_json = a.substr(sizeof("--stats-json=") - 1);
+    } else {
+      kept.push_back(a);
+    }
+  }
+  if (kept.empty() || kept[0] == "help" || kept[0] == "--help") {
     return CliUsage();
   }
-  const std::string& command = args[0];
-  const std::vector<std::string> rest(args.begin() + 1, args.end());
-  if (command == "generate") return CmdGenerate(rest);
-  if (command == "build") return CmdBuild(rest);
-  if (command == "inspect") return CmdInspect(rest);
-  if (command == "estimate") return CmdEstimate(rest);
-  if (command == "evaluate") return CmdEvaluate(rest);
-  if (command == "sweep") return CmdSweep(rest);
-  return InvalidArgumentError(
-      StrCat("unknown command '", command, "'\n\n", CliUsage()));
+  const std::string& command = kept[0];
+  const std::vector<std::string> rest(kept.begin() + 1, kept.end());
+  if (!trace_out.empty()) obs::Tracer::Get().Start();
+  Result<std::string> result = [&]() -> Result<std::string> {
+    if (command == "generate") return CmdGenerate(rest);
+    if (command == "build") return CmdBuild(rest);
+    if (command == "inspect") return CmdInspect(rest);
+    if (command == "estimate") return CmdEstimate(rest);
+    if (command == "evaluate") return CmdEvaluate(rest);
+    if (command == "sweep") return CmdSweep(rest);
+    if (command == "stats") return CmdStats(rest);
+    return InvalidArgumentError(
+        StrCat("unknown command '", command, "'\n\n", CliUsage()));
+  }();
+  // Export even when the command failed (a partial trace is still useful
+  // for debugging), but let the command's own error win.
+  std::string notes;
+  if (!trace_out.empty()) {
+    obs::Tracer::Get().Stop();
+    if (Status s = obs::WriteTraceJsonFile(trace_out); !s.ok()) {
+      if (result.ok()) return s;
+    } else {
+      notes += StrCat("wrote trace -> ", trace_out, "\n");
+    }
+  }
+  if (!stats_json.empty()) {
+    if (Status s = obs::WriteStatsJsonFile(obs::Registry::Get().Snapshot(),
+                                           stats_json);
+        !s.ok()) {
+      if (result.ok()) return s;
+    } else {
+      notes += StrCat("wrote stats -> ", stats_json, "\n");
+    }
+  }
+  if (!result.ok()) return result;
+  return result.value() + notes;
 }
 
 }  // namespace rangesyn

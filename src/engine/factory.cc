@@ -5,6 +5,7 @@
 
 #include "core/strings.h"
 #include "histogram/builders.h"
+#include "obs/obs.h"
 #include "histogram/opt_a_dp.h"
 #include "histogram/reopt.h"
 #include "wavelet/selection.h"
@@ -51,6 +52,10 @@ Result<int64_t> WordsPerUnit(const std::string& method) {
 
 Result<RangeEstimatorPtr> BuildSynopsis(const SynopsisSpec& spec,
                                         const std::vector<int64_t>& data) {
+  RANGESYN_OBS_SPAN("engine.build");
+  RANGESYN_OBS_COUNTER_INC("engine.build.count");
+  RANGESYN_OBS_GAUGE_SET("engine.build.last_n",
+                         static_cast<int64_t>(data.size()));
   RANGESYN_ASSIGN_OR_RETURN(const int64_t words_per_unit,
                             WordsPerUnit(spec.method));
   const int64_t units = UnitsForBudget(spec.budget_words, words_per_unit);

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/strings.h"
+#include "obs/obs.h"
 
 namespace rangesyn {
 namespace {
@@ -31,9 +32,12 @@ Result<int64_t> EstimateQuantilePosition(const RangeEstimator& estimator,
   }
   const double target = q * total;
   // Binary search; exact for monotone prefix estimates (all histograms).
+  // Probes are counted locally and flushed once per call.
+  uint64_t probes = 1;  // the total-mass probe above
   int64_t lo = 1, hi = n;
   while (lo < hi) {
     const int64_t mid = lo + (hi - lo) / 2;
+    ++probes;
     if (PrefixEstimate(estimator, mid) >= target) {
       hi = mid;
     } else {
@@ -43,8 +47,14 @@ Result<int64_t> EstimateQuantilePosition(const RangeEstimator& estimator,
   // Local refinement for mildly non-monotone estimators (wavelet
   // reconstructions can dip): walk left while the inequality still holds,
   // right if it does not.
-  while (lo > 1 && PrefixEstimate(estimator, lo - 1) >= target) --lo;
-  while (lo < n && PrefixEstimate(estimator, lo) < target) ++lo;
+  while (lo > 1 && (++probes, PrefixEstimate(estimator, lo - 1) >= target)) {
+    --lo;
+  }
+  while (lo < n && (++probes, PrefixEstimate(estimator, lo) < target)) {
+    ++lo;
+  }
+  RANGESYN_OBS_COUNTER_ADD("engine.query.count", probes);
+  RANGESYN_OBS_COUNTER_INC("engine.query.quantile_searches");
   return lo;
 }
 
@@ -52,10 +62,13 @@ Result<double> EstimateEquiJoinSize(const RangeEstimator& r,
                                     const RangeEstimator& s) {
   const int64_t n = std::min(r.domain_size(), s.domain_size());
   if (n < 1) return InvalidArgumentError("EstimateEquiJoinSize: empty");
+  RANGESYN_OBS_SPAN("engine.query.join");
   double join = 0.0;
   for (int64_t v = 1; v <= n; ++v) {
     join += ClampedPoint(r, v) * ClampedPoint(s, v);
   }
+  RANGESYN_OBS_COUNTER_ADD("engine.query.count",
+                           2 * static_cast<uint64_t>(n));
   return join;
 }
 

@@ -11,6 +11,7 @@
 #include "histogram/histogram.h"
 #include "histogram/partition.h"
 #include "histogram/weighted_sap0.h"
+#include "obs/obs.h"
 #include "wavelet/synopsis.h"
 
 namespace rangesyn {
@@ -290,7 +291,13 @@ void AuditRoundTrip(const RangeEstimator& estimator,
 }  // namespace
 
 Result<std::string> SerializeSynopsis(const RangeEstimator& estimator) {
+  RANGESYN_OBS_SPAN("engine.serialize");
   Result<std::string> bytes = SerializeSynopsisImpl(estimator);
+  if (bytes.ok()) {
+    RANGESYN_OBS_COUNTER_INC("engine.serialize.count");
+    RANGESYN_OBS_COUNTER_ADD("engine.serialize.bytes",
+                             bytes.value().size());
+  }
 #ifdef RANGESYN_AUDIT
   if (bytes.ok()) AuditRoundTrip(estimator, bytes.value());
 #endif
@@ -298,6 +305,9 @@ Result<std::string> SerializeSynopsis(const RangeEstimator& estimator) {
 }
 
 Result<RangeEstimatorPtr> DeserializeSynopsis(std::string_view bytes) {
+  RANGESYN_OBS_SPAN("engine.deserialize");
+  RANGESYN_OBS_COUNTER_INC("engine.deserialize.count");
+  RANGESYN_OBS_COUNTER_ADD("engine.deserialize.bytes", bytes.size());
   ByteReader r(bytes);
   RANGESYN_ASSIGN_OR_RETURN(uint32_t magic, r.ReadU32());
   if (magic != kMagic) {

@@ -1,8 +1,8 @@
 #include "eval/experiment.h"
 
-#include <chrono>
-
+#include "engine/serialize.h"
 #include "eval/report.h"
+#include "obs/obs.h"
 
 namespace rangesyn {
 
@@ -11,6 +11,7 @@ Result<std::vector<ExperimentRow>> RunStorageSweep(
   if (options.methods.empty() || options.budgets_words.empty()) {
     return InvalidArgumentError("RunStorageSweep: empty grid");
   }
+  RANGESYN_OBS_SPAN("eval.sweep");
   std::vector<ExperimentRow> rows;
   rows.reserve(options.methods.size() * options.budgets_words.size());
   for (const std::string& method : options.methods) {
@@ -23,11 +24,12 @@ Result<std::vector<ExperimentRow>> RunStorageSweep(
       spec.budget_words = budget;
       spec.granularity = options.granularity;
       spec.max_states = options.max_states;
-      const auto t0 = std::chrono::steady_clock::now();
-      Result<RangeEstimatorPtr> built = BuildSynopsis(spec, data);
-      const auto t1 = std::chrono::steady_clock::now();
-      row.build_seconds =
-          std::chrono::duration<double>(t1 - t0).count();
+      obs::Stopwatch watch;
+      Result<RangeEstimatorPtr> built = [&] {
+        RANGESYN_OBS_SPAN("eval.sweep.build");
+        return BuildSynopsis(spec, data);
+      }();
+      row.build_seconds = watch.Seconds();
       if (!built.ok()) {
         if (!options.tolerate_failures) return built.status();
         row.failed = true;
@@ -37,7 +39,21 @@ Result<std::vector<ExperimentRow>> RunStorageSweep(
       }
       const RangeEstimatorPtr& est = built.value();
       row.actual_words = est->StorageWords();
-      RANGESYN_ASSIGN_OR_RETURN(row.all_ranges, AllRangesStats(data, *est));
+      watch.Reset();
+      {
+        RANGESYN_OBS_SPAN("eval.sweep.query");
+        RANGESYN_ASSIGN_OR_RETURN(row.all_ranges,
+                                  AllRangesStats(data, *est));
+      }
+      row.query_seconds = watch.Seconds();
+      watch.Reset();
+      {
+        RANGESYN_OBS_SPAN("eval.sweep.serialize");
+        RANGESYN_ASSIGN_OR_RETURN(const std::string bytes,
+                                  SerializeSynopsis(*est));
+        row.serialized_bytes = static_cast<int64_t>(bytes.size());
+      }
+      row.serialize_seconds = watch.Seconds();
       rows.push_back(std::move(row));
     }
   }
@@ -46,11 +62,12 @@ Result<std::vector<ExperimentRow>> RunStorageSweep(
 
 void PrintSweep(const std::vector<ExperimentRow>& rows, std::ostream& os) {
   TextTable table({"method", "budget(w)", "used(w)", "SSE", "RMSE",
-                   "max|err|", "build(s)"});
+                   "max|err|", "build(s)", "query(s)", "ser(s)"});
   for (const ExperimentRow& row : rows) {
     if (row.failed) {
       table.AddRow({row.method, FormatG(static_cast<double>(row.budget_words)),
-                    "-", "FAILED", "-", "-", FormatG(row.build_seconds, 3)});
+                    "-", "FAILED", "-", "-", FormatG(row.build_seconds, 3),
+                    "-", "-"});
       continue;
     }
     table.AddRow({row.method,
@@ -59,23 +76,34 @@ void PrintSweep(const std::vector<ExperimentRow>& rows, std::ostream& os) {
                   FormatG(row.all_ranges.sse),
                   FormatG(row.all_ranges.rmse, 4),
                   FormatG(row.all_ranges.max_abs, 4),
-                  FormatG(row.build_seconds, 3)});
+                  FormatG(row.build_seconds, 3),
+                  FormatG(row.query_seconds, 3),
+                  FormatG(row.serialize_seconds, 3)});
   }
   table.Print(os);
 }
 
-void PrintSweepCsv(const std::vector<ExperimentRow>& rows, std::ostream& os) {
+TextTable SweepTable(const std::vector<ExperimentRow>& rows) {
   TextTable table({"method", "budget_words", "used_words", "sse", "rmse",
-                   "max_abs", "build_seconds", "failed"});
+                   "max_abs", "build_seconds", "query_seconds",
+                   "serialize_seconds", "serialized_bytes", "failed"});
   for (const ExperimentRow& row : rows) {
     table.AddRow({row.method, FormatG(static_cast<double>(row.budget_words)),
                   FormatG(static_cast<double>(row.actual_words)),
                   FormatG(row.all_ranges.sse, 12),
                   FormatG(row.all_ranges.rmse, 8),
                   FormatG(row.all_ranges.max_abs, 8),
-                  FormatG(row.build_seconds, 6), row.failed ? "1" : "0"});
+                  FormatG(row.build_seconds, 6),
+                  FormatG(row.query_seconds, 6),
+                  FormatG(row.serialize_seconds, 6),
+                  FormatG(static_cast<double>(row.serialized_bytes)),
+                  row.failed ? "1" : "0"});
   }
-  table.PrintCsv(os);
+  return table;
+}
+
+void PrintSweepCsv(const std::vector<ExperimentRow>& rows, std::ostream& os) {
+  SweepTable(rows).PrintCsv(os);
 }
 
 const ExperimentRow* FindRow(const std::vector<ExperimentRow>& rows,

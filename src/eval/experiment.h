@@ -9,16 +9,21 @@
 #include "core/result.h"
 #include "engine/factory.h"
 #include "eval/metrics.h"
+#include "eval/report.h"
 
 namespace rangesyn {
 
-/// One (method, budget) measurement of the storage-sweep experiment grid.
+/// One (method, budget) measurement of the storage-sweep experiment grid,
+/// with a per-phase wall-time breakdown (build / query / serialize).
 struct ExperimentRow {
   std::string method;
   int64_t budget_words = 0;   // requested budget
   int64_t actual_words = 0;   // what the built synopsis actually uses
   ErrorStats all_ranges;      // error statistics over all ranges
   double build_seconds = 0.0;
+  double query_seconds = 0.0;      // all-ranges evaluation wall time
+  double serialize_seconds = 0.0;  // SerializeSynopsis wall time
+  int64_t serialized_bytes = 0;    // wire size of the synopsis
   bool failed = false;        // construction failed (row carries no stats)
   std::string failure;        // status message when failed
 };
@@ -45,6 +50,10 @@ void PrintSweep(const std::vector<ExperimentRow>& rows, std::ostream& os);
 
 /// Renders sweep rows as CSV.
 void PrintSweepCsv(const std::vector<ExperimentRow>& rows, std::ostream& os);
+
+/// Machine-readable sweep table (snake_case columns, full precision) —
+/// the CSV rendering and the harnesses' --json reports share this.
+TextTable SweepTable(const std::vector<ExperimentRow>& rows);
 
 /// Looks up the row for (method, budget); nullptr if absent or failed.
 const ExperimentRow* FindRow(const std::vector<ExperimentRow>& rows,

@@ -4,6 +4,7 @@
 
 #include "core/strings.h"
 #include "histogram/prefix_stats.h"
+#include "obs/obs.h"
 
 namespace rangesyn {
 namespace {
@@ -25,6 +26,8 @@ Result<ErrorStats> EvaluateOnWorkload(
     const std::vector<int64_t>& data, const RangeEstimator& estimator,
     const std::vector<RangeQuery>& queries) {
   RANGESYN_RETURN_IF_ERROR(ValidateEvalInput(data, estimator));
+  RANGESYN_OBS_SPAN("eval.workload");
+  RANGESYN_OBS_COUNTER_ADD("engine.query.count", queries.size());
   PrefixStats stats(data);
   const int64_t n = stats.n();
   ErrorStats out;
@@ -54,8 +57,12 @@ Result<ErrorStats> EvaluateOnWorkload(
 Result<double> AllRangesSse(const std::vector<int64_t>& data,
                             const RangeEstimator& estimator) {
   RANGESYN_RETURN_IF_ERROR(ValidateEvalInput(data, estimator));
+  RANGESYN_OBS_SPAN("eval.all_ranges_sse");
   PrefixStats stats(data);
   const int64_t n = stats.n();
+  RANGESYN_OBS_COUNTER_ADD("engine.query.count",
+                           static_cast<uint64_t>(n) *
+                               static_cast<uint64_t>(n + 1) / 2);
   double sse = 0.0;
   for (int64_t a = 1; a <= n; ++a) {
     for (int64_t b = a; b <= n; ++b) {

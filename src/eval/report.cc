@@ -1,9 +1,15 @@
 #include "eval/report.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 
 #include "core/logging.h"
+#include "core/strings.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
 
 namespace rangesyn {
 
@@ -55,6 +61,89 @@ std::string FormatG(double v, int digits) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.*g", digits, v);
   return buf;
+}
+
+namespace {
+
+constexpr int kBenchSchemaVersion = 1;
+
+/// A cell that parses fully as a finite number becomes a JSON number;
+/// anything else (including "-" and "FAILED" placeholders) stays a string.
+std::string EncodeCell(const std::string& cell) {
+  if (!cell.empty()) {
+    char* end = nullptr;
+    const double v = std::strtod(cell.c_str(), &end);
+    if (end == cell.c_str() + cell.size() && std::isfinite(v)) {
+      return obs::JsonNumber(v);
+    }
+  }
+  return obs::JsonQuote(cell);
+}
+
+}  // namespace
+
+BenchReport::BenchReport(std::string harness)
+    : harness_(std::move(harness)) {}
+
+void BenchReport::AddMeta(const std::string& key, const std::string& value) {
+  meta_.emplace_back(key, obs::JsonQuote(value));
+}
+
+void BenchReport::AddMeta(const std::string& key, double value) {
+  meta_.emplace_back(key, obs::JsonNumber(value));
+}
+
+void BenchReport::AddMeta(const std::string& key, int64_t value) {
+  meta_.emplace_back(key, obs::JsonNumber(value));
+}
+
+void BenchReport::AddTable(const std::string& name, const TextTable& table) {
+  tables_.emplace_back(name, table);
+}
+
+void BenchReport::WriteJson(std::ostream& os) const {
+  os << "{\"schema_version\":" << kBenchSchemaVersion
+     << ",\"harness\":" << obs::JsonQuote(harness_) << ",\"meta\":{";
+  for (size_t i = 0; i < meta_.size(); ++i) {
+    if (i > 0) os << ",";
+    os << obs::JsonQuote(meta_[i].first) << ":" << meta_[i].second;
+  }
+  os << "},\"tables\":{";
+  for (size_t t = 0; t < tables_.size(); ++t) {
+    if (t > 0) os << ",";
+    const TextTable& table = tables_[t].second;
+    os << obs::JsonQuote(tables_[t].first) << ":{\"columns\":[";
+    for (size_t c = 0; c < table.header().size(); ++c) {
+      if (c > 0) os << ",";
+      os << obs::JsonQuote(table.header()[c]);
+    }
+    os << "],\"rows\":[";
+    for (size_t r = 0; r < table.rows().size(); ++r) {
+      if (r > 0) os << ",";
+      os << "\n[";
+      const auto& row = table.rows()[r];
+      for (size_t c = 0; c < row.size(); ++c) {
+        if (c > 0) os << ",";
+        os << EncodeCell(row[c]);
+      }
+      os << "]";
+    }
+    os << "]}";
+  }
+  os << "},\"stats\":";
+  obs::WriteStatsJson(obs::Registry::Get().Snapshot(), os);
+  os << "}\n";
+}
+
+Status BenchReport::WriteJsonFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return InternalError(StrCat("cannot open '", path, "' for writing"));
+  }
+  WriteJson(out);
+  out.flush();
+  if (!out) return InternalError(StrCat("write to '", path, "' failed"));
+  return OkStatus();
 }
 
 }  // namespace rangesyn

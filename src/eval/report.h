@@ -1,9 +1,13 @@
 #ifndef RANGESYN_EVAL_REPORT_H_
 #define RANGESYN_EVAL_REPORT_H_
 
+#include <cstdint>
 #include <ostream>
 #include <string>
+#include <utility>
 #include <vector>
+
+#include "core/result.h"
 
 namespace rangesyn {
 
@@ -23,9 +27,40 @@ class TextTable {
 
   int64_t num_rows() const { return static_cast<int64_t>(rows_.size()); }
 
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
  private:
   std::vector<std::string> header_;
   std::vector<std::vector<std::string>> rows_;
+};
+
+/// Collects the tables a figure/table harness prints, plus run metadata,
+/// and renders them as one schema-versioned JSON document. Cells that
+/// parse fully as numbers are emitted as JSON numbers, everything else as
+/// strings, so downstream tooling gets typed records without each harness
+/// hand-writing JSON. The document embeds the obs metrics registry
+/// snapshot, giving every `--json` artifact a wall-time-per-phase section
+/// for free (empty when built with RANGESYN_STATS=OFF).
+class BenchReport {
+ public:
+  explicit BenchReport(std::string harness);
+
+  void AddMeta(const std::string& key, const std::string& value);
+  void AddMeta(const std::string& key, double value);
+  void AddMeta(const std::string& key, int64_t value);
+
+  /// Snapshots `table` (header + rows) under `name`.
+  void AddTable(const std::string& name, const TextTable& table);
+
+  void WriteJson(std::ostream& os) const;
+  Status WriteJsonFile(const std::string& path) const;
+
+ private:
+  std::string harness_;
+  /// Values are pre-encoded JSON literals.
+  std::vector<std::pair<std::string, std::string>> meta_;
+  std::vector<std::pair<std::string, TextTable>> tables_;
 };
 
 /// Formats a double with `digits` significant digits (scientific for very

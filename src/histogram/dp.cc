@@ -6,6 +6,7 @@
 
 #include "core/logging.h"
 #include "core/mathutil.h"
+#include "obs/obs.h"
 
 namespace rangesyn {
 namespace {
@@ -65,6 +66,7 @@ struct DpTable {
 };
 
 DpTable RunDp(int64_t n, int64_t max_buckets, const BucketCostFn& cost) {
+  RANGESYN_OBS_SPAN("histogram.dp.solve");
   DpTable t;
   t.n = n;
   t.max_buckets = max_buckets;
@@ -73,16 +75,22 @@ DpTable RunDp(int64_t n, int64_t max_buckets, const BucketCostFn& cost) {
   t.parent.assign(static_cast<size_t>(max_buckets) + 1,
                   std::vector<int64_t>(static_cast<size_t>(n) + 1, -1));
   t.best[0][0] = 0.0;
+  // Instrumentation is accumulated locally and flushed once per solve so
+  // the O(n^2 B) inner loop never touches an atomic.
+  uint64_t cells = 0;
+  uint64_t transitions = 0;
   for (int64_t k = 1; k <= max_buckets; ++k) {
     auto& bk = t.best[static_cast<size_t>(k)];
     auto& pk = t.parent[static_cast<size_t>(k)];
     const auto& prev = t.best[static_cast<size_t>(k - 1)];
     for (int64_t i = k; i <= n; ++i) {
+      ++cells;
       double best_cost = kInf;
       int64_t best_j = -1;
       for (int64_t j = k - 1; j < i; ++j) {
         const double pj = prev[static_cast<size_t>(j)];
         if (pj == kInf) continue;
+        ++transitions;
         const double c = pj + cost(j + 1, i);
         if (c < best_cost) {
           best_cost = c;
@@ -93,6 +101,9 @@ DpTable RunDp(int64_t n, int64_t max_buckets, const BucketCostFn& cost) {
       pk[static_cast<size_t>(i)] = best_j;
     }
   }
+  RANGESYN_OBS_COUNTER_INC("histogram.dp.solves");
+  RANGESYN_OBS_COUNTER_ADD("histogram.dp.cells", cells);
+  RANGESYN_OBS_COUNTER_ADD("histogram.dp.transitions", transitions);
   return t;
 }
 

@@ -11,6 +11,7 @@
 #include "core/strings.h"
 #include "histogram/builders.h"
 #include "histogram/prefix_stats.h"
+#include "obs/obs.h"
 
 namespace rangesyn {
 namespace {
@@ -31,6 +32,7 @@ class BucketTables {
  public:
   explicit BucketTables(const std::vector<int64_t>& data)
       : n_(static_cast<int64_t>(data.size())), stats_(data) {
+    RANGESYN_OBS_SPAN("histogram.opta.prefix_tables");
     const size_t tri = static_cast<size_t>(n_) * (n_ + 1) / 2;
     intra_.resize(tri);
     su_.resize(tri);
@@ -104,6 +106,7 @@ class BucketTables {
         sv2_[idx] = sv2;
       }
     }
+    RANGESYN_OBS_COUNTER_ADD("histogram.opta.bucket_evals", tri);
   }
 
   int64_t n() const { return n_; }
@@ -331,6 +334,7 @@ Result<OptAResult> BuildOptA(const std::vector<int64_t>& data,
   if (options.exact_buckets && options.max_buckets > n) {
     return InvalidArgumentError("OPT-A: more buckets than elements");
   }
+  RANGESYN_OBS_SPAN("histogram.opta.dp");
   BucketTables tables(data);
 
   // Admissible Λ cap: on the optimal path, Σ u_l² never exceeds OPT
@@ -447,6 +451,8 @@ Result<OptAResult> BuildOptA(const std::vector<int64_t>& data,
   RANGESYN_CHECK_EQ(i, 0);
   RANGESYN_CHECK_EQ(lambda, 0);
   std::reverse(ends.begin(), ends.end());
+  RANGESYN_OBS_COUNTER_INC("histogram.opta.solves");
+  RANGESYN_OBS_COUNTER_ADD("histogram.opta.states", states);
   return FinishOptA(data, std::move(ends), best_cost, states);
 }
 
@@ -458,6 +464,7 @@ Result<OptAResult> BuildOptAWarmup(const std::vector<int64_t>& data,
   if (options.exact_buckets && options.max_buckets > n) {
     return InvalidArgumentError("OPT-A warm-up: more buckets than elements");
   }
+  RANGESYN_OBS_SPAN("histogram.opta.warmup_dp");
   BucketTables tables(data);
 
   // State key (Λ, Λ2); Λ2 = Σ u² is integral (sum of squared integers) and

@@ -7,6 +7,7 @@
 #include "core/strings.h"
 #include "histogram/dp.h"
 #include "histogram/prefix_stats.h"
+#include "obs/obs.h"
 
 namespace rangesyn {
 namespace {
@@ -253,14 +254,20 @@ Result<WeightedSap0Histogram> BuildWeightedSap0(
   if (buckets < 1) {
     return InvalidArgumentError("BuildWeightedSap0: buckets >= 1");
   }
+  RANGESYN_OBS_SPAN("histogram.sap0w.build");
   RANGESYN_ASSIGN_OR_RETURN(WeightedSap0Costs costs,
                             WeightedSap0Costs::Create(data, weights));
+  // Cost() is the O(width) inner kernel of the O(n^2 B) DP; count calls
+  // locally and flush once so the hot loop stays atomic-free.
+  uint64_t cost_evals = 0;
   RANGESYN_ASSIGN_OR_RETURN(
       IntervalDpResult dp,
       SolveIntervalDp(costs.n(), buckets,
-                      [&costs](int64_t l, int64_t r) {
+                      [&costs, &cost_evals](int64_t l, int64_t r) {
+                        ++cost_evals;
                         return costs.Cost(l, r);
                       }));
+  RANGESYN_OBS_COUNTER_ADD("histogram.sap0w.cost_evals", cost_evals);
   Result<WeightedSap0Histogram> hist =
       WeightedSap0Histogram::Build(data, dp.partition, weights);
 #ifdef RANGESYN_AUDIT

@@ -1,0 +1,23 @@
+#ifndef RANGESYN_OBS_JSON_H_
+#define RANGESYN_OBS_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace rangesyn::obs {
+
+/// Renders `s` as a double-quoted JSON string with the mandatory escapes
+/// (quote, backslash, control characters).
+std::string JsonQuote(std::string_view s);
+
+/// Renders a double as a JSON number. Non-finite values have no JSON
+/// representation and render as null; integral magnitudes render without a
+/// fractional part so counters stay integers in the output.
+std::string JsonNumber(double v);
+std::string JsonNumber(int64_t v);
+std::string JsonNumber(uint64_t v);
+
+}  // namespace rangesyn::obs
+
+#endif  // RANGESYN_OBS_JSON_H_

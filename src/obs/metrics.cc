@@ -1,0 +1,215 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "obs/json.h"
+
+namespace rangesyn::obs {
+namespace {
+
+constexpr int kSchemaVersion = 1;
+
+template <typename Map, typename Metric>
+Metric* GetOrCreate(std::mutex& mu, Map& map, std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu);
+  auto it = map.find(name);
+  if (it == map.end()) {
+    it = map.emplace(std::string(name), std::make_unique<Metric>()).first;
+  }
+  return it->second.get();
+}
+
+}  // namespace
+
+double LatencyHistogram::Mean() const {
+  const uint64_t c = Count();
+  if (c == 0) return 0.0;
+  return static_cast<double>(Sum()) / static_cast<double>(c);
+}
+
+uint64_t LatencyHistogram::BucketLow(size_t index) {
+  if (index < 2 * kSubBuckets) return static_cast<uint64_t>(index);
+  const int msb = static_cast<int>(index >> kSubBucketBits) + kSubBucketBits - 1;
+  const uint64_t sub = static_cast<uint64_t>(index & (kSubBuckets - 1));
+  return (uint64_t{1} << msb) + (sub << (msb - kSubBucketBits));
+}
+
+uint64_t LatencyHistogram::BucketWidth(size_t index) {
+  if (index < 2 * kSubBuckets) return 1;
+  const int msb = static_cast<int>(index >> kSubBucketBits) + kSubBucketBits - 1;
+  return uint64_t{1} << (msb - kSubBucketBits);
+}
+
+double LatencyHistogram::ValueAtQuantile(double q) const {
+  const uint64_t total = Count();
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const uint64_t target = static_cast<uint64_t>(
+      std::max(1.0, std::ceil(q * static_cast<double>(total))));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[i].load(std::memory_order_relaxed);
+    if (seen >= target) {
+      const double mid = static_cast<double>(BucketLow(i)) +
+                         static_cast<double>(BucketWidth(i)) / 2.0;
+      return std::min(mid, static_cast<double>(Max()));
+    }
+  }
+  return static_cast<double>(Max());
+}
+
+void LatencyHistogram::Reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+uint64_t RegistrySnapshot::CounterValue(std::string_view name) const {
+  for (const CounterSnapshot& c : counters) {
+    if (c.name == name) return c.value;
+  }
+  return 0;
+}
+
+Registry& Registry::Get() {
+  static Registry* instance = new Registry();  // leaked: process lifetime
+  return *instance;
+}
+
+Counter* Registry::GetCounter(std::string_view name) {
+  return GetOrCreate<decltype(counters_), Counter>(mu_, counters_, name);
+}
+
+Gauge* Registry::GetGauge(std::string_view name) {
+  return GetOrCreate<decltype(gauges_), Gauge>(mu_, gauges_, name);
+}
+
+LatencyHistogram* Registry::GetHistogram(std::string_view name) {
+  return GetOrCreate<decltype(histograms_), LatencyHistogram>(
+      mu_, histograms_, name);
+}
+
+RegistrySnapshot Registry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  RegistrySnapshot out;
+  out.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    out.counters.push_back({name, counter->Value()});
+  }
+  out.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    out.gauges.push_back({name, gauge->Value()});
+  }
+  out.histograms.reserve(histograms_.size());
+  for (const auto& [name, hist] : histograms_) {
+    HistogramSnapshot h;
+    h.name = name;
+    h.count = hist->Count();
+    h.sum = hist->Sum();
+    h.max = hist->Max();
+    h.mean = hist->Mean();
+    h.p50 = hist->ValueAtQuantile(0.50);
+    h.p95 = hist->ValueAtQuantile(0.95);
+    h.p99 = hist->ValueAtQuantile(0.99);
+    out.histograms.push_back(std::move(h));
+  }
+  return out;  // std::map iteration order is already name-sorted
+}
+
+void Registry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, counter] : counters_) counter->Reset();
+  for (const auto& [name, gauge] : gauges_) gauge->Reset();
+  for (const auto& [name, hist] : histograms_) hist->Reset();
+}
+
+bool StatsCompiledIn() {
+#ifdef RANGESYN_STATS
+  return true;
+#else
+  return false;
+#endif
+}
+
+void WriteStatsJson(const RegistrySnapshot& snapshot, std::ostream& os) {
+  os << "{\"schema_version\":" << kSchemaVersion
+     << ",\"stats_compiled_in\":" << (StatsCompiledIn() ? "true" : "false")
+     << ",\"counters\":{";
+  bool first = true;
+  for (const CounterSnapshot& c : snapshot.counters) {
+    if (!first) os << ",";
+    first = false;
+    os << JsonQuote(c.name) << ":" << JsonNumber(c.value);
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const GaugeSnapshot& g : snapshot.gauges) {
+    if (!first) os << ",";
+    first = false;
+    os << JsonQuote(g.name) << ":" << JsonNumber(g.value);
+  }
+  os << "},\"histograms_ns\":{";
+  first = true;
+  for (const HistogramSnapshot& h : snapshot.histograms) {
+    if (!first) os << ",";
+    first = false;
+    os << JsonQuote(h.name) << ":{\"count\":" << JsonNumber(h.count)
+       << ",\"sum\":" << JsonNumber(h.sum) << ",\"max\":" << JsonNumber(h.max)
+       << ",\"mean\":" << JsonNumber(h.mean)
+       << ",\"p50\":" << JsonNumber(h.p50)
+       << ",\"p95\":" << JsonNumber(h.p95)
+       << ",\"p99\":" << JsonNumber(h.p99) << "}";
+  }
+  os << "}}\n";
+}
+
+Status WriteStatsJsonFile(const RegistrySnapshot& snapshot,
+                          const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return InternalError("cannot open stats output file: " + path);
+  }
+  WriteStatsJson(snapshot, out);
+  out.flush();
+  if (!out) return InternalError("failed writing stats file: " + path);
+  return OkStatus();
+}
+
+std::string FormatStatsText(const RegistrySnapshot& snapshot) {
+  std::ostringstream os;
+  if (snapshot.counters.empty() && snapshot.gauges.empty() &&
+      snapshot.histograms.empty()) {
+    os << "(no metrics recorded";
+    if (!StatsCompiledIn()) os << "; built with RANGESYN_STATS=OFF";
+    os << ")\n";
+    return os.str();
+  }
+  if (!snapshot.counters.empty()) {
+    os << "counters:\n";
+    for (const CounterSnapshot& c : snapshot.counters) {
+      os << "  " << c.name << " = " << c.value << "\n";
+    }
+  }
+  if (!snapshot.gauges.empty()) {
+    os << "gauges:\n";
+    for (const GaugeSnapshot& g : snapshot.gauges) {
+      os << "  " << g.name << " = " << g.value << "\n";
+    }
+  }
+  if (!snapshot.histograms.empty()) {
+    os << "timings (microseconds):\n";
+    for (const HistogramSnapshot& h : snapshot.histograms) {
+      os << "  " << h.name << ": count=" << h.count << " total="
+         << static_cast<double>(h.sum) / 1e3 << " p50=" << h.p50 / 1e3
+         << " p95=" << h.p95 / 1e3 << " p99=" << h.p99 / 1e3
+         << " max=" << static_cast<double>(h.max) / 1e3 << "\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace rangesyn::obs

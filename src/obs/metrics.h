@@ -1,0 +1,187 @@
+#ifndef RANGESYN_OBS_METRICS_H_
+#define RANGESYN_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/status.h"
+
+namespace rangesyn::obs {
+
+/// Monotonically increasing event count. Mutation is one relaxed atomic
+/// add, so counters can be hammered from any number of threads; reads are
+/// relaxed too (a snapshot taken concurrently with writers sees some
+/// recent value, which is all a metrics export needs).
+class Counter {
+ public:
+  void Add(uint64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void Increment() { Add(1); }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// A value that can go up and down (queue depths, live object counts).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { Set(0); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Lock-free log-scale histogram for latencies (or any non-negative
+/// magnitude). Values below 2^kSubBucketBits are recorded exactly; above
+/// that, every power-of-two octave is split into 2^kSubBucketBits linear
+/// sub-buckets (the HdrHistogram layout), so each bucket's width is at
+/// most 1/8 of its low edge. Quantile estimates return bucket midpoints,
+/// which bounds their relative error by half a bucket width (~6.25%).
+///
+/// Recording is two relaxed atomic adds plus an atomic max; the whole
+/// table is a fixed array, so there is never an allocation or a lock on
+/// the record path.
+class LatencyHistogram {
+ public:
+  static constexpr int kSubBucketBits = 3;
+  static constexpr int kSubBuckets = 1 << kSubBucketBits;  // 8
+  // Octaves 3..63 each contribute kSubBuckets buckets on top of the
+  // 2*kSubBuckets exact small-value buckets.
+  static constexpr size_t kNumBuckets =
+      static_cast<size_t>((64 - kSubBucketBits + 1) * kSubBuckets);
+
+  void Record(uint64_t value) {
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+    buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+    uint64_t prev = max_.load(std::memory_order_relaxed);
+    while (prev < value &&
+           !max_.compare_exchange_weak(prev, value,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t Sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t Max() const { return max_.load(std::memory_order_relaxed); }
+  double Mean() const;
+
+  /// Midpoint of the bucket holding the q-quantile (q in [0,1]) of the
+  /// recorded values, clamped to the observed maximum; 0 when empty.
+  double ValueAtQuantile(double q) const;
+
+  void Reset();
+
+  /// Bucket layout helpers (exposed for the accuracy-bound tests).
+  static size_t BucketIndex(uint64_t value) {
+    if (value < 2 * kSubBuckets) return static_cast<size_t>(value);
+    const int msb = 63 - std::countl_zero(value);
+    const uint64_t sub = (value >> (msb - kSubBucketBits)) & (kSubBuckets - 1);
+    return static_cast<size_t>((msb - kSubBucketBits + 1) * kSubBuckets +
+                               static_cast<int>(sub));
+  }
+  static uint64_t BucketLow(size_t index);
+  static uint64_t BucketWidth(size_t index);
+
+ private:
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> max_{0};
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+};
+
+/// Read-only copies of the registry state, taken under the registry lock.
+struct CounterSnapshot {
+  std::string name;
+  uint64_t value = 0;
+};
+
+struct GaugeSnapshot {
+  std::string name;
+  int64_t value = 0;
+};
+
+struct HistogramSnapshot {
+  std::string name;
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t max = 0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+struct RegistrySnapshot {
+  std::vector<CounterSnapshot> counters;
+  std::vector<GaugeSnapshot> gauges;
+  std::vector<HistogramSnapshot> histograms;
+
+  /// Value of the named counter, or 0 if absent.
+  uint64_t CounterValue(std::string_view name) const;
+};
+
+/// Process-wide metric registry. Metric names follow the
+/// `subsystem.phase[.detail]` convention (e.g. "histogram.dp.cells",
+/// "engine.build" — see README "Observability"). Get*() registers on
+/// first use and returns a pointer that stays valid for the process
+/// lifetime, so call sites cache it in a function-local static and the
+/// hot path never touches the registry lock again.
+class Registry {
+ public:
+  static Registry& Get();
+
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  LatencyHistogram* GetHistogram(std::string_view name);
+
+  /// Consistent-enough copy of every registered metric, sorted by name.
+  RegistrySnapshot Snapshot() const;
+
+  /// Zeroes every metric (registrations and pointers stay valid).
+  void ResetAll();
+
+ private:
+  Registry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>, std::less<>>
+      histograms_;
+};
+
+/// True when this build compiled the instrumentation macros in
+/// (RANGESYN_STATS=ON); the obs library itself is always available.
+bool StatsCompiledIn();
+
+/// Schema-versioned JSON export of a snapshot. Histogram durations are in
+/// nanoseconds, exactly as recorded.
+void WriteStatsJson(const RegistrySnapshot& snapshot, std::ostream& os);
+Status WriteStatsJsonFile(const RegistrySnapshot& snapshot,
+                          const std::string& path);
+
+/// Human-readable aligned rendering of a snapshot (used by `rangesyn
+/// stats`).
+std::string FormatStatsText(const RegistrySnapshot& snapshot);
+
+}  // namespace rangesyn::obs
+
+#endif  // RANGESYN_OBS_METRICS_H_

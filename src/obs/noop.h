@@ -1,0 +1,46 @@
+#ifndef RANGESYN_OBS_NOOP_H_
+#define RANGESYN_OBS_NOOP_H_
+
+#include <cstdint>
+#include <type_traits>
+
+namespace rangesyn::obs::noop {
+
+/// Zero-state stand-ins the RANGESYN_OBS_* macros expand to when the
+/// instrumentation is compiled out (RANGESYN_STATS=OFF). Every member is
+/// an empty inline function and every type is an empty trivially
+/// destructible object, so the disabled path carries no atomics, no
+/// clock reads and no storage — the static_asserts below are the
+/// compile-time proof (exercised by tests/obs_disabled_test.cc).
+struct Counter {
+  void Add(uint64_t) {}
+  void Increment() {}
+  static constexpr uint64_t Value() { return 0; }
+};
+
+struct Gauge {
+  void Set(int64_t) {}
+  void Add(int64_t) {}
+  static constexpr int64_t Value() { return 0; }
+};
+
+struct LatencyHistogram {
+  void Record(uint64_t) {}
+};
+
+struct ScopedSpan {
+  explicit ScopedSpan(const char*, LatencyHistogram* = nullptr) {}
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+};
+
+static_assert(std::is_empty_v<Counter> && std::is_empty_v<Gauge> &&
+                  std::is_empty_v<LatencyHistogram> &&
+                  std::is_empty_v<ScopedSpan>,
+              "disabled-path obs types must carry no state (no atomics)");
+static_assert(std::is_trivially_destructible_v<ScopedSpan>,
+              "disabled-path spans must compile to nothing");
+
+}  // namespace rangesyn::obs::noop
+
+#endif  // RANGESYN_OBS_NOOP_H_

@@ -1,0 +1,90 @@
+#ifndef RANGESYN_OBS_OBS_H_
+#define RANGESYN_OBS_OBS_H_
+
+/// Umbrella header for the observability subsystem: include this from
+/// instrumented code and use the RANGESYN_OBS_* macros below. The macro
+/// layer is what the RANGESYN_STATS CMake option gates — with stats off
+/// every macro expands to an empty statement / empty object, so hot paths
+/// compile exactly as if they were never instrumented. The obs library
+/// API itself (Registry, Tracer, exporters) is always available; it just
+/// observes nothing when the macros are disabled.
+///
+/// Naming convention: `subsystem.phase[.detail]`, e.g.
+///   histogram.dp.solve      (span)    one interval-DP solve
+///   histogram.dp.cells      (counter) DP cells filled
+///   engine.query.count      (counter) range queries answered
+/// The leading component becomes the Chrome-trace category.
+
+#include "obs/metrics.h"   // IWYU pragma: export
+#include "obs/noop.h"      // IWYU pragma: export
+#include "obs/trace.h"     // IWYU pragma: export
+
+/// Tests override this (to 0) before including obs.h to compile-check the
+/// disabled expansion inside an instrumented build; everyone else gets it
+/// from the build-wide RANGESYN_STATS definition.
+#ifndef RANGESYN_OBS_ENABLED
+#ifdef RANGESYN_STATS
+#define RANGESYN_OBS_ENABLED 1
+#else
+#define RANGESYN_OBS_ENABLED 0
+#endif
+#endif
+
+#define RANGESYN_OBS_CONCAT_IMPL_(a, b) a##b
+#define RANGESYN_OBS_CONCAT_(a, b) RANGESYN_OBS_CONCAT_IMPL_(a, b)
+
+#if RANGESYN_OBS_ENABLED
+
+/// RAII span: wall time goes to the registry histogram `name` and, when
+/// tracing is active, to the trace buffer. `name` must be a string
+/// literal (it seeds a function-local static registration).
+#define RANGESYN_OBS_SPAN(name)                                         \
+  static ::rangesyn::obs::LatencyHistogram* RANGESYN_OBS_CONCAT_(       \
+      rangesyn_obs_hist_, __LINE__) =                                   \
+      ::rangesyn::obs::Registry::Get().GetHistogram(name);              \
+  ::rangesyn::obs::ScopedSpan RANGESYN_OBS_CONCAT_(rangesyn_obs_span_,  \
+                                                   __LINE__)(           \
+      name, RANGESYN_OBS_CONCAT_(rangesyn_obs_hist_, __LINE__))
+
+#define RANGESYN_OBS_COUNTER_ADD(name, delta)                           \
+  do {                                                                  \
+    static ::rangesyn::obs::Counter* rangesyn_obs_counter =             \
+        ::rangesyn::obs::Registry::Get().GetCounter(name);              \
+    rangesyn_obs_counter->Add(static_cast<uint64_t>(delta));            \
+  } while (false)
+
+#define RANGESYN_OBS_COUNTER_INC(name) RANGESYN_OBS_COUNTER_ADD(name, 1)
+
+#define RANGESYN_OBS_GAUGE_SET(name, value)                             \
+  do {                                                                  \
+    static ::rangesyn::obs::Gauge* rangesyn_obs_gauge =                 \
+        ::rangesyn::obs::Registry::Get().GetGauge(name);                \
+    rangesyn_obs_gauge->Set(static_cast<int64_t>(value));               \
+  } while (false)
+
+#else  // !RANGESYN_OBS_ENABLED
+
+#define RANGESYN_OBS_SPAN(name)                                       \
+  ::rangesyn::obs::noop::ScopedSpan RANGESYN_OBS_CONCAT_(             \
+      rangesyn_obs_span_, __LINE__)(name)
+
+#define RANGESYN_OBS_COUNTER_ADD(name, delta) \
+  do {                                        \
+    (void)sizeof(name);                       \
+    (void)sizeof(delta);                      \
+  } while (false)
+
+#define RANGESYN_OBS_COUNTER_INC(name) \
+  do {                                 \
+    (void)sizeof(name);                \
+  } while (false)
+
+#define RANGESYN_OBS_GAUGE_SET(name, value) \
+  do {                                      \
+    (void)sizeof(name);                     \
+    (void)sizeof(value);                    \
+  } while (false)
+
+#endif  // RANGESYN_OBS_ENABLED
+
+#endif  // RANGESYN_OBS_OBS_H_

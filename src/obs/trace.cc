@@ -1,0 +1,129 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "core/logging.h"
+#include "obs/json.h"
+
+namespace rangesyn::obs {
+namespace {
+
+/// The `subsystem` component of a `subsystem.phase` span name, used as the
+/// Chrome trace category.
+std::string_view CategoryOf(std::string_view name) {
+  const size_t dot = name.find('.');
+  return dot == std::string_view::npos ? name : name.substr(0, dot);
+}
+
+}  // namespace
+
+Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+Tracer& Tracer::Get() {
+  static Tracer* instance = new Tracer();  // leaked: process lifetime
+  return *instance;
+}
+
+uint64_t Tracer::NowNs() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+void Tracer::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    buffer->events.clear();
+  }
+  dropped_.store(0, std::memory_order_relaxed);
+  epoch_ = std::chrono::steady_clock::now();
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::Stop() { enabled_.store(false, std::memory_order_relaxed); }
+
+Tracer::ThreadBuffer* Tracer::BufferForThisThread() {
+  thread_local ThreadBuffer* tls_buffer = nullptr;
+  if (tls_buffer != nullptr) return tls_buffer;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto buffer = std::make_unique<ThreadBuffer>();
+  buffer->tid = static_cast<uint32_t>(buffers_.size() + 1);
+  tls_buffer = buffer.get();
+  buffers_.push_back(std::move(buffer));
+  return tls_buffer;
+}
+
+void Tracer::Record(std::string name, uint64_t start_ns, uint64_t dur_ns) {
+  ThreadBuffer* buffer = BufferForThisThread();
+  std::lock_guard<std::mutex> lock(buffer->mu);
+  if (buffer->events.size() >= kMaxEventsPerThread) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  buffer->events.push_back(
+      TraceEvent{std::move(name), start_ns, dur_ns, buffer->tid});
+}
+
+std::vector<TraceEvent> Tracer::CollectEvents() const {
+  std::vector<TraceEvent> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& buffer : buffers_) {
+      std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+      out.insert(out.end(), buffer->events.begin(), buffer->events.end());
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.tid != b.tid) return a.tid < b.tid;
+              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+              return a.dur_ns > b.dur_ns;  // parents before children
+            });
+  return out;
+}
+
+void WriteTraceJson(std::ostream& os) {
+  const std::vector<TraceEvent> events = Tracer::Get().CollectEvents();
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    if (!first) os << ",";
+    first = false;
+    // Chrome wants microseconds; keep nanosecond precision as fractions.
+    os << "\n{\"name\":" << JsonQuote(e.name)
+       << ",\"cat\":" << JsonQuote(CategoryOf(e.name))
+       << ",\"ph\":\"X\",\"ts\":"
+       << JsonNumber(static_cast<double>(e.start_ns) / 1e3)
+       << ",\"dur\":" << JsonNumber(static_cast<double>(e.dur_ns) / 1e3)
+       << ",\"pid\":1,\"tid\":" << JsonNumber(uint64_t{e.tid}) << "}";
+  }
+  os << "\n]}\n";
+}
+
+Status WriteTraceJsonFile(const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return InternalError("cannot open trace output file: " + path);
+  }
+  WriteTraceJson(out);
+  out.flush();
+  if (!out) return InternalError("failed writing trace file: " + path);
+  return OkStatus();
+}
+
+TraceGuard::TraceGuard(std::string path) : path_(std::move(path)) {
+  if (!path_.empty()) Tracer::Get().Start();
+}
+
+TraceGuard::~TraceGuard() {
+  if (path_.empty()) return;
+  Tracer::Get().Stop();
+  if (Status s = WriteTraceJsonFile(path_); !s.ok()) {
+    RANGESYN_LOG(Warning) << "trace export failed: " << s;
+  }
+}
+
+}  // namespace rangesyn::obs

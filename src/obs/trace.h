@@ -1,0 +1,158 @@
+#ifndef RANGESYN_OBS_TRACE_H_
+#define RANGESYN_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "obs/metrics.h"
+
+namespace rangesyn::obs {
+
+/// One completed span, timestamped in nanoseconds relative to the tracing
+/// epoch (Tracer::Start). Nesting is implicit: Chrome's trace viewer and
+/// Perfetto stack complete ("ph":"X") events of one thread by interval
+/// containment, which RAII scoping guarantees.
+struct TraceEvent {
+  std::string name;
+  uint64_t start_ns = 0;
+  uint64_t dur_ns = 0;
+  uint32_t tid = 0;
+};
+
+/// Thread-safe span recorder. Recording is off by default; spans check one
+/// relaxed atomic and return, so an instrumented binary that never starts
+/// tracing pays only that load (plus the clock reads its scoped timers
+/// already make for the metrics histograms). When tracing, each thread
+/// appends to its own buffer under a per-thread mutex that only the
+/// exporter ever contends.
+class Tracer {
+ public:
+  static Tracer& Get();
+
+  /// Clears previous events and starts recording. The epoch resets, so
+  /// timestamps in a trace always start near zero.
+  void Start();
+  void Stop();
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Nanoseconds since the tracing epoch.
+  uint64_t NowNs() const;
+
+  /// Appends a completed span for the calling thread (no-op unless
+  /// enabled). Buffers are capped at kMaxEventsPerThread; excess spans are
+  /// dropped and counted.
+  void Record(std::string name, uint64_t start_ns, uint64_t dur_ns);
+
+  /// Copies out all recorded events (stop tracing first for a stable
+  /// result), ordered by (tid, start_ns).
+  std::vector<TraceEvent> CollectEvents() const;
+
+  uint64_t dropped_events() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  static constexpr size_t kMaxEventsPerThread = size_t{1} << 20;
+
+ private:
+  struct ThreadBuffer {
+    std::mutex mu;
+    uint32_t tid = 0;
+    std::vector<TraceEvent> events;
+  };
+
+  Tracer();
+  ThreadBuffer* BufferForThisThread();
+
+  std::atomic<bool> enabled_{false};
+  std::chrono::steady_clock::time_point epoch_;
+  std::atomic<uint64_t> dropped_{0};
+
+  mutable std::mutex mu_;  // guards buffers_ registration and epoch_ swap
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+};
+
+/// RAII span: measures its scope's wall time, records it into a metrics
+/// histogram (when one is supplied) and emits a trace event (when tracing
+/// is active). `name` must outlive the span — instrumentation passes
+/// string literals.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name,
+                      LatencyHistogram* histogram = nullptr)
+      : name_(name), histogram_(histogram) {
+    tracing_ = Tracer::Get().enabled();
+    if (tracing_ || histogram_ != nullptr) {
+      start_ns_ = Tracer::Get().NowNs();
+    }
+  }
+
+  ~ScopedSpan() {
+    if (!tracing_ && histogram_ == nullptr) return;
+    Tracer& tracer = Tracer::Get();
+    const uint64_t end_ns = tracer.NowNs();
+    const uint64_t dur_ns = end_ns > start_ns_ ? end_ns - start_ns_ : 0;
+    if (histogram_ != nullptr) histogram_->Record(dur_ns);
+    if (tracing_ && tracer.enabled()) {
+      tracer.Record(name_, start_ns_, dur_ns);
+    }
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_;
+  LatencyHistogram* histogram_;
+  uint64_t start_ns_ = 0;
+  bool tracing_ = false;
+};
+
+/// Plain monotonic stopwatch for code that needs a wall-time reading
+/// regardless of whether the stats instrumentation is compiled in (e.g.
+/// experiment reports).
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  void Reset() { start_ = std::chrono::steady_clock::now(); }
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Writes every recorded span in the Chrome trace-event JSON format
+/// (load via chrome://tracing or https://ui.perfetto.dev). Timestamps are
+/// microseconds; the category is the leading `subsystem` component of the
+/// span name.
+void WriteTraceJson(std::ostream& os);
+Status WriteTraceJsonFile(const std::string& path);
+
+/// RAII wrapper for the harness binaries: starts tracing when `path` is
+/// non-empty and writes the trace file on destruction (logging, not
+/// failing, on I/O errors).
+class TraceGuard {
+ public:
+  explicit TraceGuard(std::string path);
+  ~TraceGuard();
+
+  TraceGuard(const TraceGuard&) = delete;
+  TraceGuard& operator=(const TraceGuard&) = delete;
+
+ private:
+  std::string path_;
+};
+
+}  // namespace rangesyn::obs
+
+#endif  // RANGESYN_OBS_TRACE_H_

@@ -4,6 +4,7 @@
 
 #include "core/logging.h"
 #include "core/mathutil.h"
+#include "obs/obs.h"
 
 namespace rangesyn {
 namespace {
@@ -23,6 +24,7 @@ double SumSquares(double m) { return m * (m + 1.0) * (2.0 * m + 1.0) / 6.0; }
 
 Result<std::vector<double>> HaarTransform(const std::vector<double>& v) {
   RANGESYN_RETURN_IF_ERROR(CheckPow2Size(v.size()));
+  RANGESYN_OBS_SPAN("wavelet.transform");
   std::vector<double> out = v;
   std::vector<double> scratch(v.size());
   for (size_t len = v.size(); len > 1; len /= 2) {
@@ -38,6 +40,7 @@ Result<std::vector<double>> HaarTransform(const std::vector<double>& v) {
 
 Result<std::vector<double>> HaarInverse(const std::vector<double>& coeffs) {
   RANGESYN_RETURN_IF_ERROR(CheckPow2Size(coeffs.size()));
+  RANGESYN_OBS_SPAN("wavelet.inverse");
   std::vector<double> out = coeffs;
   std::vector<double> scratch(coeffs.size());
   for (size_t len = 2; len <= coeffs.size(); len *= 2) {

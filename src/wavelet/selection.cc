@@ -7,6 +7,7 @@
 
 #include "core/logging.h"
 #include "core/mathutil.h"
+#include "obs/obs.h"
 #include "wavelet/haar.h"
 
 namespace rangesyn {
@@ -74,6 +75,10 @@ Result<std::vector<double>> TransformPaddedData(
 std::vector<WaveletCoefficient> KeepTop(
     const std::vector<double>& coeffs, const std::vector<double>& scores,
     int64_t budget, int64_t first_index) {
+  RANGESYN_OBS_SPAN("wavelet.select.top");
+  RANGESYN_OBS_COUNTER_ADD("wavelet.select.candidates",
+                           static_cast<uint64_t>(coeffs.size()) -
+                               static_cast<uint64_t>(first_index));
   std::vector<int64_t> order;
   order.reserve(coeffs.size());
   for (int64_t k = first_index; k < static_cast<int64_t>(coeffs.size());
@@ -99,6 +104,8 @@ std::vector<WaveletCoefficient> KeepTop(
             [](const WaveletCoefficient& a, const WaveletCoefficient& b) {
               return a.index < b.index;
             });
+  RANGESYN_OBS_COUNTER_ADD("wavelet.coeffs.kept",
+                           static_cast<uint64_t>(out.size()));
 #ifdef RANGESYN_AUDIT
   AuditTopSelection(out, coeffs, scores, budget, first_index);
 #endif
@@ -110,6 +117,7 @@ std::vector<WaveletCoefficient> KeepTop(
 Result<WaveletSynopsis> BuildWavePoint(const std::vector<int64_t>& data,
                                        int64_t budget) {
   RANGESYN_RETURN_IF_ERROR(ValidateSelectionInput(data, budget));
+  RANGESYN_OBS_SPAN("wavelet.build.wave_point");
   RANGESYN_ASSIGN_OR_RETURN(std::vector<double> coeffs,
                             TransformPaddedData(data));
   std::vector<double> scores(coeffs.size());
@@ -125,6 +133,7 @@ Result<WaveletSynopsis> BuildWavePoint(const std::vector<int64_t>& data,
 Result<WaveletSynopsis> BuildTopBB(const std::vector<int64_t>& data,
                                    int64_t budget) {
   RANGESYN_RETURN_IF_ERROR(ValidateSelectionInput(data, budget));
+  RANGESYN_OBS_SPAN("wavelet.build.topbb");
   RANGESYN_ASSIGN_OR_RETURN(std::vector<double> coeffs,
                             TransformPaddedData(data));
   const int64_t padded = static_cast<int64_t>(coeffs.size());
@@ -142,6 +151,7 @@ Result<WaveletSynopsis> BuildTopBB(const std::vector<int64_t>& data,
 Result<WaveletSynopsis> BuildWaveRangeOpt(const std::vector<int64_t>& data,
                                           int64_t budget) {
   RANGESYN_RETURN_IF_ERROR(ValidateSelectionInput(data, budget));
+  RANGESYN_OBS_SPAN("wavelet.build.range_opt");
   const int64_t n = static_cast<int64_t>(data.size());
   const int64_t padded = static_cast<int64_t>(
       NextPowerOfTwo(static_cast<uint64_t>(n) + 1));

@@ -2,6 +2,8 @@
 // files, plus argument validation.
 
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -9,6 +11,7 @@
 
 #include "cli/commands.h"
 #include "data/io.h"
+#include "obs/obs.h"
 
 namespace rangesyn {
 namespace {
@@ -120,13 +123,72 @@ TEST_F(CliTest, ErrorsAreClean) {
                    .ok());
 }
 
+TEST_F(CliTest, StatsCommandReportsPipelineMetrics) {
+  auto stats = RunCliCommand({"stats", "--data=" + data_path_,
+                              "--method=sap1", "--budget=20"});
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_NE(stats->find("pipeline: SAP1"), std::string::npos);
+  if (obs::StatsCompiledIn()) {
+    EXPECT_NE(stats->find("histogram.dp.solves"), std::string::npos);
+    EXPECT_NE(stats->find("engine.query.count"), std::string::npos);
+  }
+}
+
+TEST_F(CliTest, StatsCommandJsonIsParseable) {
+  auto stats = RunCliCommand({"stats", "--data=" + data_path_, "--json"});
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(stats->front(), '{');
+  EXPECT_NE(stats->find("\"schema_version\":1"), std::string::npos);
+  EXPECT_NE(stats->find("\"counters\":{"), std::string::npos);
+  if (obs::StatsCompiledIn()) {
+    EXPECT_NE(stats->find("\"engine.build.count\":"), std::string::npos);
+  }
+}
+
+TEST_F(CliTest, GlobalTraceAndStatsFlagsWriteFiles) {
+  const std::string trace_path = TempPath("cli_trace.json");
+  const std::string stats_path = TempPath("cli_stats.json");
+  auto build = RunCliCommand({"build", "--data=" + data_path_,
+                              "--method=sap0", "--budget=18",
+                              "--out=" + synopsis_path_,
+                              "--trace-out=" + trace_path,
+                              "--stats-json=" + stats_path});
+  ASSERT_TRUE(build.ok()) << build.status();
+  EXPECT_NE(build->find("wrote trace -> " + trace_path),
+            std::string::npos);
+  EXPECT_NE(build->find("wrote stats -> " + stats_path),
+            std::string::npos);
+  std::ifstream trace_in(trace_path);
+  ASSERT_TRUE(trace_in.good());
+  std::stringstream trace;
+  trace << trace_in.rdbuf();
+  EXPECT_NE(trace.str().find("\"traceEvents\":["), std::string::npos);
+  if (obs::StatsCompiledIn()) {
+    EXPECT_NE(trace.str().find("\"name\":\"engine.build\""),
+              std::string::npos);
+  }
+  std::ifstream stats_in(stats_path);
+  ASSERT_TRUE(stats_in.good());
+  std::remove(trace_path.c_str());
+  std::remove(stats_path.c_str());
+}
+
 TEST(CliUsageTest, HelpPaths) {
   auto empty = RunCliCommand({});
   ASSERT_TRUE(empty.ok());
   EXPECT_NE(empty->find("usage:"), std::string::npos);
+  EXPECT_NE(empty->find("stats"), std::string::npos);
+  EXPECT_NE(empty->find("--trace-out=FILE"), std::string::npos);
+  EXPECT_NE(empty->find("--stats-json=FILE"), std::string::npos);
   auto help = RunCliCommand({"help"});
   ASSERT_TRUE(help.ok());
   EXPECT_EQ(help.value(), CliUsage());
+}
+
+TEST(CliUsageTest, UnknownFlagStillErrors) {
+  auto r = RunCliCommand({"stats", "--bogus-flag=1"});
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("unknown flag"), std::string::npos);
 }
 
 }  // namespace

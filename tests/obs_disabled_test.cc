@@ -1,0 +1,69 @@
+// Compile-time proof that the RANGESYN_OBS_* macros vanish when the
+// instrumentation is disabled. This TU forces RANGESYN_OBS_ENABLED=0
+// before including obs.h (the per-TU override obs.h documents), so even
+// in a RANGESYN_STATS=ON build it exercises the exact expansion a
+// stats-off build gets everywhere: noop spans with no state, counter and
+// gauge macros that evaluate nothing and never touch the registry.
+
+#define RANGESYN_OBS_ENABLED 0
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <type_traits>
+
+#include "obs/obs.h"
+
+namespace rangesyn::obs {
+namespace {
+
+// The disabled stand-ins carry no atomics, no clock and no storage.
+static_assert(std::is_empty_v<noop::ScopedSpan>);
+static_assert(std::is_trivially_destructible_v<noop::ScopedSpan>);
+static_assert(std::is_empty_v<noop::Counter>);
+static_assert(std::is_empty_v<noop::Gauge>);
+static_assert(std::is_empty_v<noop::LatencyHistogram>);
+
+// A side-effecting expression passed to a disabled counter macro must not
+// be evaluated (the macro only takes sizeof of it).
+uint64_t MustNotRun(bool* ran) {
+  *ran = true;
+  return 1;
+}
+
+TEST(ObsDisabledTest, MacrosCompileAndEvaluateNothing) {
+  bool ran = false;
+  {
+    RANGESYN_OBS_SPAN("obs_disabled_test.span");
+    RANGESYN_OBS_COUNTER_INC("obs_disabled_test.counter");
+    RANGESYN_OBS_COUNTER_ADD("obs_disabled_test.counter",
+                             MustNotRun(&ran));
+    RANGESYN_OBS_GAUGE_SET("obs_disabled_test.gauge", MustNotRun(&ran));
+  }
+  EXPECT_FALSE(ran);
+}
+
+TEST(ObsDisabledTest, DisabledMacrosNeverRegisterMetrics) {
+  RANGESYN_OBS_COUNTER_INC("obs_disabled_test.phantom");
+  RANGESYN_OBS_GAUGE_SET("obs_disabled_test.phantom_gauge", 9);
+  const RegistrySnapshot snapshot = Registry::Get().Snapshot();
+  EXPECT_EQ(snapshot.CounterValue("obs_disabled_test.phantom"), 0u);
+  for (const GaugeSnapshot& gauge : snapshot.gauges) {
+    EXPECT_NE(gauge.name, "obs_disabled_test.phantom_gauge");
+  }
+}
+
+TEST(ObsDisabledTest, DisabledSpansNeverTrace) {
+  Tracer& tracer = Tracer::Get();
+  tracer.Start();
+  {
+    RANGESYN_OBS_SPAN("obs_disabled_test.untraced");
+  }
+  tracer.Stop();
+  for (const TraceEvent& event : tracer.CollectEvents()) {
+    EXPECT_NE(event.name, "obs_disabled_test.untraced");
+  }
+}
+
+}  // namespace
+}  // namespace rangesyn::obs

@@ -1,0 +1,313 @@
+// Tests for the observability subsystem (src/obs/): metric registry
+// concurrency, log-scale histogram quantile accuracy bounds, tracer span
+// collection/nesting, and the JSON exporters.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/obs.h"
+
+namespace rangesyn::obs {
+namespace {
+
+// Minimal structural JSON sanity check: braces/brackets balance outside
+// string literals and the text is non-empty. Good enough to catch broken
+// quoting or truncated writes without a full parser.
+bool LooksLikeBalancedJson(const std::string& text) {
+  if (text.empty()) return false;
+  int depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  for (char c : text) {
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_string = true;
+        break;
+      case '{':
+      case '[':
+        ++depth;
+        break;
+      case '}':
+      case ']':
+        if (--depth < 0) return false;
+        break;
+      default:
+        break;
+    }
+  }
+  return depth == 0 && !in_string;
+}
+
+TEST(CounterTest, AddAndReset) {
+  Counter counter;
+  EXPECT_EQ(counter.Value(), 0u);
+  counter.Increment();
+  counter.Add(41);
+  EXPECT_EQ(counter.Value(), 42u);
+  counter.Reset();
+  EXPECT_EQ(counter.Value(), 0u);
+}
+
+TEST(GaugeTest, SetAddAndReset) {
+  Gauge gauge;
+  gauge.Set(10);
+  gauge.Add(-25);
+  EXPECT_EQ(gauge.Value(), -15);
+  gauge.Reset();
+  EXPECT_EQ(gauge.Value(), 0);
+}
+
+TEST(LatencyHistogramTest, BucketLayoutInvariants) {
+  const uint64_t samples[] = {0,   1,    7,     15,    16,      17,
+                              100, 1000, 12345, 65536, 1000000, uint64_t{1}
+                                                                    << 40};
+  for (uint64_t v : samples) {
+    const size_t index = LatencyHistogram::BucketIndex(v);
+    const uint64_t low = LatencyHistogram::BucketLow(index);
+    const uint64_t width = LatencyHistogram::BucketWidth(index);
+    ASSERT_GE(width, 1u);
+    EXPECT_LE(low, v) << "value " << v;
+    EXPECT_LT(v, low + width) << "value " << v;
+    // Log-scale guarantee: each bucket spans at most 1/8 of its low edge
+    // (exact buckets for small values have width 1).
+    if (low >= 2 * LatencyHistogram::kSubBuckets) {
+      EXPECT_LE(width * LatencyHistogram::kSubBuckets, low)
+          << "value " << v;
+    }
+  }
+}
+
+TEST(LatencyHistogramTest, CountSumMaxMean) {
+  LatencyHistogram hist;
+  hist.Record(100);
+  hist.Record(200);
+  hist.Record(300);
+  EXPECT_EQ(hist.Count(), 3u);
+  EXPECT_EQ(hist.Sum(), 600u);
+  EXPECT_EQ(hist.Max(), 300u);
+  EXPECT_DOUBLE_EQ(hist.Mean(), 200.0);
+  hist.Reset();
+  EXPECT_EQ(hist.Count(), 0u);
+  EXPECT_EQ(hist.Max(), 0u);
+  EXPECT_DOUBLE_EQ(hist.ValueAtQuantile(0.5), 0.0);
+}
+
+TEST(LatencyHistogramTest, QuantileWithinBucketErrorBound) {
+  // A point mass must be reported within half a bucket width of itself,
+  // i.e. within 1/16 (6.25%) relative error for log-scale buckets.
+  const uint64_t samples[] = {3, 40, 1000, 12345, 777777, uint64_t{1} << 31};
+  for (uint64_t v : samples) {
+    LatencyHistogram hist;
+    for (int i = 0; i < 100; ++i) hist.Record(v);
+    for (double q : {0.0, 0.5, 0.95, 0.99, 1.0}) {
+      const double estimate = hist.ValueAtQuantile(q);
+      const double error = std::abs(estimate - static_cast<double>(v));
+      EXPECT_LE(error, static_cast<double>(v) * 0.0625 + 0.5)
+          << "value " << v << " quantile " << q;
+    }
+  }
+}
+
+TEST(LatencyHistogramTest, QuantilesOrderedOnSpreadData) {
+  LatencyHistogram hist;
+  for (uint64_t v = 1; v <= 10000; ++v) hist.Record(v);
+  const double p50 = hist.ValueAtQuantile(0.50);
+  const double p95 = hist.ValueAtQuantile(0.95);
+  const double p99 = hist.ValueAtQuantile(0.99);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  // Each estimate is bucket-midpoint accurate (~6.25% relative).
+  EXPECT_NEAR(p50, 5000.0, 5000.0 * 0.07);
+  EXPECT_NEAR(p95, 9500.0, 9500.0 * 0.07);
+  EXPECT_NEAR(p99, 9900.0, 9900.0 * 0.07);
+  // Clamped to the observed maximum.
+  EXPECT_LE(hist.ValueAtQuantile(1.0), 10000.0);
+}
+
+TEST(RegistryTest, GetInternsAndPointersAreStable) {
+  Registry& registry = Registry::Get();
+  Counter* a = registry.GetCounter("obs_test.intern");
+  Counter* b = registry.GetCounter("obs_test.intern");
+  EXPECT_EQ(a, b);
+  a->Add(5);
+  registry.ResetAll();  // zeroes values, keeps registrations
+  EXPECT_EQ(registry.GetCounter("obs_test.intern"), a);
+  EXPECT_EQ(a->Value(), 0u);
+}
+
+TEST(RegistryTest, ConcurrentMixedAccess) {
+  Registry& registry = Registry::Get();
+  registry.GetCounter("obs_test.concurrent")->Reset();
+  constexpr int kThreads = 8;
+  constexpr int kIterations = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, t] {
+      // Mix registration (lock) and mutation (lock-free) across threads;
+      // every thread also hammers one shared counter and histogram.
+      Counter* shared = registry.GetCounter("obs_test.concurrent");
+      LatencyHistogram* hist = registry.GetHistogram("obs_test.latency");
+      Gauge* gauge = registry.GetGauge("obs_test.gauge");
+      for (int i = 0; i < kIterations; ++i) {
+        shared->Increment();
+        hist->Record(static_cast<uint64_t>(i % 977) + 1);
+        gauge->Set(t);
+        if (i % 100 == 0) {
+          registry.GetCounter("obs_test.concurrent")->Add(0);
+          (void)registry.Snapshot();  // readers race with writers
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const RegistrySnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.CounterValue("obs_test.concurrent"),
+            static_cast<uint64_t>(kThreads) * kIterations);
+  EXPECT_EQ(registry.GetHistogram("obs_test.latency")->Count(),
+            static_cast<uint64_t>(kThreads) * kIterations);
+}
+
+TEST(RegistryTest, SnapshotIsSortedAndQueryable) {
+  Registry& registry = Registry::Get();
+  registry.GetCounter("obs_test.zeta")->Add(1);
+  registry.GetCounter("obs_test.alpha")->Add(2);
+  const RegistrySnapshot snapshot = registry.Snapshot();
+  for (size_t i = 1; i < snapshot.counters.size(); ++i) {
+    EXPECT_LT(snapshot.counters[i - 1].name, snapshot.counters[i].name);
+  }
+  EXPECT_GE(snapshot.CounterValue("obs_test.alpha"), 2u);
+  EXPECT_EQ(snapshot.CounterValue("obs_test.no_such_counter"), 0u);
+}
+
+TEST(StatsJsonTest, SnapshotExportIsWellFormed) {
+  Registry& registry = Registry::Get();
+  registry.GetCounter("obs_test.json_counter")->Add(7);
+  registry.GetHistogram("obs_test.json_hist")->Record(1234);
+  std::ostringstream out;
+  WriteStatsJson(registry.Snapshot(), out);
+  const std::string json = out.str();
+  EXPECT_TRUE(LooksLikeBalancedJson(json)) << json;
+  EXPECT_NE(json.find("\"schema_version\""), std::string::npos);
+  EXPECT_NE(json.find("\"stats_compiled_in\""), std::string::npos);
+  EXPECT_NE(json.find("\"obs_test.json_counter\""), std::string::npos);
+  EXPECT_NE(json.find("\"obs_test.json_hist\""), std::string::npos);
+}
+
+TEST(TracerTest, SpansNestByIntervalContainment) {
+  Tracer& tracer = Tracer::Get();
+  tracer.Start();
+  {
+    ScopedSpan outer("obs_test.outer");
+    {
+      ScopedSpan inner("obs_test.inner");
+      // Make the inner span measurable on coarse clocks.
+      volatile uint64_t sink = 0;
+      for (int i = 0; i < 1000; ++i) sink = sink + static_cast<uint64_t>(i);
+    }
+  }
+  tracer.Stop();
+  const std::vector<TraceEvent> events = tracer.CollectEvents();
+  ASSERT_EQ(events.size(), 2u);
+  // CollectEvents orders by (tid, start_ns): the outer span starts first.
+  const TraceEvent& outer = events[0];
+  const TraceEvent& inner = events[1];
+  EXPECT_EQ(outer.name, "obs_test.outer");
+  EXPECT_EQ(inner.name, "obs_test.inner");
+  EXPECT_EQ(outer.tid, inner.tid);
+  EXPECT_GE(inner.start_ns, outer.start_ns);
+  EXPECT_LE(inner.start_ns + inner.dur_ns, outer.start_ns + outer.dur_ns);
+}
+
+TEST(TracerTest, RecordIsNoOpWhenDisabled) {
+  Tracer& tracer = Tracer::Get();
+  tracer.Start();
+  tracer.Stop();  // clears prior events at next Start; currently stopped
+  {
+    ScopedSpan span("obs_test.unrecorded");
+  }
+  EXPECT_TRUE(tracer.CollectEvents().empty());
+}
+
+TEST(TracerTest, TraceJsonRoundTrip) {
+  Tracer& tracer = Tracer::Get();
+  tracer.Start();
+  {
+    ScopedSpan span("histogram.obs_test_span");
+  }
+  tracer.Record("engine.obs_\"quoted\"_name", 10, 5);
+  tracer.Stop();
+  std::ostringstream out;
+  WriteTraceJson(out);
+  const std::string json = out.str();
+  EXPECT_TRUE(LooksLikeBalancedJson(json)) << json;
+  EXPECT_NE(json.find("\"displayTimeUnit\""), std::string::npos);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"histogram.obs_test_span\""), std::string::npos);
+  // The quote inside the name must come back escaped.
+  EXPECT_NE(json.find("obs_\\\"quoted\\\"_name"), std::string::npos);
+  // Category is the leading subsystem component of the span name.
+  EXPECT_NE(json.find("\"cat\":\"histogram\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+}
+
+TEST(TracerTest, StartClearsPreviousEvents) {
+  Tracer& tracer = Tracer::Get();
+  tracer.Start();
+  tracer.Record("obs_test.stale", 0, 1);
+  tracer.Stop();
+  ASSERT_EQ(tracer.CollectEvents().size(), 1u);
+  tracer.Start();
+  tracer.Stop();
+  EXPECT_TRUE(tracer.CollectEvents().empty());
+}
+
+TEST(ObsMacrosTest, MacrosFeedTheRegistryWhenCompiledIn) {
+  if (!StatsCompiledIn()) GTEST_SKIP() << "RANGESYN_STATS=OFF build";
+  Registry& registry = Registry::Get();
+  const uint64_t before =
+      registry.GetCounter("obs_test.macro_counter")->Value();
+  RANGESYN_OBS_COUNTER_INC("obs_test.macro_counter");
+  RANGESYN_OBS_COUNTER_ADD("obs_test.macro_counter", 2);
+  RANGESYN_OBS_GAUGE_SET("obs_test.macro_gauge", -3);
+  const uint64_t spans_before =
+      registry.GetHistogram("obs_test.macro_span")->Count();
+  {
+    RANGESYN_OBS_SPAN("obs_test.macro_span");
+  }
+  EXPECT_EQ(registry.GetCounter("obs_test.macro_counter")->Value(),
+            before + 3);
+  EXPECT_EQ(registry.GetGauge("obs_test.macro_gauge")->Value(), -3);
+  EXPECT_EQ(registry.GetHistogram("obs_test.macro_span")->Count(),
+            spans_before + 1);
+}
+
+TEST(StopwatchTest, MeasuresNonNegativeMonotonicTime) {
+  Stopwatch watch;
+  const double first = watch.Seconds();
+  EXPECT_GE(first, 0.0);
+  volatile uint64_t sink = 0;
+  for (int i = 0; i < 10000; ++i) sink = sink + static_cast<uint64_t>(i);
+  EXPECT_GE(watch.Seconds(), first);
+  watch.Reset();
+  EXPECT_LT(watch.Seconds(), 60.0);
+}
+
+}  // namespace
+}  // namespace rangesyn::obs

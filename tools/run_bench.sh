@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Runs the google-benchmark microbenchmarks and writes machine-readable
+# JSON records next to the human-readable console output:
+#   BENCH_construction.json / BENCH_query.json  (benchmark's native JSON)
+# Environment overrides:
+#   BUILD_DIR  build tree holding bench/ binaries   (default: build)
+#   OUT_DIR    where the JSON artifacts land        (default: .)
+#   MIN_TIME   --benchmark_min_time per benchmark, in seconds (default:
+#              unset; pass e.g. MIN_TIME=0.01 for a CI smoke run)
+set -euo pipefail
+
+BUILD_DIR="${BUILD_DIR:-build}"
+OUT_DIR="${OUT_DIR:-.}"
+
+if [[ ! -d "${BUILD_DIR}/bench" ]]; then
+  echo "error: ${BUILD_DIR}/bench not found — configure and build first:" >&2
+  echo "  cmake -B ${BUILD_DIR} -S . && cmake --build ${BUILD_DIR} -j" >&2
+  exit 1
+fi
+
+extra_args=()
+if [[ -n "${MIN_TIME:-}" ]]; then
+  extra_args+=("--benchmark_min_time=${MIN_TIME}")
+fi
+
+mkdir -p "${OUT_DIR}"
+for bench in construction query; do
+  binary="${BUILD_DIR}/bench/bench_${bench}"
+  out="${OUT_DIR}/BENCH_${bench}.json"
+  echo "== bench_${bench} -> ${out}"
+  "${binary}" \
+    --benchmark_format=console \
+    --benchmark_out_format=json \
+    --benchmark_out="${out}" \
+    "${extra_args[@]+"${extra_args[@]}"}"
+done
+
+echo "wrote ${OUT_DIR}/BENCH_construction.json ${OUT_DIR}/BENCH_query.json"
