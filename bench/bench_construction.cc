@@ -7,6 +7,7 @@
 
 #include "core/logging.h"
 #include "core/random.h"
+#include "core/threadpool.h"
 #include "data/distribution.h"
 #include "data/rounding.h"
 #include "histogram/builders.h"
@@ -17,6 +18,13 @@
 
 namespace rangesyn {
 namespace {
+
+/// Stamps the resolved worker-thread count (RANGESYN_THREADS / --threads)
+/// into the benchmark's counters so BENCH_construction.json records which
+/// pool size produced each timing.
+void RecordThreads(benchmark::State& state) {
+  state.counters["threads"] = static_cast<double>(GlobalThreads());
+}
 
 std::vector<int64_t> Dataset(int64_t n, double volume = 4000.0) {
   Rng rng(99);
@@ -38,12 +46,14 @@ void BM_BuildSap0(benchmark::State& state) {
     benchmark::DoNotOptimize(h);
   }
   state.SetComplexityN(state.range(0));
+  RecordThreads(state);
 }
 BENCHMARK(BM_BuildSap0)
     ->Args({128, 12})
     ->Args({256, 12})
     ->Args({512, 12})
     ->Args({1024, 12})
+    ->Args({1024, 64})
     ->Args({512, 6})
     ->Args({512, 24})
     ->Complexity(benchmark::oNSquared);
@@ -55,6 +65,7 @@ void BM_BuildSap1(benchmark::State& state) {
     RANGESYN_CHECK_OK(h.status());
     benchmark::DoNotOptimize(h);
   }
+  RecordThreads(state);
 }
 BENCHMARK(BM_BuildSap1)->Args({128, 12})->Args({512, 12})->Args({1024, 12});
 
@@ -65,6 +76,7 @@ void BM_BuildA0(benchmark::State& state) {
     RANGESYN_CHECK_OK(h.status());
     benchmark::DoNotOptimize(h);
   }
+  RecordThreads(state);
 }
 BENCHMARK(BM_BuildA0)->Args({128, 12})->Args({512, 12})->Args({1024, 12});
 
@@ -75,6 +87,7 @@ void BM_BuildPointOpt(benchmark::State& state) {
     RANGESYN_CHECK_OK(h.status());
     benchmark::DoNotOptimize(h);
   }
+  RecordThreads(state);
 }
 BENCHMARK(BM_BuildPointOpt)->Args({128, 12})->Args({1024, 12});
 
@@ -88,6 +101,7 @@ void BM_BuildOptA(benchmark::State& state) {
     RANGESYN_CHECK_OK(h.status());
     benchmark::DoNotOptimize(h);
   }
+  RecordThreads(state);
 }
 BENCHMARK(BM_BuildOptA)->Arg(4)->Arg(8)->Arg(12)
     ->Unit(benchmark::kMillisecond);
@@ -102,6 +116,7 @@ void BM_BuildOptARounded(benchmark::State& state) {
     RANGESYN_CHECK_OK(h.status());
     benchmark::DoNotOptimize(h);
   }
+  RecordThreads(state);
 }
 BENCHMARK(BM_BuildOptARounded)->Arg(2)->Arg(8)->Arg(32)
     ->Unit(benchmark::kMillisecond);
@@ -114,6 +129,7 @@ void BM_BuildWaveRangeOpt(benchmark::State& state) {
     benchmark::DoNotOptimize(h);
   }
   state.SetComplexityN(state.range(0));
+  RecordThreads(state);
 }
 BENCHMARK(BM_BuildWaveRangeOpt)
     ->Arg(127)
@@ -129,6 +145,7 @@ void BM_BuildTopBB(benchmark::State& state) {
     RANGESYN_CHECK_OK(h.status());
     benchmark::DoNotOptimize(h);
   }
+  RecordThreads(state);
 }
 BENCHMARK(BM_BuildTopBB)->Arg(127)->Arg(8191)->Arg(65535);
 
@@ -145,6 +162,7 @@ void BM_DynamicWaveletUpdate(benchmark::State& state) {
     RANGESYN_CHECK_OK(maintainer->ApplyUpdate(i, 1));
   }
   state.SetItemsProcessed(state.iterations());
+  RecordThreads(state);
 }
 BENCHMARK(BM_DynamicWaveletUpdate)->Arg(127)->Arg(8191)->Arg(65535);
 
@@ -157,6 +175,7 @@ void BM_ReoptPass(benchmark::State& state) {
     RANGESYN_CHECK_OK(h.status());
     benchmark::DoNotOptimize(h);
   }
+  RecordThreads(state);
 }
 BENCHMARK(BM_ReoptPass)->Args({512, 16})->Args({4096, 16})->Args({4096, 64});
 

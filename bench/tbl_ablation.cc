@@ -9,6 +9,7 @@
 #include "core/flags.h"
 #include "core/logging.h"
 #include "core/strings.h"
+#include "core/threadpool.h"
 #include "data/rounding.h"
 #include "eval/report.h"
 #include "histogram/opt_a_dp.h"
@@ -27,10 +28,16 @@ int main(int argc, char** argv) {
   flags.DefineString("json", "", "also write a schema-versioned JSON report");
   flags.DefineString("trace-out", "",
                      "write a Chrome trace (chrome://tracing) of the run");
+  flags.DefineInt64("threads", -1,
+                    "worker threads (0 = all cores, 1 = serial; -1 keeps "
+                    "the RANGESYN_THREADS env default)");
   if (Status s = flags.Parse(argc, argv); !s.ok()) {
     if (s.code() == StatusCode::kFailedPrecondition) return 0;
     std::cerr << s << "\n";
     return 1;
+  }
+  if (flags.GetInt64("threads") >= 0) {
+    SetGlobalThreads(static_cast<int>(flags.GetInt64("threads")));
   }
   obs::TraceGuard trace_guard(flags.GetString("trace-out"));
 
@@ -87,6 +94,7 @@ int main(int argc, char** argv) {
     report.AddMeta("volume", dataset_options.total_volume);
     report.AddMeta("seed", static_cast<int64_t>(dataset_options.seed));
     report.AddMeta("buckets", flags.GetInt64("buckets"));
+    report.AddMeta("threads", static_cast<int64_t>(GlobalThreads()));
     report.AddTable("ablation", table);
     RANGESYN_CHECK_OK(report.WriteJsonFile(flags.GetString("json")));
     std::cout << "# wrote JSON -> " << flags.GetString("json") << "\n";

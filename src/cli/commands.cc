@@ -5,6 +5,7 @@
 #include "core/flags.h"
 #include "core/random.h"
 #include "core/strings.h"
+#include "core/threadpool.h"
 #include "data/distribution.h"
 #include "data/io.h"
 #include "data/rounding.h"
@@ -231,6 +232,9 @@ std::string CliUsage() {
       "run\n"
       "  --stats-json=FILE  dump the metrics registry as JSON after the "
       "run\n"
+      "  --threads=N        worker threads for parallel construction "
+      "(0 = all cores, 1 = serial; default: RANGESYN_THREADS env or 0). "
+      "Results are bit-identical at every thread count.\n"
       "\n"
       "run 'rangesyn <command> --help' for per-command flags.\n";
 }
@@ -247,6 +251,15 @@ Result<std::string> RunCliCommand(const std::vector<std::string>& args) {
       trace_out = a.substr(sizeof("--trace-out=") - 1);
     } else if (a.rfind("--stats-json=", 0) == 0) {
       stats_json = a.substr(sizeof("--stats-json=") - 1);
+    } else if (a.rfind("--threads=", 0) == 0) {
+      const std::string value = a.substr(sizeof("--threads=") - 1);
+      int64_t threads = 0;
+      if (!ParseInt64(value, &threads) || threads < 0) {
+        return InvalidArgumentError(
+            StrCat("--threads: expected a non-negative integer, got '",
+                   value, "'"));
+      }
+      SetGlobalThreads(static_cast<int>(threads));
     } else {
       kept.push_back(a);
     }

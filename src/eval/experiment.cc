@@ -1,10 +1,55 @@
 #include "eval/experiment.h"
 
+#include "core/threadpool.h"
 #include "engine/serialize.h"
 #include "eval/report.h"
 #include "obs/obs.h"
 
 namespace rangesyn {
+namespace {
+
+/// Runs one (method, budget) cell of the sweep into `row` (method and
+/// budget already set). A build failure with tolerate_failures marks the
+/// row failed and returns OK; every other failure is returned as-is.
+Status RunSweepCell(const std::vector<int64_t>& data,
+                    const SweepOptions& options, ExperimentRow& row) {
+  SynopsisSpec spec;
+  spec.method = row.method;
+  spec.budget_words = row.budget_words;
+  spec.granularity = options.granularity;
+  spec.max_states = options.max_states;
+  obs::Stopwatch watch;
+  Result<RangeEstimatorPtr> built = [&] {
+    RANGESYN_OBS_SPAN("eval.sweep.build");
+    return BuildSynopsis(spec, data);
+  }();
+  row.build_seconds = watch.Seconds();
+  if (!built.ok()) {
+    if (!options.tolerate_failures) return built.status();
+    row.failed = true;
+    row.failure = built.status().ToString();
+    return OkStatus();
+  }
+  const RangeEstimatorPtr& est = built.value();
+  row.actual_words = est->StorageWords();
+  watch.Reset();
+  {
+    RANGESYN_OBS_SPAN("eval.sweep.query");
+    RANGESYN_ASSIGN_OR_RETURN(row.all_ranges, AllRangesStats(data, *est));
+  }
+  row.query_seconds = watch.Seconds();
+  watch.Reset();
+  {
+    RANGESYN_OBS_SPAN("eval.sweep.serialize");
+    RANGESYN_ASSIGN_OR_RETURN(const std::string bytes,
+                              SerializeSynopsis(*est));
+    row.serialized_bytes = static_cast<int64_t>(bytes.size());
+  }
+  row.serialize_seconds = watch.Seconds();
+  return OkStatus();
+}
+
+}  // namespace
 
 Result<std::vector<ExperimentRow>> RunStorageSweep(
     const std::vector<int64_t>& data, const SweepOptions& options) {
@@ -12,50 +57,29 @@ Result<std::vector<ExperimentRow>> RunStorageSweep(
     return InvalidArgumentError("RunStorageSweep: empty grid");
   }
   RANGESYN_OBS_SPAN("eval.sweep");
-  std::vector<ExperimentRow> rows;
-  rows.reserve(options.methods.size() * options.budgets_words.size());
-  for (const std::string& method : options.methods) {
-    for (int64_t budget : options.budgets_words) {
-      ExperimentRow row;
-      row.method = method;
-      row.budget_words = budget;
-      SynopsisSpec spec;
-      spec.method = method;
-      spec.budget_words = budget;
-      spec.granularity = options.granularity;
-      spec.max_states = options.max_states;
-      obs::Stopwatch watch;
-      Result<RangeEstimatorPtr> built = [&] {
-        RANGESYN_OBS_SPAN("eval.sweep.build");
-        return BuildSynopsis(spec, data);
-      }();
-      row.build_seconds = watch.Seconds();
-      if (!built.ok()) {
-        if (!options.tolerate_failures) return built.status();
-        row.failed = true;
-        row.failure = built.status().ToString();
-        rows.push_back(std::move(row));
-        continue;
-      }
-      const RangeEstimatorPtr& est = built.value();
-      row.actual_words = est->StorageWords();
-      watch.Reset();
-      {
-        RANGESYN_OBS_SPAN("eval.sweep.query");
-        RANGESYN_ASSIGN_OR_RETURN(row.all_ranges,
-                                  AllRangesStats(data, *est));
-      }
-      row.query_seconds = watch.Seconds();
-      watch.Reset();
-      {
-        RANGESYN_OBS_SPAN("eval.sweep.serialize");
-        RANGESYN_ASSIGN_OR_RETURN(const std::string bytes,
-                                  SerializeSynopsis(*est));
-        row.serialized_bytes = static_cast<int64_t>(bytes.size());
-      }
-      row.serialize_seconds = watch.Seconds();
-      rows.push_back(std::move(row));
+  // Cells are independent, so the (method x budget) grid fans out over the
+  // pool, one cell per chunk. Every row slot is pre-addressed by its grid
+  // index: output order, and which cell's error wins when several fail, are
+  // fixed by the grid alone, never by thread timing.
+  const int64_t num_budgets =
+      static_cast<int64_t>(options.budgets_words.size());
+  const int64_t num_cells =
+      static_cast<int64_t>(options.methods.size()) * num_budgets;
+  std::vector<ExperimentRow> rows(static_cast<size_t>(num_cells));
+  std::vector<Status> statuses(static_cast<size_t>(num_cells));
+  ParallelFor(0, num_cells, /*grain=*/1, [&](int64_t lo, int64_t hi) {
+    for (int64_t cell = lo; cell < hi; ++cell) {
+      ExperimentRow& row = rows[static_cast<size_t>(cell)];
+      row.method = options.methods[static_cast<size_t>(cell / num_budgets)];
+      row.budget_words =
+          options.budgets_words[static_cast<size_t>(cell % num_budgets)];
+      statuses[static_cast<size_t>(cell)] =
+          RunSweepCell(data, options, row);
     }
+  });
+  // First error in grid order wins, matching the serial early return.
+  for (const Status& status : statuses) {
+    RANGESYN_RETURN_IF_ERROR(status);
   }
   return rows;
 }

@@ -4,8 +4,11 @@
 #include <cmath>
 #include <limits>
 
+#include <atomic>
+
 #include "core/logging.h"
 #include "core/mathutil.h"
+#include "core/threadpool.h"
 #include "obs/obs.h"
 
 namespace rangesyn {
@@ -75,35 +78,52 @@ DpTable RunDp(int64_t n, int64_t max_buckets, const BucketCostFn& cost) {
   t.parent.assign(static_cast<size_t>(max_buckets) + 1,
                   std::vector<int64_t>(static_cast<size_t>(n) + 1, -1));
   t.best[0][0] = 0.0;
-  // Instrumentation is accumulated locally and flushed once per solve so
-  // the O(n^2 B) inner loop never touches an atomic.
-  uint64_t cells = 0;
-  uint64_t transitions = 0;
+  // Row k depends only on row k-1, so each row fills its cells in parallel
+  // over the end index i. A cell's inner minimization scans boundaries j
+  // in ascending order with a strict '<', exactly as the serial loop does,
+  // so ties break toward the lowest j no matter how cells are distributed
+  // over threads: the parallel table (and hence the reconstructed
+  // partition and cost) is bit-identical to a serial fill.
+  //
+  // Instrumentation is accumulated per chunk and flushed with two atomic
+  // adds, so the O(n^2 B) inner loop never touches an atomic.
+  std::atomic<uint64_t> cells{0};
+  std::atomic<uint64_t> transitions{0};
+  // ~8 chunks per thread bound scheduling overhead while the triangular
+  // work profile (cell i costs O(i)) still load-balances via chunk claims.
+  const int64_t grain = std::max<int64_t>(
+      8, (n + 1) / (8 * static_cast<int64_t>(GlobalThreads())));
   for (int64_t k = 1; k <= max_buckets; ++k) {
     auto& bk = t.best[static_cast<size_t>(k)];
     auto& pk = t.parent[static_cast<size_t>(k)];
     const auto& prev = t.best[static_cast<size_t>(k - 1)];
-    for (int64_t i = k; i <= n; ++i) {
-      ++cells;
-      double best_cost = kInf;
-      int64_t best_j = -1;
-      for (int64_t j = k - 1; j < i; ++j) {
-        const double pj = prev[static_cast<size_t>(j)];
-        if (pj == kInf) continue;
-        ++transitions;
-        const double c = pj + cost(j + 1, i);
-        if (c < best_cost) {
-          best_cost = c;
-          best_j = j;
+    ParallelFor(k, n + 1, grain, [&](int64_t i_begin, int64_t i_end) {
+      uint64_t chunk_cells = 0;
+      uint64_t chunk_transitions = 0;
+      for (int64_t i = i_begin; i < i_end; ++i) {
+        ++chunk_cells;
+        double best_cost = kInf;
+        int64_t best_j = -1;
+        for (int64_t j = k - 1; j < i; ++j) {
+          const double pj = prev[static_cast<size_t>(j)];
+          if (pj == kInf) continue;
+          ++chunk_transitions;
+          const double c = pj + cost(j + 1, i);
+          if (c < best_cost) {
+            best_cost = c;
+            best_j = j;
+          }
         }
+        bk[static_cast<size_t>(i)] = best_cost;
+        pk[static_cast<size_t>(i)] = best_j;
       }
-      bk[static_cast<size_t>(i)] = best_cost;
-      pk[static_cast<size_t>(i)] = best_j;
-    }
+      cells.fetch_add(chunk_cells, std::memory_order_relaxed);
+      transitions.fetch_add(chunk_transitions, std::memory_order_relaxed);
+    });
   }
   RANGESYN_OBS_COUNTER_INC("histogram.dp.solves");
-  RANGESYN_OBS_COUNTER_ADD("histogram.dp.cells", cells);
-  RANGESYN_OBS_COUNTER_ADD("histogram.dp.transitions", transitions);
+  RANGESYN_OBS_COUNTER_ADD("histogram.dp.cells", cells.load());
+  RANGESYN_OBS_COUNTER_ADD("histogram.dp.transitions", transitions.load());
   return t;
 }
 

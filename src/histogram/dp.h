@@ -11,7 +11,9 @@
 namespace rangesyn {
 
 /// Additive bucket cost oracle: cost of making [l, r] (1-based, inclusive)
-/// one bucket. Must be defined for all 1 <= l <= r <= n.
+/// one bucket. Must be defined for all 1 <= l <= r <= n, and must be safe
+/// to invoke concurrently (the DP row fills are parallelized; the stock
+/// BucketCosts/WeightedPointCosts oracles are pure reads and qualify).
 using BucketCostFn = std::function<double(int64_t l, int64_t r)>;
 
 /// Result of an interval-partition dynamic program.

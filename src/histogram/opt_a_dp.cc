@@ -9,6 +9,7 @@
 #include "core/logging.h"
 #include "core/mathutil.h"
 #include "core/strings.h"
+#include "core/threadpool.h"
 #include "histogram/builders.h"
 #include "histogram/prefix_stats.h"
 #include "obs/obs.h"
@@ -44,68 +45,76 @@ class BucketTables {
     // windows starting at <= a of s[start, start+len-1], cw2 the squares.
     std::vector<std::vector<double>> cw(static_cast<size_t>(n_) + 1);
     std::vector<std::vector<double>> cw2(static_cast<size_t>(n_) + 1);
-    for (int64_t len = 1; len <= n_; ++len) {
-      const int64_t count = n_ - len + 1;
-      auto& c = cw[static_cast<size_t>(len)];
-      auto& c2 = cw2[static_cast<size_t>(len)];
-      c.assign(static_cast<size_t>(count) + 1, 0.0);
-      c2.assign(static_cast<size_t>(count) + 1, 0.0);
-      for (int64_t a = 1; a <= count; ++a) {
-        const double w = static_cast<double>(stats_.Sum(a, a + len - 1));
-        c[static_cast<size_t>(a)] = c[static_cast<size_t>(a - 1)] + w;
-        c2[static_cast<size_t>(a)] = c2[static_cast<size_t>(a - 1)] + w * w;
+    // Each window length's prefix array is independent; so is each row l
+    // of the per-bucket tables below. All writes are index-disjoint, so
+    // the parallel fill is bit-identical to the serial one.
+    ParallelFor(1, n_ + 1, /*grain=*/8, [&](int64_t lo, int64_t hi) {
+      for (int64_t len = lo; len < hi; ++len) {
+        const int64_t count = n_ - len + 1;
+        auto& c = cw[static_cast<size_t>(len)];
+        auto& c2 = cw2[static_cast<size_t>(len)];
+        c.assign(static_cast<size_t>(count) + 1, 0.0);
+        c2.assign(static_cast<size_t>(count) + 1, 0.0);
+        for (int64_t a = 1; a <= count; ++a) {
+          const double w = static_cast<double>(stats_.Sum(a, a + len - 1));
+          c[static_cast<size_t>(a)] = c[static_cast<size_t>(a - 1)] + w;
+          c2[static_cast<size_t>(a)] =
+              c2[static_cast<size_t>(a - 1)] + w * w;
+        }
       }
-    }
+    });
 
-    for (int64_t l = 1; l <= n_; ++l) {
-      for (int64_t r = l; r <= n_; ++r) {
-        const size_t idx = Index(l, r);
-        const int64_t m = r - l + 1;
-        const int64_t sum = stats_.Sum(l, r);
-        const double mu =
-            static_cast<double>(sum) / static_cast<double>(m);
+    ParallelFor(1, n_ + 1, /*grain=*/1, [&](int64_t l_lo, int64_t l_hi) {
+      for (int64_t l = l_lo; l < l_hi; ++l) {
+        for (int64_t r = l; r <= n_; ++r) {
+          const size_t idx = Index(l, r);
+          const int64_t m = r - l + 1;
+          const int64_t sum = stats_.Sum(l, r);
+          const double mu =
+              static_cast<double>(sum) / static_cast<double>(m);
 
-        // Intra-bucket SSE, grouped by range length: the rounded answer
-        // ⟦len*mu⟧ is constant per length.
-        double intra = 0.0;
-        for (int64_t len = 1; len <= m; ++len) {
-          const double t = static_cast<double>(
-              RoundHalfToEven(static_cast<double>(len) * mu));
-          const int64_t lo = l;          // first window start inside bucket
-          const int64_t hi = r - len + 1;  // last window start
-          const auto& c = cw[static_cast<size_t>(len)];
-          const auto& c2 = cw2[static_cast<size_t>(len)];
-          const double s1 = c[static_cast<size_t>(hi)] -
-                            c[static_cast<size_t>(lo - 1)];
-          const double s2 = c2[static_cast<size_t>(hi)] -
-                            c2[static_cast<size_t>(lo - 1)];
-          const double cnt = static_cast<double>(hi - lo + 1);
-          intra += s2 - 2.0 * t * s1 + cnt * t * t;
-        }
-        intra_[idx] = intra;
+          // Intra-bucket SSE, grouped by range length: the rounded answer
+          // ⟦len*mu⟧ is constant per length.
+          double intra = 0.0;
+          for (int64_t len = 1; len <= m; ++len) {
+            const double t = static_cast<double>(
+                RoundHalfToEven(static_cast<double>(len) * mu));
+            const int64_t lo = l;          // first window start inside bucket
+            const int64_t hi = r - len + 1;  // last window start
+            const auto& c = cw[static_cast<size_t>(len)];
+            const auto& c2 = cw2[static_cast<size_t>(len)];
+            const double s1 = c[static_cast<size_t>(hi)] -
+                              c[static_cast<size_t>(lo - 1)];
+            const double s2 = c2[static_cast<size_t>(hi)] -
+                              c2[static_cast<size_t>(lo - 1)];
+            const double cnt = static_cast<double>(hi - lo + 1);
+            intra += s2 - 2.0 * t * s1 + cnt * t * t;
+          }
+          intra_[idx] = intra;
 
-        int64_t su = 0, sv = 0;
-        double su2 = 0.0, sv2 = 0.0;
-        for (int64_t a = l; a <= r; ++a) {
-          const int64_t u =
-              stats_.Sum(a, r) -
-              RoundHalfToEven(static_cast<double>(r - a + 1) * mu);
-          su += u;
-          su2 += static_cast<double>(u) * static_cast<double>(u);
+          int64_t su = 0, sv = 0;
+          double su2 = 0.0, sv2 = 0.0;
+          for (int64_t a = l; a <= r; ++a) {
+            const int64_t u =
+                stats_.Sum(a, r) -
+                RoundHalfToEven(static_cast<double>(r - a + 1) * mu);
+            su += u;
+            su2 += static_cast<double>(u) * static_cast<double>(u);
+          }
+          for (int64_t b = l; b <= r; ++b) {
+            const int64_t v =
+                stats_.Sum(l, b) -
+                RoundHalfToEven(static_cast<double>(b - l + 1) * mu);
+            sv += v;
+            sv2 += static_cast<double>(v) * static_cast<double>(v);
+          }
+          su_[idx] = su;
+          su2_[idx] = su2;
+          sv_[idx] = sv;
+          sv2_[idx] = sv2;
         }
-        for (int64_t b = l; b <= r; ++b) {
-          const int64_t v =
-              stats_.Sum(l, b) -
-              RoundHalfToEven(static_cast<double>(b - l + 1) * mu);
-          sv += v;
-          sv2 += static_cast<double>(v) * static_cast<double>(v);
-        }
-        su_[idx] = su;
-        su2_[idx] = su2;
-        sv_[idx] = sv;
-        sv2_[idx] = sv2;
       }
-    }
+    });
     RANGESYN_OBS_COUNTER_ADD("histogram.opta.bucket_evals", tri);
   }
 
@@ -203,26 +212,32 @@ class SuffixCrossBounds {
       min_v_[static_cast<size_t>(r)][static_cast<size_t>(n_)] = 0.0;
       max_v_[static_cast<size_t>(r)][static_cast<size_t>(n_)] = 0.0;
     }
+    // Layer r reads only layer r-1, so its cells fill in parallel over i
+    // (index-disjoint writes; bit-identical to the serial backward sweep).
     for (int64_t r = 1; r <= max_b_; ++r) {
-      for (int64_t i = n_ - 1; i >= 0; --i) {
-        double lo = min_v_[static_cast<size_t>(r - 1)][static_cast<size_t>(i)];
-        double hi = max_v_[static_cast<size_t>(r - 1)][static_cast<size_t>(i)];
-        for (int64_t e = i + 1; e <= n_; ++e) {
-          const double sv = static_cast<double>(tables.SumV(i + 1, e));
-          const double rest_lo =
-              (e == n_) ? 0.0
-                        : min_v_[static_cast<size_t>(r - 1)]
-                                [static_cast<size_t>(e)];
-          const double rest_hi =
-              (e == n_) ? 0.0
-                        : max_v_[static_cast<size_t>(r - 1)]
-                                [static_cast<size_t>(e)];
-          if (rest_lo != kInf) lo = std::min(lo, sv + rest_lo);
-          if (rest_hi != -kInf) hi = std::max(hi, sv + rest_hi);
+      ParallelFor(0, n_, /*grain=*/8, [&](int64_t i_lo, int64_t i_hi) {
+        for (int64_t i = i_lo; i < i_hi; ++i) {
+          double lo =
+              min_v_[static_cast<size_t>(r - 1)][static_cast<size_t>(i)];
+          double hi =
+              max_v_[static_cast<size_t>(r - 1)][static_cast<size_t>(i)];
+          for (int64_t e = i + 1; e <= n_; ++e) {
+            const double sv = static_cast<double>(tables.SumV(i + 1, e));
+            const double rest_lo =
+                (e == n_) ? 0.0
+                          : min_v_[static_cast<size_t>(r - 1)]
+                                  [static_cast<size_t>(e)];
+            const double rest_hi =
+                (e == n_) ? 0.0
+                          : max_v_[static_cast<size_t>(r - 1)]
+                                  [static_cast<size_t>(e)];
+            if (rest_lo != kInf) lo = std::min(lo, sv + rest_lo);
+            if (rest_hi != -kInf) hi = std::max(hi, sv + rest_hi);
+          }
+          min_v_[static_cast<size_t>(r)][static_cast<size_t>(i)] = lo;
+          max_v_[static_cast<size_t>(r)][static_cast<size_t>(i)] = hi;
         }
-        min_v_[static_cast<size_t>(r)][static_cast<size_t>(i)] = lo;
-        max_v_[static_cast<size_t>(r)][static_cast<size_t>(i)] = hi;
-      }
+      });
     }
   }
 
@@ -358,56 +373,70 @@ Result<OptAResult> BuildOptA(const std::vector<int64_t>& data,
   cells[0][0].push_back({0, 0.0, -1});
   uint64_t states = 1;
 
-  std::unordered_map<int64_t, Entry> tmp;
+  // Layer k reads only the pruned cells of layer k-1, so its cells build
+  // in parallel over the end index i. Each cell's pipeline is a pure
+  // function of layer k-1: the per-cell map records the best entry per
+  // lambda with ascending-j scan order and a strict '<' (ties keep the
+  // lowest j), and the collected states are sorted by their unique lambda
+  // key before pruning, so neither the thread count nor the map's
+  // iteration order can change which states survive. State accounting
+  // (and the budget check) happens serially in index order after each
+  // layer, preserving the serial error behavior.
   for (int64_t k = 1; k <= max_b; ++k) {
     // At the last layer only terminal cells matter; for exact-buckets mode
     // intermediate layers never terminate, but their i=n cells are still
     // cheap and keep the code uniform.
-    const int64_t i_lo = k;
-    const int64_t i_hi = n;
-    for (int64_t i = i_lo; i <= i_hi; ++i) {
-      if (k == max_b && i != n) continue;
-      tmp.clear();
-      for (int64_t j = k - 1; j < i; ++j) {
-        const auto& src =
-            cells[static_cast<size_t>(k - 1)][static_cast<size_t>(j)];
-        if (src.empty()) continue;
-        const int64_t l = j + 1;
-        const int64_t du = tables.SumU(l, i);
-        const double base = tables.K(l, i);
-        const double sv2 = 2.0 * static_cast<double>(tables.SumV(l, i));
-        for (const LambdaState& s : src) {
-          const int64_t new_lambda = s.lambda + du;
-          if (std::llabs(new_lambda) > lambda_cap) continue;
-          const double cost =
-              s.cost + base + static_cast<double>(s.lambda) * sv2;
-          auto [it, inserted] = tmp.try_emplace(new_lambda, Entry{cost, j});
-          if (!inserted && cost < it->second.cost) {
-            it->second = Entry{cost, j};
+    ParallelFor(k, n + 1, /*grain=*/1, [&](int64_t i_lo, int64_t i_hi) {
+      std::unordered_map<int64_t, Entry> tmp;
+      for (int64_t i = i_lo; i < i_hi; ++i) {
+        if (k == max_b && i != n) continue;
+        tmp.clear();
+        for (int64_t j = k - 1; j < i; ++j) {
+          const auto& src =
+              cells[static_cast<size_t>(k - 1)][static_cast<size_t>(j)];
+          if (src.empty()) continue;
+          const int64_t l = j + 1;
+          const int64_t du = tables.SumU(l, i);
+          const double base = tables.K(l, i);
+          const double sv2 = 2.0 * static_cast<double>(tables.SumV(l, i));
+          for (const LambdaState& s : src) {
+            const int64_t new_lambda = s.lambda + du;
+            if (std::llabs(new_lambda) > lambda_cap) continue;
+            const double cost =
+                s.cost + base + static_cast<double>(s.lambda) * sv2;
+            auto [it, inserted] =
+                tmp.try_emplace(new_lambda, Entry{cost, j});
+            if (!inserted && cost < it->second.cost) {
+              it->second = Entry{cost, j};
+            }
           }
         }
-      }
-      if (tmp.empty()) continue;
-      std::vector<LambdaState> cell;
-      cell.reserve(tmp.size());
-      for (const auto& [lambda, entry] : tmp) {
-        cell.push_back({lambda, entry.cost, static_cast<int32_t>(entry.j)});
-      }
-      const int64_t remaining = max_b - k;
-      const double vmin = (i == n) ? 0.0 : bounds.MinV(i, remaining);
-      const double vmax = (i == n) ? 0.0 : bounds.MaxV(i, remaining);
-      // A cell with no feasible completion (i < n, remaining == 0) is dead.
-      if (i < n && (vmin == kInf || vmax == -kInf)) continue;
-      if (options.enable_dominance_prune) {
-        cell = PruneCell(std::move(cell), vmin, vmax);
-      } else {
+        if (tmp.empty()) continue;
+        std::vector<LambdaState> cell;
+        cell.reserve(tmp.size());
+        for (const auto& [lambda, entry] : tmp) {
+          cell.push_back(
+              {lambda, entry.cost, static_cast<int32_t>(entry.j)});
+        }
+        // Deterministic pruning input regardless of hash-map order.
         std::sort(cell.begin(), cell.end(),
                   [](const LambdaState& a, const LambdaState& b) {
                     return a.lambda < b.lambda;
                   });
+        const int64_t remaining = max_b - k;
+        const double vmin = (i == n) ? 0.0 : bounds.MinV(i, remaining);
+        const double vmax = (i == n) ? 0.0 : bounds.MaxV(i, remaining);
+        // A cell with no feasible completion (i < n, remaining == 0) is
+        // dead.
+        if (i < n && (vmin == kInf || vmax == -kInf)) continue;
+        if (options.enable_dominance_prune) {
+          cell = PruneCell(std::move(cell), vmin, vmax);
+        }
+        cells[static_cast<size_t>(k)][static_cast<size_t>(i)] =
+            std::move(cell);
       }
-      cells[static_cast<size_t>(k)][static_cast<size_t>(i)] =
-          std::move(cell);
+    });
+    for (int64_t i = k; i <= n; ++i) {
       states +=
           cells[static_cast<size_t>(k)][static_cast<size_t>(i)].size();
       if (states > options.max_states) {

@@ -4,12 +4,20 @@
 
 #include "core/logging.h"
 #include "core/mathutil.h"
+#include "core/threadpool.h"
 #include "obs/obs.h"
 
 namespace rangesyn {
 namespace {
 
 constexpr double kInvSqrt2 = 0.7071067811865475244;
+
+/// Minimum butterfly-pair count before a transform level fans out to the
+/// pool; below this the ParallelFor runs inline anyway and the constant
+/// keeps tiny transforms (the common n=128 paper scale) zero-overhead.
+/// Each pair writes two disjoint scratch slots, so the parallel level is
+/// bit-identical to the serial one.
+constexpr size_t kLevelGrain = 4096;
 
 Status CheckPow2Size(size_t size) {
   if (size == 0 || !IsPowerOfTwo(static_cast<uint64_t>(size))) {
@@ -29,10 +37,17 @@ Result<std::vector<double>> HaarTransform(const std::vector<double>& v) {
   std::vector<double> scratch(v.size());
   for (size_t len = v.size(); len > 1; len /= 2) {
     const size_t half = len / 2;
-    for (size_t i = 0; i < half; ++i) {
-      scratch[i] = (out[2 * i] + out[2 * i + 1]) * kInvSqrt2;          // avg
-      scratch[half + i] = (out[2 * i] - out[2 * i + 1]) * kInvSqrt2;   // det
-    }
+    ParallelFor(0, static_cast<int64_t>(half),
+                static_cast<int64_t>(kLevelGrain),
+                [&](int64_t lo, int64_t hi) {
+                  for (size_t i = static_cast<size_t>(lo);
+                       i < static_cast<size_t>(hi); ++i) {
+                    scratch[i] =
+                        (out[2 * i] + out[2 * i + 1]) * kInvSqrt2;  // avg
+                    scratch[half + i] =
+                        (out[2 * i] - out[2 * i + 1]) * kInvSqrt2;  // det
+                  }
+                });
     for (size_t i = 0; i < len; ++i) out[i] = scratch[i];
   }
   return out;
@@ -45,10 +60,16 @@ Result<std::vector<double>> HaarInverse(const std::vector<double>& coeffs) {
   std::vector<double> scratch(coeffs.size());
   for (size_t len = 2; len <= coeffs.size(); len *= 2) {
     const size_t half = len / 2;
-    for (size_t i = 0; i < half; ++i) {
-      scratch[2 * i] = (out[i] + out[half + i]) * kInvSqrt2;
-      scratch[2 * i + 1] = (out[i] - out[half + i]) * kInvSqrt2;
-    }
+    ParallelFor(0, static_cast<int64_t>(half),
+                static_cast<int64_t>(kLevelGrain),
+                [&](int64_t lo, int64_t hi) {
+                  for (size_t i = static_cast<size_t>(lo);
+                       i < static_cast<size_t>(hi); ++i) {
+                    scratch[2 * i] = (out[i] + out[half + i]) * kInvSqrt2;
+                    scratch[2 * i + 1] =
+                        (out[i] - out[half + i]) * kInvSqrt2;
+                  }
+                });
     for (size_t i = 0; i < len; ++i) out[i] = scratch[i];
   }
   return out;

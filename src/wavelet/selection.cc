@@ -7,6 +7,7 @@
 
 #include "core/logging.h"
 #include "core/mathutil.h"
+#include "core/threadpool.h"
 #include "obs/obs.h"
 #include "wavelet/haar.h"
 
@@ -72,6 +73,13 @@ Result<std::vector<double>> TransformPaddedData(
 
 /// Keeps the `budget` coefficients with the largest `score`, breaking ties
 /// toward lower indices (coarser coefficients) for determinism.
+///
+/// Large candidate sets are sharded over the pool: each shard keeps its
+/// own top-`keep` via partial_sort, and the shard winners (gathered in
+/// shard index order) go through one final partial_sort. The comparator
+/// (score desc, index asc) is a strict total order — indices are unique —
+/// so the global top-`keep` set is unique and every sharding, including
+/// the serial "one shard" run, selects exactly the same coefficients.
 std::vector<WaveletCoefficient> KeepTop(
     const std::vector<double>& coeffs, const std::vector<double>& scores,
     int64_t budget, int64_t first_index) {
@@ -79,21 +87,45 @@ std::vector<WaveletCoefficient> KeepTop(
   RANGESYN_OBS_COUNTER_ADD("wavelet.select.candidates",
                            static_cast<uint64_t>(coeffs.size()) -
                                static_cast<uint64_t>(first_index));
+  const auto better = [&scores](int64_t x, int64_t y) {
+    const double sx = scores[static_cast<size_t>(x)];
+    const double sy = scores[static_cast<size_t>(y)];
+    if (sx != sy) return sx > sy;
+    return x < y;
+  };
+  const int64_t size = static_cast<int64_t>(coeffs.size());
+  const int64_t total = size - first_index;
+  const size_t keep =
+      std::min<size_t>(static_cast<size_t>(budget),
+                       static_cast<size_t>(std::max<int64_t>(total, 0)));
+  // Shards must dominate the per-shard keep for the split to pay off.
+  const int64_t grain =
+      std::max<int64_t>(4096, static_cast<int64_t>(keep) * 4);
+  const int64_t num_shards = total <= 0 ? 0 : (total + grain - 1) / grain;
   std::vector<int64_t> order;
-  order.reserve(coeffs.size());
-  for (int64_t k = first_index; k < static_cast<int64_t>(coeffs.size());
-       ++k) {
-    order.push_back(k);
+  if (num_shards > 1) {
+    std::vector<std::vector<int64_t>> shard_top(
+        static_cast<size_t>(num_shards));
+    ParallelFor(first_index, size, grain, [&](int64_t lo, int64_t hi) {
+      std::vector<int64_t> local;
+      local.reserve(static_cast<size_t>(hi - lo));
+      for (int64_t k = lo; k < hi; ++k) local.push_back(k);
+      const size_t shard_keep = std::min(keep, local.size());
+      std::partial_sort(local.begin(), local.begin() + shard_keep,
+                        local.end(), better);
+      local.resize(shard_keep);
+      shard_top[static_cast<size_t>((lo - first_index) / grain)] =
+          std::move(local);
+    });
+    for (const std::vector<int64_t>& top : shard_top) {
+      order.insert(order.end(), top.begin(), top.end());
+    }
+  } else {
+    order.reserve(static_cast<size_t>(std::max<int64_t>(total, 0)));
+    for (int64_t k = first_index; k < size; ++k) order.push_back(k);
   }
-  const size_t keep = std::min<size_t>(static_cast<size_t>(budget),
-                                       order.size());
   std::partial_sort(order.begin(), order.begin() + keep, order.end(),
-                    [&scores](int64_t x, int64_t y) {
-                      const double sx = scores[static_cast<size_t>(x)];
-                      const double sy = scores[static_cast<size_t>(y)];
-                      if (sx != sy) return sx > sy;
-                      return x < y;
-                    });
+                    better);
   std::vector<WaveletCoefficient> out;
   out.reserve(keep);
   for (size_t i = 0; i < keep; ++i) {

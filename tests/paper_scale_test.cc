@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/threadpool.h"
 #include "data/rounding.h"
 #include "eval/metrics.h"
 #include "histogram/builders.h"
@@ -121,6 +122,59 @@ TEST_F(PaperScaleTest, RoundedDpTracksExactAtModerateGranularity) {
       AllRangesSse(data_, rounded->histogram).value();
   EXPECT_LE(sse_rounded, 1.25 * sse_exact + 1e4);
   EXPECT_LT(rounded->states_explored, exact->states_explored);
+}
+
+// [slow] End-to-end determinism at the paper's scale: the full 127-key
+// Zipf(1.8) constructions on an 8-thread pool must reproduce the serial
+// goldens bit for bit — SSE values compared with ==, partitions and
+// coefficient sets structurally equal. (The whole binary carries the
+// `slow` ctest label; filter with `ctest -L slow` / `-LE slow`.)
+TEST_F(PaperScaleTest, ParallelConstructionMatchesSerialGoldenEndToEnd) {
+  OptAOptions options;
+  options.max_buckets = 8;
+
+  SetGlobalThreads(1);
+  auto golden_opta = BuildOptA(data_, options);
+  auto golden_sap0 = BuildSap0(data_, 8);
+  auto golden_wave = BuildWaveRangeOpt(data_, 24);
+  ASSERT_TRUE(golden_opta.ok()) << golden_opta.status();
+  ASSERT_TRUE(golden_sap0.ok()) << golden_sap0.status();
+  ASSERT_TRUE(golden_wave.ok()) << golden_wave.status();
+  const double golden_opta_sse =
+      AllRangesSse(data_, golden_opta->histogram).value();
+  const double golden_sap0_sse =
+      AllRangesSse(data_, golden_sap0.value()).value();
+
+  SetGlobalThreads(8);
+  auto opta = BuildOptA(data_, options);
+  auto sap0 = BuildSap0(data_, 8);
+  auto wave = BuildWaveRangeOpt(data_, 24);
+  ASSERT_TRUE(opta.ok()) << opta.status();
+  ASSERT_TRUE(sap0.ok()) << sap0.status();
+  ASSERT_TRUE(wave.ok()) << wave.status();
+  const double opta_sse = AllRangesSse(data_, opta->histogram).value();
+  const double sap0_sse = AllRangesSse(data_, sap0.value()).value();
+  SetGlobalThreads(-1);
+
+  EXPECT_EQ(golden_opta->optimal_sse, opta->optimal_sse);
+  EXPECT_EQ(golden_opta->states_explored, opta->states_explored);
+  EXPECT_EQ(golden_opta->histogram.partition(), opta->histogram.partition());
+  EXPECT_EQ(golden_opta->histogram.values(), opta->histogram.values());
+  EXPECT_EQ(golden_opta_sse, opta_sse);
+
+  EXPECT_EQ(golden_sap0->partition(), sap0->partition());
+  EXPECT_EQ(golden_sap0->suffix_values(), sap0->suffix_values());
+  EXPECT_EQ(golden_sap0->prefix_values(), sap0->prefix_values());
+  EXPECT_EQ(golden_sap0_sse, sap0_sse);
+
+  ASSERT_EQ(golden_wave->coefficients().size(),
+            wave->coefficients().size());
+  for (size_t i = 0; i < wave->coefficients().size(); ++i) {
+    EXPECT_EQ(golden_wave->coefficients()[i].index,
+              wave->coefficients()[i].index);
+    EXPECT_EQ(golden_wave->coefficients()[i].value,
+              wave->coefficients()[i].value);
+  }
 }
 
 }  // namespace

@@ -27,12 +27,25 @@ mkdir -p "${OUT_DIR}"
 for bench in construction query; do
   binary="${BUILD_DIR}/bench/bench_${bench}"
   out="${OUT_DIR}/BENCH_${bench}.json"
+  if [[ ! -x "${binary}" ]]; then
+    echo "error: ${binary} is missing or not executable" >&2
+    exit 1
+  fi
   echo "== bench_${bench} -> ${out}"
+  # Fail fast and say WHICH harness died: under plain `set -e` the loop
+  # would stop with only the benchmark's own (possibly empty) output to
+  # go on, and a half-written JSON artifact left looking valid.
+  status=0
   "${binary}" \
     --benchmark_format=console \
     --benchmark_out_format=json \
     --benchmark_out="${out}" \
-    "${extra_args[@]+"${extra_args[@]}"}"
+    "${extra_args[@]+"${extra_args[@]}"}" || status=$?
+  if [[ "${status}" -ne 0 ]]; then
+    echo "error: bench_${bench} exited with status ${status}" >&2
+    rm -f "${out}"
+    exit "${status}"
+  fi
 done
 
 echo "wrote ${OUT_DIR}/BENCH_construction.json ${OUT_DIR}/BENCH_query.json"
