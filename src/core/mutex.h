@@ -1,0 +1,78 @@
+#ifndef RANGESYN_CORE_MUTEX_H_
+#define RANGESYN_CORE_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#include "core/thread_annotations.h"
+
+namespace rangesyn {
+
+/// `std::mutex` wrapped as a Clang thread-safety *capability*. libstdc++
+/// ships `std::mutex` without the analysis attributes, so `GUARDED_BY`
+/// on members protected by a plain `std::mutex` would be invisible to
+/// `-Wthread-safety`; every mutex in the library uses this wrapper
+/// instead. Zero overhead: the wrapper is exactly a `std::mutex` plus
+/// attributes that compile to nothing.
+class RANGESYN_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() RANGESYN_ACQUIRE() { mu_.lock(); }
+  void Unlock() RANGESYN_RELEASE() { mu_.unlock(); }
+  bool TryLock() RANGESYN_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// The wrapped mutex, for adapters (CondVarLock) that need a
+  /// `std::unique_lock<std::mutex>` to wait on a condition variable.
+  std::mutex& native() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII lock, the `std::lock_guard` of Mutex. Scoped-capability
+/// annotated, so the analysis knows the capability is held for the
+/// lexical scope of the guard.
+class RANGESYN_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) RANGESYN_ACQUIRE(mu) : mu_(mu) {
+    mu_.Lock();
+  }
+  ~MutexLock() RANGESYN_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// RAII lock that can block on a `std::condition_variable`, the
+/// `std::unique_lock` of Mutex. `Wait` releases and reacquires the
+/// underlying mutex inside the condition variable; from the analysis's
+/// point of view the capability is held for the whole scope, which is
+/// exactly the guarantee the caller's loop observes on each wakeup.
+/// Callers write the predicate as an explicit `while` loop around
+/// `Wait()` — a predicate lambda would be analyzed as a separate
+/// function that does not hold the lock.
+class RANGESYN_SCOPED_CAPABILITY CondVarLock {
+ public:
+  explicit CondVarLock(Mutex& mu) RANGESYN_ACQUIRE(mu) : lock_(mu.native()) {}
+  ~CondVarLock() RANGESYN_RELEASE() {}
+
+  CondVarLock(const CondVarLock&) = delete;
+  CondVarLock& operator=(const CondVarLock&) = delete;
+
+  /// Blocks until `cv` is notified (spurious wakeups possible — always
+  /// re-check the condition in a loop).
+  void Wait(std::condition_variable& cv) { cv.wait(lock_); }
+
+ private:
+  std::unique_lock<std::mutex> lock_;
+};
+
+}  // namespace rangesyn
+
+#endif  // RANGESYN_CORE_MUTEX_H_

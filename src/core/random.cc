@@ -76,7 +76,9 @@ double Rng::NextGaussian() {
     u = NextDouble(-1.0, 1.0);
     v = NextDouble(-1.0, 1.0);
     s = u * u + v * v;
-  } while (s >= 1.0 || s == 0.0);
+    // Marsaglia rejection: only exactly s == 0.0 is degenerate (it would
+    // feed log(0) below), so exact comparison is the correct test.
+  } while (s >= 1.0 || s == 0.0);  // lint: float-eq-ok
   const double mul = std::sqrt(-2.0 * std::log(s) / s);
   cached_gaussian_ = v * mul;
   has_cached_gaussian_ = true;

@@ -37,10 +37,10 @@ class [[nodiscard]] Result {
   Result& operator=(Result&&) noexcept = default;
 
   /// True iff a value is present.
-  bool ok() const { return std::holds_alternative<T>(payload_); }
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(payload_); }
 
   /// Returns the status: OK when a value is present.
-  Status status() const {
+  [[nodiscard]] Status status() const {
     if (ok()) return OkStatus();
     return std::get<Status>(payload_);
   }

@@ -30,7 +30,13 @@ std::string_view StatusCodeToString(StatusCode code);
 /// Usage:
 ///   Status s = DoThing();
 ///   if (!s.ok()) return s;
-class Status {
+///
+/// The class itself is [[nodiscard]]: any function returning Status by
+/// value warns (and fails -Werror builds) when the caller drops the
+/// return, so an unhandled error cannot silently compile. Call sites
+/// that genuinely want to ignore a Status say so with a named variable
+/// or RANGESYN_CHECK_OK.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -48,7 +54,7 @@ class Status {
   static Status OK() { return Status(); }
 
   /// True iff this status represents success.
-  bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
 
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }

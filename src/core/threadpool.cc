@@ -7,7 +7,9 @@
 #include <utility>
 
 #include "core/logging.h"
+#include "core/mutex.h"
 #include "core/strings.h"
+#include "core/thread_annotations.h"
 #include "obs/obs.h"
 
 namespace rangesyn {
@@ -30,9 +32,9 @@ struct LoopState {
   std::atomic<int64_t> next_chunk{0};
   std::atomic<int64_t> settled_chunks{0};
   std::atomic<bool> abort{false};
-  std::mutex mu;  // guards first_exception; also backs done_cv
+  Mutex mu;  // also backs done_cv
   std::condition_variable done_cv;
-  std::exception_ptr first_exception;
+  std::exception_ptr first_exception RANGESYN_GUARDED_BY(mu);
 };
 
 /// Claims chunks until none remain; the shared claim counter doubles as
@@ -51,7 +53,7 @@ void RunChunks(LoopState* state) {
         (*state->body)(lo, hi);
         ++executed;
       } catch (...) {
-        std::lock_guard<std::mutex> lock(state->mu);
+        MutexLock lock(state->mu);
         if (!state->first_exception) {
           state->first_exception = std::current_exception();
         }
@@ -60,7 +62,7 @@ void RunChunks(LoopState* state) {
     }
     if (state->settled_chunks.fetch_add(1, std::memory_order_acq_rel) + 1 ==
         state->num_chunks) {
-      std::lock_guard<std::mutex> lock(state->mu);
+      MutexLock lock(state->mu);
       state->done_cv.notify_all();
     }
   }
@@ -85,7 +87,7 @@ ThreadPool::ThreadPool(int threads) : threads_(threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(sleep_mu_);
+    MutexLock lock(sleep_mu_);
     stop_ = true;
   }
   wake_cv_.notify_all();
@@ -104,7 +106,7 @@ void ThreadPool::Submit(std::function<void()> fn) {
                             1, std::memory_order_relaxed)) %
                         queues_.size();
   {
-    std::lock_guard<std::mutex> lock(queues_[target]->mu);
+    MutexLock lock(queues_[target]->mu);
     queues_[target]->tasks.push_back(std::move(fn));
   }
   const int64_t pending =
@@ -119,7 +121,7 @@ bool ThreadPool::RunOneTask(size_t self) {
   const size_t n = queues_.size();
   for (size_t attempt = 0; attempt < n; ++attempt) {
     WorkerQueue& q = *queues_[(self + attempt) % n];
-    std::lock_guard<std::mutex> lock(q.mu);
+    MutexLock lock(q.mu);
     if (q.tasks.empty()) continue;
     if (attempt == 0) {
       task = std::move(q.tasks.back());  // own queue: LIFO for locality
@@ -143,16 +145,18 @@ void ThreadPool::WorkerLoop(size_t self) {
   tls_on_worker_thread = true;
   while (true) {
     if (RunOneTask(self)) continue;
-    std::unique_lock<std::mutex> lock(sleep_mu_);
+    CondVarLock lock(sleep_mu_);
     if (stop_) {
       // Drain-on-shutdown: exit only once every queued task has been
       // claimed; otherwise loop back and keep helping.
       if (pending_.load(std::memory_order_acquire) == 0) break;
       continue;
     }
-    wake_cv_.wait(lock, [this] {
-      return stop_ || pending_.load(std::memory_order_acquire) > 0;
-    });
+    // Explicit wait loop (not a predicate lambda) so the thread-safety
+    // analysis sees the stop_ reads under the scoped capability.
+    while (!stop_ && pending_.load(std::memory_order_acquire) == 0) {
+      lock.Wait(wake_cv_);
+    }
   }
 }
 
@@ -190,21 +194,46 @@ void ThreadPool::ParallelFor(
     Submit([state] { RunChunks(state.get()); });
   }
   RunChunks(state.get());
+  std::exception_ptr first_exception;
   {
-    std::unique_lock<std::mutex> lock(state->mu);
-    state->done_cv.wait(lock, [&state] {
-      return state->settled_chunks.load(std::memory_order_acquire) ==
-             state->num_chunks;
-    });
+    CondVarLock lock(state->mu);
+    while (state->settled_chunks.load(std::memory_order_acquire) !=
+           state->num_chunks) {
+      lock.Wait(state->done_cv);
+    }
+    first_exception = state->first_exception;
   }
-  if (state->first_exception) std::rethrow_exception(state->first_exception);
+  if (first_exception) std::rethrow_exception(first_exception);
+}
+
+Status ThreadPool::ParallelForStatus(
+    int64_t begin, int64_t end, int64_t grain,
+    const std::function<Status(int64_t, int64_t)>& body) {
+  if (begin >= end) return OkStatus();
+  if (grain < 1) grain = 1;
+  const int64_t num_chunks = (end - begin + grain - 1) / grain;
+  // One slot per chunk, written by exactly the thread that claimed the
+  // chunk and read only after ParallelFor's full barrier — no locking
+  // needed, and "first in chunk order" is deterministic by construction.
+  std::vector<Status> statuses(static_cast<size_t>(num_chunks));
+  const int64_t captured_grain = grain;
+  ParallelFor(begin, end, grain, [&](int64_t lo, int64_t hi) {
+    const int64_t chunk = (lo - begin) / captured_grain;
+    statuses[static_cast<size_t>(chunk)] = body(lo, hi);
+  });
+  for (const Status& status : statuses) {
+    RANGESYN_RETURN_IF_ERROR(status);
+  }
+  return OkStatus();
 }
 
 namespace {
 
-std::mutex g_pool_mu;
-int g_requested_threads = -1;  // -1: unset, fall back to env then 0
-std::unique_ptr<ThreadPool> g_pool;  // NOLINT: intentional process-lifetime
+Mutex g_pool_mu;
+// -1: unset, fall back to env then 0.
+int g_requested_threads RANGESYN_GUARDED_BY(g_pool_mu) = -1;
+// NOLINT: intentional process-lifetime.
+std::unique_ptr<ThreadPool> g_pool RANGESYN_GUARDED_BY(g_pool_mu);
 
 int ResolveThreads(int requested) {
   if (requested == 0) {
@@ -214,7 +243,7 @@ int ResolveThreads(int requested) {
   return requested < 1 ? 1 : requested;
 }
 
-ThreadPool& GlobalPoolLocked() {
+ThreadPool& GlobalPoolLocked() RANGESYN_REQUIRES(g_pool_mu) {
   if (!g_pool) {
     int requested = g_requested_threads;
     if (requested < 0) {
@@ -237,7 +266,7 @@ ThreadPool& GlobalPoolLocked() {
 }  // namespace
 
 void SetGlobalThreads(int threads) {
-  std::lock_guard<std::mutex> lock(g_pool_mu);
+  MutexLock lock(g_pool_mu);
   // Negative restores the unset state: the next pool creation re-reads
   // RANGESYN_THREADS (tests use this to undo their overrides).
   g_requested_threads = threads < 0 ? -1 : threads;
@@ -245,12 +274,12 @@ void SetGlobalThreads(int threads) {
 }
 
 int GlobalThreads() {
-  std::lock_guard<std::mutex> lock(g_pool_mu);
+  MutexLock lock(g_pool_mu);
   return GlobalPoolLocked().threads();
 }
 
 ThreadPool& GlobalThreadPool() {
-  std::lock_guard<std::mutex> lock(g_pool_mu);
+  MutexLock lock(g_pool_mu);
   return GlobalPoolLocked();
 }
 
@@ -259,6 +288,11 @@ void ParallelFor(int64_t begin, int64_t end, int64_t grain,
   // Nested calls (and the serial pool) never touch the global lock or the
   // queues — they run inline via the fast path in ThreadPool::ParallelFor.
   GlobalThreadPool().ParallelFor(begin, end, grain, body);
+}
+
+Status ParallelForStatus(int64_t begin, int64_t end, int64_t grain,
+                         const std::function<Status(int64_t, int64_t)>& body) {
+  return GlobalThreadPool().ParallelForStatus(begin, end, grain, body);
 }
 
 }  // namespace rangesyn

@@ -7,9 +7,12 @@
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "core/mutex.h"
+#include "core/status.h"
+#include "core/thread_annotations.h"
 
 namespace rangesyn {
 
@@ -39,7 +42,7 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  int threads() const { return threads_; }
+  [[nodiscard]] int threads() const { return threads_; }
 
   /// Enqueues `fn` onto a worker deque (round-robin from external threads,
   /// the local deque when called from a worker). With `threads == 1` the
@@ -61,14 +64,24 @@ class ThreadPool {
   void ParallelFor(int64_t begin, int64_t end, int64_t grain,
                    const std::function<void(int64_t, int64_t)>& body);
 
+  /// Status-returning variant for error-returning bodies: each chunk's
+  /// Status is collected and the first non-OK status *in chunk order*
+  /// (never submission or completion order, so the winner matches a
+  /// serial run bit-for-bit) is returned after every chunk has settled.
+  /// A body that throws still propagates the exception, exactly like
+  /// ParallelFor. The result is [[nodiscard]] via Status itself, so a
+  /// silently dropped per-chunk error cannot compile.
+  Status ParallelForStatus(int64_t begin, int64_t end, int64_t grain,
+                           const std::function<Status(int64_t, int64_t)>& body);
+
   /// True when the calling thread is one of this process's pool workers
   /// (any pool's — used to route nested parallelism inline).
-  static bool OnWorkerThread();
+  [[nodiscard]] static bool OnWorkerThread();
 
  private:
   struct WorkerQueue {
-    std::mutex mu;
-    std::deque<std::function<void()>> tasks;
+    Mutex mu;
+    std::deque<std::function<void()>> tasks RANGESYN_GUARDED_BY(mu);
   };
 
   void WorkerLoop(size_t self);
@@ -81,9 +94,9 @@ class ThreadPool {
   std::vector<std::thread> workers_;
   std::atomic<uint64_t> next_queue_{0};  // round-robin for external Submit
   std::atomic<int64_t> pending_{0};      // tasks sitting in queues
-  std::mutex sleep_mu_;
+  Mutex sleep_mu_;
   std::condition_variable wake_cv_;
-  bool stop_ = false;  // guarded by sleep_mu_
+  bool stop_ RANGESYN_GUARDED_BY(sleep_mu_) = false;
 };
 
 /// Global pool configuration. The effective thread count resolves in
@@ -108,6 +121,11 @@ ThreadPool& GlobalThreadPool();
 /// ParallelFor on the global pool; see ThreadPool::ParallelFor.
 void ParallelFor(int64_t begin, int64_t end, int64_t grain,
                  const std::function<void(int64_t, int64_t)>& body);
+
+/// ParallelForStatus on the global pool; see
+/// ThreadPool::ParallelForStatus.
+Status ParallelForStatus(int64_t begin, int64_t end, int64_t grain,
+                         const std::function<Status(int64_t, int64_t)>& body);
 
 }  // namespace rangesyn
 

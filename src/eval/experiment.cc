@@ -66,21 +66,18 @@ Result<std::vector<ExperimentRow>> RunStorageSweep(
   const int64_t num_cells =
       static_cast<int64_t>(options.methods.size()) * num_budgets;
   std::vector<ExperimentRow> rows(static_cast<size_t>(num_cells));
-  std::vector<Status> statuses(static_cast<size_t>(num_cells));
-  ParallelFor(0, num_cells, /*grain=*/1, [&](int64_t lo, int64_t hi) {
-    for (int64_t cell = lo; cell < hi; ++cell) {
-      ExperimentRow& row = rows[static_cast<size_t>(cell)];
-      row.method = options.methods[static_cast<size_t>(cell / num_budgets)];
-      row.budget_words =
-          options.budgets_words[static_cast<size_t>(cell % num_budgets)];
-      statuses[static_cast<size_t>(cell)] =
-          RunSweepCell(data, options, row);
-    }
-  });
-  // First error in grid order wins, matching the serial early return.
-  for (const Status& status : statuses) {
-    RANGESYN_RETURN_IF_ERROR(status);
-  }
+  // ParallelForStatus surfaces the first error in grid (chunk) order,
+  // matching the serial early return; the grain of 1 makes cell == chunk.
+  RANGESYN_RETURN_IF_ERROR(
+      ParallelForStatus(0, num_cells, /*grain=*/1, [&](int64_t cell,
+                                                       int64_t) -> Status {
+        ExperimentRow& row = rows[static_cast<size_t>(cell)];
+        row.method =
+            options.methods[static_cast<size_t>(cell / num_budgets)];
+        row.budget_words =
+            options.budgets_words[static_cast<size_t>(cell % num_budgets)];
+        return RunSweepCell(data, options, row);
+      }));
   return rows;
 }
 

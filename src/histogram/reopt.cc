@@ -133,11 +133,12 @@ Result<NormalEquations> AssembleNormalEquationsBrute(
       out.c0 += s * s;
       for (int64_t k = 0; k < num_b; ++k) {
         const double ck = c[static_cast<size_t>(k)];
-        if (ck == 0.0) continue;
+        // Counts built by += 1.0 are exact; zero means "bucket not hit".
+        if (ck == 0.0) continue;  // lint: float-eq-ok
         out.rhs[static_cast<size_t>(k)] += s * ck;
         for (int64_t j = k; j < num_b; ++j) {
           const double cj = c[static_cast<size_t>(j)];
-          if (cj == 0.0) continue;
+          if (cj == 0.0) continue;  // lint: float-eq-ok (exact count)
           out.q(k, j) += ck * cj;
         }
       }

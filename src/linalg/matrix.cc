@@ -16,7 +16,8 @@ Matrix Matrix::Multiply(const Matrix& other) const {
   for (int64_t i = 0; i < rows_; ++i) {
     for (int64_t k = 0; k < cols_; ++k) {
       const double aik = (*this)(i, k);
-      if (aik == 0.0) continue;
+      // Sparsity skip: only an exact stored zero contributes nothing.
+      if (aik == 0.0) continue;  // lint: float-eq-ok
       for (int64_t j = 0; j < other.cols_; ++j) {
         out(i, j) += aik * other(k, j);
       }

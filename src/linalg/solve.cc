@@ -26,7 +26,9 @@ Result<std::vector<double>> SolveLU(const Matrix& a,
         pivot = r;
       }
     }
-    if (best == 0.0) {
+    // Only an exactly zero pivot column is structurally singular;
+    // near-zero pivots are legal (just ill-conditioned).
+    if (best == 0.0) {  // lint: float-eq-ok
       return FailedPreconditionError("SolveLU: singular matrix");
     }
     if (pivot != col) {
@@ -38,7 +40,8 @@ Result<std::vector<double>> SolveLU(const Matrix& a,
     for (int64_t r = col + 1; r < n; ++r) {
       const double factor = lu(r, col) / d;
       lu(r, col) = factor;  // store L below the diagonal
-      if (factor == 0.0) continue;
+      // Sparsity skip: exact zero factor leaves the row untouched.
+      if (factor == 0.0) continue;  // lint: float-eq-ok
       for (int64_t c = col + 1; c < n; ++c) {
         lu(r, c) -= factor * lu(col, c);
       }

@@ -7,13 +7,14 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "core/mutex.h"
 #include "core/status.h"
+#include "core/thread_annotations.h"
 
 namespace rangesyn::obs {
 
@@ -161,11 +162,16 @@ class Registry {
  private:
   Registry() = default;
 
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  mutable Mutex mu_;
+  // The maps are guarded; the Metric objects they own are deliberately
+  // not — mutation is lock-free atomics, and Get*() hands out raw
+  // pointers precisely so hot paths never reacquire mu_.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      RANGESYN_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      RANGESYN_GUARDED_BY(mu_);
   std::map<std::string, std::unique_ptr<LatencyHistogram>, std::less<>>
-      histograms_;
+      histograms_ RANGESYN_GUARDED_BY(mu_);
 };
 
 /// True when this build compiled the instrumentation macros in

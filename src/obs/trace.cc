@@ -16,30 +16,37 @@ std::string_view CategoryOf(std::string_view name) {
   return dot == std::string_view::npos ? name : name.substr(0, dot);
 }
 
+/// Steady-clock "now" in nanoseconds since the (unspecified) clock epoch.
+int64_t SteadyNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
 }  // namespace
 
-Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+Tracer::Tracer() { epoch_steady_ns_.store(SteadyNowNs(), std::memory_order_relaxed); }
 
 Tracer& Tracer::Get() {
-  static Tracer* instance = new Tracer();  // leaked: process lifetime
+  // Intentionally leaked: the tracer lives for the process lifetime.
+  static Tracer* instance = new Tracer();  // lint: waive(LINT-004)
   return *instance;
 }
 
 uint64_t Tracer::NowNs() const {
-  return static_cast<uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now() - epoch_)
-          .count());
+  const int64_t delta =
+      SteadyNowNs() - epoch_steady_ns_.load(std::memory_order_relaxed);
+  return delta > 0 ? static_cast<uint64_t>(delta) : 0;
 }
 
 void Tracer::Start() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const auto& buffer : buffers_) {
-    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    MutexLock buffer_lock(buffer->mu);
     buffer->events.clear();
   }
   dropped_.store(0, std::memory_order_relaxed);
-  epoch_ = std::chrono::steady_clock::now();
+  epoch_steady_ns_.store(SteadyNowNs(), std::memory_order_relaxed);
   enabled_.store(true, std::memory_order_relaxed);
 }
 
@@ -48,7 +55,7 @@ void Tracer::Stop() { enabled_.store(false, std::memory_order_relaxed); }
 Tracer::ThreadBuffer* Tracer::BufferForThisThread() {
   thread_local ThreadBuffer* tls_buffer = nullptr;
   if (tls_buffer != nullptr) return tls_buffer;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto buffer = std::make_unique<ThreadBuffer>();
   buffer->tid = static_cast<uint32_t>(buffers_.size() + 1);
   tls_buffer = buffer.get();
@@ -58,7 +65,7 @@ Tracer::ThreadBuffer* Tracer::BufferForThisThread() {
 
 void Tracer::Record(std::string name, uint64_t start_ns, uint64_t dur_ns) {
   ThreadBuffer* buffer = BufferForThisThread();
-  std::lock_guard<std::mutex> lock(buffer->mu);
+  MutexLock lock(buffer->mu);
   if (buffer->events.size() >= kMaxEventsPerThread) {
     dropped_.fetch_add(1, std::memory_order_relaxed);
     return;
@@ -70,9 +77,9 @@ void Tracer::Record(std::string name, uint64_t start_ns, uint64_t dur_ns) {
 std::vector<TraceEvent> Tracer::CollectEvents() const {
   std::vector<TraceEvent> out;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (const auto& buffer : buffers_) {
-      std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+      MutexLock buffer_lock(buffer->mu);
       out.insert(out.end(), buffer->events.begin(), buffer->events.end());
     }
   }

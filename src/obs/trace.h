@@ -5,12 +5,13 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <vector>
 
+#include "core/mutex.h"
 #include "core/status.h"
+#include "core/thread_annotations.h"
 #include "obs/metrics.h"
 
 namespace rangesyn::obs {
@@ -62,20 +63,25 @@ class Tracer {
 
  private:
   struct ThreadBuffer {
-    std::mutex mu;
+    Mutex mu;
+    // Written once (under the registry lock) before the buffer pointer is
+    // published to its owning thread; immutable afterwards.
     uint32_t tid = 0;
-    std::vector<TraceEvent> events;
+    std::vector<TraceEvent> events RANGESYN_GUARDED_BY(mu);
   };
 
   Tracer();
   ThreadBuffer* BufferForThisThread();
 
   std::atomic<bool> enabled_{false};
-  std::chrono::steady_clock::time_point epoch_;
+  // Tracing epoch as steady-clock nanoseconds. Atomic rather than
+  // mu_-guarded: NowNs() runs on every span on every thread and must not
+  // take the registry lock, while Start() swaps the epoch concurrently.
+  std::atomic<int64_t> epoch_steady_ns_{0};
   std::atomic<uint64_t> dropped_{0};
 
-  mutable std::mutex mu_;  // guards buffers_ registration and epoch_ swap
-  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  mutable Mutex mu_;  // guards buffer registration
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_ RANGESYN_GUARDED_BY(mu_);
 };
 
 /// RAII span: measures its scope's wall time, records it into a metrics

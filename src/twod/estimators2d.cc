@@ -330,7 +330,8 @@ double Wave2DRangeOpt::EstimateRect(const RectQuery& q) const {
   for (int64_t u : us) {
     if (u == 0) continue;  // DC factors cancel
     const double du = BasisValue(s_, u, y1) - BasisValue(s_, u, x1);
-    if (du == 0.0) continue;
+    // Haar basis differences cancel to an exact 0.0 outside the support.
+    if (du == 0.0) continue;  // lint: float-eq-ok
     for (int64_t v : vs) {
       if (v == 0) continue;
       const auto it = by_key_.find(u * t_ + v);
@@ -371,10 +372,11 @@ Status DynamicWave2DMaintainer::ApplyUpdate(int64_t r, int64_t c,
   const double d = static_cast<double>(delta);
   for (int64_t u : AncestorIndices(s_, r)) {
     const double ru = BasisRangeSum(s_, u, r, s_ - 1);
-    if (ru == 0.0) continue;
+    // Basis range sums vanish to an exact 0.0 outside the support.
+    if (ru == 0.0) continue;  // lint: float-eq-ok
     for (int64_t v : AncestorIndices(t_, c)) {
       const double rv = BasisRangeSum(t_, v, c, t_ - 1);
-      if (rv == 0.0) continue;
+      if (rv == 0.0) continue;  // lint: float-eq-ok (exact support test)
       coeffs_[static_cast<size_t>(u) * static_cast<size_t>(t_) +
               static_cast<size_t>(v)] += d * ru * rv;
     }

@@ -1,0 +1,9 @@
+// Baseline-suppression fixture: the raw new below is suppressed by the
+// entry in baseline_config.toml (matched by check + file + substring),
+// not by an inline waiver. The rand() call has no baseline entry and
+// must still be reported.
+#include <cstdlib>
+
+int* BaselinedLeak() { return new int(11); }
+
+int UnbaselinedRand() { return rand(); }

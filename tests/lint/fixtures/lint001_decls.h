@@ -1,0 +1,15 @@
+#ifndef TESTS_LINT_FIXTURES_LINT001_DECLS_H_
+#define TESTS_LINT_FIXTURES_LINT001_DECLS_H_
+
+// Declarations the LINT-001 discarded-Status scan picks up: the linter
+// collects Status-returning function names from headers in the scanned
+// file set.
+
+class Status {
+ public:
+  bool ok() const;
+};
+
+Status DoFallibleThing(int x);
+
+#endif  // TESTS_LINT_FIXTURES_LINT001_DECLS_H_

@@ -1,0 +1,18 @@
+// Negative fixture for LINT-001: checked accesses and handled Statuses.
+#include "lint001_decls.h"
+
+int CheckedValue(Result<int> r) {
+  if (!r.ok()) return -1;
+  return r.value();
+}
+
+int CheckedArrowValue(Result<int>* r) {
+  RANGESYN_CHECK(r->ok());
+  return r->value();
+}
+
+Status HandledStatusCall() {
+  Status s = DoFallibleThing(42);
+  if (!s.ok()) return s;
+  return DoFallibleThing(43);
+}

@@ -1,0 +1,14 @@
+// Positive fixture for LINT-001: every pattern below must be flagged.
+#include "lint001_decls.h"
+
+int UncheckedNamedValue(Result<int> r) {
+  return r.value();  // no r.ok() check anywhere above
+}
+
+int UncheckedChainedValue() {
+  return MakeResult().value();  // .value() directly on a call result
+}
+
+void DiscardedStatusCall() {
+  DoFallibleThing(42);  // Status return dropped on the floor
+}

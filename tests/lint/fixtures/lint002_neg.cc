@@ -1,0 +1,15 @@
+// Negative fixture for LINT-002: the sanctioned deterministic sources.
+#include <chrono>
+
+long MonotonicTimestamp() {
+  // steady_clock is fine anywhere; only system_clock is fenced into obs/.
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+unsigned SeededDraw(Rng* rng) {
+  // The seeded project Rng, not rand(): identifiers merely *containing*
+  // "rand" (operand, strand) must not trip the word-boundary match.
+  unsigned operand = rng->NextUint32();
+  unsigned strand = operand ^ 7u;
+  return strand;
+}

@@ -1,0 +1,14 @@
+// Positive fixture for LINT-002: banned nondeterminism sources.
+#include <chrono>
+#include <cstdlib>
+#include <random>
+
+int NondeterministicSeed() {
+  std::random_device rd;  // banned outside core/random
+  return static_cast<int>(rd()) + rand();  // rand() banned everywhere
+}
+
+long WallClockTimestamp() {
+  // system_clock banned outside obs/.
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}

@@ -1,0 +1,12 @@
+// Negative fixture for LINT-003: integer comparisons, epsilon helpers,
+// and strict orderings never trip the check.
+bool IntegerEquality(int k, int n) { return k == n && k != 0; }
+
+bool EpsilonCompare(double a, double b) { return AlmostEqual(a, b, 1e-9); }
+
+bool StrictOrdering(double cost, double best) {
+  // The DP tie-break contract: strict <, never ==.
+  return cost < best || best <= 0.5;
+}
+
+bool LessEqualAgainstLiteral(double q) { return q >= 1.0 && q <= 2.0; }

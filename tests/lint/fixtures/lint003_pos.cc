@@ -1,0 +1,6 @@
+// Positive fixture for LINT-003: exact floating-point comparisons.
+bool ExactEquality(double cost) { return cost == 0.25; }
+
+bool ExactInequality(double err) { return 1e-9 != err; }
+
+bool TrailingDotLiteral(double v) { return v == 2.; }

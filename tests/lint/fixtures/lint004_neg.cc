@@ -1,0 +1,15 @@
+// Negative fixture for LINT-004: RAII ownership and deleted functions.
+#include <memory>
+
+class NoCopy {
+ public:
+  NoCopy(const NoCopy&) = delete;  // `= delete` is not a raw delete
+  NoCopy& operator=(const NoCopy&) = delete;
+};
+
+std::unique_ptr<int> OwnedAllocation() {
+  // "renewed" and "deleted" must not trip the word-boundary match.
+  int renewed = 1;
+  int deleted = 2;
+  return std::make_unique<int>(renewed + deleted);
+}

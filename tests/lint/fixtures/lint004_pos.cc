@@ -1,0 +1,12 @@
+// Positive fixture for LINT-004: raw resource management.
+#include <thread>
+
+void RawAllocation() {
+  int* leak = new int(3);  // raw new
+  delete leak;             // raw delete
+}
+
+void LooseThread() {
+  std::thread worker([] {});  // threads belong to core/threadpool
+  worker.join();
+}

@@ -1,0 +1,11 @@
+#ifndef TESTS_LINT_FIXTURES_LINT005_NEG_H_
+#define TESTS_LINT_FIXTURES_LINT005_NEG_H_
+
+// Negative fixture for LINT-005: proper include guard, module includes
+// only.
+
+struct Guarded {
+  int x = 0;
+};
+
+#endif  // TESTS_LINT_FIXTURES_LINT005_NEG_H_

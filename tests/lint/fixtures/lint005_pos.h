@@ -1,0 +1,5 @@
+// Positive fixture for LINT-005: a header with no include guard and no
+// #pragma once.
+struct Unguarded {
+  int x = 0;
+};

@@ -1,0 +1,7 @@
+#pragma once
+
+// Negative fixture for LINT-005: #pragma once is an accepted guard.
+
+struct PragmaGuarded {
+  int x = 0;
+};

@@ -1,0 +1,5 @@
+// Positive fixture for LINT-005: leaning on the umbrella header instead
+// of the module headers actually used.
+#include "rangesyn.h"
+
+int UsesEverythingTransitively() { return 1; }

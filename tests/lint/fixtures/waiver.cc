@@ -1,0 +1,22 @@
+// Waiver-syntax fixture: every violation below is waived, so a lint run
+// over this file must be clean.
+
+bool WaivedSameLine(double v) {
+  return v == 0.0;  // lint: float-eq-ok (exact sentinel)
+}
+
+bool WaivedCanonicalForm(double v) {
+  return v != 1.5;  // lint: waive(LINT-003) documented exact sentinel
+}
+
+void WaivedStandaloneCommentLine() {
+  // lint: waive(LINT-004) intentional leak for the fixture
+  int* leak = new int(7);
+  (void)leak;
+}
+
+bool WrongCheckWaiverDoesNotApply(double v) {
+  // A waiver only suppresses the check it names; this line still has a
+  // LINT-003 finding because the waiver names LINT-004.
+  return v == 2.5;  // lint: waive(LINT-004)
+}

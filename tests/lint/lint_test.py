@@ -1,0 +1,213 @@
+#!/usr/bin/env python3
+"""Self-tests for rangesyn-lint (tools/lint/rangesyn_lint.py).
+
+One positive and one negative fixture per check ID (LINT-001..005), plus
+waiver-syntax and baseline-suppression coverage, and the repo gate: a
+default-config run over src/ must be clean. Wired into ctest as
+`lint_selftest` (tests/CMakeLists.txt), so tier-1 runs all of this.
+"""
+
+import importlib.util
+import json
+import pathlib
+import subprocess
+import sys
+import tempfile
+import unittest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+LINTER = REPO_ROOT / "tools" / "lint" / "rangesyn_lint.py"
+FIXTURES = pathlib.Path(__file__).resolve().parent / "fixtures"
+
+
+def load_linter_module():
+    spec = importlib.util.spec_from_file_location("rangesyn_lint", LINTER)
+    module = importlib.util.module_from_spec(spec)
+    # dataclasses resolves string annotations through sys.modules, so the
+    # module must be registered before exec.
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+LINT = load_linter_module()
+
+
+def lint_files(*names: str) -> list:
+    """Runs the linter in-process over fixture files; returns Findings."""
+    paths = [FIXTURES / name for name in names]
+    findings, _ = LINT.run_lint(paths, REPO_ROOT, baseline=[])
+    return findings
+
+
+def checks_of(findings) -> list:
+    return [f.check for f in findings]
+
+
+def run_cli(*args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(LINTER), *args],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        check=False,
+    )
+
+
+class PositiveFixtures(unittest.TestCase):
+    """Each positive fixture must produce findings of exactly its check."""
+
+    def test_lint001_unchecked_result(self):
+        findings = lint_files("lint001_pos.cc", "lint001_decls.h")
+        self.assertEqual(checks_of(findings), ["LINT-001"] * 3, findings)
+        messages = "\n".join(f.message for f in findings)
+        self.assertIn("without a preceding r.ok()", messages)
+        self.assertIn("chained directly onto a call result", messages)
+        self.assertIn("'DoFallibleThing' discards", messages)
+
+    def test_lint002_nondeterminism(self):
+        findings = lint_files("lint002_pos.cc")
+        self.assertEqual(checks_of(findings), ["LINT-002"] * 3, findings)
+
+    def test_lint003_float_eq(self):
+        findings = lint_files("lint003_pos.cc")
+        self.assertEqual(checks_of(findings), ["LINT-003"] * 3, findings)
+
+    def test_lint004_raw_resource(self):
+        findings = lint_files("lint004_pos.cc")
+        self.assertEqual(checks_of(findings), ["LINT-004"] * 3, findings)
+
+    def test_lint005_missing_guard(self):
+        findings = lint_files("lint005_pos.h")
+        self.assertEqual(checks_of(findings), ["LINT-005"], findings)
+
+    def test_lint005_umbrella_include(self):
+        findings = lint_files("lint005_umbrella_pos.cc")
+        self.assertEqual(checks_of(findings), ["LINT-005"], findings)
+        self.assertIn("umbrella header", findings[0].message)
+
+
+class NegativeFixtures(unittest.TestCase):
+    """Each negative fixture must lint clean."""
+
+    def assert_clean(self, *names: str):
+        findings = lint_files(*names)
+        self.assertEqual(findings, [], [f.render() for f in findings])
+
+    def test_lint001_checked(self):
+        self.assert_clean("lint001_neg.cc", "lint001_decls.h")
+
+    def test_lint002_deterministic(self):
+        self.assert_clean("lint002_neg.cc")
+
+    def test_lint003_no_float_eq(self):
+        self.assert_clean("lint003_neg.cc")
+
+    def test_lint004_raii(self):
+        self.assert_clean("lint004_neg.cc")
+
+    def test_lint005_guarded(self):
+        self.assert_clean("lint005_neg.h", "lint005_pragma_neg.h")
+
+
+class WaiverSyntax(unittest.TestCase):
+    def test_waivers_suppress_only_the_named_check(self):
+        findings = lint_files("waiver.cc")
+        # Everything is waived except the deliberate mismatch: a LINT-004
+        # waiver sitting on a LINT-003 violation.
+        self.assertEqual(checks_of(findings), ["LINT-003"], findings)
+        lines = (FIXTURES / "waiver.cc").read_text(encoding="utf-8").split("\n")
+        self.assertIn("v == 2.5", lines[findings[0].line - 1])
+
+    def test_standalone_waiver_covers_next_line(self):
+        src = FIXTURES / "waiver.cc"
+        waivers = LINT.parse_waivers(
+            src.read_text(encoding="utf-8").split("\n")
+        )
+        standalone = [
+            line
+            for line, ids in waivers.items()
+            if "LINT-004" in ids
+        ]
+        # The standalone comment line and the `new int(7)` line after it.
+        self.assertEqual(len(standalone), 3, waivers)
+
+
+class BaselineSuppression(unittest.TestCase):
+    def test_baseline_suppresses_matched_finding_only(self):
+        roots, baseline = LINT.load_config(FIXTURES / "baseline_config.toml")
+        self.assertEqual(roots, ["tests/lint/fixtures"])
+        findings, _ = LINT.run_lint(
+            [FIXTURES / "baseline.cc"], REPO_ROOT, baseline=baseline
+        )
+        # LINT-004 (raw new) is baselined away; LINT-002 (rand) remains.
+        self.assertEqual(checks_of(findings), ["LINT-002"], findings)
+        self.assertTrue(baseline[0].used)
+
+    def test_baseline_entries_require_a_reason(self):
+        with tempfile.NamedTemporaryFile(
+            "w", suffix=".toml", delete=False
+        ) as fp:
+            fp.write(
+                "[[baseline]]\n"
+                'check = "LINT-004"\n'
+                'file = "x.cc"\n'
+                'contains = "new"\n'
+            )
+            path = fp.name
+        with self.assertRaisesRegex(ValueError, "justification"):
+            LINT.load_config(pathlib.Path(path))
+
+
+class CliExitCodes(unittest.TestCase):
+    """The acceptance contract: nonzero on every positive fixture, zero on
+    the repo with the checked-in config."""
+
+    POSITIVES = [
+        ("lint001_pos.cc", "lint001_decls.h"),
+        ("lint002_pos.cc",),
+        ("lint003_pos.cc",),
+        ("lint004_pos.cc",),
+        ("lint005_pos.h",),
+        ("lint005_umbrella_pos.cc",),
+    ]
+
+    def test_nonzero_exit_on_each_positive_fixture(self):
+        for names in self.POSITIVES:
+            with self.subTest(fixture=names[0]):
+                proc = run_cli(
+                    "--no-config",
+                    *(str(FIXTURES / name) for name in names),
+                )
+                self.assertEqual(proc.returncode, 1, proc.stdout)
+                self.assertIn(names[0], proc.stdout)
+
+    def test_zero_exit_on_repo_with_default_config(self):
+        proc = run_cli("--config", "tools/lint/lint_config.toml")
+        self.assertEqual(
+            proc.returncode, 0, f"stdout:\n{proc.stdout}\nstderr:\n{proc.stderr}"
+        )
+
+    def test_json_report(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            out = pathlib.Path(tmp) / "findings.json"
+            proc = run_cli(
+                "--no-config",
+                "--json",
+                str(out),
+                str(FIXTURES / "lint003_pos.cc"),
+            )
+            self.assertEqual(proc.returncode, 1)
+            findings = json.loads(out.read_text(encoding="utf-8"))
+            self.assertEqual(len(findings), 3)
+            self.assertEqual({f["check"] for f in findings}, {"LINT-003"})
+
+    def test_list_checks(self):
+        proc = run_cli("--list-checks")
+        self.assertEqual(proc.returncode, 0)
+        for check_id in ("LINT-001", "LINT-005"):
+            self.assertIn(check_id, proc.stdout)
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

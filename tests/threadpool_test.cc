@@ -143,6 +143,47 @@ TEST(ThreadPoolTest, ParallelForPropagatesExceptions) {
   }
 }
 
+TEST(ThreadPoolTest, ParallelForStatusCoversEveryIndexOnSuccess) {
+  for (int threads : {1, 4}) {
+    ThreadPool pool(threads);
+    std::vector<std::atomic<int>> hits(100);
+    const Status status =
+        pool.ParallelForStatus(0, 100, 7, [&](int64_t lo, int64_t hi) {
+          for (int64_t i = lo; i < hi; ++i) {
+            hits[static_cast<size_t>(i)].fetch_add(
+                1, std::memory_order_relaxed);
+          }
+          return OkStatus();
+        });
+    EXPECT_TRUE(status.ok()) << status << " threads=" << threads;
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForStatusReturnsFirstErrorInChunkOrder) {
+  for (int threads : {1, 4}) {
+    ThreadPool pool(threads);
+    // Chunks 90 and 10 both fail; chunk order (not completion order) must
+    // pick chunk 10's status, matching a serial early return.
+    const Status status =
+        pool.ParallelForStatus(0, 100, 1, [](int64_t lo, int64_t) {
+          if (lo == 90) return InternalError("late chunk");
+          if (lo == 10) return InvalidArgumentError("early chunk");
+          return OkStatus();
+        });
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument)
+        << status << " threads=" << threads;
+    EXPECT_EQ(status.message(), "early chunk");
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForStatusEmptyRangeIsOk) {
+  ThreadPool pool(2);
+  const Status status = pool.ParallelForStatus(
+      5, 5, 1, [](int64_t, int64_t) { return InternalError("never runs"); });
+  EXPECT_TRUE(status.ok()) << status;
+}
+
 TEST(ThreadPoolTest, ExceptionMessageSurvivesPropagation) {
   ThreadPool pool(4);
   try {

@@ -1,0 +1,703 @@
+#!/usr/bin/env python3
+"""rangesyn-lint: project-specific static checks for the rangesyn tree.
+
+Fast, dependency-free (stdlib only) companion to clang-tidy for rules the
+generic tooling cannot express. Checks (see DESIGN.md "Static analysis"):
+
+  LINT-001 unchecked-result   Result<T>/Status error handling dropped:
+                              `.value()` / `->value()` / `.ValueOrDie()`
+                              without a preceding `.ok()` check in the
+                              lookback window, or a bare call statement
+                              that discards a Status-returning function's
+                              return value.
+  LINT-002 nondeterminism     Banned nondeterminism in src/: `rand()` /
+                              `srand()` anywhere, `std::random_device`
+                              outside core/random, and
+                              `std::chrono::system_clock` outside obs/
+                              (the determinism contract in DESIGN.md
+                              "Threading model" depends on seeded Rng and
+                              steady_clock only).
+  LINT-003 float-eq           `==`/`!=` against a floating-point literal.
+                              The DP tie-breaking contract relies on
+                              documented strict-`<` comparisons; exact
+                              float equality is almost always a bug
+                              outside test oracles. Waive intentional
+                              cases with `// lint: float-eq-ok`.
+  LINT-004 raw-resource       Raw `new`/`delete` or `std::thread` outside
+                              core/threadpool.* — the library allocates
+                              through RAII owners and parallelises through
+                              the pool, never via loose threads.
+  LINT-005 header-hygiene     Headers missing an include guard (or
+                              `#pragma once`), and library code including
+                              the `rangesyn.h` umbrella header (transitive
+                              -include reliance; include the module header
+                              you actually use).
+
+Waivers are inline comments. Canonical form, with an optional reason:
+
+    do_risky_thing();  // lint: waive(LINT-004) reason...
+
+Aliases: `// lint: float-eq-ok` (LINT-003), `// lint: unchecked-ok`
+(LINT-001), `// lint: nondet-ok` (LINT-002), `// lint: raw-new-ok`
+(LINT-004). A waiver comment alone on a line also covers the next line.
+
+Repo-wide suppressions live in tools/lint/lint_config.toml as baseline
+entries matched by (check, file, contains-substring), each with a
+mandatory justification. Exit status is nonzero iff any non-suppressed
+finding remains.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import pathlib
+import re
+import sys
+import tomllib
+
+CHECK_IDS = {
+    "LINT-001": "unchecked-result",
+    "LINT-002": "nondeterminism",
+    "LINT-003": "float-eq",
+    "LINT-004": "raw-resource",
+    "LINT-005": "header-hygiene",
+}
+
+WAIVER_ALIASES = {
+    "float-eq-ok": "LINT-003",
+    "unchecked-ok": "LINT-001",
+    "nondet-ok": "LINT-002",
+    "raw-new-ok": "LINT-004",
+}
+
+SOURCE_EXTENSIONS = {".h", ".cc"}
+
+# How far back (in lines) LINT-001 looks for an `x.ok()` guard before an
+# `x.value()` use. Function bodies in this codebase are short; a guard
+# further away than this is too far from the use to trust anyway.
+OK_CHECK_LOOKBACK = 40
+
+
+@dataclasses.dataclass(frozen=True)
+class Finding:
+    check: str
+    path: str  # repo-relative, forward slashes
+    line: int  # 1-based
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.check}] {self.message}"
+
+
+@dataclasses.dataclass
+class SourceFile:
+    path: pathlib.Path
+    rel: str
+    lines: list[str]  # original text, per line
+    code: list[str]  # comments and string/char literals blanked
+    waivers: dict[int, set[str]]  # 1-based line -> waived check ids
+
+
+def strip_comments_and_strings(lines: list[str]) -> list[str]:
+    """Blanks comments and string/char literal contents, keeping line
+    structure so findings keep their line numbers."""
+    out: list[str] = []
+    in_block = False
+    for line in lines:
+        result: list[str] = []
+        i = 0
+        n = len(line)
+        while i < n:
+            if in_block:
+                end = line.find("*/", i)
+                if end == -1:
+                    i = n
+                else:
+                    in_block = False
+                    i = end + 2
+                continue
+            ch = line[i]
+            nxt = line[i + 1] if i + 1 < n else ""
+            if ch == "/" and nxt == "/":
+                break  # rest of line is a comment
+            if ch == "/" and nxt == "*":
+                in_block = True
+                i += 2
+                continue
+            if ch in "\"'":
+                quote = ch
+                i += 1
+                while i < n:
+                    if line[i] == "\\":
+                        i += 2
+                        continue
+                    if line[i] == quote:
+                        i += 1
+                        break
+                    i += 1
+                result.append(quote + quote)  # keep token boundaries
+                continue
+            result.append(ch)
+            i += 1
+        out.append("".join(result))
+    return out
+
+
+WAIVER_RE = re.compile(r"//\s*lint:\s*(?P<body>.*)$")
+WAIVE_FORM_RE = re.compile(r"waive\s*\(\s*(LINT-\d{3})\s*\)")
+
+
+def parse_waivers(lines: list[str]) -> dict[int, set[str]]:
+    waivers: dict[int, set[str]] = {}
+    for idx, line in enumerate(lines, start=1):
+        m = WAIVER_RE.search(line)
+        if not m:
+            continue
+        body = m.group("body")
+        ids: set[str] = set(WAIVE_FORM_RE.findall(body))
+        for alias, check in WAIVER_ALIASES.items():
+            if re.search(rf"\b{re.escape(alias)}\b", body):
+                ids.add(check)
+        if not ids:
+            continue
+        waivers.setdefault(idx, set()).update(ids)
+        # A waiver alone on a line covers the following line too.
+        if line[: m.start()].strip() == "":
+            waivers.setdefault(idx + 1, set()).update(ids)
+    return waivers
+
+
+def load_file(path: pathlib.Path, root: pathlib.Path) -> SourceFile:
+    text = path.read_text(encoding="utf-8", errors="replace")
+    lines = text.split("\n")
+    try:
+        rel = path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        rel = path.as_posix()
+    return SourceFile(
+        path=path,
+        rel=rel,
+        lines=lines,
+        code=strip_comments_and_strings(lines),
+        waivers=parse_waivers(lines),
+    )
+
+
+# --------------------------------------------------------------------------
+# LINT-001: unchecked Result<T>/Status
+# --------------------------------------------------------------------------
+
+MOVE_VALUE_RE = re.compile(
+    r"std::move\(\s*([A-Za-z_]\w*)\s*\)\s*\.\s*(?:value|ValueOrDie)\s*\(\s*\)"
+)
+NAMED_VALUE_RE = re.compile(
+    r"\b([A-Za-z_]\w*)\s*(\.|->)\s*(?:value|ValueOrDie)\s*\(\s*\)"
+)
+CHAINED_VALUE_RE = re.compile(r"\)\s*\.\s*(?:value|ValueOrDie)\s*\(\s*\)")
+
+STATUS_DECL_RE = re.compile(
+    r"^\s*(?:\[\[nodiscard\]\]\s*)?(?:static\s+|virtual\s+|friend\s+)*"
+    r"Status\s+([A-Za-z_]\w*)\s*\("
+)
+# Names far too generic to flag call statements for, even if some header
+# declares a Status-returning function with the name.
+STATUS_NAME_STOPLIST = {"OK", "OkStatus", "Status"}
+
+
+def collect_status_functions(files: list[SourceFile]) -> set[str]:
+    names: set[str] = set()
+    for f in files:
+        if f.path.suffix != ".h":
+            continue
+        for code_line in f.code:
+            m = STATUS_DECL_RE.match(code_line)
+            if m and m.group(1) not in STATUS_NAME_STOPLIST:
+                names.add(m.group(1))
+    return names
+
+
+def has_ok_guard(f: SourceFile, upto_line: int, var: str) -> bool:
+    """True when `var.ok()` (or var->ok(), including inside RANGESYN_CHECK /
+    if / EXPECT_TRUE wrappers) appears within the lookback window ending at
+    `upto_line` (1-based, inclusive)."""
+    guard = re.compile(rf"\b{re.escape(var)}\b\s*(?:\.|->)\s*ok\s*\(\s*\)")
+    start = max(1, upto_line - OK_CHECK_LOOKBACK)
+    for idx in range(start, upto_line + 1):
+        if guard.search(f.code[idx - 1]):
+            return True
+    return False
+
+
+def statement_start(code_line: str, prev_code_lines: list[str]) -> bool:
+    """Heuristic: the line begins a new statement (it is not a continuation
+    of an expression started above)."""
+    for prev in reversed(prev_code_lines):
+        stripped = prev.strip()
+        if not stripped:
+            continue
+        return stripped.endswith((";", "{", "}", ":")) or stripped.startswith("#")
+    return True
+
+
+def check_unchecked_result(f: SourceFile, status_funcs: set[str]) -> list[Finding]:
+    findings: list[Finding] = []
+    for idx, code_line in enumerate(f.code, start=1):
+        consumed: list[tuple[int, int]] = []
+
+        def overlaps(m: re.Match) -> bool:
+            return any(m.start() < e and m.end() > s for s, e in consumed)
+
+        for m in MOVE_VALUE_RE.finditer(code_line):
+            consumed.append(m.span())
+            var = m.group(1)
+            if not has_ok_guard(f, idx, var):
+                findings.append(
+                    Finding(
+                        "LINT-001",
+                        f.rel,
+                        idx,
+                        f"std::move({var}).value() without a preceding "
+                        f"{var}.ok() check in the last "
+                        f"{OK_CHECK_LOOKBACK} lines",
+                    )
+                )
+        for m in NAMED_VALUE_RE.finditer(code_line):
+            if overlaps(m):
+                continue
+            consumed.append(m.span())
+            var = m.group(1)
+            if var in ("this",):
+                continue
+            if not has_ok_guard(f, idx, var):
+                findings.append(
+                    Finding(
+                        "LINT-001",
+                        f.rel,
+                        idx,
+                        f"{var}{m.group(2)}value() without a preceding "
+                        f"{var}.ok() check in the last "
+                        f"{OK_CHECK_LOOKBACK} lines",
+                    )
+                )
+        for m in CHAINED_VALUE_RE.finditer(code_line):
+            if overlaps(m):
+                continue
+            findings.append(
+                Finding(
+                    "LINT-001",
+                    f.rel,
+                    idx,
+                    ".value() chained directly onto a call result — the "
+                    "error arm cannot have been checked; name the Result "
+                    "and test ok() (or use RANGESYN_ASSIGN_OR_RETURN)",
+                )
+            )
+
+        # Discarded Status: a bare call statement to a known
+        # Status-returning function.
+        if f.path.suffix == ".cc" and status_funcs:
+            stripped = code_line.strip()
+            m = re.match(
+                r"^(?:[A-Za-z_][\w:]*(?:\.|->))?([A-Za-z_]\w*)\s*\(", stripped
+            )
+            if (
+                m
+                and m.group(1) in status_funcs
+                and "=" not in code_line[: code_line.find(m.group(1))]
+                and not stripped.startswith("return")
+                and statement_start(code_line, f.code[: idx - 1])
+            ):
+                findings.append(
+                    Finding(
+                        "LINT-001",
+                        f.rel,
+                        idx,
+                        f"call to Status-returning '{m.group(1)}' discards "
+                        "the result; use RANGESYN_RETURN_IF_ERROR / "
+                        "RANGESYN_CHECK_OK or handle the Status",
+                    )
+                )
+    return findings
+
+
+# --------------------------------------------------------------------------
+# LINT-002: banned nondeterminism
+# --------------------------------------------------------------------------
+
+RAND_RE = re.compile(r"\b(?:s?rand)\s*\(")
+RANDOM_DEVICE_RE = re.compile(r"\b(?:std::)?random_device\b")
+SYSTEM_CLOCK_RE = re.compile(r"\bsystem_clock\b")
+
+
+def check_nondeterminism(f: SourceFile) -> list[Finding]:
+    findings: list[Finding] = []
+    in_random_module = re.search(r"(^|/)core/random\.(h|cc)$", f.rel) is not None
+    in_obs = "/obs/" in f"/{f.rel}"
+    for idx, code_line in enumerate(f.code, start=1):
+        if RAND_RE.search(code_line):
+            findings.append(
+                Finding(
+                    "LINT-002",
+                    f.rel,
+                    idx,
+                    "rand()/srand() is banned everywhere — use the seeded "
+                    "rangesyn::Rng (core/random.h)",
+                )
+            )
+        if RANDOM_DEVICE_RE.search(code_line) and not in_random_module:
+            findings.append(
+                Finding(
+                    "LINT-002",
+                    f.rel,
+                    idx,
+                    "std::random_device outside core/random breaks the "
+                    "seeded-determinism contract",
+                )
+            )
+        if SYSTEM_CLOCK_RE.search(code_line) and not in_obs:
+            findings.append(
+                Finding(
+                    "LINT-002",
+                    f.rel,
+                    idx,
+                    "std::chrono::system_clock outside obs/ — use "
+                    "steady_clock (wall-clock timestamps belong to the "
+                    "observability layer only)",
+                )
+            )
+    return findings
+
+
+# --------------------------------------------------------------------------
+# LINT-003: floating-point ==/!=
+# --------------------------------------------------------------------------
+
+FLOAT_LITERAL_RE = re.compile(
+    r"^[+-]?(?:\d+\.\d*|\.\d+|\d+\.|\d+[eE][+-]?\d+|"
+    r"(?:\d+\.\d*|\.\d+|\d+\.)[eE][+-]?\d+)[fFlL]?$"
+)
+COMPARISON_RE = re.compile(r"(?<![=!<>+\-*/&|^])(==|!=)(?!=)")
+LEFT_OPERAND_RE = re.compile(r"([\w.\)\]+-]+)\s*$")
+RIGHT_OPERAND_RE = re.compile(r"^\s*([+-]?[\w.]+)")
+
+
+def is_float_literal(token: str) -> bool:
+    return FLOAT_LITERAL_RE.match(token.strip("()")) is not None
+
+
+def check_float_eq(f: SourceFile) -> list[Finding]:
+    findings: list[Finding] = []
+    for idx, code_line in enumerate(f.code, start=1):
+        for m in COMPARISON_RE.finditer(code_line):
+            left = LEFT_OPERAND_RE.search(code_line[: m.start()])
+            right = RIGHT_OPERAND_RE.search(code_line[m.end() :])
+            left_tok = left.group(1) if left else ""
+            right_tok = right.group(1) if right else ""
+            if is_float_literal(left_tok) or is_float_literal(right_tok):
+                findings.append(
+                    Finding(
+                        "LINT-003",
+                        f.rel,
+                        idx,
+                        f"floating-point {m.group(1)} comparison — use an "
+                        "epsilon helper (AlmostEqual) or waive a documented "
+                        "exact-representation case with // lint: float-eq-ok",
+                    )
+                )
+    return findings
+
+
+# --------------------------------------------------------------------------
+# LINT-004: raw new/delete and loose std::thread
+# --------------------------------------------------------------------------
+
+NEW_RE = re.compile(r"\bnew\b")
+DELETE_RE = re.compile(r"\bdelete\b(?:\s*\[\s*\])?")
+DELETED_FN_RE = re.compile(r"=\s*delete\s*(?:;|$)")
+STD_THREAD_RE = re.compile(r"\bstd::thread\b")
+
+
+def lint004_allowed(rel: str) -> bool:
+    return re.search(r"(^|/)core/threadpool\.(h|cc)$", rel) is not None
+
+
+def check_raw_resource(f: SourceFile) -> list[Finding]:
+    if lint004_allowed(f.rel):
+        return []
+    findings: list[Finding] = []
+    for idx, code_line in enumerate(f.code, start=1):
+        if NEW_RE.search(code_line):
+            findings.append(
+                Finding(
+                    "LINT-004",
+                    f.rel,
+                    idx,
+                    "raw `new` — use std::make_unique/containers (waive "
+                    "intentional leaked singletons with "
+                    "// lint: waive(LINT-004))",
+                )
+            )
+        for m in DELETE_RE.finditer(code_line):
+            if DELETED_FN_RE.search(code_line[max(0, m.start() - 8) :]):
+                continue  # `= delete;` declarations are fine
+            findings.append(
+                Finding(
+                    "LINT-004",
+                    f.rel,
+                    idx,
+                    "raw `delete` — ownership belongs in RAII types",
+                )
+            )
+        if STD_THREAD_RE.search(code_line):
+            findings.append(
+                Finding(
+                    "LINT-004",
+                    f.rel,
+                    idx,
+                    "std::thread outside core/threadpool — parallelism goes "
+                    "through ThreadPool::ParallelFor so shutdown, exception "
+                    "propagation, and determinism stay centralised",
+                )
+            )
+    return findings
+
+
+# --------------------------------------------------------------------------
+# LINT-005: header hygiene
+# --------------------------------------------------------------------------
+
+UMBRELLA_INCLUDE_RE = re.compile(r'#\s*include\s*[<"](?:src/)?rangesyn\.h[">]')
+
+
+def check_header_hygiene(f: SourceFile) -> list[Finding]:
+    findings: list[Finding] = []
+    if f.path.suffix == ".h":
+        has_pragma_once = any(
+            re.match(r"\s*#\s*pragma\s+once\b", line) for line in f.code[:40]
+        )
+        guard_ok = False
+        code_head = [line for line in f.code if line.strip()][:4]
+        for pos, line in enumerate(code_head):
+            m = re.match(r"\s*#\s*ifndef\s+(\w+)", line)
+            if m and pos + 1 < len(code_head):
+                d = re.match(r"\s*#\s*define\s+(\w+)", code_head[pos + 1])
+                if d and d.group(1) == m.group(1):
+                    guard_ok = True
+            break  # only the first non-blank code line may open the guard
+        if not (guard_ok or has_pragma_once):
+            findings.append(
+                Finding(
+                    "LINT-005",
+                    f.rel,
+                    1,
+                    "header has no include guard (#ifndef/#define pair as "
+                    "the first directives, or #pragma once)",
+                )
+            )
+    if not f.rel.endswith("rangesyn.h"):
+        for idx, line in enumerate(f.lines, start=1):
+            if UMBRELLA_INCLUDE_RE.search(line):
+                findings.append(
+                    Finding(
+                        "LINT-005",
+                        f.rel,
+                        idx,
+                        "library code must not include the rangesyn.h "
+                        "umbrella header — include the module headers it "
+                        "actually uses",
+                    )
+                )
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Driver
+# --------------------------------------------------------------------------
+
+
+def discover(paths: list[pathlib.Path]) -> list[pathlib.Path]:
+    files: list[pathlib.Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(
+                p
+                for p in sorted(path.rglob("*"))
+                if p.suffix in SOURCE_EXTENSIONS and p.is_file()
+            )
+        elif path.is_file():
+            files.append(path)
+        else:
+            raise FileNotFoundError(f"no such file or directory: {path}")
+    return files
+
+
+def apply_waivers(f: SourceFile, findings: list[Finding]) -> list[Finding]:
+    return [
+        fi
+        for fi in findings
+        if fi.check not in f.waivers.get(fi.line, set())
+    ]
+
+
+@dataclasses.dataclass
+class BaselineEntry:
+    check: str
+    file: str
+    contains: str
+    reason: str
+    used: bool = False
+
+    def matches(self, finding: Finding, line_text: str) -> bool:
+        return (
+            finding.check == self.check
+            and finding.path.endswith(self.file)
+            and self.contains in line_text
+        )
+
+
+def load_config(path: pathlib.Path) -> tuple[list[str], list[BaselineEntry]]:
+    with open(path, "rb") as fp:
+        config = tomllib.load(fp)
+    roots = config.get("lint", {}).get("roots", ["src"])
+    baseline: list[BaselineEntry] = []
+    for entry in config.get("baseline", []):
+        missing = {"check", "file", "contains", "reason"} - set(entry)
+        if missing:
+            raise ValueError(
+                f"baseline entry {entry!r} is missing keys: {sorted(missing)} "
+                "(every suppression needs a justification)"
+            )
+        if entry["check"] not in CHECK_IDS:
+            raise ValueError(f"baseline entry has unknown check {entry['check']!r}")
+        baseline.append(
+            BaselineEntry(
+                check=entry["check"],
+                file=entry["file"],
+                contains=entry["contains"],
+                reason=entry["reason"],
+            )
+        )
+    return roots, baseline
+
+
+def run_lint(
+    paths: list[pathlib.Path],
+    repo_root: pathlib.Path,
+    baseline: list[BaselineEntry],
+) -> tuple[list[Finding], list[SourceFile]]:
+    files = [load_file(p, repo_root) for p in discover(paths)]
+    status_funcs = collect_status_functions(files)
+    all_findings: list[Finding] = []
+    by_rel = {f.rel: f for f in files}
+    for f in files:
+        findings: list[Finding] = []
+        findings += check_unchecked_result(f, status_funcs)
+        findings += check_nondeterminism(f)
+        findings += check_float_eq(f)
+        findings += check_raw_resource(f)
+        findings += check_header_hygiene(f)
+        all_findings += apply_waivers(f, findings)
+
+    kept: list[Finding] = []
+    for finding in all_findings:
+        src = by_rel.get(finding.path)
+        line_text = ""
+        if src and 1 <= finding.line <= len(src.lines):
+            line_text = src.lines[finding.line - 1]
+        suppressed = False
+        for entry in baseline:
+            if entry.matches(finding, line_text):
+                entry.used = True
+                suppressed = True
+                break
+        if not suppressed:
+            kept.append(finding)
+    kept.sort(key=lambda fi: (fi.path, fi.line, fi.check))
+    return kept, files
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="rangesyn-lint", description=__doc__.split("\n", 1)[0]
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: config roots)",
+    )
+    parser.add_argument(
+        "--config",
+        type=pathlib.Path,
+        default=None,
+        help="lint_config.toml with roots and the suppression baseline",
+    )
+    parser.add_argument(
+        "--no-config",
+        action="store_true",
+        help="ignore any config file (used by the self-tests)",
+    )
+    parser.add_argument(
+        "--json",
+        type=pathlib.Path,
+        default=None,
+        metavar="PATH",
+        help="also write findings as a JSON array to PATH",
+    )
+    parser.add_argument(
+        "--list-checks", action="store_true", help="print the check catalog"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_checks:
+        for check, slug in sorted(CHECK_IDS.items()):
+            print(f"{check}  {slug}")
+        return 0
+
+    repo_root = pathlib.Path.cwd()
+    roots = ["src"]
+    baseline: list[BaselineEntry] = []
+    if not args.no_config:
+        config_path = args.config
+        if config_path is None:
+            default = repo_root / "tools" / "lint" / "lint_config.toml"
+            config_path = default if default.is_file() else None
+        if config_path is not None:
+            roots, baseline = load_config(config_path)
+
+    paths = [pathlib.Path(p) for p in args.paths] or [
+        pathlib.Path(r) for r in roots
+    ]
+    try:
+        findings, _ = run_lint(paths, repo_root, baseline)
+    except FileNotFoundError as err:
+        print(f"rangesyn-lint: {err}", file=sys.stderr)
+        return 2
+
+    for finding in findings:
+        print(finding.render())
+    for entry in baseline:
+        if not entry.used:
+            print(
+                f"rangesyn-lint: note: stale baseline entry ({entry.check} "
+                f"in {entry.file}, contains {entry.contains!r}) no longer "
+                "matches anything — remove it",
+                file=sys.stderr,
+            )
+    if args.json is not None:
+        args.json.write_text(
+            json.dumps([dataclasses.asdict(fi) for fi in findings], indent=2)
+            + "\n",
+            encoding="utf-8",
+        )
+    if findings:
+        print(
+            f"rangesyn-lint: {len(findings)} finding(s)", file=sys.stderr
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Runs rangesyn-lint (tools/lint/rangesyn_lint.py), the project-specific
+# static checker, over the library sources.
+#
+# Usage:
+#   tools/run_lint.sh                 # lint the configured roots (src/)
+#   tools/run_lint.sh src/histogram   # lint a subtree or explicit files
+#   tools/run_lint.sh --json out.json # also write machine-readable findings
+#
+# Environment:
+#   PYTHON  python interpreter (default: python3)
+#
+# Exits nonzero when any non-waived, non-baselined finding remains; see
+# tools/lint/lint_config.toml for the baseline and DESIGN.md "Static
+# analysis" for the check catalog and waiver policy.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PYTHON_BIN="${PYTHON:-python3}"
+if ! command -v "$PYTHON_BIN" >/dev/null 2>&1; then
+  echo "run_lint.sh: '$PYTHON_BIN' not found; install Python 3.11+ to lint" >&2
+  exit 1
+fi
+
+exec "$PYTHON_BIN" tools/lint/rangesyn_lint.py \
+  --config tools/lint/lint_config.toml "$@"

@@ -2,45 +2,99 @@
 # Runs clang-tidy over the library sources using the repo .clang-tidy and
 # the compile database exported by the `tidy` CMake preset.
 #
+# The file list comes from the compile database itself (i.e. from the CMake
+# target sources), not from a filesystem glob — so the set of checked files
+# is exactly the set of built files. As a guard against the converse drift,
+# the script fails when a .cc file exists under src/ on disk but is absent
+# from the database: that means someone added a file without adding it to a
+# CMake target, and neither the build nor tidy would cover it.
+#
 # Usage:
-#   tools/run_tidy.sh              # tidy every .cc under src/
-#   tools/run_tidy.sh src/core     # tidy a subtree (or explicit files)
+#   tools/run_tidy.sh              # tidy every DB entry under src/
+#   tools/run_tidy.sh src/core     # restrict to a subtree (or explicit files)
 #
 # Environment:
 #   CLANG_TIDY      clang-tidy binary (default: clang-tidy)
 #   TIDY_BUILD_DIR  compile-database dir (default: build/tidy)
+#   PYTHON          python interpreter for DB parsing (default: python3)
 #
-# Exits 0 with a notice when clang-tidy is not installed, so the script is
-# safe to call from environments that only have gcc; CI installs clang-tidy
-# and therefore actually enforces the checks.
+# Exits 0 with a notice when clang-tidy is not installed (the coverage
+# check above still runs), so the script is safe to call from environments
+# that only have gcc; CI installs clang-tidy and enforces the checks.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+ROOT="$(pwd)"
 
-TIDY_BIN="${CLANG_TIDY:-clang-tidy}"
-if ! command -v "$TIDY_BIN" >/dev/null 2>&1; then
-  echo "run_tidy.sh: '$TIDY_BIN' not found; skipping lint (install clang-tidy to enable)" >&2
-  exit 0
-fi
-
+PY="${PYTHON:-python3}"
 BUILD_DIR="${TIDY_BUILD_DIR:-build/tidy}"
 if [[ ! -f "$BUILD_DIR/compile_commands.json" ]]; then
   echo "run_tidy.sh: configuring '$BUILD_DIR' via the tidy preset" >&2
   cmake --preset tidy >/dev/null
 fi
 
+# Repo-relative src/**/*.cc entries from the compile database.
+declare -a db_sources
+while IFS= read -r f; do db_sources+=("$f"); done < <(
+  "$PY" - "$BUILD_DIR/compile_commands.json" "$ROOT" <<'EOF'
+import json, pathlib, sys
+db_path, root = sys.argv[1], pathlib.Path(sys.argv[2]).resolve()
+entries = json.load(open(db_path, encoding="utf-8"))
+rels = set()
+for entry in entries:
+    f = pathlib.Path(entry["directory"], entry["file"]).resolve()
+    try:
+        rel = f.relative_to(root).as_posix()
+    except ValueError:
+        continue
+    if rel.startswith("src/") and rel.endswith(".cc"):
+        rels.add(rel)
+print("\n".join(sorted(rels)))
+EOF
+)
+
+# New-file omission guard: every src/**/*.cc on disk must be in the DB.
+missing=0
+while IFS= read -r f; do
+  found=0
+  for db in "${db_sources[@]}"; do
+    [[ "$db" == "$f" ]] && { found=1; break; }
+  done
+  if [[ $found -eq 0 ]]; then
+    echo "run_tidy.sh: error: $f exists on disk but is not in any CMake target" >&2
+    echo "  (add it to a target in src/CMakeLists.txt so the build and tidy cover it)" >&2
+    missing=1
+  fi
+done < <(find src -name '*.cc' | sort)
+if [[ $missing -ne 0 ]]; then
+  exit 1
+fi
+
+# Optional subtree / explicit-file filtering of the DB-derived list.
 declare -a sources
 if [[ $# -gt 0 ]]; then
   for arg in "$@"; do
-    if [[ -d "$arg" ]]; then
-      while IFS= read -r f; do sources+=("$f"); done \
-        < <(find "$arg" -name '*.cc' | sort)
-    else
-      sources+=("$arg")
+    arg="${arg%/}"
+    matched=0
+    for db in "${db_sources[@]}"; do
+      if [[ "$db" == "$arg" || "$db" == "$arg"/* ]]; then
+        sources+=("$db")
+        matched=1
+      fi
+    done
+    if [[ $matched -eq 0 ]]; then
+      echo "run_tidy.sh: error: '$arg' matches no compile-database entry" >&2
+      exit 1
     fi
   done
 else
-  while IFS= read -r f; do sources+=("$f"); done \
-    < <(find src -name '*.cc' | sort)
+  sources=("${db_sources[@]}")
+fi
+
+TIDY_BIN="${CLANG_TIDY:-clang-tidy}"
+if ! command -v "$TIDY_BIN" >/dev/null 2>&1; then
+  echo "run_tidy.sh: '$TIDY_BIN' not found; coverage check passed," \
+       "skipping tidy checks (install clang-tidy to enable)" >&2
+  exit 0
 fi
 
 echo "run_tidy.sh: checking ${#sources[@]} files with $("$TIDY_BIN" --version | head -1)"
