@@ -5,12 +5,16 @@
 // SSE with very different state counts and build times.
 
 #include <iostream>
+#include <optional>
 
+#include "core/deadline.h"
 #include "core/flags.h"
 #include "core/logging.h"
 #include "core/strings.h"
 #include "core/threadpool.h"
 #include "data/rounding.h"
+#include "engine/factory.h"
+#include "eval/metrics.h"
 #include "eval/report.h"
 #include "histogram/opt_a_dp.h"
 #include "obs/obs.h"
@@ -65,6 +69,7 @@ int main(int argc, char** argv) {
             << flags.GetInt64("buckets") << ")\n";
   TextTable table({"configuration", "optimal SSE", "DP states",
                    "build(s)", "status"});
+  std::optional<AvgHistogram> optimal_histogram;
   for (const Config& config : configs) {
     OptAOptions options;
     options.max_buckets = flags.GetInt64("buckets");
@@ -76,6 +81,9 @@ int main(int argc, char** argv) {
     auto result = BuildOptA(data.value(), options);
     const double secs = watch.Seconds();
     if (result.ok()) {
+      if (!optimal_histogram.has_value()) {
+        optimal_histogram = result->histogram;
+      }
       table.AddRow({config.label, FormatG(result->optimal_sse),
                     StrCat(result->states_explored), FormatG(secs, 3),
                     "ok"});
@@ -87,6 +95,44 @@ int main(int argc, char** argv) {
   table.Print(std::cout);
   std::cout << "\nAll successful configurations must report identical SSE "
                "(the prunes are admissible).\n";
+
+  // Degraded-build accounting (EXPERIMENTS.md): the same build with a
+  // pre-expired deadline (a cancelled token, so the trip is deterministic)
+  // walks the engine's fallback ladder instead of failing, and this table
+  // prices that fallback: its all-ranges SSE against the optimum above.
+  std::cout << "\n# degraded build: OPT-A under an expired deadline\n";
+  TextTable degraded_table({"requested", "built", "fallback reason",
+                            "all-ranges SSE", "SSE / optimal"});
+  SynopsisSpec spec;
+  spec.method = "opta";
+  spec.budget_words = 2 * flags.GetInt64("buckets");
+  spec.max_states = static_cast<uint64_t>(flags.GetInt64("max_states"));
+  CancellationToken cancelled;
+  cancelled.Cancel();
+  BuildOptions degrade_options;
+  degrade_options.deadline = Deadline::FromToken(cancelled);
+  auto degraded =
+      BuildSynopsisWithOptions(spec, data.value(), degrade_options);
+  RANGESYN_CHECK_OK(degraded.status());
+  int64_t degraded_count = degraded->degraded ? 1 : 0;
+  auto fallback_sse = AllRangesSse(data.value(), *degraded->estimator);
+  RANGESYN_CHECK_OK(fallback_sse.status());
+  double sse_ratio = 0.0;
+  std::string ratio_text = "-";
+  if (optimal_histogram.has_value()) {
+    auto optimal_sse = AllRangesSse(data.value(), *optimal_histogram);
+    RANGESYN_CHECK_OK(optimal_sse.status());
+    if (optimal_sse.value() > 0.0) {
+      sse_ratio = fallback_sse.value() / optimal_sse.value();
+      ratio_text = FormatG(sse_ratio);
+    }
+  }
+  degraded_table.AddRow({spec.method, degraded->built_method,
+                         degraded->fallback_reason,
+                         FormatG(fallback_sse.value()), ratio_text});
+  degraded_table.Print(std::cout);
+  std::cout << "degraded builds this run: " << degraded_count << "\n";
+
   if (!flags.GetString("json").empty()) {
     BenchReport report("tbl_ablation");
     report.AddMeta("n", dataset_options.n);
@@ -95,7 +141,11 @@ int main(int argc, char** argv) {
     report.AddMeta("seed", static_cast<int64_t>(dataset_options.seed));
     report.AddMeta("buckets", flags.GetInt64("buckets"));
     report.AddMeta("threads", static_cast<int64_t>(GlobalThreads()));
+    report.AddMeta("degraded", degraded_count);
+    report.AddMeta("degraded_built_method", degraded->built_method);
+    report.AddMeta("fallback_sse_ratio", sse_ratio);
     report.AddTable("ablation", table);
+    report.AddTable("degraded_build", degraded_table);
     RANGESYN_CHECK_OK(report.WriteJsonFile(flags.GetString("json")));
     std::cout << "# wrote JSON -> " << flags.GetString("json") << "\n";
   }

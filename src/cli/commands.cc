@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "core/failpoint.h"
 #include "core/flags.h"
 #include "core/random.h"
 #include "core/strings.h"
@@ -60,6 +61,10 @@ Result<std::string> CmdBuild(const std::vector<std::string>& args) {
   flags.DefineInt64("budget", 24, "storage budget (words)");
   flags.DefineInt64("granularity", 2, "OPT-A-ROUNDED granularity");
   flags.DefineString("out", "synopsis.rsn", "output path");
+  flags.DefineInt64("deadline-ms", 0,
+                    "build deadline in milliseconds (0 = unlimited); on "
+                    "expiry a cheaper fallback construction is built "
+                    "instead of failing");
   RANGESYN_RETURN_IF_ERROR(ParseArgs(&flags, args));
   RANGESYN_ASSIGN_OR_RETURN(std::vector<int64_t> data,
                             LoadDistributionCsv(flags.GetString("data")));
@@ -67,18 +72,36 @@ Result<std::string> CmdBuild(const std::vector<std::string>& args) {
   spec.method = flags.GetString("method");
   spec.budget_words = flags.GetInt64("budget");
   spec.granularity = flags.GetInt64("granularity");
-  RANGESYN_ASSIGN_OR_RETURN(RangeEstimatorPtr est,
-                            BuildSynopsis(spec, data));
+  BuildOptions build_options;
+  const int64_t deadline_ms = flags.GetInt64("deadline-ms");
+  if (deadline_ms < 0) {
+    return InvalidArgumentError("--deadline-ms must be >= 0");
+  }
+  if (deadline_ms > 0) {
+    build_options.deadline =
+        Deadline::After(static_cast<double>(deadline_ms) / 1000.0);
+  }
+  RANGESYN_ASSIGN_OR_RETURN(BuildOutcome outcome,
+                            BuildSynopsisWithOptions(spec, data,
+                                                     build_options));
+  const RangeEstimatorPtr& est = outcome.estimator;
   RANGESYN_RETURN_IF_ERROR(
       SaveSynopsisToFile(*est, flags.GetString("out")));
   // Total-mass self-check: one real query through the freshly built
   // synopsis, so even a bare `build` run exercises the query path.
   const double total = est->EstimateRange(1, est->domain_size());
   RANGESYN_OBS_COUNTER_INC("engine.query.count");
-  return StrCat("built ", est->Name(), " (", est->StorageWords(),
-                " words over domain ", est->domain_size(), ") -> ",
-                flags.GetString("out"), "\nself-check: s[1,",
-                est->domain_size(), "] ~= ", FormatG(total, 10), "\n");
+  std::string degraded_note;
+  if (outcome.degraded) {
+    degraded_note =
+        StrCat("note: degraded '", outcome.degraded_from, "' -> '",
+               outcome.built_method, "' (", outcome.fallback_reason, ")\n");
+  }
+  return StrCat(degraded_note, "built ", est->Name(), " (",
+                est->StorageWords(), " words over domain ",
+                est->domain_size(), ") -> ", flags.GetString("out"),
+                "\nself-check: s[1,", est->domain_size(), "] ~= ",
+                FormatG(total, 10), "\n");
 }
 
 Result<std::string> CmdInspect(const std::vector<std::string>& args) {
@@ -235,6 +258,10 @@ std::string CliUsage() {
       "  --threads=N        worker threads for parallel construction "
       "(0 = all cores, 1 = serial; default: RANGESYN_THREADS env or 0). "
       "Results are bit-identical at every thread count.\n"
+      "  --failpoints=SPEC  activate fault-injection sites (debugging/"
+      "testing; e.g. 'io.*=once;alloc.interval_dp=prob:0.1:42'). "
+      "Default: RANGESYN_FAILPOINTS env. Requires a build with "
+      "RANGESYN_FAILPOINTS=ON (the default).\n"
       "\n"
       "run 'rangesyn <command> --help' for per-command flags.\n";
 }
@@ -260,6 +287,14 @@ Result<std::string> RunCliCommand(const std::vector<std::string>& args) {
                    value, "'"));
       }
       SetGlobalThreads(static_cast<int>(threads));
+    } else if (a.rfind("--failpoints=", 0) == 0) {
+      const std::string spec = a.substr(sizeof("--failpoints=") - 1);
+      if (!failpoint::kCompiledIn) {
+        return FailedPreconditionError(
+            "--failpoints: this binary was built with "
+            "RANGESYN_FAILPOINTS=OFF");
+      }
+      RANGESYN_RETURN_IF_ERROR(failpoint::Configure(spec));
     } else {
       kept.push_back(a);
     }

@@ -1,0 +1,41 @@
+#include "core/crc32c.h"
+
+#include <array>
+
+namespace rangesyn {
+namespace {
+
+/// Byte-at-a-time lookup table for the reflected Castagnoli polynomial,
+/// built once at static-init time (256 entries, pure function — no
+/// ordering hazard).
+std::array<uint32_t, 256> BuildTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1u) != 0 ? (crc >> 1) ^ 0x82f63b78u : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+const std::array<uint32_t, 256>& Table() {
+  static const std::array<uint32_t, 256> table = BuildTable();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32cExtend(uint32_t crc, std::string_view data) {
+  const std::array<uint32_t, 256>& table = Table();
+  crc = ~crc;
+  for (char c : data) {
+    crc = table[(crc ^ static_cast<unsigned char>(c)) & 0xffu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+uint32_t Crc32c(std::string_view data) { return Crc32cExtend(0, data); }
+
+}  // namespace rangesyn

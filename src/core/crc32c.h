@@ -1,0 +1,22 @@
+#ifndef RANGESYN_CORE_CRC32C_H_
+#define RANGESYN_CORE_CRC32C_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace rangesyn {
+
+/// CRC-32C (Castagnoli polynomial 0x1EDC6F41, reflected 0x82F63B78) over
+/// `data`, software table-driven. This is the checksum the v2 on-disk
+/// formats append as a little-endian trailer: it detects every single-bit
+/// and single-byte error and all burst errors up to 32 bits, which is what
+/// the exhaustive bit-flip sweeps in serialize_test/engine_test rely on.
+uint32_t Crc32c(std::string_view data);
+
+/// Incremental form: extends a running CRC (pass the previous return
+/// value; start from Crc32c of the first piece or 0 for an empty prefix).
+uint32_t Crc32cExtend(uint32_t crc, std::string_view data);
+
+}  // namespace rangesyn
+
+#endif  // RANGESYN_CORE_CRC32C_H_

@@ -1,0 +1,100 @@
+#ifndef RANGESYN_CORE_DEADLINE_H_
+#define RANGESYN_CORE_DEADLINE_H_
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <utility>
+
+#include "core/status.h"
+#include "core/strings.h"
+
+namespace rangesyn {
+
+/// Cooperative cancellation handle. Copies share one flag; any copy can
+/// Cancel() and every holder observes it. Used by tests and callers that
+/// want to abort a build deterministically (no clock involved), and by
+/// Deadline as its manual-trip channel.
+class CancellationToken {
+ public:
+  CancellationToken() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  void Cancel() const { flag_->store(true, std::memory_order_release); }
+  [[nodiscard]] bool cancelled() const {
+    return flag_->load(std::memory_order_acquire);
+  }
+
+ private:
+  friend class Deadline;
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+/// A cooperative deadline: an optional steady-clock expiry plus an
+/// optional CancellationToken. Default-constructed Deadlines never expire
+/// and checking them never reads the clock, so plumbing one through a hot
+/// loop costs a couple of branches when no limit is set — determinism of
+/// unlimited builds is untouched. Copies are cheap and safe to capture by
+/// value in ParallelFor bodies (workers see the same shared token).
+///
+/// This is a *cooperative* mechanism: code observes expiry only at its
+/// explicit Check()/Expired() sites (chunk boundaries, DP layers), so an
+/// expired build stops at the next checkpoint, not instantly.
+class Deadline {
+ public:
+  /// No limit: never expires.
+  Deadline() = default;
+
+  /// Expires `seconds` from now (steady clock). Non-positive values
+  /// produce an already-expired deadline.
+  static Deadline After(double seconds) {
+    Deadline d;
+    d.has_time_ = true;
+    d.expiry_ = std::chrono::steady_clock::now() +
+                std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(seconds));
+    return d;
+  }
+
+  /// Expires when `token` is cancelled (no clock component). The natural
+  /// way to build deterministic deadline tests.
+  static Deadline FromToken(CancellationToken token) {
+    Deadline d;
+    d.token_flag_ = std::move(token.flag_);
+    return d;
+  }
+
+  /// Attaches a cancellation token to a (possibly timed) deadline.
+  void AttachToken(const CancellationToken& token) {
+    token_flag_ = token.flag_;
+  }
+
+  /// True when neither a time limit nor a token is set: Expired() is
+  /// constant false and checks compile down to two branches.
+  [[nodiscard]] bool unlimited() const {
+    return !has_time_ && token_flag_ == nullptr;
+  }
+
+  [[nodiscard]] bool Expired() const {
+    if (token_flag_ != nullptr &&
+        token_flag_->load(std::memory_order_acquire)) {
+      return true;
+    }
+    if (!has_time_) return false;
+    return std::chrono::steady_clock::now() >= expiry_;
+  }
+
+  /// OkStatus while live; DeadlineExceeded naming `what` once expired.
+  [[nodiscard]] Status Check(std::string_view what) const {
+    if (!Expired()) return OkStatus();
+    return DeadlineExceededError(StrCat(what, ": deadline exceeded"));
+  }
+
+ private:
+  bool has_time_ = false;
+  std::chrono::steady_clock::time_point expiry_{};
+  std::shared_ptr<std::atomic<bool>> token_flag_;
+};
+
+}  // namespace rangesyn
+
+#endif  // RANGESYN_CORE_DEADLINE_H_

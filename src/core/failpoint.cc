@@ -1,0 +1,260 @@
+#include "core/failpoint.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+
+#include "core/mutex.h"
+#include "core/result.h"
+#include "core/strings.h"
+#include "core/thread_annotations.h"
+
+namespace rangesyn {
+namespace failpoint {
+namespace {
+
+enum class Mode { kOff, kAlways, kOnce, kProb };
+
+struct Rule {
+  std::string pattern;  // exact site name, or a prefix ending in '*'
+  Mode mode = Mode::kOff;
+  uint64_t once_n = 1;  // kOnce: fire on this (1-based) evaluation
+  double prob = 0.0;    // kProb: per-evaluation fire probability
+  uint64_t seed = 0;    // kProb: schedule seed
+  uint64_t evaluations = 0;
+  uint64_t fires = 0;
+};
+
+Mutex g_mu;
+std::vector<Rule> g_rules RANGESYN_GUARDED_BY(g_mu);
+// Fast-path gate: number of active rules. Zero (the production state)
+// means every injection site returns after one relaxed load.
+std::atomic<uint64_t> g_active{0};
+std::once_flag g_env_once;
+
+bool Matches(const std::string& pattern, std::string_view site) {
+  if (!pattern.empty() && pattern.back() == '*') {
+    return StartsWith(site,
+                      std::string_view(pattern).substr(0, pattern.size() - 1));
+  }
+  return site == pattern;
+}
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t HashSite(std::string_view site) {
+  // FNV-1a, folded through SplitMix64 for avalanche.
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : site) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return SplitMix64(h);
+}
+
+/// Deterministic fire decision for the `index`-th evaluation (0-based) of
+/// `site` under `rule`: a pure function of (seed, site, index).
+bool ProbFires(const Rule& rule, std::string_view site, uint64_t index) {
+  const uint64_t h =
+      SplitMix64(rule.seed ^ HashSite(site) ^ (index * 0x9e3779b97f4a7c15ULL));
+  // 53 high bits -> uniform double in [0, 1).
+  const double u =
+      static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+  return u < rule.prob;
+}
+
+Result<Rule> ParseRule(std::string_view text) {
+  const size_t eq = text.find('=');
+  if (eq == std::string_view::npos || eq == 0) {
+    return InvalidArgumentError(
+        StrCat("failpoint rule '", text, "': expected site=mode"));
+  }
+  Rule rule;
+  rule.pattern = std::string(StripWhitespace(text.substr(0, eq)));
+  const std::string_view mode = StripWhitespace(text.substr(eq + 1));
+  const std::vector<std::string> parts = StrSplit(mode, ':');
+  if (parts[0] == "off" && parts.size() == 1) {
+    rule.mode = Mode::kOff;
+  } else if (parts[0] == "always" && parts.size() == 1) {
+    rule.mode = Mode::kAlways;
+  } else if (parts[0] == "once" && parts.size() <= 2) {
+    rule.mode = Mode::kOnce;
+    if (parts.size() == 2) {
+      int64_t n = 0;
+      if (!ParseInt64(parts[1], &n) || n < 1) {
+        return InvalidArgumentError(
+            StrCat("failpoint rule '", text, "': once:N needs N >= 1"));
+      }
+      rule.once_n = static_cast<uint64_t>(n);
+    }
+  } else if (parts[0] == "prob" &&
+             (parts.size() == 2 || parts.size() == 3)) {
+    rule.mode = Mode::kProb;
+    if (!ParseDouble(parts[1], &rule.prob) || rule.prob < 0.0 ||
+        rule.prob > 1.0) {
+      return InvalidArgumentError(
+          StrCat("failpoint rule '", text, "': prob:P needs P in [0,1]"));
+    }
+    if (parts.size() == 3) {
+      int64_t seed = 0;
+      if (!ParseInt64(parts[2], &seed)) {
+        return InvalidArgumentError(
+            StrCat("failpoint rule '", text, "': bad seed"));
+      }
+      rule.seed = static_cast<uint64_t>(seed);
+    }
+  } else {
+    return InvalidArgumentError(
+        StrCat("failpoint rule '", text, "': unknown mode '", mode, "'"));
+  }
+  return rule;
+}
+
+Result<std::vector<Rule>> ParseSpec(std::string_view spec) {
+  std::vector<Rule> rules;
+  std::string normalized(spec);
+  for (char& c : normalized) {
+    if (c == ',') c = ';';
+  }
+  for (const std::string& piece : StrSplit(normalized, ';')) {
+    const std::string_view stripped = StripWhitespace(piece);
+    if (stripped.empty()) continue;
+    RANGESYN_ASSIGN_OR_RETURN(Rule rule, ParseRule(stripped));
+    rules.push_back(std::move(rule));
+  }
+  return rules;
+}
+
+/// Applies RANGESYN_FAILPOINTS from the environment exactly once, unless a
+/// Configure() call got there first (Configure consumes the once-flag).
+void EnsureEnvLoaded() {
+  std::call_once(g_env_once, [] {
+    const char* env = std::getenv("RANGESYN_FAILPOINTS");
+    if (env == nullptr || *env == '\0') return;
+    Result<std::vector<Rule>> rules = ParseSpec(env);
+    if (!rules.ok()) return;  // malformed env spec: stay inert
+    MutexLock lock(g_mu);
+    g_rules = std::move(rules).value();
+    g_active.store(g_rules.size(), std::memory_order_release);
+  });
+}
+
+/// Slow path of ShouldFail: find the first matching rule, advance its
+/// evaluation counter, and decide. Serialized by g_mu — only fault-testing
+/// runs ever get here, so contention is not a concern, and plain counters
+/// keep the registry trivially TSan-clean.
+bool Evaluate(std::string_view site) {
+  MutexLock lock(g_mu);
+  for (Rule& rule : g_rules) {
+    if (!Matches(rule.pattern, site)) continue;
+    const uint64_t index = rule.evaluations++;
+    bool fires = false;
+    switch (rule.mode) {
+      case Mode::kOff:
+        break;
+      case Mode::kAlways:
+        fires = true;
+        break;
+      case Mode::kOnce:
+        fires = (index + 1 == rule.once_n);
+        break;
+      case Mode::kProb:
+        fires = ProbFires(rule, site, index);
+        break;
+    }
+    if (fires) ++rule.fires;
+    return fires;
+  }
+  return false;
+}
+
+}  // namespace
+
+Status Configure(std::string_view spec) {
+  std::call_once(g_env_once, [] {});  // explicit config overrides the env
+  RANGESYN_ASSIGN_OR_RETURN(std::vector<Rule> rules, ParseSpec(spec));
+  MutexLock lock(g_mu);
+  g_rules = std::move(rules);
+  g_active.store(g_rules.size(), std::memory_order_release);
+  return OkStatus();
+}
+
+void Clear() {
+  std::call_once(g_env_once, [] {});
+  MutexLock lock(g_mu);
+  g_rules.clear();
+  g_active.store(0, std::memory_order_release);
+}
+
+bool ShouldFail(std::string_view site) {
+  if (!kCompiledIn) return false;
+  EnsureEnvLoaded();
+  if (g_active.load(std::memory_order_relaxed) == 0) return false;
+  return Evaluate(site);
+}
+
+Status Fire(std::string_view site) {
+  if (ShouldFail(site)) {
+    return InternalError(
+        StrCat("failpoint '", site, "' fired (injected fault)"));
+  }
+  return OkStatus();
+}
+
+void MaybeThrow(std::string_view site) {
+  if (ShouldFail(site)) {
+    throw std::runtime_error(
+        StrCat("failpoint '", site, "' fired (injected fault)"));
+  }
+}
+
+uint64_t EvaluationCount(std::string_view pattern) {
+  MutexLock lock(g_mu);
+  for (const Rule& rule : g_rules) {
+    if (rule.pattern == pattern) return rule.evaluations;
+  }
+  return 0;
+}
+
+uint64_t FiredCount(std::string_view pattern) {
+  MutexLock lock(g_mu);
+  for (const Rule& rule : g_rules) {
+    if (rule.pattern == pattern) return rule.fires;
+  }
+  return 0;
+}
+
+std::vector<std::string> ActiveRules() {
+  MutexLock lock(g_mu);
+  std::vector<std::string> out;
+  out.reserve(g_rules.size());
+  for (const Rule& rule : g_rules) {
+    std::string mode;
+    switch (rule.mode) {
+      case Mode::kOff:
+        mode = "off";
+        break;
+      case Mode::kAlways:
+        mode = "always";
+        break;
+      case Mode::kOnce:
+        mode = StrCat("once:", rule.once_n);
+        break;
+      case Mode::kProb:
+        mode = StrCat("prob:", rule.prob, ":", rule.seed);
+        break;
+    }
+    out.push_back(StrCat(rule.pattern, "=", mode));
+  }
+  return out;
+}
+
+}  // namespace failpoint
+}  // namespace rangesyn

@@ -1,0 +1,87 @@
+#ifndef RANGESYN_CORE_FAILPOINT_H_
+#define RANGESYN_CORE_FAILPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/status.h"
+
+namespace rangesyn {
+namespace failpoint {
+
+/// Named, deterministically-seeded fault injection. Production code marks
+/// fallible boundaries with RANGESYN_FAILPOINT("site.name"); tests and the
+/// fuzz harness then force those sites to fail on a schedule, proving every
+/// failure path returns a clean Status instead of crashing or corrupting
+/// state.
+///
+/// A spec is a ';'- or ','-separated list of `site=mode` rules, where
+/// `site` is an exact name or a prefix ending in '*', and `mode` is one of
+///   off          never fire (masks later rules for matching sites)
+///   always       fire on every evaluation
+///   once         fire on the first evaluation only
+///   once:N       fire on the Nth evaluation only (1-based)
+///   prob:P       fire each evaluation with probability P (seed 0)
+///   prob:P:SEED  as above with an explicit seed
+/// The first matching rule wins. `prob` decisions hash (seed, site,
+/// evaluation index) with SplitMix64 — no global RNG, no wall clock — so a
+/// schedule is a pure function of the spec and each site's evaluation
+/// sequence and replays identically run over run.
+///
+/// Activation: RANGESYN_FAILPOINTS=<spec> in the environment (read once,
+/// lazily) or Configure(<spec>) (the CLI's --failpoints flag). With no
+/// active rules an injection site costs one relaxed atomic load.
+///
+/// Everything below compiles to cheap no-ops when the RANGESYN_FAILPOINTS
+/// CMake option is OFF; gate tests on kCompiledIn.
+
+#ifdef RANGESYN_FAILPOINTS
+inline constexpr bool kCompiledIn = true;
+#else
+inline constexpr bool kCompiledIn = false;
+#endif
+
+/// Replaces the active rule set. Invalid specs leave the previous rules
+/// untouched and return InvalidArgument. An empty spec clears all rules.
+Status Configure(std::string_view spec);
+
+/// Removes every rule and resets all counters.
+void Clear();
+
+/// True when `site` should fail now (also advances the matching rule's
+/// evaluation counter). False whenever no rule matches.
+bool ShouldFail(std::string_view site);
+
+/// Status form of ShouldFail: InternalError("failpoint '<site>' fired...")
+/// on a scheduled failure, OkStatus otherwise.
+Status Fire(std::string_view site);
+
+/// Throwing form for exception boundaries (the threadpool task path):
+/// throws std::runtime_error on a scheduled failure.
+void MaybeThrow(std::string_view site);
+
+/// Counters for the rule whose pattern is exactly `pattern` (0 if absent).
+uint64_t EvaluationCount(std::string_view pattern);
+uint64_t FiredCount(std::string_view pattern);
+
+/// The active rules, re-serialized (for logs and diagnostics).
+std::vector<std::string> ActiveRules();
+
+}  // namespace failpoint
+}  // namespace rangesyn
+
+/// Injection-site macro for Status-returning functions: returns the
+/// injected error out of the enclosing function when the site is scheduled
+/// to fail. Compiles to nothing when failpoints are compiled out.
+#ifdef RANGESYN_FAILPOINTS
+#define RANGESYN_FAILPOINT(site) \
+  RANGESYN_RETURN_IF_ERROR(::rangesyn::failpoint::Fire(site))
+#else
+#define RANGESYN_FAILPOINT(site) \
+  do {                           \
+  } while (false)
+#endif
+
+#endif  // RANGESYN_CORE_FAILPOINT_H_

@@ -1,0 +1,110 @@
+#include "core/fs.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "core/failpoint.h"
+#include "core/strings.h"
+
+namespace rangesyn {
+namespace {
+
+std::string ErrnoText() { return std::strerror(errno); }
+
+/// Directory containing `path` ("." for bare filenames) — the rename's
+/// durability point.
+std::string ParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+void BestEffortUnlink(const std::string& path) {
+  // Cleanup on an already-failing path; the original error is what the
+  // caller needs to see.
+  (void)::unlink(path.c_str());
+}
+
+Status SyncDirectory(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  // Some filesystems refuse directory handles; the rename itself already
+  // happened, so degrade silently rather than failing the save.
+  if (fd < 0) return OkStatus();
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) {
+    return InternalError(StrCat("fsync of '", dir, "' failed: ",
+                                ErrnoText()));
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+Status AtomicWriteFile(const std::string& path, std::string_view contents) {
+  const std::string tmp = StrCat(path, ".tmp");
+  RANGESYN_FAILPOINT("io.atomic_write.open");
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return InternalError(
+        StrCat("cannot open '", tmp, "' for writing: ", ErrnoText()));
+  }
+  size_t written = 0;
+  Status status = OkStatus();
+  while (written < contents.size() && status.ok()) {
+    status = failpoint::Fire("io.atomic_write.write");
+    if (!status.ok()) break;
+    const ssize_t rc = ::write(fd, contents.data() + written,
+                               contents.size() - written);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      status = InternalError(
+          StrCat("write to '", tmp, "' failed: ", ErrnoText()));
+      break;
+    }
+    written += static_cast<size_t>(rc);
+  }
+  if (status.ok()) {
+    status = failpoint::Fire("io.atomic_write.fsync");
+  }
+  if (status.ok() && ::fsync(fd) != 0) {
+    status = InternalError(
+        StrCat("fsync of '", tmp, "' failed: ", ErrnoText()));
+  }
+  if (::close(fd) != 0 && status.ok()) {
+    status = InternalError(
+        StrCat("close of '", tmp, "' failed: ", ErrnoText()));
+  }
+  if (status.ok()) {
+    status = failpoint::Fire("io.atomic_write.rename");
+  }
+  if (status.ok() && std::rename(tmp.c_str(), path.c_str()) != 0) {
+    status = InternalError(StrCat("rename '", tmp, "' -> '", path,
+                                  "' failed: ", ErrnoText()));
+  }
+  if (!status.ok()) {
+    BestEffortUnlink(tmp);
+    return status;
+  }
+  return SyncDirectory(ParentDir(path));
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  RANGESYN_FAILPOINT("io.read");
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return NotFoundError(StrCat("cannot open '", path, "'"));
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  if (in.bad()) {
+    return InternalError(StrCat("read of '", path, "' failed"));
+  }
+  return bytes;
+}
+
+}  // namespace rangesyn

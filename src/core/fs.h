@@ -1,0 +1,28 @@
+#ifndef RANGESYN_CORE_FS_H_
+#define RANGESYN_CORE_FS_H_
+
+#include <string>
+#include <string_view>
+
+#include "core/result.h"
+
+namespace rangesyn {
+
+/// Crash-consistent file replacement: writes `contents` to `path + ".tmp"`,
+/// fsyncs it, renames it over `path`, then fsyncs the parent directory.
+/// A reader therefore sees either the complete old file or the complete
+/// new file — never a torn prefix — and a crash at any step leaves `path`
+/// untouched (at worst an orphaned .tmp that the next save overwrites).
+///
+/// Every step carries a failpoint ("io.atomic_write.open" / ".write" /
+/// ".fsync" / ".rename") so fault schedules can prove each failure path
+/// cleans up and reports a Status.
+Status AtomicWriteFile(const std::string& path, std::string_view contents);
+
+/// Reads a whole binary file. NotFound when it cannot be opened; carries
+/// the "io.read" failpoint.
+Result<std::string> ReadFileToString(const std::string& path);
+
+}  // namespace rangesyn
+
+#endif  // RANGESYN_CORE_FS_H_

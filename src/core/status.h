@@ -19,6 +19,7 @@ enum class StatusCode : int {
   kResourceExhausted = 6,
   kUnimplemented = 7,
   kInternal = 8,
+  kDeadlineExceeded = 9,
 };
 
 /// Returns a human-readable name for `code` (e.g. "InvalidArgument").
@@ -83,6 +84,7 @@ Status FailedPreconditionError(std::string message);
 Status ResourceExhaustedError(std::string message);
 Status UnimplementedError(std::string message);
 Status InternalError(std::string message);
+Status DeadlineExceededError(std::string message);
 
 /// Propagates a non-OK status out of the enclosing function.
 #define RANGESYN_RETURN_IF_ERROR(expr)                   \

@@ -6,6 +6,7 @@
 #include <string>
 #include <utility>
 
+#include "core/failpoint.h"
 #include "core/logging.h"
 #include "core/mutex.h"
 #include "core/strings.h"
@@ -50,6 +51,10 @@ void RunChunks(LoopState* state) {
       const int64_t lo = state->begin + chunk * state->grain;
       const int64_t hi = std::min(state->end, lo + state->grain);
       try {
+        // Task-boundary injection site: a scheduled fault throws here,
+        // inside the catch net, exercising the pool's abort/drain path
+        // exactly as a throwing body would.
+        failpoint::MaybeThrow("threadpool.task");
         (*state->body)(lo, hi);
         ++executed;
       } catch (...) {
@@ -173,6 +178,9 @@ void ThreadPool::ParallelFor(
   if (threads_ == 1 || tls_on_worker_thread || num_chunks == 1) {
     for (int64_t chunk = 0; chunk < num_chunks; ++chunk) {
       const int64_t lo = begin + chunk * grain;
+      // Same task-boundary injection site the pooled path has (RunChunks),
+      // so fault schedules behave identically at every thread count.
+      failpoint::MaybeThrow("threadpool.task");
       body(lo, std::min(end, lo + grain));
     }
     RANGESYN_OBS_COUNTER_ADD("threadpool.parallel_for.chunks",

@@ -1,18 +1,20 @@
 #include "data/io.h"
 
-#include <fstream>
+#include <sstream>
 
+#include "core/failpoint.h"
+#include "core/fs.h"
 #include "core/strings.h"
 
 namespace rangesyn {
 namespace {
 
 Result<std::vector<std::string>> ReadLines(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) return NotFoundError(StrCat("cannot open '", path, "'"));
+  RANGESYN_FAILPOINT("data.io.load");
+  RANGESYN_ASSIGN_OR_RETURN(const std::string contents,
+                            ReadFileToString(path));
   std::vector<std::string> lines;
-  std::string line;
-  while (std::getline(in, line)) {
+  for (const std::string& line : StrSplit(contents, '\n')) {
     const std::string_view stripped = StripWhitespace(line);
     if (!stripped.empty()) lines.emplace_back(stripped);
   }
@@ -24,14 +26,15 @@ Result<std::vector<std::string>> ReadLines(const std::string& path) {
 Status SaveDistributionCsv(const std::vector<int64_t>& data,
                            const std::string& path) {
   if (data.empty()) return InvalidArgumentError("SaveDistributionCsv: empty");
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) return InternalError(StrCat("cannot open '", path, "'"));
+  RANGESYN_FAILPOINT("data.io.save");
+  std::ostringstream out;
   out << "position,count\n";
   for (size_t i = 0; i < data.size(); ++i) {
     out << (i + 1) << "," << data[i] << "\n";
   }
-  if (!out) return InternalError(StrCat("write to '", path, "' failed"));
-  return OkStatus();
+  // Atomic temp-file + rename: a crash or injected fault mid-save never
+  // leaves a truncated CSV at `path`.
+  return AtomicWriteFile(path, out.str());
 }
 
 Result<std::vector<int64_t>> LoadDistributionCsv(const std::string& path) {
@@ -72,12 +75,11 @@ Result<std::vector<int64_t>> LoadDistributionCsv(const std::string& path) {
 
 Status SaveWorkloadCsv(const std::vector<RangeQuery>& queries,
                        const std::string& path) {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) return InternalError(StrCat("cannot open '", path, "'"));
+  RANGESYN_FAILPOINT("data.io.save");
+  std::ostringstream out;
   out << "a,b\n";
   for (const RangeQuery& q : queries) out << q.a << "," << q.b << "\n";
-  if (!out) return InternalError(StrCat("write to '", path, "' failed"));
-  return OkStatus();
+  return AtomicWriteFile(path, out.str());
 }
 
 Result<std::vector<RangeQuery>> LoadWorkloadCsv(const std::string& path) {

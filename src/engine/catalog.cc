@@ -1,11 +1,15 @@
 #include "engine/catalog.h"
 
 #include <algorithm>
-#include <fstream>
+#include <utility>
 
 #include "core/bytes.h"
+#include "core/crc32c.h"
+#include "core/failpoint.h"
+#include "core/fs.h"
 #include "core/strings.h"
 #include "engine/serialize.h"
+#include "obs/obs.h"
 
 namespace rangesyn {
 
@@ -108,8 +112,16 @@ int64_t SynopsisCatalog::TotalStorageWords() const {
 }
 
 namespace {
+
 constexpr uint32_t kCatalogMagic = 0x52534343;  // "RSCC"
-constexpr uint8_t kCatalogVersion = 1;
+// v1: magic, version, count, then inline entries (no checksums).
+// v2: magic, version, count, then per entry a length-prefixed blob
+//     followed by its own CRC32C, and finally a CRC32C trailer over the
+//     whole preceding buffer. The per-entry checksums are what make
+//     quarantine possible: damage stays localized to one blob.
+constexpr uint8_t kCatalogVersion = 2;
+constexpr size_t kCatalogTrailerSize = 4;
+
 }  // namespace
 
 Result<std::string> SynopsisCatalog::Serialize() const {
@@ -118,67 +130,179 @@ Result<std::string> SynopsisCatalog::Serialize() const {
   w.WriteU8(kCatalogVersion);
   w.WriteU32(static_cast<uint32_t>(entries_.size()));
   for (const auto& [key, entry] : entries_) {
-    w.WriteString(key);
-    w.WriteI64(entry.domain_lo);
-    w.WriteI64(entry.domain_size);
-    w.WriteString(entry.method);
+    ByteWriter ew;
+    ew.WriteString(key);
+    ew.WriteI64(entry.domain_lo);
+    ew.WriteI64(entry.domain_size);
+    ew.WriteString(entry.method);
     RANGESYN_ASSIGN_OR_RETURN(std::string synopsis,
                               SerializeSynopsis(*entry.estimator));
-    w.WriteString(synopsis);
+    ew.WriteString(synopsis);
+    const std::string blob = ew.Release();
+    w.WriteString(blob);
+    w.WriteU32(Crc32c(blob));
   }
-  return w.Release();
+  std::string body = w.Release();
+  ByteWriter trailer;
+  trailer.WriteU32(Crc32c(body));
+  body += trailer.Release();
+  return body;
 }
+
+namespace {
+
+/// Parses one v2 entry blob (already CRC-verified in strict mode).
+Result<std::pair<std::string, std::string>> ReadEntryBlobKey(
+    std::string_view blob) {
+  ByteReader er(blob);
+  RANGESYN_ASSIGN_OR_RETURN(std::string key, er.ReadString());
+  return std::make_pair(std::move(key), std::string());
+}
+
+}  // namespace
 
 Result<SynopsisCatalog> SynopsisCatalog::Deserialize(
     std::string_view bytes) {
-  ByteReader r(bytes);
+  return DeserializeWithReport(bytes, nullptr);
+}
+
+Result<SynopsisCatalog> SynopsisCatalog::DeserializeWithReport(
+    std::string_view bytes, LoadReport* report) {
+  // Null report <=> strict mode: the first entry-level failure rejects the
+  // whole buffer instead of quarantining it.
+  const bool strict = report == nullptr;
+  std::string_view body = bytes;
+  bool v2 = false;
+  if (bytes.size() >= 9 && static_cast<uint8_t>(bytes[4]) >= 2) {
+    v2 = true;
+    if (bytes.size() < 9 + kCatalogTrailerSize) {
+      return InvalidArgumentError("catalog deserialize: truncated trailer");
+    }
+    body = bytes.substr(0, bytes.size() - kCatalogTrailerSize);
+    ByteReader tr(bytes.substr(bytes.size() - kCatalogTrailerSize));
+    RANGESYN_ASSIGN_OR_RETURN(const uint32_t stored, tr.ReadU32());
+    if (Crc32c(body) != stored && strict) {
+      return InvalidArgumentError(
+          "catalog deserialize: CRC32C mismatch (corrupt catalog)");
+    }
+    // Lenient mode proceeds on a trailer mismatch: the per-entry checksums
+    // below localize the damage to individual blobs.
+  }
+  ByteReader r(body);
   RANGESYN_ASSIGN_OR_RETURN(uint32_t magic, r.ReadU32());
   if (magic != kCatalogMagic) {
     return InvalidArgumentError("catalog deserialize: bad magic");
   }
   RANGESYN_ASSIGN_OR_RETURN(uint8_t version, r.ReadU8());
-  if (version != kCatalogVersion) {
+  if (version != 1 && version != kCatalogVersion) {
     return InvalidArgumentError("catalog deserialize: bad version");
   }
   RANGESYN_ASSIGN_OR_RETURN(uint32_t count, r.ReadU32());
-  SynopsisCatalog catalog;
-  for (uint32_t i = 0; i < count; ++i) {
-    RANGESYN_ASSIGN_OR_RETURN(std::string key, r.ReadString());
-    Entry entry;
-    RANGESYN_ASSIGN_OR_RETURN(entry.domain_lo, r.ReadI64());
-    RANGESYN_ASSIGN_OR_RETURN(entry.domain_size, r.ReadI64());
-    RANGESYN_ASSIGN_OR_RETURN(entry.method, r.ReadString());
-    RANGESYN_ASSIGN_OR_RETURN(std::string synopsis, r.ReadString());
-    RANGESYN_ASSIGN_OR_RETURN(entry.estimator,
-                              DeserializeSynopsis(synopsis));
-    if (entry.domain_size != entry.estimator->domain_size()) {
-      return InvalidArgumentError(
-          StrCat("catalog deserialize: domain mismatch for '", key, "'"));
-    }
-    entry.distribution.domain_lo = entry.domain_lo;
-    if (!catalog.entries_.emplace(std::move(key), std::move(entry)).second) {
-      return InvalidArgumentError("catalog deserialize: duplicate key");
-    }
+  if (report != nullptr) {
+    report->entries_total = static_cast<int64_t>(count);
+    report->entries_loaded = 0;
+    report->quarantined.clear();
   }
+  SynopsisCatalog catalog;
+  uint64_t quarantined = 0;
+  for (uint32_t i = 0; i < count; ++i) {
+    std::string key;
+    std::string blob_storage;  // v2 only; keeps the view below alive
+    // v1 entries are inline: parse them from the unread suffix and hand
+    // the advanced reader back to `r` on success.
+    std::string_view entry_bytes = body.substr(body.size() - r.remaining());
+    Status entry_status = OkStatus();
+    if (v2) {
+      // The framing (length prefix + CRC word) must parse even when the
+      // blob inside is garbage; a framing failure is unrecoverable
+      // because the stream position is lost.
+      RANGESYN_ASSIGN_OR_RETURN(blob_storage, r.ReadString());
+      RANGESYN_ASSIGN_OR_RETURN(const uint32_t stored, r.ReadU32());
+      entry_bytes = blob_storage;
+      if (Crc32c(blob_storage) != stored) {
+        entry_status = InvalidArgumentError(
+            "catalog entry: CRC32C mismatch (corrupt entry)");
+        // Best-effort name for the report; garbage keys are acceptable.
+        if (Result<std::pair<std::string, std::string>> k =
+                ReadEntryBlobKey(blob_storage);
+            k.ok()) {
+          key = std::move(k.value().first);
+        }
+      }
+    }
+    Entry entry;
+    if (entry_status.ok()) {
+      ByteReader er(entry_bytes);
+      const auto parse = [&]() -> Status {
+        RANGESYN_ASSIGN_OR_RETURN(key, er.ReadString());
+        RANGESYN_ASSIGN_OR_RETURN(entry.domain_lo, er.ReadI64());
+        RANGESYN_ASSIGN_OR_RETURN(entry.domain_size, er.ReadI64());
+        RANGESYN_ASSIGN_OR_RETURN(entry.method, er.ReadString());
+        RANGESYN_ASSIGN_OR_RETURN(std::string synopsis, er.ReadString());
+        RANGESYN_ASSIGN_OR_RETURN(entry.estimator,
+                                  DeserializeSynopsis(synopsis));
+        if (entry.domain_size != entry.estimator->domain_size()) {
+          return InvalidArgumentError(StrCat(
+              "catalog deserialize: domain mismatch for '", key, "'"));
+        }
+        if (v2 && !er.AtEnd()) {
+          return InvalidArgumentError(
+              "catalog entry: trailing bytes in entry blob");
+        }
+        return OkStatus();
+      };
+      entry_status = parse();
+      if (!v2 && entry_status.ok()) {
+        // v1 entries are inline: re-sync the shared reader past what the
+        // entry consumed. (On failure the v1 stream position is lost, so
+        // v1 is always strict.)
+        r = std::move(er);
+      }
+    }
+    if (entry_status.ok()) {
+      entry.distribution.domain_lo = entry.domain_lo;
+      if (!catalog.entries_.emplace(key, std::move(entry)).second) {
+        entry_status =
+            InvalidArgumentError(StrCat("duplicate catalog key '", key, "'"));
+      }
+    }
+    if (!entry_status.ok()) {
+      if (strict || !v2) return entry_status;
+      ++quarantined;
+      report->quarantined.push_back(
+          {std::move(key), std::string(entry_status.message())});
+      continue;
+    }
+    if (report != nullptr) ++report->entries_loaded;
+  }
+  if (!r.AtEnd()) {
+    if (strict) {
+      return InvalidArgumentError(
+          "catalog deserialize: trailing bytes after entries");
+    }
+    report->quarantined.push_back(
+        {std::string(), "trailing bytes after entries"});
+  }
+  RANGESYN_OBS_COUNTER_ADD("engine.catalog.quarantined", quarantined);
   return catalog;
 }
 
 Status SynopsisCatalog::SaveToFile(const std::string& path) const {
+  RANGESYN_FAILPOINT("engine.catalog.save");
   RANGESYN_ASSIGN_OR_RETURN(std::string bytes, Serialize());
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return InternalError(StrCat("cannot open '", path, "'"));
-  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-  if (!out) return InternalError(StrCat("write to '", path, "' failed"));
-  return OkStatus();
+  return AtomicWriteFile(path, bytes);
 }
 
 Result<SynopsisCatalog> SynopsisCatalog::LoadFromFile(
     const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return NotFoundError(StrCat("cannot open '", path, "'"));
-  std::string bytes((std::istreambuf_iterator<char>(in)),
-                    std::istreambuf_iterator<char>());
-  return Deserialize(bytes);
+  return LoadFromFileWithReport(path, nullptr);
+}
+
+Result<SynopsisCatalog> SynopsisCatalog::LoadFromFileWithReport(
+    const std::string& path, LoadReport* report) {
+  RANGESYN_FAILPOINT("engine.catalog.load");
+  RANGESYN_ASSIGN_OR_RETURN(const std::string bytes, ReadFileToString(path));
+  return DeserializeWithReport(bytes, report);
 }
 
 std::vector<SynopsisCatalog::EntryInfo> SynopsisCatalog::ListEntries() const {

@@ -78,12 +78,42 @@ class SynopsisCatalog {
   /// one buffer; Deserialize restores an equivalent catalog. This is what
   /// a database would persist across restarts instead of rebuilding
   /// statistics from table scans.
+  ///
+  /// Format v2 (current writer) length-prefixes each entry and protects it
+  /// with its own CRC32C, plus a whole-buffer CRC32C trailer; v1 buffers
+  /// (inline entries, no checksums) are still read. Deserialize is strict:
+  /// any checksum or parse failure rejects the whole buffer.
   Result<std::string> Serialize() const;
   static Result<SynopsisCatalog> Deserialize(std::string_view bytes);
 
-  /// File convenience wrappers around Serialize/Deserialize.
+  /// Outcome of a lenient load: how many entries were quarantined and why.
+  struct LoadReport {
+    int64_t entries_total = 0;
+    int64_t entries_loaded = 0;
+    struct Quarantined {
+      /// Best-effort: empty when the entry was too damaged to name.
+      std::string key;
+      std::string error;
+    };
+    std::vector<Quarantined> quarantined;
+  };
+
+  /// Lenient variant for v2 buffers: an entry whose CRC or parse fails is
+  /// *quarantined* — skipped and recorded in `report` — while the
+  /// remaining entries load normally (the per-entry checksums localize the
+  /// damage). Fails outright only when the header or entry framing is
+  /// unusable (and always behaves strictly on v1 buffers, which have no
+  /// per-entry checksums to localize with). `report` may be null.
+  static Result<SynopsisCatalog> DeserializeWithReport(
+      std::string_view bytes, LoadReport* report);
+
+  /// File convenience wrappers around Serialize/Deserialize. Save writes
+  /// atomically (temp file + rename + fsync). LoadFromFile is strict;
+  /// LoadFromFileWithReport quarantines corrupt entries as above.
   Status SaveToFile(const std::string& path) const;
   static Result<SynopsisCatalog> LoadFromFile(const std::string& path);
+  static Result<SynopsisCatalog> LoadFromFileWithReport(
+      const std::string& path, LoadReport* report);
 
   /// Registered keys with method names, for introspection.
   struct EntryInfo {

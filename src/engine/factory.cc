@@ -1,6 +1,7 @@
 #include "engine/factory.h"
 
 #include <algorithm>
+#include <exception>
 #include <memory>
 
 #include "core/strings.h"
@@ -13,13 +14,189 @@
 namespace rangesyn {
 namespace {
 
-int64_t UnitsForBudget(int64_t budget_words, int64_t words_per_unit) {
-  return std::max<int64_t>(1, budget_words / words_per_unit);
+Result<int64_t> UnitsForBudget(int64_t budget_words, int64_t words_per_unit) {
+  if (budget_words < 1) {
+    return InvalidArgumentError(
+        StrCat("budget_words must be >= 1, got ", budget_words));
+  }
+  const int64_t units = budget_words / words_per_unit;
+  if (units < 1) {
+    return InvalidArgumentError(
+        StrCat("budget of ", budget_words, " words cannot fund one unit at ",
+               words_per_unit, " words/unit"));
+  }
+  return units;
 }
 
 template <typename T>
 RangeEstimatorPtr Wrap(T value) {
   return std::make_unique<T>(std::move(value));
+}
+
+/// Builds exactly `method` (with spec supplying the budget and OPT-A
+/// knobs), recomputing the unit count for the method's own word cost so a
+/// ladder fallback honors the same budget_words.
+Result<RangeEstimatorPtr> BuildOneMethod(const std::string& m,
+                                         const SynopsisSpec& spec,
+                                         const std::vector<int64_t>& data,
+                                         const Deadline& deadline,
+                                         uint64_t max_states) {
+  RANGESYN_ASSIGN_OR_RETURN(const int64_t words_per_unit, WordsPerUnit(m));
+  RANGESYN_ASSIGN_OR_RETURN(const int64_t units,
+                            UnitsForBudget(spec.budget_words, words_per_unit));
+
+  if (m == "naive") {
+    RANGESYN_ASSIGN_OR_RETURN(NaiveEstimator e, BuildNaive(data));
+    return Wrap(std::move(e));
+  }
+  if (m == "equiwidth") {
+    RANGESYN_ASSIGN_OR_RETURN(AvgHistogram e, BuildEquiWidth(data, units));
+    return Wrap(std::move(e));
+  }
+  if (m == "equidepth") {
+    RANGESYN_ASSIGN_OR_RETURN(AvgHistogram e, BuildEquiDepth(data, units));
+    return Wrap(std::move(e));
+  }
+  if (m == "maxdiff") {
+    RANGESYN_ASSIGN_OR_RETURN(AvgHistogram e, BuildMaxDiff(data, units));
+    return Wrap(std::move(e));
+  }
+  if (m == "vopt") {
+    RANGESYN_ASSIGN_OR_RETURN(
+        AvgHistogram e,
+        BuildVOptimal(data, units, PieceRounding::kPerPiece, deadline));
+    return Wrap(std::move(e));
+  }
+  if (m == "pointopt") {
+    RANGESYN_ASSIGN_OR_RETURN(
+        AvgHistogram e,
+        BuildPointOpt(data, units, PieceRounding::kPerPiece, deadline));
+    return Wrap(std::move(e));
+  }
+  if (m == "a0") {
+    RANGESYN_ASSIGN_OR_RETURN(
+        AvgHistogram e,
+        BuildA0(data, units, PieceRounding::kPerPiece, deadline));
+    return Wrap(std::move(e));
+  }
+  if (m == "sap0") {
+    RANGESYN_ASSIGN_OR_RETURN(Sap0Histogram e,
+                              BuildSap0(data, units, deadline));
+    return Wrap(std::move(e));
+  }
+  if (m == "sap1") {
+    RANGESYN_ASSIGN_OR_RETURN(Sap1Histogram e,
+                              BuildSap1(data, units, deadline));
+    return Wrap(std::move(e));
+  }
+  if (m == "sap2") {
+    RANGESYN_ASSIGN_OR_RETURN(Sap2Histogram e,
+                              BuildSap2(data, units, deadline));
+    return Wrap(std::move(e));
+  }
+  if (m == "prefixopt") {
+    RANGESYN_ASSIGN_OR_RETURN(
+        AvgHistogram e,
+        BuildPrefixOpt(data, units, PieceRounding::kPerPiece, deadline));
+    return Wrap(std::move(e));
+  }
+  if (m == "opta") {
+    OptAOptions options;
+    options.max_buckets = units;
+    options.max_states = max_states;
+    options.deadline = deadline;
+    RANGESYN_ASSIGN_OR_RETURN(OptAResult r, BuildOptA(data, options));
+    return Wrap(std::move(r.histogram));
+  }
+  if (m == "opta-rounded") {
+    OptARoundedOptions options;
+    options.max_buckets = units;
+    options.granularity = spec.granularity;
+    options.max_states = max_states;
+    options.deadline = deadline;
+    RANGESYN_ASSIGN_OR_RETURN(OptAResult r, BuildOptARounded(data, options));
+    return Wrap(std::move(r.histogram));
+  }
+  if (m == "equidepth-reopt") {
+    RANGESYN_ASSIGN_OR_RETURN(AvgHistogram base,
+                              BuildEquiDepth(data, units));
+    RANGESYN_ASSIGN_OR_RETURN(AvgHistogram e, Reoptimize(data, base));
+    return Wrap(std::move(e));
+  }
+  if (m == "a0-reopt") {
+    RANGESYN_ASSIGN_OR_RETURN(
+        AvgHistogram base,
+        BuildA0(data, units, PieceRounding::kPerPiece, deadline));
+    RANGESYN_ASSIGN_OR_RETURN(AvgHistogram e, Reoptimize(data, base));
+    return Wrap(std::move(e));
+  }
+  if (m == "opta-reopt") {
+    OptAOptions options;
+    options.max_buckets = units;
+    options.max_states = max_states;
+    options.deadline = deadline;
+    RANGESYN_ASSIGN_OR_RETURN(OptAResult r, BuildOptA(data, options));
+    RANGESYN_ASSIGN_OR_RETURN(AvgHistogram e,
+                              Reoptimize(data, r.histogram));
+    return Wrap(std::move(e));
+  }
+  if (m == "wave-point") {
+    RANGESYN_ASSIGN_OR_RETURN(WaveletSynopsis e,
+                              BuildWavePoint(data, units, deadline));
+    return Wrap(std::move(e));
+  }
+  if (m == "topbb") {
+    RANGESYN_ASSIGN_OR_RETURN(WaveletSynopsis e,
+                              BuildTopBB(data, units, deadline));
+    return Wrap(std::move(e));
+  }
+  if (m == "wave-range-opt") {
+    RANGESYN_ASSIGN_OR_RETURN(WaveletSynopsis e,
+                              BuildWaveRangeOpt(data, units, deadline));
+    return Wrap(std::move(e));
+  }
+  return InvalidArgumentError(StrCat("unknown synopsis method '", m, "'"));
+}
+
+/// As BuildOneMethod, but converts a thrown exception — e.g. an injected
+/// "threadpool.task" fault escaping ParallelFor — into a clean Status, so
+/// no fault can crash a caller of the factory.
+Result<RangeEstimatorPtr> BuildOneMethodNoThrow(
+    const std::string& m, const SynopsisSpec& spec,
+    const std::vector<int64_t>& data, const Deadline& deadline,
+    uint64_t max_states) {
+  try {
+    return BuildOneMethod(m, spec, data, deadline, max_states);
+  } catch (const std::exception& e) {
+    return InternalError(
+        StrCat("synopsis build '", m, "' threw: ", e.what()));
+  }
+}
+
+/// The degradation ladder for `method`: cheaper constructions tried in
+/// order after a deadline/state-budget trip. The last rung is built
+/// without the deadline (see BuildSynopsisWithOptions), so ladders end in
+/// a near-linear construction that cannot itself trip.
+std::vector<std::string> FallbackLadder(const std::string& m) {
+  if (m == "opta" || m == "opta-reopt") {
+    return {"opta-rounded", "sap0", "equiwidth"};
+  }
+  if (m == "opta-rounded") return {"sap0", "equiwidth"};
+  if (m == "wave-range-opt" || m == "wave-point" || m == "topbb") {
+    return {"topbb"};
+  }
+  if (m == "vopt" || m == "pointopt" || m == "a0" || m == "sap0" ||
+      m == "sap1" || m == "sap2" || m == "prefixopt" || m == "a0-reopt" ||
+      m == "equidepth-reopt") {
+    return {"equiwidth"};
+  }
+  // naive / equiwidth / equidepth / maxdiff never observe the deadline.
+  return {};
+}
+
+bool ShouldFallBack(const Status& status) {
+  return status.code() == StatusCode::kDeadlineExceeded ||
+         status.code() == StatusCode::kResourceExhausted;
 }
 
 }  // namespace
@@ -56,107 +233,55 @@ Result<RangeEstimatorPtr> BuildSynopsis(const SynopsisSpec& spec,
   RANGESYN_OBS_COUNTER_INC("engine.build.count");
   RANGESYN_OBS_GAUGE_SET("engine.build.last_n",
                          static_cast<int64_t>(data.size()));
-  RANGESYN_ASSIGN_OR_RETURN(const int64_t words_per_unit,
-                            WordsPerUnit(spec.method));
-  const int64_t units = UnitsForBudget(spec.budget_words, words_per_unit);
-  const std::string& m = spec.method;
+  return BuildOneMethodNoThrow(spec.method, spec, data, Deadline(),
+                               spec.max_states);
+}
 
-  if (m == "naive") {
-    RANGESYN_ASSIGN_OR_RETURN(NaiveEstimator e, BuildNaive(data));
-    return Wrap(std::move(e));
+Result<BuildOutcome> BuildSynopsisWithOptions(
+    const SynopsisSpec& spec, const std::vector<int64_t>& data,
+    const BuildOptions& options) {
+  RANGESYN_OBS_SPAN("engine.build");
+  RANGESYN_OBS_COUNTER_INC("engine.build.count");
+  RANGESYN_OBS_GAUGE_SET("engine.build.last_n",
+                         static_cast<int64_t>(data.size()));
+  const uint64_t max_states =
+      options.max_states != 0 ? options.max_states : spec.max_states;
+
+  Result<RangeEstimatorPtr> first = BuildOneMethodNoThrow(
+      spec.method, spec, data, options.deadline, max_states);
+  if (first.ok()) {
+    BuildOutcome out;
+    out.estimator = std::move(first.value());
+    out.built_method = spec.method;
+    return out;
   }
-  if (m == "equiwidth") {
-    RANGESYN_ASSIGN_OR_RETURN(AvgHistogram e, BuildEquiWidth(data, units));
-    return Wrap(std::move(e));
+  if (!ShouldFallBack(first.status())) return first.status();
+
+  const std::vector<std::string> ladder = FallbackLadder(spec.method);
+  const std::string reason(first.status().message());
+  Status last = first.status();
+  for (size_t rung = 0; rung < ladder.size(); ++rung) {
+    // The final rung runs deadline-free: an already-expired deadline must
+    // still produce a usable synopsis, and every ladder ends in a
+    // near-linear construction whose cost is negligible by design.
+    const bool final_rung = rung + 1 == ladder.size();
+    Result<RangeEstimatorPtr> attempt = BuildOneMethodNoThrow(
+        ladder[rung], spec, data,
+        final_rung ? Deadline() : options.deadline, max_states);
+    if (attempt.ok()) {
+      RANGESYN_OBS_COUNTER_INC("engine.build.degraded");
+      BuildOutcome out;
+      out.estimator = std::move(attempt.value());
+      out.built_method = ladder[rung];
+      out.degraded = true;
+      out.degraded_from = spec.method;
+      out.fallback_reason = reason;
+      return out;
+    }
+    if (!ShouldFallBack(attempt.status())) return attempt.status();
+    last = attempt.status();
   }
-  if (m == "equidepth") {
-    RANGESYN_ASSIGN_OR_RETURN(AvgHistogram e, BuildEquiDepth(data, units));
-    return Wrap(std::move(e));
-  }
-  if (m == "maxdiff") {
-    RANGESYN_ASSIGN_OR_RETURN(AvgHistogram e, BuildMaxDiff(data, units));
-    return Wrap(std::move(e));
-  }
-  if (m == "vopt") {
-    RANGESYN_ASSIGN_OR_RETURN(AvgHistogram e, BuildVOptimal(data, units));
-    return Wrap(std::move(e));
-  }
-  if (m == "pointopt") {
-    RANGESYN_ASSIGN_OR_RETURN(AvgHistogram e, BuildPointOpt(data, units));
-    return Wrap(std::move(e));
-  }
-  if (m == "a0") {
-    RANGESYN_ASSIGN_OR_RETURN(AvgHistogram e, BuildA0(data, units));
-    return Wrap(std::move(e));
-  }
-  if (m == "sap0") {
-    RANGESYN_ASSIGN_OR_RETURN(Sap0Histogram e, BuildSap0(data, units));
-    return Wrap(std::move(e));
-  }
-  if (m == "sap1") {
-    RANGESYN_ASSIGN_OR_RETURN(Sap1Histogram e, BuildSap1(data, units));
-    return Wrap(std::move(e));
-  }
-  if (m == "sap2") {
-    RANGESYN_ASSIGN_OR_RETURN(Sap2Histogram e, BuildSap2(data, units));
-    return Wrap(std::move(e));
-  }
-  if (m == "prefixopt") {
-    RANGESYN_ASSIGN_OR_RETURN(
-        AvgHistogram e,
-        BuildPrefixOpt(data, units, PieceRounding::kPerPiece));
-    return Wrap(std::move(e));
-  }
-  if (m == "opta") {
-    OptAOptions options;
-    options.max_buckets = units;
-    options.max_states = spec.max_states;
-    RANGESYN_ASSIGN_OR_RETURN(OptAResult r, BuildOptA(data, options));
-    return Wrap(std::move(r.histogram));
-  }
-  if (m == "opta-rounded") {
-    OptARoundedOptions options;
-    options.max_buckets = units;
-    options.granularity = spec.granularity;
-    options.max_states = spec.max_states;
-    RANGESYN_ASSIGN_OR_RETURN(OptAResult r, BuildOptARounded(data, options));
-    return Wrap(std::move(r.histogram));
-  }
-  if (m == "equidepth-reopt") {
-    RANGESYN_ASSIGN_OR_RETURN(AvgHistogram base,
-                              BuildEquiDepth(data, units));
-    RANGESYN_ASSIGN_OR_RETURN(AvgHistogram e, Reoptimize(data, base));
-    return Wrap(std::move(e));
-  }
-  if (m == "a0-reopt") {
-    RANGESYN_ASSIGN_OR_RETURN(AvgHistogram base, BuildA0(data, units));
-    RANGESYN_ASSIGN_OR_RETURN(AvgHistogram e, Reoptimize(data, base));
-    return Wrap(std::move(e));
-  }
-  if (m == "opta-reopt") {
-    OptAOptions options;
-    options.max_buckets = units;
-    options.max_states = spec.max_states;
-    RANGESYN_ASSIGN_OR_RETURN(OptAResult r, BuildOptA(data, options));
-    RANGESYN_ASSIGN_OR_RETURN(AvgHistogram e,
-                              Reoptimize(data, r.histogram));
-    return Wrap(std::move(e));
-  }
-  if (m == "wave-point") {
-    RANGESYN_ASSIGN_OR_RETURN(WaveletSynopsis e,
-                              BuildWavePoint(data, units));
-    return Wrap(std::move(e));
-  }
-  if (m == "topbb") {
-    RANGESYN_ASSIGN_OR_RETURN(WaveletSynopsis e, BuildTopBB(data, units));
-    return Wrap(std::move(e));
-  }
-  if (m == "wave-range-opt") {
-    RANGESYN_ASSIGN_OR_RETURN(WaveletSynopsis e,
-                              BuildWaveRangeOpt(data, units));
-    return Wrap(std::move(e));
-  }
-  return InvalidArgumentError(StrCat("unknown synopsis method '", m, "'"));
+  return last;
 }
 
 }  // namespace rangesyn

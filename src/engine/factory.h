@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "core/deadline.h"
 #include "core/estimator.h"
 #include "core/result.h"
 
@@ -38,9 +39,57 @@ std::vector<std::string> KnownSynopsisMethods();
 
 /// Builds a synopsis for `data` per `spec`. The heavy constructions
 /// (pseudo-polynomial OPT-A) can fail with ResourceExhausted; everything
-/// else is polynomial.
+/// else is polynomial. Strict: no deadline, no fallback — use
+/// BuildSynopsisWithOptions for graceful degradation.
 Result<RangeEstimatorPtr> BuildSynopsis(const SynopsisSpec& spec,
                                         const std::vector<int64_t>& data);
+
+/// Resource limits for a degradable build.
+struct BuildOptions {
+  /// Cooperative deadline observed inside the heavy constructions. The
+  /// default never expires.
+  Deadline deadline;
+
+  /// Overrides spec.max_states when non-zero (OPT-A family state cap).
+  uint64_t max_states = 0;
+};
+
+/// A build that may have degraded. `estimator` is always usable.
+struct BuildOutcome {
+  RangeEstimatorPtr estimator;
+
+  /// Method actually built — spec.method, or the fallback that succeeded.
+  std::string built_method;
+
+  /// True when the requested method tripped its deadline or state budget
+  /// and a ladder fallback was built instead.
+  bool degraded = false;
+
+  /// Original spec.method when degraded, empty otherwise.
+  std::string degraded_from;
+
+  /// The status message of the failure that triggered the (first)
+  /// fallback, empty otherwise.
+  std::string fallback_reason;
+};
+
+/// Like BuildSynopsis, but when the requested method fails with
+/// DeadlineExceeded or ResourceExhausted, walks a fallback ladder of
+/// cheaper constructions under the same word budget instead of failing
+/// (DESIGN.md §9.2):
+///
+///   opta / opta-reopt  ->  opta-rounded  ->  sap0  ->  equiwidth
+///   DP histograms (vopt, pointopt, a0, sap0/1/2, prefixopt, *-reopt)
+///                                        ->  equiwidth
+///   wave-range-opt / wave-point / topbb  ->  topbb
+///
+/// The final rung of each ladder is built without the deadline, so an
+/// already-expired deadline still yields a usable (degraded) synopsis.
+/// Errors other than DeadlineExceeded/ResourceExhausted — invalid input,
+/// injected faults — propagate unchanged.
+Result<BuildOutcome> BuildSynopsisWithOptions(
+    const SynopsisSpec& spec, const std::vector<int64_t>& data,
+    const BuildOptions& options);
 
 /// Words each stored unit (bucket / coefficient) of `method` costs, e.g.
 /// 2 for "opta", 3 for "sap0", 5 for "sap1". Fails on unknown methods.

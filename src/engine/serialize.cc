@@ -1,10 +1,12 @@
 #include "engine/serialize.h"
 
 #include <algorithm>
-#include <fstream>
 #include <memory>
 
 #include "core/bytes.h"
+#include "core/crc32c.h"
+#include "core/failpoint.h"
+#include "core/fs.h"
 #include "core/logging.h"
 #include "core/mathutil.h"
 #include "core/strings.h"
@@ -18,7 +20,12 @@ namespace rangesyn {
 namespace {
 
 constexpr uint32_t kMagic = 0x52534e31;  // "RSN1"
-constexpr uint8_t kVersion = 1;
+// v1: magic, version, kind, payload.
+// v2: same, plus a little-endian CRC32C trailer over all preceding bytes.
+// Writers emit v2; readers accept both (DESIGN.md §9.3).
+constexpr uint8_t kVersion = 2;
+constexpr size_t kHeaderSize = 6;   // magic + version + kind
+constexpr size_t kTrailerSize = 4;  // CRC32C
 
 enum class Kind : uint8_t {
   kAvgHistogram = 1,
@@ -173,7 +180,7 @@ Result<RangeEstimatorPtr> ReadWavelet(ByteReader* r) {
       std::make_unique<WaveletSynopsis>(std::move(synopsis)));
 }
 
-Result<std::string> SerializeSynopsisImpl(const RangeEstimator& estimator) {
+Result<std::string> SerializeBody(const RangeEstimator& estimator) {
   ByteWriter w;
   if (const auto* h = dynamic_cast<const AvgHistogram*>(&estimator)) {
     WriteHeader(&w, Kind::kAvgHistogram);
@@ -254,6 +261,15 @@ Result<std::string> SerializeSynopsisImpl(const RangeEstimator& estimator) {
              estimator.Name(), "'"));
 }
 
+Result<std::string> SerializeSynopsisImpl(const RangeEstimator& estimator) {
+  RANGESYN_ASSIGN_OR_RETURN(std::string bytes, SerializeBody(estimator));
+  const uint32_t crc = Crc32c(bytes);
+  ByteWriter trailer;
+  trailer.WriteU32(crc);
+  bytes += trailer.Release();
+  return bytes;
+}
+
 #ifdef RANGESYN_AUDIT
 /// RANGESYN_AUDIT self-check, run on every serialization: the bytes just
 /// produced must deserialize into an estimator that (a) re-serializes to
@@ -308,55 +324,83 @@ Result<RangeEstimatorPtr> DeserializeSynopsis(std::string_view bytes) {
   RANGESYN_OBS_SPAN("engine.deserialize");
   RANGESYN_OBS_COUNTER_INC("engine.deserialize.count");
   RANGESYN_OBS_COUNTER_ADD("engine.deserialize.bytes", bytes.size());
-  ByteReader r(bytes);
+  // A v2 buffer carries a CRC32C trailer over everything before it; verify
+  // and strip it before parsing so every later read touches only vetted
+  // bytes. The version byte sits at a fixed offset, so the split needs no
+  // parsing. (If corruption hit the version byte itself, either the CRC
+  // check or the strict version check below rejects the buffer.)
+  std::string_view body = bytes;
+  if (bytes.size() >= kHeaderSize &&
+      static_cast<uint8_t>(bytes[4]) >= 2) {
+    if (bytes.size() < kHeaderSize + kTrailerSize) {
+      return InvalidArgumentError("deserialize: truncated checksum trailer");
+    }
+    body = bytes.substr(0, bytes.size() - kTrailerSize);
+    ByteReader tr(bytes.substr(bytes.size() - kTrailerSize));
+    RANGESYN_ASSIGN_OR_RETURN(const uint32_t stored, tr.ReadU32());
+    if (Crc32c(body) != stored) {
+      return InvalidArgumentError(
+          "deserialize: CRC32C mismatch (corrupt synopsis)");
+    }
+  }
+  ByteReader r(body);
   RANGESYN_ASSIGN_OR_RETURN(uint32_t magic, r.ReadU32());
   if (magic != kMagic) {
     return InvalidArgumentError("deserialize: bad magic");
   }
   RANGESYN_ASSIGN_OR_RETURN(uint8_t version, r.ReadU8());
-  if (version != kVersion) {
+  if (version != 1 && version != kVersion) {
     return InvalidArgumentError(
         StrCat("deserialize: unsupported version ", version));
   }
   RANGESYN_ASSIGN_OR_RETURN(uint8_t kind, r.ReadU8());
+  Result<RangeEstimatorPtr> out = InvalidArgumentError(
+      StrCat("deserialize: unknown kind tag ", kind));
   switch (static_cast<Kind>(kind)) {
     case Kind::kAvgHistogram:
-      return ReadAvgHistogram(&r);
+      out = ReadAvgHistogram(&r);
+      break;
     case Kind::kSap0:
-      return ReadSap0(&r);
+      out = ReadSap0(&r);
+      break;
     case Kind::kSap1:
-      return ReadSap1(&r);
+      out = ReadSap1(&r);
+      break;
     case Kind::kSap2:
-      return ReadSap2(&r);
+      out = ReadSap2(&r);
+      break;
     case Kind::kWeightedSap0:
-      return ReadWeightedSap0(&r);
+      out = ReadWeightedSap0(&r);
+      break;
     case Kind::kNaive:
-      return ReadNaive(&r);
+      out = ReadNaive(&r);
+      break;
     case Kind::kWavelet:
-      return ReadWavelet(&r);
+      out = ReadWavelet(&r);
+      break;
   }
-  return InvalidArgumentError(
-      StrCat("deserialize: unknown kind tag ", kind));
+  // Reject trailing garbage: a well-formed encoding consumes its buffer
+  // exactly (this is also what catches a v2 buffer whose version byte was
+  // flipped to 1 — the unstripped trailer becomes trailing garbage).
+  if (out.ok() && !r.AtEnd()) {
+    return InvalidArgumentError("deserialize: trailing bytes after payload");
+  }
+  return out;
 }
 
 Status SaveSynopsisToFile(const RangeEstimator& estimator,
                           const std::string& path) {
+  RANGESYN_FAILPOINT("engine.serialize.save");
   RANGESYN_ASSIGN_OR_RETURN(std::string bytes,
                             SerializeSynopsis(estimator));
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) {
-    return InternalError(StrCat("cannot open '", path, "' for writing"));
-  }
-  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-  if (!out) return InternalError(StrCat("write to '", path, "' failed"));
-  return OkStatus();
+  // Atomic temp-file + rename + fsync: a crash or injected fault mid-save
+  // leaves either the old file or the new one, never a torn write.
+  return AtomicWriteFile(path, bytes);
 }
 
 Result<RangeEstimatorPtr> LoadSynopsisFromFile(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return NotFoundError(StrCat("cannot open '", path, "'"));
-  std::string bytes((std::istreambuf_iterator<char>(in)),
-                    std::istreambuf_iterator<char>());
+  RANGESYN_FAILPOINT("engine.serialize.load");
+  RANGESYN_ASSIGN_OR_RETURN(const std::string bytes, ReadFileToString(path));
   return DeserializeSynopsis(bytes);
 }
 

@@ -13,6 +13,10 @@ namespace rangesyn {
 /// representation's stored words — exactly the quantities the paper's
 /// storage accounting charges for, plus the boundaries' metadata).
 ///
+/// Format v2 (current writer) appends a CRC32C trailer over all preceding
+/// bytes; the reader verifies it before parsing and still accepts v1
+/// buffers (no trailer). See DESIGN.md §9.3 for the fault model.
+///
 /// Round-trip guarantee: the deserialized synopsis answers every range
 /// query identically (bit-for-bit for histograms; the derived bucket
 /// averages of SAP0/SAP1 are recovered from the stored summaries).
@@ -26,7 +30,8 @@ Result<std::string> SerializeSynopsis(const RangeEstimator& estimator);
 /// inputs fail with InvalidArgument/OutOfRange, never crash.
 Result<RangeEstimatorPtr> DeserializeSynopsis(std::string_view bytes);
 
-/// Convenience file wrappers.
+/// Convenience file wrappers. Save writes atomically (temp file + rename +
+/// fsync), so a crash mid-save leaves either the old file or the new one.
 Status SaveSynopsisToFile(const RangeEstimator& estimator,
                           const std::string& path);
 Result<RangeEstimatorPtr> LoadSynopsisFromFile(const std::string& path);

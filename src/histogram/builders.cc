@@ -28,7 +28,8 @@ Status ValidateInput(const std::vector<int64_t>& data, int64_t buckets) {
 }  // namespace
 
 Result<Sap0Histogram> BuildSap0(const std::vector<int64_t>& data,
-                                int64_t buckets) {
+                                int64_t buckets,
+                                const Deadline& deadline) {
   RANGESYN_RETURN_IF_ERROR(ValidateInput(data, buckets));
   PrefixStats stats(data);
   BucketCosts costs(stats);
@@ -37,12 +38,14 @@ Result<Sap0Histogram> BuildSap0(const std::vector<int64_t>& data,
       SolveIntervalDp(stats.n(), buckets,
                       [&costs](int64_t l, int64_t r) {
                         return costs.Sap0Cost(l, r);
-                      }));
+                      },
+                      /*exact_buckets=*/false, deadline));
   return Sap0Histogram::Build(data, dp.partition);
 }
 
 Result<Sap1Histogram> BuildSap1(const std::vector<int64_t>& data,
-                                int64_t buckets) {
+                                int64_t buckets,
+                                const Deadline& deadline) {
   RANGESYN_RETURN_IF_ERROR(ValidateInput(data, buckets));
   PrefixStats stats(data);
   BucketCosts costs(stats);
@@ -51,12 +54,14 @@ Result<Sap1Histogram> BuildSap1(const std::vector<int64_t>& data,
       SolveIntervalDp(stats.n(), buckets,
                       [&costs](int64_t l, int64_t r) {
                         return costs.Sap1Cost(l, r);
-                      }));
+                      },
+                      /*exact_buckets=*/false, deadline));
   return Sap1Histogram::Build(data, dp.partition);
 }
 
 Result<Sap2Histogram> BuildSap2(const std::vector<int64_t>& data,
-                                int64_t buckets) {
+                                int64_t buckets,
+                                const Deadline& deadline) {
   RANGESYN_RETURN_IF_ERROR(ValidateInput(data, buckets));
   PrefixStats stats(data);
   BucketCosts costs(stats);
@@ -65,12 +70,14 @@ Result<Sap2Histogram> BuildSap2(const std::vector<int64_t>& data,
       SolveIntervalDp(stats.n(), buckets,
                       [&costs](int64_t l, int64_t r) {
                         return costs.Sap2Cost(l, r);
-                      }));
+                      },
+                      /*exact_buckets=*/false, deadline));
   return Sap2Histogram::Build(data, dp.partition);
 }
 
 Result<AvgHistogram> BuildA0(const std::vector<int64_t>& data,
-                             int64_t buckets, PieceRounding rounding) {
+                             int64_t buckets, PieceRounding rounding,
+                             const Deadline& deadline) {
   RANGESYN_RETURN_IF_ERROR(ValidateInput(data, buckets));
   PrefixStats stats(data);
   BucketCosts costs(stats);
@@ -79,21 +86,25 @@ Result<AvgHistogram> BuildA0(const std::vector<int64_t>& data,
       SolveIntervalDp(stats.n(), buckets,
                       [&costs](int64_t l, int64_t r) {
                         return costs.A0Cost(l, r);
-                      }));
+                      },
+                      /*exact_buckets=*/false, deadline));
   return AvgHistogram::WithTrueAverages(data, dp.partition, "A0", rounding);
 }
 
 Result<AvgHistogram> BuildPointOpt(const std::vector<int64_t>& data,
-                                   int64_t buckets, PieceRounding rounding) {
+                                   int64_t buckets, PieceRounding rounding,
+                                   const Deadline& deadline) {
   RANGESYN_RETURN_IF_ERROR(ValidateInput(data, buckets));
   const int64_t n = static_cast<int64_t>(data.size());
   WeightedPointCosts costs(data,
                            WeightedPointCosts::RangeCoverageWeights(n));
   RANGESYN_ASSIGN_OR_RETURN(
       IntervalDpResult dp,
-      SolveIntervalDp(n, buckets, [&costs](int64_t l, int64_t r) {
-        return costs.Cost(l, r);
-      }));
+      SolveIntervalDp(n, buckets,
+                      [&costs](int64_t l, int64_t r) {
+                        return costs.Cost(l, r);
+                      },
+                      /*exact_buckets=*/false, deadline));
   // POINT-OPT stores the value that is optimal for its own (weighted point
   // query) objective: the weighted bucket mean.
   std::vector<double> values(static_cast<size_t>(dp.partition.num_buckets()));
@@ -106,15 +117,18 @@ Result<AvgHistogram> BuildPointOpt(const std::vector<int64_t>& data,
 }
 
 Result<AvgHistogram> BuildVOptimal(const std::vector<int64_t>& data,
-                                   int64_t buckets, PieceRounding rounding) {
+                                   int64_t buckets, PieceRounding rounding,
+                                   const Deadline& deadline) {
   RANGESYN_RETURN_IF_ERROR(ValidateInput(data, buckets));
   const int64_t n = static_cast<int64_t>(data.size());
   WeightedPointCosts costs(data, WeightedPointCosts::UniformWeights(n));
   RANGESYN_ASSIGN_OR_RETURN(
       IntervalDpResult dp,
-      SolveIntervalDp(n, buckets, [&costs](int64_t l, int64_t r) {
-        return costs.Cost(l, r);
-      }));
+      SolveIntervalDp(n, buckets,
+                      [&costs](int64_t l, int64_t r) {
+                        return costs.Cost(l, r);
+                      },
+                      /*exact_buckets=*/false, deadline));
   return AvgHistogram::WithTrueAverages(data, dp.partition, "V-OPT",
                                         rounding);
 }
@@ -190,8 +204,8 @@ Result<AvgHistogram> BuildMaxDiff(const std::vector<int64_t>& data,
 }
 
 Result<AvgHistogram> BuildPrefixOpt(const std::vector<int64_t>& data,
-                                    int64_t buckets,
-                                    PieceRounding rounding) {
+                                    int64_t buckets, PieceRounding rounding,
+                                    const Deadline& deadline) {
   RANGESYN_RETURN_IF_ERROR(ValidateInput(data, buckets));
   PrefixStats stats(data);
   BucketCosts costs(stats);
@@ -200,7 +214,8 @@ Result<AvgHistogram> BuildPrefixOpt(const std::vector<int64_t>& data,
       SolveIntervalDp(stats.n(), buckets,
                       [&costs](int64_t l, int64_t r) {
                         return costs.SumV2(l, r);
-                      }));
+                      },
+                      /*exact_buckets=*/false, deadline));
   return AvgHistogram::WithTrueAverages(data, dp.partition, "PREFIX-OPT",
                                         rounding);
 }

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/deadline.h"
 #include "core/result.h"
 #include "histogram/histogram.h"
 
@@ -13,40 +14,52 @@ namespace rangesyn {
 /// distribution `data` (A[i] = data[i-1], non-negative counts) and a bucket
 /// count `buckets`, and chooses boundaries per its construction rule.
 /// See DESIGN.md §2 for the estimator matrix.
+///
+/// The DP-backed builders accept an optional cooperative `deadline`
+/// (checked per DP row chunk); expiry fails the build with
+/// DeadlineExceeded, which the engine factory's fallback ladder converts
+/// into a cheaper construction (DESIGN.md §9). The near-linear builders
+/// (equi-*, maxdiff, naive) are the ladder's final rungs and take none.
 
 /// SAP0 (paper Theorem 6): exactly range-optimal for its 3-words-per-bucket
 /// representation, O(n^2 B) time via the Decomposition Lemma.
 Result<Sap0Histogram> BuildSap0(const std::vector<int64_t>& data,
-                                int64_t buckets);
+                                int64_t buckets,
+                                const Deadline& deadline = Deadline());
 
 /// SAP1 (paper Theorem 8): exactly range-optimal for its 5-words-per-bucket
 /// representation, O(n^2 B) time.
 Result<Sap1Histogram> BuildSap1(const std::vector<int64_t>& data,
-                                int64_t buckets);
+                                int64_t buckets,
+                                const Deadline& deadline = Deadline());
 
 /// SAP2 (this library's extension of §2.2.2): exactly range-optimal for
 /// its 7-words-per-bucket quadratic representation, O(n^2 B) time.
 Result<Sap2Histogram> BuildSap2(const std::vector<int64_t>& data,
-                                int64_t buckets);
+                                int64_t buckets,
+                                const Deadline& deadline = Deadline());
 
 /// A0 heuristic (paper §4): average-only representation; the DP minimizes
 /// the cost with the cross term dropped, so the result is near- but not
 /// exactly optimal for the OPT-A representation.
 Result<AvgHistogram> BuildA0(const std::vector<int64_t>& data,
                              int64_t buckets,
-                             PieceRounding rounding = PieceRounding::kPerPiece);
+                             PieceRounding rounding = PieceRounding::kPerPiece,
+                             const Deadline& deadline = Deadline());
 
 /// POINT-OPT (paper §4): V-optimal [6] with point weights i(n-i+1).
 Result<AvgHistogram> BuildPointOpt(const std::vector<int64_t>& data,
                                    int64_t buckets,
                                    PieceRounding rounding =
-                                       PieceRounding::kPerPiece);
+                                       PieceRounding::kPerPiece,
+                                   const Deadline& deadline = Deadline());
 
 /// Classical (unweighted) V-optimal histogram of [6].
 Result<AvgHistogram> BuildVOptimal(const std::vector<int64_t>& data,
                                    int64_t buckets,
                                    PieceRounding rounding =
-                                       PieceRounding::kPerPiece);
+                                       PieceRounding::kPerPiece,
+                                   const Deadline& deadline = Deadline());
 
 /// Equal-width buckets with true bucket averages.
 Result<AvgHistogram> BuildEquiWidth(const std::vector<int64_t>& data,
@@ -78,7 +91,8 @@ Result<AvgHistogram> BuildMaxDiff(const std::vector<int64_t>& data,
 Result<AvgHistogram> BuildPrefixOpt(const std::vector<int64_t>& data,
                                     int64_t buckets,
                                     PieceRounding rounding =
-                                        PieceRounding::kNone);
+                                        PieceRounding::kNone,
+                                    const Deadline& deadline = Deadline());
 
 /// The single-value NAIVE synopsis.
 Result<NaiveEstimator> BuildNaive(const std::vector<int64_t>& data);

@@ -6,6 +6,7 @@
 
 #include <atomic>
 
+#include "core/failpoint.h"
 #include "core/logging.h"
 #include "core/mathutil.h"
 #include "core/threadpool.h"
@@ -68,8 +69,13 @@ struct DpTable {
   std::vector<std::vector<int64_t>> parent;
 };
 
-DpTable RunDp(int64_t n, int64_t max_buckets, const BucketCostFn& cost) {
+Result<DpTable> RunDp(int64_t n, int64_t max_buckets,
+                      const BucketCostFn& cost, const Deadline& deadline) {
   RANGESYN_OBS_SPAN("histogram.dp.solve");
+  // The table is the DP's big allocation — O(n * B) cells; the failpoint
+  // models the allocation failing before any scratch is committed.
+  RANGESYN_FAILPOINT("alloc.interval_dp");
+  RANGESYN_RETURN_IF_ERROR(deadline.Check("interval DP"));
   DpTable t;
   t.n = n;
   t.max_buckets = max_buckets;
@@ -97,7 +103,12 @@ DpTable RunDp(int64_t n, int64_t max_buckets, const BucketCostFn& cost) {
     auto& bk = t.best[static_cast<size_t>(k)];
     auto& pk = t.parent[static_cast<size_t>(k)];
     const auto& prev = t.best[static_cast<size_t>(k - 1)];
-    ParallelFor(k, n + 1, grain, [&](int64_t i_begin, int64_t i_end) {
+    // The deadline is observed once per row chunk: an expired chunk
+    // returns DeadlineExceeded without touching its cells, and
+    // ParallelForStatus reports the first failing chunk in chunk order.
+    RANGESYN_RETURN_IF_ERROR(ParallelForStatus(
+        k, n + 1, grain, [&](int64_t i_begin, int64_t i_end) -> Status {
+      RANGESYN_RETURN_IF_ERROR(deadline.Check("interval DP row"));
       uint64_t chunk_cells = 0;
       uint64_t chunk_transitions = 0;
       for (int64_t i = i_begin; i < i_end; ++i) {
@@ -119,7 +130,8 @@ DpTable RunDp(int64_t n, int64_t max_buckets, const BucketCostFn& cost) {
       }
       cells.fetch_add(chunk_cells, std::memory_order_relaxed);
       transitions.fetch_add(chunk_transitions, std::memory_order_relaxed);
-    });
+      return OkStatus();
+    }));
   }
   RANGESYN_OBS_COUNTER_INC("histogram.dp.solves");
   RANGESYN_OBS_COUNTER_ADD("histogram.dp.cells", cells.load());
@@ -152,7 +164,8 @@ Result<IntervalDpResult> ExtractSolution(const DpTable& t, int64_t k) {
 
 Result<IntervalDpResult> SolveIntervalDp(int64_t n, int64_t max_buckets,
                                          const BucketCostFn& cost,
-                                         bool exact_buckets) {
+                                         bool exact_buckets,
+                                         const Deadline& deadline) {
   if (n < 1) return InvalidArgumentError("SolveIntervalDp: n must be >= 1");
   if (max_buckets < 1) {
     return InvalidArgumentError("SolveIntervalDp: max_buckets must be >= 1");
@@ -162,7 +175,7 @@ Result<IntervalDpResult> SolveIntervalDp(int64_t n, int64_t max_buckets,
     return InvalidArgumentError(
         "SolveIntervalDp: cannot use more buckets than elements");
   }
-  const DpTable t = RunDp(n, b, cost);
+  RANGESYN_ASSIGN_OR_RETURN(const DpTable t, RunDp(n, b, cost, deadline));
   if (exact_buckets) {
     Result<IntervalDpResult> r = ExtractSolution(t, b);
 #ifdef RANGESYN_AUDIT
@@ -189,13 +202,14 @@ Result<IntervalDpResult> SolveIntervalDp(int64_t n, int64_t max_buckets,
 }
 
 Result<std::vector<IntervalDpResult>> SolveIntervalDpAllK(
-    int64_t n, int64_t max_buckets, const BucketCostFn& cost) {
+    int64_t n, int64_t max_buckets, const BucketCostFn& cost,
+    const Deadline& deadline) {
   if (n < 1) return InvalidArgumentError("SolveIntervalDpAllK: n >= 1");
   if (max_buckets < 1) {
     return InvalidArgumentError("SolveIntervalDpAllK: max_buckets >= 1");
   }
   const int64_t b = std::min(max_buckets, n);
-  const DpTable t = RunDp(n, b, cost);
+  RANGESYN_ASSIGN_OR_RETURN(const DpTable t, RunDp(n, b, cost, deadline));
   std::vector<IntervalDpResult> out;
   out.reserve(static_cast<size_t>(b));
   for (int64_t k = 1; k <= b; ++k) {

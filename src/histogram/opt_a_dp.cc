@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "core/failpoint.h"
 #include "core/logging.h"
 #include "core/mathutil.h"
 #include "core/strings.h"
@@ -31,7 +32,10 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 /// agree bit-for-bit.
 class BucketTables {
  public:
-  explicit BucketTables(const std::vector<int64_t>& data)
+  /// Chunks of the O(n^3) fill observe `deadline` and return early once it
+  /// expires; the caller must re-check the deadline after construction and
+  /// discard the (partially filled) tables on expiry.
+  BucketTables(const std::vector<int64_t>& data, const Deadline& deadline)
       : n_(static_cast<int64_t>(data.size())), stats_(data) {
     RANGESYN_OBS_SPAN("histogram.opta.prefix_tables");
     const size_t tri = static_cast<size_t>(n_) * (n_ + 1) / 2;
@@ -49,6 +53,7 @@ class BucketTables {
     // of the per-bucket tables below. All writes are index-disjoint, so
     // the parallel fill is bit-identical to the serial one.
     ParallelFor(1, n_ + 1, /*grain=*/8, [&](int64_t lo, int64_t hi) {
+      if (deadline.Expired()) return;
       for (int64_t len = lo; len < hi; ++len) {
         const int64_t count = n_ - len + 1;
         auto& c = cw[static_cast<size_t>(len)];
@@ -65,6 +70,7 @@ class BucketTables {
     });
 
     ParallelFor(1, n_ + 1, /*grain=*/1, [&](int64_t l_lo, int64_t l_hi) {
+      if (deadline.Expired()) return;
       for (int64_t l = l_lo; l < l_hi; ++l) {
         for (int64_t r = l; r <= n_; ++r) {
           const size_t idx = Index(l, r);
@@ -170,9 +176,10 @@ double BruteSse(const std::vector<int64_t>& data, const AvgHistogram& hist) {
 
 /// Upper bound on OPT for the OPT-A representation, from the A0 heuristic
 /// (always a feasible OPT-A histogram). Falls back to NAIVE-in-one-bucket.
-double OptUpperBound(const std::vector<int64_t>& data, int64_t max_buckets) {
+double OptUpperBound(const std::vector<int64_t>& data, int64_t max_buckets,
+                     const Deadline& deadline = Deadline()) {
   Result<AvgHistogram> a0 =
-      BuildA0(data, max_buckets, PieceRounding::kPerPiece);
+      BuildA0(data, max_buckets, PieceRounding::kPerPiece, deadline);
   if (a0.ok()) return BruteSse(data, a0.value());
   Result<AvgHistogram> whole = AvgHistogram::WithTrueAverages(
       data, Partition::Whole(static_cast<int64_t>(data.size())), "UB",
@@ -202,7 +209,10 @@ struct LambdaState {
 /// state dominated at both V endpoints can never beat its dominator.
 class SuffixCrossBounds {
  public:
-  SuffixCrossBounds(const BucketTables& tables, int64_t max_buckets)
+  /// Like BucketTables, chunks return early once `deadline` expires; the
+  /// caller re-checks afterwards.
+  SuffixCrossBounds(const BucketTables& tables, int64_t max_buckets,
+                    const Deadline& deadline)
       : n_(tables.n()), max_b_(max_buckets) {
     const size_t rows = static_cast<size_t>(max_b_) + 1;
     const size_t cols = static_cast<size_t>(n_) + 1;
@@ -216,6 +226,7 @@ class SuffixCrossBounds {
     // (index-disjoint writes; bit-identical to the serial backward sweep).
     for (int64_t r = 1; r <= max_b_; ++r) {
       ParallelFor(0, n_, /*grain=*/8, [&](int64_t i_lo, int64_t i_hi) {
+        if (deadline.Expired()) return;
         for (int64_t i = i_lo; i < i_hi; ++i) {
           double lo =
               min_v_[static_cast<size_t>(r - 1)][static_cast<size_t>(i)];
@@ -350,7 +361,12 @@ Result<OptAResult> BuildOptA(const std::vector<int64_t>& data,
     return InvalidArgumentError("OPT-A: more buckets than elements");
   }
   RANGESYN_OBS_SPAN("histogram.opta.dp");
-  BucketTables tables(data);
+  // The O(n^2) per-bucket tables are OPT-A's dominant allocation; the
+  // failpoint models it failing before any work is committed.
+  RANGESYN_FAILPOINT("alloc.opta_tables");
+  RANGESYN_RETURN_IF_ERROR(options.deadline.Check("OPT-A bucket tables"));
+  BucketTables tables(data, options.deadline);
+  RANGESYN_RETURN_IF_ERROR(options.deadline.Check("OPT-A bucket tables"));
 
   // Admissible Λ cap: on the optimal path, Σ u_l² never exceeds OPT
   // (each u_l is itself an intra-bucket range error), so
@@ -358,12 +374,15 @@ Result<OptAResult> BuildOptA(const std::vector<int64_t>& data,
   const int64_t lambda_cap =
       options.enable_lambda_cap
           ? static_cast<int64_t>(std::ceil(std::sqrt(
-                static_cast<double>(n) * OptUpperBound(data, max_b)))) +
+                static_cast<double>(n) *
+                OptUpperBound(data, max_b, options.deadline)))) +
                 1
           : std::numeric_limits<int64_t>::max();
+  RANGESYN_RETURN_IF_ERROR(options.deadline.Check("OPT-A upper bound"));
 
   // Dominance prune support: bounds on the achievable future cross-sum.
-  SuffixCrossBounds bounds(tables, max_b);
+  SuffixCrossBounds bounds(tables, max_b, options.deadline);
+  RANGESYN_RETURN_IF_ERROR(options.deadline.Check("OPT-A suffix bounds"));
 
   // cells[k][i]: pruned, lambda-sorted states for exactly-k-bucket
   // partitions of [1, i].
@@ -386,7 +405,12 @@ Result<OptAResult> BuildOptA(const std::vector<int64_t>& data,
     // At the last layer only terminal cells matter; for exact-buckets mode
     // intermediate layers never terminate, but their i=n cells are still
     // cheap and keep the code uniform.
-    ParallelFor(k, n + 1, /*grain=*/1, [&](int64_t i_lo, int64_t i_hi) {
+    // The deadline is observed once per cell chunk; an expired chunk
+    // returns DeadlineExceeded without building its cells, and
+    // ParallelForStatus reports the first failure in chunk order.
+    RANGESYN_RETURN_IF_ERROR(ParallelForStatus(
+        k, n + 1, /*grain=*/1, [&](int64_t i_lo, int64_t i_hi) -> Status {
+      RANGESYN_RETURN_IF_ERROR(options.deadline.Check("OPT-A layer"));
       std::unordered_map<int64_t, Entry> tmp;
       for (int64_t i = i_lo; i < i_hi; ++i) {
         if (k == max_b && i != n) continue;
@@ -435,7 +459,8 @@ Result<OptAResult> BuildOptA(const std::vector<int64_t>& data,
         cells[static_cast<size_t>(k)][static_cast<size_t>(i)] =
             std::move(cell);
       }
-    });
+      return OkStatus();
+    }));
     for (int64_t i = k; i <= n; ++i) {
       states +=
           cells[static_cast<size_t>(k)][static_cast<size_t>(i)].size();
@@ -494,7 +519,12 @@ Result<OptAResult> BuildOptAWarmup(const std::vector<int64_t>& data,
     return InvalidArgumentError("OPT-A warm-up: more buckets than elements");
   }
   RANGESYN_OBS_SPAN("histogram.opta.warmup_dp");
-  BucketTables tables(data);
+  RANGESYN_FAILPOINT("alloc.opta_tables");
+  RANGESYN_RETURN_IF_ERROR(
+      options.deadline.Check("OPT-A warm-up bucket tables"));
+  BucketTables tables(data, options.deadline);
+  RANGESYN_RETURN_IF_ERROR(
+      options.deadline.Check("OPT-A warm-up bucket tables"));
 
   // State key (Λ, Λ2); Λ2 = Σ u² is integral (sum of squared integers) and
   // is stored exactly as int64.
@@ -521,6 +551,7 @@ Result<OptAResult> BuildOptAWarmup(const std::vector<int64_t>& data,
 
   for (int64_t k = 1; k <= max_b; ++k) {
     for (int64_t j = k - 1; j < n; ++j) {
+      RANGESYN_RETURN_IF_ERROR(options.deadline.Check("OPT-A warm-up"));
       const StateMap& src = layers[static_cast<size_t>(k - 1)]
                                   [static_cast<size_t>(j)];
       if (src.empty()) continue;
@@ -607,6 +638,7 @@ Result<OptAResult> BuildOptARounded(const std::vector<int64_t>& data,
   inner.max_buckets = options.max_buckets;
   inner.exact_buckets = options.exact_buckets;
   inner.max_states = options.max_states;
+  inner.deadline = options.deadline;
   RANGESYN_ASSIGN_OR_RETURN(OptAResult rounded, BuildOptA(scaled, inner));
 
   // The DP objective on the scaled data, mapped back to original units.

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/deadline.h"
 #include "core/result.h"
 #include "histogram/histogram.h"
 
@@ -33,6 +34,13 @@ struct OptAOptions {
   /// Λ-cap prune: discard |Λ| > sqrt(n * UB) with UB a cheap feasible
   /// upper bound on OPT.
   bool enable_lambda_cap = true;
+
+  /// Cooperative deadline, observed in the O(n^3) table precomputation and
+  /// at every DP layer chunk. Expiry aborts with DeadlineExceeded; like the
+  /// max_states valve, callers should fall back to a cheaper construction
+  /// (the engine factory's ladder does; DESIGN.md §9). The default never
+  /// expires and adds no clock reads.
+  Deadline deadline;
 };
 
 /// Result of the OPT-A construction.
@@ -69,6 +77,9 @@ struct OptARoundedOptions {
   int64_t max_buckets = 8;
   bool exact_buckets = false;
   uint64_t max_states = 50'000'000;
+
+  /// Cooperative deadline, forwarded to the inner exact DP.
+  Deadline deadline;
 
   /// Rounding granularity x >= 1: data is rounded to multiples of x and
   /// divided by x before the exact DP runs, shrinking the Λ state space by

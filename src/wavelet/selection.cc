@@ -5,6 +5,7 @@
 #include <limits>
 #include <numeric>
 
+#include "core/failpoint.h"
 #include "core/logging.h"
 #include "core/mathutil.h"
 #include "core/threadpool.h"
@@ -147,11 +148,16 @@ std::vector<WaveletCoefficient> KeepTop(
 }  // namespace
 
 Result<WaveletSynopsis> BuildWavePoint(const std::vector<int64_t>& data,
-                                       int64_t budget) {
+                                       int64_t budget,
+                                       const Deadline& deadline) {
   RANGESYN_RETURN_IF_ERROR(ValidateSelectionInput(data, budget));
   RANGESYN_OBS_SPAN("wavelet.build.wave_point");
+  // The padded transform vector is the build's big allocation.
+  RANGESYN_FAILPOINT("alloc.wavelet");
+  RANGESYN_RETURN_IF_ERROR(deadline.Check("WAVE-POINT transform"));
   RANGESYN_ASSIGN_OR_RETURN(std::vector<double> coeffs,
                             TransformPaddedData(data));
+  RANGESYN_RETURN_IF_ERROR(deadline.Check("WAVE-POINT selection"));
   std::vector<double> scores(coeffs.size());
   for (size_t k = 0; k < coeffs.size(); ++k) {
     scores[k] = std::fabs(coeffs[k]);
@@ -163,11 +169,15 @@ Result<WaveletSynopsis> BuildWavePoint(const std::vector<int64_t>& data,
 }
 
 Result<WaveletSynopsis> BuildTopBB(const std::vector<int64_t>& data,
-                                   int64_t budget) {
+                                   int64_t budget,
+                                   const Deadline& deadline) {
   RANGESYN_RETURN_IF_ERROR(ValidateSelectionInput(data, budget));
   RANGESYN_OBS_SPAN("wavelet.build.topbb");
+  RANGESYN_FAILPOINT("alloc.wavelet");
+  RANGESYN_RETURN_IF_ERROR(deadline.Check("TOPBB transform"));
   RANGESYN_ASSIGN_OR_RETURN(std::vector<double> coeffs,
                             TransformPaddedData(data));
+  RANGESYN_RETURN_IF_ERROR(deadline.Check("TOPBB scoring"));
   const int64_t padded = static_cast<int64_t>(coeffs.size());
   std::vector<double> scores(coeffs.size());
   for (int64_t k = 0; k < padded; ++k) {
@@ -181,9 +191,12 @@ Result<WaveletSynopsis> BuildTopBB(const std::vector<int64_t>& data,
 }
 
 Result<WaveletSynopsis> BuildWaveRangeOpt(const std::vector<int64_t>& data,
-                                          int64_t budget) {
+                                          int64_t budget,
+                                          const Deadline& deadline) {
   RANGESYN_RETURN_IF_ERROR(ValidateSelectionInput(data, budget));
   RANGESYN_OBS_SPAN("wavelet.build.range_opt");
+  RANGESYN_FAILPOINT("alloc.wavelet");
+  RANGESYN_RETURN_IF_ERROR(deadline.Check("WAVE-RANGE-OPT transform"));
   const int64_t n = static_cast<int64_t>(data.size());
   const int64_t padded = static_cast<int64_t>(
       NextPowerOfTwo(static_cast<uint64_t>(n) + 1));
@@ -199,6 +212,7 @@ Result<WaveletSynopsis> BuildWaveRangeOpt(const std::vector<int64_t>& data,
     p[static_cast<size_t>(t)] = static_cast<double>(acc);
   }
   RANGESYN_ASSIGN_OR_RETURN(std::vector<double> coeffs, HaarTransform(p));
+  RANGESYN_RETURN_IF_ERROR(deadline.Check("WAVE-RANGE-OPT selection"));
   std::vector<double> scores(coeffs.size());
   for (size_t k = 0; k < coeffs.size(); ++k) {
     scores[k] = std::fabs(coeffs[k]);

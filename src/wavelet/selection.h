@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/deadline.h"
 #include "core/result.h"
 #include "wavelet/synopsis.h"
 
@@ -12,13 +13,19 @@ namespace rangesyn {
 /// Coefficient-selection strategies for Haar synopses of an integer
 /// attribute-value distribution. Each builder retains (at most) `budget`
 /// coefficients, i.e. 2*budget storage words.
+///
+/// Each builder accepts an optional cooperative `deadline`, observed
+/// between the transform / scoring / selection stages; expiry fails the
+/// build with DeadlineExceeded, which the engine factory's fallback ladder
+/// converts into a cheaper selection (DESIGN.md §9).
 
 /// Classical selection from the prior literature the paper compares
 /// against ([11,17]): transform the data vector and keep the `budget`
 /// largest-magnitude (orthonormal) coefficients — optimal for *point*
 /// query SSE, with no range-query guarantee. Name: "WAVE-POINT".
 Result<WaveletSynopsis> BuildWavePoint(const std::vector<int64_t>& data,
-                                       int64_t budget);
+                                       int64_t budget,
+                                       const Deadline& deadline = Deadline());
 
 /// The paper's TOPBB heuristic: still data-domain coefficients, but ranked
 /// by their individual contribution to the all-ranges SSE,
@@ -26,7 +33,8 @@ Result<WaveletSynopsis> BuildWavePoint(const std::vector<int64_t>& data,
 /// (BasisAllRangesWeight). Interactions between dropped coefficients are
 /// ignored, so this is greedy, not optimal. Name: "TOPBB".
 Result<WaveletSynopsis> BuildTopBB(const std::vector<int64_t>& data,
-                                   int64_t budget);
+                                   int64_t budget,
+                                   const Deadline& deadline = Deadline());
 
 /// The provably range-optimal selection (paper Theorem 9 via the
 /// prefix-sum domain, DESIGN.md §3.5): transform P[0..n], never store the
@@ -34,8 +42,9 @@ Result<WaveletSynopsis> BuildTopBB(const std::vector<int64_t>& data,
 /// largest-magnitude non-DC coefficients. When n+1 is a power of two the
 /// retained set minimizes the all-ranges SSE over every possible set of
 /// `budget` coefficients. Name: "WAVE-RANGE-OPT".
-Result<WaveletSynopsis> BuildWaveRangeOpt(const std::vector<int64_t>& data,
-                                          int64_t budget);
+Result<WaveletSynopsis> BuildWaveRangeOpt(
+    const std::vector<int64_t>& data, int64_t budget,
+    const Deadline& deadline = Deadline());
 
 /// Exact all-ranges SSE of a kPrefix synopsis predicted from its dropped
 /// coefficients: (n+1) * sum of dropped non-DC c^2 (valid when n+1 equals

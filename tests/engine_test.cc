@@ -5,10 +5,13 @@
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "core/bytes.h"
 #include "core/random.h"
 #include "engine/catalog.h"
 #include "engine/factory.h"
@@ -246,6 +249,179 @@ TEST(CatalogTest, StorageAccounting) {
   ASSERT_TRUE(b_words.ok());
   EXPECT_EQ(catalog.TotalStorageWords(), a_words.value() + b_words.value());
   EXPECT_EQ(catalog.ListEntries().size(), 2u);
+}
+
+TEST(FactoryTest, InvalidBudgetRejected) {
+  std::vector<int64_t> data(32, 5);
+  SynopsisSpec spec;
+  spec.method = "equiwidth";
+  for (const int64_t bad : {int64_t{0}, int64_t{-5}}) {
+    spec.budget_words = bad;
+    const auto r = BuildSynopsis(spec, data);
+    ASSERT_FALSE(r.ok()) << "budget=" << bad;
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  }
+  // A positive budget too small to fund a single unit is also an error,
+  // not a silent clamp to one bucket the budget cannot pay for.
+  spec.method = "sap0";  // 3 words per unit
+  spec.budget_words = 2;
+  const auto r = BuildSynopsis(spec, data);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("cannot fund"), std::string::npos);
+  // The smallest viable budget for the same method works.
+  spec.budget_words = 3;
+  EXPECT_TRUE(BuildSynopsis(spec, data).ok());
+}
+
+// --------------------------------- catalog corruption and quarantine
+
+/// A small three-entry catalog plus its v2 serialization.
+void BuildThreeEntryCatalog(SynopsisCatalog* catalog, std::string* bytes) {
+  Rng rng(71);
+  for (const char* key : {"t.a", "t.b", "t.c"}) {
+    Column c(key);
+    for (int i = 0; i < 200; ++i) c.Append(rng.NextInt(0, 40));
+    SynopsisSpec spec;
+    spec.method = "sap0";
+    spec.budget_words = 12;
+    ASSERT_TRUE(catalog->RegisterColumn(key, c, spec).ok());
+  }
+  auto serialized = catalog->Serialize();
+  ASSERT_TRUE(serialized.ok());
+  *bytes = std::move(serialized.value());
+}
+
+TEST(CatalogTest, EveryPrefixTruncationRejected) {
+  SynopsisCatalog catalog;
+  std::string bytes;
+  ASSERT_NO_FATAL_FAILURE(BuildThreeEntryCatalog(&catalog, &bytes));
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    EXPECT_FALSE(
+        SynopsisCatalog::Deserialize(std::string_view(bytes).substr(0, cut))
+            .ok())
+        << "cut=" << cut;
+  }
+}
+
+TEST(CatalogTest, EverySingleBitFlipRejectedStrict) {
+  // The whole-buffer CRC32C trailer detects every single-bit error, so
+  // strict deserialization must reject every flipped buffer.
+  SynopsisCatalog catalog;
+  std::string bytes;
+  ASSERT_NO_FATAL_FAILURE(BuildThreeEntryCatalog(&catalog, &bytes));
+  for (size_t pos = 0; pos < bytes.size(); ++pos) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string mutated = bytes;
+      mutated[pos] = static_cast<char>(mutated[pos] ^ (1 << bit));
+      EXPECT_FALSE(SynopsisCatalog::Deserialize(mutated).ok())
+          << "pos=" << pos << " bit=" << bit;
+    }
+  }
+}
+
+TEST(CatalogTest, CorruptEntryQuarantinedWhileOthersLoad) {
+  SynopsisCatalog catalog;
+  std::string bytes;
+  ASSERT_NO_FATAL_FAILURE(BuildThreeEntryCatalog(&catalog, &bytes));
+
+  // Locate the second entry's blob ("t.b" — std::map orders keys) and
+  // corrupt its final byte, deep in the synopsis payload so the key stays
+  // readable for the quarantine report.
+  ByteReader r(bytes);
+  ASSERT_TRUE(r.ReadU32().ok());  // magic
+  ASSERT_TRUE(r.ReadU8().ok());   // version
+  ASSERT_TRUE(r.ReadU32().ok());  // count
+  ASSERT_TRUE(r.ReadString().ok());  // blob 1
+  ASSERT_TRUE(r.ReadU32().ok());     // entry 1 CRC
+  ASSERT_TRUE(r.ReadString().ok());  // blob 2
+  const size_t blob2_end = bytes.size() - r.remaining();
+  std::string corrupted = bytes;
+  corrupted[blob2_end - 1] =
+      static_cast<char>(corrupted[blob2_end - 1] ^ 0xff);
+
+  // Strict load rejects the whole buffer.
+  EXPECT_FALSE(SynopsisCatalog::Deserialize(corrupted).ok());
+
+  // Lenient load quarantines t.b and keeps t.a / t.c intact.
+  SynopsisCatalog::LoadReport report;
+  auto lenient = SynopsisCatalog::DeserializeWithReport(corrupted, &report);
+  ASSERT_TRUE(lenient.ok()) << lenient.status();
+  EXPECT_EQ(report.entries_total, 3);
+  EXPECT_EQ(report.entries_loaded, 2);
+  ASSERT_EQ(report.quarantined.size(), 1u);
+  EXPECT_EQ(report.quarantined[0].key, "t.b");
+  EXPECT_NE(report.quarantined[0].error.find("CRC32C"), std::string::npos);
+  EXPECT_TRUE(lenient->Contains("t.a"));
+  EXPECT_FALSE(lenient->Contains("t.b"));
+  EXPECT_TRUE(lenient->Contains("t.c"));
+  for (const char* key : {"t.a", "t.c"}) {
+    auto want = catalog.EstimateCountBetween(key, 5, 30);
+    auto got = lenient->EstimateCountBetween(key, 5, 30);
+    ASSERT_TRUE(want.ok());
+    ASSERT_TRUE(got.ok());
+    EXPECT_NEAR(want.value(), got.value(), 1e-9) << key;
+  }
+
+  // The same corrupted bytes through the file path also quarantine.
+  const std::string path = ::testing::TempDir() + "/corrupt_catalog.rsc";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fwrite(corrupted.data(), 1, corrupted.size(), f),
+              corrupted.size());
+    ASSERT_EQ(std::fclose(f), 0);
+  }
+  EXPECT_FALSE(SynopsisCatalog::LoadFromFile(path).ok());
+  SynopsisCatalog::LoadReport file_report;
+  auto from_file =
+      SynopsisCatalog::LoadFromFileWithReport(path, &file_report);
+  ASSERT_TRUE(from_file.ok()) << from_file.status();
+  EXPECT_EQ(file_report.entries_loaded, 2);
+  std::remove(path.c_str());
+}
+
+TEST(CatalogTest, V1BuffersStillDeserialize) {
+  // v1 = same header with version 1, entries inline (each v2 blob is
+  // byte-identical to a v1 inline entry), no checksums anywhere.
+  SynopsisCatalog catalog;
+  std::string bytes;
+  ASSERT_NO_FATAL_FAILURE(BuildThreeEntryCatalog(&catalog, &bytes));
+
+  ByteReader r(bytes);
+  ASSERT_TRUE(r.ReadU32().ok());
+  ASSERT_TRUE(r.ReadU8().ok());
+  auto count = r.ReadU32();
+  ASSERT_TRUE(count.ok());
+  ByteWriter header;
+  header.WriteU32(0x52534343);  // "RSCC"
+  header.WriteU8(1);
+  header.WriteU32(count.value());
+  std::string v1 = header.Release();
+  for (uint32_t i = 0; i < count.value(); ++i) {
+    auto blob = r.ReadString();
+    ASSERT_TRUE(blob.ok());
+    ASSERT_TRUE(r.ReadU32().ok());  // drop the per-entry CRC
+    v1 += blob.value();
+  }
+
+  auto restored = SynopsisCatalog::Deserialize(v1);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  EXPECT_EQ(restored->ListEntries().size(), 3u);
+  auto want = catalog.EstimateCountBetween("t.b", 5, 30);
+  auto got = restored->EstimateCountBetween("t.b", 5, 30);
+  ASSERT_TRUE(want.ok());
+  ASSERT_TRUE(got.ok());
+  EXPECT_NEAR(want.value(), got.value(), 1e-9);
+
+  // v1 has no per-entry checksums to localize damage, so even the lenient
+  // loader treats a corrupt v1 buffer as fatal.
+  std::string corrupt_v1 = v1;
+  corrupt_v1[v1.size() - 1] =
+      static_cast<char>(corrupt_v1[v1.size() - 1] ^ 0xff);
+  SynopsisCatalog::LoadReport report;
+  EXPECT_FALSE(
+      SynopsisCatalog::DeserializeWithReport(corrupt_v1, &report).ok());
 }
 
 }  // namespace

@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -296,6 +297,95 @@ TEST(SerializeTest, RandomByteCorruptionNeverCrashes) {
         (void)(*parsed)->StorageWords();
       }
     }
+  }
+}
+
+// ---------------------------------- exhaustive corruption sweeps (v2)
+
+/// One serialized buffer per concrete synopsis kind the format supports.
+std::vector<std::pair<std::string, std::string>> BuffersForAllKinds() {
+  Rng rng(211);
+  std::vector<int64_t> data(32);
+  for (auto& v : data) v = rng.NextInt(0, 25);
+  std::vector<std::pair<std::string, std::string>> out;
+  for (const char* method :
+       {"naive", "equiwidth", "sap0", "sap1", "sap2", "topbb"}) {
+    SynopsisSpec spec;
+    spec.method = method;
+    spec.budget_words = 21;
+    auto est = BuildSynopsis(spec, data);
+    EXPECT_TRUE(est.ok()) << method << ": " << est.status();
+    if (!est.ok()) continue;
+    auto bytes = SerializeSynopsis(*est.value());
+    EXPECT_TRUE(bytes.ok()) << method;
+    if (bytes.ok()) out.emplace_back(method, std::move(bytes.value()));
+  }
+  // WeightedSap0 is not reachable through the factory; construct directly.
+  auto p = Partition::FromEnds(8, {3, 8});
+  EXPECT_TRUE(p.ok());
+  auto wsap0 = WeightedSap0Histogram::FromSummaries(
+      p.value(), {1.0, 2.0}, {0.5, 0.25}, {4.0, 8.0});
+  EXPECT_TRUE(wsap0.ok());
+  if (wsap0.ok()) {
+    auto bytes = SerializeSynopsis(wsap0.value());
+    EXPECT_TRUE(bytes.ok());
+    if (bytes.ok()) out.emplace_back("wsap0", std::move(bytes.value()));
+  }
+  return out;
+}
+
+TEST(SerializeTest, EveryPrefixTruncationRejectedForEveryKind) {
+  for (const auto& [kind, bytes] : BuffersForAllKinds()) {
+    for (size_t cut = 0; cut < bytes.size(); ++cut) {
+      EXPECT_FALSE(
+          DeserializeSynopsis(std::string_view(bytes).substr(0, cut)).ok())
+          << kind << " cut=" << cut;
+    }
+  }
+}
+
+TEST(SerializeTest, EverySingleBitFlipRejectedForEveryKind) {
+  // The CRC32C trailer detects every single-bit error anywhere in the
+  // buffer (including in the trailer itself), so *no* flipped buffer may
+  // parse — this is strictly stronger than "never crashes".
+  for (const auto& [kind, bytes] : BuffersForAllKinds()) {
+    for (size_t pos = 0; pos < bytes.size(); ++pos) {
+      for (int bit = 0; bit < 8; ++bit) {
+        std::string mutated = bytes;
+        mutated[pos] = static_cast<char>(mutated[pos] ^ (1 << bit));
+        EXPECT_FALSE(DeserializeSynopsis(mutated).ok())
+            << kind << " pos=" << pos << " bit=" << bit;
+      }
+    }
+  }
+}
+
+TEST(SerializeTest, V1BuffersWithoutTrailerStillDeserialize) {
+  // Forward compatibility with pre-checksum snapshots: a v2 buffer minus
+  // its 4-byte trailer, relabeled version 1, is exactly the v1 encoding.
+  for (const auto& [kind, bytes] : BuffersForAllKinds()) {
+    ASSERT_GT(bytes.size(), 10u) << kind;
+    ASSERT_EQ(bytes[4], 2) << kind;
+    std::string v1 = bytes.substr(0, bytes.size() - 4);
+    v1[4] = 1;
+    auto restored = DeserializeSynopsis(v1);
+    ASSERT_TRUE(restored.ok()) << kind << ": " << restored.status();
+    auto v2 = DeserializeSynopsis(bytes);
+    ASSERT_TRUE(v2.ok()) << kind;
+    const int64_t n = (*restored)->domain_size();
+    EXPECT_EQ(n, (*v2)->domain_size()) << kind;
+    EXPECT_EQ((*restored)->EstimateRange(1, n), (*v2)->EstimateRange(1, n))
+        << kind;
+  }
+}
+
+TEST(SerializeTest, V2TrailerNotStrippableByVersionDowngrade) {
+  // Relabeling a v2 buffer as v1 *without* stripping the trailer must
+  // fail: the payload parser sees 4 trailing bytes it cannot own.
+  for (const auto& [kind, bytes] : BuffersForAllKinds()) {
+    std::string downgraded = bytes;
+    downgraded[4] = 1;
+    EXPECT_FALSE(DeserializeSynopsis(downgraded).ok()) << kind;
   }
 }
 

@@ -18,6 +18,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/failpoint.h"
 #include "obs/metrics.h"
 
 namespace rangesyn {
@@ -293,6 +294,119 @@ TEST(GlobalPoolTest, ObsCountersTrackPoolActivity) {
   const uint64_t chunks_after = obs::Registry::Get().Snapshot().CounterValue(
       "threadpool.parallel_for.chunks");
   EXPECT_EQ(chunks_after - chunks_before, 64u);
+  SetGlobalThreads(-1);
+}
+
+// ------------------------- fault stress (threadpool.task failpoint)
+// Suite names keep the "ThreadPool" prefix so the CI debug-tsan preset
+// (-R 'ThreadPool|GlobalPool|Determinism') picks these up: injected task
+// failures must be data-race-free too.
+
+class ThreadPoolFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!failpoint::kCompiledIn) {
+      GTEST_SKIP() << "built with RANGESYN_FAILPOINTS=OFF";
+    }
+    failpoint::Clear();
+  }
+  void TearDown() override { failpoint::Clear(); }
+
+  /// Runs a counting ParallelFor and asserts complete, exactly-once
+  /// coverage — the health check after every injected failure.
+  static void ExpectPoolHealthy(ThreadPool* pool) {
+    std::vector<std::atomic<int>> hits(311);
+    for (auto& h : hits) h.store(0);
+    pool->ParallelFor(0, 311, 7, [&hits](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) {
+        hits[static_cast<size_t>(i)].fetch_add(1,
+                                               std::memory_order_relaxed);
+      }
+    });
+    for (size_t i = 0; i < hits.size(); ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+    }
+  }
+};
+
+TEST_F(ThreadPoolFaultTest, InjectedTaskThrowPropagatesAndPoolSurvives) {
+  ThreadPool pool(4);
+  ASSERT_TRUE(failpoint::Configure("threadpool.task=once").ok());
+  EXPECT_THROW(pool.ParallelFor(0, 500, 5, [](int64_t, int64_t) {}),
+               std::runtime_error);
+  failpoint::Clear();
+  // The pool must be fully reusable after the aborted loop.
+  ExpectPoolHealthy(&pool);
+  ExpectPoolHealthy(&pool);
+}
+
+TEST_F(ThreadPoolFaultTest, InjectedTaskThrowSurfacesInStatusVariant) {
+  ThreadPool pool(4);
+  ASSERT_TRUE(failpoint::Configure("threadpool.task=once").ok());
+  EXPECT_THROW(
+      {
+        const Status s = pool.ParallelForStatus(
+            0, 500, 5, [](int64_t, int64_t) { return OkStatus(); });
+        (void)s;
+      },
+      std::runtime_error);
+  failpoint::Clear();
+  const Status ok = pool.ParallelForStatus(
+      0, 500, 5, [](int64_t, int64_t) { return OkStatus(); });
+  EXPECT_TRUE(ok.ok());
+  ExpectPoolHealthy(&pool);
+}
+
+TEST_F(ThreadPoolFaultTest, RepeatedProbabilisticFaultsNeverWedgePool) {
+  // A sustained fault storm: every loop either completes or throws, and
+  // the pool stays usable throughout. Runs under TSan in CI.
+  ThreadPool pool(4);
+  int threw = 0, completed = 0;
+  for (int round = 0; round < 40; ++round) {
+    // p is per *chunk* (40 chunks/round), chosen so both outcomes show
+    // up across the 40 deterministic schedules.
+    const std::string spec =
+        "threadpool.task=prob:0.02:" + std::to_string(round);
+    ASSERT_TRUE(failpoint::Configure(spec).ok());
+    std::atomic<int64_t> sum{0};
+    try {
+      pool.ParallelFor(0, 200, 5, [&sum](int64_t lo, int64_t hi) {
+        sum.fetch_add(hi - lo, std::memory_order_relaxed);
+      });
+      ++completed;
+      EXPECT_EQ(sum.load(), 200);
+    } catch (const std::runtime_error&) {
+      ++threw;
+    }
+  }
+  failpoint::Clear();
+  // With p=0.3 over 40 chunked loops both outcomes occur (the schedules
+  // are deterministic, so this cannot flake).
+  EXPECT_GT(threw, 0);
+  EXPECT_GT(completed, 0);
+  ExpectPoolHealthy(&pool);
+}
+
+TEST_F(ThreadPoolFaultTest, SingleThreadInlinePathAlsoSurvivesFaults) {
+  ThreadPool pool(1);
+  ASSERT_TRUE(failpoint::Configure("threadpool.task=once").ok());
+  EXPECT_THROW(pool.ParallelFor(0, 100, 10, [](int64_t, int64_t) {}),
+               std::runtime_error);
+  failpoint::Clear();
+  ExpectPoolHealthy(&pool);
+}
+
+TEST_F(ThreadPoolFaultTest, GlobalPoolSurvivesInjectedFaults) {
+  SetGlobalThreads(4);
+  ASSERT_TRUE(failpoint::Configure("threadpool.task=once").ok());
+  EXPECT_THROW(ParallelFor(0, 300, 3, [](int64_t, int64_t) {}),
+               std::runtime_error);
+  failpoint::Clear();
+  std::atomic<int64_t> sum{0};
+  ParallelFor(0, 300, 3, [&sum](int64_t lo, int64_t hi) {
+    sum.fetch_add(hi - lo, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), 300);
   SetGlobalThreads(-1);
 }
 

@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Runs the structure-aware corruption / fault-injection harness: the
+# fuzz_corruption_test binary (seeded failpoint schedules + mutation fuzz
+# of the on-disk formats) plus the failpoint and threadpool fault-stress
+# suites, ideally in an AddressSanitizer tree (the debug-asan preset).
+#
+# Environment overrides:
+#   BUILD_DIR   build tree holding tests/ binaries    (default: build-asan,
+#               falling back to build when build-asan does not exist)
+#   OUT_DIR     where gtest XML artifacts land        (default: .)
+#   SCHEDULES   failpoint schedules for the soak, >= 1000 for the
+#               acceptance bar (default: 1000; exported as
+#               RANGESYN_FUZZ_SCHEDULES)
+set -euo pipefail
+
+BUILD_DIR="${BUILD_DIR:-}"
+if [[ -z "${BUILD_DIR}" ]]; then
+  if [[ -d "build-asan/tests" ]]; then
+    BUILD_DIR="build-asan"
+  else
+    BUILD_DIR="build"
+  fi
+fi
+OUT_DIR="${OUT_DIR:-.}"
+SCHEDULES="${SCHEDULES:-1000}"
+
+if [[ ! -d "${BUILD_DIR}/tests" ]]; then
+  echo "error: ${BUILD_DIR}/tests not found — configure and build first:" >&2
+  echo "  cmake --preset debug-asan -B ${BUILD_DIR} && cmake --build ${BUILD_DIR} -j" >&2
+  exit 1
+fi
+
+mkdir -p "${OUT_DIR}"
+export RANGESYN_FUZZ_SCHEDULES="${SCHEDULES}"
+
+for suite in fuzz_corruption_test failpoint_test threadpool_test; do
+  binary="${BUILD_DIR}/tests/${suite}"
+  out="${OUT_DIR}/FUZZ_${suite}.xml"
+  if [[ ! -x "${binary}" ]]; then
+    echo "error: ${binary} is missing or not executable" >&2
+    exit 1
+  fi
+  echo "== ${suite} (schedules=${SCHEDULES}) -> ${out}"
+  # Fail fast and say WHICH suite died; drop the XML of a failed run so a
+  # half-written artifact can't masquerade as a pass.
+  status=0
+  "${binary}" --gtest_output="xml:${out}" || status=$?
+  if [[ "${status}" -ne 0 ]]; then
+    echo "error: ${suite} exited with status ${status}" >&2
+    rm -f "${out}"
+    exit "${status}"
+  fi
+done
+
+echo "fault/corruption harness passed (${SCHEDULES} failpoint schedules)"
