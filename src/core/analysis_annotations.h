@@ -1,0 +1,73 @@
+#ifndef RANGESYN_CORE_ANALYSIS_ANNOTATIONS_H_
+#define RANGESYN_CORE_ANALYSIS_ANNOTATIONS_H_
+
+/// Annotation vocabulary for rangesyn-analyze (tools/analyze/), the
+/// AST-grounded hot-path contract checker. On Clang the macros expand to
+/// `[[clang::annotate("rangesyn::<contract>")]]` so the libclang backend
+/// reads them straight off the AST; on other compilers they expand to
+/// nothing. The fallback (pure-Python) backend recognises the macro
+/// spellings themselves, so annotated headers stay portable and the
+/// contracts are enforced on every toolchain.
+///
+/// Place the macro at the very start of the declaration, before storage
+/// specifiers:
+///
+///     RANGESYN_HOT_PATH double EstimateRange(int64_t a, int64_t b) const;
+///     RANGESYN_CANCELLABLE static Result<DpSolution> Solve(...);
+///
+/// The vocabulary (DESIGN.md §6.4 has the full check catalog):
+///
+///  - RANGESYN_HOT_PATH: the function (and everything reachable from it
+///    through the call graph) serves per-query traffic. rangesyn-analyze
+///    enforces SA-101 (no heap allocation) and SA-102 (no mutex
+///    acquisition or blocking call) over the reachable set.
+///  - RANGESYN_COLD_PATH: terminal error arm (Status construction,
+///    logging, aborts). The hot-path walk does not descend into
+///    cold-annotated callees: allocating an error message once per failed
+///    request is acceptable; doing it per served query is not.
+///  - RANGESYN_CANCELLABLE: a builder that accepts a Deadline and
+///    promises to observe it. SA-105 requires every outermost loop in the
+///    function body to poll Deadline::Check()/Expired() (directly, via a
+///    lambda, or by calling another cancellable/deadline-taking
+///    function), so the PR-5 degradation ladder stays reachable.
+///  - RANGESYN_DETERMINISTIC: the function's observable output must be
+///    bit-identical across runs, thread counts, and standard libraries.
+///    SA-103 flags iteration over unordered containers inside the
+///    deterministic reachable set, because such order can escape into
+///    results or serialized bytes.
+///
+/// SA-104 (narrowing/overflow-prone integer arithmetic in index
+/// expressions) needs no annotation: it applies inside every annotated
+/// function plus the DP/wavelet index-math directories configured in
+/// tools/analyze/analyze_config.toml.
+///
+/// Intentional violations are waived inline at the finding site:
+///
+///     tmp_keys.push_back(k);  // analyze: waive(SA-103) sorted below
+///
+/// Every waiver carries a written justification; the repo gate
+/// (analyze_repo in ctest, the `analyze` CI job) fails on any unwaived
+/// finding.
+
+#if defined(__clang__) && !defined(SWIG)
+#define RANGESYN_ANALYSIS_ANNOTATION_(contract) \
+  [[clang::annotate("rangesyn::" contract)]]
+#else
+#define RANGESYN_ANALYSIS_ANNOTATION_(contract)  // no-op outside Clang
+#endif
+
+/// Serves per-query traffic: no heap allocation (SA-101), no mutex or
+/// blocking call (SA-102) anywhere in the reachable call graph.
+#define RANGESYN_HOT_PATH RANGESYN_ANALYSIS_ANNOTATION_("hot_path")
+
+/// Terminal error arm; the hot-path reachability walk stops here.
+#define RANGESYN_COLD_PATH RANGESYN_ANALYSIS_ANNOTATION_("cold_path")
+
+/// Deadline-taking builder; every outermost loop must poll (SA-105).
+#define RANGESYN_CANCELLABLE RANGESYN_ANALYSIS_ANNOTATION_("cancellable")
+
+/// Output must be bit-identical across runs/threads/stdlibs; no
+/// unordered-container iteration may escape (SA-103).
+#define RANGESYN_DETERMINISTIC RANGESYN_ANALYSIS_ANNOTATION_("deterministic")
+
+#endif  // RANGESYN_CORE_ANALYSIS_ANNOTATIONS_H_

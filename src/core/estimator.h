@@ -5,6 +5,8 @@
 #include <memory>
 #include <string>
 
+#include "core/analysis_annotations.h"
+
 namespace rangesyn {
 
 /// Interface shared by every synopsis in the library (histograms, wavelet
@@ -18,11 +20,16 @@ class RangeEstimator {
  public:
   virtual ~RangeEstimator() = default;
 
-  /// Estimate of s[a,b]. Requires 1 <= a <= b <= n.
-  virtual double EstimateRange(int64_t a, int64_t b) const = 0;
+  /// Estimate of s[a,b]. Requires 1 <= a <= b <= n. Serves per-query
+  /// traffic: implementations must stay allocation- and lock-free
+  /// (rangesyn-analyze SA-101/SA-102 enforce this over every override).
+  RANGESYN_HOT_PATH virtual double EstimateRange(int64_t a,
+                                                 int64_t b) const = 0;
 
   /// Estimate of the point query A[i] (= EstimateRange(i, i)).
-  virtual double EstimatePoint(int64_t i) const { return EstimateRange(i, i); }
+  RANGESYN_HOT_PATH virtual double EstimatePoint(int64_t i) const {
+    return EstimateRange(i, i);
+  }
 
   /// Number of machine words the serialized synopsis occupies.
   virtual int64_t StorageWords() const = 0;

@@ -2,6 +2,8 @@
 #define RANGESYN_CORE_STATUS_H_
 
 #include <ostream>
+
+#include "core/analysis_annotations.h"
 #include <string>
 #include <string_view>
 #include <utility>
@@ -76,15 +78,18 @@ std::ostream& operator<<(std::ostream& os, const Status& status);
 
 /// Convenience constructors mirroring absl.
 Status OkStatus();
-Status InvalidArgumentError(std::string message);
-Status OutOfRangeError(std::string message);
-Status NotFoundError(std::string message);
-Status AlreadyExistsError(std::string message);
-Status FailedPreconditionError(std::string message);
-Status ResourceExhaustedError(std::string message);
-Status UnimplementedError(std::string message);
-Status InternalError(std::string message);
-Status DeadlineExceededError(std::string message);
+// Error factories are terminal error arms: constructing the message
+// allocates once per *failed* request, never per served query, so the
+// rangesyn-analyze hot-path walk stops here (RANGESYN_COLD_PATH).
+RANGESYN_COLD_PATH Status InvalidArgumentError(std::string message);
+RANGESYN_COLD_PATH Status OutOfRangeError(std::string message);
+RANGESYN_COLD_PATH Status NotFoundError(std::string message);
+RANGESYN_COLD_PATH Status AlreadyExistsError(std::string message);
+RANGESYN_COLD_PATH Status FailedPreconditionError(std::string message);
+RANGESYN_COLD_PATH Status ResourceExhaustedError(std::string message);
+RANGESYN_COLD_PATH Status UnimplementedError(std::string message);
+RANGESYN_COLD_PATH Status InternalError(std::string message);
+RANGESYN_COLD_PATH Status DeadlineExceededError(std::string message);
 
 /// Propagates a non-OK status out of the enclosing function.
 #define RANGESYN_RETURN_IF_ERROR(expr)                   \

@@ -10,6 +10,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/analysis_annotations.h"
 #include "core/mutex.h"
 #include "core/status.h"
 #include "core/thread_annotations.h"
@@ -61,8 +62,9 @@ class ThreadPool {
   /// Calls from inside a pool worker run inline over the same chunk
   /// sequence (no re-submission), so nested ParallelFor can never
   /// deadlock the pool.
-  void ParallelFor(int64_t begin, int64_t end, int64_t grain,
-                   const std::function<void(int64_t, int64_t)>& body);
+  RANGESYN_DETERMINISTIC void ParallelFor(
+      int64_t begin, int64_t end, int64_t grain,
+      const std::function<void(int64_t, int64_t)>& body);
 
   /// Status-returning variant for error-returning bodies: each chunk's
   /// Status is collected and the first non-OK status *in chunk order*
@@ -71,8 +73,9 @@ class ThreadPool {
   /// A body that throws still propagates the exception, exactly like
   /// ParallelFor. The result is [[nodiscard]] via Status itself, so a
   /// silently dropped per-chunk error cannot compile.
-  Status ParallelForStatus(int64_t begin, int64_t end, int64_t grain,
-                           const std::function<Status(int64_t, int64_t)>& body);
+  RANGESYN_DETERMINISTIC Status ParallelForStatus(
+      int64_t begin, int64_t end, int64_t grain,
+      const std::function<Status(int64_t, int64_t)>& body);
 
   /// True when the calling thread is one of this process's pool workers
   /// (any pool's — used to route nested parallelism inline).
@@ -119,13 +122,15 @@ int GlobalThreads();
 ThreadPool& GlobalThreadPool();
 
 /// ParallelFor on the global pool; see ThreadPool::ParallelFor.
-void ParallelFor(int64_t begin, int64_t end, int64_t grain,
-                 const std::function<void(int64_t, int64_t)>& body);
+RANGESYN_DETERMINISTIC void ParallelFor(
+    int64_t begin, int64_t end, int64_t grain,
+    const std::function<void(int64_t, int64_t)>& body);
 
 /// ParallelForStatus on the global pool; see
 /// ThreadPool::ParallelForStatus.
-Status ParallelForStatus(int64_t begin, int64_t end, int64_t grain,
-                         const std::function<Status(int64_t, int64_t)>& body);
+RANGESYN_DETERMINISTIC Status ParallelForStatus(
+    int64_t begin, int64_t end, int64_t grain,
+    const std::function<Status(int64_t, int64_t)>& body);
 
 }  // namespace rangesyn
 

@@ -3,6 +3,7 @@
 
 #include <string>
 
+#include "core/analysis_annotations.h"
 #include "core/estimator.h"
 #include "core/result.h"
 
@@ -24,7 +25,7 @@ namespace rangesyn {
 /// Supported concrete types: AvgHistogram (covers OPT-A / A0 / POINT-OPT
 /// / equi-* / reopt), Sap0Histogram, Sap1Histogram, Sap2Histogram,
 /// WeightedSap0Histogram, NaiveEstimator, WaveletSynopsis.
-Result<std::string> SerializeSynopsis(const RangeEstimator& estimator);
+RANGESYN_DETERMINISTIC Result<std::string> SerializeSynopsis(const RangeEstimator& estimator);
 
 /// Parses a buffer produced by SerializeSynopsis. Corrupt or truncated
 /// inputs fail with InvalidArgument/OutOfRange, never crash.

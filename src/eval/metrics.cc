@@ -2,12 +2,42 @@
 
 #include <cmath>
 
+#include "core/analysis_annotations.h"
 #include "core/strings.h"
 #include "histogram/prefix_stats.h"
 #include "obs/obs.h"
 
 namespace rangesyn {
 namespace {
+
+/// One workload query: exact answer from the prefix oracle, estimate
+/// from the synopsis, error folded into the running statistics. This is
+/// the sweep's per-query inner step; the hot-path contract keeps it —
+/// and every estimator it dispatches into — allocation- and lock-free.
+RANGESYN_HOT_PATH void AccumulateQueryError(const PrefixStats& stats,
+                                            const RangeEstimator& estimator,
+                                            const RangeQuery& q,
+                                            ErrorStats& out) {
+  const double truth = static_cast<double>(stats.Sum(q.a, q.b));
+  const double est = estimator.EstimateRange(q.a, q.b);
+  const double err = truth - est;
+  out.sse += err * err;
+  out.max_abs = std::fmax(out.max_abs, std::fabs(err));
+  out.mean_abs += std::fabs(err);
+  out.max_rel = std::fmax(out.max_rel,
+                          std::fabs(err) / std::fmax(1.0, truth));
+  ++out.count;
+}
+
+/// Squared error of one range query, the O(n^2)-iteration inner step of
+/// the all-ranges SSE scan.
+RANGESYN_HOT_PATH double SquaredQueryError(const PrefixStats& stats,
+                                           const RangeEstimator& estimator,
+                                           int64_t a, int64_t b) {
+  const double err = static_cast<double>(stats.Sum(a, b)) -
+                     estimator.EstimateRange(a, b);
+  return err * err;
+}
 
 Status ValidateEvalInput(const std::vector<int64_t>& data,
                          const RangeEstimator& estimator) {
@@ -36,15 +66,7 @@ Result<ErrorStats> EvaluateOnWorkload(
       return InvalidArgumentError(
           StrCat("eval: bad query [", q.a, ",", q.b, "] for n=", n));
     }
-    const double truth = static_cast<double>(stats.Sum(q.a, q.b));
-    const double est = estimator.EstimateRange(q.a, q.b);
-    const double err = truth - est;
-    out.sse += err * err;
-    out.max_abs = std::fmax(out.max_abs, std::fabs(err));
-    out.mean_abs += std::fabs(err);
-    out.max_rel = std::fmax(out.max_rel,
-                            std::fabs(err) / std::fmax(1.0, truth));
-    ++out.count;
+    AccumulateQueryError(stats, estimator, q, out);
   }
   if (out.count > 0) {
     out.mean_sq = out.sse / static_cast<double>(out.count);
@@ -66,9 +88,7 @@ Result<double> AllRangesSse(const std::vector<int64_t>& data,
   double sse = 0.0;
   for (int64_t a = 1; a <= n; ++a) {
     for (int64_t b = a; b <= n; ++b) {
-      const double err = static_cast<double>(stats.Sum(a, b)) -
-                         estimator.EstimateRange(a, b);
-      sse += err * err;
+      sse += SquaredQueryError(stats, estimator, a, b);
     }
   }
   return sse;

@@ -108,6 +108,8 @@ Result<AvgHistogram> BuildPointOpt(const std::vector<int64_t>& data,
   // POINT-OPT stores the value that is optimal for its own (weighted point
   // query) objective: the weighted bucket mean.
   std::vector<double> values(static_cast<size_t>(dp.partition.num_buckets()));
+  // analyze: waive(SA-105) O(B) value assembly over prefix sums after the
+  // polled DP has already succeeded.
   for (int64_t k = 0; k < dp.partition.num_buckets(); ++k) {
     values[static_cast<size_t>(k)] = costs.WeightedMean(
         dp.partition.bucket_start(k), dp.partition.bucket_end(k));

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/analysis_annotations.h"
 #include "core/deadline.h"
 #include "core/result.h"
 #include "histogram/histogram.h"
@@ -23,39 +24,39 @@ namespace rangesyn {
 
 /// SAP0 (paper Theorem 6): exactly range-optimal for its 3-words-per-bucket
 /// representation, O(n^2 B) time via the Decomposition Lemma.
-Result<Sap0Histogram> BuildSap0(const std::vector<int64_t>& data,
+RANGESYN_CANCELLABLE Result<Sap0Histogram> BuildSap0(const std::vector<int64_t>& data,
                                 int64_t buckets,
                                 const Deadline& deadline = Deadline());
 
 /// SAP1 (paper Theorem 8): exactly range-optimal for its 5-words-per-bucket
 /// representation, O(n^2 B) time.
-Result<Sap1Histogram> BuildSap1(const std::vector<int64_t>& data,
+RANGESYN_CANCELLABLE Result<Sap1Histogram> BuildSap1(const std::vector<int64_t>& data,
                                 int64_t buckets,
                                 const Deadline& deadline = Deadline());
 
 /// SAP2 (this library's extension of §2.2.2): exactly range-optimal for
 /// its 7-words-per-bucket quadratic representation, O(n^2 B) time.
-Result<Sap2Histogram> BuildSap2(const std::vector<int64_t>& data,
+RANGESYN_CANCELLABLE Result<Sap2Histogram> BuildSap2(const std::vector<int64_t>& data,
                                 int64_t buckets,
                                 const Deadline& deadline = Deadline());
 
 /// A0 heuristic (paper §4): average-only representation; the DP minimizes
 /// the cost with the cross term dropped, so the result is near- but not
 /// exactly optimal for the OPT-A representation.
-Result<AvgHistogram> BuildA0(const std::vector<int64_t>& data,
+RANGESYN_CANCELLABLE Result<AvgHistogram> BuildA0(const std::vector<int64_t>& data,
                              int64_t buckets,
                              PieceRounding rounding = PieceRounding::kPerPiece,
                              const Deadline& deadline = Deadline());
 
 /// POINT-OPT (paper §4): V-optimal [6] with point weights i(n-i+1).
-Result<AvgHistogram> BuildPointOpt(const std::vector<int64_t>& data,
+RANGESYN_CANCELLABLE Result<AvgHistogram> BuildPointOpt(const std::vector<int64_t>& data,
                                    int64_t buckets,
                                    PieceRounding rounding =
                                        PieceRounding::kPerPiece,
                                    const Deadline& deadline = Deadline());
 
 /// Classical (unweighted) V-optimal histogram of [6].
-Result<AvgHistogram> BuildVOptimal(const std::vector<int64_t>& data,
+RANGESYN_CANCELLABLE Result<AvgHistogram> BuildVOptimal(const std::vector<int64_t>& data,
                                    int64_t buckets,
                                    PieceRounding rounding =
                                        PieceRounding::kPerPiece,
@@ -88,7 +89,7 @@ Result<AvgHistogram> BuildMaxDiff(const std::vector<int64_t>& data,
 /// is Σ v'² and the O(n²B) DP is exactly prefix-optimal. Evaluating this
 /// histogram on *all* ranges demonstrates why prefix-optimality is not
 /// range-optimality.
-Result<AvgHistogram> BuildPrefixOpt(const std::vector<int64_t>& data,
+RANGESYN_CANCELLABLE Result<AvgHistogram> BuildPrefixOpt(const std::vector<int64_t>& data,
                                     int64_t buckets,
                                     PieceRounding rounding =
                                         PieceRounding::kNone,

@@ -187,6 +187,8 @@ Result<IntervalDpResult> SolveIntervalDp(int64_t n, int64_t max_buckets,
   // models, e.g. SAP-style costs, so we do not assume monotonicity).
   int64_t best_k = 1;
   double best_cost = kInf;
+  // analyze: waive(SA-105) O(B) scan over the finished DP table with an
+  // O(1) body; RunDp above polled the deadline throughout the fill.
   for (int64_t k = 1; k <= b; ++k) {
     const double c = t.best[static_cast<size_t>(k)][static_cast<size_t>(n)];
     if (c < best_cost) {
@@ -213,6 +215,7 @@ Result<std::vector<IntervalDpResult>> SolveIntervalDpAllK(
   std::vector<IntervalDpResult> out;
   out.reserve(static_cast<size_t>(b));
   for (int64_t k = 1; k <= b; ++k) {
+    RANGESYN_RETURN_IF_ERROR(deadline.Check("interval DP extraction"));
     RANGESYN_ASSIGN_OR_RETURN(IntervalDpResult r, ExtractSolution(t, k));
 #ifdef RANGESYN_AUDIT
     AuditDpSolution(n, k, cost, r, true);

@@ -5,6 +5,7 @@
 #include <functional>
 #include <vector>
 
+#include "core/analysis_annotations.h"
 #include "core/deadline.h"
 #include "core/result.h"
 #include "histogram/partition.h"
@@ -35,14 +36,15 @@ struct IntervalDpResult {
 /// `deadline` is checked at every row chunk and DP layer; an expired
 /// deadline aborts the solve with DeadlineExceeded (the default Deadline
 /// never expires and adds no clock reads).
-Result<IntervalDpResult> SolveIntervalDp(int64_t n, int64_t max_buckets,
-                                         const BucketCostFn& cost,
-                                         bool exact_buckets = false,
-                                         const Deadline& deadline = Deadline());
+RANGESYN_CANCELLABLE RANGESYN_DETERMINISTIC Result<IntervalDpResult>
+SolveIntervalDp(int64_t n, int64_t max_buckets, const BucketCostFn& cost,
+                bool exact_buckets = false,
+                const Deadline& deadline = Deadline());
 
 /// As above but returns, for every k in 1..max_buckets, the optimal
 /// exactly-k-bucket solution. Used by storage-sweep experiments to avoid
 /// recomputing the DP table per budget.
+RANGESYN_CANCELLABLE RANGESYN_DETERMINISTIC
 Result<std::vector<IntervalDpResult>> SolveIntervalDpAllK(
     int64_t n, int64_t max_buckets, const BucketCostFn& cost,
     const Deadline& deadline = Deadline());

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "core/analysis_annotations.h"
 #include "core/estimator.h"
 #include "core/result.h"
 #include "histogram/partition.h"
@@ -41,7 +42,8 @@ class AvgHistogram : public RangeEstimator {
       const std::vector<int64_t>& data, Partition partition,
       std::string name, PieceRounding rounding);
 
-  double EstimateRange(int64_t a, int64_t b) const override;
+  RANGESYN_HOT_PATH double EstimateRange(int64_t a, int64_t b)
+      const override;
   int64_t StorageWords() const override {
     return 2 * partition_.num_buckets();
   }
@@ -62,7 +64,7 @@ class AvgHistogram : public RangeEstimator {
                std::string name, PieceRounding rounding);
 
   /// Sum of width_j * value_j over full buckets j in [ka+1, kb-1].
-  double MiddleMass(int64_t ka, int64_t kb) const {
+  RANGESYN_HOT_PATH double MiddleMass(int64_t ka, int64_t kb) const {
     return cum_mass_[static_cast<size_t>(kb)] -
            cum_mass_[static_cast<size_t>(ka + 1)];
   }
@@ -97,7 +99,8 @@ class Sap0Histogram : public RangeEstimator {
                                              std::vector<double> suffixes,
                                              std::vector<double> prefixes);
 
-  double EstimateRange(int64_t a, int64_t b) const override;
+  RANGESYN_HOT_PATH double EstimateRange(int64_t a, int64_t b)
+      const override;
   int64_t StorageWords() const override {
     return 3 * partition_.num_buckets();
   }
@@ -113,7 +116,7 @@ class Sap0Histogram : public RangeEstimator {
   Sap0Histogram(Partition partition, std::vector<double> suff,
                 std::vector<double> pref, std::vector<double> avg);
 
-  double MiddleMass(int64_t ka, int64_t kb) const {
+  RANGESYN_HOT_PATH double MiddleMass(int64_t ka, int64_t kb) const {
     return cum_mass_[static_cast<size_t>(kb)] -
            cum_mass_[static_cast<size_t>(ka + 1)];
   }
@@ -147,7 +150,8 @@ class Sap1Histogram : public RangeEstimator {
       std::vector<double> prefix_slopes,
       std::vector<double> prefix_intercepts);
 
-  double EstimateRange(int64_t a, int64_t b) const override;
+  RANGESYN_HOT_PATH double EstimateRange(int64_t a, int64_t b)
+      const override;
   int64_t StorageWords() const override {
     return 5 * partition_.num_buckets();
   }
@@ -166,7 +170,7 @@ class Sap1Histogram : public RangeEstimator {
                 std::vector<double> si, std::vector<double> ps,
                 std::vector<double> pi, std::vector<double> avg);
 
-  double MiddleMass(int64_t ka, int64_t kb) const {
+  RANGESYN_HOT_PATH double MiddleMass(int64_t ka, int64_t kb) const {
     return cum_mass_[static_cast<size_t>(kb)] -
            cum_mass_[static_cast<size_t>(ka + 1)];
   }
@@ -208,7 +212,8 @@ class Sap2Histogram : public RangeEstimator {
                                              std::vector<Model> suffix_models,
                                              std::vector<Model> prefix_models);
 
-  double EstimateRange(int64_t a, int64_t b) const override;
+  RANGESYN_HOT_PATH double EstimateRange(int64_t a, int64_t b)
+      const override;
   int64_t StorageWords() const override {
     return 7 * partition_.num_buckets();
   }
@@ -224,7 +229,7 @@ class Sap2Histogram : public RangeEstimator {
   Sap2Histogram(Partition partition, std::vector<Model> suff,
                 std::vector<Model> pref, std::vector<double> avg);
 
-  double MiddleMass(int64_t ka, int64_t kb) const {
+  RANGESYN_HOT_PATH double MiddleMass(int64_t ka, int64_t kb) const {
     return cum_mass_[static_cast<size_t>(kb)] -
            cum_mass_[static_cast<size_t>(ka + 1)];
   }
@@ -245,7 +250,8 @@ class NaiveEstimator : public RangeEstimator {
   /// Reconstructs from the stored word (plus the domain size).
   static Result<NaiveEstimator> FromAverage(int64_t n, double average);
 
-  double EstimateRange(int64_t a, int64_t b) const override;
+  RANGESYN_HOT_PATH double EstimateRange(int64_t a, int64_t b)
+      const override;
   int64_t StorageWords() const override { return 1; }
   int64_t domain_size() const override { return n_; }
   std::string Name() const override { return "NAIVE"; }

@@ -438,6 +438,8 @@ Result<OptAResult> BuildOptA(const std::vector<int64_t>& data,
         if (tmp.empty()) continue;
         std::vector<LambdaState> cell;
         cell.reserve(tmp.size());
+        // analyze: waive(SA-103) hash order cannot escape: the cell is
+        // sorted by lambda immediately below before pruning or storage.
         for (const auto& [lambda, entry] : tmp) {
           cell.push_back(
               {lambda, entry.cost, static_cast<int32_t>(entry.j)});
@@ -478,6 +480,7 @@ Result<OptAResult> BuildOptA(const std::vector<int64_t>& data,
   int64_t best_lambda = 0;
   const int64_t k_lo = options.exact_buckets ? max_b : 1;
   for (int64_t k = k_lo; k <= max_b; ++k) {
+    RANGESYN_RETURN_IF_ERROR(options.deadline.Check("OPT-A terminal scan"));
     for (const LambdaState& s :
          cells[static_cast<size_t>(k)][static_cast<size_t>(n)]) {
       if (s.cost < best_cost) {
@@ -496,6 +499,7 @@ Result<OptAResult> BuildOptA(const std::vector<int64_t>& data,
   int64_t i = n;
   int64_t lambda = best_lambda;
   for (int64_t k = best_k; k >= 1; --k) {
+    RANGESYN_RETURN_IF_ERROR(options.deadline.Check("OPT-A backtrack"));
     const LambdaState& s = FindState(
         cells[static_cast<size_t>(k)][static_cast<size_t>(i)], lambda);
     ends.push_back(i);
@@ -555,6 +559,10 @@ Result<OptAResult> BuildOptAWarmup(const std::vector<int64_t>& data,
       const StateMap& src = layers[static_cast<size_t>(k - 1)]
                                   [static_cast<size_t>(j)];
       if (src.empty()) continue;
+      // analyze: waive(SA-103) hash order cannot affect the result: for
+      // fixed (j, i) the map key -> key + (SumU, SumU2) is injective, so
+      // entries of one cell never collide in dst; collisions across cells
+      // are min-merged under the deterministic outer j loop.
       for (const auto& [key, entry] : src) {
         const double lam = static_cast<double>(key.lambda);
         const double lam2 = static_cast<double>(key.lambda2);
@@ -591,9 +599,17 @@ Result<OptAResult> BuildOptAWarmup(const std::vector<int64_t>& data,
   Key best_key{0, 0};
   const int64_t k_lo = options.exact_buckets ? max_b : 1;
   for (int64_t k = k_lo; k <= max_b; ++k) {
+    RANGESYN_RETURN_IF_ERROR(
+        options.deadline.Check("OPT-A warm-up terminal scan"));
+    // analyze: waive(SA-103) min-selection with a total-order tie-break on
+    // (cost, k, key); the winner is independent of hash iteration order.
     for (const auto& [key, entry] :
          layers[static_cast<size_t>(k)][static_cast<size_t>(n)]) {
-      if (entry.cost < best_cost) {
+      const bool tie =
+          entry.cost == best_cost && k == best_k &&  // lint: float-eq-ok
+          std::make_pair(key.lambda, key.lambda2) <
+              std::make_pair(best_key.lambda, best_key.lambda2);
+      if (entry.cost < best_cost || tie) {
         best_cost = entry.cost;
         best_k = k;
         best_key = key;
@@ -606,6 +622,8 @@ Result<OptAResult> BuildOptAWarmup(const std::vector<int64_t>& data,
   int64_t i = n;
   Key key = best_key;
   for (int64_t k = best_k; k >= 1; --k) {
+    RANGESYN_RETURN_IF_ERROR(
+        options.deadline.Check("OPT-A warm-up backtrack"));
     const StateMap& m =
         layers[static_cast<size_t>(k)][static_cast<size_t>(i)];
     const auto it = m.find(key);
@@ -630,6 +648,8 @@ Result<OptAResult> BuildOptARounded(const std::vector<int64_t>& data,
   // (paper Definition 3).
   const double x = static_cast<double>(options.granularity);
   std::vector<int64_t> scaled(data.size());
+  // analyze: waive(SA-105) O(n) rounding pass with an O(1) body; the inner
+  // BuildOptA call immediately after observes the same deadline.
   for (size_t i = 0; i < data.size(); ++i) {
     scaled[i] = RoundHalfToEven(static_cast<double>(data[i]) / x);
     if (scaled[i] < 0) scaled[i] = 0;
@@ -656,6 +676,8 @@ Result<OptAResult> BuildOptARounded(const std::vector<int64_t>& data,
   }
   // Literal Definition 3: multiply the rounded-data averages through by x.
   std::vector<double> values = rounded.histogram.values();
+  // analyze: waive(SA-105) O(B) scaling of final bucket values, after the
+  // polled DP has already succeeded.
   for (double& v : values) v *= x;
   RANGESYN_ASSIGN_OR_RETURN(
       AvgHistogram hist,

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/analysis_annotations.h"
 #include "core/deadline.h"
 #include "core/result.h"
 #include "histogram/histogram.h"
@@ -63,14 +64,15 @@ struct OptAResult {
 /// Λ-state dynamic program (paper Theorem 2; DESIGN.md §3.1). Runtime is
 /// pseudo-polynomial: O(n^2 * B * |reachable Λ|) after an O(n^3)
 /// bucket-statistics precomputation. Requires non-negative integer counts.
-Result<OptAResult> BuildOptA(const std::vector<int64_t>& data,
-                             const OptAOptions& options);
+RANGESYN_CANCELLABLE RANGESYN_DETERMINISTIC Result<OptAResult> BuildOptA(
+    const std::vector<int64_t>& data, const OptAOptions& options);
 
 /// The paper's warm-up formulation (§2.1.1, Theorem 1) tracking the pair
 /// (Λ, Λ2) = (sum of piece errors, sum of squared piece errors). Strictly
 /// slower than BuildOptA and exposed for cross-validation on small inputs.
-Result<OptAResult> BuildOptAWarmup(const std::vector<int64_t>& data,
-                                   const OptAOptions& options);
+RANGESYN_CANCELLABLE RANGESYN_DETERMINISTIC Result<OptAResult>
+BuildOptAWarmup(const std::vector<int64_t>& data,
+                const OptAOptions& options);
 
 /// Options for the rounding approximation (paper §2.1.3, Theorem 4).
 struct OptARoundedOptions {
@@ -96,8 +98,9 @@ struct OptARoundedOptions {
 /// Builds the OPT-A-ROUNDED histogram. The returned optimal_sse field is
 /// the DP objective on the rounded data scaled back by granularity^2 — an
 /// estimate, not the exact SSE of the returned histogram.
-Result<OptAResult> BuildOptARounded(const std::vector<int64_t>& data,
-                                    const OptARoundedOptions& options);
+RANGESYN_CANCELLABLE RANGESYN_DETERMINISTIC Result<OptAResult>
+BuildOptARounded(const std::vector<int64_t>& data,
+                 const OptARoundedOptions& options);
 
 /// Picks a granularity aiming for a (1+epsilon)-style quality target using
 /// the paper's analysis: x proportional to epsilon * sqrt(OPT / (n^3)),

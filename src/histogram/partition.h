@@ -5,6 +5,7 @@
 #include <functional>
 #include <vector>
 
+#include "core/analysis_annotations.h"
 #include "core/result.h"
 
 namespace rangesyn {
@@ -29,21 +30,21 @@ class Partition {
   const std::vector<int64_t>& ends() const { return ends_; }
 
   /// Left endpoint of bucket k (0-based bucket index), 1-based position.
-  int64_t bucket_start(int64_t k) const {
+  RANGESYN_HOT_PATH int64_t bucket_start(int64_t k) const {
     return k == 0 ? 1 : ends_[static_cast<size_t>(k - 1)] + 1;
   }
   /// Right endpoint of bucket k, 1-based position.
-  int64_t bucket_end(int64_t k) const {
+  RANGESYN_HOT_PATH int64_t bucket_end(int64_t k) const {
     return ends_[static_cast<size_t>(k)];
   }
   /// Width of bucket k.
-  int64_t bucket_width(int64_t k) const {
+  RANGESYN_HOT_PATH int64_t bucket_width(int64_t k) const {
     return bucket_end(k) - bucket_start(k) + 1;
   }
 
   /// 0-based index of the bucket containing position i (1 <= i <= n);
   /// O(log B).
-  int64_t BucketOf(int64_t i) const;
+  RANGESYN_HOT_PATH int64_t BucketOf(int64_t i) const;
 
   friend bool operator==(const Partition&, const Partition&) = default;
 

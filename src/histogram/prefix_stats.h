@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/analysis_annotations.h"
 #include "core/logging.h"
 
 namespace rangesyn {
@@ -26,19 +27,19 @@ class PrefixStats {
   int64_t n() const { return n_; }
 
   /// Exact A[i], 1 <= i <= n.
-  int64_t value(int64_t i) const {
+  RANGESYN_HOT_PATH int64_t value(int64_t i) const {
     RANGESYN_DCHECK(i >= 1 && i <= n_);
     return p_[static_cast<size_t>(i)] - p_[static_cast<size_t>(i - 1)];
   }
 
   /// Exact prefix sum P[t], 0 <= t <= n.
-  int64_t P(int64_t t) const {
+  RANGESYN_HOT_PATH int64_t P(int64_t t) const {
     RANGESYN_DCHECK(t >= 0 && t <= n_);
     return p_[static_cast<size_t>(t)];
   }
 
   /// Exact range sum s[a,b] = A[a] + ... + A[b], 1 <= a <= b <= n.
-  int64_t Sum(int64_t a, int64_t b) const {
+  RANGESYN_HOT_PATH int64_t Sum(int64_t a, int64_t b) const {
     RANGESYN_DCHECK(a >= 1 && a <= b && b <= n_);
     return p_[static_cast<size_t>(b)] - p_[static_cast<size_t>(a - 1)];
   }

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/analysis_annotations.h"
 #include "core/estimator.h"
 #include "core/result.h"
 #include "data/workload.h"
@@ -53,7 +54,8 @@ class WeightedSap0Histogram : public RangeEstimator {
       Partition partition, std::vector<double> suffixes,
       std::vector<double> prefixes, std::vector<double> averages);
 
-  double EstimateRange(int64_t a, int64_t b) const override;
+  RANGESYN_HOT_PATH double EstimateRange(int64_t a, int64_t b)
+      const override;
   int64_t StorageWords() const override {
     return 4 * partition_.num_buckets();
   }

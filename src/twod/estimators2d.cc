@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/analysis_annotations.h"
 #include "core/logging.h"
 #include "core/mathutil.h"
 #include "core/strings.h"
@@ -11,7 +12,11 @@
 namespace rangesyn {
 namespace {
 
-Status ValidateRect(const RectQuery& q, int64_t rows, int64_t cols) {
+/// Argument validation for rect queries. On hot paths it is only invoked
+/// under RANGESYN_DCHECK; the StrCat in the error arm never runs on the
+/// success path, so the hot-path walk stops here.
+RANGESYN_COLD_PATH Status ValidateRect(const RectQuery& q, int64_t rows,
+                                       int64_t cols) {
   if (q.r1 < 1 || q.r1 > q.r2 || q.r2 > rows || q.c1 < 1 || q.c1 > q.c2 ||
       q.c2 > cols) {
     return InvalidArgumentError(
@@ -312,34 +317,24 @@ double Wave2DRangeOpt::EstimateRect(const RectQuery& q) const {
   // is nonzero only for ancestors of the two endpoints.
   const int64_t x1 = q.r1 - 1, y1 = q.r2;
   const int64_t x2 = q.c1 - 1, y2 = q.c2;
-  std::vector<int64_t> us = AncestorIndices(s_, x1);
-  {
-    const std::vector<int64_t> more = AncestorIndices(s_, y1);
-    us.insert(us.end(), more.begin(), more.end());
-    std::sort(us.begin(), us.end());
-    us.erase(std::unique(us.begin(), us.end()), us.end());
-  }
-  std::vector<int64_t> vs = AncestorIndices(t_, x2);
-  {
-    const std::vector<int64_t> more = AncestorIndices(t_, y2);
-    vs.insert(vs.end(), more.begin(), more.end());
-    std::sort(vs.begin(), vs.end());
-    vs.erase(std::unique(vs.begin(), vs.end()), vs.end());
-  }
+  // ForEachAncestorPair visits the sorted deduplicated ancestor union of
+  // each axis pair in the same order the old sorted candidate vectors
+  // produced, so the accumulation order (and the float result) is
+  // unchanged — but the query no longer allocates (SA-101).
   double estimate = 0.0;
-  for (int64_t u : us) {
-    if (u == 0) continue;  // DC factors cancel
+  ForEachAncestorPair(s_, x1, y1, [&](int64_t u) {
+    if (u == 0) return;  // DC factors cancel
     const double du = BasisValue(s_, u, y1) - BasisValue(s_, u, x1);
     // Haar basis differences cancel to an exact 0.0 outside the support.
-    if (du == 0.0) continue;  // lint: float-eq-ok
-    for (int64_t v : vs) {
-      if (v == 0) continue;
+    if (du == 0.0) return;  // lint: float-eq-ok
+    ForEachAncestorPair(t_, x2, y2, [&](int64_t v) {
+      if (v == 0) return;
       const auto it = by_key_.find(u * t_ + v);
-      if (it == by_key_.end()) continue;
+      if (it == by_key_.end()) return;
       const double dv = BasisValue(t_, v, y2) - BasisValue(t_, v, x2);
       estimate += it->second * du * dv;
-    }
-  }
+    });
+  });
   return estimate;
 }
 

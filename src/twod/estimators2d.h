@@ -16,7 +16,8 @@ class Naive2D : public RectEstimator {
  public:
   static Result<Naive2D> Build(const Grid2D& grid);
 
-  double EstimateRect(const RectQuery& query) const override;
+  RANGESYN_HOT_PATH double EstimateRect(
+      const RectQuery& query) const override;
   int64_t StorageWords() const override { return 1; }
   int64_t rows() const override { return rows_; }
   int64_t cols() const override { return cols_; }
@@ -48,7 +49,8 @@ class GridHistogram2D : public RectEstimator {
                                                 int64_t tiles_r,
                                                 int64_t tiles_c);
 
-  double EstimateRect(const RectQuery& query) const override;
+  RANGESYN_HOT_PATH double EstimateRect(
+      const RectQuery& query) const override;
   int64_t StorageWords() const override {
     // Cell masses plus the two boundary vectors.
     return tiles_r_ * tiles_c_ + tiles_r_ + tiles_c_;
@@ -103,7 +105,8 @@ class Wave2DRangeOpt : public RectEstimator {
       int64_t rows, int64_t cols, int64_t s, int64_t t,
       const std::vector<double>& coeffs, int64_t budget);
 
-  double EstimateRect(const RectQuery& query) const override;
+  RANGESYN_HOT_PATH double EstimateRect(
+      const RectQuery& query) const override;
   int64_t StorageWords() const override {
     return 3 * static_cast<int64_t>(coeff_values_.size());  // (u,v,value)
   }

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "core/analysis_annotations.h"
 #include "core/random.h"
 #include "core/result.h"
 
@@ -84,7 +85,10 @@ class PrefixGrid {
 class RectEstimator {
  public:
   virtual ~RectEstimator() = default;
-  virtual double EstimateRect(const RectQuery& query) const = 0;
+  /// Serves per-query traffic; implementations must stay
+  /// allocation- and lock-free (rangesyn-analyze SA-101/SA-102).
+  RANGESYN_HOT_PATH virtual double EstimateRect(
+      const RectQuery& query) const = 0;
   virtual int64_t StorageWords() const = 0;
   virtual int64_t rows() const = 0;
   virtual int64_t cols() const = 0;

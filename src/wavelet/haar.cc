@@ -138,11 +138,8 @@ std::vector<int64_t> AncestorIndices(int64_t n, int64_t t) {
   RANGESYN_CHECK(IsPowerOfTwo(static_cast<uint64_t>(n)));
   RANGESYN_CHECK(t >= 0 && t < n);
   std::vector<int64_t> out;
-  out.push_back(0);  // DC
-  for (int64_t level_size = n, base = 1; level_size > 1;
-       level_size /= 2, base *= 2) {
-    out.push_back(base + t / level_size);
-  }
+  out.reserve(static_cast<size_t>(1 + FloorLog2(static_cast<uint64_t>(n))));
+  ForEachAncestor(n, t, [&](int64_t k) { out.push_back(k); });
   return out;
 }
 

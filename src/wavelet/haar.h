@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/analysis_annotations.h"
 #include "core/result.h"
 #include "linalg/matrix.h"
 
@@ -51,6 +52,41 @@ double BasisAllRangesWeight(int64_t n, int64_t k);
 /// the DC plus the ancestors of leaf t at every level — at most log2(n)+1
 /// indices. Every other coefficient contributes zero to such range sums.
 std::vector<int64_t> AncestorIndices(int64_t n, int64_t t);
+
+/// Allocation-free visit of the AncestorIndices(n, t) sequence in the
+/// same strictly ascending index order (DC first, then one ancestor per
+/// level). The per-query reconstruction paths use this instead of the
+/// vector-returning form so the estimator hot path never allocates
+/// (rangesyn-analyze SA-101).
+template <typename Fn>
+RANGESYN_HOT_PATH inline void ForEachAncestor(int64_t n, int64_t t,
+                                              Fn&& fn) {
+  fn(static_cast<int64_t>(0));  // DC
+  for (int64_t level_size = n, base = 1; level_size > 1;
+       level_size /= 2, base *= 2) {
+    fn(base + t / level_size);
+  }
+}
+
+/// Allocation-free visit of the sorted, deduplicated union of
+/// AncestorIndices(n, lo) and AncestorIndices(n, hi) for lo <= hi. At
+/// each level both ancestors lie in [base, 2*base) with a_lo <= a_hi, so
+/// emitting a_lo then a_hi (when distinct) level by level reproduces the
+/// sort-then-unique merge order exactly — callers that sum float
+/// contributions in visit order get bit-identical results to the old
+/// vector-based candidate walk.
+template <typename Fn>
+RANGESYN_HOT_PATH inline void ForEachAncestorPair(int64_t n, int64_t lo,
+                                                  int64_t hi, Fn&& fn) {
+  fn(static_cast<int64_t>(0));  // DC
+  for (int64_t level_size = n, base = 1; level_size > 1;
+       level_size /= 2, base *= 2) {
+    const int64_t a_lo = base + lo / level_size;
+    const int64_t a_hi = base + hi / level_size;
+    fn(a_lo);
+    if (a_hi != a_lo) fn(a_hi);
+  }
+}
 
 /// Orthonormal 2-D Haar transform (rows then columns) of a square matrix
 /// with power-of-two side; used to validate the virtual-AA formulation of

@@ -159,6 +159,8 @@ Result<WaveletSynopsis> BuildWavePoint(const std::vector<int64_t>& data,
                             TransformPaddedData(data));
   RANGESYN_RETURN_IF_ERROR(deadline.Check("WAVE-POINT selection"));
   std::vector<double> scores(coeffs.size());
+  // analyze: waive(SA-105) O(n) scoring scan with an O(1) body, bracketed
+  // by the deadline check above and the polled KeepTop selection below.
   for (size_t k = 0; k < coeffs.size(); ++k) {
     scores[k] = std::fabs(coeffs[k]);
   }
@@ -180,6 +182,8 @@ Result<WaveletSynopsis> BuildTopBB(const std::vector<int64_t>& data,
   RANGESYN_RETURN_IF_ERROR(deadline.Check("TOPBB scoring"));
   const int64_t padded = static_cast<int64_t>(coeffs.size());
   std::vector<double> scores(coeffs.size());
+  // analyze: waive(SA-105) O(n) scoring scan (O(1) closed-form weight per
+  // coefficient), bracketed by the deadline check above.
   for (int64_t k = 0; k < padded; ++k) {
     scores[static_cast<size_t>(k)] =
         coeffs[static_cast<size_t>(k)] * coeffs[static_cast<size_t>(k)] *
@@ -204,16 +208,21 @@ Result<WaveletSynopsis> BuildWaveRangeOpt(const std::vector<int64_t>& data,
   // padded region adds no artificial jumps.
   std::vector<double> p(static_cast<size_t>(padded), 0.0);
   int64_t acc = 0;
+  // analyze: waive(SA-105) O(n) prefix-sum accumulation with an O(1) body,
+  // bracketed by the deadline check above and the polled transform below.
   for (int64_t t = 1; t <= n; ++t) {
     acc += data[static_cast<size_t>(t - 1)];
     p[static_cast<size_t>(t)] = static_cast<double>(acc);
   }
+  // analyze: waive(SA-105) O(padded-n) constant extension, same bracket.
   for (int64_t t = n + 1; t < padded; ++t) {
     p[static_cast<size_t>(t)] = static_cast<double>(acc);
   }
   RANGESYN_ASSIGN_OR_RETURN(std::vector<double> coeffs, HaarTransform(p));
   RANGESYN_RETURN_IF_ERROR(deadline.Check("WAVE-RANGE-OPT selection"));
   std::vector<double> scores(coeffs.size());
+  // analyze: waive(SA-105) O(n) scoring scan with an O(1) body, bracketed
+  // by the deadline check above.
   for (size_t k = 0; k < coeffs.size(); ++k) {
     scores[k] = std::fabs(coeffs[k]);
   }

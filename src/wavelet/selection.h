@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/analysis_annotations.h"
 #include "core/deadline.h"
 #include "core/result.h"
 #include "wavelet/synopsis.h"
@@ -23,7 +24,7 @@ namespace rangesyn {
 /// against ([11,17]): transform the data vector and keep the `budget`
 /// largest-magnitude (orthonormal) coefficients — optimal for *point*
 /// query SSE, with no range-query guarantee. Name: "WAVE-POINT".
-Result<WaveletSynopsis> BuildWavePoint(const std::vector<int64_t>& data,
+RANGESYN_CANCELLABLE Result<WaveletSynopsis> BuildWavePoint(const std::vector<int64_t>& data,
                                        int64_t budget,
                                        const Deadline& deadline = Deadline());
 
@@ -32,7 +33,7 @@ Result<WaveletSynopsis> BuildWavePoint(const std::vector<int64_t>& data,
 /// c_k^2 * W_k with W_k = sum over ranges of the basis range-sum squared
 /// (BasisAllRangesWeight). Interactions between dropped coefficients are
 /// ignored, so this is greedy, not optimal. Name: "TOPBB".
-Result<WaveletSynopsis> BuildTopBB(const std::vector<int64_t>& data,
+RANGESYN_CANCELLABLE Result<WaveletSynopsis> BuildTopBB(const std::vector<int64_t>& data,
                                    int64_t budget,
                                    const Deadline& deadline = Deadline());
 
@@ -42,7 +43,7 @@ Result<WaveletSynopsis> BuildTopBB(const std::vector<int64_t>& data,
 /// largest-magnitude non-DC coefficients. When n+1 is a power of two the
 /// retained set minimizes the all-ranges SSE over every possible set of
 /// `budget` coefficients. Name: "WAVE-RANGE-OPT".
-Result<WaveletSynopsis> BuildWaveRangeOpt(
+RANGESYN_CANCELLABLE Result<WaveletSynopsis> BuildWaveRangeOpt(
     const std::vector<int64_t>& data, int64_t budget,
     const Deadline& deadline = Deadline());
 

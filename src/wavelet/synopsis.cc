@@ -53,12 +53,12 @@ Result<WaveletSynopsis> WaveletSynopsis::Create(
 double WaveletSynopsis::ReconstructAt(int64_t t) const {
   RANGESYN_DCHECK(t >= 0 && t < padded_size_);
   double v = 0.0;
-  for (int64_t k : AncestorIndices(padded_size_, t)) {
+  ForEachAncestor(padded_size_, t, [&](int64_t k) {
     const auto it = by_index_.find(k);
     if (it != by_index_.end()) {
       v += it->second * BasisValue(padded_size_, k, t);
     }
-  }
+  });
   return v;
 }
 
@@ -66,22 +66,17 @@ double WaveletSynopsis::ReconstructRangeSum(int64_t lo, int64_t hi) const {
   RANGESYN_DCHECK(lo >= 0 && lo <= hi && hi < padded_size_);
   // A coefficient has nonzero sum over [lo, hi] only if its support
   // straddles lo-1|lo or hi|hi+1, i.e. it is an ancestor of lo or hi (or
-  // the DC). Walk those O(log n) candidates.
+  // the DC). Walk those O(log n) candidates allocation-free;
+  // ForEachAncestorPair visits them in the same ascending deduplicated
+  // order the old sorted candidate vector produced, so the summation
+  // order (and the float result) is unchanged.
   double v = 0.0;
-  std::vector<int64_t> candidates = AncestorIndices(padded_size_, lo);
-  if (hi != lo) {
-    const std::vector<int64_t> more = AncestorIndices(padded_size_, hi);
-    candidates.insert(candidates.end(), more.begin(), more.end());
-    std::sort(candidates.begin(), candidates.end());
-    candidates.erase(std::unique(candidates.begin(), candidates.end()),
-                     candidates.end());
-  }
-  for (int64_t k : candidates) {
+  ForEachAncestorPair(padded_size_, lo, hi, [&](int64_t k) {
     const auto it = by_index_.find(k);
     if (it != by_index_.end()) {
       v += it->second * BasisRangeSum(padded_size_, k, lo, hi);
     }
-  }
+  });
   return v;
 }
 

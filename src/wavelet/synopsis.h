@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/analysis_annotations.h"
 #include "core/estimator.h"
 #include "core/result.h"
 
@@ -43,8 +44,9 @@ class WaveletSynopsis : public RangeEstimator {
       std::vector<WaveletCoefficient> coefficients, int64_t padded_size,
       int64_t domain_size, WaveletDomain domain, std::string name);
 
-  double EstimateRange(int64_t a, int64_t b) const override;
-  double EstimatePoint(int64_t i) const override;
+  RANGESYN_HOT_PATH double EstimateRange(int64_t a, int64_t b)
+      const override;
+  RANGESYN_HOT_PATH double EstimatePoint(int64_t i) const override;
   int64_t StorageWords() const override {
     return 2 * static_cast<int64_t>(coefficients_.size());
   }
@@ -59,7 +61,7 @@ class WaveletSynopsis : public RangeEstimator {
 
   /// Reconstructed value of the transformed vector at 0-based position `t`
   /// (a value of A in kData domain, of P in kPrefix domain); O(log n).
-  double ReconstructAt(int64_t t) const;
+  RANGESYN_HOT_PATH double ReconstructAt(int64_t t) const;
 
  private:
   WaveletSynopsis(std::vector<WaveletCoefficient> coefficients,
@@ -68,7 +70,7 @@ class WaveletSynopsis : public RangeEstimator {
 
   /// Sum of the reconstruction over 0-based positions [lo, hi]; O(log n)
   /// because only ancestors of lo and hi contribute nonzero range sums.
-  double ReconstructRangeSum(int64_t lo, int64_t hi) const;
+  RANGESYN_HOT_PATH double ReconstructRangeSum(int64_t lo, int64_t hi) const;
 
   std::vector<WaveletCoefficient> coefficients_;
   std::unordered_map<int64_t, double> by_index_;

@@ -1,0 +1,258 @@
+#!/usr/bin/env python3
+"""Self-tests for rangesyn-analyze (tools/analyze/rangesyn_analyze.py).
+
+One positive and one negative fixture per check ID (SA-101..105), plus
+waiver-syntax, waiver-hygiene, and baseline-suppression coverage, and
+the repo gate: a default-config run over src/ and bench/ with the
+fallback frontend must be clean. Wired into ctest as `analyze_selftest`
+and `analyze_repo` (tests/CMakeLists.txt), so tier-1 runs all of this.
+
+The fallback backend is forced throughout so the tests are deterministic
+on machines both with and without the clang Python bindings; CI
+additionally runs the clang backend against compile_commands.json.
+"""
+
+import importlib.util
+import json
+import pathlib
+import subprocess
+import sys
+import tempfile
+import unittest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+ANALYZER = REPO_ROOT / "tools" / "analyze" / "rangesyn_analyze.py"
+FIXTURES = pathlib.Path(__file__).resolve().parent / "fixtures"
+
+
+def load_analyzer_module():
+    spec = importlib.util.spec_from_file_location("rangesyn_analyze",
+                                                  ANALYZER)
+    module = importlib.util.module_from_spec(spec)
+    # dataclasses resolves string annotations through sys.modules, so the
+    # module must be registered before exec.
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+ANALYZE = load_analyzer_module()
+
+
+def fixture_config(baseline=None):
+    """A config whose SA-104 scope covers the fixture corpus."""
+    return ANALYZE.Config(
+        roots=["tests/analyze/fixtures"],
+        sa104_roots=["tests/analyze/fixtures"],
+        cold_functions=set(),
+        baseline=baseline or [],
+    )
+
+
+def analyze_files(*names: str, baseline=None) -> list:
+    """Runs the analyzer in-process over fixture files; returns Findings."""
+    paths = [FIXTURES / name for name in names]
+    findings, _ = ANALYZE.run_analyze(
+        paths, REPO_ROOT, fixture_config(baseline), backend="fallback")
+    return findings
+
+
+def checks_of(findings) -> list:
+    return [f.check for f in findings]
+
+
+def run_cli(*args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(ANALYZER), *args],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        check=False,
+    )
+
+
+class PositiveFixtures(unittest.TestCase):
+    """Each positive fixture must produce findings of exactly its check."""
+
+    def test_sa101_interprocedural_allocation(self):
+        findings = analyze_files("sa101_pos.cc")
+        self.assertEqual(checks_of(findings), ["SA-101"], findings)
+        # The walk must name both the root and the intermediate hop.
+        self.assertIn("reached from 'fixture::EstimateRange'",
+                      findings[0].message)
+        self.assertIn("via 'fixture::CollectAncestors'",
+                      findings[0].message)
+
+    def test_sa102_lock_on_hot_path(self):
+        findings = analyze_files("sa102_pos.cc")
+        self.assertEqual(checks_of(findings), ["SA-102"], findings)
+        self.assertIn("lock_guard", findings[0].message)
+
+    def test_sa103_unordered_iteration(self):
+        findings = analyze_files("sa103_pos.cc")
+        self.assertEqual(checks_of(findings), ["SA-103"], findings)
+        self.assertIn("unordered_map", findings[0].message)
+
+    def test_sa104_narrowing_shapes(self):
+        findings = analyze_files("sa104_pos.cc")
+        self.assertEqual(checks_of(findings), ["SA-104"] * 3, findings)
+        messages = "\n".join(f.message for f in findings)
+        self.assertIn("overflow before the widening", messages)
+        self.assertIn("narrows implicitly", messages)
+
+    def test_sa105_unpolled_loop(self):
+        findings = analyze_files("sa105_pos.cc")
+        self.assertEqual(checks_of(findings), ["SA-105"], findings)
+        self.assertIn("'fixture::BuildScores'", findings[0].message)
+
+
+class NegativeFixtures(unittest.TestCase):
+    """Each negative fixture must analyze clean."""
+
+    def assert_clean(self, *names: str):
+        findings = analyze_files(*names)
+        self.assertEqual(findings, [], [f.format() for f in findings])
+
+    def test_sa101_cold_path_stops_the_walk(self):
+        self.assert_clean("sa101_neg.cc")
+
+    def test_sa102_atomic_snapshot(self):
+        self.assert_clean("sa102_neg.cc")
+
+    def test_sa103_ordered_map_and_point_probe(self):
+        self.assert_clean("sa103_neg.cc")
+
+    def test_sa104_explicit_casts(self):
+        self.assert_clean("sa104_neg.cc")
+
+    def test_sa105_direct_poll_and_polling_callee(self):
+        self.assert_clean("sa105_neg.cc")
+
+
+class WaiverSyntax(unittest.TestCase):
+    def test_waiver_with_continuation_comment_suppresses_named_check(self):
+        findings = analyze_files("waiver.cc")
+        # The justified (multi-line) SA-101 waiver suppresses its line;
+        # the waiver naming SA-102 does not cover an SA-101 violation.
+        self.assertEqual(checks_of(findings), ["SA-101"], findings)
+        lines = (FIXTURES / "waiver.cc").read_text(
+            encoding="utf-8").splitlines()
+        self.assertIn("k + 1", lines[findings[0].line - 1])
+
+    def test_reasonless_waiver_is_reported(self):
+        findings = analyze_files("waiver_bad.cc")
+        # The waiver still suppresses SA-101, but the missing written
+        # justification is itself a finding.
+        self.assertEqual(checks_of(findings), ["SA-000"], findings)
+        self.assertIn("justification", findings[0].message)
+
+
+class BaselineSuppression(unittest.TestCase):
+    def test_baseline_suppresses_matched_finding_only(self):
+        entry = ANALYZE.BaselineEntry(
+            check="SA-101",
+            file="sa101_pos.cc",
+            contains="push_back",
+            reason="fixture: scratch append is amortized",
+        )
+        findings = analyze_files("sa101_pos.cc", "sa102_pos.cc",
+                                 baseline=[entry])
+        # SA-101 is baselined away; the SA-102 lock finding remains.
+        self.assertEqual(checks_of(findings), ["SA-102"], findings)
+        self.assertTrue(entry.used)
+
+    def test_stale_baseline_entries_are_surfaced(self):
+        entry = ANALYZE.BaselineEntry(
+            check="SA-105",
+            file="nonexistent.cc",
+            contains="while",
+            reason="fixture: matches nothing",
+        )
+        _, meta = ANALYZE.run_analyze(
+            [FIXTURES / "sa101_neg.cc"], REPO_ROOT,
+            fixture_config([entry]), backend="fallback")
+        self.assertEqual(len(meta["stale_baseline"]), 1, meta)
+        self.assertEqual(meta["stale_baseline"][0]["check"], "SA-105")
+
+    def test_baseline_entries_require_a_reason(self):
+        with tempfile.NamedTemporaryFile(
+            "w", suffix=".toml", delete=False
+        ) as fp:
+            fp.write(
+                "[[baseline]]\n"
+                'check = "SA-101"\n'
+                'file = "x.cc"\n'
+                'contains = "push_back"\n'
+            )
+            path = fp.name
+        with self.assertRaisesRegex(SystemExit, "justification"):
+            ANALYZE.load_config(pathlib.Path(path))
+
+
+class MetaReport(unittest.TestCase):
+    def test_meta_records_backend_and_contract_roots(self):
+        _, meta = ANALYZE.run_analyze(
+            [FIXTURES / "sa101_pos.cc", FIXTURES / "sa105_pos.cc"],
+            REPO_ROOT, fixture_config(), backend="fallback")
+        self.assertEqual(meta["backend"], "fallback")
+        self.assertEqual(meta["files"], 2)
+        self.assertIn("fixture::EstimateRange", meta["hot_roots"])
+        self.assertIn("fixture::BuildScores", meta["cancellable"])
+        self.assertEqual(meta["unparsed"], [])
+
+
+class CliExitCodes(unittest.TestCase):
+    """The acceptance contract: nonzero on every positive fixture that
+    needs no special config, zero on the repo with the checked-in
+    config."""
+
+    POSITIVES = [
+        "sa101_pos.cc",
+        "sa102_pos.cc",
+        "sa103_pos.cc",
+        "sa105_pos.cc",
+    ]
+
+    def test_nonzero_exit_on_each_positive_fixture(self):
+        for name in self.POSITIVES:
+            with self.subTest(fixture=name):
+                proc = run_cli("--no-config", "--backend", "fallback",
+                               str(FIXTURES / name))
+                self.assertEqual(proc.returncode, 1, proc.stdout)
+                self.assertIn(name, proc.stdout)
+
+    def test_json_report(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            out = pathlib.Path(tmp) / "findings.json"
+            proc = run_cli(
+                "--no-config", "--backend", "fallback",
+                "--json", str(out),
+                str(FIXTURES / "sa103_pos.cc"),
+            )
+            self.assertEqual(proc.returncode, 1)
+            findings = json.loads(out.read_text(encoding="utf-8"))
+            self.assertEqual(len(findings), 1)
+            self.assertEqual(findings[0]["check"], "SA-103")
+
+    def test_meta_json_report(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            out = pathlib.Path(tmp) / "meta.json"
+            proc = run_cli(
+                "--no-config", "--backend", "fallback",
+                "--meta-json", str(out),
+                str(FIXTURES / "sa102_neg.cc"),
+            )
+            self.assertEqual(proc.returncode, 0, proc.stdout)
+            meta = json.loads(out.read_text(encoding="utf-8"))
+            self.assertEqual(meta["backend"], "fallback")
+            self.assertIn("fixture::ReadSnapshot", meta["hot_roots"])
+
+    def test_list_checks(self):
+        proc = run_cli("--list-checks")
+        self.assertEqual(proc.returncode, 0)
+        for check_id in ("SA-101", "SA-105"):
+            self.assertIn(check_id, proc.stdout)
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

@@ -1,0 +1,22 @@
+// Negative fixture for SA-101: the hot path itself is allocation-free.
+// The only allocation sits inside a RANGESYN_COLD_PATH error arm, where
+// the reachability walk stops, so an analyze run must be clean.
+#include <cstdint>
+#include <string>
+
+namespace fixture {
+
+RANGESYN_COLD_PATH void RecordFailure(int64_t a) {
+  std::string msg = std::to_string(a);
+  (void)msg;
+}
+
+RANGESYN_HOT_PATH double EstimatePoint(int64_t i) {
+  if (i < 0) {
+    RecordFailure(i);
+    return 0.0;
+  }
+  return static_cast<double>(i) * 0.5;
+}
+
+}  // namespace fixture

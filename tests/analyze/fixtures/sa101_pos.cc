@@ -1,0 +1,24 @@
+// Positive fixture for SA-101: a RANGESYN_HOT_PATH entry point reaches,
+// two calls deep, a helper that allocates on every query. The analyzer
+// must walk the call graph (the root itself contains no allocation).
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+void AppendCandidate(std::vector<int64_t>& out, int64_t k) {
+  out.push_back(k);
+}
+
+int64_t CollectAncestors(std::vector<int64_t>& out, int64_t n) {
+  AppendCandidate(out, n / 2);
+  return n;
+}
+
+RANGESYN_HOT_PATH double EstimateRange(std::vector<int64_t>& scratch,
+                                       int64_t a, int64_t b) {
+  CollectAncestors(scratch, b - a);
+  return static_cast<double>(a + b);
+}
+
+}  // namespace fixture

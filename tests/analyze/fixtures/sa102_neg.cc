@@ -1,0 +1,12 @@
+// Negative fixture for SA-102: the hot path reads a published atomic
+// snapshot instead of taking a lock, so an analyze run must be clean.
+#include <atomic>
+#include <cstdint>
+
+namespace fixture {
+
+RANGESYN_HOT_PATH double ReadSnapshot(const std::atomic<int64_t>& value) {
+  return static_cast<double>(value.load());
+}
+
+}  // namespace fixture

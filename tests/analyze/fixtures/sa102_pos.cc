@@ -1,0 +1,12 @@
+// Positive fixture for SA-102: a RANGESYN_HOT_PATH function acquires a
+// mutex on every query.
+#include <mutex>
+
+namespace fixture {
+
+RANGESYN_HOT_PATH double ReadShared(std::mutex& mu, const double* cell) {
+  std::lock_guard<std::mutex> hold(mu);
+  return *cell;
+}
+
+}  // namespace fixture

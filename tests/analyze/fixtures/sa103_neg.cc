@@ -1,0 +1,25 @@
+// Negative fixture for SA-103: the deterministic serializer iterates an
+// ordered std::map; the unordered map is only probed with find(), which
+// exposes no iteration order. An analyze run must be clean.
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+RANGESYN_DETERMINISTIC std::vector<int64_t> SerializeSorted(
+    const std::map<int64_t, double>& by_index,
+    const std::unordered_map<int64_t, double>& stats) {
+  std::vector<int64_t> out;
+  for (const auto& [k, v] : by_index) {
+    out.push_back(k);
+  }
+  const auto it = stats.find(0);
+  if (it != stats.end()) {
+    out.push_back(static_cast<int64_t>(it->second));
+  }
+  return out;
+}
+
+}  // namespace fixture

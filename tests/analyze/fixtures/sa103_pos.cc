@@ -1,0 +1,18 @@
+// Positive fixture for SA-103: a RANGESYN_DETERMINISTIC serializer
+// iterates an unordered map, so the hash order escapes into its output.
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+RANGESYN_DETERMINISTIC std::vector<int64_t> SerializeIndex(
+    const std::unordered_map<int64_t, double>& by_index) {
+  std::vector<int64_t> out;
+  for (const auto& [k, v] : by_index) {
+    out.push_back(k);
+  }
+  return out;
+}
+
+}  // namespace fixture

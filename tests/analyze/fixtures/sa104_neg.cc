@@ -1,0 +1,19 @@
+// Negative fixture for SA-104: the same arithmetic as sa104_pos.cc with
+// the widening (or the truncation) made explicit. Must analyze clean.
+#include <cstdint>
+
+namespace fixture {
+
+int64_t NumRanges(int64_t n) {
+  return n * (n + 1) / 2;
+}
+
+int64_t ScaleIndex(int level, int stride) {
+  return static_cast<int64_t>(level) * stride;
+}
+
+int TruncateCount(int64_t total) {
+  return static_cast<int>(total);
+}
+
+}  // namespace fixture

@@ -1,0 +1,24 @@
+// Positive fixture for SA-104: the three narrowing shapes the check
+// covers — a 32-bit product returned as 64-bit (overflow happens before
+// the widening), a 32-bit product assigned to a 64-bit local, and a
+// 64-bit value stored into a 32-bit local without an explicit cast.
+// This is the NumRanges bug class: n*(n+1)/2 overflows int for n >= 2^16.
+#include <cstdint>
+
+namespace fixture {
+
+int64_t NumRanges(int n) {
+  return n * (n + 1) / 2;
+}
+
+int64_t ScaleIndex(int level, int stride) {
+  int64_t offset = level * stride;
+  return offset;
+}
+
+int TruncateCount(int64_t total) {
+  int approx = total;
+  return approx;
+}
+
+}  // namespace fixture

@@ -1,0 +1,34 @@
+// Negative fixture for SA-105: both sanctioned polling shapes. The
+// first loop polls the deadline directly; the second delegates each
+// chunk to a deadline-taking callee, which credits the loop through the
+// polling closure. Must analyze clean.
+#include <cstddef>
+#include <vector>
+
+namespace fixture {
+
+class Deadline {
+ public:
+  bool Expired() const;
+};
+
+double ChunkSum(const std::vector<double>& data, size_t i,
+                const Deadline& deadline) {
+  if (deadline.Expired()) return 0.0;
+  return data[i];
+}
+
+RANGESYN_CANCELLABLE double BuildScoresPolled(
+    const std::vector<double>& data, const Deadline& deadline) {
+  double acc = 0.0;
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (deadline.Expired()) return acc;
+    acc += data[i];
+  }
+  for (size_t i = 0; i < data.size(); ++i) {
+    acc += ChunkSum(data, i, deadline);
+  }
+  return acc;
+}
+
+}  // namespace fixture

@@ -1,0 +1,23 @@
+// Positive fixture for SA-105: a RANGESYN_CANCELLABLE builder whose
+// outermost loop never polls the deadline it was handed — the
+// degradation ladder cannot interrupt it.
+#include <cstddef>
+#include <vector>
+
+namespace fixture {
+
+class Deadline {
+ public:
+  bool Expired() const;
+};
+
+RANGESYN_CANCELLABLE double BuildScores(const std::vector<double>& data,
+                                        const Deadline& deadline) {
+  double acc = 0.0;
+  for (size_t i = 0; i < data.size(); ++i) {
+    acc += data[i];
+  }
+  return acc;
+}
+
+}  // namespace fixture

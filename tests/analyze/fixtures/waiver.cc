@@ -1,0 +1,27 @@
+// Waiver fixture: a justified waiver (with a multi-line continuation
+// comment) suppresses its named check; a waiver naming a different
+// check must not suppress anything.
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+RANGESYN_HOT_PATH double WaivedAllocation(std::vector<int64_t>& out,
+                                          int64_t k) {
+  // analyze: waive(SA-101) amortized append into caller-owned scratch
+  // whose capacity was reserved at build time; never reallocates on
+  // the steady-state query path.
+  out.push_back(k);
+  return static_cast<double>(k);
+}
+
+RANGESYN_HOT_PATH double WrongCheckWaiver(std::vector<int64_t>& out,
+                                          int64_t k) {
+  // A waiver only suppresses the check it names; SA-101 still fires
+  // because the waiver below names SA-102.
+  // analyze: waive(SA-102) not the check this line violates
+  out.push_back(k + 1);
+  return static_cast<double>(k);
+}
+
+}  // namespace fixture

@@ -1,0 +1,15 @@
+// Waiver-hygiene fixture: a waiver with no written justification is
+// itself reported (SA-000) even though it suppresses the check it
+// names — every suppression carries a written reason.
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+RANGESYN_HOT_PATH double ReasonlessWaiver(std::vector<int64_t>& out,
+                                          int64_t k) {
+  out.push_back(k);  // analyze: waive(SA-101)
+  return static_cast<double>(k);
+}
+
+}  // namespace fixture

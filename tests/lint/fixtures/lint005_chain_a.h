@@ -1,0 +1,14 @@
+// Negative fixture for LINT-005 (self-include cycle): a diamond-shaped
+// but acyclic include chain must lint clean.
+#ifndef RANGESYN_TESTS_LINT_FIXTURES_LINT005_CHAIN_A_H_
+#define RANGESYN_TESTS_LINT_FIXTURES_LINT005_CHAIN_A_H_
+
+#include "lint005_chain_b.h"
+#include "lint005_chain_c.h"
+
+struct ChainA {
+  ChainB b;
+  ChainC c;
+};
+
+#endif  // RANGESYN_TESTS_LINT_FIXTURES_LINT005_CHAIN_A_H_

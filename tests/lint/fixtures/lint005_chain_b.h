@@ -1,0 +1,12 @@
+// Acyclic-chain fixture, member B: both B and C include the shared
+// leaf D (a diamond, not a cycle).
+#ifndef RANGESYN_TESTS_LINT_FIXTURES_LINT005_CHAIN_B_H_
+#define RANGESYN_TESTS_LINT_FIXTURES_LINT005_CHAIN_B_H_
+
+#include "lint005_chain_d.h"
+
+struct ChainB {
+  ChainD d;
+};
+
+#endif  // RANGESYN_TESTS_LINT_FIXTURES_LINT005_CHAIN_B_H_

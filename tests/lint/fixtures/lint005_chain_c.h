@@ -1,0 +1,11 @@
+// Acyclic-chain fixture, member C.
+#ifndef RANGESYN_TESTS_LINT_FIXTURES_LINT005_CHAIN_C_H_
+#define RANGESYN_TESTS_LINT_FIXTURES_LINT005_CHAIN_C_H_
+
+#include "lint005_chain_d.h"
+
+struct ChainC {
+  ChainD d;
+};
+
+#endif  // RANGESYN_TESTS_LINT_FIXTURES_LINT005_CHAIN_C_H_

@@ -1,0 +1,9 @@
+// Acyclic-chain fixture, shared leaf D.
+#ifndef RANGESYN_TESTS_LINT_FIXTURES_LINT005_CHAIN_D_H_
+#define RANGESYN_TESTS_LINT_FIXTURES_LINT005_CHAIN_D_H_
+
+struct ChainD {
+  int d = 0;
+};
+
+#endif  // RANGESYN_TESTS_LINT_FIXTURES_LINT005_CHAIN_D_H_

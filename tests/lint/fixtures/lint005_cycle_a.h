@@ -1,0 +1,13 @@
+// Positive fixture for LINT-005 (self-include cycle), member A of the
+// a -> b -> c -> a cycle. Each header is guarded, so the cycle is the
+// only finding the trio produces.
+#ifndef RANGESYN_TESTS_LINT_FIXTURES_LINT005_CYCLE_A_H_
+#define RANGESYN_TESTS_LINT_FIXTURES_LINT005_CYCLE_A_H_
+
+#include "lint005_cycle_b.h"
+
+struct CycleA {
+  int a = 0;
+};
+
+#endif  // RANGESYN_TESTS_LINT_FIXTURES_LINT005_CYCLE_A_H_

@@ -1,0 +1,11 @@
+// Member B of the lint005 include cycle fixture.
+#ifndef RANGESYN_TESTS_LINT_FIXTURES_LINT005_CYCLE_B_H_
+#define RANGESYN_TESTS_LINT_FIXTURES_LINT005_CYCLE_B_H_
+
+#include "lint005_cycle_c.h"
+
+struct CycleB {
+  int b = 0;
+};
+
+#endif  // RANGESYN_TESTS_LINT_FIXTURES_LINT005_CYCLE_B_H_

@@ -1,0 +1,12 @@
+// Member C of the lint005 include cycle fixture; closes the cycle back
+// to A.
+#ifndef RANGESYN_TESTS_LINT_FIXTURES_LINT005_CYCLE_C_H_
+#define RANGESYN_TESTS_LINT_FIXTURES_LINT005_CYCLE_C_H_
+
+#include "lint005_cycle_a.h"
+
+struct CycleC {
+  int c = 0;
+};
+
+#endif  // RANGESYN_TESTS_LINT_FIXTURES_LINT005_CYCLE_C_H_

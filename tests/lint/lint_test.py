@@ -86,6 +86,16 @@ class PositiveFixtures(unittest.TestCase):
         self.assertEqual(checks_of(findings), ["LINT-005"], findings)
         self.assertIn("umbrella header", findings[0].message)
 
+    def test_lint005_include_cycle(self):
+        findings = lint_files("lint005_cycle_a.h", "lint005_cycle_b.h",
+                              "lint005_cycle_c.h")
+        # One finding for the whole cycle, anchored at its first member.
+        self.assertEqual(checks_of(findings), ["LINT-005"], findings)
+        self.assertIn("self-include cycle", findings[0].message)
+        for member in ("lint005_cycle_a.h", "lint005_cycle_b.h",
+                       "lint005_cycle_c.h"):
+            self.assertIn(member, findings[0].message)
+
 
 class NegativeFixtures(unittest.TestCase):
     """Each negative fixture must lint clean."""
@@ -108,6 +118,10 @@ class NegativeFixtures(unittest.TestCase):
 
     def test_lint005_guarded(self):
         self.assert_clean("lint005_neg.h", "lint005_pragma_neg.h")
+
+    def test_lint005_acyclic_diamond(self):
+        self.assert_clean("lint005_chain_a.h", "lint005_chain_b.h",
+                          "lint005_chain_c.h", "lint005_chain_d.h")
 
 
 class WaiverSyntax(unittest.TestCase):
@@ -170,6 +184,7 @@ class CliExitCodes(unittest.TestCase):
         ("lint004_pos.cc",),
         ("lint005_pos.h",),
         ("lint005_umbrella_pos.cc",),
+        ("lint005_cycle_a.h", "lint005_cycle_b.h", "lint005_cycle_c.h"),
     ]
 
     def test_nonzero_exit_on_each_positive_fixture(self):

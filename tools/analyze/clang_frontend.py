@@ -1,0 +1,480 @@
+#!/usr/bin/env python3
+"""libclang frontend for rangesyn-analyze.
+
+Parses translation units through the compile database and lowers the
+clang AST into the neutral fact model defined in cpp_frontend.py
+(`FunctionFact`, `LoopFact`, `Site`). This is the CI backend: it sees
+macro expansions and real types, so the `[[clang::annotate("rangesyn::
+...")]]` attributes emitted by src/core/analysis_annotations.h are read
+straight off the AST.
+
+Requires the `clang` Python package and a loadable libclang; the driver
+falls back to cpp_frontend automatically when either is missing.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+
+from clang import cindex
+
+from cpp_frontend import (  # noqa: F401
+    ALLOC_CALLS,
+    ALLOC_RETURN_MARKERS,
+    BLOCKING_CALLS,
+    FunctionFact,
+    LoopFact,
+    LOCK_TYPES,
+    OWNING_CONTAINER_MARKERS,
+    POLL_METHODS,
+    POLL_RECEIVER_TYPES,
+    ParseResult,
+    Site,
+    SymbolTable,
+)
+
+CK = cindex.CursorKind
+TK = cindex.TypeKind
+
+FUNCTION_KINDS = {
+    CK.FUNCTION_DECL, CK.CXX_METHOD, CK.CONSTRUCTOR, CK.DESTRUCTOR,
+    CK.FUNCTION_TEMPLATE, CK.CONVERSION_FUNCTION,
+}
+LOOP_KINDS = {CK.FOR_STMT, CK.WHILE_STMT, CK.DO_STMT, CK.CXX_FOR_RANGE_STMT}
+
+INT32_KINDS = {TK.INT, TK.UINT, TK.SHORT, TK.USHORT, TK.CHAR_S, TK.CHAR_U,
+               TK.SCHAR, TK.UCHAR}
+INT64_KINDS = {TK.LONG, TK.ULONG, TK.LONGLONG, TK.ULONGLONG}
+
+
+def _qualified_name(cursor) -> str:
+    parts: list[str] = []
+    c = cursor
+    while c is not None and c.kind != CK.TRANSLATION_UNIT:
+        name = c.spelling
+        if name and c.kind not in (CK.UNEXPOSED_DECL, CK.LINKAGE_SPEC):
+            parts.append(name)
+        c = c.semantic_parent
+    return "::".join(reversed(parts))
+
+
+def _rel(path: str, repo_root: pathlib.Path) -> str:
+    try:
+        return pathlib.Path(path).resolve().relative_to(
+            repo_root.resolve()).as_posix()
+    except Exception:
+        return path
+
+
+def _int_width(type_obj):
+    """32 / 64 for integer types (through typedefs), else None."""
+    try:
+        canonical = type_obj.get_canonical()
+    except Exception:
+        return None
+    if canonical.kind in INT32_KINDS:
+        return 32
+    if canonical.kind in INT64_KINDS:
+        return 64
+    return None
+
+
+def _type_spelling(cursor) -> str:
+    try:
+        return cursor.type.spelling or ""
+    except Exception:
+        return ""
+
+
+def _annotations(cursor) -> set[str]:
+    out: set[str] = set()
+    for child in cursor.get_children():
+        if child.kind == CK.ANNOTATE_ATTR and \
+                child.spelling.startswith("rangesyn::"):
+            out.add(child.spelling[len("rangesyn::"):])
+    return out
+
+
+def _takes_deadline(cursor) -> bool:
+    try:
+        for arg in cursor.get_arguments():
+            spelling = _type_spelling(arg)
+            if any(t in spelling for t in POLL_RECEIVER_TYPES):
+                return True
+    except Exception:
+        pass
+    return False
+
+
+class _FunctionLowering:
+    """Walks one function definition's AST into a FunctionFact."""
+
+    def __init__(self, fact: FunctionFact, rel: str,
+                 cold_names: set[str]):
+        self.fact = fact
+        self.rel = rel
+        self.cold_names = cold_names
+        self.loop_stack: list[LoopFact] = []
+
+    def walk(self, cursor) -> None:
+        for child in cursor.get_children():
+            self._visit(child)
+
+    def _line(self, cursor) -> int:
+        try:
+            return cursor.location.line or 0
+        except Exception:
+            return 0
+
+    def _visit(self, cursor) -> None:
+        kind = cursor.kind
+        if kind in LOOP_KINDS:
+            loop = LoopFact(file=self.rel, line=self._line(cursor),
+                            depth=len(self.loop_stack), polls=False,
+                            callees=[])
+            self.fact.loops.append(loop)
+            self.loop_stack.append(loop)
+            if kind == CK.CXX_FOR_RANGE_STMT:
+                self._range_for(cursor)
+            for child in cursor.get_children():
+                self._visit(child)
+            self.loop_stack.pop()
+            return
+        if kind == CK.CXX_NEW_EXPR:
+            self.fact.allocs.append(Site(
+                self.rel, self._line(cursor), "operator new"))
+        elif kind == CK.CALL_EXPR:
+            self._call(cursor)
+        elif kind == CK.VAR_DECL:
+            self._var_decl(cursor)
+        elif kind == CK.LAMBDA_EXPR:
+            # Lambda bodies belong to the enclosing function (ParallelFor
+            # bodies are the hot loops); keep walking with the same
+            # loop stack.
+            pass
+        for child in cursor.get_children():
+            self._visit(child)
+
+    def _range_for(self, cursor) -> None:
+        children = list(cursor.get_children())
+        for child in children:
+            spelling = _type_spelling(child)
+            if "unordered_" in spelling:
+                self.fact.unordered_iters.append(Site(
+                    self.rel, self._line(cursor),
+                    f"range-for over {spelling}"))
+                break
+
+    def _call(self, cursor) -> None:
+        callee = cursor.referenced
+        if callee is None:
+            return
+        qual = _qualified_name(callee)
+        if not qual:
+            return
+        line = self._line(cursor)
+        name = callee.spelling
+        # Key: Class::method for methods, full qualification otherwise —
+        # the driver resolves by suffix either way.
+        parent = callee.semantic_parent
+        if parent is not None and parent.kind in (
+                CK.CLASS_DECL, CK.STRUCT_DECL, CK.CLASS_TEMPLATE):
+            key = f"{parent.spelling}::{name}"
+        else:
+            key = qual
+        if qual in self.cold_names or any(
+                qual.startswith(c + "::") for c in self.cold_names):
+            return  # assertion/logging plumbing: never part of the graph
+        self.fact.calls.append(Site(self.rel, line, key))
+        for loop in self.loop_stack:
+            loop.callees.append(key)
+        parent_spelling = parent.spelling if parent is not None else ""
+        std_owner = any(
+            m in (parent_spelling or "")
+            for m in ("basic_string", "vector", "unordered_map",
+                      "unordered_set", "map", "set", "deque"))
+        if name in ALLOC_CALLS and (std_owner or parent is None or
+                                    not parent_spelling):
+            self.fact.allocs.append(Site(
+                self.rel, line, f"call to allocating '{name}'"))
+        elif name in ALLOC_CALLS and std_owner:
+            self.fact.allocs.append(Site(
+                self.rel, line, f"call to allocating '{name}'"))
+        try:
+            ret = callee.result_type.spelling
+        except Exception:
+            ret = ""
+        if ret and any(ret.startswith(m) or f"std::{m}" in ret
+                       for m in ("std::string", "std::vector")):
+            self.fact.allocs.append(Site(
+                self.rel, line,
+                f"call to '{name}' returning {ret} by value"))
+        if name in BLOCKING_CALLS:
+            owner = parent_spelling or ""
+            if any(t in owner for t in
+                   ("Mutex", "mutex", "condition_variable", "CondVar",
+                    "thread", "Thread")) or name in (
+                       "sleep_for", "sleep_until", "fopen", "fread",
+                       "fwrite", "fsync", "fflush"):
+                self.fact.blocking.append(Site(
+                    self.rel, line, f"call to blocking '{name}'"))
+        if name in POLL_METHODS and self.loop_stack:
+            owner = parent_spelling or ""
+            if any(t in owner for t in POLL_RECEIVER_TYPES):
+                for loop in self.loop_stack:
+                    loop.polls = True
+        if name == "begin" and self.loop_stack:
+            owner = parent_spelling or ""
+            if "unordered_" in owner:
+                self.fact.unordered_iters.append(Site(
+                    self.rel, line, f"iterator loop over {owner}"))
+        self._maybe_narrowing_from_call(cursor)
+
+    def _var_decl(self, cursor) -> None:
+        spelling = _type_spelling(cursor)
+        line = self._line(cursor)
+        if any(t in spelling for t in LOCK_TYPES):
+            self.fact.blocking.append(Site(
+                self.rel, line,
+                f"{spelling} {cursor.spelling} acquires a lock or opens "
+                "a stream"))
+        init = None
+        for child in cursor.get_children():
+            init = child
+        if init is not None and any(
+                m in spelling for m in OWNING_CONTAINER_MARKERS):
+            self.fact.allocs.append(Site(
+                self.rel, line,
+                f"constructs {spelling} {cursor.spelling} "
+                "(owning container)"))
+        if init is not None:
+            self._check_narrowing(cursor.type, init, line)
+
+    # SA-104 ----------------------------------------------------------------
+
+    def _check_narrowing(self, lhs_type, init_cursor, line: int) -> None:
+        lhs = _int_width(lhs_type)
+        if lhs is None:
+            return
+        info = self._expr_info(init_cursor)
+        if info is None:
+            return
+        widest, has_overflow_op, has_cast = info
+        if lhs == 64 and widest == 32 and has_overflow_op:
+            self.fact.narrowing.append(Site(
+                self.rel, line,
+                "32-bit arithmetic widens to a 64-bit destination after "
+                "the operation — the product/shift can overflow before "
+                "the widening (cast an operand to int64_t first)"))
+        elif lhs == 32 and widest == 64 and not has_cast:
+            self.fact.narrowing.append(Site(
+                self.rel, line,
+                "64-bit value narrows implicitly to a 32-bit "
+                "destination — make the truncation explicit or widen "
+                "the destination"))
+
+    def _expr_info(self, cursor):
+        """(widest_int_width, has_overflow_op, has_explicit_cast) or None
+        when the expression involves non-integer/unknown operands."""
+        widest = 0
+        has_op = False
+        has_cast = False
+
+        def visit(c) -> bool:
+            nonlocal widest, has_op, has_cast
+            kind = c.kind
+            if kind in (CK.CXX_STATIC_CAST_EXPR, CK.CXX_FUNCTIONAL_CAST_EXPR,
+                        CK.CSTYLE_CAST_EXPR):
+                w = _int_width(c.type)
+                if w is None:
+                    return False
+                has_cast = True
+                widest = max(widest, w)
+                return True  # argument is explicitly converted
+            if kind == CK.BINARY_OPERATOR:
+                try:
+                    toks = {t.spelling for t in c.get_tokens()}
+                except Exception:
+                    toks = set()
+                if "*" in toks or "<<" in toks:
+                    has_op = True
+                ok = True
+                for child in c.get_children():
+                    ok = visit(child) and ok
+                return ok
+            if kind in (CK.INTEGER_LITERAL, CK.DECL_REF_EXPR,
+                        CK.MEMBER_REF_EXPR, CK.CALL_EXPR,
+                        CK.ARRAY_SUBSCRIPT_EXPR):
+                w = _int_width(c.type)
+                if w is None:
+                    return False
+                widest = max(widest, w)
+                return True
+            if kind in (CK.PAREN_EXPR, CK.UNEXPOSED_EXPR,
+                        CK.UNARY_OPERATOR):
+                ok = True
+                for child in c.get_children():
+                    ok = visit(child) and ok
+                return ok
+            return _int_width(c.type) is not None
+
+        if not visit(init_cursor) or widest == 0:
+            return None
+        return (widest, has_op, has_cast)
+
+    def _maybe_narrowing_from_call(self, cursor) -> None:
+        # Covered by _var_decl/_check_narrowing through init expressions;
+        # standalone assignments are handled by BINARY_OPERATOR '='
+        # visits inside _expr_info when reached from a VAR_DECL. Keeping
+        # the hook explicit documents the asymmetry with the fallback.
+        return
+
+
+def _ensure_libclang() -> None:
+    """Locates libclang when the distro package does not register it on
+    the default loader path (Ubuntu's python3-clang + libclang-dev)."""
+    try:
+        cindex.Index.create()
+        return
+    except cindex.LibclangError:
+        pass
+    import glob
+    candidates = sorted(
+        glob.glob("/usr/lib/llvm-*/lib/libclang*.so*")
+        + glob.glob("/usr/lib/*/libclang*.so*"),
+        reverse=True,
+    )
+    for lib in candidates:
+        try:
+            cindex.Config.loaded = False
+            cindex.Config.set_library_file(lib)
+            cindex.Index.create()
+            return
+        except Exception:  # noqa: BLE001 - try the next candidate
+            continue
+    raise cindex.LibclangError(
+        "no loadable libclang shared library found; install libclang-dev")
+
+
+def parse_compile_db(compile_db: pathlib.Path | None,
+                     files: list[pathlib.Path],
+                     repo_root: pathlib.Path) -> ParseResult:
+    """Parses every requested file that appears in (or is included by)
+    the compile database; headers are analyzed through the TUs that
+    include them."""
+    _ensure_libclang()
+    index = cindex.Index.create()
+    functions: list[FunctionFact] = []
+    unparsed: list[tuple[str, str]] = []
+    symbols = SymbolTable()
+    wanted = {f.resolve() for f in files}
+    wanted_rel = {_rel(str(f), repo_root) for f in files}
+
+    args_by_file: dict[pathlib.Path, list[str]] = {}
+    if compile_db and compile_db.exists():
+        db_dir = compile_db.parent
+        try:
+            entries = json.loads(compile_db.read_text(encoding="utf-8"))
+        except Exception as err:
+            entries = []
+            unparsed.append((str(compile_db), f"unreadable: {err}"))
+        for entry in entries:
+            try:
+                path = (pathlib.Path(entry.get("directory", str(db_dir))) /
+                        entry["file"]).resolve()
+            except Exception:
+                continue
+            raw = entry.get("arguments")
+            if raw is None:
+                raw = entry.get("command", "").split()
+            args = [a for a in raw[1:] if a not in ("-c", "-o")
+                    and not a.endswith(entry["file"].split("/")[-1])]
+            cleaned = []
+            skip_next = False
+            for a in args:
+                if skip_next:
+                    skip_next = False
+                    continue
+                if a in ("-o",):
+                    skip_next = True
+                    continue
+                cleaned.append(a)
+            args_by_file[path] = cleaned
+    seen_functions: set[tuple[str, str, int, bool]] = set()
+    tu_files = [p for p in args_by_file if p.suffix in
+                (".cc", ".cpp", ".cxx")] or \
+        [f for f in files if f.suffix in (".cc", ".cpp", ".cxx")]
+    for tu_path in sorted(tu_files):
+        tu_args = args_by_file.get(tu_path, ["-std=c++17",
+                                             f"-I{repo_root}"])
+        try:
+            tu = index.parse(str(tu_path), args=tu_args)
+        except Exception as err:
+            unparsed.append((_rel(str(tu_path), repo_root), str(err)))
+            continue
+        fatal = [d for d in tu.diagnostics if d.severity >=
+                 cindex.Diagnostic.Error]
+        if fatal:
+            unparsed.append((
+                _rel(str(tu_path), repo_root),
+                "; ".join(d.spelling for d in fatal[:3])))
+            continue
+        _lower_tu(tu, wanted, wanted_rel, repo_root, functions,
+                  seen_functions, symbols)
+    return ParseResult(functions=functions, unparsed=unparsed,
+                       symbols=symbols)
+
+
+def _lower_tu(tu, wanted, wanted_rel, repo_root, functions,
+              seen_functions, symbols) -> None:
+    def recurse(cursor):
+        for child in cursor.get_children():
+            loc_file = child.location.file
+            if loc_file is None:
+                continue
+            try:
+                in_scope = pathlib.Path(loc_file.name).resolve() in wanted
+            except Exception:
+                in_scope = False
+            if not in_scope:
+                # Still descend into namespaces: members may span files.
+                if child.kind in (CK.NAMESPACE, CK.UNEXPOSED_DECL,
+                                  CK.LINKAGE_SPEC):
+                    recurse(child)
+                continue
+            if child.kind in FUNCTION_KINDS:
+                rel = _rel(loc_file.name, repo_root)
+                qual = _qualified_name(child)
+                is_def = child.is_definition()
+                key = (qual, rel, child.location.line, is_def)
+                if key in seen_functions:
+                    continue
+                seen_functions.add(key)
+                fact = FunctionFact(
+                    qual_name=qual,
+                    file=rel,
+                    line=child.location.line,
+                    annotations=_annotations(child),
+                    takes_deadline=_takes_deadline(child),
+                )
+                try:
+                    fact.return_type = child.result_type.spelling
+                except Exception:
+                    fact.return_type = ""
+                if is_def:
+                    fact.has_body = True
+                    lowering = _FunctionLowering(fact, rel, set())
+                    lowering.walk(child)
+                functions.append(fact)
+                symbols.note_signature(qual, fact.return_type,
+                                       fact.annotations,
+                                       fact.takes_deadline)
+                continue
+            if child.kind in (CK.NAMESPACE, CK.CLASS_DECL, CK.STRUCT_DECL,
+                              CK.CLASS_TEMPLATE, CK.UNEXPOSED_DECL,
+                              CK.LINKAGE_SPEC):
+                recurse(child)
+
+    recurse(tu.cursor)

@@ -1,0 +1,1612 @@
+#!/usr/bin/env python3
+"""Fallback C++ frontend for rangesyn-analyze.
+
+A dependency-free lexer + recursive declaration/statement parser that
+produces the same `FunctionFact` stream as the libclang frontend
+(clang_frontend.py), for toolchains where the clang Python bindings are
+not installed. It is NOT a general C++ parser: it understands the
+disciplined subset this repository is written in (namespaces, classes
+with in-class and out-of-line member definitions, templates it can skip
+over, lambdas, range-for, structured bindings) and extracts exactly the
+facts the SA-10x checks need:
+
+  - function definitions/declarations with their qualified names,
+    rangesyn-analyze annotation macros, and parameter/local/member type
+    tables;
+  - call sites (with receiver-type-qualified callees when the receiver's
+    declared type is known);
+  - direct allocation and blocking evidence (operator new, allocating
+    container/string calls, lock-guard locals, waits/sleeps);
+  - loops (with nesting depth, deadline-poll evidence, and the callee set
+    inside the loop, for SA-105's transitive poll credit);
+  - unordered-container iteration sites (SA-103);
+  - narrowing / overflow-before-widening integer arithmetic (SA-104)
+    resolved through the declared-type tables, never through text
+    matching.
+
+Everything works on the token stream: comments, strings and preprocessor
+directives are consumed by the lexer, so no check ever looks at raw text.
+Files the parser cannot bracket-match are reported as unparsed (the
+driver surfaces them); they produce no findings rather than wrong ones.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pathlib
+
+# ---------------------------------------------------------------------------
+# Tokens
+# ---------------------------------------------------------------------------
+
+PUNCTUATION = [
+    "<<=", ">>=", "->*", "...", "::", "->", "<<", ">>", "<=", ">=", "==",
+    "!=", "&&", "||", "++", "--", "+=", "-=", "*=", "/=", "%=", "&=", "|=",
+    "^=", "=", "<", ">", "+", "-", "*", "/", "%", "!", "&", "|", "^", "~",
+    "?", ":", ";", ",", ".", "(", ")", "{", "}", "[", "]",
+]
+
+KEYWORDS = {
+    "alignas", "alignof", "auto", "bool", "break", "case", "catch", "char",
+    "class", "const", "constexpr", "consteval", "constinit", "continue",
+    "decltype", "default", "delete", "do", "double", "else", "enum",
+    "explicit", "extern", "false", "final", "float", "for", "friend",
+    "goto", "if", "inline", "int", "long", "mutable", "namespace", "new",
+    "noexcept", "nullptr", "operator", "override", "private", "protected",
+    "public", "return", "short", "signed", "sizeof", "static",
+    "static_assert", "static_cast", "struct", "switch", "template", "this",
+    "throw", "true", "try", "typedef", "typename", "union", "unsigned",
+    "using", "virtual", "void", "volatile", "while",
+}
+
+ANNOTATION_MACROS = {
+    "RANGESYN_HOT_PATH": "hot_path",
+    "RANGESYN_COLD_PATH": "cold_path",
+    "RANGESYN_CANCELLABLE": "cancellable",
+    "RANGESYN_DETERMINISTIC": "deterministic",
+}
+
+# Declaration specifiers that are not part of the type proper.
+SPECIFIERS = {
+    "static", "virtual", "inline", "constexpr", "consteval", "explicit",
+    "friend", "extern", "mutable", "typename", "register", "thread_local",
+}
+
+CONTROL_KEYWORDS = {
+    "if", "for", "while", "switch", "return", "sizeof", "catch", "case",
+    "throw", "do", "else", "new", "delete", "alignof", "static_assert",
+    "decltype", "noexcept", "alignas",
+}
+
+
+class ParseError(Exception):
+    pass
+
+
+@dataclasses.dataclass
+class Token:
+    kind: str  # 'id' | 'num' | 'str' | 'chr' | 'punct'
+    value: str
+    line: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.value}@{self.line}"
+
+
+def lex(text: str):
+    """Tokenizes C++ source; returns (tokens, includes). Preprocessor
+    directives are consumed whole (with backslash continuations);
+    `#include "x"` / `#include <x>` targets are collected."""
+    tokens: list[Token] = []
+    includes: list[tuple[str, int]] = []
+    i = 0
+    n = len(text)
+    line = 1
+    at_line_start = True
+    while i < n:
+        ch = text[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            at_line_start = True
+            continue
+        if ch in " \t\r\f\v":
+            i += 1
+            continue
+        if ch == "/" and i + 1 < n and text[i + 1] == "/":
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+        if ch == "/" and i + 1 < n and text[i + 1] == "*":
+            end = text.find("*/", i + 2)
+            if end == -1:
+                raise ParseError(f"line {line}: unterminated block comment")
+            line += text.count("\n", i, end)
+            i = end + 2
+            continue
+        if ch == "#" and at_line_start:
+            # Preprocessor directive: consume to end of line, honouring
+            # backslash continuations; collect #include targets.
+            start = i
+            while i < n:
+                if text[i] == "\n":
+                    if i > 0 and text[i - 1] == "\\":
+                        line += 1
+                        i += 1
+                        continue
+                    break
+                i += 1
+            directive = text[start:i]
+            stripped = directive[1:].lstrip()
+            if stripped.startswith("include"):
+                rest = stripped[len("include"):].strip()
+                if len(rest) >= 2 and rest[0] in "\"<":
+                    close = rest.find(">" if rest[0] == "<" else '"', 1)
+                    if close > 0:
+                        includes.append((rest[1:close], line))
+            line += directive.count("\n")
+            continue
+        at_line_start = False
+        if ch == "R" and i + 1 < n and text[i + 1] == '"':
+            # Raw string literal R"delim( ... )delim"
+            open_paren = text.find("(", i + 2)
+            if open_paren == -1:
+                raise ParseError(f"line {line}: bad raw string")
+            delim = text[i + 2:open_paren]
+            close = text.find(")" + delim + '"', open_paren)
+            if close == -1:
+                raise ParseError(f"line {line}: unterminated raw string")
+            end = close + len(delim) + 2
+            tokens.append(Token("str", '""', line))
+            line += text.count("\n", i, end)
+            i = end
+            continue
+        if ch in "\"'":
+            quote = ch
+            j = i + 1
+            while j < n:
+                if text[j] == "\\":
+                    j += 2
+                    continue
+                if text[j] == quote:
+                    break
+                if text[j] == "\n":
+                    break  # tolerate; treated as terminated
+                j += 1
+            tokens.append(
+                Token("str" if quote == '"' else "chr", quote + quote, line)
+            )
+            i = j + 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            j = i
+            while j < n and (text[j].isalnum() or text[j] in "._'+-"):
+                # '+'/'-' only valid directly after an exponent marker.
+                if text[j] in "+-" and text[j - 1] not in "eEpP":
+                    break
+                j += 1
+            tokens.append(Token("num", text[i:j], line))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            tokens.append(Token("id", text[i:j], line))
+            i = j
+            continue
+        for punct in PUNCTUATION:
+            if text.startswith(punct, i):
+                tokens.append(Token("punct", punct, line))
+                i += len(punct)
+                break
+        else:
+            i += 1  # unknown byte: skip
+    return tokens, includes
+
+
+def match_brackets(tokens: list[Token]) -> dict[int, int]:
+    """Returns open-index -> close-index for (), {}, []."""
+    match: dict[int, int] = {}
+    stack: list[tuple[str, int]] = []
+    closing = {")": "(", "}": "{", "]": "["}
+    for idx, tok in enumerate(tokens):
+        if tok.kind != "punct":
+            continue
+        if tok.value in "({[":
+            stack.append((tok.value, idx))
+        elif tok.value in ")}]":
+            if not stack or stack[-1][0] != closing[tok.value]:
+                raise ParseError(
+                    f"line {tok.line}: unbalanced '{tok.value}'"
+                )
+            _, open_idx = stack.pop()
+            match[open_idx] = idx
+    if stack:
+        raise ParseError(
+            f"line {tokens[stack[-1][1]].line}: unclosed "
+            f"'{stack[-1][0]}'"
+        )
+    return match
+
+
+# ---------------------------------------------------------------------------
+# Facts (the neutral model consumed by rangesyn_analyze.py)
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class Site:
+    file: str
+    line: int
+    detail: str
+
+
+@dataclasses.dataclass
+class LoopFact:
+    file: str
+    line: int
+    depth: int  # 0 = outermost within its function
+    polls: bool  # direct Deadline::Check/Expired/cancelled inside
+    callees: list[str]  # callee keys inside the loop (transitive credit)
+
+
+@dataclasses.dataclass
+class FunctionFact:
+    qual_name: str
+    file: str
+    line: int
+    annotations: set[str] = dataclasses.field(default_factory=set)
+    has_body: bool = False
+    takes_deadline: bool = False
+    return_type: str = ""
+    calls: list[Site] = dataclasses.field(default_factory=list)
+    allocs: list[Site] = dataclasses.field(default_factory=list)
+    blocking: list[Site] = dataclasses.field(default_factory=list)
+    unordered_iters: list[Site] = dataclasses.field(default_factory=list)
+    narrowing: list[Site] = dataclasses.field(default_factory=list)
+    loops: list[LoopFact] = dataclasses.field(default_factory=list)
+
+
+# Type classification -------------------------------------------------------
+
+INT32_TYPES = {
+    "int", "int32_t", "uint32_t", "unsigned", "short", "int16_t",
+    "uint16_t", "int8_t", "uint8_t", "char", "unsigned int",
+    "signed", "signed int", "unsigned short",
+}
+INT64_TYPES = {
+    "int64_t", "uint64_t", "size_t", "ptrdiff_t", "ssize_t", "long",
+    "long long", "unsigned long", "unsigned long long", "intptr_t",
+    "uintptr_t", "streamsize",
+}
+
+ALLOC_CALLS = {
+    "make_unique", "make_shared", "to_string", "StrCat", "substr",
+    "push_back", "emplace_back", "emplace", "emplace_front", "insert",
+    "try_emplace", "resize", "reserve", "assign", "append", "push_front",
+    "shrink_to_fit",
+}
+ALLOC_RETURN_MARKERS = (
+    "std::string", "string", "std::vector", "vector<", "unordered_map<",
+    "unordered_set<", "map<", "set<", "deque<",
+)
+OWNING_CONTAINER_MARKERS = (
+    "std::string", "std::vector", "std::deque", "std::map", "std::set",
+    "std::unordered_map", "std::unordered_set", "string", "vector<",
+    "deque<", "unordered_map<", "unordered_set<",
+)
+BLOCKING_CALLS = {
+    "lock", "Lock", "try_lock", "wait", "wait_for", "wait_until",
+    "sleep_for", "sleep_until", "join", "fopen", "fread", "fwrite",
+    "fsync", "fflush", "flush",
+}
+LOCK_TYPES = (
+    "MutexLock", "CondVarLock", "lock_guard", "unique_lock",
+    "scoped_lock", "shared_lock", "ifstream", "ofstream", "fstream",
+)
+POLL_METHODS = {"Check", "Expired", "cancelled", "CheckCancelled"}
+POLL_RECEIVER_TYPES = ("Deadline", "CancellationToken")
+POLL_RECEIVER_NAMES = {"deadline", "token", "cancel"}
+
+
+def int_class(type_str: str | None) -> int | None:
+    """32 for <=32-bit integer types, 64 for 64-bit, None otherwise."""
+    if not type_str:
+        return None
+    t = type_str.replace("const", "").replace("&", "").replace("std::", "")
+    t = " ".join(t.split())
+    if t in INT64_TYPES:
+        return 64
+    if t in INT32_TYPES:
+        return 32
+    return None
+
+
+def base_class_of(type_str: str | None) -> str | None:
+    """'const rangesyn::Partition&' -> 'Partition' (template args and
+    qualifiers stripped) — used to qualify method callees."""
+    if not type_str:
+        return None
+    t = type_str
+    angle = t.find("<")
+    if angle != -1:
+        t = t[:angle]
+    t = t.replace("const", "").replace("&", "").replace("*", "").strip()
+    if "::" in t:
+        t = t.split("::")[-1]
+    t = t.strip()
+    return t or None
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+
+class FileParser:
+    """Parses one file's token stream into FunctionFacts plus class-member
+    type tables (the latter are shared across the whole file set so
+    out-of-line methods can type their members)."""
+
+    def __init__(self, rel: str, tokens: list[Token],
+                 match: dict[int, int], symbols: "SymbolTable"):
+        self.rel = rel
+        self.toks = tokens
+        self.match = match
+        self.symbols = symbols
+        self.functions: list[FunctionFact] = []
+
+    # -- pass A: signatures and member tables -------------------------------
+
+    def collect_signatures(self) -> None:
+        self._scan(0, len(self.toks), [], [], bodies=False)
+
+    # -- pass B: bodies ------------------------------------------------------
+
+    def collect_bodies(self) -> None:
+        self.functions = []
+        self._scan(0, len(self.toks), [], [], bodies=True)
+
+    # -- scope scanning ------------------------------------------------------
+
+    def _scan(self, start: int, end: int, ns: list[str],
+              classes: list[str], bodies: bool) -> None:
+        i = start
+        stmt_start = start
+        while i < end:
+            tok = self.toks[i]
+            v = tok.value
+            if tok.kind == "punct":
+                if v == ";":
+                    if classes and not bodies:
+                        self._maybe_member_decl(stmt_start, i, ns, classes)
+                    i += 1
+                    stmt_start = i
+                    continue
+                if v == "{":
+                    # Unrecognized brace at this scope (variable init,
+                    # enum body fallthrough, ...): skip the group.
+                    i = self.match[i] + 1
+                    stmt_start = i
+                    continue
+                i += 1
+                continue
+            if v == "namespace":
+                j = i + 1
+                while j < end and self.toks[j].value != "{":
+                    j += 1
+                if j >= end:
+                    return
+                name_parts = [t.value for t in self.toks[i + 1:j]
+                              if t.kind == "id"]
+                close = self.match[j]
+                self._scan(j + 1, close, ns + name_parts, classes, bodies)
+                i = close + 1
+                stmt_start = i
+                continue
+            if v == "template":
+                i = self._skip_template_header(i + 1, end)
+                continue
+            if v in ("class", "struct") and not self._is_elaborated_use(i):
+                info = self._class_header(i, end)
+                if info is None:
+                    i += 1
+                    continue
+                name, body_open = info
+                if body_open is None:
+                    i = self._skip_to_semicolon(i, end)
+                    stmt_start = i
+                    continue
+                close = self.match[body_open]
+                self._scan(body_open + 1, close,
+                           ns, classes + [name], bodies)
+                i = self._skip_to_semicolon(close, end)
+                stmt_start = i
+                continue
+            if v == "enum":
+                i = self._skip_to_semicolon(i, end)
+                stmt_start = i
+                continue
+            if v in ("using", "typedef", "static_assert", "friend"):
+                if v == "using":
+                    self._record_alias(i, end)
+                i = self._skip_to_semicolon(i, end)
+                stmt_start = i
+                continue
+            if v in ("public", "private", "protected") and \
+                    i + 1 < end and self.toks[i + 1].value == ":":
+                i += 2
+                stmt_start = i
+                continue
+            if v == "operator":
+                # Skip operator functions wholesale (none are annotated).
+                i = self._skip_function_like(i, end)
+                stmt_start = i
+                continue
+            if v == "(" or tok.kind != "id":
+                i += 1
+                continue
+            # Candidate function: identifier followed by a '(' whose
+            # matching ')' leads to '{', ';', '=', ':' or trailing
+            # qualifiers.
+            handled = self._maybe_function(stmt_start, i, end, ns,
+                                           classes, bodies)
+            if handled is not None:
+                i = handled
+                stmt_start = i
+                continue
+            i += 1
+
+    def _record_alias(self, i: int, end: int) -> None:
+        """Records `using Name = Type;` so aliased unordered containers
+        (e.g. `using StateMap = std::unordered_map<...>`) stay visible to
+        the SA-103 type checks."""
+        toks = self.toks
+        if i + 2 >= end or toks[i + 1].kind != "id" or \
+                toks[i + 2].value != "=":
+            return
+        name = toks[i + 1].value
+        j = i + 3
+        type_toks: list[Token] = []
+        while j < end and toks[j].value != ";":
+            if toks[j].value in "([":
+                close = self.match.get(j)
+                if close is None:
+                    return
+                j = close + 1
+                continue
+            type_toks.append(toks[j])
+            j += 1
+        if type_toks:
+            self.symbols.aliases[name] = join_type(type_toks)
+
+    def _is_elaborated_use(self, i: int) -> bool:
+        """True for `class X*` / `friend class X;` style uses (no body and
+        part of a larger declaration) — heuristically: the previous token
+        is 'friend' or the declaration has no '{' before the next ';'."""
+        if i > 0 and self.toks[i - 1].value in ("friend", "enum"):
+            return True
+        return False
+
+    def _class_header(self, i: int, end: int):
+        """At 'class'/'struct': returns (name, body_open_index|None) or
+        None when this is not a class definition."""
+        j = i + 1
+        name = None
+        while j < end:
+            t = self.toks[j]
+            if t.kind == "id" and t.value not in ("final", "alignas"):
+                if name is None:
+                    name = t.value
+            if t.value == "{":
+                return (name or "<anon>", j)
+            if t.value in (";", "("):
+                return (name or "<anon>", None)
+            if t.value == ":":  # base clause; body follows
+                k = j
+                while k < end and self.toks[k].value != "{":
+                    if self.toks[k].value == ";":
+                        return (name or "<anon>", None)
+                    k += 1
+                if k < end:
+                    return (name or "<anon>", k)
+                return None
+            j += 1
+        return None
+
+    def _skip_template_header(self, i: int, end: int) -> int:
+        if i < end and self.toks[i].value == "<":
+            depth = 0
+            while i < end:
+                v = self.toks[i].value
+                if v == "<":
+                    depth += 1
+                elif v == ">":
+                    depth -= 1
+                    if depth == 0:
+                        return i + 1
+                elif v == ">>":
+                    depth -= 2
+                    if depth <= 0:
+                        return i + 1
+                i += 1
+        return i
+
+    def _skip_to_semicolon(self, i: int, end: int) -> int:
+        while i < end:
+            v = self.toks[i].value
+            if v == ";":
+                return i + 1
+            if v in "({[":
+                i = self.match[i] + 1
+                continue
+            i += 1
+        return end
+
+    def _skip_function_like(self, i: int, end: int) -> int:
+        """Skips past a declaration that may end with ';' or a '{...}'."""
+        while i < end:
+            v = self.toks[i].value
+            if v == ";":
+                return i + 1
+            if v == "(" or v == "[":
+                i = self.match[i] + 1
+                continue
+            if v == "{":
+                return self.match[i] + 1
+            i += 1
+        return end
+
+    # -- member declarations -------------------------------------------------
+
+    def _maybe_member_decl(self, start: int, semi: int, ns: list[str],
+                           classes: list[str]) -> None:
+        """Records `Type name_;` style members into the class table."""
+        toks = self.toks[start:semi]
+        if not toks or any(t.value == "(" for t in toks):
+            return  # functions handled elsewhere
+        # Strip default-member-init tail: `= expr` or `{expr}`.
+        cut = len(toks)
+        depth = 0
+        for idx, t in enumerate(toks):
+            if t.value in "<([":
+                depth += 1
+            elif t.value in ">)]":
+                depth -= 1
+            elif depth == 0 and t.value in ("=", "{"):
+                cut = idx
+                break
+        toks = toks[:cut]
+        if len(toks) < 2:
+            return
+        # Drop trailing array extents.
+        while toks and toks[-1].value == "]":
+            # find matching '['
+            d = 0
+            for k in range(len(toks) - 1, -1, -1):
+                if toks[k].value == "]":
+                    d += 1
+                elif toks[k].value == "[":
+                    d -= 1
+                    if d == 0:
+                        toks = toks[:k]
+                        break
+            else:
+                return
+        if not toks or toks[-1].kind != "id":
+            return
+        name = toks[-1].value
+        type_toks = [t for t in toks[:-1]
+                     if t.value not in SPECIFIERS]
+        if not type_toks:
+            return
+        type_str = join_type(type_toks)
+        if not type_str or type_str in ("const",):
+            return
+        cls = "::".join(classes)
+        self.symbols.members.setdefault(cls, {})[name] = type_str
+        self.symbols.members.setdefault(classes[-1], {})[name] = type_str
+
+    # -- function parsing ----------------------------------------------------
+
+    def _maybe_function(self, stmt_start: int, name_idx: int, end: int,
+                        ns: list[str], classes: list[str],
+                        bodies: bool):
+        """If the identifier at name_idx begins a function declarator,
+        parses it (and its body when present) and returns the index just
+        past it; otherwise returns None."""
+        toks = self.toks
+        if toks[name_idx].value in KEYWORDS:
+            return None
+        # Accumulate a qualified-name chain: id (:: id)*
+        j = name_idx
+        chain = [toks[j].value]
+        while j + 2 < end and toks[j + 1].value == "::" and \
+                toks[j + 2].kind == "id":
+            j += 2
+            chain.append(toks[j].value)
+        # Allow one template-argument list directly after a chain segment
+        # (e.g. `Result<AvgHistogram> Create(...)`: that's return type,
+        # handled below because chain then continues via another id).
+        if j + 1 >= end or toks[j + 1].value != "(":
+            return None
+        open_paren = j + 1
+        close_paren = self.match[open_paren]
+        # What follows the parameter list?
+        k = close_paren + 1
+        saw_arrow = False
+        while k < end:
+            v = toks[k].value
+            if v in ("const", "noexcept", "override", "final", "&", "&&",
+                     "mutable"):
+                k += 1
+                continue
+            if v == "->":
+                saw_arrow = True
+                k += 1
+                continue
+            if saw_arrow and (toks[k].kind == "id" or v in ("::", "<", ">",
+                                                            "*", "&")):
+                k += 1
+                continue
+            if v == "(":  # noexcept(...)
+                k = self.match[k] + 1
+                continue
+            break
+        if k >= end:
+            return None
+        terminator = toks[k].value
+        if terminator not in ("{", ";", "=", ":"):
+            return None
+        # Reject obvious non-functions: control flow, calls.
+        prefix = toks[stmt_start:name_idx]
+        prefix_vals = [t.value for t in prefix]
+        if chain[-1] in CONTROL_KEYWORDS:
+            return None
+        if not prefix and len(chain) == 1 and terminator in (";", "="):
+            return None  # bare call or assignment, not a declaration
+        # A declaration needs a return type (or be a constructor whose
+        # name matches the enclosing class / chain-qualified class).
+        is_ctor = (classes and chain[-1] == classes[-1]) or (
+            len(chain) >= 2 and chain[-1] == chain[-2]
+        )
+        type_toks = [t for t in prefix
+                     if t.value not in SPECIFIERS
+                     and t.value not in ANNOTATION_MACROS
+                     and t.kind != "str"]
+        if not type_toks and not is_ctor:
+            return None
+        if terminator == ":" and not is_ctor:
+            return None  # bit-field or label, not a ctor initializer
+        annotations = {ANNOTATION_MACROS[t.value] for t in prefix
+                       if t.value in ANNOTATION_MACROS}
+        return_type = join_type(type_toks)
+        # Qualified name: namespaces + enclosing classes + explicit
+        # qualifiers on the declarator chain.
+        qual = ns + classes + chain
+        qual_name = "::".join(qual)
+        # Parameters.
+        params = parse_params(toks[open_paren + 1:close_paren])
+        takes_deadline = any(
+            base_class_of(t) in ("Deadline", "CancellationToken")
+            for t in params.values()
+        )
+        fact = FunctionFact(
+            qual_name=qual_name,
+            file=self.rel,
+            line=toks[name_idx].line,
+            annotations=annotations,
+            takes_deadline=takes_deadline,
+            return_type=return_type,
+        )
+        if not bodies:
+            self.symbols.note_signature(qual_name, return_type, annotations,
+                                        takes_deadline)
+        body_open = None
+        if terminator == "{":
+            body_open = k
+        elif terminator == ":":
+            # Constructor initializer list: scan to the body brace.
+            d = k
+            while d < end:
+                if toks[d].value == "{":
+                    body_open = d
+                    break
+                if toks[d].value in "([":
+                    d = self.match[d] + 1
+                    continue
+                if toks[d].value == ";":
+                    break
+                d += 1
+        elif terminator == "=":
+            # `= default;` / `= delete;` / `= 0;`
+            return self._skip_to_semicolon(k, end)
+        if body_open is None:
+            if bodies:
+                self.functions.append(fact)
+            return k + 1 if terminator == ";" else \
+                self._skip_to_semicolon(k, end)
+        body_close = self.match[body_open]
+        if bodies:
+            fact.has_body = True
+            owner = "::".join(classes) if classes else (
+                "::".join(chain[:-1]) if len(chain) > 1 else "")
+            walker = BodyWalker(self, fact, params, owner)
+            walker.walk(body_open + 1, body_close, loop_depth=None)
+            self.functions.append(fact)
+        return body_close + 1
+
+
+def join_type(toks: list[Token]) -> str:
+    parts: list[str] = []
+    for t in toks:
+        if parts and t.kind == "id" and parts[-1] not in ("::", "<", ",",
+                                                          "(", "["):
+            parts.append(" " + t.value)
+        else:
+            parts.append(t.value)
+    return "".join(parts).strip()
+
+
+def parse_params(toks: list[Token]) -> dict[str, str]:
+    """'const Deadline& deadline, int64_t n' -> {name: type}."""
+    params: dict[str, str] = {}
+    if not toks:
+        return params
+    groups: list[list[Token]] = [[]]
+    depth = 0
+    for t in toks:
+        if t.value in "<([":
+            depth += 1
+        elif t.value in ">)]":
+            depth -= 1
+        elif t.value == ">>":
+            depth -= 2
+        if t.value == "," and depth <= 0:
+            groups.append([])
+            continue
+        groups[-1].append(t)
+    for g in groups:
+        # Strip default argument.
+        cut = len(g)
+        d = 0
+        for idx, t in enumerate(g):
+            if t.value in "<([":
+                d += 1
+            elif t.value in ">)]":
+                d -= 1
+            elif d == 0 and t.value == "=":
+                cut = idx
+                break
+        g = g[:cut]
+        if len(g) < 2 or g[-1].kind != "id":
+            continue
+        name = g[-1].value
+        type_str = join_type([t for t in g[:-1]
+                              if t.value not in SPECIFIERS])
+        if type_str:
+            params[name] = type_str
+    return params
+
+
+# ---------------------------------------------------------------------------
+# Function-body walker
+# ---------------------------------------------------------------------------
+
+
+class BodyWalker:
+    """Extracts facts from one function body (lambda bodies inline)."""
+
+    def __init__(self, parser: FileParser, fact: FunctionFact,
+                 params: dict[str, str], owner_class: str):
+        self.p = parser
+        self.fact = fact
+        self.locals: dict[str, str] = dict(params)
+        self.owner = owner_class
+        self.symbols = parser.symbols
+        self.loop_stack: list[LoopFact] = []
+
+    # The walk processes the token range statement by statement.
+    def walk(self, start: int, end: int, loop_depth) -> None:
+        toks = self.p.toks
+        i = start
+        while i < end:
+            t = toks[i]
+            v = t.value
+            if v == ";":
+                i += 1
+                continue
+            if v == "{":
+                close = self.p.match[i]
+                self.walk(i + 1, close, loop_depth)
+                i = close + 1
+                continue
+            if v in ("for", "while"):
+                i = self._loop(i, end)
+                continue
+            if v == "do":
+                # do { body } while (cond);
+                j = i + 1
+                if j < end and toks[j].value == "{":
+                    close = self.p.match[j]
+                    loop = self._push_loop(toks[i].line)
+                    self.walk(j + 1, close, None)
+                    self._pop_loop(loop)
+                    i = self.p._skip_to_semicolon(close + 1, end)
+                else:
+                    i += 1
+                continue
+            if v in ("if", "switch"):
+                j = i + 1
+                if j < end and toks[j].value == "(":
+                    cond_close = self.p.match[j]
+                    self._scan_expression(j + 1, cond_close)
+                    i = cond_close + 1
+                else:
+                    i += 1
+                continue
+            if v in ("else", "try", "public", "private", "protected",
+                     "case", "default", "break", "continue", "goto"):
+                i += 1
+                continue
+            if v == "catch":
+                j = i + 1
+                if j < end and toks[j].value == "(":
+                    i = self.p.match[j] + 1
+                else:
+                    i += 1
+                continue
+            if v == "return":
+                semi = self._find_semicolon(i + 1, end)
+                self._scan_expression(i + 1, semi)
+                self._check_narrowing(
+                    self.fact.return_type, i + 1, semi, toks[i].line
+                )
+                i = semi + 1
+                continue
+            if v in ("class", "struct", "enum", "using", "typedef",
+                     "static_assert"):
+                if v == "using":
+                    self.p._record_alias(i, end)
+                i = self.p._skip_to_semicolon(i, end)
+                continue
+            # Generic statement: declaration or expression.
+            semi = self._find_semicolon(i, end)
+            self._statement(i, semi)
+            i = semi + 1
+
+    def _find_semicolon(self, i: int, end: int) -> int:
+        toks = self.p.toks
+        while i < end:
+            v = toks[i].value
+            if v == ";":
+                return i
+            if v in "({[":
+                i = self.p.match[i] + 1
+                continue
+            if v == "}":
+                return i
+            i += 1
+        return end
+
+    # -- loops ---------------------------------------------------------------
+
+    def _push_loop(self, line: int) -> LoopFact:
+        loop = LoopFact(file=self.p.rel, line=line,
+                        depth=len(self.loop_stack), polls=False, callees=[])
+        self.loop_stack.append(loop)
+        self.fact.loops.append(loop)
+        return loop
+
+    def _pop_loop(self, loop: LoopFact) -> None:
+        assert self.loop_stack and self.loop_stack[-1] is loop
+        self.loop_stack.pop()
+
+    def _loop(self, i: int, end: int) -> int:
+        """Handles `for (...) stmt` and `while (...) stmt`."""
+        toks = self.p.toks
+        kw = toks[i].value
+        line = toks[i].line
+        j = i + 1
+        if j >= end or toks[j].value != "(":
+            return i + 1
+        head_close = self.p.match[j]
+        loop = self._push_loop(line)
+        if kw == "for":
+            self._for_header(j + 1, head_close, line)
+        else:
+            self._scan_expression(j + 1, head_close)
+        # Body: block or single statement.
+        k = head_close + 1
+        if k < end and toks[k].value == "{":
+            close = self.p.match[k]
+            self.walk(k + 1, close, None)
+            self._pop_loop(loop)
+            return close + 1
+        semi = self._find_semicolon(k, end)
+        if k < end and toks[k].value in ("for", "while", "do", "if"):
+            # Single nested control statement: walk a synthetic range.
+            self.walk(k, semi + 1, None)
+        else:
+            self._statement(k, semi)
+        self._pop_loop(loop)
+        return semi + 1
+
+    def _for_header(self, start: int, end: int, line: int) -> None:
+        """Parses a for-header: either init;cond;inc or a range-for."""
+        toks = self.p.toks
+        # Find a top-level ':' (range-for) that is not '::' and not in a
+        # ternary — the lexer already folds '::'.
+        depth = 0
+        colon = None
+        semis = []
+        for idx in range(start, end):
+            v = toks[idx].value
+            if v in "<([{":
+                depth += 1
+            elif v in ">)]}":
+                depth -= 1
+            elif depth == 0 and v == ":":
+                colon = idx
+                break
+            elif depth == 0 and v == ";":
+                semis.append(idx)
+        if colon is not None:
+            self._range_for(start, colon, end, line)
+            return
+        # Classic for: the init clause may declare the loop variable.
+        init_end = semis[0] if semis else end
+        self._statement(start, init_end)
+        self._scan_expression(init_end + 1, end)
+
+    def _range_for(self, start: int, colon: int, end: int,
+                   line: int) -> None:
+        toks = self.p.toks
+        # Declared loop variable(s).
+        decl = toks[start:colon]
+        range_type = self._expr_type(colon + 1, end)
+        # Record the loop variable type when the element type is clear.
+        range_type = self._expand_alias(range_type)
+        names = [t.value for t in decl if t.kind == "id"
+                 and t.value not in SPECIFIERS and t.value != "auto"]
+        if names:
+            var = names[-1]
+            elem = element_type(range_type)
+            if elem:
+                self.locals[var] = elem
+        if range_type and "unordered_" in range_type:
+            self.fact.unordered_iters.append(Site(
+                self.p.rel, line,
+                f"range-for over {range_type}"
+            ))
+        self._scan_expression(colon + 1, end)
+
+    # -- statements ----------------------------------------------------------
+
+    def _statement(self, start: int, end: int) -> None:
+        """One statement (no trailing ';'): record declarations, calls,
+        allocation/blocking evidence, narrowing."""
+        toks = self.p.toks
+        if start >= end:
+            return
+        decl = self._try_declaration(start, end)
+        if decl is not None:
+            name, type_str, init_start = decl
+            if type_str != "auto":
+                self.locals[name] = type_str
+            # Lock / stream guards (blocking by construction).
+            if any(m in type_str for m in LOCK_TYPES):
+                self.fact.blocking.append(Site(
+                    self.p.rel, toks[start].line,
+                    f"{type_str} {name} acquires a lock or opens a stream"
+                ))
+            # Owning container constructed with arguments allocates.
+            if init_start is not None and \
+                    any(m in type_str for m in OWNING_CONTAINER_MARKERS):
+                self.fact.allocs.append(Site(
+                    self.p.rel, toks[start].line,
+                    f"constructs {type_str} {name} (owning container)"
+                ))
+            if init_start is not None:
+                if type_str == "auto":
+                    rhs_type = self._expr_type(init_start, end)
+                    if rhs_type:
+                        self.locals[name] = rhs_type
+                self._check_narrowing(self.locals.get(name),
+                                      init_start, end, toks[start].line)
+                self._scan_expression(init_start, end)
+            return
+        # Assignment to a known variable?
+        if end - start >= 2 and toks[start].kind == "id":
+            # chain = ... ?
+            j = start
+            while j + 1 < end and toks[j + 1].value in (".", "->", "::") \
+                    and j + 2 < end and toks[j + 2].kind == "id":
+                j += 2
+            if j + 1 < end and toks[j + 1].value == "=":
+                lhs_type = self._chain_type(start, j + 1)
+                self._check_narrowing(lhs_type, j + 2, end,
+                                      toks[start].line)
+        self._scan_expression(start, end)
+
+    def _try_declaration(self, start: int, end: int):
+        """Returns (name, type_str, init_start|None) when [start,end)
+        looks like a local variable declaration."""
+        toks = self.p.toks
+        i = start
+        type_toks: list[Token] = []
+        saw_type_id = False
+        while i < end:
+            t = toks[i]
+            v = t.value
+            if v in SPECIFIERS or v == "const":
+                type_toks.append(t)
+                i += 1
+                continue
+            if t.kind == "id" and v not in KEYWORDS:
+                # Part of the type chain, or the declared name?
+                nxt = toks[i + 1].value if i + 1 < end else ";"
+                if nxt in ("::",):
+                    type_toks.append(t)
+                    type_toks.append(toks[i + 1])
+                    i += 2
+                    continue
+                if nxt == "<" and self._angle_close(i + 1, end) is not None:
+                    close = self._angle_close(i + 1, end)
+                    type_toks.extend(toks[i:close + 1])
+                    i = close + 1
+                    saw_type_id = True
+                    continue
+                if saw_type_id or \
+                        (type_toks and type_toks[-1].value in
+                         (">", "&", "*", ">>")):
+                    # Previous tokens formed a type; this is the name.
+                    name = v
+                    if nxt == "=":
+                        return (name, join_type(
+                            [x for x in type_toks
+                             if x.value not in SPECIFIERS]), i + 2)
+                    if nxt in ("{", "("):
+                        open_idx = i + 1
+                        close_idx = self.p.match.get(open_idx)
+                        if close_idx is None:
+                            return None
+                        # `name(args)` init vs function call: here we
+                        # already know a type preceded the name.
+                        has_init = close_idx > open_idx + 1
+                        return (name, join_type(
+                            [x for x in type_toks
+                             if x.value not in SPECIFIERS]),
+                            open_idx + 1 if has_init else None)
+                    if nxt in (";", ",") or i + 1 >= end:
+                        return (name, join_type(
+                            [x for x in type_toks
+                             if x.value not in SPECIFIERS]), None)
+                    return None
+                type_toks.append(t)
+                saw_type_id = True
+                i += 1
+                continue
+            if v in ("auto", "bool", "int", "char", "double", "float",
+                     "long", "short", "unsigned", "signed", "void"):
+                type_toks.append(t)
+                saw_type_id = True
+                i += 1
+                continue
+            if v in ("&", "*", "&&"):
+                if not saw_type_id:
+                    return None
+                type_toks.append(t)
+                i += 1
+                continue
+            if v == "[" and type_toks and type_toks[-1].value == "auto":
+                # Structured binding: names get no single type.
+                close = self.p.match.get(i)
+                if close is None:
+                    return None
+                eq = close + 1
+                if eq < end and toks[eq].value == "=":
+                    self._scan_expression(eq + 1, end)
+                return None
+            return None
+        return None
+
+    def _angle_close(self, open_idx: int, end: int):
+        """Matches a template argument list starting at '<'; returns the
+        index of the closing '>' or None when it is a comparison."""
+        depth = 0
+        i = open_idx
+        while i < end:
+            v = self.p.toks[i].value
+            if v == "<":
+                depth += 1
+            elif v == ">":
+                depth -= 1
+                if depth == 0:
+                    return i
+            elif v == ">>":
+                depth -= 2
+                if depth <= 0:
+                    return i
+            elif v in (";", "{", "}") or (depth == 1 and v in
+                                          ("&&", "||", "==")):
+                return None
+            i += 1
+        return None
+
+    # -- expressions ---------------------------------------------------------
+
+    def _expr_type(self, start: int, end: int):
+        """Best-effort type of a simple expression: an identifier chain
+        (`synopsis_.coefficients()` / `options.deadline`), optionally a
+        trailing call whose return type is known. None when unclear."""
+        toks = self.p.toks
+        segs: list[str] = []
+        i = start
+        trailing_call = False
+        while i < end:
+            t = toks[i]
+            if t.kind == "id":
+                segs.append(t.value)
+                i += 1
+                if i < end and toks[i].value == "[":
+                    # Indexed expression `layers[k][n]`: peel container
+                    # element types through each subscript.
+                    cur = self._expand_alias(
+                        self._resolve_chain_type(segs))
+                    while i < end and toks[i].value == "[":
+                        close = self.p.match.get(i)
+                        if close is None or cur is None:
+                            return None
+                        cur = self._expand_alias(element_type(cur))
+                        i = close + 1
+                    if i < end:
+                        return None
+                    return cur
+                if i < end and toks[i].value == "(":
+                    close = self.p.match.get(i)
+                    if close is None:
+                        return None
+                    trailing_call = True
+                    i = close + 1
+                    if i < end and toks[i].value in (".", "->"):
+                        # `f(x).g` chains: type of the rest unknown.
+                        return None
+                    if i < end:
+                        return None
+                    # Chain ends in a call: resolve through accessor
+                    # return type when the receiver chain types out.
+                    break
+                continue
+            if t.value in (".", "->", "::"):
+                i += 1
+                continue
+            if t.value == "*" and i == start:
+                i += 1
+                continue
+            return None
+        if not segs:
+            return None
+        if trailing_call:
+            # `recv.accessor()` — the accessor's return type if known,
+            # else a member with the accessor's name (the repo uses
+            # `name()` accessors over `name_` members).
+            recv_type = self._resolve_chain_type(segs[:-1]) if \
+                len(segs) > 1 else None
+            cls = base_class_of(recv_type) if recv_type else None
+            if cls:
+                members = self.symbols.members.get(cls, {})
+                for candidate in (segs[-1] + "_", segs[-1]):
+                    if candidate in members:
+                        return members[candidate]
+            return self.symbols.return_type_of(segs[-1])
+        return self._resolve_chain_type(segs)
+
+    def _scan_expression(self, start: int, end: int) -> None:
+        """Records calls, `new`, allocation/blocking evidence, and lambda
+        bodies (walked inline) within [start, end)."""
+        toks = self.p.toks
+        i = start
+        while i < end:
+            t = toks[i]
+            v = t.value
+            if v == "new":
+                self.fact.allocs.append(Site(
+                    self.p.rel, t.line, "operator new"
+                ))
+                i += 1
+                continue
+            if v == "[" and self._is_lambda_intro(i, end):
+                i = self._lambda(i, end)
+                continue
+            if v == "static_cast" or v == "reinterpret_cast" or \
+                    v == "const_cast":
+                # Skip the <T> but scan the argument.
+                close = self._angle_close(i + 1, end)
+                i = close + 1 if close is not None else i + 1
+                continue
+            if t.kind == "id" and i + 1 < end and \
+                    toks[i + 1].value == "(" and v not in CONTROL_KEYWORDS:
+                self._call(i)
+                i += 1
+                continue
+            i += 1
+
+    def _is_lambda_intro(self, i: int, end: int) -> bool:
+        close = self.p.match.get(i)
+        if close is None:
+            return False
+        j = close + 1
+        if j < end and self.p.toks[j].value == "(":
+            pc = self.p.match.get(j)
+            if pc is None:
+                return False
+            j = pc + 1
+        while j < end and self.p.toks[j].value in (
+                "mutable", "noexcept", "constexpr"):
+            j += 1
+        if j < end and self.p.toks[j].value == "->":
+            while j < end and self.p.toks[j].value != "{":
+                j += 1
+        return j < end and self.p.toks[j].value == "{"
+
+    def _lambda(self, i: int, end: int) -> int:
+        """Walks a lambda body inline (its facts belong to the enclosing
+        function — ParallelFor bodies are the hot DP loops)."""
+        toks = self.p.toks
+        close = self.p.match[i]
+        j = close + 1
+        if j < end and toks[j].value == "(":
+            params = parse_params(toks[j + 1:self.p.match[j]])
+            self.locals.update(params)
+            j = self.p.match[j] + 1
+        while j < end and toks[j].value != "{":
+            j += 1
+        if j >= end:
+            return close + 1
+        body_close = self.p.match[j]
+        self.walk(j + 1, body_close, None)
+        return body_close + 1
+
+    def _chain_at(self, i: int):
+        """Reads an identifier chain ending at index i (inclusive):
+        returns (segments, separators) walking backwards over
+        id (./->/::) id sequences."""
+        toks = self.p.toks
+        segs = [toks[i].value]
+        j = i
+        while j - 2 >= 0 and toks[j - 1].value in (".", "->", "::") and \
+                toks[j - 2].kind in ("id",):
+            segs.append(toks[j - 2].value)
+            j -= 2
+        # A chain hanging off a call or index result: `f(x).value()`.
+        hangs_off_call = (j - 1 >= 0 and toks[j - 1].value in (")", "]")
+                          and len(segs) >= 1 and j - 1 >= 0
+                          and toks[j - 1].value == ")")
+        segs.reverse()
+        return segs, j, hangs_off_call
+
+    def _chain_type(self, start: int, end: int):
+        """Type of an l-value chain `a.b.c` using the symbol tables."""
+        toks = self.p.toks
+        segs = [t.value for t in toks[start:end] if t.kind == "id"]
+        return self._resolve_chain_type(segs)
+
+    def _resolve_chain_type(self, segs: list[str]):
+        if not segs:
+            return None
+        head_type = self._name_type(segs[0])
+        if head_type is None:
+            return None
+        for seg in segs[1:]:
+            cls = base_class_of(head_type)
+            if cls is None:
+                return None
+            members = self.symbols.members.get(cls, {})
+            head_type = members.get(seg)
+            if head_type is None:
+                return None
+        return head_type
+
+    def _expand_alias(self, type_str):
+        """Expands a `using` alias: 'const StateMap&' ->
+        'std::unordered_map<Key,Entry,KeyHash>'."""
+        if not type_str:
+            return type_str
+        bare = type_str.replace("const", "").replace("&", "") \
+            .replace("*", "").strip()
+        return self.symbols.aliases.get(bare, type_str)
+
+    def _name_type(self, name: str):
+        if name == "this":
+            return self.owner or None
+        if name in self.locals:
+            return self.locals[name]
+        if self.owner:
+            for cls in (self.owner, self.owner.split("::")[-1]):
+                members = self.symbols.members.get(cls, {})
+                if name in members:
+                    return members[name]
+        return None
+
+    def _call(self, name_idx: int) -> None:
+        """Records one call site (the identifier before a '(')."""
+        toks = self.p.toks
+        segs, chain_start, hangs_off_call = self._chain_at(name_idx)
+        method = segs[-1]
+        line = toks[name_idx].line
+        receiver_type = None
+        callee_key = method
+        if len(segs) > 1:
+            # `std::sort` style qualification or `obj.method`.
+            sep = toks[chain_start + 1].value if chain_start + 1 < len(toks) \
+                else "."
+            if sep == "::":
+                callee_key = "::".join(segs)
+            else:
+                receiver_type = self._resolve_chain_type(segs[:-1])
+                cls = base_class_of(receiver_type)
+                if cls:
+                    callee_key = f"{cls}::{method}"
+                else:
+                    callee_key = method
+        self.fact.calls.append(Site(self.p.rel, line, callee_key))
+        for loop in self.loop_stack:
+            loop.callees.append(callee_key)
+        # Allocation evidence.
+        if method in ALLOC_CALLS:
+            self.fact.allocs.append(Site(
+                self.p.rel, line, f"call to allocating '{method}'"
+            ))
+        # Blocking evidence.
+        if method in BLOCKING_CALLS:
+            self.fact.blocking.append(Site(
+                self.p.rel, line, f"call to blocking '{method}'"
+            ))
+        # Deadline poll evidence (typed receiver, or a receiver whose
+        # name unambiguously names the deadline/token).
+        if method in POLL_METHODS and self.loop_stack:
+            receiver_cls = base_class_of(receiver_type)
+            named = len(segs) > 1 and any(
+                s.split("_")[0] in POLL_RECEIVER_NAMES
+                for s in segs[:-1]
+            )
+            if receiver_cls in POLL_RECEIVER_TYPES or named:
+                for loop in self.loop_stack:
+                    loop.polls = True
+        # Iterator-style loop over an unordered container:
+        # `x.begin()` inside a loop header is handled by the range-for
+        # path; `for (auto it = m.begin(); ...)` lands here.
+        if method == "begin" and self.loop_stack and len(segs) > 1:
+            rtype = self._expand_alias(self._resolve_chain_type(segs[:-1]))
+            if rtype and "unordered_" in rtype:
+                self.fact.unordered_iters.append(Site(
+                    self.p.rel, line,
+                    f"iterator loop over {rtype}"
+                ))
+
+    # -- SA-104 --------------------------------------------------------------
+
+    OVERFLOW_OPS = {"*", "<<"}
+
+    def _check_narrowing(self, lhs_type, start: int, end: int,
+                         line: int) -> None:
+        lhs = int_class(lhs_type)
+        if lhs is None or start >= end:
+            return
+        info = self._expr_int_info(start, end)
+        if info is None:
+            return
+        cls, has_overflow_op, has_explicit_cast, widest = info
+        if lhs == 64 and cls == 32 and has_overflow_op:
+            self.fact.narrowing.append(Site(
+                self.p.rel, line,
+                "32-bit arithmetic widens to a 64-bit destination after "
+                "the operation — the product/shift can overflow before "
+                "the widening (cast an operand to int64_t first)"
+            ))
+        elif lhs == 32 and widest == 64 and not has_explicit_cast:
+            self.fact.narrowing.append(Site(
+                self.p.rel, line,
+                "64-bit value narrows implicitly to a 32-bit "
+                "destination — make the truncation explicit or widen "
+                "the destination"
+            ))
+
+    def _expr_int_info(self, start: int, end: int):
+        """Analyzes an initializer/assignment RHS: returns
+        (int_class, has_overflow_op, has_explicit_cast, widest_operand)
+        or None when any operand's type is unknown/non-integer."""
+        toks = self.p.toks
+        classes: list[int] = []
+        has_op = False
+        has_cast = False
+        i = start
+        while i < end:
+            t = toks[i]
+            v = t.value
+            if v == "static_cast":
+                has_cast = True
+                close = self._angle_close(i + 1, end)
+                if close is None:
+                    return None
+                target = join_type(toks[i + 2:close])
+                cls = int_class(target)
+                if cls is None:
+                    return None
+                classes.append(cls)
+                # Skip the cast argument entirely (it is explicit).
+                if close + 1 < end and toks[close + 1].value == "(":
+                    i = self.p.match[close + 1] + 1
+                else:
+                    i = close + 1
+                continue
+            if t.kind == "num":
+                if any(s in v.lower() for s in ("ll", "ull", "ul")):
+                    classes.append(64)
+                elif "." in v or "e" in v.lower() or "f" in v.lower():
+                    return None
+                else:
+                    try:
+                        classes.append(
+                            32 if abs(int(v, 0)) <= 0x7FFFFFFF else 64)
+                    except ValueError:
+                        return None
+                i += 1
+                continue
+            if t.kind == "id":
+                # Identifier chain; a call makes the type unknown.
+                j = i
+                segs = [v]
+                while j + 2 < end and toks[j + 1].value in (".", "->",
+                                                            "::") and \
+                        toks[j + 2].kind == "id":
+                    j += 2
+                    segs.append(toks[j].value)
+                if j + 1 < end and toks[j + 1].value == "(":
+                    # Known function with an integer return type keeps
+                    # the analysis alive; anything else bails out.
+                    ret = self.symbols.return_type_of(segs[-1])
+                    cls = int_class(ret)
+                    if cls is None:
+                        return None
+                    classes.append(cls)
+                    i = self.p.match[j + 1] + 1
+                    continue
+                chain_type = self._resolve_chain_type(segs)
+                cls = int_class(chain_type)
+                if cls is None:
+                    return None
+                classes.append(cls)
+                i = j + 1
+                continue
+            if v in self.OVERFLOW_OPS:
+                has_op = True
+                i += 1
+                continue
+            if v in ("+", "-", "/", "%", "(", ")", ">>", "&", "|", "^",
+                     "~", "?", ":", "<", ">", "<=", ">=", "==", "!="):
+                i += 1
+                continue
+            if v == "[":
+                close = self.p.match.get(i)
+                if close is None:
+                    return None
+                i = close + 1
+                continue
+            return None
+        if not classes:
+            return None
+        widest = max(classes)
+        cls = 32 if widest <= 32 else 64
+        return (cls, has_op, has_cast, widest)
+
+
+def element_type(container_type):
+    """'std::vector<LambdaState>' -> 'LambdaState';
+    'std::unordered_map<K,V>' -> None (pair elements untracked)."""
+    if not container_type:
+        return None
+    open_idx = container_type.find("<")
+    if open_idx == -1 or not container_type.endswith(">"):
+        return None
+    inner = container_type[open_idx + 1:-1]
+    if "," in inner:
+        return None
+    return inner.strip()
+
+
+# ---------------------------------------------------------------------------
+# Symbol table shared across the file set
+# ---------------------------------------------------------------------------
+
+
+class SymbolTable:
+    def __init__(self):
+        # class name (qualified and bare) -> {member: type}
+        self.members: dict[str, dict[str, str]] = {}
+        # `using Name = Type;` aliases (any scope; names collide rarely
+        # and a wrong expansion only widens, never silences, a check).
+        self.aliases: dict[str, str] = {}
+        # bare function name -> return type (last writer wins; used only
+        # for SA-104 where a wrong guess disables rather than misfires).
+        self._returns: dict[str, str] = {}
+        # qualified name -> annotation set (merged over decls).
+        self.annotations: dict[str, set[str]] = {}
+        self.deadline_takers: set[str] = set()
+
+    def note_signature(self, qual_name: str, return_type: str,
+                       annotations: set[str], takes_deadline: bool):
+        bare = qual_name.split("::")[-1]
+        if return_type:
+            existing = self._returns.get(bare)
+            if existing is not None and existing != return_type:
+                self._returns[bare] = "?ambiguous?"
+            elif existing is None:
+                self._returns[bare] = return_type
+        if annotations:
+            self.annotations.setdefault(qual_name, set()).update(annotations)
+        if takes_deadline:
+            self.deadline_takers.add(qual_name)
+
+    def return_type_of(self, bare_name: str):
+        t = self._returns.get(bare_name)
+        return None if t == "?ambiguous?" else t
+
+
+# ---------------------------------------------------------------------------
+# Frontend entry point
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class ParseResult:
+    functions: list[FunctionFact]
+    unparsed: list[tuple[str, str]]  # (file, reason)
+    symbols: SymbolTable
+
+
+def parse_files(paths: list[pathlib.Path],
+                repo_root: pathlib.Path) -> ParseResult:
+    """Parses the given files (headers and sources alike) into facts.
+    Two passes: signatures/member tables first, then bodies, so
+    out-of-line methods can resolve member and return types that live in
+    another file."""
+    symbols = SymbolTable()
+    parsers: list[FileParser] = []
+    unparsed: list[tuple[str, str]] = []
+    for path in paths:
+        try:
+            rel = path.resolve().relative_to(repo_root.resolve()).as_posix()
+        except ValueError:
+            rel = path.as_posix()
+        try:
+            text = path.read_text(encoding="utf-8", errors="replace")
+            tokens, _ = lex(text)
+            match = match_brackets(tokens)
+        except ParseError as err:
+            unparsed.append((rel, str(err)))
+            continue
+        parsers.append(FileParser(rel, tokens, match, symbols))
+    for parser in parsers:
+        try:
+            parser.collect_signatures()
+        except ParseError as err:  # pragma: no cover - recovery path
+            unparsed.append((parser.rel, str(err)))
+    functions: list[FunctionFact] = []
+    for parser in parsers:
+        try:
+            parser.collect_bodies()
+            functions.extend(parser.functions)
+        except ParseError as err:  # pragma: no cover - recovery path
+            unparsed.append((parser.rel, str(err)))
+    # Merge signature-pass annotations into the body facts.
+    for fact in functions:
+        extra = symbols.annotations.get(fact.qual_name)
+        if extra:
+            fact.annotations.update(extra)
+        if fact.qual_name in symbols.deadline_takers:
+            fact.takes_deadline = True
+    return ParseResult(functions=functions, unparsed=unparsed,
+                       symbols=symbols)

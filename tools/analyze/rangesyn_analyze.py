@@ -1,0 +1,613 @@
+#!/usr/bin/env python3
+"""rangesyn-analyze: AST-grounded hot-path contract checking.
+
+Enforces the contracts declared through src/core/analysis_annotations.h
+(`RANGESYN_HOT_PATH`, `RANGESYN_COLD_PATH`, `RANGESYN_CANCELLABLE`,
+`RANGESYN_DETERMINISTIC`) by walking the call graph interprocedurally
+over function-level facts extracted by one of two AST frontends:
+
+  - clang   : libclang (clang.cindex) over compile_commands.json — the
+              CI configuration; type- and macro-expansion-accurate.
+  - fallback: a dependency-free C++ lexer/parser (cpp_frontend.py) that
+              extracts the same fact model from the repository's C++
+              subset, so the checks also run on toolchains without the
+              clang Python bindings (including the local ctest gate).
+
+Both frontends emit the same neutral facts (functions, calls, allocation
+and blocking evidence, loops with poll evidence, unordered-container
+iteration, narrowing arithmetic); every check below consumes only those
+facts — no check ever pattern-matches raw source text.
+
+Checks (DESIGN.md §6.4):
+
+  SA-101  heap allocation reachable from a RANGESYN_HOT_PATH function
+  SA-102  mutex acquisition / blocking call reachable from a hot path
+  SA-103  unordered-container iteration reachable from a
+          RANGESYN_DETERMINISTIC function (iteration order can escape
+          into results or serialized output)
+  SA-104  narrowing / overflow-before-widening integer arithmetic in
+          DP/wavelet index expressions (the PR-1 NumRanges bug class)
+  SA-105  an outermost loop in a RANGESYN_CANCELLABLE builder that never
+          polls Deadline::Check()/Expired() (directly or via a
+          deadline-taking callee)
+
+Conventions mirror tools/lint/rangesyn_lint.py: inline waivers
+(`// analyze: waive(SA-103) reason`), a TOML baseline with mandatory
+reasons and stale-entry warnings, `--json`, and exit status 1 when any
+non-waived finding remains.
+"""
+
+from __future__ import annotations
+
+import argparse
+import collections
+import dataclasses
+import json
+import pathlib
+import re
+import sys
+
+try:
+    import tomllib
+except ModuleNotFoundError:  # pragma: no cover - Python < 3.11
+    tomllib = None
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+
+import cpp_frontend  # noqa: E402
+from cpp_frontend import FunctionFact, LoopFact, Site  # noqa: E402,F401
+
+CHECKS = {
+    "SA-101": "Heap allocation reachable from a RANGESYN_HOT_PATH function",
+    "SA-102": "Mutex acquisition or blocking call reachable from a "
+              "RANGESYN_HOT_PATH function",
+    "SA-103": "Unordered-container iteration reachable from a "
+              "RANGESYN_DETERMINISTIC function",
+    "SA-104": "Narrowing or overflow-before-widening integer arithmetic "
+              "in DP/wavelet index expressions",
+    "SA-105": "Outermost loop in a RANGESYN_CANCELLABLE builder that "
+              "never polls Deadline::Check()",
+}
+
+SOURCE_SUFFIXES = {".h", ".hpp", ".cc", ".cpp", ".cxx"}
+
+
+@dataclasses.dataclass
+class Finding:
+    check: str
+    path: str
+    line: int
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}: {self.check}: {self.message}"
+
+
+# ---------------------------------------------------------------------------
+# Waivers (same shape as rangesyn-lint, under the `analyze:` tag)
+# ---------------------------------------------------------------------------
+
+WAIVER_RE = re.compile(
+    r"//\s*analyze:\s*waive\((?P<checks>SA-\d{3}(?:\s*,\s*SA-\d{3})*)\)"
+    r"(?P<reason>.*)$"
+)
+
+
+def parse_waivers(text: str):
+    """Returns {line: set(checks)} — a waiver covers its own line; a
+    waiver alone on a line covers the next code line (the justification
+    may continue over following //-comment lines, which are skipped).
+    Waivers with no reason are reported (every waiver carries a written
+    justification)."""
+    lines = text.splitlines()
+    waived: dict[int, set[str]] = {}
+    bad: list[tuple[int, str]] = []
+    for lineno, line in enumerate(lines, start=1):
+        m = WAIVER_RE.search(line)
+        if not m:
+            continue
+        checks = {c.strip() for c in m.group("checks").split(",")}
+        if not m.group("reason").strip():
+            bad.append((lineno, "waiver missing justification"))
+        target = lineno
+        if line.strip().startswith("//"):
+            target = lineno + 1
+            while (target <= len(lines)
+                   and lines[target - 1].strip().startswith("//")):
+                target += 1
+        waived.setdefault(target, set()).update(checks)
+    return waived, bad
+
+
+# ---------------------------------------------------------------------------
+# Baseline / config
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class BaselineEntry:
+    check: str
+    file: str
+    contains: str
+    reason: str
+    used: bool = False
+
+    def matches(self, finding: Finding, line_text: str) -> bool:
+        if self.check != finding.check:
+            return False
+        if not finding.path.endswith(self.file):
+            return False
+        return self.contains in line_text
+
+
+@dataclasses.dataclass
+class Config:
+    roots: list[str]
+    sa104_roots: list[str]
+    cold_functions: set[str]
+    baseline: list[BaselineEntry]
+
+
+DEFAULT_CONFIG = Config(
+    roots=["src", "bench"],
+    sa104_roots=["src/histogram", "src/wavelet"],
+    cold_functions=set(),
+    baseline=[],
+)
+
+
+def load_config(path: pathlib.Path) -> Config:
+    if tomllib is None:
+        raise SystemExit("rangesyn-analyze requires Python 3.11+ (tomllib)")
+    data = tomllib.loads(path.read_text(encoding="utf-8"))
+    section = data.get("analyze", {})
+    baseline = []
+    for entry in data.get("baseline", []):
+        if "reason" not in entry or not str(entry["reason"]).strip():
+            raise SystemExit(
+                f"{path}: baseline entry {entry!r} has no reason; every "
+                "suppression carries a written justification"
+            )
+        baseline.append(BaselineEntry(
+            check=entry["check"],
+            file=entry["file"],
+            contains=entry.get("contains", ""),
+            reason=entry["reason"],
+        ))
+    return Config(
+        roots=list(section.get("roots", DEFAULT_CONFIG.roots)),
+        sa104_roots=list(section.get(
+            "sa104_roots", DEFAULT_CONFIG.sa104_roots)),
+        cold_functions=set(section.get("cold_functions", [])),
+        baseline=baseline,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Merged call-graph index
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class MergedFunction:
+    qual_name: str
+    annotations: set[str] = dataclasses.field(default_factory=set)
+    has_body: bool = False
+    takes_deadline: bool = False
+    file: str = ""
+    line: int = 0
+    calls: list[Site] = dataclasses.field(default_factory=list)
+    allocs: list[Site] = dataclasses.field(default_factory=list)
+    blocking: list[Site] = dataclasses.field(default_factory=list)
+    unordered_iters: list[Site] = dataclasses.field(default_factory=list)
+    narrowing: list[Site] = dataclasses.field(default_factory=list)
+    loops: list[LoopFact] = dataclasses.field(default_factory=list)
+
+
+class Index:
+    """Functions merged by qualified name (declarations join definitions;
+    overloads join each other) plus suffix-based callee resolution."""
+
+    def __init__(self, functions: list[FunctionFact],
+                 cold_functions: set[str]):
+        self.by_qual: dict[str, MergedFunction] = {}
+        for fact in functions:
+            m = self.by_qual.setdefault(
+                fact.qual_name, MergedFunction(qual_name=fact.qual_name))
+            m.annotations.update(fact.annotations)
+            m.takes_deadline = m.takes_deadline or fact.takes_deadline
+            if fact.has_body or not m.file:
+                m.file = fact.file
+                m.line = fact.line
+            m.has_body = m.has_body or fact.has_body
+            m.calls.extend(fact.calls)
+            m.allocs.extend(fact.allocs)
+            m.blocking.extend(fact.blocking)
+            m.unordered_iters.extend(fact.unordered_iters)
+            m.narrowing.extend(fact.narrowing)
+            m.loops.extend(fact.loops)
+        for qual in cold_functions:
+            if qual in self.by_qual:
+                self.by_qual[qual].annotations.add("cold_path")
+        # Suffix map: 'EstimateRange', 'AvgHistogram::EstimateRange', ...
+        # all resolve to the qualified names they end.
+        self.suffixes: dict[str, list[str]] = collections.defaultdict(list)
+        for qual in self.by_qual:
+            parts = qual.split("::")
+            for k in range(1, len(parts) + 1):
+                self.suffixes["::".join(parts[-k:])].append(qual)
+        self._cold_names = cold_functions
+
+    def resolve(self, callee_key: str) -> list[MergedFunction]:
+        """Resolves a callee key (bare name, 'Class::method', or a
+        namespace-qualified name) to merged functions. When the typed
+        resolution only reaches bodiless declarations (an abstract
+        interface), widens to every same-named method with a body so
+        virtual dispatch stays inside the walk."""
+        quals = self.suffixes.get(callee_key, [])
+        resolved = [self.by_qual[q] for q in quals]
+        if resolved and all(not m.has_body for m in resolved):
+            bare = callee_key.split("::")[-1]
+            widened = [self.by_qual[q] for q in self.suffixes.get(bare, [])]
+            with_bodies = [m for m in widened if m.has_body]
+            if with_bodies:
+                return resolved + with_bodies
+        return resolved
+
+    def annotated(self, contract: str) -> list[MergedFunction]:
+        return sorted(
+            (m for m in self.by_qual.values() if contract in m.annotations),
+            key=lambda m: (m.file, m.line),
+        )
+
+
+def reachable_set(index: Index, roots: list[MergedFunction]):
+    """BFS over the call graph from `roots`, stopping at cold_path
+    functions. Returns {qual_name: (root_qual, parent_qual)} for every
+    reached function."""
+    reached: dict[str, tuple[str, str]] = {}
+    queue: collections.deque = collections.deque()
+    for root in roots:
+        if root.qual_name not in reached:
+            reached[root.qual_name] = (root.qual_name, root.qual_name)
+            queue.append(root)
+    while queue:
+        fn = queue.popleft()
+        root_qual, _ = reached[fn.qual_name]
+        for call in fn.calls:
+            for callee in index.resolve(call.detail):
+                if "cold_path" in callee.annotations:
+                    continue
+                if callee.qual_name in reached:
+                    continue
+                reached[callee.qual_name] = (root_qual, fn.qual_name)
+                queue.append(callee)
+    return reached
+
+
+# ---------------------------------------------------------------------------
+# Checks
+# ---------------------------------------------------------------------------
+
+
+def _site_findings(index: Index, reached, check: str, attr: str,
+                   noun: str) -> list[Finding]:
+    findings = []
+    seen: set[tuple[str, int, str]] = set()
+    for qual, (root, parent) in reached.items():
+        fn = index.by_qual[qual]
+        if "cold_path" in fn.annotations:
+            continue
+        for site in getattr(fn, attr):
+            key = (site.file, site.line, site.detail)
+            if key in seen:
+                continue
+            seen.add(key)
+            via = "" if qual == root else (
+                f" (reached from '{root}'"
+                + (f" via '{parent}'" if parent not in (root, qual)
+                   else "")
+                + ")"
+            )
+            findings.append(Finding(
+                check, site.file, site.line,
+                f"{noun} in '{qual}'{via}: {site.detail}",
+            ))
+    return findings
+
+
+def check_hot_path(index: Index) -> list[Finding]:
+    roots = index.annotated("hot_path")
+    reached = reachable_set(index, roots)
+    findings = _site_findings(index, reached, "SA-101", "allocs",
+                              "heap allocation on the hot path")
+    findings += _site_findings(index, reached, "SA-102", "blocking",
+                               "blocking operation on the hot path")
+    return findings
+
+
+def check_deterministic(index: Index) -> list[Finding]:
+    roots = index.annotated("deterministic")
+    reached = reachable_set(index, roots)
+    return _site_findings(
+        index, reached, "SA-103", "unordered_iters",
+        "iteration order of an unordered container can escape")
+
+
+def check_narrowing(index: Index, sa104_roots: list[str]) -> list[Finding]:
+    annotated_reach: set[str] = set()
+    for contract in ("hot_path", "cancellable", "deterministic"):
+        annotated_reach.update(
+            reachable_set(index, index.annotated(contract)))
+    findings = []
+    seen: set[tuple[str, int, str]] = set()
+    for qual, fn in index.by_qual.items():
+        in_scope = qual in annotated_reach or any(
+            fn.file.startswith(root.rstrip("/") + "/") or fn.file == root
+            for root in sa104_roots
+        )
+        if not in_scope:
+            continue
+        for site in fn.narrowing:
+            key = (site.file, site.line, site.detail)
+            if key in seen:
+                continue
+            seen.add(key)
+            findings.append(Finding(
+                "SA-104", site.file, site.line,
+                f"in '{qual}': {site.detail}",
+            ))
+    return findings
+
+
+def _polling_closure(index: Index) -> set[str]:
+    """Qualified names that observably poll a deadline: a loop polls
+    directly, or the function (transitively) calls a poller or a
+    deadline-taking function."""
+    pollers = {
+        qual for qual, fn in index.by_qual.items()
+        if any(loop.polls for loop in fn.loops) or fn.takes_deadline
+        or "cancellable" in fn.annotations
+    }
+    changed = True
+    while changed:
+        changed = False
+        for qual, fn in index.by_qual.items():
+            if qual in pollers:
+                continue
+            for call in fn.calls:
+                if any(c.qual_name in pollers
+                       for c in index.resolve(call.detail)):
+                    pollers.add(qual)
+                    changed = True
+                    break
+    return pollers
+
+
+def check_cancellable(index: Index) -> list[Finding]:
+    pollers = _polling_closure(index)
+    findings = []
+    for fn in index.annotated("cancellable"):
+        if not fn.has_body:
+            continue
+        for loop in fn.loops:
+            if loop.depth != 0:
+                continue  # nested loops are covered by their outermost
+            if loop.polls:
+                continue
+            credited = any(
+                callee.qual_name in pollers
+                for key in loop.callees
+                for callee in index.resolve(key)
+            )
+            if credited:
+                continue
+            findings.append(Finding(
+                "SA-105", loop.file, loop.line,
+                f"outermost loop in cancellable '{fn.qual_name}' never "
+                "polls Deadline::Check()/Expired() — the degradation "
+                "ladder cannot interrupt it",
+            ))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+
+
+def gather_files(paths: list[pathlib.Path]) -> list[pathlib.Path]:
+    files: list[pathlib.Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(
+                p for p in sorted(path.rglob("*"))
+                if p.suffix in SOURCE_SUFFIXES and p.is_file()
+            )
+        elif path.suffix in SOURCE_SUFFIXES:
+            files.append(path)
+    seen = set()
+    unique = []
+    for f in files:
+        key = f.resolve()
+        if key not in seen:
+            seen.add(key)
+            unique.append(f)
+    return unique
+
+
+def run_analyze(paths: list[pathlib.Path], repo_root: pathlib.Path,
+                config: Config, backend: str = "auto",
+                compile_db: pathlib.Path | None = None):
+    """Returns (findings, meta) where meta records the backend used,
+    file/function counts, unparsed files, and waiver diagnostics."""
+    files = gather_files(paths)
+    backend_used = backend
+    unparsed: list[tuple[str, str]] = []
+    if backend == "auto":
+        try:
+            import clang.cindex  # noqa: F401
+            backend_used = "clang" if compile_db else "fallback"
+        except Exception:
+            backend_used = "fallback"
+    if backend_used == "clang":
+        import clang_frontend
+        result = clang_frontend.parse_compile_db(
+            compile_db, files, repo_root)
+        functions = result.functions
+        unparsed = result.unparsed
+    else:
+        backend_used = "fallback"
+        result = cpp_frontend.parse_files(files, repo_root)
+        functions = result.functions
+        unparsed = result.unparsed
+
+    index = Index(functions, config.cold_functions)
+    findings: list[Finding] = []
+    findings += check_hot_path(index)
+    findings += check_deterministic(index)
+    findings += check_narrowing(index, config.sa104_roots)
+    findings += check_cancellable(index)
+
+    # Apply inline waivers.
+    texts: dict[str, list[str]] = {}
+    waivers: dict[str, dict[int, set[str]]] = {}
+    waiver_problems: list[Finding] = []
+    for f in files:
+        try:
+            rel = f.resolve().relative_to(repo_root.resolve()).as_posix()
+        except ValueError:
+            rel = f.as_posix()
+        text = f.read_text(encoding="utf-8", errors="replace")
+        texts[rel] = text.splitlines()
+        waived, bad = parse_waivers(text)
+        waivers[rel] = waived
+        for lineno, msg in bad:
+            waiver_problems.append(Finding("SA-000", rel, lineno, msg))
+
+    kept: list[Finding] = []
+    for finding in findings:
+        file_waivers = waivers.get(finding.path, {})
+        if finding.check in file_waivers.get(finding.line, set()):
+            continue
+        kept.append(finding)
+
+    # Apply baseline.
+    for finding in list(kept):
+        lines = texts.get(finding.path, [])
+        line_text = lines[finding.line - 1] if \
+            0 < finding.line <= len(lines) else ""
+        for entry in config.baseline:
+            if entry.matches(finding, line_text):
+                entry.used = True
+                kept.remove(finding)
+                break
+
+    kept.extend(waiver_problems)
+    kept.sort(key=lambda f: (f.path, f.line, f.check))
+
+    stale = [e for e in config.baseline if not e.used]
+    meta = {
+        "backend": backend_used,
+        "files": len(files),
+        "functions": len(index.by_qual),
+        "hot_roots": [m.qual_name for m in index.annotated("hot_path")],
+        "cancellable": [m.qual_name
+                        for m in index.annotated("cancellable")],
+        "deterministic": [m.qual_name
+                          for m in index.annotated("deterministic")],
+        "unparsed": [{"file": f, "reason": r} for f, r in unparsed],
+        "stale_baseline": [dataclasses.asdict(e) for e in stale],
+    }
+    return kept, meta
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="rangesyn-analyze",
+        description="AST-grounded hot-path contract checks (SA-101..105)",
+    )
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories (default: config roots)")
+    parser.add_argument("--config", type=pathlib.Path,
+                        default=None, help="analyze_config.toml path")
+    parser.add_argument("--no-config", action="store_true",
+                        help="ignore the config file")
+    parser.add_argument("--backend", choices=["auto", "clang", "fallback"],
+                        default="auto")
+    parser.add_argument("--compile-db", type=pathlib.Path, default=None,
+                        help="compile_commands.json (enables the clang "
+                             "backend under --backend auto)")
+    parser.add_argument("--json", type=pathlib.Path, default=None,
+                        help="write findings as JSON (lint conventions)")
+    parser.add_argument("--meta-json", type=pathlib.Path, default=None,
+                        help="write backend/roots/unparsed metadata JSON")
+    parser.add_argument("--list-checks", action="store_true")
+    parser.add_argument("--verbose", action="store_true")
+    args = parser.parse_args(argv)
+
+    if args.list_checks:
+        for check, desc in sorted(CHECKS.items()):
+            print(f"{check}: {desc}")
+        return 0
+
+    repo_root = pathlib.Path(__file__).resolve().parents[2]
+    config = DEFAULT_CONFIG
+    if not args.no_config:
+        config_path = args.config or (
+            pathlib.Path(__file__).resolve().parent / "analyze_config.toml")
+        if config_path.exists():
+            config = load_config(config_path)
+
+    if args.paths:
+        paths = [pathlib.Path(p) for p in args.paths]
+    else:
+        paths = [repo_root / root for root in config.roots]
+    paths = [p for p in paths if p.exists()]
+    if not paths:
+        print("rangesyn-analyze: no input paths exist", file=sys.stderr)
+        return 2
+
+    findings, meta = run_analyze(
+        paths, repo_root, config,
+        backend=args.backend, compile_db=args.compile_db)
+
+    if args.json:
+        payload = [dataclasses.asdict(f) for f in findings]
+        args.json.write_text(json.dumps(payload, indent=2) + "\n",
+                             encoding="utf-8")
+    if args.meta_json:
+        args.meta_json.write_text(json.dumps(meta, indent=2) + "\n",
+                                  encoding="utf-8")
+
+    for entry in meta["stale_baseline"]:
+        print(
+            "rangesyn-analyze: warning: stale baseline entry "
+            f"({entry['check']} {entry['file']} '{entry['contains']}') — "
+            "remove it",
+            file=sys.stderr,
+        )
+    for item in meta["unparsed"]:
+        print(
+            f"rangesyn-analyze: warning: could not parse "
+            f"{item['file']}: {item['reason']}",
+            file=sys.stderr,
+        )
+
+    for finding in findings:
+        print(finding.format())
+    if args.verbose or not findings:
+        print(
+            f"rangesyn-analyze [{meta['backend']}]: {meta['files']} files, "
+            f"{meta['functions']} functions, "
+            f"{len(meta['hot_roots'])} hot roots, "
+            f"{len(meta['cancellable'])} cancellable, "
+            f"{len(meta['deterministic'])} deterministic — "
+            f"{len(findings)} finding(s)",
+            file=sys.stderr,
+        )
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

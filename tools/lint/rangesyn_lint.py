@@ -28,10 +28,12 @@ generic tooling cannot express. Checks (see DESIGN.md "Static analysis"):
                               through RAII owners and parallelises through
                               the pool, never via loose threads.
   LINT-005 header-hygiene     Headers missing an include guard (or
-                              `#pragma once`), and library code including
+                              `#pragma once`), library code including
                               the `rangesyn.h` umbrella header (transitive
                               -include reliance; include the module header
-                              you actually use).
+                              you actually use), and self-include cycles —
+                              a header that (transitively) includes itself
+                              through other project headers.
 
 Waivers are inline comments. Canonical form, with an optional reason:
 
@@ -512,6 +514,80 @@ def check_header_hygiene(f: SourceFile) -> list[Finding]:
     return findings
 
 
+PROJECT_INCLUDE_RE = re.compile(r'#\s*include\s*"([^"]+)"')
+
+
+def _resolve_include(inc: str, known: set[str]) -> str | None:
+    """Maps a quoted include path onto a linted header's repo-relative
+    path (`"core/status.h"` -> `src/core/status.h`). Returns None when
+    the target is not part of the linted set or is ambiguous."""
+    if inc in known:
+        return inc
+    candidates = [rel for rel in known if rel.endswith("/" + inc)]
+    if len(candidates) == 1:
+        return candidates[0]
+    return None
+
+
+def check_include_cycles(files: list[SourceFile]) -> list[Finding]:
+    """LINT-005 (cross-file): a header that transitively includes itself.
+    Include cycles compile only by accident of guard ordering and make
+    the visible declarations depend on who includes whom first."""
+    headers = {f.rel: f for f in files if f.path.suffix == ".h"}
+    edges: dict[str, dict[str, int]] = {}
+    for rel, f in headers.items():
+        out: dict[str, int] = {}
+        # f.lines, not f.code: the include path is a string literal and
+        # comment/string stripping blanks it.
+        for idx, line in enumerate(f.lines, start=1):
+            m = PROJECT_INCLUDE_RE.search(line)
+            if not m:
+                continue
+            target = _resolve_include(m.group(1), set(headers))
+            if target is not None and target not in out:
+                out[target] = idx
+        edges[rel] = out
+
+    findings: list[Finding] = []
+    reported: set[frozenset[str]] = set()
+    color: dict[str, int] = {}  # 0 white / 1 on current path / 2 done
+
+    def visit(node: str, path: list[str]) -> None:
+        color[node] = 1
+        path.append(node)
+        for nxt in sorted(edges.get(node, {})):
+            state = color.get(nxt, 0)
+            if state == 0:
+                visit(nxt, path)
+            elif state == 1:
+                cycle = path[path.index(nxt):]
+                key = frozenset(cycle)
+                if key in reported:
+                    continue
+                reported.add(key)
+                anchor = cycle[0]
+                step = cycle[1] if len(cycle) > 1 else cycle[0]
+                chain = " -> ".join(cycle + [cycle[0]])
+                findings.append(
+                    Finding(
+                        "LINT-005",
+                        anchor,
+                        edges[anchor][step],
+                        f"self-include cycle: {chain} — the header "
+                        "transitively includes itself; break the cycle "
+                        "with a forward declaration or by splitting the "
+                        "shared types into their own header",
+                    )
+                )
+        path.pop()
+        color[node] = 2
+
+    for rel in sorted(edges):
+        if color.get(rel, 0) == 0:
+            visit(rel, [])
+    return findings
+
+
 # --------------------------------------------------------------------------
 # Driver
 # --------------------------------------------------------------------------
@@ -599,6 +675,15 @@ def run_lint(
         findings += check_raw_resource(f)
         findings += check_header_hygiene(f)
         all_findings += apply_waivers(f, findings)
+
+    # Cross-file pass: include cycles, attributed (and waivable) at the
+    # anchor header's include line.
+    for finding in check_include_cycles(files):
+        anchor = by_rel.get(finding.path)
+        if anchor is not None:
+            if finding.check in anchor.waivers.get(finding.line, set()):
+                continue
+        all_findings.append(finding)
 
     kept: list[Finding] = []
     for finding in all_findings:

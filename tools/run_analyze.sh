@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Runs rangesyn-analyze (tools/analyze/rangesyn_analyze.py), the
+# AST-grounded hot-path contract checker (SA-101..105), over the library
+# sources.
+#
+# Usage:
+#   tools/run_analyze.sh                    # analyze the configured roots
+#   tools/run_analyze.sh src/histogram      # analyze a subtree
+#   tools/run_analyze.sh --json out.json    # machine-readable findings
+#   tools/run_analyze.sh --backend clang    # force the libclang backend
+#
+# Environment:
+#   PYTHON      python interpreter (default: python3)
+#   COMPILE_DB  compile_commands.json path (default: the tidy preset's
+#               build/tidy/compile_commands.json). When the file exists
+#               and the clang Python bindings are importable, the
+#               libclang backend is selected automatically; otherwise
+#               the dependency-free fallback frontend runs.
+#
+# Exits nonzero when any non-waived, non-baselined finding remains; see
+# tools/analyze/analyze_config.toml for the configuration and DESIGN.md
+# §6.4 for the check catalog and waiver policy.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PYTHON_BIN="${PYTHON:-python3}"
+if ! command -v "$PYTHON_BIN" >/dev/null 2>&1; then
+  echo "run_analyze.sh: '$PYTHON_BIN' not found; install Python 3.11+" >&2
+  exit 1
+fi
+
+ARGS=()
+DB="${COMPILE_DB:-build/tidy/compile_commands.json}"
+if [[ -f "$DB" ]]; then
+  ARGS+=(--compile-db "$DB")
+fi
+
+exec "$PYTHON_BIN" tools/analyze/rangesyn_analyze.py \
+  --config tools/analyze/analyze_config.toml \
+  ${ARGS[@]+"${ARGS[@]}"} "$@"

@@ -48,4 +48,37 @@ for bench in construction query; do
   fi
 done
 
+# Stamp each artifact with the static-analysis verdict for the sources
+# these binaries were built from: which backend ran, whether the repo
+# analyzed clean, and the hot-path roots the timed loops go through.
+# A bench row is only comparable across machines if the loop it times is
+# provably allocation- and lock-free, so the verdict travels with the
+# numbers.
+analysis_status=0
+python3 tools/analyze/rangesyn_analyze.py \
+  --config tools/analyze/analyze_config.toml \
+  --meta-json "${OUT_DIR}/ANALYZE_meta.json" \
+  >/dev/null 2>&1 || analysis_status=$?
+python3 - "$OUT_DIR" "$analysis_status" <<'EOF'
+import json
+import pathlib
+import sys
+
+out_dir = pathlib.Path(sys.argv[1])
+clean = sys.argv[2] == "0"
+meta_path = out_dir / "ANALYZE_meta.json"
+meta = json.loads(meta_path.read_text(encoding="utf-8"))
+stamp = {
+    "backend": meta["backend"],
+    "clean": clean,
+    "hot_roots": sorted(meta["hot_roots"]),
+}
+for name in ("BENCH_construction.json", "BENCH_query.json"):
+    path = out_dir / name
+    doc = json.loads(path.read_text(encoding="utf-8"))
+    doc.setdefault("context", {})["static_analysis"] = stamp
+    path.write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")
+    print(f"stamped {path} (static_analysis.clean={clean})")
+EOF
+
 echo "wrote ${OUT_DIR}/BENCH_construction.json ${OUT_DIR}/BENCH_query.json"

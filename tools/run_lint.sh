@@ -1,18 +1,24 @@
 #!/usr/bin/env bash
-# Runs rangesyn-lint (tools/lint/rangesyn_lint.py), the project-specific
-# static checker, over the library sources.
+# Drives both project static checkers over the library sources:
+#   1. rangesyn-lint    (tools/lint/rangesyn_lint.py, LINT-001..005)
+#   2. rangesyn-analyze (tools/analyze/rangesyn_analyze.py, SA-101..105)
 #
 # Usage:
-#   tools/run_lint.sh                 # lint the configured roots (src/)
-#   tools/run_lint.sh src/histogram   # lint a subtree or explicit files
-#   tools/run_lint.sh --json out.json # also write machine-readable findings
+#   tools/run_lint.sh                 # lint + analyze the configured roots
+#   tools/run_lint.sh src/histogram   # lint a subtree (analyze still runs
+#                                     # over its configured roots)
+#   tools/run_lint.sh --json out.json # machine-readable lint findings;
+#                                     # analyze JSON goes through
+#                                     # tools/run_analyze.sh --json
 #
 # Environment:
-#   PYTHON  python interpreter (default: python3)
+#   PYTHON             python interpreter (default: python3)
+#   RANGESYN_LINT_ONLY set to 1 to skip the analyze pass
 #
-# Exits nonzero when any non-waived, non-baselined finding remains; see
-# tools/lint/lint_config.toml for the baseline and DESIGN.md "Static
-# analysis" for the check catalog and waiver policy.
+# Exits nonzero when either checker reports a non-waived, non-baselined
+# finding; see tools/lint/lint_config.toml and
+# tools/analyze/analyze_config.toml for the baselines and DESIGN.md
+# "Static analysis" / §6.4 for the check catalogs and waiver policy.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -22,5 +28,12 @@ if ! command -v "$PYTHON_BIN" >/dev/null 2>&1; then
   exit 1
 fi
 
-exec "$PYTHON_BIN" tools/lint/rangesyn_lint.py \
-  --config tools/lint/lint_config.toml "$@"
+status=0
+"$PYTHON_BIN" tools/lint/rangesyn_lint.py \
+  --config tools/lint/lint_config.toml "$@" || status=$?
+
+if [[ "${RANGESYN_LINT_ONLY:-0}" != 1 ]]; then
+  tools/run_analyze.sh || status=$?
+fi
+
+exit "$status"
