@@ -199,7 +199,16 @@ Result<std::string> CmdStats(const std::vector<std::string>& args) {
   flags.DefineString("method", "sap1", "synopsis method");
   flags.DefineInt64("budget", 24, "storage budget (words)");
   flags.DefineBool("json", false, "emit the metrics registry as JSON");
+  flags.DefineString("format", "",
+                     "output format: text (default), json, or prometheus "
+                     "(text exposition for a textfile collector)");
   RANGESYN_RETURN_IF_ERROR(ParseArgs(&flags, args));
+  std::string format = flags.GetString("format");
+  if (format.empty()) format = flags.GetBool("json") ? "json" : "text";
+  if (format != "text" && format != "json" && format != "prometheus") {
+    return InvalidArgumentError(StrCat(
+        "--format: expected text, json, or prometheus; got '", format, "'"));
+  }
   std::vector<int64_t> data;
   if (flags.GetString("data").empty()) {
     Rng rng(20010521);
@@ -221,11 +230,12 @@ Result<std::string> CmdStats(const std::vector<std::string>& args) {
   RANGESYN_ASSIGN_OR_RETURN(ErrorStats err, AllRangesStats(data, *est));
   RANGESYN_ASSIGN_OR_RETURN(const std::string bytes, SerializeSynopsis(*est));
   const obs::RegistrySnapshot snapshot = obs::Registry::Get().Snapshot();
-  if (flags.GetBool("json")) {
+  if (format == "json") {
     std::ostringstream os;
     obs::WriteStatsJson(snapshot, os);
     return os.str();
   }
+  if (format == "prometheus") return obs::FormatStatsPrometheus(snapshot);
   return StrCat("pipeline: ", est->Name(), " budget=",
                 flags.GetInt64("budget"), " n=", data.size(), " queries=",
                 err.count, " sse=", FormatG(err.sse, 6), " bytes=",
@@ -262,6 +272,13 @@ std::string CliUsage() {
       "testing; e.g. 'io.*=once;alloc.interval_dp=prob:0.1:42'). "
       "Default: RANGESYN_FAILPOINTS env. Requires a build with "
       "RANGESYN_FAILPOINTS=ON (the default).\n"
+      "  --log-level=LEVEL  minimum severity emitted to the structured "
+      "log (debug|info|warning|error; default info)\n"
+      "  --log-json         emit structured log events as JSON lines "
+      "instead of text\n"
+      "  --flight-dir=DIR   write flight-recorder postmortem dumps into "
+      "DIR on crash/degradation/quarantine (default: RANGESYN_FLIGHT_DIR "
+      "env; unset disables dumps)\n"
       "\n"
       "run 'rangesyn <command> --help' for per-command flags.\n";
 }
@@ -295,6 +312,20 @@ Result<std::string> RunCliCommand(const std::vector<std::string>& args) {
             "RANGESYN_FAILPOINTS=OFF");
       }
       RANGESYN_RETURN_IF_ERROR(failpoint::Configure(spec));
+    } else if (a.rfind("--log-level=", 0) == 0) {
+      const std::string value = a.substr(sizeof("--log-level=") - 1);
+      LogSeverity level;
+      if (!obs::ParseLogLevel(value, &level)) {
+        return InvalidArgumentError(
+            StrCat("--log-level: expected debug, info, warning, or error; "
+                   "got '", value, "'"));
+      }
+      SetMinLogSeverity(level);
+    } else if (a == "--log-json") {
+      obs::LogSink::Get().SetJson(true);
+    } else if (a.rfind("--flight-dir=", 0) == 0) {
+      obs::FlightRecorder::Get().SetDumpDir(
+          a.substr(sizeof("--flight-dir=") - 1));
     } else {
       kept.push_back(a);
     }

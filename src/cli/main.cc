@@ -6,8 +6,12 @@
 #include <vector>
 
 #include "cli/commands.h"
+#include "obs/flight.h"
 
 int main(int argc, char** argv) {
+  // Fatal signals and CHECK failures dump the flight recorder (when a
+  // dump dir is configured) before the process dies.
+  rangesyn::obs::InstallCrashHandlers();
   std::vector<std::string> args(argv + 1, argv + argc);
   rangesyn::Result<std::string> result = rangesyn::RunCliCommand(args);
   if (!result.ok()) {

@@ -1,9 +1,11 @@
 #include "core/failpoint.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <mutex>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
 #include "core/mutex.h"
@@ -15,7 +17,7 @@ namespace rangesyn {
 namespace failpoint {
 namespace {
 
-enum class Mode { kOff, kAlways, kOnce, kProb };
+enum class Mode { kOff, kAlways, kOnce, kProb, kSleep };
 
 struct Rule {
   std::string pattern;  // exact site name, or a prefix ending in '*'
@@ -23,6 +25,7 @@ struct Rule {
   uint64_t once_n = 1;  // kOnce: fire on this (1-based) evaluation
   double prob = 0.0;    // kProb: per-evaluation fire probability
   uint64_t seed = 0;    // kProb: schedule seed
+  uint64_t sleep_ms = 0;  // kSleep: injected delay per evaluation
   uint64_t evaluations = 0;
   uint64_t fires = 0;
 };
@@ -110,6 +113,14 @@ Result<Rule> ParseRule(std::string_view text) {
       }
       rule.seed = static_cast<uint64_t>(seed);
     }
+  } else if (parts[0] == "sleep" && parts.size() == 2) {
+    rule.mode = Mode::kSleep;
+    int64_t ms = 0;
+    if (!ParseInt64(parts[1], &ms) || ms < 1) {
+      return InvalidArgumentError(
+          StrCat("failpoint rule '", text, "': sleep:MS needs MS >= 1"));
+    }
+    rule.sleep_ms = static_cast<uint64_t>(ms);
   } else {
     return InvalidArgumentError(
         StrCat("failpoint rule '", text, "': unknown mode '", mode, "'"));
@@ -150,7 +161,7 @@ void EnsureEnvLoaded() {
 /// evaluation counter, and decide. Serialized by g_mu — only fault-testing
 /// runs ever get here, so contention is not a concern, and plain counters
 /// keep the registry trivially TSan-clean.
-bool Evaluate(std::string_view site) {
+bool Evaluate(std::string_view site, uint64_t* sleep_ms) {
   MutexLock lock(g_mu);
   for (Rule& rule : g_rules) {
     if (!Matches(rule.pattern, site)) continue;
@@ -167,6 +178,13 @@ bool Evaluate(std::string_view site) {
         break;
       case Mode::kProb:
         fires = ProbFires(rule, site, index);
+        break;
+      case Mode::kSleep:
+        // A sleep rule injects latency, never failure: the site reports
+        // "did not fire" after the delay. Counted in `fires` so tests and
+        // diagnostics can assert the slowdown actually happened.
+        *sleep_ms = rule.sleep_ms;
+        ++rule.fires;
         break;
     }
     if (fires) ++rule.fires;
@@ -197,7 +215,14 @@ bool ShouldFail(std::string_view site) {
   if (!kCompiledIn) return false;
   EnsureEnvLoaded();
   if (g_active.load(std::memory_order_relaxed) == 0) return false;
-  return Evaluate(site);
+  uint64_t sleep_ms = 0;
+  const bool fires = Evaluate(site, &sleep_ms);
+  if (sleep_ms > 0) {
+    // Outside g_mu: the injected delay must slow only the evaluating
+    // thread, not serialize every other failpoint in the process.
+    std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+  }
+  return fires;
 }
 
 Status Fire(std::string_view site) {
@@ -249,6 +274,9 @@ std::vector<std::string> ActiveRules() {
         break;
       case Mode::kProb:
         mode = StrCat("prob:", rule.prob, ":", rule.seed);
+        break;
+      case Mode::kSleep:
+        mode = StrCat("sleep:", rule.sleep_ms);
         break;
     }
     out.push_back(StrCat(rule.pattern, "=", mode));

@@ -25,6 +25,9 @@ namespace failpoint {
 ///   once:N       fire on the Nth evaluation only (1-based)
 ///   prob:P       fire each evaluation with probability P (seed 0)
 ///   prob:P:SEED  as above with an explicit seed
+///   sleep:MS     never fire, but delay each evaluation by MS
+///                milliseconds (injected latency; the perf-regression
+///                gate uses this to prove it trips on real slowdowns)
 /// The first matching rule wins. `prob` decisions hash (seed, site,
 /// evaluation index) with SplitMix64 — no global RNG, no wall clock — so a
 /// schedule is a pure function of the spec and each site's evaluation

@@ -6,6 +6,7 @@ namespace rangesyn {
 namespace {
 
 std::atomic<int> g_min_severity{static_cast<int>(LogSeverity::kInfo)};
+std::atomic<void (*)()> g_fatal_hook{nullptr};
 
 const char* SeverityName(LogSeverity s) {
   switch (s) {
@@ -34,6 +35,10 @@ LogSeverity MinLogSeverity() {
       g_min_severity.load(std::memory_order_relaxed));
 }
 
+void SetFatalLogHook(void (*hook)()) {
+  g_fatal_hook.store(hook, std::memory_order_release);
+}
+
 namespace internal_logging {
 
 LogMessage::LogMessage(LogSeverity severity, const char* file, int line)
@@ -48,6 +53,9 @@ LogMessage::~LogMessage() {
     std::cerr << stream_.str() << std::endl;
   }
   if (severity_ == LogSeverity::kFatal) {
+    // One-shot: clear before invoking, so a hook that fatals again (or a
+    // second racing fatal) falls straight through to the abort.
+    if (void (*hook)() = g_fatal_hook.exchange(nullptr)) hook();
     std::abort();
   }
 }

@@ -48,6 +48,14 @@ class Voidify {
 void SetMinLogSeverity(LogSeverity severity);
 LogSeverity MinLogSeverity();
 
+/// Registers a hook run after a kFatal message is emitted and before the
+/// process aborts — the seam the obs flight recorder uses to write a
+/// postmortem dump on RANGESYN_CHECK/DCHECK failure without core/ taking
+/// a dependency on obs/. Hooks must be re-entrancy-safe: a hook that
+/// itself CHECK-fails is not re-invoked (the abort proceeds). nullptr
+/// clears the hook.
+void SetFatalLogHook(void (*hook)());
+
 #define RANGESYN_LOG(severity)                                       \
   ::rangesyn::internal_logging::LogMessage(                          \
       ::rangesyn::LogSeverity::k##severity, __FILE__, __LINE__)

@@ -58,6 +58,10 @@ void RunChunks(LoopState* state) {
         (*state->body)(lo, hi);
         ++executed;
       } catch (...) {
+        RANGESYN_LOG_EVENT(Warning, "core.threadpool.task_exception")
+            .Arg("chunk", chunk)
+            .Arg("lo", lo)
+            .Arg("hi", hi);
         MutexLock lock(state->mu);
         if (!state->first_exception) {
           state->first_exception = std::current_exception();

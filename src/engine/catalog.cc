@@ -269,6 +269,10 @@ Result<SynopsisCatalog> SynopsisCatalog::DeserializeWithReport(
     if (!entry_status.ok()) {
       if (strict || !v2) return entry_status;
       ++quarantined;
+      RANGESYN_LOG_EVENT(Warning, "engine.catalog.entry_quarantined")
+          .Arg("index", static_cast<int64_t>(i))
+          .Arg("key", key)
+          .Arg("reason", entry_status.message());
       report->quarantined.push_back(
           {std::move(key), std::string(entry_status.message())});
       continue;
@@ -284,6 +288,13 @@ Result<SynopsisCatalog> SynopsisCatalog::DeserializeWithReport(
         {std::string(), "trailing bytes after entries"});
   }
   RANGESYN_OBS_COUNTER_ADD("engine.catalog.quarantined", quarantined);
+#if RANGESYN_OBS_ENABLED
+  if (quarantined > 0) {
+    // Quarantine is trigger class 4 (flight.h): one dump per load carrying
+    // the per-entry quarantine events above plus a metrics snapshot.
+    ::rangesyn::obs::FlightRecorder::Get().AutoDump("catalog_quarantine");
+  }
+#endif
   return catalog;
 }
 

@@ -259,6 +259,10 @@ Result<BuildOutcome> BuildSynopsisWithOptions(
 
   const std::vector<std::string> ladder = FallbackLadder(spec.method);
   const std::string reason(first.status().message());
+  RANGESYN_LOG_EVENT(Warning, "engine.build.fallback_start")
+      .Arg("method", spec.method)
+      .Arg("ladder_len", static_cast<int64_t>(ladder.size()))
+      .Arg("reason", reason);
   Status last = first.status();
   for (size_t rung = 0; rung < ladder.size(); ++rung) {
     // The final rung runs deadline-free: an already-expired deadline must
@@ -270,6 +274,17 @@ Result<BuildOutcome> BuildSynopsisWithOptions(
         final_rung ? Deadline() : options.deadline, max_states);
     if (attempt.ok()) {
       RANGESYN_OBS_COUNTER_INC("engine.build.degraded");
+      RANGESYN_LOG_EVENT(Warning, "engine.build.degraded")
+          .Arg("from", spec.method)
+          .Arg("to", ladder[rung])
+          .Arg("rung", static_cast<int64_t>(rung))
+          .Arg("n", static_cast<int64_t>(data.size()))
+          .Arg("reason", reason);
+#if RANGESYN_OBS_ENABLED
+      // A degraded build is trigger class 3 (flight.h): capture the lead-up
+      // — deadline expiries, per-rung failures — plus a metrics snapshot.
+      ::rangesyn::obs::FlightRecorder::Get().AutoDump("build_degraded");
+#endif
       BuildOutcome out;
       out.estimator = std::move(attempt.value());
       out.built_method = ladder[rung];

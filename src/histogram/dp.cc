@@ -75,7 +75,8 @@ Result<DpTable> RunDp(int64_t n, int64_t max_buckets,
   // The table is the DP's big allocation — O(n * B) cells; the failpoint
   // models the allocation failing before any scratch is committed.
   RANGESYN_FAILPOINT("alloc.interval_dp");
-  RANGESYN_RETURN_IF_ERROR(deadline.Check("interval DP"));
+  RANGESYN_RETURN_IF_DEADLINE(deadline, "histogram.dp.deadline",
+                              "interval DP");
   DpTable t;
   t.n = n;
   t.max_buckets = max_buckets;
@@ -215,7 +216,8 @@ Result<std::vector<IntervalDpResult>> SolveIntervalDpAllK(
   std::vector<IntervalDpResult> out;
   out.reserve(static_cast<size_t>(b));
   for (int64_t k = 1; k <= b; ++k) {
-    RANGESYN_RETURN_IF_ERROR(deadline.Check("interval DP extraction"));
+    RANGESYN_RETURN_IF_DEADLINE(deadline, "histogram.dp.deadline",
+                                "interval DP extraction");
     RANGESYN_ASSIGN_OR_RETURN(IntervalDpResult r, ExtractSolution(t, k));
 #ifdef RANGESYN_AUDIT
     AuditDpSolution(n, k, cost, r, true);

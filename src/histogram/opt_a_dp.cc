@@ -364,9 +364,11 @@ Result<OptAResult> BuildOptA(const std::vector<int64_t>& data,
   // The O(n^2) per-bucket tables are OPT-A's dominant allocation; the
   // failpoint models it failing before any work is committed.
   RANGESYN_FAILPOINT("alloc.opta_tables");
-  RANGESYN_RETURN_IF_ERROR(options.deadline.Check("OPT-A bucket tables"));
+  RANGESYN_RETURN_IF_DEADLINE(options.deadline, "histogram.opta.deadline",
+                              "OPT-A bucket tables");
   BucketTables tables(data, options.deadline);
-  RANGESYN_RETURN_IF_ERROR(options.deadline.Check("OPT-A bucket tables"));
+  RANGESYN_RETURN_IF_DEADLINE(options.deadline, "histogram.opta.deadline",
+                              "OPT-A bucket tables");
 
   // Admissible Λ cap: on the optimal path, Σ u_l² never exceeds OPT
   // (each u_l is itself an intra-bucket range error), so
@@ -378,11 +380,13 @@ Result<OptAResult> BuildOptA(const std::vector<int64_t>& data,
                 OptUpperBound(data, max_b, options.deadline)))) +
                 1
           : std::numeric_limits<int64_t>::max();
-  RANGESYN_RETURN_IF_ERROR(options.deadline.Check("OPT-A upper bound"));
+  RANGESYN_RETURN_IF_DEADLINE(options.deadline, "histogram.opta.deadline",
+                              "OPT-A upper bound");
 
   // Dominance prune support: bounds on the achievable future cross-sum.
   SuffixCrossBounds bounds(tables, max_b, options.deadline);
-  RANGESYN_RETURN_IF_ERROR(options.deadline.Check("OPT-A suffix bounds"));
+  RANGESYN_RETURN_IF_DEADLINE(options.deadline, "histogram.opta.deadline",
+                              "OPT-A suffix bounds");
 
   // cells[k][i]: pruned, lambda-sorted states for exactly-k-bucket
   // partitions of [1, i].
@@ -524,11 +528,11 @@ Result<OptAResult> BuildOptAWarmup(const std::vector<int64_t>& data,
   }
   RANGESYN_OBS_SPAN("histogram.opta.warmup_dp");
   RANGESYN_FAILPOINT("alloc.opta_tables");
-  RANGESYN_RETURN_IF_ERROR(
-      options.deadline.Check("OPT-A warm-up bucket tables"));
+  RANGESYN_RETURN_IF_DEADLINE(options.deadline, "histogram.opta.deadline",
+                              "OPT-A warm-up bucket tables");
   BucketTables tables(data, options.deadline);
-  RANGESYN_RETURN_IF_ERROR(
-      options.deadline.Check("OPT-A warm-up bucket tables"));
+  RANGESYN_RETURN_IF_DEADLINE(options.deadline, "histogram.opta.deadline",
+                              "OPT-A warm-up bucket tables");
 
   // State key (Λ, Λ2); Λ2 = Σ u² is integral (sum of squared integers) and
   // is stored exactly as int64.

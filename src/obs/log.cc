@@ -1,0 +1,234 @@
+#include "obs/log.h"
+
+#include <chrono>
+#include <iostream>
+
+#include "obs/flight.h"
+#include "obs/json.h"
+
+namespace rangesyn::obs {
+namespace {
+
+constexpr int64_t kWindowNs = 1'000'000'000;  // 1s rate-limit window
+
+int64_t SteadyNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+uint64_t WallNowMs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+/// True when the site may emit now; accumulates into site->suppressed
+/// otherwise. `reclaimed` returns the suppression count the caller should
+/// attach to this (admitted) event.
+bool AdmitEvent(LogSiteState* site, int64_t now_ns, uint64_t* reclaimed) {
+  *reclaimed = 0;
+  if (site == nullptr) return true;
+  const int64_t window = site->window_start_ns.load(std::memory_order_relaxed);
+  if (now_ns - window >= kWindowNs) {
+    // New window. Racy resets are benign: worst case two threads both
+    // reset and the site emits a handful over the limit for one window.
+    site->window_start_ns.store(now_ns, std::memory_order_relaxed);
+    site->emitted_in_window.store(0, std::memory_order_relaxed);
+  }
+  const uint32_t n =
+      site->emitted_in_window.fetch_add(1, std::memory_order_relaxed);
+  if (n >= LogSink::kMaxPerSitePerSecond) {
+    site->suppressed.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  *reclaimed = site->suppressed.exchange(0, std::memory_order_relaxed);
+  return true;
+}
+
+}  // namespace
+
+const char* LogSeverityLetter(LogSeverity severity) {
+  switch (severity) {
+    case LogSeverity::kDebug:
+      return "D";
+    case LogSeverity::kInfo:
+      return "I";
+    case LogSeverity::kWarning:
+      return "W";
+    case LogSeverity::kError:
+      return "E";
+    case LogSeverity::kFatal:
+      return "F";
+  }
+  return "?";
+}
+
+bool ParseLogLevel(std::string_view text, LogSeverity* out) {
+  if (text == "debug") {
+    *out = LogSeverity::kDebug;
+  } else if (text == "info") {
+    *out = LogSeverity::kInfo;
+  } else if (text == "warning" || text == "warn") {
+    *out = LogSeverity::kWarning;
+  } else if (text == "error") {
+    *out = LogSeverity::kError;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+LogSink& LogSink::Get() {
+  // Intentionally leaked: the sink lives for the process lifetime.
+  static LogSink* instance = new LogSink();  // lint: waive(LINT-004)
+  return *instance;
+}
+
+void LogSink::SetStream(std::ostream* os) {
+  MutexLock lock(mu_);
+  stream_ = os;
+}
+
+std::string LogSink::RenderJson(const LogRecord& record) {
+  std::string out;
+  out.reserve(128);
+  out += "{\"ts_ms\":";
+  out += JsonNumber(record.wall_ms);
+  out += ",\"mono_ns\":";
+  out += JsonNumber(record.mono_ns);
+  out += ",\"level\":";
+  out += JsonQuote(LogSeverityLetter(record.level));
+  out += ",\"event\":";
+  out += JsonQuote(record.event);
+  out += ",\"tid\":";
+  out += JsonNumber(uint64_t{record.tid});
+  out += ",\"src\":";
+  out += JsonQuote(std::string(record.file) + ":" +
+                   std::to_string(record.line));
+  if (record.suppressed > 0) {
+    out += ",\"suppressed\":";
+    out += JsonNumber(record.suppressed);
+  }
+  out += ",\"fields\":{";
+  for (size_t i = 0; i < record.fields.size(); ++i) {
+    if (i > 0) out += ",";
+    out += JsonQuote(record.fields[i].key);
+    out += ":";
+    out += record.fields[i].json_value;
+  }
+  out += "}}";
+  return out;
+}
+
+std::string LogSink::RenderText(const LogRecord& record) {
+  std::string out;
+  out.reserve(96);
+  out += "[";
+  out += LogSeverityLetter(record.level);
+  out += " ";
+  out += record.event;
+  out += "]";
+  for (const LogFieldValue& f : record.fields) {
+    out += " ";
+    out += f.key;
+    out += "=";
+    out += f.text_value;
+  }
+  if (record.suppressed > 0) {
+    out += " suppressed=";
+    out += std::to_string(record.suppressed);
+  }
+  return out;
+}
+
+void LogSink::Emit(const LogRecord& record) {
+  const std::string line = json() ? RenderJson(record) : RenderText(record);
+  {
+    MutexLock lock(mu_);
+    std::ostream& os = stream_ != nullptr ? *stream_ : std::cerr;
+    os << line << "\n";
+    os.flush();
+  }
+  emitted_.fetch_add(1, std::memory_order_relaxed);
+}
+
+EventBuilder::EventBuilder(LogSeverity level, const char* event,
+                           const char* file, int line, LogSiteState* site) {
+  record_.level = level;
+  record_.event = event;
+  record_.file = file;
+  record_.line = line;
+  record_.mono_ns = static_cast<uint64_t>(SteadyNowNs());
+  record_flight_ = true;
+  // Severity filtering keeps the *sink* quiet; the flight ring always
+  // records so a later dump has the full story. Rate limiting protects
+  // both from runaway sites.
+  uint64_t reclaimed = 0;
+  if (!AdmitEvent(site, static_cast<int64_t>(record_.mono_ns), &reclaimed)) {
+    emit_to_sink_ = false;
+    record_flight_ = false;
+    return;
+  }
+  record_.suppressed = reclaimed;
+  emit_to_sink_ =
+      static_cast<int>(level) >= static_cast<int>(MinLogSeverity());
+  if (emit_to_sink_) {
+    record_.wall_ms = WallNowMs();
+    record_.tid = CurrentThreadTid();
+  }
+}
+
+EventBuilder& EventBuilder::Arg(std::string_view key, std::string_view value) {
+  if (!emit_to_sink_ && !record_flight_) return *this;
+  record_.fields.push_back(
+      {std::string(key), JsonQuote(value), std::string(value)});
+  return *this;
+}
+
+EventBuilder& EventBuilder::Arg(std::string_view key, int64_t value) {
+  if (!emit_to_sink_ && !record_flight_) return *this;
+  record_.fields.push_back(
+      {std::string(key), JsonNumber(value), std::to_string(value)});
+  return *this;
+}
+
+EventBuilder& EventBuilder::Arg(std::string_view key, uint64_t value) {
+  if (!emit_to_sink_ && !record_flight_) return *this;
+  record_.fields.push_back(
+      {std::string(key), JsonNumber(value), std::to_string(value)});
+  return *this;
+}
+
+EventBuilder& EventBuilder::Arg(std::string_view key, double value) {
+  if (!emit_to_sink_ && !record_flight_) return *this;
+  record_.fields.push_back(
+      {std::string(key), JsonNumber(value), JsonNumber(value)});
+  return *this;
+}
+
+EventBuilder& EventBuilder::Arg(std::string_view key, bool value) {
+  if (!emit_to_sink_ && !record_flight_) return *this;
+  const char* text = value ? "true" : "false";
+  record_.fields.push_back({std::string(key), text, text});
+  return *this;
+}
+
+EventBuilder::~EventBuilder() {
+  if (record_flight_) {
+    // The flight ring stores one pre-rendered detail string per event:
+    // the compact text rendering minus the envelope.
+    std::string detail;
+    for (const LogFieldValue& f : record_.fields) {
+      if (!detail.empty()) detail += " ";
+      detail += f.key;
+      detail += "=";
+      detail += f.text_value;
+    }
+    FlightRecorder::Get().Record(record_.level, record_.event, detail);
+  }
+  if (emit_to_sink_) LogSink::Get().Emit(record_);
+}
+
+}  // namespace rangesyn::obs

@@ -1,0 +1,162 @@
+#ifndef RANGESYN_OBS_LOG_H_
+#define RANGESYN_OBS_LOG_H_
+
+/// Structured, leveled, rate-limited event logging — the third obs layer
+/// on top of metrics (counters/histograms) and traces (spans). A log
+/// *event* is a dotted name in the same `subsystem.phase[.detail]`
+/// namespace the metrics use, plus typed key/value fields:
+///
+///     RANGESYN_LOG_EVENT(Warning, "engine.build.degraded")
+///         .Arg("from", spec.method)
+///         .Arg("to", rung)
+///         .Arg("reason", reason);
+///
+/// Rendering is either human-oriented text (the default) or JSON-lines
+/// (`--log-json`), one self-contained object per line, so a production
+/// deployment can ship the stream straight into a log pipeline. Events
+/// below the process minimum severity (rangesyn::MinLogSeverity, wired to
+/// the global `--log-level` CLI flag) are skipped at the sink but still
+/// land in the flight recorder ring, which is exactly what a postmortem
+/// wants: quiet console, full in-memory history.
+///
+/// Every emission site is rate-limited independently (a token window per
+/// macro expansion), so a misbehaving loop cannot drown the sink; the
+/// first event emitted after a suppression window carries a `suppressed`
+/// field with the number of dropped predecessors.
+///
+/// The macro layer lives in obs/obs.h and compiles to a proven no-op
+/// when RANGESYN_STATS=OFF (see tests/obs_disabled_test.cc); this header
+/// only defines the always-available library API.
+
+#include <atomic>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "core/logging.h"
+#include "core/mutex.h"
+#include "core/thread_annotations.h"
+
+namespace rangesyn::obs {
+
+/// Per-call-site rate-limiter state. The macro embeds one static instance
+/// per expansion; all members are atomics, so sites never serialize on a
+/// lock. Window accounting is approximate under contention (two threads
+/// may both reset the window edge), which is fine for a limiter whose job
+/// is "cap runaway sites", not exact accounting.
+struct LogSiteState {
+  std::atomic<int64_t> window_start_ns{0};
+  std::atomic<uint32_t> emitted_in_window{0};
+  std::atomic<uint64_t> suppressed{0};
+};
+
+/// One rendered field. Values are pre-encoded: `json_value` is a valid
+/// JSON literal (quoted string or bare number/bool) and `text_value` is
+/// the human rendering.
+struct LogFieldValue {
+  std::string key;
+  std::string json_value;
+  std::string text_value;
+};
+
+/// A fully-assembled event on its way to the sink.
+struct LogRecord {
+  LogSeverity level = LogSeverity::kInfo;
+  std::string event;
+  const char* file = "";
+  int line = 0;
+  uint64_t wall_ms = 0;   // unix epoch milliseconds
+  uint64_t mono_ns = 0;   // steady-clock ns (same clock as the tracer)
+  uint32_t tid = 0;
+  uint64_t suppressed = 0;
+  std::vector<LogFieldValue> fields;
+};
+
+/// Process-wide structured-log sink: serializes rendering, owns the
+/// output stream (stderr by default; tests capture via SetStream), and
+/// picks the text/JSON encoding. Thread-safe.
+class LogSink {
+ public:
+  static LogSink& Get();
+
+  /// JSON-lines output (one object per line) instead of text.
+  void SetJson(bool json) { json_.store(json, std::memory_order_relaxed); }
+  bool json() const { return json_.load(std::memory_order_relaxed); }
+
+  /// Redirects output; nullptr restores stderr. The stream must outlive
+  /// all logging (tests swap in a captured ostringstream and swap back).
+  void SetStream(std::ostream* os);
+
+  /// Events per site per second before suppression kicks in.
+  static constexpr uint32_t kMaxPerSitePerSecond = 64;
+
+  /// Renders and writes one record (already filtered/rate-limited by the
+  /// caller). Also feeds the flight recorder.
+  void Emit(const LogRecord& record);
+
+  /// Total records written to the stream since process start.
+  uint64_t emitted_count() const {
+    return emitted_.load(std::memory_order_relaxed);
+  }
+
+  /// Rendition helpers, exposed for tests.
+  static std::string RenderJson(const LogRecord& record);
+  static std::string RenderText(const LogRecord& record);
+
+ private:
+  LogSink() = default;
+
+  std::atomic<bool> json_{false};
+  std::atomic<uint64_t> emitted_{0};
+  mutable Mutex mu_;
+  std::ostream* stream_ RANGESYN_GUARDED_BY(mu_) = nullptr;
+};
+
+/// Builds one event and emits it from its destructor (end of the full
+/// expression). Construction decides visibility once: events below the
+/// minimum severity skip sink rendering (but still reach the flight
+/// recorder); rate-limited events skip both rendering and the sink but
+/// count into `suppressed`.
+class EventBuilder {
+ public:
+  EventBuilder(LogSeverity level, const char* event, const char* file,
+               int line, LogSiteState* site);
+  ~EventBuilder();
+
+  EventBuilder(const EventBuilder&) = delete;
+  EventBuilder& operator=(const EventBuilder&) = delete;
+
+  EventBuilder& Arg(std::string_view key, std::string_view value);
+  EventBuilder& Arg(std::string_view key, const char* value) {
+    return Arg(key, std::string_view(value));
+  }
+  EventBuilder& Arg(std::string_view key, const std::string& value) {
+    return Arg(key, std::string_view(value));
+  }
+  EventBuilder& Arg(std::string_view key, int64_t value);
+  EventBuilder& Arg(std::string_view key, uint64_t value);
+  EventBuilder& Arg(std::string_view key, int value) {
+    return Arg(key, static_cast<int64_t>(value));
+  }
+  EventBuilder& Arg(std::string_view key, double value);
+  EventBuilder& Arg(std::string_view key, bool value);
+
+ private:
+  LogRecord record_;
+  bool emit_to_sink_ = false;
+  bool record_flight_ = false;
+};
+
+/// Parses a `--log-level` value ("debug", "info", "warning"/"warn",
+/// "error"); false on unknown names.
+bool ParseLogLevel(std::string_view text, LogSeverity* out);
+
+/// Short name for a severity ("D", "I", "W", "E", "F").
+const char* LogSeverityLetter(LogSeverity severity);
+
+}  // namespace rangesyn::obs
+
+#endif  // RANGESYN_OBS_LOG_H_

@@ -184,6 +184,51 @@ Status WriteStatsJsonFile(const RegistrySnapshot& snapshot,
   return OkStatus();
 }
 
+namespace {
+
+/// Metric names are `subsystem.phase[.detail]`; Prometheus names are
+/// [a-zA-Z0-9_:], so map dots (and anything else exotic) to underscores
+/// and prefix the project namespace.
+std::string PrometheusName(std::string_view name) {
+  std::string out = "rangesyn_";
+  out.reserve(out.size() + name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string FormatStatsPrometheus(const RegistrySnapshot& snapshot) {
+  std::ostringstream os;
+  for (const CounterSnapshot& c : snapshot.counters) {
+    const std::string name = PrometheusName(c.name) + "_total";
+    os << "# TYPE " << name << " counter\n";
+    os << name << " " << c.value << "\n";
+  }
+  for (const GaugeSnapshot& g : snapshot.gauges) {
+    const std::string name = PrometheusName(g.name);
+    os << "# TYPE " << name << " gauge\n";
+    os << name << " " << g.value << "\n";
+  }
+  for (const HistogramSnapshot& h : snapshot.histograms) {
+    // Quantiles are precomputed bucket midpoints, which is exactly the
+    // summary type's contract (client-side quantiles, not aggregatable).
+    const std::string name = PrometheusName(h.name) + "_seconds";
+    os << "# TYPE " << name << " summary\n";
+    os << name << "{quantile=\"0.5\"} " << JsonNumber(h.p50 / 1e9) << "\n";
+    os << name << "{quantile=\"0.95\"} " << JsonNumber(h.p95 / 1e9) << "\n";
+    os << name << "{quantile=\"0.99\"} " << JsonNumber(h.p99 / 1e9) << "\n";
+    os << name << "_sum " << JsonNumber(static_cast<double>(h.sum) / 1e9)
+       << "\n";
+    os << name << "_count " << h.count << "\n";
+  }
+  return os.str();
+}
+
 std::string FormatStatsText(const RegistrySnapshot& snapshot) {
   std::ostringstream os;
   if (snapshot.counters.empty() && snapshot.gauges.empty() &&

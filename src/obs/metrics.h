@@ -68,7 +68,14 @@ class LatencyHistogram {
   static constexpr size_t kNumBuckets =
       static_cast<size_t>((64 - kSubBucketBits + 1) * kSubBuckets);
 
+  /// Largest value tracked exactly (2^62 ns ≈ 146 years). Anything above —
+  /// in practice a negative duration that wrapped through a uint64_t
+  /// conversion, e.g. a clock step backwards — saturates into the overflow
+  /// bucket instead of poisoning sum/mean/max with a ~1.8e19 outlier.
+  static constexpr uint64_t kMaxTrackedValue = uint64_t{1} << 62;
+
   void Record(uint64_t value) {
+    if (value > kMaxTrackedValue) value = kMaxTrackedValue;
     count_.fetch_add(1, std::memory_order_relaxed);
     sum_.fetch_add(value, std::memory_order_relaxed);
     buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
@@ -77,6 +84,12 @@ class LatencyHistogram {
            !max_.compare_exchange_weak(prev, value,
                                        std::memory_order_relaxed)) {
     }
+  }
+
+  /// Signed entry point for callers that subtract two clock reads: a
+  /// negative duration records as 0 rather than wrapping to ~1.8e19.
+  void RecordSigned(int64_t value) {
+    Record(value < 0 ? 0 : static_cast<uint64_t>(value));
   }
 
   uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
@@ -91,7 +104,9 @@ class LatencyHistogram {
   void Reset();
 
   /// Bucket layout helpers (exposed for the accuracy-bound tests).
+  /// Values beyond kMaxTrackedValue all map to its (overflow) bucket.
   static size_t BucketIndex(uint64_t value) {
+    if (value > kMaxTrackedValue) value = kMaxTrackedValue;
     if (value < 2 * kSubBuckets) return static_cast<size_t>(value);
     const int msb = 63 - std::countl_zero(value);
     const uint64_t sub = (value >> (msb - kSubBucketBits)) & (kSubBuckets - 1);
@@ -187,6 +202,14 @@ Status WriteStatsJsonFile(const RegistrySnapshot& snapshot,
 /// Human-readable aligned rendering of a snapshot (used by `rangesyn
 /// stats`).
 std::string FormatStatsText(const RegistrySnapshot& snapshot);
+
+/// Prometheus text exposition (version 0.0.4) rendering of a snapshot:
+/// counters/gauges become `rangesyn_<name>` samples (dots → underscores),
+/// histograms become summary-style families with p50/p95/p99 quantile
+/// labels plus `_sum`/`_count`. Used by `rangesyn stats
+/// --format=prometheus` so a node exporter's textfile collector can
+/// scrape a run's metrics without a JSON shim.
+std::string FormatStatsPrometheus(const RegistrySnapshot& snapshot);
 
 }  // namespace rangesyn::obs
 

@@ -34,11 +34,25 @@ struct ScopedSpan {
   ScopedSpan& operator=(const ScopedSpan&) = delete;
 };
 
+/// Stand-in for obs::EventBuilder: the disabled RANGESYN_LOG_EVENT puts
+/// the whole expression in a dead `while (false)` statement, so the Arg
+/// templates only need to type-check — their arguments are never
+/// evaluated and no field storage exists.
+struct EventBuilder {
+  explicit EventBuilder(const char*) {}
+  template <typename K, typename V>
+  EventBuilder& Arg(const K&, const V&) {
+    return *this;
+  }
+};
+
 static_assert(std::is_empty_v<Counter> && std::is_empty_v<Gauge> &&
                   std::is_empty_v<LatencyHistogram> &&
-                  std::is_empty_v<ScopedSpan>,
+                  std::is_empty_v<ScopedSpan> &&
+                  std::is_empty_v<EventBuilder>,
               "disabled-path obs types must carry no state (no atomics)");
-static_assert(std::is_trivially_destructible_v<ScopedSpan>,
+static_assert(std::is_trivially_destructible_v<ScopedSpan> &&
+                  std::is_trivially_destructible_v<EventBuilder>,
               "disabled-path spans must compile to nothing");
 
 }  // namespace rangesyn::obs::noop

@@ -15,6 +15,8 @@
 ///   engine.query.count      (counter) range queries answered
 /// The leading component becomes the Chrome-trace category.
 
+#include "obs/flight.h"    // IWYU pragma: export
+#include "obs/log.h"       // IWYU pragma: export
 #include "obs/metrics.h"   // IWYU pragma: export
 #include "obs/noop.h"      // IWYU pragma: export
 #include "obs/trace.h"     // IWYU pragma: export
@@ -62,6 +64,43 @@
     rangesyn_obs_gauge->Set(static_cast<int64_t>(value));               \
   } while (false)
 
+/// Structured log event with typed fields, e.g.
+///   RANGESYN_LOG_EVENT(Warning, "engine.build.degraded")
+///       .Arg("from", spec.method).Arg("reason", reason);
+/// `severity` is a bare LogSeverity suffix (Debug/Info/Warning/Error);
+/// `event` must be a string literal in the subsystem.phase[.detail]
+/// namespace. Emission is leveled (--log-level), rate-limited per call
+/// site, and mirrored into the flight-recorder ring. The immediately-
+/// invoked lambda gives each expansion its own static rate-limiter while
+/// keeping the whole macro a single expression, so `.Arg(...)` chains.
+#define RANGESYN_LOG_EVENT(severity, event)                              \
+  ::rangesyn::obs::EventBuilder(                                         \
+      ::rangesyn::LogSeverity::k##severity, event, __FILE__, __LINE__,   \
+      []() -> ::rangesyn::obs::LogSiteState* {                           \
+        static ::rangesyn::obs::LogSiteState rangesyn_log_site;          \
+        return &rangesyn_log_site;                                       \
+      }())
+
+/// Appends one pre-rendered event straight to the flight-recorder ring
+/// (no sink, no rate limit) — for breadcrumbs too chatty for the log
+/// stream but valuable in a postmortem.
+#define RANGESYN_FLIGHT_NOTE(severity, event, detail)                    \
+  ::rangesyn::obs::FlightRecorder::Get().Record(                         \
+      ::rangesyn::LogSeverity::k##severity, event, detail)
+
+/// Deadline poll that logs a structured expiry event (and so lands in
+/// any later flight dump) before propagating DeadlineExceeded. Use at
+/// phase-entry checkpoints, not in inner loops — expiry is once per
+/// build, the poll itself must stay cheap.
+#define RANGESYN_RETURN_IF_DEADLINE(deadline, event, what)               \
+  do {                                                                   \
+    if (::rangesyn::Status rangesyn_dl_status = (deadline).Check(what);  \
+        !rangesyn_dl_status.ok()) {                                      \
+      RANGESYN_LOG_EVENT(Warning, event).Arg("what", what);              \
+      return rangesyn_dl_status;                                         \
+    }                                                                    \
+  } while (false)
+
 #else  // !RANGESYN_OBS_ENABLED
 
 #define RANGESYN_OBS_SPAN(name)                                       \
@@ -83,6 +122,29 @@
   do {                                      \
     (void)sizeof(name);                     \
     (void)sizeof(value);                    \
+  } while (false)
+
+/// Disabled expansion sits in a dead `while (false)` statement (the
+/// RANGESYN_DCHECK idiom): the `.Arg(...)` chain still type-checks, but
+/// no argument expression is ever evaluated — obs_disabled_test proves
+/// this with side-effecting arguments.
+#define RANGESYN_LOG_EVENT(severity, event) \
+  while (false) ::rangesyn::obs::noop::EventBuilder(event)
+
+#define RANGESYN_FLIGHT_NOTE(severity, event, detail) \
+  do {                                                \
+    (void)sizeof(event);                              \
+    (void)sizeof(detail);                             \
+  } while (false)
+
+/// With stats off the deadline poll still runs (correctness: callers rely
+/// on expiry propagating) — only the structured logging disappears.
+#define RANGESYN_RETURN_IF_DEADLINE(deadline, event, what)               \
+  do {                                                                   \
+    if (::rangesyn::Status rangesyn_dl_status = (deadline).Check(what);  \
+        !rangesyn_dl_status.ok()) {                                      \
+      return rangesyn_dl_status;                                         \
+    }                                                                    \
   } while (false)
 
 #endif  // RANGESYN_OBS_ENABLED

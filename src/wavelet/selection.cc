@@ -154,10 +154,12 @@ Result<WaveletSynopsis> BuildWavePoint(const std::vector<int64_t>& data,
   RANGESYN_OBS_SPAN("wavelet.build.wave_point");
   // The padded transform vector is the build's big allocation.
   RANGESYN_FAILPOINT("alloc.wavelet");
-  RANGESYN_RETURN_IF_ERROR(deadline.Check("WAVE-POINT transform"));
+  RANGESYN_RETURN_IF_DEADLINE(deadline, "wavelet.build.deadline",
+                              "WAVE-POINT transform");
   RANGESYN_ASSIGN_OR_RETURN(std::vector<double> coeffs,
                             TransformPaddedData(data));
-  RANGESYN_RETURN_IF_ERROR(deadline.Check("WAVE-POINT selection"));
+  RANGESYN_RETURN_IF_DEADLINE(deadline, "wavelet.build.deadline",
+                              "WAVE-POINT selection");
   std::vector<double> scores(coeffs.size());
   // analyze: waive(SA-105) O(n) scoring scan with an O(1) body, bracketed
   // by the deadline check above and the polled KeepTop selection below.
@@ -176,10 +178,12 @@ Result<WaveletSynopsis> BuildTopBB(const std::vector<int64_t>& data,
   RANGESYN_RETURN_IF_ERROR(ValidateSelectionInput(data, budget));
   RANGESYN_OBS_SPAN("wavelet.build.topbb");
   RANGESYN_FAILPOINT("alloc.wavelet");
-  RANGESYN_RETURN_IF_ERROR(deadline.Check("TOPBB transform"));
+  RANGESYN_RETURN_IF_DEADLINE(deadline, "wavelet.build.deadline",
+                              "TOPBB transform");
   RANGESYN_ASSIGN_OR_RETURN(std::vector<double> coeffs,
                             TransformPaddedData(data));
-  RANGESYN_RETURN_IF_ERROR(deadline.Check("TOPBB scoring"));
+  RANGESYN_RETURN_IF_DEADLINE(deadline, "wavelet.build.deadline",
+                              "TOPBB scoring");
   const int64_t padded = static_cast<int64_t>(coeffs.size());
   std::vector<double> scores(coeffs.size());
   // analyze: waive(SA-105) O(n) scoring scan (O(1) closed-form weight per
@@ -200,7 +204,8 @@ Result<WaveletSynopsis> BuildWaveRangeOpt(const std::vector<int64_t>& data,
   RANGESYN_RETURN_IF_ERROR(ValidateSelectionInput(data, budget));
   RANGESYN_OBS_SPAN("wavelet.build.range_opt");
   RANGESYN_FAILPOINT("alloc.wavelet");
-  RANGESYN_RETURN_IF_ERROR(deadline.Check("WAVE-RANGE-OPT transform"));
+  RANGESYN_RETURN_IF_DEADLINE(deadline, "wavelet.build.deadline",
+                              "WAVE-RANGE-OPT transform");
   const int64_t n = static_cast<int64_t>(data.size());
   const int64_t padded = static_cast<int64_t>(
       NextPowerOfTwo(static_cast<uint64_t>(n) + 1));
@@ -219,7 +224,8 @@ Result<WaveletSynopsis> BuildWaveRangeOpt(const std::vector<int64_t>& data,
     p[static_cast<size_t>(t)] = static_cast<double>(acc);
   }
   RANGESYN_ASSIGN_OR_RETURN(std::vector<double> coeffs, HaarTransform(p));
-  RANGESYN_RETURN_IF_ERROR(deadline.Check("WAVE-RANGE-OPT selection"));
+  RANGESYN_RETURN_IF_DEADLINE(deadline, "wavelet.build.deadline",
+                              "WAVE-RANGE-OPT selection");
   std::vector<double> scores(coeffs.size());
   // analyze: waive(SA-105) O(n) scoring scan with an O(1) body, bracketed
   // by the deadline check above.

@@ -9,6 +9,7 @@
 #include "core/random.h"
 #include "eval/metrics.h"
 #include "histogram/builders.h"
+#include "obs/metrics.h"
 
 namespace rangesyn {
 namespace {
@@ -91,6 +92,64 @@ TEST(MetricsTest, PointQuerySseIsPointWorkloadSse) {
   auto sse = PointQuerySse(data, h.value());
   ASSERT_TRUE(sse.ok());
   EXPECT_DOUBLE_EQ(sse.value(), 8.0);
+}
+
+// ----------------------- latency-histogram edge handling (obs/metrics)
+
+TEST(LatencyHistogramEdgeTest, WrappedNegativeDurationSaturates) {
+  // A negative duration converted through uint64_t becomes ~1.8e19; the
+  // histogram must clamp it to kMaxTrackedValue so one bad clock read
+  // cannot poison sum/mean or pin max at 2^64-1 forever.
+  obs::LatencyHistogram h;
+  const uint64_t wrapped = static_cast<uint64_t>(int64_t{-1});
+  h.Record(wrapped);
+  EXPECT_EQ(h.Count(), 1u);
+  EXPECT_EQ(h.Sum(), obs::LatencyHistogram::kMaxTrackedValue);
+  EXPECT_EQ(h.Max(), obs::LatencyHistogram::kMaxTrackedValue);
+  // And the overflow landed in the saturation bucket, not out of bounds.
+  EXPECT_EQ(obs::LatencyHistogram::BucketIndex(wrapped),
+            obs::LatencyHistogram::BucketIndex(
+                obs::LatencyHistogram::kMaxTrackedValue));
+}
+
+TEST(LatencyHistogramEdgeTest, RecordSignedClampsNegativeToZero) {
+  obs::LatencyHistogram h;
+  h.RecordSigned(-5);
+  h.RecordSigned(0);
+  h.RecordSigned(100);
+  EXPECT_EQ(h.Count(), 3u);
+  EXPECT_EQ(h.Sum(), 100u);
+  EXPECT_EQ(h.Max(), 100u);
+}
+
+TEST(LatencyHistogramEdgeTest, ZeroRecordsIntoTheFirstBucket) {
+  obs::LatencyHistogram h;
+  h.Record(0);
+  EXPECT_EQ(h.Count(), 1u);
+  EXPECT_EQ(h.Sum(), 0u);
+  EXPECT_EQ(h.Max(), 0u);
+  EXPECT_EQ(obs::LatencyHistogram::BucketIndex(0), 0u);
+  EXPECT_DOUBLE_EQ(h.ValueAtQuantile(0.5), 0.0);
+}
+
+TEST(LatencyHistogramEdgeTest, OverflowDoesNotSkewNormalQuantiles) {
+  // 99 sane samples plus one wrapped outlier: the p50 estimate must stay
+  // near the sane data instead of being dragged 18 orders of magnitude.
+  obs::LatencyHistogram h;
+  for (int i = 0; i < 99; ++i) h.Record(1000);
+  h.Record(static_cast<uint64_t>(int64_t{-1}));
+  const double p50 = h.ValueAtQuantile(0.5);
+  EXPECT_GE(p50, 900.0);
+  EXPECT_LE(p50, 1100.0);
+}
+
+TEST(LatencyHistogramEdgeTest, BucketIndexIsMonotoneAcrossTheClamp) {
+  using H = obs::LatencyHistogram;
+  const size_t saturated = H::BucketIndex(H::kMaxTrackedValue);
+  EXPECT_EQ(H::BucketIndex(H::kMaxTrackedValue + 1), saturated);
+  EXPECT_EQ(H::BucketIndex(~uint64_t{0}), saturated);
+  EXPECT_LE(H::BucketIndex(H::kMaxTrackedValue - 1), saturated);
+  EXPECT_LT(saturated, H::kNumBuckets);
 }
 
 }  // namespace

@@ -12,6 +12,8 @@
 #include <cstdint>
 #include <type_traits>
 
+#include "core/deadline.h"
+#include "core/status.h"
 #include "obs/obs.h"
 
 namespace rangesyn::obs {
@@ -23,6 +25,8 @@ static_assert(std::is_trivially_destructible_v<noop::ScopedSpan>);
 static_assert(std::is_empty_v<noop::Counter>);
 static_assert(std::is_empty_v<noop::Gauge>);
 static_assert(std::is_empty_v<noop::LatencyHistogram>);
+static_assert(std::is_empty_v<noop::EventBuilder>);
+static_assert(std::is_trivially_destructible_v<noop::EventBuilder>);
 
 // A side-effecting expression passed to a disabled counter macro must not
 // be evaluated (the macro only takes sizeof of it).
@@ -51,6 +55,46 @@ TEST(ObsDisabledTest, DisabledMacrosNeverRegisterMetrics) {
   for (const GaugeSnapshot& gauge : snapshot.gauges) {
     EXPECT_NE(gauge.name, "obs_disabled_test.phantom_gauge");
   }
+}
+
+TEST(ObsDisabledTest, DisabledLogEventEvaluatesNoArguments) {
+  // The disabled RANGESYN_LOG_EVENT lives in a dead `while (false)`
+  // statement: the .Arg chain type-checks but never runs, so even a
+  // side-effecting argument expression is untouched and nothing reaches
+  // the sink or the flight recorder.
+  bool ran = false;
+  const uint64_t emitted_before = LogSink::Get().emitted_count();
+  const uint64_t recorded_before = FlightRecorder::Get().recorded_count();
+  RANGESYN_LOG_EVENT(Warning, "obs_disabled_test.event")
+      .Arg("n", MustNotRun(&ran))
+      .Arg("s", "text");
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(LogSink::Get().emitted_count(), emitted_before);
+  EXPECT_EQ(FlightRecorder::Get().recorded_count(), recorded_before);
+}
+
+TEST(ObsDisabledTest, DisabledFlightNoteEvaluatesNothing) {
+  bool ran = false;
+  const uint64_t recorded_before = FlightRecorder::Get().recorded_count();
+  RANGESYN_FLIGHT_NOTE(Info, "obs_disabled_test.note", MustNotRun(&ran));
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(FlightRecorder::Get().recorded_count(), recorded_before);
+}
+
+Status DeadlineHelperStillPropagates(const Deadline& deadline) {
+  RANGESYN_RETURN_IF_DEADLINE(deadline, "obs_disabled_test.deadline",
+                              "disabled-path poll");
+  return OkStatus();
+}
+
+TEST(ObsDisabledTest, DisabledDeadlineHelperStillChecksTheDeadline) {
+  // Correctness must not depend on the stats build flavor: with stats off
+  // the helper still polls and propagates expiry — only the structured
+  // event disappears.
+  EXPECT_TRUE(DeadlineHelperStillPropagates(Deadline()).ok());
+  const Status expired = DeadlineHelperStillPropagates(Deadline::After(-1.0));
+  EXPECT_FALSE(expired.ok());
+  EXPECT_EQ(expired.code(), StatusCode::kDeadlineExceeded);
 }
 
 TEST(ObsDisabledTest, DisabledSpansNeverTrace) {

@@ -267,6 +267,98 @@ TEST(TracerTest, TraceJsonRoundTrip) {
   EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
 }
 
+TEST(TracerTest, TraceJsonEscapesHostileNames) {
+  // Span names normally come from compile-time literals, but the tracer
+  // must not assume that: backslashes, newlines and raw control bytes all
+  // need escaping or the whole trace file turns unparseable.
+  Tracer& tracer = Tracer::Get();
+  tracer.Start();
+  tracer.Record("path.with\\backslash", 0, 1);
+  tracer.Record("line.with\nnewline\tand\ttabs", 2, 1);
+  tracer.Record(std::string("ctrl.byte.") + '\x01' + "x", 4, 1);
+  tracer.Stop();
+  std::ostringstream out;
+  WriteTraceJson(out);
+  const std::string json = out.str();
+  EXPECT_TRUE(LooksLikeBalancedJson(json)) << json;
+  EXPECT_NE(json.find("path.with\\\\backslash"), std::string::npos) << json;
+  EXPECT_NE(json.find("line.with\\nnewline\\tand\\ttabs"),
+            std::string::npos);
+  EXPECT_NE(json.find("ctrl.byte.\\u0001x"), std::string::npos);
+  // No raw control characters may survive into the output.
+  for (char c : json) {
+    EXPECT_FALSE(static_cast<unsigned char>(c) < 0x20 && c != '\n')
+        << "raw control byte in trace JSON";
+  }
+}
+
+TEST(TracerTest, ConcurrentSpanEmissionCollectsEverySpan) {
+  // Spans from many threads land in per-thread buffers; collection must
+  // see all of them, each with a plausible tid and a consistent name.
+  Tracer& tracer = Tracer::Get();
+  tracer.Start();
+  constexpr int kThreads = 4;
+  constexpr int kSpansPerThread = 50;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  static constexpr const char* kNames[kThreads] = {
+      "obs_test.mt0", "obs_test.mt1", "obs_test.mt2", "obs_test.mt3"};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        ScopedSpan span(kNames[t]);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  tracer.Stop();
+  int ours = 0;
+  for (const TraceEvent& e : tracer.CollectEvents()) {
+    if (e.name.rfind("obs_test.mt", 0) != 0) continue;
+    ++ours;
+    EXPECT_NE(e.tid, 0u);
+  }
+  EXPECT_EQ(ours, kThreads * kSpansPerThread);
+  // The export of a multi-thread trace is still one well-formed document.
+  std::ostringstream out;
+  WriteTraceJson(out);
+  EXPECT_TRUE(LooksLikeBalancedJson(out.str()));
+}
+
+TEST(StatsPrometheusTest, ExportFollowsTextExpositionShape) {
+  Registry& registry = Registry::Get();
+  registry.GetCounter("obs_test.prom.counter")->Add(7);
+  registry.GetGauge("obs_test.prom.gauge")->Set(-3);
+  registry.GetHistogram("obs_test.prom.lat_ns")->Record(1000000);
+  const std::string text = FormatStatsPrometheus(registry.Snapshot());
+  // Counters: rangesyn_ prefix, dots -> underscores, _total suffix.
+  EXPECT_NE(text.find("# TYPE rangesyn_obs_test_prom_counter_total counter"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("rangesyn_obs_test_prom_counter_total 7"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE rangesyn_obs_test_prom_gauge gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("rangesyn_obs_test_prom_gauge -3"), std::string::npos);
+  // Histograms export as summaries in seconds with quantile labels.
+  EXPECT_NE(text.find("# TYPE rangesyn_obs_test_prom_lat_ns_seconds summary"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find("rangesyn_obs_test_prom_lat_ns_seconds{quantile=\"0.5\"}"),
+      std::string::npos);
+  EXPECT_NE(text.find("rangesyn_obs_test_prom_lat_ns_seconds_count 1"),
+            std::string::npos);
+  // Every non-comment line is `name[{labels}] value`.
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    EXPECT_NE(line.substr(0, space), "") << line;
+  }
+}
+
 TEST(TracerTest, StartClearsPreviousEvents) {
   Tracer& tracer = Tracer::Get();
   tracer.Start();

@@ -308,6 +308,9 @@ LOCK_TYPES = (
 POLL_METHODS = {"Check", "Expired", "cancelled", "CheckCancelled"}
 POLL_RECEIVER_TYPES = ("Deadline", "CancellationToken")
 POLL_RECEIVER_NAMES = {"deadline", "token", "cancel"}
+# Macros that expand to a deadline poll (the fallback frontend does not
+# expand macros, so the hidden .Check() call needs explicit credit).
+POLL_MACROS = {"RANGESYN_RETURN_IF_DEADLINE"}
 
 
 def int_class(type_str: str | None) -> int | None:
@@ -1375,6 +1378,9 @@ class BodyWalker:
             if receiver_cls in POLL_RECEIVER_TYPES or named:
                 for loop in self.loop_stack:
                     loop.polls = True
+        if method in POLL_MACROS and self.loop_stack:
+            for loop in self.loop_stack:
+                loop.polls = True
         # Iterator-style loop over an unordered container:
         # `x.begin()` inside a loop header is handled by the range-for
         # path; `for (auto it = m.begin(); ...)` lands here.
