@@ -1,0 +1,187 @@
+// EXT-TIME (b') — the flat query path versus the legacy virtual path,
+// per estimator family at paper scale (n = 4096, 64-word synopses).
+// Every row answers the *same* pre-generated 4096-query batch per
+// iteration, three ways:
+//   Legacy     — virtual EstimateRange, one call per query
+//   Flat       — FlatSynopsis::EstimateOne, one call per query
+//   FlatBatch  — one FlatSynopsis::EstimateMany over the whole batch
+//                (sorts the batch, then answers in range order)
+// so per-iteration times are directly comparable: the committed
+// baseline records FlatBatch vs Legacy as the per-family speedup the
+// PR 7 regression gate watches. The answers are bit-identical across
+// all three rows (tests/qpath_equivalence_test.cc), so the comparison
+// is purely about serving cost.
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "core/analysis_annotations.h"
+#include "core/logging.h"
+#include "core/random.h"
+#include "data/distribution.h"
+#include "data/rounding.h"
+#include "engine/factory.h"
+#include "histogram/builders.h"
+#include "histogram/histogram.h"
+#include "histogram/weighted_sap0.h"
+#include "qpath/flat_synopsis.h"
+
+namespace rangesyn {
+namespace {
+
+constexpr int64_t kPaperN = 4096;
+constexpr int64_t kBatch = 4096;
+
+std::vector<int64_t> Dataset(int64_t n) {
+  Rng rng(7);
+  ZipfOptions options;
+  options.n = n;
+  options.total_volume = 500000.0;
+  auto floats = ZipfFrequencies(options, &rng);
+  RANGESYN_CHECK_OK(floats.status());
+  auto data = RandomRound(floats.value(), RandomRoundingMode::kHalf, &rng);
+  RANGESYN_CHECK_OK(data.status());
+  return data.value();
+}
+
+std::vector<FlatQuery> QueryBatch(int64_t n) {
+  Rng rng(3);
+  std::vector<FlatQuery> queries;
+  queries.reserve(kBatch);
+  for (int64_t i = 0; i < kBatch; ++i) {
+    const int64_t a = rng.NextInt(1, n);
+    const int64_t b = rng.NextInt(a, n);
+    queries.push_back({a, b});
+  }
+  return queries;
+}
+
+/// Builds the family under a 64-word budget. As in bench_query, the SAP
+/// representations are built on cheap equi-depth boundaries (boundary
+/// *choice* does not affect query latency; their optimal construction
+/// is measured in bench_construction).
+RangeEstimatorPtr BuildFamily(const std::string& method,
+                              const std::vector<int64_t>& data) {
+  const auto on_equidepth = [&](auto&& build) -> RangeEstimatorPtr {
+    auto cheap = BuildEquiDepth(data, 32);
+    RANGESYN_CHECK_OK(cheap.status());
+    return build(cheap->partition());
+  };
+  if (method == "sap0") {
+    return on_equidepth([&](const Partition& p) -> RangeEstimatorPtr {
+      auto h = Sap0Histogram::Build(data, p);
+      RANGESYN_CHECK_OK(h.status());
+      return std::make_unique<Sap0Histogram>(std::move(h).value());
+    });
+  }
+  if (method == "sap1") {
+    return on_equidepth([&](const Partition& p) -> RangeEstimatorPtr {
+      auto h = Sap1Histogram::Build(data, p);
+      RANGESYN_CHECK_OK(h.status());
+      return std::make_unique<Sap1Histogram>(std::move(h).value());
+    });
+  }
+  if (method == "sap2") {
+    return on_equidepth([&](const Partition& p) -> RangeEstimatorPtr {
+      auto h = Sap2Histogram::Build(data, p);
+      RANGESYN_CHECK_OK(h.status());
+      return std::make_unique<Sap2Histogram>(std::move(h).value());
+    });
+  }
+  SynopsisSpec spec;
+  spec.method = method;
+  spec.budget_words = 64;
+  auto built = BuildSynopsis(spec, data);
+  RANGESYN_CHECK_OK(built.status());
+  return std::move(built).value();
+}
+
+/// The timed step of the legacy rows: answer the whole batch through the
+/// virtual interface. RANGESYN_HOT_PATH so rangesyn-analyze proves the
+/// loop the benchmark times is allocation- and lock-free.
+RANGESYN_HOT_PATH double AnswerBatchLegacy(
+    const RangeEstimator& est, const std::vector<FlatQuery>& queries) {
+  double acc = 0.0;
+  for (const FlatQuery& q : queries) {
+    acc += est.EstimateRange(q.a, q.b);
+  }
+  return acc;
+}
+
+/// Same contract for the flat one-at-a-time rows.
+RANGESYN_HOT_PATH double AnswerBatchFlat(
+    const FlatSynopsis& flat, const std::vector<FlatQuery>& queries) {
+  double acc = 0.0;
+  for (const FlatQuery& q : queries) {
+    acc += flat.EstimateOne(q.a, q.b);
+  }
+  return acc;
+}
+
+void BM_Legacy(benchmark::State& state, const std::string& method) {
+  const std::vector<int64_t> data = Dataset(kPaperN);
+  const RangeEstimatorPtr est = BuildFamily(method, data);
+  const std::vector<FlatQuery> queries = QueryBatch(kPaperN);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(AnswerBatchLegacy(*est, queries));
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+}
+
+void BM_Flat(benchmark::State& state, const std::string& method) {
+  const std::vector<int64_t> data = Dataset(kPaperN);
+  const RangeEstimatorPtr est = BuildFamily(method, data);
+  auto flat = FlatSynopsis::Compile(*est);
+  RANGESYN_CHECK_OK(flat.status());
+  const std::vector<FlatQuery> queries = QueryBatch(kPaperN);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(AnswerBatchFlat(*flat.value(), queries));
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+}
+
+void BM_FlatBatch(benchmark::State& state, const std::string& method) {
+  const std::vector<int64_t> data = Dataset(kPaperN);
+  const RangeEstimatorPtr est = BuildFamily(method, data);
+  auto flat = FlatSynopsis::Compile(*est);
+  RANGESYN_CHECK_OK(flat.status());
+  const std::vector<FlatQuery> queries = QueryBatch(kPaperN);
+  std::vector<double> out(queries.size());
+  FlatSynopsis::BatchScratch scratch;
+  // Warm the scratch so the timed loop never allocates.
+  RANGESYN_CHECK_OK(flat.value()->EstimateMany(queries, out, &scratch));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        flat.value()->EstimateMany(queries, out, &scratch).ok());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+}
+
+#define RANGESYN_QUERY_FLAT_ROWS(Name, method)                      \
+  void BM_Legacy_##Name(benchmark::State& s) { BM_Legacy(s, method); } \
+  void BM_Flat_##Name(benchmark::State& s) { BM_Flat(s, method); }     \
+  void BM_FlatBatch_##Name(benchmark::State& s) {                      \
+    BM_FlatBatch(s, method);                                           \
+  }                                                                    \
+  BENCHMARK(BM_Legacy_##Name);                                         \
+  BENCHMARK(BM_Flat_##Name);                                           \
+  BENCHMARK(BM_FlatBatch_##Name)
+
+RANGESYN_QUERY_FLAT_ROWS(EquiDepth, "equidepth");
+RANGESYN_QUERY_FLAT_ROWS(Sap0, "sap0");
+RANGESYN_QUERY_FLAT_ROWS(A0, "a0");
+RANGESYN_QUERY_FLAT_ROWS(Sap1, "sap1");
+RANGESYN_QUERY_FLAT_ROWS(Sap2, "sap2");
+RANGESYN_QUERY_FLAT_ROWS(Naive, "naive");
+RANGESYN_QUERY_FLAT_ROWS(WavePoint, "wave-point");
+RANGESYN_QUERY_FLAT_ROWS(WaveRangeOpt, "wave-range-opt");
+
+}  // namespace
+}  // namespace rangesyn
+
+BENCHMARK_MAIN();

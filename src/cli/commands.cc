@@ -12,6 +12,8 @@
 #include "data/rounding.h"
 #include "engine/factory.h"
 #include "engine/serialize.h"
+#include "qpath/flat_file.h"
+#include "qpath/flat_synopsis.h"
 #include "eval/experiment.h"
 #include "eval/metrics.h"
 #include "eval/report.h"
@@ -115,14 +117,46 @@ Result<std::string> CmdInspect(const std::vector<std::string>& args) {
                 est->domain_size(), "\n");
 }
 
+/// Resolves the estimator a query command should serve from: the mmap'd
+/// flat file when --flat-file is set, the flat compilation of the loaded
+/// synopsis under --flat, or the legacy estimator otherwise. The flat
+/// paths answer bit-identically to the legacy one, so the choice is purely
+/// about serving cost.
+Result<RangeEstimatorPtr> LoadQueryEstimator(const FlagSet& flags) {
+  const std::string flat_file = flags.GetString("flat-file");
+  if (!flat_file.empty()) {
+    RANGESYN_ASSIGN_OR_RETURN(std::shared_ptr<const FlatSynopsis> flat,
+                              OpenFlatMapped(flat_file));
+    return RangeEstimatorPtr(
+      std::make_unique<FlatRangeEstimator>(std::move(flat)));
+  }
+  RANGESYN_ASSIGN_OR_RETURN(RangeEstimatorPtr est,
+                            LoadSynopsisFromFile(flags.GetString("synopsis")));
+  if (!flags.GetBool("flat")) return est;
+  RANGESYN_ASSIGN_OR_RETURN(std::shared_ptr<const FlatSynopsis> flat,
+                            FlatSynopsis::Compile(*est));
+  return RangeEstimatorPtr(
+      std::make_unique<FlatRangeEstimator>(std::move(flat)));
+}
+
+void DefineFlatFlags(FlagSet* flags) {
+  flags->DefineBool("flat", false,
+                    "serve through the flat (structure-of-arrays) query "
+                    "path; answers are bit-identical to the legacy path");
+  flags->DefineString("flat-file", "",
+                      "RSF1 flat synopsis (see compile-flat); mmap'd and "
+                      "served zero-copy, overrides --synopsis");
+}
+
 Result<std::string> CmdEstimate(const std::vector<std::string>& args) {
   FlagSet flags("rangesyn estimate", "answer one range query");
   flags.DefineString("synopsis", "synopsis.rsn", "synopsis path");
   flags.DefineInt64("a", 1, "range start (1-based, inclusive)");
   flags.DefineInt64("b", 1, "range end (inclusive)");
+  DefineFlatFlags(&flags);
   RANGESYN_RETURN_IF_ERROR(ParseArgs(&flags, args));
   RANGESYN_ASSIGN_OR_RETURN(RangeEstimatorPtr est,
-                            LoadSynopsisFromFile(flags.GetString("synopsis")));
+                            LoadQueryEstimator(flags));
   const int64_t a = flags.GetInt64("a");
   const int64_t b = flags.GetInt64("b");
   if (a < 1 || a > b || b > est->domain_size()) {
@@ -134,6 +168,23 @@ Result<std::string> CmdEstimate(const std::vector<std::string>& args) {
                 FormatG(est->EstimateRange(a, b), 10), "\n");
 }
 
+Result<std::string> CmdCompileFlat(const std::vector<std::string>& args) {
+  FlagSet flags("rangesyn compile-flat",
+                "compile a synopsis into an mmap-able RSF1 flat file");
+  flags.DefineString("synopsis", "synopsis.rsn", "input synopsis path");
+  flags.DefineString("out", "synopsis.rsf", "output flat file path");
+  RANGESYN_RETURN_IF_ERROR(ParseArgs(&flags, args));
+  RANGESYN_ASSIGN_OR_RETURN(RangeEstimatorPtr est,
+                            LoadSynopsisFromFile(flags.GetString("synopsis")));
+  RANGESYN_ASSIGN_OR_RETURN(std::shared_ptr<const FlatSynopsis> flat,
+                            FlatSynopsis::Compile(*est));
+  RANGESYN_RETURN_IF_ERROR(
+      SaveFlatSynopsis(*flat, flags.GetString("out")));
+  return StrCat("compiled ", est->Name(), " -> ", flat->Name(), " (",
+                flat->i64s().size(), " i64 + ", flat->f64s().size(),
+                " f64 words) -> ", flags.GetString("out"), "\n");
+}
+
 Result<std::string> CmdEvaluate(const std::vector<std::string>& args) {
   FlagSet flags("rangesyn evaluate",
                 "score a synopsis against exact answers");
@@ -141,9 +192,10 @@ Result<std::string> CmdEvaluate(const std::vector<std::string>& args) {
   flags.DefineString("data", "data.csv", "ground-truth distribution CSV");
   flags.DefineString("workload", "",
                      "optional query-log CSV (default: all ranges)");
+  DefineFlatFlags(&flags);
   RANGESYN_RETURN_IF_ERROR(ParseArgs(&flags, args));
   RANGESYN_ASSIGN_OR_RETURN(RangeEstimatorPtr est,
-                            LoadSynopsisFromFile(flags.GetString("synopsis")));
+                            LoadQueryEstimator(flags));
   RANGESYN_ASSIGN_OR_RETURN(std::vector<int64_t> data,
                             LoadDistributionCsv(flags.GetString("data")));
   ErrorStats stats;
@@ -256,6 +308,7 @@ std::string CliUsage() {
       "  inspect    describe a persisted synopsis\n"
       "  estimate   answer one range query from a synopsis\n"
       "  evaluate   score a synopsis against exact answers\n"
+      "  compile-flat  compile a synopsis into an mmap-able flat file\n"
       "  sweep      run a Figure-1 style storage sweep\n"
       "  stats      run an instrumented pipeline and report obs metrics\n"
       "  help       show this text\n"
@@ -342,6 +395,7 @@ Result<std::string> RunCliCommand(const std::vector<std::string>& args) {
     if (command == "inspect") return CmdInspect(rest);
     if (command == "estimate") return CmdEstimate(rest);
     if (command == "evaluate") return CmdEvaluate(rest);
+    if (command == "compile-flat") return CmdCompileFlat(rest);
     if (command == "sweep") return CmdSweep(rest);
     if (command == "stats") return CmdStats(rest);
     return InvalidArgumentError(

@@ -16,8 +16,10 @@ namespace rangesyn {
 ///   generate  --dist=zipf --n=127 --volume=2000 --seed=7 --out=data.csv
 ///   build     --data=data.csv --method=sap1 --budget=24 --out=syn.rsn
 ///   inspect   --synopsis=syn.rsn
-///   estimate  --synopsis=syn.rsn --a=3 --b=40
+///   estimate  --synopsis=syn.rsn --a=3 --b=40 [--flat|--flat-file=f.rsf]
 ///   evaluate  --synopsis=syn.rsn --data=data.csv [--workload=log.csv]
+///             [--flat|--flat-file=f.rsf]
+///   compile-flat  --synopsis=syn.rsn --out=syn.rsf
 ///   sweep     --data=data.csv --methods=a0,sap1 --budgets=8,16,32 [--csv]
 ///
 /// `RunCliCommand({"build", "--data=...", ...})` dispatches on the first

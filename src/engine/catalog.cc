@@ -49,6 +49,29 @@ Result<const SynopsisCatalog::Entry*> SynopsisCatalog::Find(
   return &it->second;
 }
 
+Result<std::shared_ptr<const FlatSynopsis>> SynopsisCatalog::FlatView(
+    const std::string& key) {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    return NotFoundError(StrCat("no catalog entry '", key, "'"));
+  }
+  Entry& entry = it->second;
+  if (entry.flat == nullptr) {
+    RANGESYN_ASSIGN_OR_RETURN(entry.flat,
+                              FlatSynopsis::Compile(*entry.estimator));
+  }
+  return entry.flat;
+}
+
+Status SynopsisCatalog::Evict(const std::string& key) {
+  // Outstanding FlatView holders keep their (shared) storage alive; this
+  // only drops the catalog's references, so later lookups fail NotFound.
+  if (entries_.erase(key) == 0) {
+    return NotFoundError(StrCat("no catalog entry '", key, "'"));
+  }
+  return OkStatus();
+}
+
 Result<double> SynopsisCatalog::EstimateCountBetween(const std::string& key,
                                                      int64_t lo,
                                                      int64_t hi) const {

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -10,6 +11,7 @@
 #include "core/result.h"
 #include "engine/factory.h"
 #include "engine/table.h"
+#include "qpath/flat_synopsis.h"
 
 namespace rangesyn {
 
@@ -115,6 +117,19 @@ class SynopsisCatalog {
   static Result<SynopsisCatalog> LoadFromFileWithReport(
       const std::string& path, LoadReport* report);
 
+  /// Flat (structure-of-arrays) view of `key`'s synopsis for the serving
+  /// hot path. Compiled lazily on first request and cached; later calls
+  /// return the same shared view. The view answers queries bit-identically
+  /// to the entry's estimator (tests/qpath_equivalence_test.cc).
+  Result<std::shared_ptr<const FlatSynopsis>> FlatView(
+      const std::string& key);
+
+  /// Removes `key` from the catalog. Lifetime contract: flat views handed
+  /// out earlier stay valid — they share ownership of their storage — so
+  /// eviction never dangles an outstanding reader; only future lookups
+  /// fail. NotFound when the key is absent.
+  Status Evict(const std::string& key);
+
   /// Registered keys with method names, for introspection.
   struct EntryInfo {
     std::string key;
@@ -132,6 +147,9 @@ class SynopsisCatalog {
     int64_t domain_size = 0;
     std::string method;
     RangeEstimatorPtr estimator;
+    /// Lazily compiled flat view (FlatView); shared with callers so
+    /// eviction cannot invalidate an outstanding reader.
+    std::shared_ptr<const FlatSynopsis> flat;
   };
 
   Result<const Entry*> Find(const std::string& key) const;

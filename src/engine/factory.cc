@@ -237,6 +237,13 @@ Result<RangeEstimatorPtr> BuildSynopsis(const SynopsisSpec& spec,
                                spec.max_states);
 }
 
+Result<std::shared_ptr<const FlatSynopsis>> BuildFlatSynopsis(
+    const SynopsisSpec& spec, const std::vector<int64_t>& data) {
+  RANGESYN_ASSIGN_OR_RETURN(RangeEstimatorPtr estimator,
+                            BuildSynopsis(spec, data));
+  return FlatSynopsis::Compile(*estimator);
+}
+
 Result<BuildOutcome> BuildSynopsisWithOptions(
     const SynopsisSpec& spec, const std::vector<int64_t>& data,
     const BuildOptions& options) {

@@ -5,9 +5,12 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "core/deadline.h"
 #include "core/estimator.h"
 #include "core/result.h"
+#include "qpath/flat_synopsis.h"
 
 namespace rangesyn {
 
@@ -94,6 +97,12 @@ Result<BuildOutcome> BuildSynopsisWithOptions(
 /// Words each stored unit (bucket / coefficient) of `method` costs, e.g.
 /// 2 for "opta", 3 for "sap0", 5 for "sap1". Fails on unknown methods.
 Result<int64_t> WordsPerUnit(const std::string& method);
+
+/// Builds `spec` and compiles the result straight into the flat query
+/// path (src/qpath): one call for callers that only ever serve queries
+/// and never need the legacy estimator object.
+Result<std::shared_ptr<const FlatSynopsis>> BuildFlatSynopsis(
+    const SynopsisSpec& spec, const std::vector<int64_t>& data);
 
 }  // namespace rangesyn
 

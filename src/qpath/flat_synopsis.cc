@@ -1,0 +1,679 @@
+#include "qpath/flat_synopsis.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "core/logging.h"
+#include "core/mathutil.h"
+#include "core/strings.h"
+#include "histogram/weighted_sap0.h"
+#include "wavelet/synopsis.h"
+
+namespace rangesyn {
+namespace {
+
+/// Replicates histogram.cc's CumulativeMass bit-for-bit from the flat
+/// arrays: cum[k+1] = cum[k] + (double)width_k * values[k], widths derived
+/// from the 1-based right endpoints.
+std::vector<double> CumulativeMassFlat(const std::vector<int64_t>& ends,
+                                       const std::vector<double>& values) {
+  std::vector<double> cum(ends.size() + 1, 0.0);
+  int64_t start = 1;
+  for (size_t k = 0; k < ends.size(); ++k) {
+    const int64_t width = ends[k] - start + 1;
+    cum[k + 1] = cum[k] + static_cast<double>(width) * values[k];
+    start = ends[k] + 1;
+  }
+  return cum;
+}
+
+/// Per-level Haar basis heights: heights[j] = 1/sqrt(padded >> j), the
+/// same expression DescribeBasis evaluates per call, hoisted to one
+/// evaluation per level (identical IEEE-754 result).
+std::vector<double> LevelHeights(int64_t padded) {
+  const int levels = FloorLog2(static_cast<uint64_t>(padded));
+  std::vector<double> heights(static_cast<size_t>(levels) + 1);
+  for (int j = 0; j <= levels; ++j) {
+    heights[static_cast<size_t>(j)] =
+        1.0 / std::sqrt(static_cast<double>(padded >> j));
+  }
+  return heights;
+}
+
+/// Grows the batch sort-key buffer. Cold: runs once per batch size
+/// increase, never per query.
+RANGESYN_COLD_PATH void EnsureScratch(FlatSynopsis::BatchScratch* scratch,
+                                      size_t count) {
+  if (scratch->keys.size() < count) scratch->keys.resize(count);
+}
+
+/// The sorted batch walk only pays once the per-bucket arrays stop being
+/// cache-resident; below this many buckets every search already hits L1/
+/// L2 and the O(n log n) sort is pure overhead.
+constexpr int64_t kSortedWalkMinBuckets = 4096;
+
+/// Quadratic model evaluation, matching Sap2Histogram::Model::At.
+RANGESYN_HOT_PATH inline double ModelAt(const double* m, double x) {
+  return m[0] + m[1] * x + m[2] * x * x;
+}
+
+constexpr int64_t kMaxFlatBuckets = int64_t{1} << 40;
+constexpr int64_t kMaxFlatPadded = int64_t{1} << 40;
+
+}  // namespace
+
+void BuildEytzinger(std::span<const int64_t> ends, std::span<int64_t> eytz,
+                    std::span<int64_t> rank) {
+  RANGESYN_CHECK_EQ(eytz.size(), ends.size() + 1);
+  RANGESYN_CHECK_EQ(rank.size(), ends.size() + 1);
+  eytz[0] = 0;
+  rank[0] = 0;
+  // In-order traversal of the implicit complete tree visits the slots in
+  // ascending key order; recursion depth is the tree height, O(log B).
+  size_t next = 0;
+  const size_t buckets = ends.size();
+  const auto fill = [&](const auto& self, size_t k) -> void {
+    if (k > buckets) return;
+    self(self, 2 * k);
+    eytz[k] = ends[next];
+    rank[k] = static_cast<int64_t>(next);
+    ++next;
+    self(self, 2 * k + 1);
+  };
+  fill(fill, 1);
+}
+
+Result<std::shared_ptr<const FlatSynopsis>> FlatSynopsis::FromBuffers(
+    FlatKind kind, uint8_t aux, int64_t n, int64_t num_buckets,
+    int64_t padded_size, std::span<const int64_t> i64s,
+    std::span<const double> f64s, std::shared_ptr<const void> backing) {
+  // make_shared cannot reach the private constructor; the raw new is
+  // immediately owned.
+  std::shared_ptr<FlatSynopsis> s(new FlatSynopsis());  // lint: waive(LINT-004)
+  s->kind_ = kind;
+  s->aux_ = aux;
+  s->n_ = n;
+  s->num_buckets_ = num_buckets;
+  s->padded_size_ = padded_size;
+  s->backing_ = std::move(backing);
+  s->i64_ = i64s;
+  s->f64_ = f64s;
+  RANGESYN_RETURN_IF_ERROR(s->InitAndValidate());
+  return std::shared_ptr<const FlatSynopsis>(std::move(s));
+}
+
+Result<std::shared_ptr<const FlatSynopsis>> FlatSynopsis::FromBuffersCopied(
+    FlatKind kind, uint8_t aux, int64_t n, int64_t num_buckets,
+    int64_t padded_size, std::span<const int64_t> i64s,
+    std::span<const double> f64s) {
+  // make_shared cannot reach the private constructor; the raw new is
+  // immediately owned.
+  std::shared_ptr<FlatSynopsis> s(new FlatSynopsis());  // lint: waive(LINT-004)
+  s->kind_ = kind;
+  s->aux_ = aux;
+  s->n_ = n;
+  s->num_buckets_ = num_buckets;
+  s->padded_size_ = padded_size;
+  s->own_i64_.assign(i64s.begin(), i64s.end());
+  s->own_f64_.assign(f64s.begin(), f64s.end());
+  s->i64_ = s->own_i64_;
+  s->f64_ = s->own_f64_;
+  RANGESYN_RETURN_IF_ERROR(s->InitAndValidate());
+  return std::shared_ptr<const FlatSynopsis>(std::move(s));
+}
+
+Status FlatSynopsis::InitAndValidate() {
+  const int64_t buckets = num_buckets_;
+  const bool histogram_kind =
+      kind_ == FlatKind::kAvgHistogram || kind_ == FlatKind::kSap0 ||
+      kind_ == FlatKind::kSap1 || kind_ == FlatKind::kSap2 ||
+      kind_ == FlatKind::kWeightedSap0;
+  if (n_ < 1) return InvalidArgumentError("FlatSynopsis: n must be >= 1");
+
+  if (histogram_kind) {
+    if (padded_size_ != 0) {
+      return InvalidArgumentError(
+          "FlatSynopsis: padded_size must be 0 for histogram kinds");
+    }
+    if (buckets < 1 || buckets > n_ || buckets > kMaxFlatBuckets) {
+      return InvalidArgumentError("FlatSynopsis: bad bucket count");
+    }
+    if (static_cast<int64_t>(i64_.size()) != 3 * buckets + 2) {
+      return InvalidArgumentError("FlatSynopsis: bad i64 section size");
+    }
+    int64_t expected_f64 = 0;
+    switch (kind_) {
+      case FlatKind::kAvgHistogram:
+        if (aux_ > 2) {
+          return InvalidArgumentError("FlatSynopsis: bad rounding tag");
+        }
+        expected_f64 = 2 * buckets + 1;
+        break;
+      case FlatKind::kSap0:
+      case FlatKind::kWeightedSap0:
+        if (aux_ != 0) return InvalidArgumentError("FlatSynopsis: bad aux");
+        expected_f64 = 4 * buckets + 1;
+        break;
+      case FlatKind::kSap1:
+        if (aux_ != 0) return InvalidArgumentError("FlatSynopsis: bad aux");
+        expected_f64 = 6 * buckets + 1;
+        break;
+      case FlatKind::kSap2:
+        if (aux_ != 0) return InvalidArgumentError("FlatSynopsis: bad aux");
+        expected_f64 = 8 * buckets + 1;
+        break;
+      default:
+        return InvalidArgumentError("FlatSynopsis: unreachable kind");
+    }
+    if (static_cast<int64_t>(f64_.size()) != expected_f64) {
+      return InvalidArgumentError("FlatSynopsis: bad f64 section size");
+    }
+
+    // Boundaries must be strictly increasing 1-based endpoints covering
+    // 1..n; the Eytzinger mirror and its ranks are recomputed and compared
+    // wholesale, so a corrupted rank can never index out of bounds.
+    const int64_t* ends = i64_.data();
+    int64_t prev = 0;
+    for (int64_t k = 0; k < buckets; ++k) {
+      if (ends[k] <= prev || ends[k] > n_) {
+        return InvalidArgumentError("FlatSynopsis: boundaries not sorted");
+      }
+      prev = ends[k];
+    }
+    if (ends[buckets - 1] != n_) {
+      return InvalidArgumentError("FlatSynopsis: last boundary != n");
+    }
+    std::vector<int64_t> eytz(static_cast<size_t>(buckets) + 1);
+    std::vector<int64_t> rank(static_cast<size_t>(buckets) + 1);
+    BuildEytzinger(i64_.subspan(0, static_cast<size_t>(buckets)), eytz,
+                   rank);
+    if (std::memcmp(eytz.data(), i64_.data() + buckets,
+                    eytz.size() * sizeof(int64_t)) != 0 ||
+        std::memcmp(rank.data(), i64_.data() + 2 * buckets + 1,
+                    rank.size() * sizeof(int64_t)) != 0) {
+      return InvalidArgumentError(
+          "FlatSynopsis: Eytzinger section disagrees with boundaries");
+    }
+
+    ends_ = i64_.data();
+    eytz_ends_ = i64_.data() + buckets;
+    eytz_rank_ = i64_.data() + 2 * buckets + 1;
+    cum_ = f64_.data();
+    const double* after_cum = f64_.data() + buckets + 1;
+    switch (kind_) {
+      case FlatKind::kAvgHistogram:
+        f_a_ = after_cum;  // stored values
+        avg_ = after_cum;
+        break;
+      case FlatKind::kSap0:
+      case FlatKind::kWeightedSap0:
+        f_a_ = after_cum;                // suffix values
+        f_b_ = after_cum + buckets;      // prefix values
+        avg_ = after_cum + 2 * buckets;  // bucket averages
+        break;
+      case FlatKind::kSap1:
+        f_a_ = after_cum;                // suffix slopes
+        f_b_ = after_cum + buckets;      // suffix intercepts
+        f_c_ = after_cum + 2 * buckets;  // prefix slopes
+        f_d_ = after_cum + 3 * buckets;  // prefix intercepts
+        avg_ = after_cum + 4 * buckets;
+        break;
+      case FlatKind::kSap2:
+        f_a_ = after_cum;                    // suffix models, 3 per bucket
+        f_b_ = after_cum + 3 * buckets;      // prefix models, 3 per bucket
+        avg_ = after_cum + 6 * buckets;
+        break;
+      default:
+        return InvalidArgumentError("FlatSynopsis: unreachable kind");
+    }
+    BuildBucketHint();
+    return OkStatus();
+  }
+
+  if (kind_ == FlatKind::kNaive) {
+    if (buckets != 0 || padded_size_ != 0 || aux_ != 0 || !i64_.empty() ||
+        f64_.size() != 1) {
+      return InvalidArgumentError("FlatSynopsis: bad naive layout");
+    }
+    avg_ = f64_.data();
+    return OkStatus();
+  }
+
+  if (kind_ == FlatKind::kWavelet) {
+    if (buckets != 0 || !i64_.empty()) {
+      return InvalidArgumentError("FlatSynopsis: bad wavelet layout");
+    }
+    if (aux_ > 1) return InvalidArgumentError("FlatSynopsis: bad domain");
+    if (padded_size_ < 1 || padded_size_ > kMaxFlatPadded ||
+        !IsPowerOfTwo(static_cast<uint64_t>(padded_size_))) {
+      return InvalidArgumentError("FlatSynopsis: bad padded_size");
+    }
+    const bool data_domain = aux_ == 0;
+    if ((data_domain && n_ > padded_size_) ||
+        (!data_domain && n_ + 1 > padded_size_)) {
+      return InvalidArgumentError("FlatSynopsis: n exceeds padded_size");
+    }
+    const int64_t levels = FloorLog2(static_cast<uint64_t>(padded_size_));
+    if (static_cast<int64_t>(f64_.size()) != levels + 1 + padded_size_) {
+      return InvalidArgumentError("FlatSynopsis: bad f64 section size");
+    }
+    // The per-level heights are a pure function of padded_size; recompute
+    // and compare bitwise so a damaged file cannot skew every answer.
+    const std::vector<double> expected = LevelHeights(padded_size_);
+    if (std::memcmp(expected.data(), f64_.data(),
+                    expected.size() * sizeof(double)) != 0) {
+      return InvalidArgumentError(
+          "FlatSynopsis: height table disagrees with padded_size");
+    }
+    heights_ = f64_.data();
+    table_ = f64_.data() + levels + 1;
+    return OkStatus();
+  }
+
+  return InvalidArgumentError("FlatSynopsis: unknown kind tag");
+}
+
+Result<std::shared_ptr<const FlatSynopsis>> FlatSynopsis::Compile(
+    const RangeEstimator& estimator) {
+  if (const auto* h = dynamic_cast<const AvgHistogram*>(&estimator)) {
+    const std::vector<int64_t>& ends = h->partition().ends();
+    const int64_t buckets = h->partition().num_buckets();
+    std::vector<int64_t> i64s(static_cast<size_t>(3 * buckets + 2));
+    std::copy(ends.begin(), ends.end(), i64s.begin());
+    BuildEytzinger(std::span<const int64_t>(ends),
+                   std::span<int64_t>(i64s).subspan(
+                       static_cast<size_t>(buckets),
+                       static_cast<size_t>(buckets) + 1),
+                   std::span<int64_t>(i64s).subspan(
+                       static_cast<size_t>(2 * buckets + 1)));
+    std::vector<double> f64s = CumulativeMassFlat(ends, h->values());
+    f64s.insert(f64s.end(), h->values().begin(), h->values().end());
+    return FromBuffersCopied(FlatKind::kAvgHistogram,
+                             static_cast<uint8_t>(h->rounding()),
+                             h->domain_size(), buckets, 0, i64s, f64s);
+  }
+  const auto append = [](std::vector<double>* dst,
+                         const std::vector<double>& src) {
+    dst->insert(dst->end(), src.begin(), src.end());
+  };
+  if (const auto* h = dynamic_cast<const Sap0Histogram*>(&estimator)) {
+    const std::vector<int64_t>& ends = h->partition().ends();
+    const int64_t buckets = h->partition().num_buckets();
+    std::vector<int64_t> i64s(static_cast<size_t>(3 * buckets + 2));
+    std::copy(ends.begin(), ends.end(), i64s.begin());
+    BuildEytzinger(std::span<const int64_t>(ends),
+                   std::span<int64_t>(i64s).subspan(
+                       static_cast<size_t>(buckets),
+                       static_cast<size_t>(buckets) + 1),
+                   std::span<int64_t>(i64s).subspan(
+                       static_cast<size_t>(2 * buckets + 1)));
+    std::vector<double> f64s = CumulativeMassFlat(ends, h->averages());
+    append(&f64s, h->suffix_values());
+    append(&f64s, h->prefix_values());
+    append(&f64s, h->averages());
+    return FromBuffersCopied(FlatKind::kSap0, 0, h->domain_size(), buckets,
+                             0, i64s, f64s);
+  }
+  if (const auto* h =
+          dynamic_cast<const WeightedSap0Histogram*>(&estimator)) {
+    const std::vector<int64_t>& ends = h->partition().ends();
+    const int64_t buckets = h->partition().num_buckets();
+    std::vector<int64_t> i64s(static_cast<size_t>(3 * buckets + 2));
+    std::copy(ends.begin(), ends.end(), i64s.begin());
+    BuildEytzinger(std::span<const int64_t>(ends),
+                   std::span<int64_t>(i64s).subspan(
+                       static_cast<size_t>(buckets),
+                       static_cast<size_t>(buckets) + 1),
+                   std::span<int64_t>(i64s).subspan(
+                       static_cast<size_t>(2 * buckets + 1)));
+    std::vector<double> f64s = CumulativeMassFlat(ends, h->averages());
+    append(&f64s, h->suffix_values());
+    append(&f64s, h->prefix_values());
+    append(&f64s, h->averages());
+    return FromBuffersCopied(FlatKind::kWeightedSap0, 0, h->domain_size(),
+                             buckets, 0, i64s, f64s);
+  }
+  if (const auto* h = dynamic_cast<const Sap1Histogram*>(&estimator)) {
+    const std::vector<int64_t>& ends = h->partition().ends();
+    const int64_t buckets = h->partition().num_buckets();
+    std::vector<int64_t> i64s(static_cast<size_t>(3 * buckets + 2));
+    std::copy(ends.begin(), ends.end(), i64s.begin());
+    BuildEytzinger(std::span<const int64_t>(ends),
+                   std::span<int64_t>(i64s).subspan(
+                       static_cast<size_t>(buckets),
+                       static_cast<size_t>(buckets) + 1),
+                   std::span<int64_t>(i64s).subspan(
+                       static_cast<size_t>(2 * buckets + 1)));
+    std::vector<double> f64s = CumulativeMassFlat(ends, h->averages());
+    append(&f64s, h->suffix_slopes());
+    append(&f64s, h->suffix_intercepts());
+    append(&f64s, h->prefix_slopes());
+    append(&f64s, h->prefix_intercepts());
+    append(&f64s, h->averages());
+    return FromBuffersCopied(FlatKind::kSap1, 0, h->domain_size(), buckets,
+                             0, i64s, f64s);
+  }
+  if (const auto* h = dynamic_cast<const Sap2Histogram*>(&estimator)) {
+    const std::vector<int64_t>& ends = h->partition().ends();
+    const int64_t buckets = h->partition().num_buckets();
+    std::vector<int64_t> i64s(static_cast<size_t>(3 * buckets + 2));
+    std::copy(ends.begin(), ends.end(), i64s.begin());
+    BuildEytzinger(std::span<const int64_t>(ends),
+                   std::span<int64_t>(i64s).subspan(
+                       static_cast<size_t>(buckets),
+                       static_cast<size_t>(buckets) + 1),
+                   std::span<int64_t>(i64s).subspan(
+                       static_cast<size_t>(2 * buckets + 1)));
+    std::vector<double> f64s = CumulativeMassFlat(ends, h->averages());
+    for (const Sap2Histogram::Model& m : h->suffix_models()) {
+      f64s.push_back(m.c0);
+      f64s.push_back(m.c1);
+      f64s.push_back(m.c2);
+    }
+    for (const Sap2Histogram::Model& m : h->prefix_models()) {
+      f64s.push_back(m.c0);
+      f64s.push_back(m.c1);
+      f64s.push_back(m.c2);
+    }
+    append(&f64s, h->averages());
+    return FromBuffersCopied(FlatKind::kSap2, 0, h->domain_size(), buckets,
+                             0, i64s, f64s);
+  }
+  if (const auto* e = dynamic_cast<const NaiveEstimator*>(&estimator)) {
+    const double avg = e->average();
+    return FromBuffersCopied(FlatKind::kNaive, 0, e->domain_size(), 0, 0,
+                             std::span<const int64_t>(),
+                             std::span<const double>(&avg, 1));
+  }
+  if (const auto* w = dynamic_cast<const WaveletSynopsis*>(&estimator)) {
+    const int64_t padded = w->padded_size();
+    std::vector<double> f64s = LevelHeights(padded);
+    f64s.resize(f64s.size() + static_cast<size_t>(padded), 0.0);
+    const size_t table_off =
+        f64s.size() - static_cast<size_t>(padded);
+    for (const WaveletCoefficient& c : w->coefficients()) {
+      f64s[table_off + static_cast<size_t>(c.index)] = c.value;
+    }
+    const uint8_t aux = w->domain() == WaveletDomain::kData ? 0 : 1;
+    return FromBuffersCopied(FlatKind::kWavelet, aux, w->domain_size(), 0,
+                             padded, std::span<const int64_t>(), f64s);
+  }
+  return UnimplementedError(
+      StrCat("FlatSynopsis: no flat compilation for estimator '",
+             estimator.Name(), "'"));
+}
+
+std::string FlatSynopsis::Name() const {
+  switch (kind_) {
+    case FlatKind::kAvgHistogram:
+      return "FLAT-AVG";
+    case FlatKind::kSap0:
+      return "FLAT-SAP0";
+    case FlatKind::kSap1:
+      return "FLAT-SAP1";
+    case FlatKind::kSap2:
+      return "FLAT-SAP2";
+    case FlatKind::kWeightedSap0:
+      return "FLAT-W-SAP0";
+    case FlatKind::kNaive:
+      return "FLAT-NAIVE";
+    case FlatKind::kWavelet:
+      return "FLAT-WAVELET";
+  }
+  return "FLAT-?";
+}
+
+int64_t FlatSynopsis::BucketOfEytzinger(int64_t i) const {
+  // Branch-lean Eytzinger lower_bound: descend the implicit tree, then
+  // back out to the last left turn; the stored rank maps the BFS slot to
+  // the sorted bucket index Partition::BucketOf would return.
+  uint64_t k = 1;
+  const uint64_t buckets = static_cast<uint64_t>(num_buckets_);
+  while (k <= buckets) {
+    k = 2 * k + static_cast<uint64_t>(eytz_ends_[k] < i);
+  }
+  k >>= std::countr_one(k) + 1;
+  RANGESYN_DCHECK(k != 0);
+  return eytz_rank_[k];
+}
+
+void FlatSynopsis::BuildBucketHint() {
+  // uint32 bucket indices cover any realistic histogram; past that the
+  // Eytzinger descent serves alone.
+  if (num_buckets_ >= (int64_t{1} << 32)) return;
+  constexpr int kHintBits = 12;  // <= 4096 entries, 16 KiB: L2-resident
+  const int n_bits =
+      64 - static_cast<int>(std::countl_zero(static_cast<uint64_t>(n_)));
+  hint_shift_ = std::max(0, n_bits - kHintBits);
+  const size_t blocks = static_cast<size_t>(n_ >> hint_shift_) + 1;
+  hint_.resize(blocks);
+  for (size_t blk = 0; blk < blocks; ++blk) {
+    const int64_t first = std::max<int64_t>(
+        1, static_cast<int64_t>(blk) << hint_shift_);
+    hint_[blk] = static_cast<uint32_t>(
+        BucketOfEytzinger(std::min(first, n_)));
+  }
+}
+
+int64_t FlatSynopsis::BucketOfFlat(int64_t i) const {
+  if (hint_.empty()) return BucketOfEytzinger(i);
+  // One cache-resident load gives the bucket of the block's first
+  // position — a lower bound on the answer — then a forward scan over
+  // the (strictly increasing) boundaries the block spans finishes the
+  // lower_bound. Scan length is the number of buckets starting inside
+  // one block: ~B / 4096 on average, 0 for most queries.
+  int64_t k = hint_[i >> hint_shift_];
+  while (ends_[k] < i) ++k;
+  return k;
+}
+
+double FlatSynopsis::EstimateAvg(int64_t a, int64_t b) const {
+  const int64_t ka = BucketOfFlat(a);
+  const int64_t kb = BucketOfFlat(b);
+  const double* values = f_a_;
+  const auto rounding = static_cast<PieceRounding>(aux_);
+  if (ka == kb) {
+    const double whole = static_cast<double>(b - a + 1) * values[ka];
+    if (rounding == PieceRounding::kNone) return whole;
+    return static_cast<double>(RoundHalfToEven(whole));
+  }
+  double left = static_cast<double>(BucketEnd(ka) - a + 1) * values[ka];
+  double right = static_cast<double>(b - BucketStart(kb) + 1) * values[kb];
+  if (rounding == PieceRounding::kPerPiece) {
+    left = static_cast<double>(RoundHalfToEven(left));
+    right = static_cast<double>(RoundHalfToEven(right));
+  }
+  const double middle = cum_[kb] - cum_[ka + 1];
+  const double total = left + middle + right;
+  if (rounding == PieceRounding::kWhole) {
+    return static_cast<double>(RoundHalfToEven(total));
+  }
+  return total;
+}
+
+double FlatSynopsis::EstimateSap0(int64_t a, int64_t b) const {
+  const int64_t ka = BucketOfFlat(a);
+  const int64_t kb = BucketOfFlat(b);
+  if (ka == kb) {
+    return static_cast<double>(b - a + 1) * avg_[ka];
+  }
+  return f_a_[ka] + (cum_[kb] - cum_[ka + 1]) + f_b_[kb];
+}
+
+double FlatSynopsis::EstimateSap1(int64_t a, int64_t b) const {
+  const int64_t ka = BucketOfFlat(a);
+  const int64_t kb = BucketOfFlat(b);
+  if (ka == kb) {
+    return static_cast<double>(b - a + 1) * avg_[ka];
+  }
+  const double left_len = static_cast<double>(BucketEnd(ka) - a + 1);
+  const double right_len = static_cast<double>(b - BucketStart(kb) + 1);
+  return left_len * f_a_[ka] + f_b_[ka] + right_len * f_c_[kb] + f_d_[kb] +
+         (cum_[kb] - cum_[ka + 1]);
+}
+
+double FlatSynopsis::EstimateSap2(int64_t a, int64_t b) const {
+  const int64_t ka = BucketOfFlat(a);
+  const int64_t kb = BucketOfFlat(b);
+  if (ka == kb) {
+    return static_cast<double>(b - a + 1) * avg_[ka];
+  }
+  const double left_len = static_cast<double>(BucketEnd(ka) - a + 1);
+  const double right_len = static_cast<double>(b - BucketStart(kb) + 1);
+  return ModelAt(f_a_ + 3 * ka, left_len) +
+         ModelAt(f_b_ + 3 * kb, right_len) + (cum_[kb] - cum_[ka + 1]);
+}
+
+double FlatSynopsis::WaveReconstructAt(int64_t t) const {
+  RANGESYN_DCHECK(t >= 0 && t < padded_size_);
+  // Mirrors WaveletSynopsis::ReconstructAt with the hash probes replaced
+  // by dense-table loads. Absent coefficients hold 0.0, and adding a
+  // 0.0 * basis term never changes the running IEEE-754 sum the legacy
+  // skip-if-absent walk produces, so the result is bit-identical.
+  // level_size is a power of two at every level, so the legacy walk's
+  // divisions and multiplications are exact shifts here (identical
+  // integer results, no FP involvement).
+  double v = 0.0;
+  v += table_[0] * heights_[0];  // DC: BasisValue is the height
+  const int64_t levels = FloorLog2(static_cast<uint64_t>(padded_size_));
+  int64_t j = 0;
+  for (int64_t shift = levels; shift > 0; --shift, ++j) {
+    const int64_t base = padded_size_ >> shift;   // 1, 2, 4, ...
+    const int64_t k = base + (t >> shift);
+    const int64_t start = (k - base) << shift;
+    const int64_t mid = start + (int64_t{1} << (shift - 1));
+    const double h = heights_[j];
+    v += table_[k] * (t < mid ? h : -h);
+  }
+  return v;
+}
+
+double FlatSynopsis::WaveReconstructRangeSum(int64_t lo, int64_t hi) const {
+  RANGESYN_DCHECK(lo >= 0 && lo <= hi && hi < padded_size_);
+  // Mirrors WaveletSynopsis::ReconstructRangeSum (the ForEachAncestorPair
+  // walk) with BasisRangeSum inlined; visit order and every arithmetic
+  // step match the legacy path exactly.
+  // As in WaveReconstructAt, every division/multiplication by level_size
+  // is an exact shift.
+  double v = 0.0;
+  v += table_[0] *
+       (static_cast<double>(hi - lo + 1) * heights_[0]);  // DC term
+  const int64_t levels = FloorLog2(static_cast<uint64_t>(padded_size_));
+  int64_t j = 0;
+  for (int64_t shift = levels; shift > 0; --shift, ++j) {
+    const int64_t base = padded_size_ >> shift;
+    const int64_t level_size = int64_t{1} << shift;
+    const int64_t a_lo = base + (lo >> shift);
+    const int64_t a_hi = base + (hi >> shift);
+    const double h = heights_[j];
+    {
+      const int64_t start = (a_lo - base) << shift;
+      const int64_t s_lo = std::max(lo, start);
+      const int64_t s_hi = std::min(hi, start + level_size - 1);
+      const int64_t mid = start + (level_size >> 1);
+      const int64_t plus =
+          std::max<int64_t>(0, std::min(s_hi, mid - 1) - s_lo + 1);
+      const int64_t minus =
+          std::max<int64_t>(0, s_hi - std::max(s_lo, mid) + 1);
+      v += table_[a_lo] * (static_cast<double>(plus - minus) * h);
+    }
+    if (a_hi != a_lo) {
+      const int64_t start = (a_hi - base) << shift;
+      const int64_t s_lo = std::max(lo, start);
+      const int64_t s_hi = std::min(hi, start + level_size - 1);
+      const int64_t mid = start + (level_size >> 1);
+      const int64_t plus =
+          std::max<int64_t>(0, std::min(s_hi, mid - 1) - s_lo + 1);
+      const int64_t minus =
+          std::max<int64_t>(0, s_hi - std::max(s_lo, mid) + 1);
+      v += table_[a_hi] * (static_cast<double>(plus - minus) * h);
+    }
+  }
+  return v;
+}
+
+double FlatSynopsis::EstimateWavelet(int64_t a, int64_t b) const {
+  if (aux_ == 0) {  // data domain
+    return WaveReconstructRangeSum(a - 1, b - 1);
+  }
+  // Prefix domain: s[a,b] = P[b] - P[a-1]; P[t] sits at slot t.
+  return WaveReconstructAt(b) - WaveReconstructAt(a - 1);
+}
+
+double FlatSynopsis::EstimateOne(int64_t a, int64_t b) const {
+  RANGESYN_DCHECK(a >= 1 && a <= b && b <= n_);
+  switch (kind_) {
+    case FlatKind::kAvgHistogram:
+      return EstimateAvg(a, b);
+    case FlatKind::kSap0:
+    case FlatKind::kWeightedSap0:
+      return EstimateSap0(a, b);
+    case FlatKind::kSap1:
+      return EstimateSap1(a, b);
+    case FlatKind::kSap2:
+      return EstimateSap2(a, b);
+    case FlatKind::kNaive:
+      return static_cast<double>(b - a + 1) * avg_[0];
+    case FlatKind::kWavelet:
+      return EstimateWavelet(a, b);
+  }
+  RANGESYN_DCHECK(false);
+  return 0.0;
+}
+
+Status FlatSynopsis::EstimateMany(std::span<const FlatQuery> queries,
+                                  std::span<double> out,
+                                  BatchScratch* scratch) const {
+  if (out.size() != queries.size()) {
+    return InvalidArgumentError(
+        "FlatSynopsis::EstimateMany: out.size() != queries.size()");
+  }
+  if (queries.size() >
+      static_cast<size_t>(std::numeric_limits<uint32_t>::max())) {
+    return InvalidArgumentError(
+        "FlatSynopsis::EstimateMany: batch exceeds 2^32 queries");
+  }
+  if (queries.empty()) return OkStatus();
+  const uint32_t count = static_cast<uint32_t>(queries.size());
+  // The naive/wavelet kinds serve from one dense table that reordering
+  // cannot make more resident, and small bucket synopses search L1/L2
+  // lines already; only large histograms buy locality with a sort. The
+  // packed-key fast path needs a to fit 31 bits, which every histogram
+  // this size satisfies long before n approaches 2^31.
+  const bool sorted_walk = ends_ != nullptr &&
+                           num_buckets_ >= kSortedWalkMinBuckets &&
+                           n_ < (int64_t{1} << 31);
+  if (!sorted_walk) {
+    for (uint32_t i = 0; i < count; ++i) {
+      out[i] = EstimateOne(queries[i].a, queries[i].b);
+    }
+    return OkStatus();
+  }
+  EnsureScratch(scratch, queries.size());
+  uint64_t* keys = scratch->keys.data();
+  for (uint32_t i = 0; i < count; ++i) {
+    keys[i] = (static_cast<uint64_t>(queries[i].a) << 32) | i;
+  }
+  // Walk queries in ascending-a order: consecutive queries revisit the
+  // same buckets / search paths, so the boundary lines stay cache- and
+  // branch-predictor-resident. Each answer is written back at its
+  // original slot; the per-query arithmetic is order-independent, so the
+  // batch is bit-identical to single calls.
+  std::sort(keys, keys + count);
+  for (uint32_t i = 0; i < count; ++i) {
+    const uint32_t idx = static_cast<uint32_t>(keys[i]);
+    out[idx] = EstimateOne(queries[idx].a, queries[idx].b);
+  }
+  return OkStatus();
+}
+
+Status FlatSynopsis::EstimateMany(std::span<const FlatQuery> queries,
+                                  std::span<double> out) const {
+  BatchScratch scratch;
+  return EstimateMany(queries, out, &scratch);
+}
+
+}  // namespace rangesyn

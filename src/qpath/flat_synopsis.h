@@ -1,0 +1,224 @@
+#ifndef RANGESYN_QPATH_FLAT_SYNOPSIS_H_
+#define RANGESYN_QPATH_FLAT_SYNOPSIS_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/analysis_annotations.h"
+#include "core/estimator.h"
+#include "core/result.h"
+#include "histogram/histogram.h"
+
+namespace rangesyn {
+
+/// Kind tag of a flat-compiled synopsis. Values match the serializer's
+/// kind tags (engine/serialize.cc) so the two on-disk formats agree on
+/// what each number means.
+enum class FlatKind : uint8_t {
+  kAvgHistogram = 1,
+  kSap0 = 2,
+  kSap1 = 3,
+  kNaive = 4,
+  kWavelet = 5,
+  kSap2 = 6,
+  kWeightedSap0 = 7,
+};
+
+/// One range query 1 <= a <= b <= n, for the batched entry point.
+struct FlatQuery {
+  int64_t a = 0;
+  int64_t b = 0;
+};
+
+/// Immutable structure-of-arrays compilation of a RangeEstimator for the
+/// serving hot path (DESIGN.md §11). All state lives in exactly two
+/// contiguous buffers — one of int64 words, one of doubles — so a
+/// FlatSynopsis can be backed either by heap vectors or by an mmap'd file
+/// with identical query behavior.
+///
+/// Layouts (B = num_buckets, P = padded_size, L = log2(P)):
+///
+///   histogram kinds — i64 buffer:
+///     [0, B)         ends        sorted 1-based bucket right endpoints
+///     [B, 2B+1)      eytz_ends   the ends in Eytzinger (BFS heap) order,
+///                                1-indexed; slot 0 is an unused 0 pad
+///     [2B+1, 3B+2)   eytz_rank   sorted rank of each eytz_ends slot
+///
+///   f64 buffer by kind (cum = cumulative bucket mass, B+1 entries):
+///     kAvgHistogram   cum | values[B]                      aux = rounding
+///     kSap0           cum | suff[B] | pref[B] | avg[B]
+///     kWeightedSap0   cum | suff[B] | pref[B] | avg[B]
+///     kSap1           cum | ss[B] | si[B] | ps[B] | pi[B] | avg[B]
+///     kSap2           cum | suff c0,c1,c2 ×B | pref c0,c1,c2 ×B | avg[B]
+///     kNaive          avg[1]                   (no i64 words, B = 0)
+///     kWavelet        heights[L+1] | table[P]  aux = domain, no i64 words
+///
+/// The wavelet table is the *dense* coefficient vector (absent
+/// coefficients are 0.0), indexed by the Haar layout position, so the
+/// per-ancestor unordered_map probes of the legacy path become direct
+/// loads. Summation order matches the legacy walk exactly; adding a
+/// 0.0-weighted term cannot change any IEEE-754 sum that the legacy
+/// skip-if-absent walk produces, so results are bit-identical.
+///
+/// Bucket search uses the Eytzinger layout: the branch-free descent
+/// touches one cache line per level and returns the same lower_bound
+/// index Partition::BucketOf computes, via the stored ranks.
+class FlatSynopsis {
+ public:
+  /// Compiles a built estimator into its flat form. Supported concrete
+  /// types: AvgHistogram, Sap0Histogram, Sap1Histogram, Sap2Histogram,
+  /// WeightedSap0Histogram, NaiveEstimator, WaveletSynopsis.
+  static Result<std::shared_ptr<const FlatSynopsis>> Compile(
+      const RangeEstimator& estimator);
+
+  /// Assembles a view over externally owned buffers (the mmap read path).
+  /// `backing` keeps the storage alive for the synopsis' lifetime. The
+  /// buffers are structurally validated (counts, monotone ends, Eytzinger
+  /// permutation recomputed and compared) so a malformed file can never
+  /// cause an out-of-bounds query-time access.
+  static Result<std::shared_ptr<const FlatSynopsis>> FromBuffers(
+      FlatKind kind, uint8_t aux, int64_t n, int64_t num_buckets,
+      int64_t padded_size, std::span<const int64_t> i64s,
+      std::span<const double> f64s, std::shared_ptr<const void> backing);
+
+  /// As FromBuffers, but copies the buffers into owned heap vectors.
+  static Result<std::shared_ptr<const FlatSynopsis>> FromBuffersCopied(
+      FlatKind kind, uint8_t aux, int64_t n, int64_t num_buckets,
+      int64_t padded_size, std::span<const int64_t> i64s,
+      std::span<const double> f64s);
+
+  /// Answer for one range query; bit-identical to the source estimator's
+  /// EstimateRange. Requires 1 <= a <= b <= n.
+  RANGESYN_HOT_PATH double EstimateOne(int64_t a, int64_t b) const;
+
+  /// Reusable batch scratch; EstimateMany grows it on demand (outside the
+  /// hot path) and reuses it allocation-free afterwards.
+  struct BatchScratch {
+    /// Packed (a << 32 | slot) sort keys for the sorted walk.
+    std::vector<uint64_t> keys;
+  };
+
+  /// Batched queries: answers queries[i] into out[i]. When the synopsis'
+  /// bucket arrays outgrow cache, queries are walked in ascending-a order
+  /// internally so consecutive searches revisit resident lines; smaller
+  /// synopses (and the single-table naive/wavelet kinds) are answered in
+  /// input order, where a sort costs more than the locality it buys.
+  /// Either way each answer is the same double EstimateOne returns, so a
+  /// batch is bit-identical to the matching single-query calls in any
+  /// order. `out.size()` must equal `queries.size()`.
+  RANGESYN_HOT_PATH Status EstimateMany(std::span<const FlatQuery> queries,
+                                        std::span<double> out,
+                                        BatchScratch* scratch) const;
+
+  /// Convenience overload with a throwaway scratch.
+  Status EstimateMany(std::span<const FlatQuery> queries,
+                      std::span<double> out) const;
+
+  FlatKind kind() const { return kind_; }
+  uint8_t aux() const { return aux_; }
+  int64_t n() const { return n_; }
+  int64_t num_buckets() const { return num_buckets_; }
+  int64_t padded_size() const { return padded_size_; }
+  std::span<const int64_t> i64s() const { return i64_; }
+  std::span<const double> f64s() const { return f64_; }
+
+  /// "FLAT-<kind>", for reports.
+  std::string Name() const;
+
+ private:
+  FlatSynopsis() = default;
+
+  /// Validates the layout described in the class comment and wires the
+  /// per-kind raw pointers. Called once per construction; cold.
+  RANGESYN_COLD_PATH Status InitAndValidate();
+
+  RANGESYN_HOT_PATH int64_t BucketOfFlat(int64_t i) const;
+  RANGESYN_HOT_PATH int64_t BucketOfEytzinger(int64_t i) const;
+  RANGESYN_COLD_PATH void BuildBucketHint();
+  RANGESYN_HOT_PATH int64_t BucketStart(int64_t k) const {
+    return k == 0 ? 1 : ends_[k - 1] + 1;
+  }
+  RANGESYN_HOT_PATH int64_t BucketEnd(int64_t k) const { return ends_[k]; }
+
+  RANGESYN_HOT_PATH double EstimateAvg(int64_t a, int64_t b) const;
+  RANGESYN_HOT_PATH double EstimateSap0(int64_t a, int64_t b) const;
+  RANGESYN_HOT_PATH double EstimateSap1(int64_t a, int64_t b) const;
+  RANGESYN_HOT_PATH double EstimateSap2(int64_t a, int64_t b) const;
+  RANGESYN_HOT_PATH double EstimateWavelet(int64_t a, int64_t b) const;
+  RANGESYN_HOT_PATH double WaveReconstructAt(int64_t t) const;
+  RANGESYN_HOT_PATH double WaveReconstructRangeSum(int64_t lo,
+                                                   int64_t hi) const;
+
+  // Owned backing (heap mode) or a keep-alive handle (mmap mode); the
+  // spans below point into whichever is active.
+  std::vector<int64_t> own_i64_;
+  std::vector<double> own_f64_;
+  std::shared_ptr<const void> backing_;
+  std::span<const int64_t> i64_;
+  std::span<const double> f64_;
+
+  FlatKind kind_ = FlatKind::kNaive;
+  uint8_t aux_ = 0;
+  int64_t n_ = 0;
+  int64_t num_buckets_ = 0;
+  int64_t padded_size_ = 0;
+
+  // Derived section pointers (into i64_/f64_), set by InitAndValidate.
+  const int64_t* ends_ = nullptr;
+  const int64_t* eytz_ends_ = nullptr;
+  const int64_t* eytz_rank_ = nullptr;
+  const double* cum_ = nullptr;
+  const double* f_a_ = nullptr;  // values / suff / ss / suff models
+  const double* f_b_ = nullptr;  // pref / si / pref models
+  const double* f_c_ = nullptr;  // ps
+  const double* f_d_ = nullptr;  // pi
+  const double* avg_ = nullptr;  // bucket averages (or the naive average)
+  const double* heights_ = nullptr;  // wavelet per-level basis heights
+  const double* table_ = nullptr;    // dense Haar coefficient table
+
+  // Bucket-search accelerator, derived at construction (not part of the
+  // on-disk format): hint_[i >> hint_shift_] is the bucket of the first
+  // domain position in that block, so a search is one table load plus a
+  // short forward scan over the boundaries the block spans. The table is
+  // capped at 4K entries to stay cache-resident; the Eytzinger descent
+  // remains the fallback for the (theoretical) >= 2^32-bucket case.
+  std::vector<uint32_t> hint_;
+  int hint_shift_ = 0;
+};
+
+/// RangeEstimator adapter over a flat view, so the evaluation and
+/// reporting stack (AllRangesStats, sweeps) can score the flat path with
+/// the same code it uses for legacy estimators.
+class FlatRangeEstimator : public RangeEstimator {
+ public:
+  explicit FlatRangeEstimator(std::shared_ptr<const FlatSynopsis> flat)
+      : flat_(std::move(flat)) {}
+
+  RANGESYN_HOT_PATH double EstimateRange(int64_t a, int64_t b)
+      const override {
+    return flat_->EstimateOne(a, b);
+  }
+  int64_t StorageWords() const override {
+    return static_cast<int64_t>(flat_->i64s().size() + flat_->f64s().size());
+  }
+  int64_t domain_size() const override { return flat_->n(); }
+  std::string Name() const override { return flat_->Name(); }
+
+  const std::shared_ptr<const FlatSynopsis>& flat() const { return flat_; }
+
+ private:
+  std::shared_ptr<const FlatSynopsis> flat_;
+};
+
+/// Fills `eytz`/`rank` (both `ends.size() + 1` long, slot 0 zeroed) with
+/// the Eytzinger permutation of `ends` and each slot's sorted rank.
+/// Exposed for the file reader's structural validation.
+void BuildEytzinger(std::span<const int64_t> ends, std::span<int64_t> eytz,
+                    std::span<int64_t> rank);
+
+}  // namespace rangesyn
+
+#endif  // RANGESYN_QPATH_FLAT_SYNOPSIS_H_

@@ -3,17 +3,23 @@
 // and asserts the orderings the paper reports, plus the OPT-A internal
 // consistency (DP objective == measured SSE) on real-size input.
 
+#include <bit>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "core/random.h"
 #include "core/threadpool.h"
+#include "data/distribution.h"
 #include "data/rounding.h"
+#include "engine/factory.h"
 #include "eval/metrics.h"
 #include "histogram/builders.h"
 #include "histogram/opt_a_dp.h"
 #include "histogram/reopt.h"
+#include "qpath/flat_synopsis.h"
 #include "wavelet/selection.h"
 
 namespace rangesyn {
@@ -174,6 +180,62 @@ TEST_F(PaperScaleTest, ParallelConstructionMatchesSerialGoldenEndToEnd) {
               wave->coefficients()[i].index);
     EXPECT_EQ(golden_wave->coefficients()[i].value,
               wave->coefficients()[i].value);
+  }
+}
+
+// [slow] Query micro-golden at n = 4096 (the "paper scale" the bench
+// suite uses): one seeded Zipf dataset, one synopsis per estimator
+// family, and the all-ranges SSE — 8.4M queries — computed twice, once
+// through the legacy virtual path and once through the compiled
+// FlatSynopsis. The two sweeps must agree bit for bit, and both must
+// reproduce the checked-in golden exactly (== on doubles): any change
+// to either query path, the builders, or the seeded generator shows up
+// here as a one-ULP diff, not a silent drift.
+TEST(QpathPaperScaleGoldenTest, FlatSseBitEqualsLegacyAndGoldenAtN4096) {
+  Rng rng(0x5EEDBA5EULL);
+  auto floats = MakeNamedDistribution("zipf", 4096, 500000.0, &rng);
+  ASSERT_TRUE(floats.ok()) << floats.status();
+  auto rounded = RandomRound(floats.value(), RandomRoundingMode::kHalf,
+                             &rng);
+  ASSERT_TRUE(rounded.ok()) << rounded.status();
+  const std::vector<int64_t> data = rounded.value();
+
+  // One row per flat kernel family; goldens are the exact decimal
+  // renderings (17 significant digits round-trip doubles exactly).
+  struct GoldenRow {
+    const char* method;
+    int64_t budget_words;
+    double sse;
+  };
+  const GoldenRow kGolden[] = {
+      {"equidepth", 64, 6119955768722257.0},
+      {"sap0", 64, 16470212531601.637},
+      {"a0", 64, 1782099182746.0},
+      {"sap1", 64, 23991424855122.238},
+      {"sap2", 64, 46655985094349.648},
+      {"naive", 64, 1.1644308229079832e+17},
+      {"wave-point", 64, 27024647599431556.0},
+      {"wave-range-opt", 64, 70199243724804.273},
+  };
+  for (const GoldenRow& row : kGolden) {
+    SynopsisSpec spec;
+    spec.method = row.method;
+    spec.budget_words = row.budget_words;
+    auto legacy = BuildSynopsis(spec, data);
+    ASSERT_TRUE(legacy.ok()) << row.method << ": " << legacy.status();
+    auto flat = FlatSynopsis::Compile(*legacy.value());
+    ASSERT_TRUE(flat.ok()) << row.method << ": " << flat.status();
+    auto legacy_sse = AllRangesSse(data, *legacy.value());
+    ASSERT_TRUE(legacy_sse.ok()) << legacy_sse.status();
+    FlatRangeEstimator adapter(flat.value());
+    auto flat_sse = AllRangesSse(data, adapter);
+    ASSERT_TRUE(flat_sse.ok()) << flat_sse.status();
+    EXPECT_EQ(std::bit_cast<uint64_t>(legacy_sse.value()),
+              std::bit_cast<uint64_t>(flat_sse.value()))
+        << row.method << ": flat sweep diverged from legacy";
+    EXPECT_EQ(row.sse, flat_sse.value())
+        << row.method << ": golden mismatch, actual "
+        << std::bit_cast<uint64_t>(flat_sse.value());
   }
 }
 

@@ -1,0 +1,291 @@
+// Bit-exact equivalence of the flat query path (src/qpath) with the
+// legacy estimators: for 200+ seeded (family x n x budget x method)
+// cases, every range estimate served by the compiled FlatSynopsis —
+// one-at-a-time, batched through EstimateMany, reloaded from an RSF1
+// file on the heap, or mmap'd zero-copy — must be *identical* as a
+// 64-bit pattern (std::bit_cast, not EXPECT_DOUBLE_EQ) to what the
+// legacy EstimateRange virtual path returns. A corruption-fuzz leg
+// checks that damaged RSF1 files are rejected at open time, never
+// half-served.
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "audit/oracles.h"
+#include "core/fs.h"
+#include "core/random.h"
+#include "data/distribution.h"
+#include "data/rounding.h"
+#include "engine/factory.h"
+#include "qpath/flat_file.h"
+#include "qpath/flat_synopsis.h"
+
+namespace rangesyn {
+namespace {
+
+const char* const kFamilies[] = {"zipf", "spike", "uniform"};
+
+std::vector<int64_t> SeededDataset(int case_id, int64_t n, double volume) {
+  Rng rng(0x9E3779B97F4A7C15ULL + static_cast<uint64_t>(case_id));
+  auto floats = MakeNamedDistribution(
+      kFamilies[case_id % 3], n, volume, &rng);
+  EXPECT_TRUE(floats.ok()) << floats.status();
+  auto data = RandomRound(floats.value(), RandomRoundingMode::kHalf, &rng);
+  EXPECT_TRUE(data.ok()) << data.status();
+  return data.value();
+}
+
+uint64_t Bits(double v) { return std::bit_cast<uint64_t>(v); }
+
+/// Every method family the flat path can compile, covering all seven
+/// FlatKind kernels: AVG (equidepth/maxdiff/vopt), SAP0, WSAP0 (a0),
+/// SAP1, SAP2, NAIVE, and WAVE in both domains (wave-point/topbb are
+/// data-domain, wave-range-opt is prefix-domain).
+const char* const kMethods[] = {
+    "equidepth", "maxdiff", "vopt", "sap0", "a0",
+    "sap1",      "sap2",    "naive", "wave-point", "topbb",
+    "wave-range-opt",
+};
+
+/// All-ranges sweep: legacy vs flat one-shot, and legacy vs batched,
+/// bit-for-bit. Adds the number of ranges compared to *ranges_compared.
+void ExpectAllRangesBitIdentical(const RangeEstimator& legacy,
+                                 const FlatSynopsis& flat, int case_id,
+                                 int64_t* ranges_compared) {
+  const int64_t n = legacy.domain_size();
+  EXPECT_EQ(n, flat.n()) << "case " << case_id;
+  std::vector<FlatQuery> queries;
+  std::vector<double> expected;
+  queries.reserve(n * (n + 1) / 2);
+  expected.reserve(n * (n + 1) / 2);
+  for (int64_t a = 1; a <= n; ++a) {
+    for (int64_t b = a; b <= n; ++b) {
+      const double want = legacy.EstimateRange(a, b);
+      const double got = flat.EstimateOne(a, b);
+      ASSERT_EQ(Bits(want), Bits(got))
+          << "case " << case_id << " " << flat.Name() << " range [" << a
+          << "," << b << "]: legacy " << want << " flat " << got;
+      queries.push_back({a, b});
+      expected.push_back(want);
+    }
+  }
+  // Batched: shuffle so EstimateMany has to restore sorted order and
+  // scatter results back to the caller's positions.
+  std::vector<uint32_t> perm(queries.size());
+  for (size_t i = 0; i < perm.size(); ++i) {
+    perm[i] = static_cast<uint32_t>(i);
+  }
+  Rng rng(0xC0FFEE + static_cast<uint64_t>(case_id));
+  for (size_t i = perm.size(); i > 1; --i) {
+    std::swap(perm[i - 1], perm[rng.NextUint64() % i]);
+  }
+  std::vector<FlatQuery> shuffled(queries.size());
+  for (size_t i = 0; i < perm.size(); ++i) shuffled[i] = queries[perm[i]];
+  std::vector<double> out(shuffled.size(), -1.0);
+  FlatSynopsis::BatchScratch scratch;
+  ASSERT_TRUE(flat.EstimateMany(shuffled, out, &scratch).ok());
+  for (size_t i = 0; i < perm.size(); ++i) {
+    ASSERT_EQ(Bits(expected[perm[i]]), Bits(out[i]))
+        << "case " << case_id << " " << flat.Name() << " batched range ["
+        << shuffled[i].a << "," << shuffled[i].b << "]";
+  }
+  *ranges_compared += static_cast<int64_t>(queries.size());
+}
+
+// --- Seeded equivalence grid ------------------------------------------
+
+// 264 cases: 11 methods x {8, 33, 64} n x reps, three distribution
+// families cycling with case_id, budgets cycling 6..20 words. Every
+// case sweeps all n(n+1)/2 ranges through both paths.
+TEST(QpathEquivalenceTest, FlatMatchesLegacyBitForBitOnSeededGrid) {
+  const int64_t sizes[] = {8, 33, 64};
+  int case_id = 0;
+  int64_t ranges_compared = 0;
+  for (const char* method : kMethods) {
+    for (int64_t n : sizes) {
+      for (int rep = 0; rep < 8; ++rep, ++case_id) {
+        const std::vector<int64_t> data = SeededDataset(case_id, n, 600.0);
+        SynopsisSpec spec;
+        spec.method = method;
+        // sap2 costs 7 words/unit, so the cycle floor must be >= 7.
+        spec.budget_words = 8 + 2 * (case_id % 8);
+        auto legacy = BuildSynopsis(spec, data);
+        ASSERT_TRUE(legacy.ok())
+            << method << " case " << case_id << ": " << legacy.status();
+        auto flat = FlatSynopsis::Compile(*legacy.value());
+        ASSERT_TRUE(flat.ok())
+            << method << " case " << case_id << ": " << flat.status();
+        ExpectAllRangesBitIdentical(*legacy.value(), *flat.value(),
+                                    case_id, &ranges_compared);
+      }
+    }
+  }
+  EXPECT_EQ(case_id, 264);
+  EXPECT_GT(ranges_compared, 200'000);
+}
+
+// --- Oracle leg -------------------------------------------------------
+
+// A wavelet synopsis that keeps *all* coefficients reconstructs the
+// data exactly (up to FP noise), so the flat path must agree with the
+// brute-force NaiveRangeSum oracle — this catches a flat kernel that is
+// bit-faithful to a wrong legacy kernel. The flat-vs-legacy comparison
+// stays exact; only the oracle comparison is toleranced.
+TEST(QpathEquivalenceTest, FullRetentionWaveletMatchesNaiveOracle) {
+  for (int case_id = 0; case_id < 9; ++case_id) {
+    const int64_t n = 16 + 8 * (case_id % 3);
+    const std::vector<int64_t> data = SeededDataset(case_id, n, 300.0);
+    SynopsisSpec spec;
+    spec.method = "wave-point";
+    spec.budget_words = 2 * 64;  // >= 2 words per coefficient, all kept
+    auto legacy = BuildSynopsis(spec, data);
+    ASSERT_TRUE(legacy.ok()) << legacy.status();
+    auto flat = FlatSynopsis::Compile(*legacy.value());
+    ASSERT_TRUE(flat.ok()) << flat.status();
+    for (int64_t a = 1; a <= n; ++a) {
+      for (int64_t b = a; b <= n; ++b) {
+        const double oracle = audit::NaiveRangeSum(data, a, b);
+        const double got = flat.value()->EstimateOne(a, b);
+        EXPECT_EQ(Bits(legacy.value()->EstimateRange(a, b)), Bits(got));
+        EXPECT_NEAR(got, oracle, 1e-6 * std::max(1.0, std::abs(oracle)))
+            << "case " << case_id << " [" << a << "," << b << "]";
+      }
+    }
+  }
+}
+
+// An equi-depth histogram with one bucket per point stores every value
+// exactly; its estimates are exact range sums, so all three levels —
+// oracle, legacy, flat — must agree, the latter two bit-for-bit.
+TEST(QpathEquivalenceTest, LosslessHistogramMatchesNaiveOracle) {
+  for (int case_id = 0; case_id < 6; ++case_id) {
+    const int64_t n = 12;
+    const std::vector<int64_t> data = SeededDataset(case_id, n, 200.0);
+    SynopsisSpec spec;
+    spec.method = "equidepth";
+    spec.budget_words = 2 * n;  // 2 words/bucket -> B = n
+    auto legacy = BuildSynopsis(spec, data);
+    ASSERT_TRUE(legacy.ok()) << legacy.status();
+    auto flat = FlatSynopsis::Compile(*legacy.value());
+    ASSERT_TRUE(flat.ok()) << flat.status();
+    for (int64_t a = 1; a <= n; ++a) {
+      for (int64_t b = a; b <= n; ++b) {
+        const double oracle = audit::NaiveRangeSum(data, a, b);
+        const double got = flat.value()->EstimateOne(a, b);
+        EXPECT_EQ(Bits(legacy.value()->EstimateRange(a, b)), Bits(got));
+        EXPECT_NEAR(got, oracle, 1e-9 * std::max(1.0, std::abs(oracle)))
+            << "case " << case_id << " [" << a << "," << b << "]";
+      }
+    }
+  }
+}
+
+// --- File round-trip: heap load and mmap load are the same object -----
+
+// Save every method's flat compilation to an RSF1 file, reopen it both
+// ways, and sweep all ranges: heap and mmap views must answer
+// bit-identically to the in-memory original (they share no storage with
+// it, so this exercises the full encode -> validate -> re-slice path).
+TEST(QpathEquivalenceTest, MappedAndHeapReopenBitIdentical) {
+  int case_id = 0;
+  for (const char* method : kMethods) {
+    const int64_t n = 33;
+    const std::vector<int64_t> data = SeededDataset(case_id, n, 500.0);
+    SynopsisSpec spec;
+    spec.method = method;
+    spec.budget_words = 14;
+    auto legacy = BuildSynopsis(spec, data);
+    ASSERT_TRUE(legacy.ok()) << method << ": " << legacy.status();
+    auto flat = FlatSynopsis::Compile(*legacy.value());
+    ASSERT_TRUE(flat.ok()) << method << ": " << flat.status();
+    const std::string path = ::testing::TempDir() + "/qpath_rt_" +
+                             std::to_string(case_id) + ".rsf";
+    ASSERT_TRUE(SaveFlatSynopsis(*flat.value(), path).ok());
+    auto mapped = OpenFlatMapped(path);
+    ASSERT_TRUE(mapped.ok()) << method << ": " << mapped.status();
+    auto heap = OpenFlatHeap(path);
+    ASSERT_TRUE(heap.ok()) << method << ": " << heap.status();
+    EXPECT_EQ(flat.value()->Name(), mapped.value()->Name());
+    for (int64_t a = 1; a <= n; ++a) {
+      for (int64_t b = a; b <= n; ++b) {
+        const uint64_t want = Bits(flat.value()->EstimateOne(a, b));
+        ASSERT_EQ(want, Bits(mapped.value()->EstimateOne(a, b)))
+            << method << " mmap [" << a << "," << b << "]";
+        ASSERT_EQ(want, Bits(heap.value()->EstimateOne(a, b)))
+            << method << " heap [" << a << "," << b << "]";
+      }
+    }
+    ++case_id;
+  }
+}
+
+// --- Corruption fuzz: damaged files are rejected at open time ---------
+
+// Truncations at every interesting boundary and 200 seeded single-bit
+// flips. Every damaged file must fail OpenFlatMapped/OpenFlatHeap with
+// a clean error — no crash, no Ok with garbage. (A bit flip in the
+// 4-byte CRC trailer or in unused padding is still caught because the
+// CRC covers the whole prefix and validation re-derives every redundant
+// section.)
+TEST(QpathEquivalenceTest, CorruptFlatFilesAreRejectedAtOpen) {
+  const std::vector<int64_t> data = SeededDataset(/*case_id=*/1, 64, 700.0);
+  SynopsisSpec spec;
+  spec.method = "sap1";
+  spec.budget_words = 20;
+  auto legacy = BuildSynopsis(spec, data);
+  ASSERT_TRUE(legacy.ok()) << legacy.status();
+  auto flat = FlatSynopsis::Compile(*legacy.value());
+  ASSERT_TRUE(flat.ok()) << flat.status();
+  auto encoded = EncodeFlatSynopsis(*flat.value());
+  ASSERT_TRUE(encoded.ok()) << encoded.status();
+  const std::string& good = encoded.value();
+  const std::string path = ::testing::TempDir() + "/qpath_fuzz.rsf";
+
+  const auto expect_rejected = [&](const std::string& bytes,
+                                   const std::string& what) {
+    ASSERT_TRUE(AtomicWriteFile(path, bytes).ok());
+    auto mapped = OpenFlatMapped(path);
+    EXPECT_FALSE(mapped.ok()) << what << ": mmap open accepted damage";
+    auto heap = OpenFlatHeap(path);
+    EXPECT_FALSE(heap.ok()) << what << ": heap open accepted damage";
+  };
+
+  // Sanity: the pristine bytes do open.
+  ASSERT_TRUE(AtomicWriteFile(path, good).ok());
+  ASSERT_TRUE(OpenFlatMapped(path).ok());
+
+  // Truncations: empty, mid-header, exactly header, mid-payload, and
+  // one byte short of complete.
+  const size_t cuts[] = {0, 1, 17, 63, 64, 64 + 9, good.size() / 2,
+                         good.size() - 5, good.size() - 1};
+  for (size_t cut : cuts) {
+    if (cut >= good.size()) continue;
+    expect_rejected(good.substr(0, cut),
+                    "truncate to " + std::to_string(cut));
+  }
+
+  // Seeded single-bit flips across the whole file, trailer included.
+  Rng rng(0xB1751712u);
+  for (int i = 0; i < 200; ++i) {
+    std::string bad = good;
+    const size_t byte = rng.NextUint64() % bad.size();
+    const int bit = static_cast<int>(rng.NextUint64() % 8);
+    bad[byte] = static_cast<char>(bad[byte] ^ (1u << bit));
+    expect_rejected(bad, "bit flip at byte " + std::to_string(byte) +
+                             " bit " + std::to_string(bit));
+  }
+
+  // Appended garbage changes the announced-size equation.
+  expect_rejected(good + std::string(8, '\0'), "trailing garbage");
+}
+
+}  // namespace
+}  // namespace rangesyn

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Runs the google-benchmark microbenchmarks and writes machine-readable
 # JSON records next to the human-readable console output:
-#   BENCH_construction.json / BENCH_query.json  (benchmark's native JSON)
+#   BENCH_construction.json / BENCH_query.json / BENCH_query_flat.json
+#   (benchmark's native JSON)
 # Environment overrides:
 #   BUILD_DIR  build tree holding bench/ binaries   (default: build)
 #   OUT_DIR    where the JSON artifacts land        (default: .)
@@ -24,7 +25,7 @@ if [[ -n "${MIN_TIME:-}" ]]; then
 fi
 
 mkdir -p "${OUT_DIR}"
-for bench in construction query; do
+for bench in construction query query_flat; do
   binary="${BUILD_DIR}/bench/bench_${bench}"
   out="${OUT_DIR}/BENCH_${bench}.json"
   if [[ ! -x "${binary}" ]]; then
@@ -73,7 +74,8 @@ stamp = {
     "clean": clean,
     "hot_roots": sorted(meta["hot_roots"]),
 }
-for name in ("BENCH_construction.json", "BENCH_query.json"):
+for name in ("BENCH_construction.json", "BENCH_query.json",
+             "BENCH_query_flat.json"):
     path = out_dir / name
     doc = json.loads(path.read_text(encoding="utf-8"))
     doc.setdefault("context", {})["static_analysis"] = stamp
@@ -81,4 +83,5 @@ for name in ("BENCH_construction.json", "BENCH_query.json"):
     print(f"stamped {path} (static_analysis.clean={clean})")
 EOF
 
-echo "wrote ${OUT_DIR}/BENCH_construction.json ${OUT_DIR}/BENCH_query.json"
+echo "wrote ${OUT_DIR}/BENCH_construction.json ${OUT_DIR}/BENCH_query.json" \
+     "${OUT_DIR}/BENCH_query_flat.json"
