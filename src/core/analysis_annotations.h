@@ -36,6 +36,36 @@
 ///    deterministic reachable set, because such order can escape into
 ///    results or serialized bytes.
 ///
+/// Generation 2 (SA-2xx) adds view-lifetime and lock-free protocol
+/// vocabulary for the zero-copy serving path:
+///
+///  - RANGESYN_VIEW_TYPE(owner): the class is a non-owning view whose
+///    storage belongs to `owner` (e.g. a span-shaped handle over
+///    FlatSynopsis buffers). SA-201 tracks values of view types (plus the
+///    built-in std::span / std::string_view) and flags any that escape
+///    the frame that owns their storage; SA-202 flags views bound to a
+///    temporary owner.
+///  - RANGESYN_OWNER_TYPE: the class owns the bytes its views point into
+///    (heap vectors, an mmap'd RSF1 file, a shared_ptr keep-alive).
+///    Methods of an owner type may store views/pointers into their own
+///    members — the owner's lifetime covers them — so SA-201/SA-203 do
+///    not fire inside owner-type member functions.
+///  - RANGESYN_LENDS_VIEW: the function intentionally hands out a view
+///    or interior pointer whose lifetime is governed by a documented
+///    keep-alive contract (shared_ptr backing, catalog lending rules).
+///    SA-201/SA-202/SA-203 treat lending functions as sanctioned escape
+///    points instead of findings.
+///  - RANGESYN_LOCK_FREE: a wait-free/lock-free region. SA-102-style
+///    blocking (mutex acquisition, I/O) anywhere in its reachable set is
+///    an SA-204 finding, as is a relaxed atomic load whose result is
+///    dereferenced (pointer publication needs acquire).
+///  - RANGESYN_SEQLOCK_READ: a speculative seqlock read section. SA-204
+///    requires the acquire/validate pairing (at least two acquire-ordered
+///    events: the version read that begins the section and the
+///    fence/re-read that validates it); SA-205 forbids side-effecting
+///    writes to non-local state inside the retry body, because the body
+///    may execute any number of times before validation succeeds.
+///
 /// SA-104 (narrowing/overflow-prone integer arithmetic in index
 /// expressions) needs no annotation: it applies inside every annotated
 /// function plus the DP/wavelet index-math directories configured in
@@ -69,5 +99,26 @@
 /// Output must be bit-identical across runs/threads/stdlibs; no
 /// unordered-container iteration may escape (SA-103).
 #define RANGESYN_DETERMINISTIC RANGESYN_ANALYSIS_ANNOTATION_("deterministic")
+
+/// Non-owning view over storage owned by `owner`; SA-201/SA-202 track
+/// values of this type for escapes and temporary binding.
+#define RANGESYN_VIEW_TYPE(owner) \
+  RANGESYN_ANALYSIS_ANNOTATION_("view_type:" #owner)
+
+/// Owns the bytes its views point into; member functions may cache
+/// views/pointers into the object's own members.
+#define RANGESYN_OWNER_TYPE RANGESYN_ANALYSIS_ANNOTATION_("owner_type")
+
+/// Sanctioned escape point: hands out a view/interior pointer under a
+/// documented keep-alive contract (SA-201/SA-202/SA-203 exempt).
+#define RANGESYN_LENDS_VIEW RANGESYN_ANALYSIS_ANNOTATION_("lends_view")
+
+/// Lock-free region: no blocking in the reachable set, no relaxed load
+/// feeding a dereference (SA-204).
+#define RANGESYN_LOCK_FREE RANGESYN_ANALYSIS_ANNOTATION_("lock_free")
+
+/// Speculative seqlock read section: acquire/validate pairing required
+/// (SA-204); no non-local writes in the retry body (SA-205).
+#define RANGESYN_SEQLOCK_READ RANGESYN_ANALYSIS_ANNOTATION_("seqlock_read")
 
 #endif  // RANGESYN_CORE_ANALYSIS_ANNOTATIONS_H_

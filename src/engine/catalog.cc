@@ -13,6 +13,26 @@
 
 namespace rangesyn {
 
+SynopsisCatalog::SynopsisCatalog(SynopsisCatalog&& other) noexcept {
+  MutexLock other_lock(other.mu_);
+  MutexLock self_lock(mu_);
+  entries_ = std::move(other.entries_);
+}
+
+SynopsisCatalog& SynopsisCatalog::operator=(
+    SynopsisCatalog&& other) noexcept {
+  if (this != &other) {
+    // Self first, then source: a freshly constructed target is never
+    // contended, and moves are excluded from concurrent use anyway (see
+    // the class comment) — the locks here keep the guarded-by contract
+    // honest rather than order a cross-catalog protocol.
+    MutexLock self_lock(mu_);
+    MutexLock other_lock(other.mu_);
+    entries_ = std::move(other.entries_);
+  }
+  return *this;
+}
+
 Status SynopsisCatalog::RegisterColumn(const std::string& key,
                                        const Column& column,
                                        const SynopsisSpec& spec) {
@@ -24,9 +44,15 @@ Status SynopsisCatalog::RegisterColumn(const std::string& key,
 Status SynopsisCatalog::RegisterDistribution(const std::string& key,
                                              AttributeDistribution dist,
                                              const SynopsisSpec& spec) {
-  if (entries_.contains(key)) {
-    return AlreadyExistsError(StrCat("catalog entry '", key, "' exists"));
+  {
+    // Fast-fail on duplicates before the build; re-checked at insert.
+    MutexLock lock(mu_);
+    if (entries_.contains(key)) {
+      return AlreadyExistsError(StrCat("catalog entry '", key, "' exists"));
+    }
   }
+  // The synopsis build is the expensive part; run it outside the lock so
+  // concurrent registrations of different keys build in parallel.
   RANGESYN_ASSIGN_OR_RETURN(RangeEstimatorPtr estimator,
                             BuildSynopsis(spec, dist.counts));
   Entry entry;
@@ -36,11 +62,14 @@ Status SynopsisCatalog::RegisterDistribution(const std::string& key,
   entry.estimator = std::move(estimator);
   // The raw counts are not retained — the synopsis is the point.
   entry.distribution.domain_lo = dist.domain_lo;
-  entries_.emplace(key, std::move(entry));
+  MutexLock lock(mu_);
+  if (!entries_.emplace(key, std::move(entry)).second) {
+    return AlreadyExistsError(StrCat("catalog entry '", key, "' exists"));
+  }
   return OkStatus();
 }
 
-Result<const SynopsisCatalog::Entry*> SynopsisCatalog::Find(
+Result<const SynopsisCatalog::Entry*> SynopsisCatalog::FindLocked(
     const std::string& key) const {
   const auto it = entries_.find(key);
   if (it == entries_.end()) {
@@ -51,6 +80,7 @@ Result<const SynopsisCatalog::Entry*> SynopsisCatalog::Find(
 
 Result<std::shared_ptr<const FlatSynopsis>> SynopsisCatalog::FlatView(
     const std::string& key) {
+  MutexLock lock(mu_);
   const auto it = entries_.find(key);
   if (it == entries_.end()) {
     return NotFoundError(StrCat("no catalog entry '", key, "'"));
@@ -66,17 +96,17 @@ Result<std::shared_ptr<const FlatSynopsis>> SynopsisCatalog::FlatView(
 Status SynopsisCatalog::Evict(const std::string& key) {
   // Outstanding FlatView holders keep their (shared) storage alive; this
   // only drops the catalog's references, so later lookups fail NotFound.
+  MutexLock lock(mu_);
   if (entries_.erase(key) == 0) {
     return NotFoundError(StrCat("no catalog entry '", key, "'"));
   }
   return OkStatus();
 }
 
-Result<double> SynopsisCatalog::EstimateCountBetween(const std::string& key,
-                                                     int64_t lo,
-                                                     int64_t hi) const {
+Result<double> SynopsisCatalog::EstimateCountBetweenLocked(
+    const std::string& key, int64_t lo, int64_t hi) const {
   if (hi < lo) return InvalidArgumentError("EstimateCountBetween: hi < lo");
-  RANGESYN_ASSIGN_OR_RETURN(const Entry* entry, Find(key));
+  RANGESYN_ASSIGN_OR_RETURN(const Entry* entry, FindLocked(key));
   // Clip the value range to the registered domain.
   const int64_t d_lo = entry->domain_lo;
   const int64_t d_hi = entry->domain_lo + entry->domain_size - 1;
@@ -88,22 +118,36 @@ Result<double> SynopsisCatalog::EstimateCountBetween(const std::string& key,
   return entry->estimator->EstimateRange(a, b);
 }
 
+Result<double> SynopsisCatalog::EstimateCountBetween(const std::string& key,
+                                                     int64_t lo,
+                                                     int64_t hi) const {
+  MutexLock lock(mu_);
+  return EstimateCountBetweenLocked(key, lo, hi);
+}
+
 Result<double> SynopsisCatalog::EstimateEquals(const std::string& key,
                                                int64_t v) const {
   return EstimateCountBetween(key, v, v);
 }
 
-Result<double> SynopsisCatalog::EstimateSelectivity(const std::string& key,
-                                                    int64_t lo,
-                                                    int64_t hi) const {
-  RANGESYN_ASSIGN_OR_RETURN(const Entry* entry, Find(key));
+Result<double> SynopsisCatalog::EstimateSelectivityLocked(
+    const std::string& key, int64_t lo, int64_t hi) const {
+  RANGESYN_ASSIGN_OR_RETURN(const Entry* entry, FindLocked(key));
   const int64_t d_lo = entry->domain_lo;
   const int64_t d_hi = entry->domain_lo + entry->domain_size - 1;
   RANGESYN_ASSIGN_OR_RETURN(double total,
-                            EstimateCountBetween(key, d_lo, d_hi));
+                            EstimateCountBetweenLocked(key, d_lo, d_hi));
   if (total <= 0.0) return 0.0;
-  RANGESYN_ASSIGN_OR_RETURN(double hits, EstimateCountBetween(key, lo, hi));
+  RANGESYN_ASSIGN_OR_RETURN(double hits,
+                            EstimateCountBetweenLocked(key, lo, hi));
   return std::clamp(hits / total, 0.0, 1.0);
+}
+
+Result<double> SynopsisCatalog::EstimateSelectivity(const std::string& key,
+                                                    int64_t lo,
+                                                    int64_t hi) const {
+  MutexLock lock(mu_);
+  return EstimateSelectivityLocked(key, lo, hi);
 }
 
 Result<double> SynopsisCatalog::EstimateConjunctionSelectivity(
@@ -112,21 +156,24 @@ Result<double> SynopsisCatalog::EstimateConjunctionSelectivity(
     return InvalidArgumentError(
         "EstimateConjunctionSelectivity: empty conjunction");
   }
+  MutexLock lock(mu_);
   double selectivity = 1.0;
   for (const Predicate& p : predicates) {
     RANGESYN_ASSIGN_OR_RETURN(double s,
-                              EstimateSelectivity(p.key, p.lo, p.hi));
+                              EstimateSelectivityLocked(p.key, p.lo, p.hi));
     selectivity *= s;
   }
   return selectivity;
 }
 
 Result<int64_t> SynopsisCatalog::StorageWords(const std::string& key) const {
-  RANGESYN_ASSIGN_OR_RETURN(const Entry* entry, Find(key));
+  MutexLock lock(mu_);
+  RANGESYN_ASSIGN_OR_RETURN(const Entry* entry, FindLocked(key));
   return entry->estimator->StorageWords();
 }
 
 int64_t SynopsisCatalog::TotalStorageWords() const {
+  MutexLock lock(mu_);
   int64_t total = 0;
   for (const auto& [key, entry] : entries_) {
     total += entry.estimator->StorageWords();
@@ -148,6 +195,7 @@ constexpr size_t kCatalogTrailerSize = 4;
 }  // namespace
 
 Result<std::string> SynopsisCatalog::Serialize() const {
+  MutexLock lock(mu_);
   ByteWriter w;
   w.WriteU32(kCatalogMagic);
   w.WriteU8(kCatalogVersion);
@@ -284,6 +332,9 @@ Result<SynopsisCatalog> SynopsisCatalog::DeserializeWithReport(
     }
     if (entry_status.ok()) {
       entry.distribution.domain_lo = entry.domain_lo;
+      // `catalog` is function-local, but its map is guarded: take its
+      // lock for the insert so the capability contract holds everywhere.
+      MutexLock lock(catalog.mu_);
       if (!catalog.entries_.emplace(key, std::move(entry)).second) {
         entry_status =
             InvalidArgumentError(StrCat("duplicate catalog key '", key, "'"));
@@ -340,6 +391,7 @@ Result<SynopsisCatalog> SynopsisCatalog::LoadFromFileWithReport(
 }
 
 std::vector<SynopsisCatalog::EntryInfo> SynopsisCatalog::ListEntries() const {
+  MutexLock lock(mu_);
   std::vector<EntryInfo> out;
   out.reserve(entries_.size());
   for (const auto& [key, entry] : entries_) {

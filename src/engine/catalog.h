@@ -7,7 +7,9 @@
 #include <string>
 #include <vector>
 
+#include "core/analysis_annotations.h"
 #include "core/estimator.h"
+#include "core/mutex.h"
 #include "core/result.h"
 #include "engine/factory.h"
 #include "engine/table.h"
@@ -18,13 +20,21 @@ namespace rangesyn {
 /// Statistics catalog: one synopsis per registered column, with storage
 /// accounting. This is the component a query optimizer or approximate
 /// query processor would consult instead of scanning the table.
+///
+/// Thread safety: all operations are safe to call concurrently on one
+/// catalog — `mu_` serializes every access to the entry map, including
+/// FlatView's lazy compile against a concurrent Evict. Moving a catalog
+/// concurrently with any other use of either operand is not supported
+/// (the standard C++ move contract).
 class SynopsisCatalog {
  public:
   SynopsisCatalog() = default;
 
-  // Move-only (owns estimators).
-  SynopsisCatalog(SynopsisCatalog&&) noexcept = default;
-  SynopsisCatalog& operator=(SynopsisCatalog&&) noexcept = default;
+  // Move-only (owns estimators). Hand-written because Mutex is neither
+  // movable nor copyable: a move transfers the entries under both locks
+  // and leaves each catalog with its own mutex.
+  SynopsisCatalog(SynopsisCatalog&& other) noexcept;
+  SynopsisCatalog& operator=(SynopsisCatalog&& other) noexcept;
   SynopsisCatalog(const SynopsisCatalog&) = delete;
   SynopsisCatalog& operator=(const SynopsisCatalog&) = delete;
 
@@ -40,6 +50,7 @@ class SynopsisCatalog {
                               const SynopsisSpec& spec);
 
   bool Contains(const std::string& key) const {
+    MutexLock lock(mu_);
     return entries_.contains(key);
   }
 
@@ -120,8 +131,11 @@ class SynopsisCatalog {
   /// Flat (structure-of-arrays) view of `key`'s synopsis for the serving
   /// hot path. Compiled lazily on first request and cached; later calls
   /// return the same shared view. The view answers queries bit-identically
-  /// to the entry's estimator (tests/qpath_equivalence_test.cc).
-  Result<std::shared_ptr<const FlatSynopsis>> FlatView(
+  /// to the entry's estimator (tests/qpath_equivalence_test.cc). Lends a
+  /// view: the returned shared_ptr is the keep-alive handle for the flat
+  /// storage; the lazy compile-and-cache runs under `mu_`, so racing
+  /// FlatView calls agree on one view and never observe a half-built one.
+  RANGESYN_LENDS_VIEW Result<std::shared_ptr<const FlatSynopsis>> FlatView(
       const std::string& key);
 
   /// Removes `key` from the catalog. Lifetime contract: flat views handed
@@ -152,9 +166,24 @@ class SynopsisCatalog {
     std::shared_ptr<const FlatSynopsis> flat;
   };
 
-  Result<const Entry*> Find(const std::string& key) const;
+  // Lock-held helpers (thread_annotations.h conventions): callers hold
+  // `mu_`. The public Estimate* entry points lock once and delegate so
+  // the composite estimators (selectivity, conjunctions) never re-enter
+  // the non-reentrant mutex.
+  Result<const Entry*> FindLocked(const std::string& key) const
+      RANGESYN_REQUIRES(mu_);
+  Result<double> EstimateCountBetweenLocked(const std::string& key,
+                                            int64_t lo, int64_t hi) const
+      RANGESYN_REQUIRES(mu_);
+  Result<double> EstimateSelectivityLocked(const std::string& key,
+                                           int64_t lo, int64_t hi) const
+      RANGESYN_REQUIRES(mu_);
 
-  std::map<std::string, Entry> entries_;
+  /// Serializes every access to `entries_`, including FlatView's lazy
+  /// compile-and-cache of `Entry::flat` against concurrent Evict — the
+  /// map erase would otherwise race the in-place entry mutation.
+  mutable Mutex mu_;
+  std::map<std::string, Entry> entries_ RANGESYN_GUARDED_BY(mu_);
 };
 
 }  // namespace rangesyn

@@ -90,6 +90,18 @@ FlightRecorder::Ring* FlightRecorder::RingForThisThread() {
 
 uint32_t CurrentThreadTid() { return FlightRecorder::Get().ThisThreadTid(); }
 
+// GCC's -Wtsan flags atomic_thread_fence as unsupported under
+// ThreadSanitizer: TSan does not model fence ordering, so synchronization
+// established only through a fence can yield false-positive race reports
+// on *plain* memory. Every field the slot seqlock orders is itself a
+// std::atomic (version, seq, payload chars), so there is no plain access
+// for TSan to misjudge — the fences merely strengthen ordering between
+// atomics and the diagnostic is a false alarm here.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wtsan"
+#endif
+
 void FlightRecorder::Record(LogSeverity level, std::string_view event,
                             std::string_view detail) {
   Ring* ring = RingForThisThread();
@@ -139,6 +151,10 @@ std::vector<FlightEvent> FlightRecorder::Collect() const {
             });
   return out;
 }
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
 void FlightRecorder::WriteDumpJson(std::ostream& os, std::string_view reason,
                                    bool include_metrics) const {

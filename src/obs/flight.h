@@ -33,6 +33,7 @@
 #include <string_view>
 #include <vector>
 
+#include "core/analysis_annotations.h"
 #include "core/logging.h"
 #include "core/status.h"
 
@@ -62,14 +63,19 @@ class FlightRecorder {
 
   /// Appends one event to the calling thread's ring (allocation-free
   /// after the thread's first call). `detail` is a pre-rendered summary —
-  /// the structured log layer passes its text rendering.
-  void Record(LogSeverity level, std::string_view event,
-              std::string_view detail);
+  /// the structured log layer passes its text rendering. Lock-free: it
+  /// runs from signal handlers and fatal hooks, so nothing reached from
+  /// here may take a mutex, allocate per call, or block (machine-checked,
+  /// SA-204).
+  RANGESYN_LOCK_FREE void Record(LogSeverity level, std::string_view event,
+                                 std::string_view detail);
 
   /// Copies out every readable slot from every thread's ring, ordered by
   /// global sequence number. Torn slots (written concurrently) are
-  /// skipped.
-  std::vector<FlightEvent> Collect() const;
+  /// skipped. Seqlock read section: the version pre-read and the
+  /// validating re-read bracket the relaxed payload copy, and both must
+  /// be acquire-ordered (machine-checked, SA-204/SA-205).
+  RANGESYN_SEQLOCK_READ std::vector<FlightEvent> Collect() const;
 
   /// Writes a dump document: {"schema_version","reason","events",
   /// "metrics"}. `include_metrics` is off on the signal path, where

@@ -12,6 +12,7 @@
 #include <string_view>
 #include <vector>
 
+#include "core/analysis_annotations.h"
 #include "core/mutex.h"
 #include "core/status.h"
 #include "core/thread_annotations.h"
@@ -24,10 +25,10 @@ namespace rangesyn::obs {
 /// recent value, which is all a metrics export needs).
 class Counter {
  public:
-  void Add(uint64_t delta) {
+  RANGESYN_LOCK_FREE void Add(uint64_t delta) {
     value_.fetch_add(delta, std::memory_order_relaxed);
   }
-  void Increment() { Add(1); }
+  RANGESYN_LOCK_FREE void Increment() { Add(1); }
   uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
   void Reset() { value_.store(0, std::memory_order_relaxed); }
 
@@ -38,8 +39,10 @@ class Counter {
 /// A value that can go up and down (queue depths, live object counts).
 class Gauge {
  public:
-  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
-  void Add(int64_t delta) {
+  RANGESYN_LOCK_FREE void Set(int64_t v) {
+    value_.store(v, std::memory_order_relaxed);
+  }
+  RANGESYN_LOCK_FREE void Add(int64_t delta) {
     value_.fetch_add(delta, std::memory_order_relaxed);
   }
   int64_t Value() const { return value_.load(std::memory_order_relaxed); }
@@ -74,7 +77,7 @@ class LatencyHistogram {
   /// bucket instead of poisoning sum/mean/max with a ~1.8e19 outlier.
   static constexpr uint64_t kMaxTrackedValue = uint64_t{1} << 62;
 
-  void Record(uint64_t value) {
+  RANGESYN_LOCK_FREE void Record(uint64_t value) {
     if (value > kMaxTrackedValue) value = kMaxTrackedValue;
     count_.fetch_add(1, std::memory_order_relaxed);
     sum_.fetch_add(value, std::memory_order_relaxed);
@@ -88,7 +91,7 @@ class LatencyHistogram {
 
   /// Signed entry point for callers that subtract two clock reads: a
   /// negative duration records as 0 rather than wrapping to ~1.8e19.
-  void RecordSigned(int64_t value) {
+  RANGESYN_LOCK_FREE void RecordSigned(int64_t value) {
     Record(value < 0 ? 0 : static_cast<uint64_t>(value));
   }
 

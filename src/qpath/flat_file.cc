@@ -100,8 +100,10 @@ Result<FlatHeader> ParseAndCheck(std::string_view bytes,
 }
 
 /// mmap'd read-only file region; the FlatSynopsis holds one of these as
-/// its backing so the mapping outlives every outstanding view.
-class MappedFile {
+/// its backing so the mapping outlives every outstanding view. Owner
+/// type: data() lends an interior pointer that is valid exactly as long
+/// as the MappedFile (the destructor munmaps).
+class RANGESYN_OWNER_TYPE MappedFile {
  public:
   static Result<std::shared_ptr<MappedFile>> Open(const std::string& path) {
     const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
@@ -135,7 +137,9 @@ class MappedFile {
   MappedFile(const MappedFile&) = delete;
   MappedFile& operator=(const MappedFile&) = delete;
 
-  const char* data() const { return static_cast<const char*>(addr_); }
+  RANGESYN_LENDS_VIEW const char* data() const {
+    return static_cast<const char*>(addr_);
+  }
   size_t size() const { return size_; }
 
  private:

@@ -4,6 +4,7 @@
 #include <memory>
 #include <string>
 
+#include "core/analysis_annotations.h"
 #include "core/result.h"
 #include "qpath/flat_synopsis.h"
 
@@ -46,14 +47,14 @@ Status SaveFlatSynopsis(const FlatSynopsis& flat, const std::string& path);
 /// Opens an RSF1 file zero-copy: mmap read-only, CRC32C verified once,
 /// structure validated, then served from the mapping. The returned
 /// synopsis keeps the mapping alive for its own lifetime.
-Result<std::shared_ptr<const FlatSynopsis>> OpenFlatMapped(
-    const std::string& path);
+RANGESYN_LENDS_VIEW Result<std::shared_ptr<const FlatSynopsis>>
+OpenFlatMapped(const std::string& path);
 
 /// Opens an RSF1 file into owned heap buffers — same validation, same
 /// bit-identical answers; for hosts or filesystems where mmap is
 /// unavailable, and for the mmap-vs-heap identity leg of the test suite.
-Result<std::shared_ptr<const FlatSynopsis>> OpenFlatHeap(
-    const std::string& path);
+RANGESYN_LENDS_VIEW Result<std::shared_ptr<const FlatSynopsis>>
+OpenFlatHeap(const std::string& path);
 
 }  // namespace rangesyn
 

@@ -66,26 +66,35 @@ struct FlatQuery {
 /// Bucket search uses the Eytzinger layout: the branch-free descent
 /// touches one cache line per level and returns the same lower_bound
 /// index Partition::BucketOf computes, via the stored ranks.
-class FlatSynopsis {
+///
+/// Lifetime contract (machine-checked, DESIGN.md §6.4): FlatSynopsis is
+/// a RANGESYN_OWNER_TYPE — it owns (or keeps alive via `backing_`) every
+/// byte its spans and section pointers reference, so caching them in its
+/// own members is sanctioned. The factories are RANGESYN_LENDS_VIEW:
+/// the shared_ptr they hand out is the keep-alive handle, and callers
+/// must hold it for as long as any span obtained from the synopsis.
+class RANGESYN_OWNER_TYPE FlatSynopsis {
  public:
   /// Compiles a built estimator into its flat form. Supported concrete
   /// types: AvgHistogram, Sap0Histogram, Sap1Histogram, Sap2Histogram,
   /// WeightedSap0Histogram, NaiveEstimator, WaveletSynopsis.
-  static Result<std::shared_ptr<const FlatSynopsis>> Compile(
-      const RangeEstimator& estimator);
+  RANGESYN_LENDS_VIEW static Result<std::shared_ptr<const FlatSynopsis>>
+  Compile(const RangeEstimator& estimator);
 
   /// Assembles a view over externally owned buffers (the mmap read path).
   /// `backing` keeps the storage alive for the synopsis' lifetime. The
   /// buffers are structurally validated (counts, monotone ends, Eytzinger
   /// permutation recomputed and compared) so a malformed file can never
   /// cause an out-of-bounds query-time access.
-  static Result<std::shared_ptr<const FlatSynopsis>> FromBuffers(
+  RANGESYN_LENDS_VIEW static Result<std::shared_ptr<const FlatSynopsis>>
+  FromBuffers(
       FlatKind kind, uint8_t aux, int64_t n, int64_t num_buckets,
       int64_t padded_size, std::span<const int64_t> i64s,
       std::span<const double> f64s, std::shared_ptr<const void> backing);
 
   /// As FromBuffers, but copies the buffers into owned heap vectors.
-  static Result<std::shared_ptr<const FlatSynopsis>> FromBuffersCopied(
+  RANGESYN_LENDS_VIEW static Result<std::shared_ptr<const FlatSynopsis>>
+  FromBuffersCopied(
       FlatKind kind, uint8_t aux, int64_t n, int64_t num_buckets,
       int64_t padded_size, std::span<const int64_t> i64s,
       std::span<const double> f64s);
@@ -122,8 +131,10 @@ class FlatSynopsis {
   int64_t n() const { return n_; }
   int64_t num_buckets() const { return num_buckets_; }
   int64_t padded_size() const { return padded_size_; }
-  std::span<const int64_t> i64s() const { return i64_; }
-  std::span<const double> f64s() const { return f64_; }
+  /// The raw buffers; valid only while this synopsis (or a shared_ptr
+  /// to it) is alive.
+  RANGESYN_LENDS_VIEW std::span<const int64_t> i64s() const { return i64_; }
+  RANGESYN_LENDS_VIEW std::span<const double> f64s() const { return f64_; }
 
   /// "FLAT-<kind>", for reports.
   std::string Name() const;

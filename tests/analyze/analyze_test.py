@@ -1,15 +1,18 @@
 #!/usr/bin/env python3
 """Self-tests for rangesyn-analyze (tools/analyze/rangesyn_analyze.py).
 
-One positive and one negative fixture per check ID (SA-101..105), plus
-waiver-syntax, waiver-hygiene, and baseline-suppression coverage, and
-the repo gate: a default-config run over src/ and bench/ with the
-fallback frontend must be clean. Wired into ctest as `analyze_selftest`
-and `analyze_repo` (tests/CMakeLists.txt), so tier-1 runs all of this.
+One positive and one negative fixture per check ID (SA-101..105 and the
+generation-2 SA-201..205), plus waiver-syntax, waiver-hygiene, and
+baseline-suppression coverage, and the repo gate: a default-config run
+over src/ and bench/ with the fallback frontend must be clean. Wired
+into ctest as `analyze_selftest` and `analyze_repo`
+(tests/CMakeLists.txt), so tier-1 runs all of this.
 
 The fallback backend is forced throughout so the tests are deterministic
 on machines both with and without the clang Python bindings; CI
-additionally runs the clang backend against compile_commands.json.
+additionally runs the clang backend against compile_commands.json, and
+the agreement test below compares the two frontends on the fixture
+corpus whenever the bindings are importable.
 """
 
 import importlib.util
@@ -129,6 +132,171 @@ class NegativeFixtures(unittest.TestCase):
         self.assert_clean("sa105_neg.cc")
 
 
+class Generation2Positives(unittest.TestCase):
+    """Fire coverage for the view-lifetime and lock-free checks."""
+
+    def test_sa201_view_escapes(self):
+        findings = analyze_files("sa201_pos.cc")
+        self.assertEqual(checks_of(findings), ["SA-201"] * 3, findings)
+        messages = "\n".join(f.message for f in findings)
+        self.assertIn("returns view 'word'", messages)
+        self.assertIn("in member 'view_'", messages)
+        self.assertIn("into member container", messages)
+
+    def test_sa202_temporary_owner(self):
+        findings = analyze_files("sa202_pos.cc")
+        self.assertEqual(checks_of(findings), ["SA-202"] * 2, findings)
+        self.assertIn("temporary owner", findings[0].message)
+
+    def test_sa203_interior_pointer_escapes(self):
+        findings = analyze_files("sa203_pos.cc")
+        self.assertEqual(checks_of(findings), ["SA-203"] * 2, findings)
+        messages = "\n".join(f.message for f in findings)
+        self.assertIn("returns raw interior pointer 'p'", messages)
+        self.assertIn("in member 'data_'", messages)
+
+    def test_sa204_protocol_violations(self):
+        findings = analyze_files("sa204_pos.cc")
+        self.assertEqual(checks_of(findings), ["SA-204"] * 3, findings)
+        messages = "\n".join(f.message for f in findings)
+        self.assertIn("relaxed atomic load dereferenced", messages)
+        self.assertIn("blocking operation in a lock-free region", messages)
+        self.assertIn("missing its acquire/validate pairing", messages)
+
+    def test_sa205_speculative_side_effect(self):
+        findings = analyze_files("sa205_pos.cc")
+        self.assertEqual(checks_of(findings), ["SA-205"], findings)
+        self.assertIn("writes member 'attempts_'", findings[0].message)
+
+
+class Generation2Negatives(unittest.TestCase):
+    """No-fire coverage: sanctioned patterns must analyze clean."""
+
+    def assert_clean(self, *names: str):
+        findings = analyze_files(*names)
+        self.assertEqual(findings, [], [f.format() for f in findings])
+
+    def test_sa201_caller_member_and_owner_class_views(self):
+        self.assert_clean("sa201_neg.cc")
+
+    def test_sa202_named_owner(self):
+        self.assert_clean("sa202_neg.cc")
+
+    def test_sa203_owner_cache_and_lends_view_contract(self):
+        self.assert_clean("sa203_neg.cc")
+
+    def test_sa204_paired_seqlock_and_unchecked_region(self):
+        self.assert_clean("sa204_neg.cc")
+
+    def test_sa205_local_only_retry_body(self):
+        self.assert_clean("sa205_neg.cc")
+
+    def test_sa2xx_waiver_suppresses(self):
+        self.assert_clean("sa2xx_waiver.cc")
+
+
+class ChangedOnlyFiltering(unittest.TestCase):
+    def test_restrict_to_keeps_parse_but_filters_findings(self):
+        rel204 = (FIXTURES / "sa204_pos.cc").resolve().relative_to(
+            REPO_ROOT.resolve()).as_posix()
+        findings, meta = ANALYZE.run_analyze(
+            [FIXTURES / "sa201_pos.cc", FIXTURES / "sa204_pos.cc"],
+            REPO_ROOT, fixture_config(), backend="fallback",
+            restrict_to={rel204})
+        # Both files were parsed (whole-program call graph), but only
+        # the changed file's findings are reported.
+        self.assertEqual(meta["files"], 2)
+        self.assertEqual(set(checks_of(findings)), {"SA-204"}, findings)
+        self.assertEqual(meta["changed_only"], [rel204])
+
+    def test_meta_records_lifetime_vocabulary(self):
+        _, meta = ANALYZE.run_analyze(
+            [FIXTURES / "sa201_neg.cc", FIXTURES / "sa204_pos.cc"],
+            REPO_ROOT, fixture_config(), backend="fallback")
+        self.assertEqual(meta["generation"], 2)
+        self.assertIn("Pool", meta["owner_types"])
+        self.assertIn("fixture::ReadHead", meta["lock_free"])
+        self.assertIn("fixture::SnapshotValue", meta["seqlock_read"])
+
+
+class StaleBaselineExit(unittest.TestCase):
+    """A stale suppression fails the full run; the changed-only fast leg
+    defers the gate (its file set cannot exercise every entry)."""
+
+    STALE_CONFIG = (
+        "[[baseline]]\n"
+        'check = "SA-105"\n'
+        'file = "nonexistent.cc"\n'
+        'contains = "while"\n'
+        'reason = "test: matches nothing by construction"\n'
+    )
+
+    def _write_config(self) -> str:
+        fp = tempfile.NamedTemporaryFile(
+            "w", suffix=".toml", delete=False)
+        fp.write(self.STALE_CONFIG)
+        fp.close()
+        return fp.name
+
+    def test_stale_entry_fails_a_clean_full_run(self):
+        proc = run_cli("--config", self._write_config(),
+                       "--backend", "fallback",
+                       str(FIXTURES / "sa201_neg.cc"))
+        self.assertEqual(proc.returncode, 1, proc.stderr)
+        self.assertIn("error: stale baseline entry", proc.stderr)
+
+    def test_changed_only_defers_the_stale_gate(self):
+        proc = run_cli("--config", self._write_config(),
+                       "--backend", "fallback",
+                       "--changed-only", "HEAD",
+                       str(FIXTURES / "sa201_neg.cc"))
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("warning: stale baseline entry", proc.stderr)
+
+
+class ClangAgreement(unittest.TestCase):
+    """The two frontends must agree on which checks fire in which
+    fixture. Skips (rather than fails) where the clang bindings are not
+    importable, so local ctest stays dependency-free; CI installs them
+    and runs the comparison."""
+
+    FIXTURE_NAMES = [
+        "sa201_pos.cc", "sa201_neg.cc", "sa202_pos.cc", "sa202_neg.cc",
+        "sa203_pos.cc", "sa203_neg.cc", "sa204_pos.cc", "sa204_neg.cc",
+        "sa205_pos.cc", "sa205_neg.cc",
+    ]
+
+    def test_fixture_corpus_agreement(self):
+        try:
+            import clang.cindex  # noqa: F401
+        except Exception:
+            self.skipTest("clang python bindings unavailable")
+        # The clang frontend needs the annotation macros to really
+        # expand; prefix each fixture with the annotations header
+        # (identically for both backends, so lines stay comparable).
+        build_dir = REPO_ROOT / "build"
+        build_dir.mkdir(exist_ok=True)
+        with tempfile.TemporaryDirectory(dir=build_dir) as tmp:
+            tmpdir = pathlib.Path(tmp)
+            paths = []
+            for name in self.FIXTURE_NAMES:
+                body = (FIXTURES / name).read_text(encoding="utf-8")
+                copy = tmpdir / name
+                copy.write_text(
+                    '#include "src/core/analysis_annotations.h"\n' + body,
+                    encoding="utf-8")
+                paths.append(copy)
+
+            def fire_set(backend):
+                findings, meta = ANALYZE.run_analyze(
+                    paths, REPO_ROOT, fixture_config(), backend=backend)
+                self.assertEqual(meta["unparsed"], [], meta)
+                return {(pathlib.Path(f.path).name, f.check)
+                        for f in findings}
+
+            self.assertEqual(fire_set("fallback"), fire_set("clang"))
+
+
 class WaiverSyntax(unittest.TestCase):
     def test_waiver_with_continuation_comment_suppresses_named_check(self):
         findings = analyze_files("waiver.cc")
@@ -211,6 +379,11 @@ class CliExitCodes(unittest.TestCase):
         "sa102_pos.cc",
         "sa103_pos.cc",
         "sa105_pos.cc",
+        "sa201_pos.cc",
+        "sa202_pos.cc",
+        "sa203_pos.cc",
+        "sa204_pos.cc",
+        "sa205_pos.cc",
     ]
 
     def test_nonzero_exit_on_each_positive_fixture(self):

@@ -1,0 +1,38 @@
+// Negative fixture for SA-201: sanctioned view handling — views of
+// caller-owned or member storage, and member caching inside an
+// annotated owner type.
+#include <string>
+#include <string_view>
+
+namespace fixture {
+
+// A view of the caller's storage may be returned: the caller owns it.
+std::string_view Trim(std::string_view text) {
+  std::string_view out = text;
+  return out;
+}
+
+class Holder {
+ public:
+  // Views of member storage are fine: the object outlives the call.
+  std::string_view view() const { return name_; }
+
+ private:
+  std::string name_;
+};
+
+// An owner type is allowed to cache views of its own storage in its
+// own members — it owns both ends of the reference.
+class RANGESYN_OWNER_TYPE Pool {
+ public:
+  void Reindex() {
+    std::string_view v = buffer_;
+    view_ = v;
+  }
+
+ private:
+  std::string buffer_;
+  std::string_view view_;
+};
+
+}  // namespace fixture

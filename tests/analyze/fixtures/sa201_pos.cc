@@ -1,0 +1,44 @@
+// Positive fixture for SA-201: views escaping the scope that owns
+// their storage — returned, stored in a member, and inserted into a
+// member container.
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fixture {
+
+std::string ReadLine();
+std::string Render();
+std::string NextName();
+
+// Returned view of a local owner: dangles as soon as the frame pops.
+std::string_view FirstWord() {
+  std::string line = ReadLine();
+  std::string_view word = line;
+  return word;
+}
+
+class Cache {
+ public:
+  void Remember() {
+    std::string text = Render();
+    view_ = text;  // the member outlives the local it views
+  }
+
+ private:
+  std::string_view view_;
+};
+
+class Registry {
+ public:
+  void Add() {
+    std::string name = NextName();
+    std::string_view view = name;
+    views_.push_back(view);  // the container outlives the local
+  }
+
+ private:
+  std::vector<std::string_view> views_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,17 @@
+// Negative fixture for SA-202: the owner is bound to a named variable
+// first, so the view's lifetime is tied to a scope, not a temporary.
+#include <string>
+#include <string_view>
+
+namespace fixture {
+
+std::string MakeLabel();
+void Consume(std::string_view text);
+
+void Fine() {
+  std::string text = MakeLabel();
+  std::string_view view = text;  // named owner outlives every use below
+  Consume(view);
+}
+
+}  // namespace fixture

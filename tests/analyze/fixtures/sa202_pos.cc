@@ -1,0 +1,22 @@
+// Positive fixture for SA-202: views bound to temporary owners — the
+// owner dies at the end of the full-expression, before the view's
+// first use.
+#include <string>
+#include <string_view>
+
+namespace fixture {
+
+std::string MakeLabel();
+void Consume(std::string_view text);
+
+void UseLabel() {
+  std::string_view label = MakeLabel();  // owner is a temporary
+  Consume(label);
+}
+
+void UseInline() {
+  std::string_view direct = std::string("abc");  // ctor temporary
+  Consume(direct);
+}
+
+}  // namespace fixture

@@ -1,0 +1,29 @@
+// Negative fixture for SA-203: interior pointers under the lifetime
+// vocabulary — an owner type caching pointers into its own storage, and
+// a lends_view-annotated function whose handout is contractual.
+#include <string>
+
+namespace fixture {
+
+std::string Canonical();
+
+class RANGESYN_OWNER_TYPE Arena {
+ public:
+  void Index() {
+    base_ = text_.data();  // member cache inside the owner: sanctioned
+  }
+
+ private:
+  std::string text_;
+  const char* base_ = nullptr;
+};
+
+// The lending contract says callers tie the pointer's lifetime to the
+// (static) backing storage; the annotation sanctions the handout.
+RANGESYN_LENDS_VIEW const char* Intern() {
+  static std::string owned = Canonical();
+  const char* p = owned.data();
+  return p;
+}
+
+}  // namespace fixture

@@ -1,0 +1,29 @@
+// Positive fixture for SA-203: raw interior pointers escaping without a
+// lending annotation — returned and cached in a member outside any
+// owner type.
+#include <string>
+#include <vector>
+
+namespace fixture {
+
+std::vector<double> Build();
+std::string Name();
+
+const double* LeakData() {
+  std::vector<double> values = Build();
+  const double* p = values.data();
+  return p;  // interior pointer outlives `values`
+}
+
+class Keeper {
+ public:
+  void Cache() {
+    std::string tmp = Name();
+    data_ = tmp.data();  // member outlives the local it points into
+  }
+
+ private:
+  const char* data_ = nullptr;
+};
+
+}  // namespace fixture

@@ -1,0 +1,25 @@
+// Negative fixture for SA-204: a disciplined seqlock read section (the
+// begin read and the validating fence are both acquire-ordered) and
+// relaxed atomics outside any lock-free region.
+#include <atomic>
+
+namespace fixture {
+
+RANGESYN_SEQLOCK_READ int Snapshot(const std::atomic<int>& version,
+                                   const std::atomic<int>& value) {
+  for (;;) {
+    const int v1 = version.load(std::memory_order_acquire);
+    if ((v1 & 1) != 0) continue;
+    const int out = value.load(std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    const int v2 = version.load(std::memory_order_relaxed);
+    if (v1 == v2) return out;
+  }
+}
+
+// Relaxed statistics reads outside a lock-free region are unchecked.
+int CountHits(const std::atomic<int>& hits) {
+  return hits.load(std::memory_order_relaxed);
+}
+
+}  // namespace fixture

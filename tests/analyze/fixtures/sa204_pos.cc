@@ -1,0 +1,33 @@
+// Positive fixture for SA-204: lock-free protocol violations — a
+// relaxed load feeding a dereference, a blocking operation inside a
+// lock-free region, and a seqlock read section missing its
+// acquire/validate pairing.
+#include <atomic>
+#include <mutex>
+
+namespace fixture {
+
+struct Node {
+  int value;
+};
+
+RANGESYN_LOCK_FREE int ReadHead(const std::atomic<Node*>& head) {
+  return head.load(std::memory_order_relaxed)->value;
+}
+
+RANGESYN_LOCK_FREE void Publish(std::mutex& mu, std::atomic<int>& slot) {
+  std::lock_guard<std::mutex> hold(mu);
+  slot.store(1, std::memory_order_release);
+}
+
+RANGESYN_SEQLOCK_READ int SnapshotValue(const std::atomic<int>& version,
+                                        const std::atomic<int>& value) {
+  // Only one acquire-ordered event: the validating re-read is relaxed,
+  // so a torn copy can pass validation.
+  const int v1 = version.load(std::memory_order_acquire);
+  const int out = value.load(std::memory_order_relaxed);
+  const int v2 = version.load(std::memory_order_relaxed);
+  return v1 == v2 ? out : -1;
+}
+
+}  // namespace fixture

@@ -1,0 +1,24 @@
+// Negative fixture for SA-205: the retry body only accumulates into
+// locals, so a torn read costs one extra iteration and nothing else.
+#include <atomic>
+
+namespace fixture {
+
+class CleanReader {
+ public:
+  RANGESYN_SEQLOCK_READ int Collect() const {
+    for (;;) {
+      const int v1 = version_.load(std::memory_order_acquire);
+      int out = value_.load(std::memory_order_relaxed);
+      out += 1;  // local accumulation is retry-safe
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (version_.load(std::memory_order_relaxed) == v1) return out;
+    }
+  }
+
+ private:
+  std::atomic<int> version_;
+  std::atomic<int> value_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,25 @@
+// Positive fixture for SA-205: a non-local write inside a speculative
+// seqlock retry body — the side effect repeats once per torn read.
+#include <atomic>
+
+namespace fixture {
+
+class StatsReader {
+ public:
+  RANGESYN_SEQLOCK_READ int Collect() {
+    for (;;) {
+      const int v1 = version_.load(std::memory_order_acquire);
+      attempts_ += 1;  // repeats on every retry
+      const int out = value_.load(std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (version_.load(std::memory_order_relaxed) == v1) return out;
+    }
+  }
+
+ private:
+  std::atomic<int> version_;
+  std::atomic<int> value_;
+  int attempts_ = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,25 @@
+// Negative fixture for LINT-006: talking *about* mappings is fine —
+// only the raw syscalls are confined. An mmap mention in a comment or a
+// string, identifiers that merely contain the word, and a justified
+// waiver must all stay clean.
+#include <string>
+
+namespace fixture {
+
+// The RSF1 reader mmaps the file once; see src/qpath/flat_file.cc.
+std::string DescribeBacking(bool mapped) {
+  if (mapped) return "mmap(RSF1)";
+  return "heap";
+}
+
+int mmap_epoch_counter = 0;  // identifier containing the word is fine
+
+void Remap(int epochs) {
+  mmap_epoch_counter += epochs;
+}
+
+void* PlatformProbe(int fd, unsigned long size) {
+  return ::mmap(nullptr, size, 0x1, 0x2, fd, 0);  // lint: mmap-ok probe
+}
+
+}  // namespace fixture

@@ -1,0 +1,19 @@
+// Positive fixture for LINT-006: raw memory-mapping syscalls outside
+// the two sanctioned files (src/qpath/flat_file.cc, src/core/fs.*).
+#include <sys/mman.h>
+
+namespace fixture {
+
+void* MapScratch(int fd, unsigned long size) {
+  return ::mmap(nullptr, size, 0x1, 0x2, fd, 0);
+}
+
+void DropScratch(void* addr, unsigned long size) {
+  munmap(addr, size);
+}
+
+void* MapShared(void* mapping) {
+  return MapViewOfFile(mapping, 4, 0, 0, 0);
+}
+
+}  // namespace fixture

@@ -1,9 +1,9 @@
 #!/usr/bin/env python3
 """Self-tests for rangesyn-lint (tools/lint/rangesyn_lint.py).
 
-One positive and one negative fixture per check ID (LINT-001..005), plus
-waiver-syntax and baseline-suppression coverage, and the repo gate: a
-default-config run over src/ must be clean. Wired into ctest as
+One positive and one negative fixture per check ID (LINT-001..006), plus
+waiver-syntax, baseline-suppression, and stale-baseline coverage, and
+the repo gate: a default-config run over src/ must be clean. Wired into ctest as
 `lint_selftest` (tests/CMakeLists.txt), so tier-1 runs all of this.
 """
 
@@ -86,6 +86,14 @@ class PositiveFixtures(unittest.TestCase):
         self.assertEqual(checks_of(findings), ["LINT-005"], findings)
         self.assertIn("umbrella header", findings[0].message)
 
+    def test_lint006_raw_mmap(self):
+        findings = lint_files("lint006_pos.cc")
+        self.assertEqual(checks_of(findings), ["LINT-006"] * 3, findings)
+        messages = "\n".join(f.message for f in findings)
+        self.assertIn("raw mmap()", messages)
+        self.assertIn("raw munmap()", messages)
+        self.assertIn("raw MapViewOfFile()", messages)
+
     def test_lint005_include_cycle(self):
         findings = lint_files("lint005_cycle_a.h", "lint005_cycle_b.h",
                               "lint005_cycle_c.h")
@@ -122,6 +130,17 @@ class NegativeFixtures(unittest.TestCase):
     def test_lint005_acyclic_diamond(self):
         self.assert_clean("lint005_chain_a.h", "lint005_chain_b.h",
                           "lint005_chain_c.h", "lint005_chain_d.h")
+
+    def test_lint006_mentions_and_waiver(self):
+        self.assert_clean("lint006_neg.cc")
+
+    def test_lint006_sanctioned_files_exempt(self):
+        # The real call sites in the RAII owner must stay clean.
+        findings, _ = LINT.run_lint(
+            [REPO_ROOT / "src" / "qpath" / "flat_file.cc"],
+            REPO_ROOT, baseline=[])
+        self.assertEqual(
+            [f for f in findings if f.check == "LINT-006"], [], findings)
 
 
 class WaiverSyntax(unittest.TestCase):
@@ -184,6 +203,7 @@ class CliExitCodes(unittest.TestCase):
         ("lint004_pos.cc",),
         ("lint005_pos.h",),
         ("lint005_umbrella_pos.cc",),
+        ("lint006_pos.cc",),
         ("lint005_cycle_a.h", "lint005_cycle_b.h", "lint005_cycle_c.h"),
     ]
 
@@ -220,8 +240,43 @@ class CliExitCodes(unittest.TestCase):
     def test_list_checks(self):
         proc = run_cli("--list-checks")
         self.assertEqual(proc.returncode, 0)
-        for check_id in ("LINT-001", "LINT-005"):
+        for check_id in ("LINT-001", "LINT-005", "LINT-006"):
             self.assertIn(check_id, proc.stdout)
+
+
+class StaleBaselineExit(unittest.TestCase):
+    """A baseline entry that matches nothing fails a full-roots run
+    (stale suppressions hide regressions); explicit-path runs warn only,
+    since they cannot exercise entries for files outside the path set."""
+
+    STALE_CONFIG = (
+        "[lint]\n"
+        'roots = ["tests/lint/fixtures/lint003_neg.cc"]\n'
+        "[[baseline]]\n"
+        'check = "LINT-004"\n'
+        'file = "nonexistent.cc"\n'
+        'contains = "new Widget"\n'
+        'reason = "test: matches nothing by construction"\n'
+    )
+
+    def _write_config(self) -> str:
+        fp = tempfile.NamedTemporaryFile("w", suffix=".toml", delete=False)
+        fp.write(self.STALE_CONFIG)
+        fp.close()
+        return fp.name
+
+    def test_stale_entry_fails_a_full_run(self):
+        proc = run_cli("--config", self._write_config())
+        self.assertEqual(proc.returncode, 1, proc.stderr)
+        self.assertIn("error: stale baseline entry", proc.stderr)
+
+    def test_explicit_paths_defer_the_stale_gate(self):
+        proc = run_cli(
+            "--config", self._write_config(),
+            str(FIXTURES / "lint003_neg.cc"),
+        )
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("warning: stale baseline entry", proc.stderr)
 
 
 if __name__ == "__main__":

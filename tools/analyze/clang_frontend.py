@@ -8,6 +8,13 @@ macro expansions and real types, so the `[[clang::annotate("rangesyn::
 ...")]]` attributes emitted by src/core/analysis_annotations.h are read
 straight off the AST.
 
+Generation 2 adds the lifetime/atomics evidence the SA-2xx checks
+consume: class-level owner/view vocabulary (RANGESYN_OWNER_TYPE /
+RANGESYN_VIEW_TYPE), view and interior-pointer escapes (returns, member
+stores, container inserts, reference-capturing lambdas), temporary-owner
+binds, relaxed-load dereferences, acquire-ordered loads/fences, and
+member writes inside speculative seqlock retry bodies.
+
 Requires the `clang` Python package and a loadable libclang; the driver
 falls back to cpp_frontend automatically when either is missing.
 """
@@ -21,18 +28,24 @@ import pathlib
 from clang import cindex
 
 from cpp_frontend import (  # noqa: F401
+    ACQUIRING_ORDERS,
     ALLOC_CALLS,
     ALLOC_RETURN_MARKERS,
+    ATOMIC_WRITE_CALLS,
     BLOCKING_CALLS,
+    BUILTIN_VIEW_BASES,
+    CONTAINER_INSERT_CALLS,
     FunctionFact,
     LoopFact,
     LOCK_TYPES,
+    MEMORY_ORDER_TOKENS,
     OWNING_CONTAINER_MARKERS,
     POLL_METHODS,
     POLL_RECEIVER_TYPES,
     ParseResult,
     Site,
     SymbolTable,
+    int_class,
 )
 
 CK = cindex.CursorKind
@@ -97,6 +110,42 @@ def _annotations(cursor) -> set[str]:
     return out
 
 
+def _class_annotations(cursor, symbols: SymbolTable) -> None:
+    """Harvests RANGESYN_OWNER_TYPE / RANGESYN_VIEW_TYPE(owner) class
+    attributes into the shared symbol table (the generation-2 lifetime
+    vocabulary, keyed by bare class name like the fallback)."""
+    for child in cursor.get_children():
+        if child.kind != CK.ANNOTATE_ATTR:
+            continue
+        spelling = child.spelling
+        if not spelling.startswith("rangesyn::"):
+            continue
+        tag = spelling[len("rangesyn::"):]
+        if tag == "owner_type":
+            symbols.owner_types.add(cursor.spelling)
+        elif tag.startswith("view_type:"):
+            symbols.view_types[cursor.spelling] = tag.split(":", 1)[1]
+
+
+def _preorder(cursor):
+    yield cursor
+    for child in cursor.get_children():
+        yield from _preorder(child)
+
+
+def _unwrap(cursor):
+    """Strips paren/implicit-cast wrappers down to the interesting node."""
+    while cursor.kind in (CK.PAREN_EXPR, CK.UNEXPOSED_EXPR):
+        children = list(cursor.get_children())
+        if len(children) != 1:
+            break
+        cursor = children[0]
+    return cursor
+
+
+ASSIGN_OPS = {"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^="}
+
+
 def _takes_deadline(cursor) -> bool:
     try:
         for arg in cursor.get_arguments():
@@ -112,15 +161,218 @@ class _FunctionLowering:
     """Walks one function definition's AST into a FunctionFact."""
 
     def __init__(self, fact: FunctionFact, rel: str,
-                 cold_names: set[str]):
+                 cold_names: set[str], symbols: SymbolTable | None = None,
+                 owner_class: str = ""):
         self.fact = fact
         self.rel = rel
         self.cold_names = cold_names
         self.loop_stack: list[LoopFact] = []
+        self.symbols = symbols if symbols is not None else SymbolTable()
+        # Member caching of interior pointers/views inside an annotated
+        # owner type is sanctioned (the owner outlives what it lends).
+        self.in_owner = owner_class in self.symbols.owner_types
+        # View-typed locals/params -> (category, owner name), mirroring
+        # the fallback's view_owner propagation.
+        self.view_owner: dict[str, tuple[str, str]] = {}
+        self.interior_ptrs: dict[str, tuple[str, str]] = {}
+        self.relaxed_ptrs: set[str] = set()
+        self._emitted: set[tuple[str, int, str]] = set()
 
     def walk(self, cursor) -> None:
+        try:
+            for arg in cursor.get_arguments():
+                name = arg.spelling
+                if name and self._is_view_spelling(_type_spelling(arg)):
+                    self.view_owner[name] = ("param", name)
+        except Exception:
+            pass
         for child in cursor.get_children():
             self._visit(child)
+
+    # Generation-2 helpers -------------------------------------------------
+
+    def _emit(self, attr: str, line: int, detail: str) -> None:
+        key = (attr, line, detail)
+        if key in self._emitted:
+            return
+        self._emitted.add(key)
+        getattr(self.fact, attr).append(Site(self.rel, line, detail))
+
+    def _is_view_spelling(self, spelling: str) -> bool:
+        if not spelling:
+            return False
+        if any(base in spelling for base in BUILTIN_VIEW_BASES):
+            return True
+        return any(name in spelling for name in self.symbols.view_types)
+
+    def _is_owner_spelling(self, spelling: str) -> bool:
+        if not spelling or self._is_view_spelling(spelling):
+            return False
+        if any(m in spelling for m in OWNING_CONTAINER_MARKERS):
+            return True
+        return any(name in spelling for name in self.symbols.owner_types)
+
+    @staticmethod
+    def _is_scalar_spelling(spelling: str) -> bool:
+        if int_class(spelling) is not None:
+            return True
+        base = spelling.replace("const", "").replace("&", "").strip()
+        return base in ("bool", "float", "double", "long double")
+
+    def _classify_expr(self, cursor):
+        """Best-effort mirror of the fallback's _classify_owner: the
+        first resolvable storage the expression references. Returns
+        (category, name) with category in local/param/member/temp/lent,
+        or (None, '')."""
+        for node in _preorder(cursor):
+            kind = node.kind
+            if kind == CK.CXX_THIS_EXPR:
+                return ("member", "this")
+            if kind == CK.DECL_REF_EXPR:
+                ref = node.referenced
+                if ref is None:
+                    continue
+                name = ref.spelling
+                if name in self.view_owner:
+                    return self.view_owner[name]
+                spelling = _type_spelling(ref)
+                if self._is_scalar_spelling(spelling):
+                    continue  # an index/length, not the storage owner
+                if ref.kind == CK.PARM_DECL:
+                    return ("param", name)
+                if ref.kind == CK.VAR_DECL:
+                    return ("local", name)
+                if ref.kind == CK.FIELD_DECL:
+                    return ("member", name)
+                continue
+            if kind == CK.MEMBER_REF_EXPR:
+                ref = node.referenced
+                if ref is not None and ref.kind == CK.FIELD_DECL:
+                    spelling = _type_spelling(ref)
+                    if self._is_scalar_spelling(spelling):
+                        continue
+                    return ("member", node.spelling)
+                continue
+            if kind == CK.CALL_EXPR:
+                callee = node.referenced
+                if callee is None:
+                    continue
+                try:
+                    ret = callee.result_type.spelling or ""
+                except Exception:
+                    ret = ""
+                if self._is_view_spelling(ret):
+                    return ("lent", callee.spelling)
+                if ("*" not in ret and "&" not in ret
+                        and self._is_owner_spelling(ret)):
+                    return ("temp", callee.spelling)
+                continue
+            if kind in (CK.CXX_FUNCTIONAL_CAST_EXPR,
+                        CK.CXX_TEMPORARY_OBJECT_EXPR):
+                spelling = _type_spelling(node)
+                if self._is_owner_spelling(spelling):
+                    return ("temp", spelling)
+        return (None, "")
+
+    def _order_of(self, cursor) -> str:
+        """Memory order named in a call's tokens; atomics default to
+        seq_cst when no order argument is spelled."""
+        try:
+            for tok in cursor.get_tokens():
+                order = MEMORY_ORDER_TOKENS.get(tok.spelling)
+                if order is not None:
+                    return order
+        except Exception:
+            pass
+        return "seq_cst"
+
+    @staticmethod
+    def _is_atomic_owner(parent_spelling: str) -> bool:
+        return "atomic" in (parent_spelling or "")
+
+    def _atomic_load_order(self, cursor) -> str | None:
+        """The memory order when `cursor` is an atomic load call."""
+        callee = cursor.referenced
+        if callee is None or callee.spelling != "load":
+            return None
+        parent = callee.semantic_parent
+        if not self._is_atomic_owner(
+                parent.spelling if parent is not None else ""):
+            return None
+        return self._order_of(cursor)
+
+    def _has_data_call(self, cursor) -> bool:
+        for node in _preorder(cursor):
+            if node.kind == CK.CALL_EXPR:
+                callee = node.referenced
+                if callee is not None and callee.spelling == "data":
+                    return True
+        return False
+
+    def _ref_lambda(self, cursor):
+        """The first reference-capturing lambda in the expression."""
+        for node in _preorder(cursor):
+            if node.kind == CK.LAMBDA_EXPR:
+                try:
+                    toks = [t.spelling for t in node.get_tokens()][:2]
+                except Exception:
+                    toks = []
+                if toks == ["[", "&"]:
+                    return node
+        return None
+
+    def _receiver_kind(self, call_cursor) -> str | None:
+        """'member' | 'local' for a method call's receiver storage."""
+        children = list(call_cursor.get_children())
+        if not children:
+            return None
+        head = children[0]
+        if head.kind != CK.MEMBER_REF_EXPR:
+            return None
+        base = list(head.get_children())
+        if not base:
+            return "member"  # implicit this->field
+        b = _unwrap(base[0])
+        if b.kind in (CK.MEMBER_REF_EXPR, CK.CXX_THIS_EXPR):
+            return "member"
+        if b.kind == CK.DECL_REF_EXPR:
+            ref = b.referenced
+            if ref is not None and ref.kind == CK.FIELD_DECL:
+                return "member"
+            return "local"
+        return None
+
+    def _lhs_member(self, lhs) -> tuple[bool, str]:
+        lhs = _unwrap(lhs)
+        if lhs.kind == CK.MEMBER_REF_EXPR:
+            base = [_unwrap(c) for c in lhs.get_children()]
+            if not base or base[0].kind in (CK.CXX_THIS_EXPR,
+                                            CK.MEMBER_REF_EXPR):
+                return (True, lhs.spelling)
+            if base[0].kind == CK.DECL_REF_EXPR:
+                ref = base[0].referenced
+                if ref is not None and ref.kind == CK.FIELD_DECL:
+                    return (True, lhs.spelling)
+            return (False, lhs.spelling)
+        if lhs.kind == CK.DECL_REF_EXPR:
+            ref = lhs.referenced
+            if ref is not None and ref.kind == CK.FIELD_DECL:
+                return (True, lhs.spelling)
+        return (False, "")
+
+    def _binop_token(self, cursor) -> str:
+        children = list(cursor.get_children())
+        if len(children) != 2:
+            return ""
+        try:
+            lhs_end = children[0].extent.end.offset
+            for tok in cursor.get_tokens():
+                if tok.extent.start.offset >= lhs_end and \
+                        tok.kind == cindex.TokenKind.PUNCTUATION:
+                    return tok.spelling
+        except Exception:
+            pass
+        return ""
 
     def _line(self, cursor) -> int:
         try:
@@ -149,6 +401,13 @@ class _FunctionLowering:
             self._call(cursor)
         elif kind == CK.VAR_DECL:
             self._var_decl(cursor)
+        elif kind == CK.RETURN_STMT:
+            self._return_stmt(cursor)
+        elif kind in (CK.BINARY_OPERATOR, CK.COMPOUND_ASSIGNMENT_OPERATOR):
+            self._assignment(cursor)
+        elif kind in (CK.MEMBER_REF_EXPR, CK.ARRAY_SUBSCRIPT_EXPR,
+                      CK.UNARY_OPERATOR):
+            self._maybe_relaxed_deref(cursor)
         elif kind == CK.LAMBDA_EXPR:
             # Lambda bodies belong to the enclosing function (ParallelFor
             # bodies are the hot loops); keep walking with the same
@@ -230,7 +489,172 @@ class _FunctionLowering:
             if "unordered_" in owner:
                 self.fact.unordered_iters.append(Site(
                     self.rel, line, f"iterator loop over {owner}"))
+        # Generation-2 evidence: atomic protocol events and container
+        # inserts that let a view outlive its owner's scope.
+        if name == "load" and self._is_atomic_owner(parent_spelling):
+            order = self._order_of(cursor)
+            if order in ACQUIRING_ORDERS:
+                self._emit("acquire_events", line, f"{order} load")
+        elif name == "atomic_thread_fence":
+            order = self._order_of(cursor)
+            if order in ACQUIRING_ORDERS:
+                self._emit("acquire_events", line, f"{order} fence")
+        if (name in ATOMIC_WRITE_CALLS and self.loop_stack
+                and self._receiver_kind(cursor) == "member"):
+            self._emit("seqlock_writes", line,
+                       f"atomic write to member state via '{name}' inside "
+                       "a speculative retry body")
+        if (name in CONTAINER_INSERT_CALLS and not self.in_owner
+                and self._receiver_kind(cursor) == "member"):
+            for node in _preorder(cursor):
+                if node.kind != CK.DECL_REF_EXPR:
+                    continue
+                ref = node.referenced
+                if ref is None:
+                    continue
+                tracked = self.view_owner.get(ref.spelling)
+                if tracked is not None and tracked[0] in ("local", "temp"):
+                    self._emit(
+                        "view_escapes", line,
+                        f"inserts view '{ref.spelling}' (over storage "
+                        f"owned by {tracked[0]} '{tracked[1]}') into a "
+                        "member container")
+                    break
         self._maybe_narrowing_from_call(cursor)
+
+    # Generation-2 evidence ------------------------------------------------
+
+    def _maybe_relaxed_deref(self, cursor) -> None:
+        children = [c for c in cursor.get_children()]
+        if not children:
+            return
+        base = _unwrap(children[0])
+        line = self._line(cursor)
+        if cursor.kind == CK.UNARY_OPERATOR:
+            try:
+                first = next(iter(cursor.get_tokens())).spelling
+            except Exception:
+                first = ""
+            if first != "*":
+                return
+        if base.kind == CK.CALL_EXPR and \
+                self._atomic_load_order(base) == "relaxed":
+            self._emit("relaxed_derefs", line,
+                       "dereference of a relaxed atomic load")
+            return
+        if base.kind == CK.DECL_REF_EXPR and \
+                base.spelling in self.relaxed_ptrs:
+            self._emit("relaxed_derefs", line,
+                       f"dereference of '{base.spelling}', loaded with "
+                       "relaxed ordering")
+
+    def _return_stmt(self, cursor) -> None:
+        children = list(cursor.get_children())
+        if not children:
+            return
+        expr = children[0]
+        line = self._line(cursor)
+        if self._ref_lambda(expr) is not None:
+            self._emit("view_escapes", line,
+                       "returns a lambda capturing locals by reference")
+            return
+        ret = self.fact.return_type or ""
+        is_view_ret = self._is_view_spelling(ret)
+        is_ptr_ret = "*" in ret
+        direct = _unwrap(expr)
+        if direct.kind == CK.DECL_REF_EXPR:
+            name = direct.spelling
+            tracked = self.view_owner.get(name)
+            if tracked is not None and tracked[0] == "local":
+                self._emit("view_escapes", line,
+                           f"returns view '{name}' of storage owned by "
+                           f"local '{tracked[1]}'")
+                return
+            interior = self.interior_ptrs.get(name)
+            if interior is not None:
+                cat, src = interior
+                if cat == "member" and self.in_owner:
+                    return
+                if cat in ("local", "temp", "member"):
+                    self._emit("ptr_escapes", line,
+                               f"returns interior pointer '{name}' into "
+                               f"{cat} storage '{src}'")
+                return
+        if not (is_view_ret or is_ptr_ret):
+            return
+        cat, owner = self._classify_expr(expr)
+        if is_view_ret:
+            if cat == "temp":
+                self._emit("temp_binds", line,
+                           f"returns a view over temporary owner "
+                           f"'{owner}'")
+            elif cat == "local":
+                self._emit("view_escapes", line,
+                           f"returns a view of storage owned by local "
+                           f"'{owner}'")
+        elif is_ptr_ret and self._has_data_call(expr):
+            if cat == "local" or (cat == "member" and not self.in_owner):
+                self._emit("ptr_escapes", line,
+                           f"returns an interior pointer into {cat} "
+                           f"storage '{owner}'")
+
+    def _assignment(self, cursor) -> None:
+        children = list(cursor.get_children())
+        if len(children) != 2:
+            return
+        lhs, rhs = children
+        op = self._binop_token(cursor)
+        compound = cursor.kind == CK.COMPOUND_ASSIGNMENT_OPERATOR
+        if not compound and op not in ASSIGN_OPS:
+            return
+        is_member, member_name = self._lhs_member(lhs)
+        if not is_member:
+            return
+        line = self._line(cursor)
+        if self.loop_stack:
+            self._emit("seqlock_writes", line,
+                       f"writes member '{member_name}' inside a "
+                       "speculative retry body")
+        if compound or op != "=" or self.in_owner:
+            return
+        if self._ref_lambda(rhs) is not None:
+            self._emit("view_escapes", line,
+                       f"stores a reference-capturing lambda in member "
+                       f"'{member_name}'")
+            return
+        rhs_direct = _unwrap(rhs)
+        if rhs_direct.kind == CK.DECL_REF_EXPR:
+            name = rhs_direct.spelling
+            tracked = self.view_owner.get(name)
+            if tracked is not None and tracked[0] in ("local", "temp"):
+                self._emit("view_escapes", line,
+                           f"stores view '{name}' (over storage owned by "
+                           f"{tracked[0]} '{tracked[1]}') in member "
+                           f"'{member_name}'")
+                return
+            interior = self.interior_ptrs.get(name)
+            if interior is not None and interior[0] in ("local", "temp"):
+                self._emit("ptr_escapes", line,
+                           f"stores interior pointer '{name}' into "
+                           f"{interior[0]} storage '{interior[1]}' in "
+                           f"member '{member_name}'")
+                return
+        lhs_spelling = _type_spelling(lhs)
+        cat, owner = self._classify_expr(rhs)
+        if self._is_view_spelling(lhs_spelling):
+            if cat == "temp":
+                self._emit("temp_binds", line,
+                           f"binds member view '{member_name}' to "
+                           f"temporary owner '{owner}'")
+            elif cat == "local":
+                self._emit("view_escapes", line,
+                           f"stores a view of storage owned by local "
+                           f"'{owner}' in member '{member_name}'")
+        elif "*" in lhs_spelling and self._has_data_call(rhs) and \
+                cat in ("local", "temp"):
+            self._emit("ptr_escapes", line,
+                       f"stores an interior pointer into {cat} storage "
+                       f"'{owner}' in member '{member_name}'")
 
     def _var_decl(self, cursor) -> None:
         spelling = _type_spelling(cursor)
@@ -249,6 +673,27 @@ class _FunctionLowering:
                 self.rel, line,
                 f"constructs {spelling} {cursor.spelling} "
                 "(owning container)"))
+        name = cursor.spelling
+        if name and init is not None:
+            if self._is_view_spelling(spelling):
+                cat, owner = self._classify_expr(init)
+                if cat is not None:
+                    self.view_owner[name] = (cat, owner)
+                    if cat == "temp":
+                        self._emit("temp_binds", line,
+                                   f"view '{name}' binds to temporary "
+                                   f"owner '{owner}'")
+            elif "*" in spelling:
+                relaxed = any(
+                    node.kind == CK.CALL_EXPR
+                    and self._atomic_load_order(node) == "relaxed"
+                    for node in _preorder(init))
+                if relaxed:
+                    self.relaxed_ptrs.add(name)
+                elif self._has_data_call(init):
+                    cat, owner = self._classify_expr(init)
+                    if cat is not None:
+                        self.interior_ptrs[name] = (cat, owner)
         if init is not None:
             self._check_narrowing(cursor.type, init, line)
 
@@ -434,6 +879,12 @@ def _lower_tu(tu, wanted, wanted_rel, repo_root, functions,
             loc_file = child.location.file
             if loc_file is None:
                 continue
+            if child.kind in (CK.CLASS_DECL, CK.STRUCT_DECL,
+                              CK.CLASS_TEMPLATE):
+                # Lifetime vocabulary is harvested regardless of scope:
+                # an owner/view class declared in an unanalyzed header
+                # still governs how analyzed code may use it.
+                _class_annotations(child, symbols)
             try:
                 in_scope = pathlib.Path(loc_file.name).resolve() in wanted
             except Exception:
@@ -465,7 +916,14 @@ def _lower_tu(tu, wanted, wanted_rel, repo_root, functions,
                     fact.return_type = ""
                 if is_def:
                     fact.has_body = True
-                    lowering = _FunctionLowering(fact, rel, set())
+                    parent = child.semantic_parent
+                    owner_class = ""
+                    if parent is not None and parent.kind in (
+                            CK.CLASS_DECL, CK.STRUCT_DECL,
+                            CK.CLASS_TEMPLATE):
+                        owner_class = parent.spelling
+                    lowering = _FunctionLowering(fact, rel, set(),
+                                                 symbols, owner_class)
                     lowering.walk(child)
                 functions.append(fact)
                 symbols.note_signature(qual, fact.return_type,

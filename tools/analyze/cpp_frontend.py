@@ -22,7 +22,16 @@ facts the SA-10x checks need:
   - unordered-container iteration sites (SA-103);
   - narrowing / overflow-before-widening integer arithmetic (SA-104)
     resolved through the declared-type tables, never through text
-    matching.
+    matching;
+  - generation-2 view-lifetime evidence (SA-201/202/203): view-typed
+    locals with the category of the storage they borrow (local / param /
+    member / temporary), escapes through returns, member stores,
+    container inserts and by-reference lambda captures, and interior raw
+    pointers obtained via `.data()`;
+  - atomics protocol evidence (SA-204/205): relaxed loads feeding a
+    dereference, acquire-ordered loads/fences (the seqlock
+    begin/validate pairing), and writes to member state inside loop
+    bodies (speculative seqlock retry sections).
 
 Everything works on the token stream: comments, strings and preprocessor
 directives are consumed by the lexer, so no check ever looks at raw text.
@@ -64,7 +73,14 @@ ANNOTATION_MACROS = {
     "RANGESYN_COLD_PATH": "cold_path",
     "RANGESYN_CANCELLABLE": "cancellable",
     "RANGESYN_DETERMINISTIC": "deterministic",
+    "RANGESYN_LENDS_VIEW": "lends_view",
+    "RANGESYN_LOCK_FREE": "lock_free",
+    "RANGESYN_SEQLOCK_READ": "seqlock_read",
 }
+
+# Class-level annotation macros (generation 2). RANGESYN_VIEW_TYPE takes
+# the owning type as an argument; RANGESYN_OWNER_TYPE is a bare marker.
+CLASS_ANNOTATION_MACROS = {"RANGESYN_VIEW_TYPE", "RANGESYN_OWNER_TYPE"}
 
 # Declaration specifiers that are not part of the type proper.
 SPECIFIERS = {
@@ -266,6 +282,13 @@ class FunctionFact:
     unordered_iters: list[Site] = dataclasses.field(default_factory=list)
     narrowing: list[Site] = dataclasses.field(default_factory=list)
     loops: list[LoopFact] = dataclasses.field(default_factory=list)
+    # Generation 2 (SA-2xx) evidence:
+    view_escapes: list[Site] = dataclasses.field(default_factory=list)
+    temp_binds: list[Site] = dataclasses.field(default_factory=list)
+    ptr_escapes: list[Site] = dataclasses.field(default_factory=list)
+    relaxed_derefs: list[Site] = dataclasses.field(default_factory=list)
+    acquire_events: list[Site] = dataclasses.field(default_factory=list)
+    seqlock_writes: list[Site] = dataclasses.field(default_factory=list)
 
 
 # Type classification -------------------------------------------------------
@@ -311,6 +334,32 @@ POLL_RECEIVER_NAMES = {"deadline", "token", "cancel"}
 # Macros that expand to a deadline poll (the fallback frontend does not
 # expand macros, so the hidden .Check() call needs explicit credit).
 POLL_MACROS = {"RANGESYN_RETURN_IF_DEADLINE"}
+
+# View-lifetime / lock-free protocol evidence (SA-2xx) ----------------------
+
+# std:: view types tracked even without a RANGESYN_VIEW_TYPE annotation.
+BUILTIN_VIEW_BASES = {"span", "string_view", "basic_string_view"}
+# Types whose in-place construction yields a temporary owner (SA-202).
+OWNER_CTOR_NAMES = {"string", "basic_string", "vector", "deque"}
+CONTAINER_INSERT_CALLS = {
+    "push_back", "emplace_back", "emplace", "emplace_front", "insert",
+    "try_emplace", "push_front", "assign",
+}
+ATOMIC_WRITE_CALLS = {
+    "store", "fetch_add", "fetch_sub", "fetch_and", "fetch_or",
+    "fetch_xor", "exchange", "compare_exchange_weak",
+    "compare_exchange_strong",
+}
+MEMORY_ORDER_TOKENS = {
+    "memory_order_relaxed": "relaxed",
+    "memory_order_consume": "consume",
+    "memory_order_acquire": "acquire",
+    "memory_order_release": "release",
+    "memory_order_acq_rel": "acq_rel",
+    "memory_order_seq_cst": "seq_cst",
+}
+# Orders that synchronize a subsequent read (SA-204's acquire/validate).
+ACQUIRING_ORDERS = {"acquire", "acq_rel", "seq_cst"}
 
 
 def int_class(type_str: str | None) -> int | None:
@@ -416,7 +465,12 @@ class FileParser:
                 if info is None:
                     i += 1
                     continue
-                name, body_open = info
+                name, body_open, cls_annos = info
+                for contract, owner_arg in cls_annos:
+                    if contract == "owner_type":
+                        self.symbols.owner_types.add(name)
+                    else:
+                        self.symbols.view_types[name] = owner_arg
                 if body_open is None:
                     i = self._skip_to_semicolon(i, end)
                     stmt_start = i
@@ -493,27 +547,47 @@ class FileParser:
         return False
 
     def _class_header(self, i: int, end: int):
-        """At 'class'/'struct': returns (name, body_open_index|None) or
-        None when this is not a class definition."""
+        """At 'class'/'struct': returns (name, body_open_index|None,
+        class_annotations) or None when this is not a class definition.
+        class_annotations is a list of ('owner_type'|'view_type',
+        owner_name_or_empty) read from the generation-2 macros."""
         j = i + 1
         name = None
+        annos: list[tuple[str, str]] = []
         while j < end:
             t = self.toks[j]
+            if t.kind == "id" and t.value in CLASS_ANNOTATION_MACROS:
+                if t.value == "RANGESYN_OWNER_TYPE":
+                    annos.append(("owner_type", ""))
+                    j += 1
+                    continue
+                owner_arg = ""
+                if j + 1 < end and self.toks[j + 1].value == "(":
+                    close = self.match.get(j + 1)
+                    if close is not None:
+                        owner_arg = join_type(self.toks[j + 2:close])
+                        j = close + 1
+                    else:
+                        j += 1
+                else:
+                    j += 1
+                annos.append(("view_type", owner_arg))
+                continue
             if t.kind == "id" and t.value not in ("final", "alignas"):
                 if name is None:
                     name = t.value
             if t.value == "{":
-                return (name or "<anon>", j)
+                return (name or "<anon>", j, annos)
             if t.value in (";", "("):
-                return (name or "<anon>", None)
+                return (name or "<anon>", None, annos)
             if t.value == ":":  # base clause; body follows
                 k = j
                 while k < end and self.toks[k].value != "{":
                     if self.toks[k].value == ";":
-                        return (name or "<anon>", None)
+                        return (name or "<anon>", None, annos)
                     k += 1
                 if k < end:
-                    return (name or "<anon>", k)
+                    return (name or "<anon>", k, annos)
                 return None
             j += 1
         return None
@@ -809,6 +883,19 @@ class BodyWalker:
         self.owner = owner_class
         self.symbols = parser.symbols
         self.loop_stack: list[LoopFact] = []
+        # Generation 2 (SA-2xx) tracking state.
+        self.param_names: set[str] = set(params)
+        # view-typed variable -> (owner category, owner description);
+        # category is 'local'|'param'|'member'|'temp'|'lent'|'unknown'.
+        self.view_owner: dict[str, tuple[str, str]] = {}
+        for name, type_str in params.items():
+            if self._is_view_type(self._expand_alias(type_str)):
+                self.view_owner[name] = ("param", name)
+        # raw-pointer local into someone else's storage -> (cat, source).
+        self.interior_ptrs: dict[str, tuple[str, str]] = {}
+        # pointer locals initialized from a relaxed atomic load.
+        self.relaxed_ptrs: set[str] = set()
+        self._emitted: set[tuple[int, int, str]] = set()
 
     # The walk processes the token range statement by statement.
     def walk(self, start: int, end: int, loop_depth) -> None:
@@ -866,6 +953,7 @@ class BodyWalker:
                 self._check_narrowing(
                     self.fact.return_type, i + 1, semi, toks[i].line
                 )
+                self._check_view_return(i + 1, semi, toks[i].line)
                 i = semi + 1
                 continue
             if v in ("class", "struct", "enum", "using", "typedef",
@@ -1019,6 +1107,7 @@ class BodyWalker:
                 self._check_narrowing(self.locals.get(name),
                                       init_start, end, toks[start].line)
                 self._scan_expression(init_start, end)
+            self._track_decl(name, init_start, end, toks[start].line)
             return
         # Assignment to a known variable?
         if end - start >= 2 and toks[start].kind == "id":
@@ -1027,10 +1116,26 @@ class BodyWalker:
             while j + 1 < end and toks[j + 1].value in (".", "->", "::") \
                     and j + 2 < end and toks[j + 2].kind == "id":
                 j += 2
+            root = toks[start].value
+            member_name = root
+            if root == "this" and start + 2 < end:
+                member_name = toks[start + 2].value
+            lhs_is_member = root == "this" or (
+                root not in self.locals
+                and self._member_type(root) is not None)
             if j + 1 < end and toks[j + 1].value == "=":
                 lhs_type = self._chain_type(start, j + 1)
                 self._check_narrowing(lhs_type, j + 2, end,
                                       toks[start].line)
+                if lhs_is_member:
+                    self._member_store(member_name, j + 2, end,
+                                       toks[start].line)
+            if lhs_is_member and self.loop_stack and j + 1 < end and \
+                    toks[j + 1].value in ("=", "+=", "-=", "*=", "/=",
+                                          "%=", "&=", "|=", "^="):
+                self._emit(self.fact.seqlock_writes, toks[start].line,
+                           f"writes member '{member_name}' inside a "
+                           "speculative retry body")
         self._scan_expression(start, end)
 
     def _try_declaration(self, start: int, end: int):
@@ -1229,6 +1334,16 @@ class BodyWalker:
                 close = self._angle_close(i + 1, end)
                 i = close + 1 if close is not None else i + 1
                 continue
+            if t.kind == "id" and v in self.relaxed_ptrs:
+                nxt = toks[i + 1].value if i + 1 < end else ""
+                prev = toks[i - 1].value if i > start else ""
+                unary_star = prev == "*" and (
+                    i - 1 == start or toks[i - 2].kind == "punct")
+                if nxt == "->" or nxt == "[" or unary_star:
+                    self._emit(self.fact.relaxed_derefs, t.line,
+                               f"'{v}' (obtained via relaxed atomic "
+                               "load) dereferenced — pointer "
+                               "publication needs acquire ordering")
             if t.kind == "id" and i + 1 < end and \
                     toks[i + 1].value == "(" and v not in CONTROL_KEYWORDS:
                 self._call(i)
@@ -1326,6 +1441,9 @@ class BodyWalker:
             return self.owner or None
         if name in self.locals:
             return self.locals[name]
+        return self._member_type(name)
+
+    def _member_type(self, name: str):
         if self.owner:
             for cls in (self.owner, self.owner.split("::")[-1]):
                 members = self.symbols.members.get(cls, {})
@@ -1367,6 +1485,54 @@ class BodyWalker:
             self.fact.blocking.append(Site(
                 self.p.rel, line, f"call to blocking '{method}'"
             ))
+        # Atomic-ordering evidence (SA-204).
+        args_open = name_idx + 1
+        args_close = self.p.match.get(args_open)
+        if args_close is not None and method == "load":
+            order = self._memory_order(args_open + 1, args_close)
+            after = toks[args_close + 1].value \
+                if args_close + 1 < len(toks) else ""
+            if order == "relaxed" and after == "->":
+                self._emit(self.fact.relaxed_derefs, line,
+                           "relaxed atomic load dereferenced — pointer "
+                           "publication needs acquire ordering")
+            if order in ACQUIRING_ORDERS:
+                self._emit(self.fact.acquire_events, line,
+                           f"{order} load")
+        if args_close is not None and method == "atomic_thread_fence":
+            order = self._memory_order(args_open + 1, args_close)
+            if order in ACQUIRING_ORDERS:
+                self._emit(self.fact.acquire_events, line,
+                           f"{order} fence")
+        # Writes to member state (SA-205: forbidden in a speculative
+        # seqlock retry body, which may run any number of times).
+        if method in ATOMIC_WRITE_CALLS and self.loop_stack and \
+                len(segs) > 1:
+            root = segs[0]
+            if root == "this" or (root not in self.locals and
+                                  self._member_type(root) is not None):
+                self._emit(self.fact.seqlock_writes, line,
+                           f"atomic write '{method}' to member state "
+                           "inside a speculative retry body")
+        # Views inserted into member containers escape the frame (SA-201).
+        if method in CONTAINER_INSERT_CALLS and len(segs) > 1 and \
+                args_close is not None and not self._in_owner_class():
+            root = segs[0]
+            receiver_is_member = root == "this" or (
+                root not in self.locals
+                and self._member_type(root) is not None)
+            if receiver_is_member:
+                for k in range(args_open + 1, args_close):
+                    tv = toks[k]
+                    if tv.kind == "id" and tv.value in self.view_owner:
+                        cat, owner = self.view_owner[tv.value]
+                        if cat in ("local", "temp"):
+                            self._emit(
+                                self.fact.view_escapes, line,
+                                f"inserts view '{tv.value}' (storage "
+                                f"owned by {cat} '{owner}') into member "
+                                "container")
+                            break
         # Deadline poll evidence (typed receiver, or a receiver whose
         # name unambiguously names the deadline/token).
         if method in POLL_METHODS and self.loop_stack:
@@ -1508,6 +1674,255 @@ class BodyWalker:
         cls = 32 if widest <= 32 else 64
         return (cls, has_op, has_cast, widest)
 
+    # -- SA-2xx: view lifetimes and lock-free protocol -----------------------
+
+    def _emit(self, sink: list, line: int, detail: str) -> None:
+        """Appends a Site, deduplicating repeat sightings of the same
+        evidence (overlapping expression scans)."""
+        key = (id(sink), line, detail)
+        if key in self._emitted:
+            return
+        self._emitted.add(key)
+        sink.append(Site(self.p.rel, line, detail))
+
+    def _is_view_type(self, type_str) -> bool:
+        if not type_str:
+            return False
+        base = base_class_of(type_str)
+        if base in BUILTIN_VIEW_BASES:
+            return True
+        return base in self.symbols.view_types
+
+    def _is_owner_value(self, type_str) -> bool:
+        """True when `type_str` is an owning type returned/held by value
+        (binding a view to it as a temporary dangles)."""
+        if not type_str or "&" in type_str or "*" in type_str:
+            return False
+        if self._is_view_type(type_str):
+            return False
+        base = base_class_of(type_str)
+        if base in self.symbols.owner_types:
+            return True
+        return any(m in type_str for m in OWNING_CONTAINER_MARKERS)
+
+    def _is_scalar_type(self, type_str) -> bool:
+        """Arithmetic/boolean values cannot own a view's storage."""
+        if not type_str:
+            return False
+        if int_class(type_str) is not None:
+            return True
+        bare = type_str.replace("const", "").replace("&", "") \
+            .replace("std::", "").strip()
+        return bare in ("bool", "float", "double", "long double")
+
+    def _in_owner_class(self) -> bool:
+        """True when this body belongs to a RANGESYN_OWNER_TYPE class:
+        the owner's lifetime covers views cached in its own members."""
+        if not self.owner:
+            return False
+        return self.owner.split("::")[-1] in self.symbols.owner_types
+
+    def _classify_owner(self, start: int, end: int) -> tuple[str, str]:
+        """Best-effort owner of the storage a view/pointer expression in
+        [start, end) refers to: the first identifier that resolves.
+        Returns (category, description)."""
+        toks = self.p.toks
+        i = start
+        while i < end:
+            t = toks[i]
+            if t.kind != "id":
+                i += 1
+                continue
+            name = t.value
+            nxt = toks[i + 1].value if i + 1 < end else ""
+            if name == "this":
+                return ("member", "this")
+            if name in self.view_owner:
+                return self.view_owner[name]
+            if name in self.locals:
+                if self._is_scalar_type(self.locals[name]):
+                    i += 1  # an index/length, not the storage owner
+                    continue
+                if name in self.param_names:
+                    return ("param", name)
+                return ("local", name)
+            member_type = self._member_type(name)
+            if member_type is not None:
+                if self._is_scalar_type(member_type):
+                    i += 1
+                    continue
+                return ("member", name)
+            if nxt == "(":
+                ret = self.symbols.return_type_of(name)
+                if ret is not None and \
+                        self._is_view_type(self._expand_alias(ret)):
+                    return ("lent", name)
+                if ret is not None and self._is_owner_value(ret):
+                    return ("temp", f"{name}(...)")
+                if name in OWNER_CTOR_NAMES or \
+                        name in self.symbols.owner_types:
+                    return ("temp", f"{name}(...)")
+                # Unknown call: descend into its arguments.
+            i += 1
+        return ("unknown", "")
+
+    def _memory_order(self, start: int, end: int):
+        """The memory_order named in an argument range; calls with no
+        explicit order default to seq_cst."""
+        for k in range(start, end):
+            t = self.p.toks[k]
+            if t.kind == "id" and t.value in MEMORY_ORDER_TOKENS:
+                return MEMORY_ORDER_TOKENS[t.value]
+        return "seq_cst"
+
+    def _has_data_call(self, start: int, end: int) -> bool:
+        toks = self.p.toks
+        for k in range(start, end - 1):
+            if toks[k].kind == "id" and toks[k].value == "data" and \
+                    toks[k + 1].value == "(":
+                return True
+        return False
+
+    def _init_load_order(self, start: int, end: int):
+        """Order of an atomic `.load(...)` inside an initializer, or
+        None when there is no load call."""
+        toks = self.p.toks
+        for k in range(start, end - 1):
+            if toks[k].kind == "id" and toks[k].value == "load" and \
+                    toks[k + 1].value == "(":
+                close = self.p.match.get(k + 1)
+                if close is not None:
+                    return self._memory_order(k + 2, close)
+        return None
+
+    def _track_decl(self, name: str, init_start, end: int,
+                    line: int) -> None:
+        """Classifies a freshly declared local for the SA-2xx checks:
+        view bindings (and their owners), interior raw pointers, and
+        pointers published through relaxed atomic loads."""
+        eff = self._expand_alias(self.locals.get(name))
+        if self._is_view_type(eff):
+            if init_start is None:
+                self.view_owner[name] = ("unknown", "")
+                return
+            cat, owner = self._classify_owner(init_start, end)
+            self.view_owner[name] = (cat, owner)
+            if cat == "temp":
+                self._emit(self.fact.temp_binds, line,
+                           f"view '{name}' binds to temporary owner "
+                           f"{owner} — it dangles at the end of the "
+                           "full expression")
+            return
+        if eff and "*" in eff and init_start is not None:
+            order = self._init_load_order(init_start, end)
+            if order == "relaxed":
+                self.relaxed_ptrs.add(name)
+                return
+            if self._has_data_call(init_start, end):
+                cat, src = self._classify_owner(init_start, end)
+                self.interior_ptrs[name] = (cat, src)
+
+    def _check_view_return(self, start: int, end: int, line: int) -> None:
+        """SA-201/SA-202/SA-203 evidence on `return expr;`."""
+        toks = self.p.toks
+        if start >= end:
+            return
+        if toks[start].value == "[" and self._is_lambda_intro(start, end):
+            close = self.p.match.get(start)
+            caps = {t.value for t in toks[start + 1:close]} if close else set()
+            if "&" in caps:
+                self._emit(self.fact.view_escapes, line,
+                           "returns a lambda capturing by reference — the "
+                           "captured frame dies before the lambda runs")
+            return
+        first = toks[start]
+        if first.kind == "id" and first.value in self.view_owner:
+            cat, owner = self.view_owner[first.value]
+            if cat == "local":
+                self._emit(self.fact.view_escapes, line,
+                           f"returns view '{first.value}' whose storage "
+                           f"is owned by local '{owner}'")
+            return
+        if first.kind == "id" and first.value in self.interior_ptrs:
+            cat, src = self.interior_ptrs[first.value]
+            if not (cat == "member" and self._in_owner_class()):
+                self._emit(self.fact.ptr_escapes, line,
+                           f"returns raw interior pointer "
+                           f"'{first.value}' into storage of {cat} "
+                           f"'{src}'")
+            return
+        ret_type = self._expand_alias(self.fact.return_type)
+        ret_view = self._is_view_type(ret_type)
+        ret_ptr = bool(self.fact.return_type) and \
+            "*" in self.fact.return_type
+        if not ret_view and not ret_ptr:
+            return
+        cat, owner = self._classify_owner(start, end)
+        if ret_view and cat == "temp":
+            self._emit(self.fact.temp_binds, line,
+                       f"returns a view of temporary owner {owner}")
+        elif cat == "local":
+            if ret_view:
+                self._emit(self.fact.view_escapes, line,
+                           f"returns a view of storage owned by local "
+                           f"'{owner}'")
+            elif self._has_data_call(start, end):
+                self._emit(self.fact.ptr_escapes, line,
+                           f"returns raw pointer into storage of local "
+                           f"'{owner}'")
+
+    def _member_store(self, member: str, rhs_start: int, end: int,
+                      line: int) -> None:
+        """SA-201/SA-202/SA-203 evidence on `member_ = expr;`. Member
+        caches inside a RANGESYN_OWNER_TYPE class are the owner's own
+        business and produce no evidence."""
+        if self._in_owner_class():
+            return
+        toks = self.p.toks
+        first = toks[rhs_start] if rhs_start < end else None
+        if first is None:
+            return
+        if first.value == "[" and self._is_lambda_intro(rhs_start, end):
+            close = self.p.match.get(rhs_start)
+            caps = {t.value for t in toks[rhs_start + 1:close]} \
+                if close else set()
+            if "&" in caps:
+                self._emit(self.fact.view_escapes, line,
+                           f"stores a by-reference-capturing lambda in "
+                           f"member '{member}' — it outlives the frame")
+            return
+        if first.kind == "id" and first.value in self.view_owner:
+            cat, owner = self.view_owner[first.value]
+            if cat in ("local", "temp"):
+                self._emit(self.fact.view_escapes, line,
+                           f"stores view '{first.value}' (storage owned "
+                           f"by {cat} '{owner}') in member '{member}'")
+            return
+        if first.kind == "id" and first.value in self.interior_ptrs:
+            cat, src = self.interior_ptrs[first.value]
+            self._emit(self.fact.ptr_escapes, line,
+                       f"stores raw interior pointer '{first.value}' "
+                       f"(into {cat} '{src}') in member '{member}'")
+            return
+        lhs_type = self._expand_alias(self._member_type(member))
+        if self._is_view_type(lhs_type):
+            cat, owner = self._classify_owner(rhs_start, end)
+            if cat == "temp":
+                self._emit(self.fact.temp_binds, line,
+                           f"member '{member}' binds a view to temporary "
+                           f"owner {owner}")
+            elif cat == "local":
+                self._emit(self.fact.view_escapes, line,
+                           f"stores a view of local '{owner}' in member "
+                           f"'{member}'")
+        elif lhs_type and "*" in lhs_type and \
+                self._has_data_call(rhs_start, end):
+            cat, owner = self._classify_owner(rhs_start, end)
+            if cat in ("local", "temp"):
+                self._emit(self.fact.ptr_escapes, line,
+                           f"stores raw pointer into storage of {cat} "
+                           f"'{owner}' in member '{member}'")
+
 
 def element_type(container_type):
     """'std::vector<LambdaState>' -> 'LambdaState';
@@ -1541,6 +1956,10 @@ class SymbolTable:
         # qualified name -> annotation set (merged over decls).
         self.annotations: dict[str, set[str]] = {}
         self.deadline_takers: set[str] = set()
+        # Generation 2: class name -> declared owner ("" = unspecified)
+        # for RANGESYN_VIEW_TYPE classes; RANGESYN_OWNER_TYPE classes.
+        self.view_types: dict[str, str] = {}
+        self.owner_types: set[str] = set()
 
     def note_signature(self, qual_name: str, return_type: str,
                        annotations: set[str], takes_deadline: bool):

@@ -31,10 +31,32 @@ Checks (DESIGN.md §6.4):
           polls Deadline::Check()/Expired() (directly or via a
           deadline-taking callee)
 
+Generation 2 (view lifetimes and lock-free protocol, the zero-copy
+serving-path contracts):
+
+  SA-201  a view/span escapes the frame that owns its storage: returned,
+          stored in a member, inserted into a container, or captured by
+          reference in a lambda that outlives the frame — unless the
+          function is RANGESYN_LENDS_VIEW or the enclosing class is a
+          RANGESYN_OWNER_TYPE caching views over its own storage
+  SA-202  a view binds to a temporary/rvalue owner (dangles at the end
+          of the full expression)
+  SA-203  a raw interior pointer (e.g. `.data()` into an mmap-backed
+          RSF1 buffer) escapes without a lending annotation, so it can
+          outlive unmap/Evict
+  SA-204  lock-free protocol: a relaxed atomic load feeding a
+          dereference, blocking reachable from a RANGESYN_LOCK_FREE
+          region, or a RANGESYN_SEQLOCK_READ section missing its
+          acquire/validate pairing
+  SA-205  side-effecting writes to non-local state inside a speculative
+          seqlock retry body (the body may run any number of times
+          before validation succeeds)
+
 Conventions mirror tools/lint/rangesyn_lint.py: inline waivers
 (`// analyze: waive(SA-103) reason`), a TOML baseline with mandatory
-reasons and stale-entry warnings, `--json`, and exit status 1 when any
-non-waived finding remains.
+reasons, `--json`, and exit status 1 when any non-waived finding
+remains or the baseline contains stale entries (dead suppressions must
+not accumulate silently).
 """
 
 from __future__ import annotations
@@ -67,6 +89,16 @@ CHECKS = {
               "in DP/wavelet index expressions",
     "SA-105": "Outermost loop in a RANGESYN_CANCELLABLE builder that "
               "never polls Deadline::Check()",
+    "SA-201": "View or span escaping the frame that owns its storage "
+              "without a RANGESYN_LENDS_VIEW contract",
+    "SA-202": "View bound to a temporary/rvalue owner (dangling at end "
+              "of full expression)",
+    "SA-203": "Raw interior pointer escaping without a lending "
+              "annotation (can outlive unmap/Evict)",
+    "SA-204": "Lock-free protocol violation: relaxed load feeding a "
+              "dereference, blocking in a RANGESYN_LOCK_FREE region, or "
+              "a seqlock read missing its acquire/validate pairing",
+    "SA-205": "Non-local write inside a speculative seqlock retry body",
 }
 
 SOURCE_SUFFIXES = {".h", ".hpp", ".cc", ".cpp", ".cxx"}
@@ -202,6 +234,12 @@ class MergedFunction:
     unordered_iters: list[Site] = dataclasses.field(default_factory=list)
     narrowing: list[Site] = dataclasses.field(default_factory=list)
     loops: list[LoopFact] = dataclasses.field(default_factory=list)
+    view_escapes: list[Site] = dataclasses.field(default_factory=list)
+    temp_binds: list[Site] = dataclasses.field(default_factory=list)
+    ptr_escapes: list[Site] = dataclasses.field(default_factory=list)
+    relaxed_derefs: list[Site] = dataclasses.field(default_factory=list)
+    acquire_events: list[Site] = dataclasses.field(default_factory=list)
+    seqlock_writes: list[Site] = dataclasses.field(default_factory=list)
 
 
 class Index:
@@ -226,6 +264,12 @@ class Index:
             m.unordered_iters.extend(fact.unordered_iters)
             m.narrowing.extend(fact.narrowing)
             m.loops.extend(fact.loops)
+            m.view_escapes.extend(fact.view_escapes)
+            m.temp_binds.extend(fact.temp_binds)
+            m.ptr_escapes.extend(fact.ptr_escapes)
+            m.relaxed_derefs.extend(fact.relaxed_derefs)
+            m.acquire_events.extend(fact.acquire_events)
+            m.seqlock_writes.extend(fact.seqlock_writes)
         for qual in cold_functions:
             if qual in self.by_qual:
                 self.by_qual[qual].annotations.add("cold_path")
@@ -238,13 +282,25 @@ class Index:
                 self.suffixes["::".join(parts[-k:])].append(qual)
         self._cold_names = cold_functions
 
-    def resolve(self, callee_key: str) -> list[MergedFunction]:
+    def resolve(self, callee_key: str,
+                caller: str | None = None) -> list[MergedFunction]:
         """Resolves a callee key (bare name, 'Class::method', or a
         namespace-qualified name) to merged functions. When the typed
         resolution only reaches bodiless declarations (an abstract
         interface), widens to every same-named method with a body so
-        virtual dispatch stays inside the walk."""
-        quals = self.suffixes.get(callee_key, [])
+        virtual dispatch stays inside the walk.
+
+        An unqualified call made from inside a member function binds to
+        the caller's enclosing scope first (approximating C++ unqualified
+        lookup): `Record(...)` inside LatencyHistogram::RecordSigned is
+        LatencyHistogram::Record, not every Record in the program."""
+        quals = None
+        if caller is not None and "::" not in callee_key and "::" in caller:
+            sibling = caller.rsplit("::", 1)[0] + "::" + callee_key
+            if sibling in self.by_qual:
+                quals = [sibling]
+        if quals is None:
+            quals = self.suffixes.get(callee_key, [])
         resolved = [self.by_qual[q] for q in quals]
         if resolved and all(not m.has_body for m in resolved):
             bare = callee_key.split("::")[-1]
@@ -275,7 +331,7 @@ def reachable_set(index: Index, roots: list[MergedFunction]):
         fn = queue.popleft()
         root_qual, _ = reached[fn.qual_name]
         for call in fn.calls:
-            for callee in index.resolve(call.detail):
+            for callee in index.resolve(call.detail, caller=fn.qual_name):
                 if "cold_path" in callee.annotations:
                     continue
                 if callee.qual_name in reached:
@@ -377,7 +433,7 @@ def _polling_closure(index: Index) -> set[str]:
                 continue
             for call in fn.calls:
                 if any(c.qual_name in pollers
-                       for c in index.resolve(call.detail)):
+                       for c in index.resolve(call.detail, caller=qual)):
                     pollers.add(qual)
                     changed = True
                     break
@@ -398,7 +454,7 @@ def check_cancellable(index: Index) -> list[Finding]:
             credited = any(
                 callee.qual_name in pollers
                 for key in loop.callees
-                for callee in index.resolve(key)
+                for callee in index.resolve(key, caller=fn.qual_name)
             )
             if credited:
                 continue
@@ -411,9 +467,102 @@ def check_cancellable(index: Index) -> list[Finding]:
     return findings
 
 
+def check_view_lifetime(index: Index) -> list[Finding]:
+    """SA-201/SA-202/SA-203: escape evidence collected per function by
+    the frontends, exempted when the (merged) function carries the
+    RANGESYN_LENDS_VIEW contract. Owner-type member caches were already
+    exempted at extraction time."""
+    findings: list[Finding] = []
+    seen: set[tuple[str, str, int, str]] = set()
+    for qual in sorted(index.by_qual):
+        fn = index.by_qual[qual]
+        if "lends_view" in fn.annotations:
+            continue
+        for check, attr, hint in (
+            ("SA-201", "view_escapes",
+             "annotate RANGESYN_LENDS_VIEW if lending is contractual"),
+            ("SA-202", "temp_binds",
+             "bind the owner to a named variable first"),
+            ("SA-203", "ptr_escapes",
+             "annotate RANGESYN_LENDS_VIEW or keep the backing alive"),
+        ):
+            for site in getattr(fn, attr):
+                key = (check, site.file, site.line, site.detail)
+                if key in seen:
+                    continue
+                seen.add(key)
+                findings.append(Finding(
+                    check, site.file, site.line,
+                    f"in '{qual}': {site.detail} — {hint}",
+                ))
+    return findings
+
+
+def check_lock_free(index: Index) -> list[Finding]:
+    """SA-204: relaxed-load dereferences and blocking anywhere in the
+    reachable set of RANGESYN_LOCK_FREE / RANGESYN_SEQLOCK_READ roots,
+    plus seqlock read sections missing their acquire/validate pairing."""
+    roots = index.annotated("lock_free") + index.annotated("seqlock_read")
+    reached = reachable_set(index, roots)
+    findings = _site_findings(
+        index, reached, "SA-204", "relaxed_derefs",
+        "relaxed-load dereference in a lock-free region")
+    findings += _site_findings(
+        index, reached, "SA-204", "blocking",
+        "blocking operation in a lock-free region")
+    for fn in index.annotated("seqlock_read"):
+        if not fn.has_body:
+            continue
+        if len(fn.acquire_events) < 2:
+            findings.append(Finding(
+                "SA-204", fn.file, fn.line,
+                f"seqlock read section '{fn.qual_name}' is missing its "
+                f"acquire/validate pairing — "
+                f"{len(fn.acquire_events)} acquire-ordered event(s) "
+                "seen; the begin read and the validating re-read/fence "
+                "must both be acquire-ordered",
+            ))
+    return findings
+
+
+def check_seqlock_writes(index: Index) -> list[Finding]:
+    """SA-205: non-local writes reachable inside speculative seqlock
+    retry bodies. The retry body may run any number of times before
+    validation succeeds, so every side effect must be local."""
+    roots = index.annotated("seqlock_read")
+    reached = reachable_set(index, roots)
+    return _site_findings(
+        index, reached, "SA-205", "seqlock_writes",
+        "non-local write in a speculative seqlock retry body")
+
+
 # ---------------------------------------------------------------------------
 # Driver
 # ---------------------------------------------------------------------------
+
+
+def changed_files(repo_root: pathlib.Path, base_ref: str) -> set[str]:
+    """Repo-relative posix paths touched since the merge base with
+    `base_ref` (plus uncommitted work). Exits with status 2 when git
+    cannot answer — a silently empty change set would make the fast leg
+    vacuously green."""
+    import subprocess
+    try:
+        mb = subprocess.run(
+            ["git", "-C", str(repo_root), "merge-base", base_ref, "HEAD"],
+            capture_output=True, text=True)
+        diff_base = mb.stdout.strip() if mb.returncode == 0 else base_ref
+        diff = subprocess.run(
+            ["git", "-C", str(repo_root), "diff", "--name-only", diff_base],
+            capture_output=True, text=True)
+    except OSError as err:
+        raise SystemExit(f"rangesyn-analyze: --changed-only: {err}")
+    if diff.returncode != 0:
+        raise SystemExit(
+            "rangesyn-analyze: --changed-only: git diff against "
+            f"'{base_ref}' failed: {diff.stderr.strip()}")
+    return {line.strip() for line in diff.stdout.splitlines()
+            if line.strip()}
 
 
 def gather_files(paths: list[pathlib.Path]) -> list[pathlib.Path]:
@@ -438,9 +587,13 @@ def gather_files(paths: list[pathlib.Path]) -> list[pathlib.Path]:
 
 def run_analyze(paths: list[pathlib.Path], repo_root: pathlib.Path,
                 config: Config, backend: str = "auto",
-                compile_db: pathlib.Path | None = None):
+                compile_db: pathlib.Path | None = None,
+                restrict_to: set[str] | None = None):
     """Returns (findings, meta) where meta records the backend used,
-    file/function counts, unparsed files, and waiver diagnostics."""
+    file/function counts, unparsed files, and waiver diagnostics.
+    `restrict_to` (repo-relative posix paths) keeps the whole-program
+    parse and call-graph walk but reports only findings located in those
+    files — the --changed-only fast-feedback mode."""
     files = gather_files(paths)
     backend_used = backend
     unparsed: list[tuple[str, str]] = []
@@ -468,6 +621,9 @@ def run_analyze(paths: list[pathlib.Path], repo_root: pathlib.Path,
     findings += check_deterministic(index)
     findings += check_narrowing(index, config.sa104_roots)
     findings += check_cancellable(index)
+    findings += check_view_lifetime(index)
+    findings += check_lock_free(index)
+    findings += check_seqlock_writes(index)
 
     # Apply inline waivers.
     texts: dict[str, list[str]] = {}
@@ -504,11 +660,16 @@ def run_analyze(paths: list[pathlib.Path], repo_root: pathlib.Path,
                 break
 
     kept.extend(waiver_problems)
+    if restrict_to is not None:
+        kept = [f for f in kept if f.path in restrict_to]
     kept.sort(key=lambda f: (f.path, f.line, f.check))
 
     stale = [e for e in config.baseline if not e.used]
+    symbols = result.symbols
     meta = {
         "backend": backend_used,
+        "generation": 2,
+        "checks": sorted(CHECKS),
         "files": len(files),
         "functions": len(index.by_qual),
         "hot_roots": [m.qual_name for m in index.annotated("hot_path")],
@@ -516,8 +677,17 @@ def run_analyze(paths: list[pathlib.Path], repo_root: pathlib.Path,
                         for m in index.annotated("cancellable")],
         "deterministic": [m.qual_name
                           for m in index.annotated("deterministic")],
+        "lends_view": [m.qual_name
+                       for m in index.annotated("lends_view")],
+        "lock_free": [m.qual_name for m in index.annotated("lock_free")],
+        "seqlock_read": [m.qual_name
+                         for m in index.annotated("seqlock_read")],
+        "view_types": sorted(symbols.view_types),
+        "owner_types": sorted(symbols.owner_types),
         "unparsed": [{"file": f, "reason": r} for f, r in unparsed],
         "stale_baseline": [dataclasses.asdict(e) for e in stale],
+        "changed_only": sorted(restrict_to) if restrict_to is not None
+        else None,
     }
     return kept, meta
 
@@ -525,7 +695,8 @@ def run_analyze(paths: list[pathlib.Path], repo_root: pathlib.Path,
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="rangesyn-analyze",
-        description="AST-grounded hot-path contract checks (SA-101..105)",
+        description="AST-grounded contract checks: hot-path (SA-101..105) "
+                    "and view-lifetime/lock-free (SA-201..205)",
     )
     parser.add_argument("paths", nargs="*",
                         help="files or directories (default: config roots)")
@@ -542,6 +713,12 @@ def main(argv: list[str] | None = None) -> int:
                         help="write findings as JSON (lint conventions)")
     parser.add_argument("--meta-json", type=pathlib.Path, default=None,
                         help="write backend/roots/unparsed metadata JSON")
+    parser.add_argument("--changed-only", metavar="BASE_REF", default=None,
+                        help="parse the full tree but report only "
+                             "findings in files changed since the merge "
+                             "base with BASE_REF (fast PR-feedback leg; "
+                             "the stale-baseline gate is deferred to the "
+                             "full run)")
     parser.add_argument("--list-checks", action="store_true")
     parser.add_argument("--verbose", action="store_true")
     args = parser.parse_args(argv)
@@ -568,9 +745,14 @@ def main(argv: list[str] | None = None) -> int:
         print("rangesyn-analyze: no input paths exist", file=sys.stderr)
         return 2
 
+    restrict_to = None
+    if args.changed_only:
+        restrict_to = changed_files(repo_root, args.changed_only)
+
     findings, meta = run_analyze(
         paths, repo_root, config,
-        backend=args.backend, compile_db=args.compile_db)
+        backend=args.backend, compile_db=args.compile_db,
+        restrict_to=restrict_to)
 
     if args.json:
         payload = [dataclasses.asdict(f) for f in findings]
@@ -580,9 +762,15 @@ def main(argv: list[str] | None = None) -> int:
         args.meta_json.write_text(json.dumps(meta, indent=2) + "\n",
                                   encoding="utf-8")
 
+    # Stale baseline entries fail the run (not just a warning): dead
+    # suppressions otherwise accumulate and can silently swallow a future
+    # real finding. The changed-only fast leg defers this gate to the
+    # full-repo run, whose file set actually exercises every entry.
+    stale_fails = bool(meta["stale_baseline"]) and restrict_to is None
     for entry in meta["stale_baseline"]:
+        severity = "warning" if restrict_to is not None else "error"
         print(
-            "rangesyn-analyze: warning: stale baseline entry "
+            f"rangesyn-analyze: {severity}: stale baseline entry "
             f"({entry['check']} {entry['file']} '{entry['contains']}') — "
             "remove it",
             file=sys.stderr,
@@ -606,7 +794,7 @@ def main(argv: list[str] | None = None) -> int:
             f"{len(findings)} finding(s)",
             file=sys.stderr,
         )
-    return 1 if findings else 0
+    return 1 if (findings or stale_fails) else 0
 
 
 if __name__ == "__main__":

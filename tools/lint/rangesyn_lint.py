@@ -34,6 +34,13 @@ generic tooling cannot express. Checks (see DESIGN.md "Static analysis"):
                               you actually use), and self-include cycles —
                               a header that (transitively) includes itself
                               through other project headers.
+  LINT-006 raw-mmap           Raw memory-mapping syscalls (`mmap`,
+                              `munmap`, `MapViewOfFile`, ...) outside
+                              src/qpath/flat_file.cc and src/core/fs.* —
+                              mapped lifetimes must flow through the
+                              MappedFile RAII owner so the view-lifetime
+                              analyzer (SA-201/SA-203) can reason about
+                              who keeps an RSF1 mapping alive.
 
 Waivers are inline comments. Canonical form, with an optional reason:
 
@@ -46,7 +53,9 @@ Aliases: `// lint: float-eq-ok` (LINT-003), `// lint: unchecked-ok`
 Repo-wide suppressions live in tools/lint/lint_config.toml as baseline
 entries matched by (check, file, contains-substring), each with a
 mandatory justification. Exit status is nonzero iff any non-suppressed
-finding remains.
+finding remains, or any baseline entry no longer matches anything (a
+stale suppression hides whatever regresses into its slot, so it must be
+deleted as soon as the violation it excused is gone).
 """
 
 from __future__ import annotations
@@ -65,6 +74,7 @@ CHECK_IDS = {
     "LINT-003": "float-eq",
     "LINT-004": "raw-resource",
     "LINT-005": "header-hygiene",
+    "LINT-006": "raw-mmap",
 }
 
 WAIVER_ALIASES = {
@@ -72,6 +82,7 @@ WAIVER_ALIASES = {
     "unchecked-ok": "LINT-001",
     "nondet-ok": "LINT-002",
     "raw-new-ok": "LINT-004",
+    "mmap-ok": "LINT-006",
 }
 
 SOURCE_EXTENSIONS = {".h", ".cc"}
@@ -514,6 +525,43 @@ def check_header_hygiene(f: SourceFile) -> list[Finding]:
     return findings
 
 
+# --------------------------------------------------------------------------
+# LINT-006: raw memory-mapping syscalls
+# --------------------------------------------------------------------------
+
+MMAP_RE = re.compile(
+    r"(?:\bstd::|::)?\b(mmap(?:64)?|munmap|MapViewOfFile(?:Ex)?|"
+    r"UnmapViewOfFile|CreateFileMapping[AW]?)\s*\("
+)
+
+
+def lint006_allowed(rel: str) -> bool:
+    return (
+        re.search(r"(^|/)src/qpath/flat_file\.cc$", rel) is not None
+        or re.search(r"(^|/)src/core/fs\.(h|cc)$", rel) is not None
+    )
+
+
+def check_raw_mmap(f: SourceFile) -> list[Finding]:
+    if lint006_allowed(f.rel):
+        return []
+    findings: list[Finding] = []
+    for idx, code_line in enumerate(f.code, start=1):
+        for m in MMAP_RE.finditer(code_line):
+            findings.append(
+                Finding(
+                    "LINT-006",
+                    f.rel,
+                    idx,
+                    f"raw {m.group(1)}() outside src/qpath/flat_file.cc "
+                    "and src/core/fs.* — go through MappedFile / "
+                    "OpenFlatFile so the mapping's lifetime is owned by "
+                    "RAII and visible to the view-lifetime analyzer",
+                )
+            )
+    return findings
+
+
 PROJECT_INCLUDE_RE = re.compile(r'#\s*include\s*"([^"]+)"')
 
 
@@ -674,6 +722,7 @@ def run_lint(
         findings += check_float_eq(f)
         findings += check_raw_resource(f)
         findings += check_header_hygiene(f)
+        findings += check_raw_mmap(f)
         all_findings += apply_waivers(f, findings)
 
     # Cross-file pass: include cycles, attributed (and waivable) at the
@@ -762,24 +811,34 @@ def main(argv: list[str] | None = None) -> int:
 
     for finding in findings:
         print(finding.render())
-    for entry in baseline:
-        if not entry.used:
-            print(
-                f"rangesyn-lint: note: stale baseline entry ({entry.check} "
-                f"in {entry.file}, contains {entry.contains!r}) no longer "
-                "matches anything — remove it",
-                file=sys.stderr,
-            )
+    # A stale suppression hides whatever regresses into its slot, so a
+    # full-roots run fails on it. Runs over explicit paths cannot
+    # exercise every entry (the entry's file may simply not be in the
+    # linted set), so they warn instead of failing.
+    full_run = not args.paths
+    stale = [entry for entry in baseline if not entry.used]
+    severity = "error" if full_run else "warning"
+    for entry in stale:
+        print(
+            f"rangesyn-lint: {severity}: stale baseline entry "
+            f"({entry.check} in {entry.file}, contains "
+            f"{entry.contains!r}) no longer matches anything — remove it",
+            file=sys.stderr,
+        )
+    stale_fails = bool(stale) and full_run
     if args.json is not None:
         args.json.write_text(
             json.dumps([dataclasses.asdict(fi) for fi in findings], indent=2)
             + "\n",
             encoding="utf-8",
         )
-    if findings:
-        print(
-            f"rangesyn-lint: {len(findings)} finding(s)", file=sys.stderr
-        )
+    if findings or stale_fails:
+        summary = f"rangesyn-lint: {len(findings)} finding(s)"
+        if stale_fails:
+            summary += f", {len(stale)} stale baseline entr" + (
+                "y" if len(stale) == 1 else "ies"
+            )
+        print(summary, file=sys.stderr)
         return 1
     return 0
 

@@ -50,11 +50,13 @@ for bench in construction query query_flat; do
 done
 
 # Stamp each artifact with the static-analysis verdict for the sources
-# these binaries were built from: which backend ran, whether the repo
-# analyzed clean, and the hot-path roots the timed loops go through.
-# A bench row is only comparable across machines if the loop it times is
-# provably allocation- and lock-free, so the verdict travels with the
-# numbers.
+# these binaries were built from: which backend and checker generation
+# ran, whether the repo analyzed clean, the hot-path roots the timed
+# loops go through, and the lock-free/lends-view contracts the serving
+# path declares. A bench row is only comparable across machines if the
+# loop it times is provably allocation- and lock-free — and the
+# zero-copy views it serves from provably non-dangling — so the verdict
+# travels with the numbers.
 analysis_status=0
 python3 tools/analyze/rangesyn_analyze.py \
   --config tools/analyze/analyze_config.toml \
@@ -72,7 +74,10 @@ meta = json.loads(meta_path.read_text(encoding="utf-8"))
 stamp = {
     "backend": meta["backend"],
     "clean": clean,
+    "generation": meta["generation"],
     "hot_roots": sorted(meta["hot_roots"]),
+    "lock_free_roots": sorted(meta["lock_free"] + meta["seqlock_read"]),
+    "lends_view": sorted(meta["lends_view"]),
 }
 for name in ("BENCH_construction.json", "BENCH_query.json",
              "BENCH_query_flat.json"):
