@@ -1,0 +1,149 @@
+// Serving-path cost (DESIGN.md §12): what one RSP1 round trip adds on
+// top of the flat evaluation it carries. Every row runs against a real
+// in-process Server over loopback TCP — framing, CRC32C, admission,
+// deadline arming, thread-pool handoff, and reply serialization are all
+// in the timed loop, so these numbers are the daemon's actual per-
+// request overhead, not a codec microbenchmark.
+//
+//   BM_LocalEvalBatch/N  — FlatSynopsis::EstimateMany alone (the floor)
+//   BM_ServePing         — empty round trip: pure protocol + socket cost
+//   BM_ServeQueryBatch/N — one query frame carrying N ranges
+//   BM_ServeQueryPipelined/T — T client threads, one connection each
+//
+// The committed baseline (results/baselines/BENCH_serving.json) feeds
+// the bench_compare perf gate; the items/s counters make the batch rows
+// comparable across batch sizes.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "core/logging.h"
+#include "core/random.h"
+#include "engine/catalog.h"
+#include "engine/table.h"
+#include "qpath/flat_synopsis.h"
+#include "serve/client.h"
+#include "serve/server.h"
+
+namespace rangesyn::serve {
+namespace {
+
+constexpr int64_t kPaperN = 4096;
+constexpr const char* kKey = "bench.v";
+
+Column BenchColumn() {
+  Rng rng(20010521);
+  Column c("v");
+  for (int64_t i = 0; i < kPaperN; ++i) c.Append(rng.NextInt(0, 999));
+  return c;
+}
+
+/// One server shared by every serving row (port picked once); the
+/// catalog entry is the paper-scale 64-word equidepth synopsis.
+struct ServerHolder {
+  std::unique_ptr<Server> server;
+  std::shared_ptr<const FlatSynopsis> oracle;
+
+  ServerHolder() {
+    SynopsisCatalog catalog;
+    SynopsisSpec spec;
+    spec.method = "equidepth";
+    spec.budget_words = 64;
+    RANGESYN_CHECK_OK(catalog.RegisterColumn(kKey, BenchColumn(), spec));
+    auto view = catalog.FlatView(kKey);
+    RANGESYN_CHECK_OK(view.status());
+    oracle = view.value();
+    auto created = Server::Create(std::move(catalog), ServerOptions{});
+    RANGESYN_CHECK_OK(created.status());
+    server = std::move(*created);
+    RANGESYN_CHECK_OK(server->Start());
+  }
+};
+
+ServerHolder& SharedServer() {
+  static ServerHolder holder;
+  return holder;
+}
+
+std::vector<FlatQuery> BenchRanges(size_t count) {
+  const int64_t n = SharedServer().oracle->n();  // the value domain
+  Rng rng(41);
+  std::vector<FlatQuery> ranges;
+  for (size_t i = 0; i < count; ++i) {
+    FlatQuery q;
+    q.a = rng.NextInt(1, n);
+    q.b = rng.NextInt(q.a, n);
+    ranges.push_back(q);
+  }
+  return ranges;
+}
+
+ClientOptions BenchClientOptions() {
+  ClientOptions options;
+  options.port = SharedServer().server->port();
+  return options;
+}
+
+void BM_LocalEvalBatch(benchmark::State& state) {
+  const FlatSynopsis& view = *SharedServer().oracle;
+  const std::vector<FlatQuery> ranges =
+      BenchRanges(static_cast<size_t>(state.range(0)));
+  std::vector<double> out(ranges.size());
+  FlatSynopsis::BatchScratch scratch;
+  for (auto _ : state) {
+    RANGESYN_CHECK_OK(view.EstimateMany(ranges, out, &scratch));
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(ranges.size()));
+}
+BENCHMARK(BM_LocalEvalBatch)->Arg(1)->Arg(16)->Arg(256);
+
+void BM_ServePing(benchmark::State& state) {
+  Client client(BenchClientOptions());
+  RANGESYN_CHECK_OK(client.Ping(5000));  // connect outside the timed loop
+  for (auto _ : state) {
+    RANGESYN_CHECK_OK(client.Ping(5000));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ServePing)->UseRealTime();
+
+void BM_ServeQueryBatch(benchmark::State& state) {
+  Client client(BenchClientOptions());
+  RANGESYN_CHECK_OK(client.Ping(5000));
+  const std::vector<FlatQuery> ranges =
+      BenchRanges(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto got = client.Query(kKey, ranges, 5000);
+    RANGESYN_CHECK_OK(got.status());
+    benchmark::DoNotOptimize(got->data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(ranges.size()));
+}
+BENCHMARK(BM_ServeQueryBatch)->Arg(1)->Arg(16)->Arg(256)->UseRealTime();
+
+void BM_ServeQueryPipelined(benchmark::State& state) {
+  // One connection and one in-flight request per benchmark thread: the
+  // aggregate items/s shows how the listener/worker split scales before
+  // admission control starts shedding.
+  Client client(BenchClientOptions());
+  RANGESYN_CHECK_OK(client.Ping(5000));
+  const std::vector<FlatQuery> ranges = BenchRanges(16);
+  for (auto _ : state) {
+    auto got = client.Query(kKey, ranges, 5000);
+    RANGESYN_CHECK_OK(got.status());
+    benchmark::DoNotOptimize(got->data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(ranges.size()));
+}
+BENCHMARK(BM_ServeQueryPipelined)->Threads(2)->Threads(4)->UseRealTime();
+
+}  // namespace
+}  // namespace rangesyn::serve

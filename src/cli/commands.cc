@@ -1,15 +1,21 @@
 #include "cli/commands.h"
 
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <sstream>
+#include <thread>
 
 #include "core/failpoint.h"
 #include "core/flags.h"
+#include "core/fs.h"
 #include "core/random.h"
 #include "core/strings.h"
 #include "core/threadpool.h"
 #include "data/distribution.h"
 #include "data/io.h"
 #include "data/rounding.h"
+#include "engine/catalog.h"
 #include "engine/factory.h"
 #include "engine/serialize.h"
 #include "qpath/flat_file.h"
@@ -18,6 +24,8 @@
 #include "eval/metrics.h"
 #include "eval/report.h"
 #include "obs/obs.h"
+#include "serve/loadgen.h"
+#include "serve/server.h"
 
 namespace rangesyn {
 namespace {
@@ -281,6 +289,10 @@ Result<std::string> CmdStats(const std::vector<std::string>& args) {
   RANGESYN_ASSIGN_OR_RETURN(RangeEstimatorPtr est, BuildSynopsis(spec, data));
   RANGESYN_ASSIGN_OR_RETURN(ErrorStats err, AllRangesStats(data, *est));
   RANGESYN_ASSIGN_OR_RETURN(const std::string bytes, SerializeSynopsis(*est));
+  // Eagerly register the serving metrics (serve.request.*, serve.queue.*,
+  // ...) so scrapers see the full serving series — at zero — even from a
+  // process that never handled a request.
+  (void)serve::GetServingMetrics();
   const obs::RegistrySnapshot snapshot = obs::Registry::Get().Snapshot();
   if (format == "json") {
     std::ostringstream os;
@@ -292,6 +304,207 @@ Result<std::string> CmdStats(const std::vector<std::string>& args) {
                 flags.GetInt64("budget"), " n=", data.size(), " queries=",
                 err.count, " sse=", FormatG(err.sse, 6), " bytes=",
                 bytes.size(), "\n\n", obs::FormatStatsText(snapshot));
+}
+
+/// Catalog-source flags shared by `serve` and `loadgen`: either a
+/// persisted catalog file or one distribution CSV built under an explicit
+/// key. Both tools build from the same flags, and synopsis construction
+/// is deterministic, so a loadgen pointed at the same source holds a
+/// bit-exact oracle for the daemon's answers.
+void DefineCatalogSourceFlags(FlagSet* flags) {
+  flags->DefineString("catalog", "",
+                      "persisted catalog file (engine/catalog Save format)");
+  flags->DefineString("data", "",
+                      "distribution CSV to build a one-entry catalog from "
+                      "(alternative to --catalog)");
+  flags->DefineString("key", "default",
+                      "synopsis key for the --data entry");
+  flags->DefineString("method", "sap1", "synopsis method for --data");
+  flags->DefineInt64("budget", 24, "storage budget (words) for --data");
+}
+
+Result<SynopsisCatalog> LoadServeCatalog(const FlagSet& flags) {
+  const std::string catalog_path = flags.GetString("catalog");
+  const std::string data_path = flags.GetString("data");
+  if (!catalog_path.empty() && !data_path.empty()) {
+    return InvalidArgumentError("pass --catalog or --data, not both");
+  }
+  if (!catalog_path.empty()) {
+    SynopsisCatalog::LoadReport report;
+    RANGESYN_ASSIGN_OR_RETURN(
+        SynopsisCatalog catalog,
+        SynopsisCatalog::LoadFromFileWithReport(catalog_path, &report));
+    if (!report.quarantined.empty()) {
+      RANGESYN_LOG_EVENT(Warning, "serve.catalog.quarantined")
+          .Arg("file", catalog_path)
+          .Arg("entries",
+               static_cast<int64_t>(report.quarantined.size()));
+    }
+    return catalog;
+  }
+  if (data_path.empty()) {
+    return InvalidArgumentError("pass --catalog=FILE or --data=CSV");
+  }
+  RANGESYN_ASSIGN_OR_RETURN(std::vector<int64_t> counts,
+                            LoadDistributionCsv(data_path));
+  AttributeDistribution distribution;
+  distribution.domain_lo = 1;
+  distribution.counts = std::move(counts);
+  SynopsisSpec spec;
+  spec.method = flags.GetString("method");
+  spec.budget_words = flags.GetInt64("budget");
+  SynopsisCatalog catalog;
+  RANGESYN_RETURN_IF_ERROR(catalog.RegisterDistribution(
+      flags.GetString("key"), std::move(distribution), spec));
+  return catalog;
+}
+
+/// Set by the SIGTERM/SIGINT handler while `rangesyn serve` runs. A
+/// lock-free store is the only thing an async-signal-safe handler may do;
+/// the serve loop polls it and performs the actual drain.
+std::atomic<bool> g_serve_drain_requested{false};
+
+void HandleServeSignal(int /*signum*/) {
+  g_serve_drain_requested.store(true, std::memory_order_release);
+}
+
+Result<std::string> CmdServe(const std::vector<std::string>& args) {
+  FlagSet flags("rangesyn serve",
+                "serve synopsis estimates over RSP1 until SIGTERM");
+  DefineCatalogSourceFlags(&flags);
+  flags.DefineString("host", "127.0.0.1", "address to bind");
+  flags.DefineInt64("port", 0, "TCP port (0 = ephemeral)");
+  flags.DefineString("port-file", "",
+                     "write the bound port to this file once listening");
+  flags.DefineInt64("max-conns", 64,
+                    "connection cap (excess get a typed OVERLOADED)");
+  flags.DefineInt64("queue-limit", 256,
+                    "admitted-request cap (excess are shed, typed)");
+  flags.DefineInt64("eval-chunk", 256,
+                    "queries evaluated between deadline polls");
+  flags.DefineInt64("drain-after-ms", 0,
+                    "drain this long after start (0 = on signal only; "
+                    "for tests and scripted runs)");
+  flags.DefineDouble("grace-s", 30.0, "drain grace window, seconds");
+  RANGESYN_RETURN_IF_ERROR(ParseArgs(&flags, args));
+  RANGESYN_ASSIGN_OR_RETURN(SynopsisCatalog catalog,
+                            LoadServeCatalog(flags));
+  serve::ServerOptions options;
+  options.host = flags.GetString("host");
+  options.port = static_cast<uint16_t>(flags.GetInt64("port"));
+  options.max_connections = static_cast<int>(flags.GetInt64("max-conns"));
+  options.queue_limit = static_cast<int>(flags.GetInt64("queue-limit"));
+  options.eval_chunk = static_cast<int>(flags.GetInt64("eval-chunk"));
+  RANGESYN_ASSIGN_OR_RETURN(
+      std::unique_ptr<serve::Server> server,
+      serve::Server::Create(std::move(catalog), options));
+  RANGESYN_RETURN_IF_ERROR(server->Start());
+  if (!flags.GetString("port-file").empty()) {
+    RANGESYN_RETURN_IF_ERROR(AtomicWriteFile(
+        flags.GetString("port-file"), StrCat(server->port(), "\n")));
+  }
+  g_serve_drain_requested.store(false, std::memory_order_release);
+  auto previous_term = std::signal(SIGTERM, HandleServeSignal);
+  auto previous_int = std::signal(SIGINT, HandleServeSignal);
+  const int64_t drain_after_ms = flags.GetInt64("drain-after-ms");
+  const auto started = std::chrono::steady_clock::now();
+  while (!g_serve_drain_requested.load(std::memory_order_acquire)) {
+    if (drain_after_ms > 0 &&
+        std::chrono::steady_clock::now() - started >=
+            std::chrono::milliseconds(drain_after_ms)) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  const Status drained = server->DrainAndWait(flags.GetDouble("grace-s"));
+  (void)std::signal(SIGTERM, previous_term);
+  (void)std::signal(SIGINT, previous_int);
+  const std::string summary = server->SummaryLine();
+  RANGESYN_RETURN_IF_ERROR(drained);
+  return StrCat("drained cleanly\n", summary, "\n");
+}
+
+Result<std::string> CmdLoadgen(const std::vector<std::string>& args) {
+  FlagSet flags("rangesyn loadgen",
+                "generate deterministic traffic against a serve daemon");
+  DefineCatalogSourceFlags(&flags);
+  flags.DefineString("host", "127.0.0.1", "daemon address");
+  flags.DefineInt64("port", 0, "daemon port");
+  flags.DefineString("port-file", "",
+                     "read the port from this file (written by serve "
+                     "--port-file; polled until it appears)");
+  flags.DefineDouble("port-wait-s", 10.0,
+                     "how long to wait for --port-file to appear");
+  flags.DefineInt64("requests", 1000, "total query requests");
+  flags.DefineInt64("concurrency", 4, "worker connections");
+  flags.DefineInt64("batch", 8, "ranges per request");
+  flags.DefineInt64("deadline-ms", 1000,
+                    "per-request deadline and retry budget (0 = none)");
+  flags.DefineInt64("max-attempts", 3, "attempts per request");
+  flags.DefineInt64("seed", 1, "traffic seed (replayable)");
+  flags.DefineBool("verify", true,
+                   "check responses bit-exactly against a local build");
+  flags.DefineBool("json", false, "emit the report as JSON");
+  RANGESYN_RETURN_IF_ERROR(ParseArgs(&flags, args));
+  RANGESYN_ASSIGN_OR_RETURN(SynopsisCatalog catalog,
+                            LoadServeCatalog(flags));
+  std::unordered_map<std::string, std::shared_ptr<const FlatSynopsis>>
+      views;
+  std::vector<std::string> keys;
+  for (const SynopsisCatalog::EntryInfo& info : catalog.ListEntries()) {
+    RANGESYN_ASSIGN_OR_RETURN(
+        std::shared_ptr<const FlatSynopsis> view,
+        catalog.FlatView(info.key));
+    views.emplace(info.key, std::move(view));
+    keys.push_back(info.key);
+  }
+  serve::LoadgenOptions options;
+  options.client.host = flags.GetString("host");
+  int64_t port = flags.GetInt64("port");
+  if (!flags.GetString("port-file").empty()) {
+    const auto wait_deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(flags.GetDouble("port-wait-s")));
+    for (;;) {
+      Result<std::string> text =
+          ReadFileToString(flags.GetString("port-file"));
+      if (text.ok() && ParseInt64(StripWhitespace(*text), &port)) break;
+      if (std::chrono::steady_clock::now() >= wait_deadline) {
+        return DeadlineExceededError(
+            StrCat("loadgen: port file '", flags.GetString("port-file"),
+                   "' did not appear within ",
+                   flags.GetDouble("port-wait-s"), "s"));
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  }
+  if (port <= 0 || port > 65535) {
+    return InvalidArgumentError(
+        StrCat("loadgen: invalid port ", port,
+               " (pass --port or --port-file)"));
+  }
+  options.client.port = static_cast<uint16_t>(port);
+  options.client.max_attempts =
+      static_cast<int>(flags.GetInt64("max-attempts"));
+  options.keys = std::move(keys);
+  options.requests = flags.GetInt64("requests");
+  options.concurrency = static_cast<int>(flags.GetInt64("concurrency"));
+  options.batch = static_cast<int>(flags.GetInt64("batch"));
+  options.deadline_ms =
+      static_cast<uint32_t>(flags.GetInt64("deadline-ms"));
+  options.seed = static_cast<uint64_t>(flags.GetInt64("seed"));
+  options.verify = flags.GetBool("verify");
+  RANGESYN_ASSIGN_OR_RETURN(serve::LoadgenReport report,
+                            serve::RunLoadgen(options, views));
+  if (report.mismatched > 0) {
+    return InternalError(
+        StrCat("loadgen: ", report.mismatched,
+               " responses were not bit-identical to the local oracle\n",
+               report.ToText()));
+  }
+  return flags.GetBool("json") ? StrCat(report.ToJson(), "\n")
+                               : report.ToText();
 }
 
 }  // namespace
@@ -311,6 +524,9 @@ std::string CliUsage() {
       "  compile-flat  compile a synopsis into an mmap-able flat file\n"
       "  sweep      run a Figure-1 style storage sweep\n"
       "  stats      run an instrumented pipeline and report obs metrics\n"
+      "  serve      serve synopsis estimates over RSP1 until SIGTERM\n"
+      "  loadgen    generate deterministic traffic against a serve "
+      "daemon\n"
       "  help       show this text\n"
       "\n"
       "global flags (any command):\n"
@@ -398,6 +614,8 @@ Result<std::string> RunCliCommand(const std::vector<std::string>& args) {
     if (command == "compile-flat") return CmdCompileFlat(rest);
     if (command == "sweep") return CmdSweep(rest);
     if (command == "stats") return CmdStats(rest);
+    if (command == "serve") return CmdServe(rest);
+    if (command == "loadgen") return CmdLoadgen(rest);
     return InvalidArgumentError(
         StrCat("unknown command '", command, "'\n\n", CliUsage()));
   }();

@@ -21,6 +21,9 @@ namespace rangesyn {
 ///             [--flat|--flat-file=f.rsf]
 ///   compile-flat  --synopsis=syn.rsn --out=syn.rsf
 ///   sweep     --data=data.csv --methods=a0,sap1 --budgets=8,16,32 [--csv]
+///   serve     --data=data.csv|--catalog=cat.rsc [--port=0 --port-file=p]
+///   loadgen   --data=data.csv|--catalog=cat.rsc --port-file=p
+///             [--requests=1000 --concurrency=4 --batch=8 --json]
 ///
 /// `RunCliCommand({"build", "--data=...", ...})` dispatches on the first
 /// element; unknown commands and `help` return the usage text.

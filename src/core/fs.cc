@@ -14,7 +14,21 @@
 namespace rangesyn {
 namespace {
 
+/// Bound on consecutive EINTR retries per syscall. A process that handles
+/// signals routinely (the serve daemon drains on SIGTERM) must not spin
+/// forever under a signal storm; past the budget the write fails with a
+/// clean Status and the temp file is unlinked.
+constexpr int kMaxEintrRetries = 64;
+
 std::string ErrnoText() { return std::strerror(errno); }
+
+/// True when the named failpoint wants this syscall to "return EINTR";
+/// sets errno accordingly so the caller's error path reads naturally.
+bool InjectEintr(std::string_view site) {
+  if (!failpoint::ShouldFail(site)) return false;
+  errno = EINTR;
+  return true;
+}
 
 /// Directory containing `path` ("." for bare filenames) — the rename's
 /// durability point.
@@ -56,28 +70,58 @@ Status AtomicWriteFile(const std::string& path, std::string_view contents) {
         StrCat("cannot open '", tmp, "' for writing: ", ErrnoText()));
   }
   size_t written = 0;
+  int eintr = 0;
   Status status = OkStatus();
   while (written < contents.size() && status.ok()) {
     status = failpoint::Fire("io.atomic_write.write");
     if (!status.ok()) break;
-    const ssize_t rc = ::write(fd, contents.data() + written,
-                               contents.size() - written);
+    const ssize_t rc =
+        InjectEintr("io.atomic_write.write_eintr")
+            ? -1
+            : ::write(fd, contents.data() + written,
+                      contents.size() - written);
     if (rc < 0) {
-      if (errno == EINTR) continue;
+      if (errno == EINTR) {
+        if (++eintr > kMaxEintrRetries) {
+          status = InternalError(
+              StrCat("write to '", tmp, "': EINTR retry budget exhausted"));
+        }
+        continue;
+      }
       status = InternalError(
           StrCat("write to '", tmp, "' failed: ", ErrnoText()));
       break;
     }
     written += static_cast<size_t>(rc);
+    eintr = 0;
   }
   if (status.ok()) {
     status = failpoint::Fire("io.atomic_write.fsync");
   }
-  if (status.ok() && ::fsync(fd) != 0) {
-    status = InternalError(
-        StrCat("fsync of '", tmp, "' failed: ", ErrnoText()));
+  if (status.ok()) {
+    eintr = 0;
+    for (;;) {
+      const int rc =
+          InjectEintr("io.atomic_write.fsync_eintr") ? -1 : ::fsync(fd);
+      if (rc == 0) break;
+      if (errno == EINTR && ++eintr <= kMaxEintrRetries) continue;
+      status = errno == EINTR
+                   ? InternalError(StrCat("fsync of '", tmp,
+                                          "': EINTR retry budget exhausted"))
+                   : InternalError(StrCat("fsync of '", tmp,
+                                          "' failed: ", ErrnoText()));
+      break;
+    }
   }
-  if (::close(fd) != 0 && status.ok()) {
+  // EINTR from close is treated as closed, never retried: on Linux the
+  // descriptor is released before close can be interrupted, so a retry
+  // could close an unrelated descriptor another thread just received.
+  // (The injection runs after the real close for the same reason — the
+  // simulated EINTR must not leak the fd.)
+  const int close_rc = ::close(fd);
+  if (InjectEintr("io.atomic_write.close_eintr")) {
+    // fall through with status unchanged: closed is closed
+  } else if (close_rc != 0 && errno != EINTR && status.ok()) {
     status = InternalError(
         StrCat("close of '", tmp, "' failed: ", ErrnoText()));
   }

@@ -1,0 +1,191 @@
+#include "serve/client.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "core/deadline.h"
+#include "core/strings.h"
+
+namespace rangesyn::serve {
+
+Client::Client(const ClientOptions& options)
+    : options_(options), jitter_(options.backoff_seed) {}
+
+void Client::Disconnect() { fd_ = Fd(); }
+
+Status Client::EnsureConnected() {
+  if (fd_.valid()) return OkStatus();
+  RANGESYN_ASSIGN_OR_RETURN(
+      fd_, ConnectTcp(options_.host, options_.port,
+                      options_.connect_timeout_s));
+  return OkStatus();
+}
+
+Result<Frame> Client::ReadFrame() {
+  char header[kFrameHeaderBytes];
+  RANGESYN_RETURN_IF_ERROR(ReadFull(fd_.get(), header, kFrameHeaderBytes,
+                                    sites_, /*stop=*/nullptr));
+  RANGESYN_ASSIGN_OR_RETURN(
+      FrameHeader decoded,
+      DecodeFrameHeader(std::string_view(header, kFrameHeaderBytes)));
+  std::string frame_bytes(header, kFrameHeaderBytes);
+  const size_t rest = decoded.payload_size + kFrameTrailerBytes;
+  frame_bytes.resize(kFrameHeaderBytes + rest);
+  RANGESYN_RETURN_IF_ERROR(ReadFull(fd_.get(),
+                                    frame_bytes.data() + kFrameHeaderBytes,
+                                    rest, sites_, /*stop=*/nullptr));
+  Frame frame;
+  frame.type = decoded.type;
+  RANGESYN_ASSIGN_OR_RETURN(frame.payload,
+                            CheckFrameCrc(frame_bytes, decoded));
+  return frame;
+}
+
+Result<Frame> Client::RoundTrip(const std::string& frame_bytes,
+                                uint32_t deadline_ms,
+                                std::string_view what) {
+  ++stats_.requests;
+  Deadline budget;
+  if (deadline_ms > 0) budget = Deadline::After(deadline_ms / 1000.0);
+  Status last = InternalError(StrCat(what, ": no attempt made"));
+  for (int attempt = 0; attempt < options_.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      ++stats_.retries;
+      // Exponential backoff with deterministic jitter; the sleep is also
+      // capped so a retry never blows through what is left of the budget
+      // just waiting.
+      double backoff_s =
+          std::min(options_.max_backoff_s,
+                   options_.initial_backoff_s *
+                       static_cast<double>(uint64_t{1} << (attempt - 1)));
+      backoff_s *= 0.5 + 0.5 * jitter_.NextDouble();
+      std::this_thread::sleep_for(std::chrono::duration<double>(backoff_s));
+    }
+    if (budget.Expired()) {
+      return DeadlineExceededError(
+          StrCat(what, ": retry budget exhausted after ", attempt,
+                 " attempts; last error: ", last.message()));
+    }
+    ++stats_.attempts;
+    const bool was_connected = fd_.valid();
+    Status connected = EnsureConnected();
+    if (!connected.ok()) {
+      if (was_connected) ++stats_.reconnects;
+      last = std::move(connected);
+      continue;
+    }
+    Status sent = WriteFull(fd_.get(), frame_bytes, sites_);
+    if (!sent.ok()) {
+      // An ambiguous failure: the request may or may not have been
+      // applied. Safe to redrive only because every request is an
+      // idempotent read.
+      Disconnect();
+      ++stats_.reconnects;
+      last = std::move(sent);
+      continue;
+    }
+    Result<Frame> frame = ReadFrame();
+    if (!frame.ok()) {
+      Disconnect();
+      ++stats_.reconnects;
+      last = frame.status();
+      continue;
+    }
+    if (frame->type == MsgType::kError) {
+      Result<ErrorResponse> error = ParseError(frame->payload);
+      if (!error.ok()) {
+        Disconnect();  // undecodable response: desynced, start clean
+        ++stats_.reconnects;
+        last = error.status();
+        continue;
+      }
+      if (error->code == WireError::kOverloaded) {
+        // The one typed error worth retrying: load-shedding is transient
+        // by design, and backoff is exactly the pressure release the
+        // server is asking for. The connection itself is healthy.
+        last = Status(WireErrorStatusCode(error->code),
+                      StrCat(what, ": ", error->message));
+        continue;
+      }
+    }
+    return frame;
+  }
+  if (last.code() == StatusCode::kResourceExhausted) {
+    return last;  // typed OVERLOADED survived every retry: keep the type
+  }
+  // Transport-level failures (resets, EOFs, desyncs) surface as Internal
+  // once the attempts are spent, per the class contract — the raw code of
+  // whichever syscall lost the race is not part of the client's API.
+  return InternalError(StrCat(what, ": ", options_.max_attempts,
+                              " attempts exhausted; last error: ",
+                              last.message()));
+}
+
+Status Client::Ping(uint32_t deadline_ms) {
+  const uint64_t id = next_request_id_++;
+  RANGESYN_ASSIGN_OR_RETURN(
+      Frame frame, RoundTrip(EncodePing(id), deadline_ms, "ping"));
+  if (frame.type == MsgType::kError) {
+    RANGESYN_ASSIGN_OR_RETURN(ErrorResponse error,
+                              ParseError(frame.payload));
+    return Status(WireErrorStatusCode(error.code),
+                  StrCat("ping: server error (", WireErrorName(error.code),
+                         "): ", error.message));
+  }
+  if (frame.type != MsgType::kPong) {
+    Disconnect();
+    return InternalError(StrCat("ping: unexpected response type ",
+                                static_cast<int>(frame.type)));
+  }
+  RANGESYN_ASSIGN_OR_RETURN(PingMessage pong, ParsePing(frame.payload));
+  if (pong.request_id != id) {
+    Disconnect();
+    return InternalError(StrCat("ping: response id ", pong.request_id,
+                                " does not match request id ", id));
+  }
+  return OkStatus();
+}
+
+Result<std::vector<double>> Client::Query(const std::string& key,
+                                          std::span<const FlatQuery> ranges,
+                                          uint32_t deadline_ms) {
+  QueryRequest request;
+  request.request_id = next_request_id_++;
+  request.deadline_ms = deadline_ms;
+  request.key = key;
+  request.ranges.assign(ranges.begin(), ranges.end());
+  RANGESYN_ASSIGN_OR_RETURN(
+      Frame frame,
+      RoundTrip(EncodeQuery(request), deadline_ms, "query"));
+  if (frame.type == MsgType::kError) {
+    RANGESYN_ASSIGN_OR_RETURN(ErrorResponse error,
+                              ParseError(frame.payload));
+    return Status(WireErrorStatusCode(error.code),
+                  StrCat("query: server error (", WireErrorName(error.code),
+                         "): ", error.message));
+  }
+  if (frame.type != MsgType::kQueryOk) {
+    Disconnect();
+    return InternalError(StrCat("query: unexpected response type ",
+                                static_cast<int>(frame.type)));
+  }
+  RANGESYN_ASSIGN_OR_RETURN(QueryResponse response,
+                            ParseQueryOk(frame.payload));
+  if (response.request_id != request.request_id) {
+    Disconnect();
+    return InternalError(StrCat("query: response id ", response.request_id,
+                                " does not match request id ",
+                                request.request_id));
+  }
+  if (response.estimates.size() != request.ranges.size()) {
+    Disconnect();
+    return InternalError(StrCat("query: ", response.estimates.size(),
+                                " estimates for ", request.ranges.size(),
+                                " ranges"));
+  }
+  return std::move(response.estimates);
+}
+
+}  // namespace rangesyn::serve

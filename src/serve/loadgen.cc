@@ -1,0 +1,203 @@
+#include "serve/loadgen.h"
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+#include "core/logging.h"
+#include "core/random.h"
+#include "core/strings.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace rangesyn::serve {
+namespace {
+
+int64_t MonoNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Derived per-worker seed: splitmix-style spread so adjacent workers get
+/// unrelated streams while the whole run stays a function of the seed.
+uint64_t WorkerSeed(uint64_t seed, int worker) {
+  uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (uint64_t{1} + worker);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Shared tally: one slot per StatusCode (indexed by its integer value)
+/// plus ok/mismatch, all relaxed atomics so workers never serialize.
+struct Tally {
+  std::atomic<uint64_t> ok{0};
+  std::atomic<uint64_t> mismatched{0};
+  std::array<std::atomic<uint64_t>, 16> by_code{};
+};
+
+}  // namespace
+
+Result<LoadgenReport> RunLoadgen(
+    const LoadgenOptions& options,
+    const std::unordered_map<std::string,
+                             std::shared_ptr<const FlatSynopsis>>& views) {
+  if (options.keys.empty()) {
+    return InvalidArgumentError("loadgen: no keys to query");
+  }
+  if (options.requests < 1) {
+    return InvalidArgumentError("loadgen: requests must be >= 1");
+  }
+  if (options.concurrency < 1) {
+    return InvalidArgumentError("loadgen: concurrency must be >= 1");
+  }
+  if (options.batch < 1) {
+    return InvalidArgumentError("loadgen: batch must be >= 1");
+  }
+  for (const std::string& key : options.keys) {
+    if (!views.contains(key)) {
+      return InvalidArgumentError(
+          StrCat("loadgen: no local view for key '", key, "'"));
+    }
+  }
+  {
+    // Fail fast on an unreachable daemon before spawning workers.
+    Client probe(options.client);
+    RANGESYN_RETURN_IF_ERROR(probe.Ping(options.deadline_ms));
+  }
+
+  Tally tally;
+  obs::LatencyHistogram latency;  // local instance, not the registry
+  std::atomic<int64_t> next{0};
+  std::atomic<uint64_t> attempts{0};
+  std::atomic<uint64_t> retries{0};
+  std::atomic<uint64_t> reconnects{0};
+
+  const int64_t start_ns = MonoNs();
+  auto worker = [&](int w) {
+    Client client(options.client);
+    Rng rng(WorkerSeed(options.seed, w));
+    std::vector<FlatQuery> ranges(static_cast<size_t>(options.batch));
+    std::vector<double> expected(static_cast<size_t>(options.batch));
+    FlatSynopsis::BatchScratch scratch;
+    for (;;) {
+      if (next.fetch_add(1, std::memory_order_relaxed) >= options.requests) {
+        break;
+      }
+      const std::string& key = options.keys[static_cast<size_t>(
+          rng.NextBounded(options.keys.size()))];
+      const FlatSynopsis& view = *views.at(key);
+      for (FlatQuery& q : ranges) {
+        q.a = rng.NextInt(1, view.n());
+        q.b = rng.NextInt(q.a, view.n());
+      }
+      const int64_t t0 = MonoNs();
+      Result<std::vector<double>> got =
+          client.Query(key, ranges, options.deadline_ms);
+      latency.RecordSigned(MonoNs() - t0);
+      if (!got.ok()) {
+        const auto code = static_cast<size_t>(got.status().code());
+        tally.by_code[code % tally.by_code.size()].fetch_add(
+            1, std::memory_order_relaxed);
+        continue;
+      }
+      tally.ok.fetch_add(1, std::memory_order_relaxed);
+      if (options.verify) {
+        // The oracle is the same deterministic build the server serves
+        // from, so anything short of bit-equality is a real defect.
+        RANGESYN_CHECK(view.EstimateMany(ranges, expected, &scratch).ok());
+        if (std::memcmp(got->data(), expected.data(),
+                        expected.size() * sizeof(double)) != 0) {
+          tally.mismatched.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    }
+    attempts.fetch_add(client.stats().attempts, std::memory_order_relaxed);
+    retries.fetch_add(client.stats().retries, std::memory_order_relaxed);
+    reconnects.fetch_add(client.stats().reconnects,
+                         std::memory_order_relaxed);
+  };
+
+  // Loadgen workers block on sockets for whole requests; parking pool
+  // workers on network I/O would starve eval.
+  // lint: waive(LINT-004) dedicated blocking client threads
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(options.concurrency));
+  for (int w = 0; w < options.concurrency; ++w) {
+    workers.emplace_back(worker, w);  // lint: waive(LINT-004)
+  }
+  // lint: waive(LINT-004) joining the threads waived above
+  for (std::thread& t : workers) t.join();
+  const double wall_s =
+      static_cast<double>(MonoNs() - start_ns) / 1e9;
+
+  LoadgenReport report;
+  report.sent = static_cast<uint64_t>(options.requests);
+  report.ok = tally.ok.load(std::memory_order_relaxed);
+  report.mismatched = tally.mismatched.load(std::memory_order_relaxed);
+  for (size_t i = 0; i < tally.by_code.size(); ++i) {
+    const uint64_t n = tally.by_code[i].load(std::memory_order_relaxed);
+    if (n == 0) continue;
+    report.errors[std::string(
+        StatusCodeToString(static_cast<StatusCode>(i)))] = n;
+  }
+  report.attempts = attempts.load(std::memory_order_relaxed);
+  report.retries = retries.load(std::memory_order_relaxed);
+  report.reconnects = reconnects.load(std::memory_order_relaxed);
+  report.wall_s = wall_s;
+  report.qps = wall_s > 0 ? static_cast<double>(report.sent) / wall_s : 0.0;
+  report.latency_p50_ns =
+      static_cast<uint64_t>(latency.ValueAtQuantile(0.50));
+  report.latency_p95_ns =
+      static_cast<uint64_t>(latency.ValueAtQuantile(0.95));
+  report.latency_p99_ns =
+      static_cast<uint64_t>(latency.ValueAtQuantile(0.99));
+  report.latency_max_ns = latency.Max();
+  return report;
+}
+
+std::string LoadgenReport::ToJson() const {
+  std::string out = "{\"schema_version\":1";
+  out += StrCat(",\"sent\":", obs::JsonNumber(sent));
+  out += StrCat(",\"ok\":", obs::JsonNumber(ok));
+  out += StrCat(",\"mismatched\":", obs::JsonNumber(mismatched));
+  out += ",\"errors\":{";
+  bool first = true;
+  for (const auto& [name, count] : errors) {
+    if (!first) out += ",";
+    first = false;
+    out += StrCat(obs::JsonQuote(name), ":", obs::JsonNumber(count));
+  }
+  out += "}";
+  out += StrCat(",\"attempts\":", obs::JsonNumber(attempts));
+  out += StrCat(",\"retries\":", obs::JsonNumber(retries));
+  out += StrCat(",\"reconnects\":", obs::JsonNumber(reconnects));
+  out += StrCat(",\"wall_s\":", obs::JsonNumber(wall_s));
+  out += StrCat(",\"qps\":", obs::JsonNumber(qps));
+  out += StrCat(",\"latency_ns\":{\"p50\":", obs::JsonNumber(latency_p50_ns),
+                ",\"p95\":", obs::JsonNumber(latency_p95_ns),
+                ",\"p99\":", obs::JsonNumber(latency_p99_ns),
+                ",\"max\":", obs::JsonNumber(latency_max_ns), "}}");
+  return out;
+}
+
+std::string LoadgenReport::ToText() const {
+  std::string out = StrCat("loadgen: sent=", sent, " ok=", ok,
+                           " mismatched=", mismatched, "\n");
+  for (const auto& [name, count] : errors) {
+    out += StrCat("  error ", name, ": ", count, "\n");
+  }
+  out += StrCat("  attempts=", attempts, " retries=", retries,
+                " reconnects=", reconnects, "\n");
+  out += StrCat("  wall=", wall_s, "s qps=", qps, "\n");
+  out += StrCat("  latency p50=", latency_p50_ns / 1000,
+                "us p95=", latency_p95_ns / 1000,
+                "us p99=", latency_p99_ns / 1000,
+                "us max=", latency_max_ns / 1000, "us\n");
+  return out;
+}
+
+}  // namespace rangesyn::serve

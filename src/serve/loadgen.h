@@ -1,0 +1,87 @@
+#ifndef RANGESYN_SERVE_LOADGEN_H_
+#define RANGESYN_SERVE_LOADGEN_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/result.h"
+#include "qpath/flat_synopsis.h"
+#include "serve/client.h"
+
+namespace rangesyn::serve {
+
+/// Deterministic traffic generator against a running `rangesyn serve`
+/// daemon (`rangesyn loadgen`, DESIGN.md §12.6). Workers draw keys and
+/// ranges from seeded Rng streams, so a run is replayable from
+/// (seed, keys, requests, concurrency, batch) alone; combined with the
+/// determinism contract of FlatSynopsis, the generator can also build the
+/// *same* synopsis locally and check every served estimate bit-exactly
+/// against its oracle (`verify`).
+struct LoadgenOptions {
+  /// Connection endpoint and retry policy for every worker.
+  ClientOptions client;
+  /// Synopsis keys to draw from (uniformly); must be non-empty and every
+  /// key must be present in the views map passed to RunLoadgen.
+  std::vector<std::string> keys;
+  /// Total query requests across all workers.
+  int64_t requests = 1000;
+  /// Worker threads, each with its own connection.
+  int concurrency = 4;
+  /// Ranges per request (batched submission).
+  int batch = 8;
+  /// Per-request deadline and retry budget (0 = none).
+  uint32_t deadline_ms = 1000;
+  /// Seed for the traffic streams (worker w uses a derived seed).
+  uint64_t seed = 1;
+  /// Compare every successful response bit-exactly against the local
+  /// views; mismatches are counted (and are always a bug somewhere).
+  bool verify = true;
+};
+
+/// Aggregated outcome of one loadgen run. Every submitted request lands
+/// in exactly one bucket: `ok` (optionally verified), or one entry of
+/// `errors` keyed by canonical Status code name ("ResourceExhausted",
+/// "DeadlineExceeded", ...) — the typed-error accounting the CI smoke
+/// job asserts on.
+struct LoadgenReport {
+  uint64_t sent = 0;
+  uint64_t ok = 0;
+  /// Successful responses whose estimates were not bit-identical to the
+  /// local oracle (only populated with `verify`).
+  uint64_t mismatched = 0;
+  std::map<std::string, uint64_t> errors;
+  /// Client-side attempt accounting, summed over workers.
+  uint64_t attempts = 0;
+  uint64_t retries = 0;
+  uint64_t reconnects = 0;
+  double wall_s = 0.0;
+  double qps = 0.0;
+  /// End-to-end request latency (including retries), nanoseconds.
+  uint64_t latency_p50_ns = 0;
+  uint64_t latency_p95_ns = 0;
+  uint64_t latency_p99_ns = 0;
+  uint64_t latency_max_ns = 0;
+
+  /// Machine-readable rendering ({"schema_version":1,...}).
+  [[nodiscard]] std::string ToJson() const;
+  /// Human-readable multi-line rendering.
+  [[nodiscard]] std::string ToText() const;
+};
+
+/// Runs the generator to completion. `views` maps every key in
+/// `options.keys` to its locally built flat synopsis — used for domain
+/// bounds when generating ranges and (with `verify`) as the bit-exact
+/// oracle. Fails fast (before spawning workers) when a key is missing,
+/// the options are invalid, or an initial ping cannot reach the daemon.
+Result<LoadgenReport> RunLoadgen(
+    const LoadgenOptions& options,
+    const std::unordered_map<std::string,
+                             std::shared_ptr<const FlatSynopsis>>& views);
+
+}  // namespace rangesyn::serve
+
+#endif  // RANGESYN_SERVE_LOADGEN_H_

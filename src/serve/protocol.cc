@@ -1,0 +1,242 @@
+#include "serve/protocol.h"
+
+#include <limits>
+
+#include "core/bytes.h"
+#include "core/crc32c.h"
+#include "core/strings.h"
+
+namespace rangesyn::serve {
+namespace {
+
+/// Hard cap on the per-frame query count: every range costs 16 payload
+/// bytes, so this is implied by kMaxPayloadBytes; checking it explicitly
+/// keeps the reader from trusting a length field over the actual bytes.
+constexpr uint32_t kMaxRangesPerQuery = kMaxPayloadBytes / 16;
+
+Status RequireAtEnd(const ByteReader& reader, std::string_view what) {
+  if (reader.AtEnd()) return OkStatus();
+  return InvalidArgumentError(
+      StrCat(what, ": ", reader.remaining(), " trailing payload bytes"));
+}
+
+}  // namespace
+
+std::string_view WireErrorName(WireError code) {
+  switch (code) {
+    case WireError::kMalformed:
+      return "malformed";
+    case WireError::kOverloaded:
+      return "overloaded";
+    case WireError::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case WireError::kNotFound:
+      return "not_found";
+    case WireError::kInternal:
+      return "internal";
+    case WireError::kShuttingDown:
+      return "shutting_down";
+  }
+  return "unknown";
+}
+
+StatusCode WireErrorStatusCode(WireError code) {
+  switch (code) {
+    case WireError::kMalformed:
+      return StatusCode::kInvalidArgument;
+    case WireError::kOverloaded:
+      return StatusCode::kResourceExhausted;
+    case WireError::kDeadlineExceeded:
+      return StatusCode::kDeadlineExceeded;
+    case WireError::kNotFound:
+      return StatusCode::kNotFound;
+    case WireError::kInternal:
+      return StatusCode::kInternal;
+    case WireError::kShuttingDown:
+      return StatusCode::kFailedPrecondition;
+  }
+  return StatusCode::kInternal;
+}
+
+std::string EncodeFrame(MsgType type, std::string_view payload) {
+  ByteWriter writer;
+  writer.WriteU32(kWireMagic);
+  writer.WriteU8(kWireVersion);
+  writer.WriteU8(static_cast<uint8_t>(type));
+  writer.WriteU32(static_cast<uint32_t>(payload.size()));
+  std::string frame = writer.Release();
+  frame.append(payload);
+  ByteWriter trailer;
+  trailer.WriteU32(Crc32c(frame));
+  frame.append(trailer.buffer());
+  return frame;
+}
+
+std::string EncodePing(uint64_t request_id) {
+  ByteWriter writer;
+  writer.WriteU64(request_id);
+  return EncodeFrame(MsgType::kPing, writer.buffer());
+}
+
+std::string EncodePong(uint64_t request_id) {
+  ByteWriter writer;
+  writer.WriteU64(request_id);
+  return EncodeFrame(MsgType::kPong, writer.buffer());
+}
+
+std::string EncodeQuery(const QueryRequest& request) {
+  ByteWriter writer;
+  writer.WriteU64(request.request_id);
+  writer.WriteU32(request.deadline_ms);
+  writer.WriteString(request.key);
+  writer.WriteU32(static_cast<uint32_t>(request.ranges.size()));
+  for (const FlatQuery& q : request.ranges) {
+    writer.WriteI64(q.a);
+    writer.WriteI64(q.b);
+  }
+  return EncodeFrame(MsgType::kQuery, writer.buffer());
+}
+
+std::string EncodeQueryOk(const QueryResponse& response) {
+  ByteWriter writer;
+  writer.WriteU64(response.request_id);
+  writer.WriteU32(static_cast<uint32_t>(response.estimates.size()));
+  for (double v : response.estimates) writer.WriteDouble(v);
+  return EncodeFrame(MsgType::kQueryOk, writer.buffer());
+}
+
+std::string EncodeError(const ErrorResponse& response) {
+  ByteWriter writer;
+  writer.WriteU64(response.request_id);
+  writer.WriteU8(static_cast<uint8_t>(response.code));
+  writer.WriteString(response.message);
+  return EncodeFrame(MsgType::kError, writer.buffer());
+}
+
+Result<FrameHeader> DecodeFrameHeader(std::string_view header) {
+  if (header.size() != kFrameHeaderBytes) {
+    return InvalidArgumentError(
+        StrCat("frame header: expected ", kFrameHeaderBytes, " bytes, got ",
+               header.size()));
+  }
+  ByteReader reader(header);
+  RANGESYN_ASSIGN_OR_RETURN(const uint32_t magic, reader.ReadU32());
+  if (magic != kWireMagic) {
+    return InvalidArgumentError(StrCat("frame header: bad magic ", magic));
+  }
+  RANGESYN_ASSIGN_OR_RETURN(const uint8_t version, reader.ReadU8());
+  if (version != kWireVersion) {
+    return InvalidArgumentError(
+        StrCat("frame header: unsupported version ", version));
+  }
+  RANGESYN_ASSIGN_OR_RETURN(const uint8_t raw_type, reader.ReadU8());
+  if (raw_type < static_cast<uint8_t>(MsgType::kPing) ||
+      raw_type > static_cast<uint8_t>(MsgType::kError)) {
+    return InvalidArgumentError(
+        StrCat("frame header: unknown message type ", raw_type));
+  }
+  FrameHeader decoded;
+  decoded.type = static_cast<MsgType>(raw_type);
+  RANGESYN_ASSIGN_OR_RETURN(decoded.payload_size, reader.ReadU32());
+  if (decoded.payload_size > kMaxPayloadBytes) {
+    return InvalidArgumentError(StrCat("frame header: payload size ",
+                                       decoded.payload_size, " exceeds cap ",
+                                       kMaxPayloadBytes));
+  }
+  return decoded;
+}
+
+Result<std::string> CheckFrameCrc(std::string_view frame,
+                                  const FrameHeader& header) {
+  const size_t expected =
+      kFrameHeaderBytes + header.payload_size + kFrameTrailerBytes;
+  if (frame.size() != expected) {
+    return InvalidArgumentError(StrCat("frame: expected ", expected,
+                                       " bytes, got ", frame.size()));
+  }
+  const std::string_view body = frame.substr(0, expected - kFrameTrailerBytes);
+  ByteReader trailer(frame.substr(expected - kFrameTrailerBytes));
+  RANGESYN_ASSIGN_OR_RETURN(const uint32_t stored, trailer.ReadU32());
+  const uint32_t actual = Crc32c(body);
+  if (stored != actual) {
+    return InvalidArgumentError(
+        StrCat("frame: CRC mismatch (stored ", stored, ", computed ", actual,
+               ")"));
+  }
+  return std::string(body.substr(kFrameHeaderBytes));
+}
+
+Result<PingMessage> ParsePing(std::string_view payload) {
+  ByteReader reader(payload);
+  PingMessage message;
+  RANGESYN_ASSIGN_OR_RETURN(message.request_id, reader.ReadU64());
+  RANGESYN_RETURN_IF_ERROR(RequireAtEnd(reader, "ping"));
+  return message;
+}
+
+Result<QueryRequest> ParseQuery(std::string_view payload) {
+  ByteReader reader(payload);
+  QueryRequest request;
+  RANGESYN_ASSIGN_OR_RETURN(request.request_id, reader.ReadU64());
+  RANGESYN_ASSIGN_OR_RETURN(request.deadline_ms, reader.ReadU32());
+  RANGESYN_ASSIGN_OR_RETURN(request.key, reader.ReadString());
+  RANGESYN_ASSIGN_OR_RETURN(const uint32_t count, reader.ReadU32());
+  if (count > kMaxRangesPerQuery) {
+    return InvalidArgumentError(
+        StrCat("query: range count ", count, " exceeds cap"));
+  }
+  // The count field must be consistent with the bytes actually present;
+  // reserving from the bytes (not the field) keeps a corrupted count from
+  // forcing a large allocation before the per-range reads fail.
+  if (reader.remaining() != static_cast<size_t>(count) * 16) {
+    return InvalidArgumentError(
+        StrCat("query: ", reader.remaining(), " payload bytes for ", count,
+               " ranges"));
+  }
+  request.ranges.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    FlatQuery q;
+    RANGESYN_ASSIGN_OR_RETURN(q.a, reader.ReadI64());
+    RANGESYN_ASSIGN_OR_RETURN(q.b, reader.ReadI64());
+    request.ranges.push_back(q);
+  }
+  RANGESYN_RETURN_IF_ERROR(RequireAtEnd(reader, "query"));
+  return request;
+}
+
+Result<QueryResponse> ParseQueryOk(std::string_view payload) {
+  ByteReader reader(payload);
+  QueryResponse response;
+  RANGESYN_ASSIGN_OR_RETURN(response.request_id, reader.ReadU64());
+  RANGESYN_ASSIGN_OR_RETURN(const uint32_t count, reader.ReadU32());
+  if (reader.remaining() != static_cast<size_t>(count) * 8) {
+    return InvalidArgumentError(
+        StrCat("query-ok: ", reader.remaining(), " payload bytes for ",
+               count, " estimates"));
+  }
+  response.estimates.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    RANGESYN_ASSIGN_OR_RETURN(const double v, reader.ReadDouble());
+    response.estimates.push_back(v);
+  }
+  RANGESYN_RETURN_IF_ERROR(RequireAtEnd(reader, "query-ok"));
+  return response;
+}
+
+Result<ErrorResponse> ParseError(std::string_view payload) {
+  ByteReader reader(payload);
+  ErrorResponse response;
+  RANGESYN_ASSIGN_OR_RETURN(response.request_id, reader.ReadU64());
+  RANGESYN_ASSIGN_OR_RETURN(const uint8_t raw_code, reader.ReadU8());
+  if (raw_code < static_cast<uint8_t>(WireError::kMalformed) ||
+      raw_code > static_cast<uint8_t>(WireError::kShuttingDown)) {
+    return InvalidArgumentError(
+        StrCat("error frame: unknown error code ", raw_code));
+  }
+  response.code = static_cast<WireError>(raw_code);
+  RANGESYN_ASSIGN_OR_RETURN(response.message, reader.ReadString());
+  RANGESYN_RETURN_IF_ERROR(RequireAtEnd(reader, "error frame"));
+  return response;
+}
+
+}  // namespace rangesyn::serve

@@ -4,9 +4,11 @@
 // (the `CatalogConcurrency` term of the CI tsan ctest regex); under a
 // plain build this still checks the lifetime contract — views handed
 // out before an eviction answer queries after it.
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <thread>
 #include <vector>
@@ -94,6 +96,118 @@ TEST(CatalogConcurrency, FlatViewRacesEvictAndReregister) {
   for (const std::string& key : keys) {
     EXPECT_TRUE(catalog.Contains(key)) << key;
   }
+}
+
+// The serving daemon's exact access pattern (src/serve/server.cc): worker
+// threads answer batched queries through FlatView handles resolved
+// earlier, while the catalog itself is concurrently evicted/re-registered
+// and snapshotted-with-quarantine. Batches through a held view must stay
+// bit-identical to that view's baseline no matter what the catalog does,
+// and a lenient load of a (possibly corrupted) snapshot must account for
+// every entry as loaded or quarantined — never torn, never dropped.
+TEST(CatalogConcurrency, ServingPatternBatchedEstimateEvictQuarantine) {
+  SynopsisCatalog catalog;
+  const std::vector<std::string> keys = {"s.a", "s.b", "s.c", "s.d"};
+  const Column column = MakeColumn(23);
+  for (const std::string& key : keys) {
+    ASSERT_TRUE(catalog.RegisterColumn(key, column, FastSpec()).ok());
+  }
+
+  // Server-style query plan: a fixed batch evaluated in chunks, with the
+  // expected answers taken from a freshly resolved view up front. Builds
+  // are deterministic, so a re-registered entry serves the same bits.
+  std::vector<FlatQuery> batch;
+  {
+    Rng rng(41);
+    auto seed_view = catalog.FlatView(keys[0]);
+    ASSERT_TRUE(seed_view.ok());
+    const int64_t n = seed_view.value()->n();
+    for (int i = 0; i < 64; ++i) {
+      FlatQuery q;
+      q.a = rng.NextInt(1, n);
+      q.b = rng.NextInt(q.a, n);
+      batch.push_back(q);
+    }
+  }
+  std::vector<double> baseline(batch.size());
+  {
+    auto view = catalog.FlatView(keys[0]);
+    ASSERT_TRUE(view.ok());
+    FlatSynopsis::BatchScratch scratch;
+    ASSERT_TRUE(
+        view.value()->EstimateMany(batch, baseline, &scratch).ok());
+  }
+
+  constexpr int kWorkers = 4;
+  constexpr int kIterations = 300;
+  constexpr size_t kChunk = 16;  // mirrors ServerOptions::eval_chunk
+  std::atomic<int64_t> batches_served{0};
+  std::vector<std::thread> threads;
+
+  for (int w = 0; w < kWorkers; ++w) {
+    threads.emplace_back([&, w] {
+      FlatSynopsis::BatchScratch scratch;
+      std::vector<double> out(batch.size());
+      for (int i = 0; i < kIterations; ++i) {
+        const std::string& key = keys[(w + i) % keys.size()];
+        auto view = catalog.FlatView(key);
+        if (!view.ok()) continue;  // eviction window
+        const std::shared_ptr<const FlatSynopsis> flat = view.value();
+        bool ok = true;
+        for (size_t off = 0; off < batch.size() && ok; off += kChunk) {
+          const size_t len = std::min(kChunk, batch.size() - off);
+          const std::span<const FlatQuery> qs(batch);
+          const std::span<double> os(out);
+          ok = flat->EstimateMany(qs.subspan(off, len),
+                                  os.subspan(off, len), &scratch)
+                   .ok();
+        }
+        ASSERT_TRUE(ok);
+        EXPECT_EQ(out, baseline) << "view served different bits";
+        batches_served.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  // Structural churn: the eviction/re-registration the views must survive.
+  threads.emplace_back([&] {
+    for (int i = 0; i < kIterations; ++i) {
+      const std::string& key = keys[i % keys.size()];
+      if (catalog.Evict(key).ok()) {
+        ASSERT_TRUE(catalog.RegisterColumn(key, column, FastSpec()).ok());
+      }
+    }
+  });
+
+  // Quarantine traffic: snapshot the live catalog mid-churn, sometimes
+  // corrupt a byte, and load leniently. Every entry must be accounted
+  // loaded or quarantined; loaded entries must answer queries.
+  threads.emplace_back([&] {
+    Rng rng(67);
+    for (int i = 0; i < 40; ++i) {
+      auto bytes = catalog.Serialize();
+      ASSERT_TRUE(bytes.ok());
+      std::string buf = *std::move(bytes);
+      if (i % 2 == 1 && buf.size() > 64) {
+        buf[static_cast<size_t>(
+            rng.NextInt(32, static_cast<int64_t>(buf.size()) - 1))] ^= 0x41;
+      }
+      SynopsisCatalog::LoadReport report;
+      auto loaded = SynopsisCatalog::DeserializeWithReport(buf, &report);
+      if (!loaded.ok()) continue;  // framing damage: strict rejection
+      EXPECT_EQ(report.entries_loaded +
+                    static_cast<int64_t>(report.quarantined.size()),
+                report.entries_total);
+      for (const auto& info : loaded.value().ListEntries()) {
+        auto est = loaded.value().EstimateCountBetween(info.key, 20, 120);
+        ASSERT_TRUE(est.ok());
+        EXPECT_GE(est.value(), 0.0);
+      }
+    }
+  });
+
+  for (std::thread& t : threads) t.join();
+  EXPECT_GT(batches_served.load(), 0);
 }
 
 TEST(CatalogConcurrency, OutstandingViewsSurviveConcurrentEviction) {

@@ -197,6 +197,58 @@ TEST_F(FailpointTest, AtomicWriteFaultPreservesPreviousContents) {
   std::remove(path.c_str());
 }
 
+TEST_F(FailpointTest, AtomicWriteRetriesTransientEintr) {
+  // A handful of interrupted syscalls (a signal-handling daemon's normal
+  // life) must be absorbed: the write retries and still lands atomically.
+  const std::string path = ::testing::TempDir() + "/fp_eintr.txt";
+  for (const char* spec :
+       {"io.atomic_write.write_eintr=once",
+        "io.atomic_write.write_eintr=prob:0.5:7",
+        "io.atomic_write.fsync_eintr=once:2"}) {
+    ASSERT_TRUE(failpoint::Configure(spec).ok());
+    EXPECT_TRUE(AtomicWriteFile(path, "interrupted").ok()) << spec;
+    failpoint::Clear();
+    auto back = ReadFileToString(path);
+    ASSERT_TRUE(back.ok()) << spec;
+    EXPECT_EQ(back.value(), "interrupted") << spec;
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(FailpointTest, AtomicWriteEintrStormFailsCleanly) {
+  // Unbounded EINTR (every write / every fsync interrupted forever) must
+  // exhaust the bounded retry budget and fail with a clean Status — no
+  // spin, no partial target file.
+  const std::string path = ::testing::TempDir() + "/fp_storm.txt";
+  std::remove(path.c_str());
+  for (const char* spec : {"io.atomic_write.write_eintr=always",
+                           "io.atomic_write.fsync_eintr=always"}) {
+    ASSERT_TRUE(failpoint::Configure(spec).ok());
+    const Status s = AtomicWriteFile(path, "storm");
+    ASSERT_FALSE(s.ok()) << spec;
+    EXPECT_EQ(s.code(), StatusCode::kInternal) << spec;
+    EXPECT_NE(s.message().find("EINTR retry budget"), std::string::npos)
+        << spec;
+    failpoint::Clear();
+    EXPECT_FALSE(ReadFileToString(path).ok()) << spec;
+    EXPECT_FALSE(ReadFileToString(path + ".tmp").ok()) << spec;
+  }
+}
+
+TEST_F(FailpointTest, AtomicWriteCloseEintrIsNotAnError) {
+  // EINTR from close means closed on Linux; the save must succeed (and
+  // never retry the close, which could hit a reused descriptor).
+  const std::string path = ::testing::TempDir() + "/fp_close.txt";
+  ASSERT_TRUE(
+      failpoint::Configure("io.atomic_write.close_eintr=always").ok());
+  EXPECT_TRUE(AtomicWriteFile(path, "closed is closed").ok());
+  failpoint::Clear();
+  auto back = ReadFileToString(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), "closed is closed");
+  std::remove(path.c_str());
+}
+
 TEST_F(FailpointTest, DpAllocationFaultFailsBuildCleanly) {
   std::vector<int64_t> data(32);
   for (size_t i = 0; i < data.size(); ++i) {

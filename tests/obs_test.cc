@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "obs/obs.h"
+#include "serve/server.h"
 
 namespace rangesyn::obs {
 namespace {
@@ -356,6 +357,28 @@ TEST(StatsPrometheusTest, ExportFollowsTextExpositionShape) {
     const size_t space = line.rfind(' ');
     ASSERT_NE(space, std::string::npos) << line;
     EXPECT_NE(line.substr(0, space), "") << line;
+  }
+}
+
+TEST(StatsPrometheusTest, ServingMetricsExposedEvenAtZero) {
+  // The serving metrics register eagerly (GetServingMetrics — the stats
+  // command calls it too), so a scraper sees the complete serve.* series
+  // from any process, not only one that has handled requests.
+  (void)serve::GetServingMetrics();
+  const std::string text = FormatStatsPrometheus(Registry::Get().Snapshot());
+  for (const char* needle :
+       {"# TYPE rangesyn_serve_request_count_total counter",
+        "rangesyn_serve_request_ok_total",
+        "rangesyn_serve_request_overloaded_total",
+        "rangesyn_serve_request_deadline_exceeded_total",
+        "rangesyn_serve_shed_count_total",
+        "# TYPE rangesyn_serve_queue_depth gauge",
+        "# TYPE rangesyn_serve_conn_open gauge",
+        "rangesyn_serve_conn_accepted_total",
+        "rangesyn_serve_drain_count_total",
+        "# TYPE rangesyn_serve_request_latency_seconds summary",
+        "rangesyn_serve_request_latency_seconds{quantile=\"0.99\"}"}) {
+    EXPECT_NE(text.find(needle), std::string::npos) << needle;
   }
 }
 

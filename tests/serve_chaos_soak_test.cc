@@ -1,0 +1,249 @@
+// Chaos soak for the serving stack (ISSUE acceptance gate): >= 1000
+// deterministic, replayable failpoint schedules over the full connection
+// lifecycle — accept, dial, read, write (hard faults, injected resets,
+// one-byte short I/O) and evaluation — asserting the no-silent-drop
+// contract: every request ends in either an OK response whose estimates
+// are bit-exact against a locally held FlatView oracle, or a typed
+// error. At every drain boundary the server's books must balance:
+// requests == ok + shed + malformed + deadline_exceeded + not_found +
+// internal + shutting_down, and conns_open == 0.
+//
+// Each schedule is a pure function of its index: the failpoint spec
+// (sites, probabilities, seeds), the query workload, and the client's
+// backoff jitter are all derived from `s`, so a failing schedule replays
+// identically from the SCOPED_TRACE line alone. The *outcome* of a
+// schedule may differ across interleavings (thread timing decides which
+// evaluation hits a fault first) — the soak therefore asserts the
+// invariant, never a golden transcript.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/failpoint.h"
+#include "core/random.h"
+#include "engine/catalog.h"
+#include "engine/table.h"
+#include "qpath/flat_synopsis.h"
+#include "serve/client.h"
+#include "serve/server.h"
+
+namespace rangesyn::serve {
+namespace {
+
+constexpr int kSchedules = 1000;
+constexpr int kRestartEvery = 250;  // drain + audit + fresh server
+
+Column MakeColumn(uint64_t seed) {
+  Rng rng(seed);
+  Column c("v");
+  for (int i = 0; i < 512; ++i) c.Append(rng.NextInt(0, 199));
+  return c;
+}
+
+SynopsisSpec FastSpec() {
+  SynopsisSpec spec;
+  spec.method = "equidepth";
+  spec.budget_words = 16;
+  return spec;
+}
+
+const std::vector<std::string>& Keys() {
+  static const std::vector<std::string> keys = {"soak.a", "soak.b"};
+  return keys;
+}
+
+struct Fixture {
+  std::unique_ptr<Server> server;
+  std::vector<std::shared_ptr<const FlatSynopsis>> oracles;
+};
+
+Fixture MakeFixture() {
+  SynopsisCatalog catalog;
+  Fixture f;
+  for (size_t k = 0; k < Keys().size(); ++k) {
+    EXPECT_TRUE(
+        catalog.RegisterColumn(Keys()[k], MakeColumn(100 + k), FastSpec())
+            .ok());
+    auto view = catalog.FlatView(Keys()[k]);
+    EXPECT_TRUE(view.ok());
+    f.oracles.push_back(view.value());
+  }
+  ServerOptions options;
+  options.queue_limit = 8;  // small enough that eval faults can pile up
+  auto server = Server::Create(std::move(catalog), options);
+  EXPECT_TRUE(server.ok());
+  f.server = std::move(*server);
+  EXPECT_TRUE(f.server->Start().ok());
+  return f;
+}
+
+/// The failpoint spec for schedule `s`: which fault families are armed
+/// comes from the low bits, the probability tier from s % 3, and every
+/// `prob` rule gets its own seed so the per-site decision streams are
+/// independent and reproducible. s % 32 == 0 yields a fault-free control
+/// schedule (the invariant must hold there too, trivially).
+std::string SpecFor(uint64_t s) {
+  static const char* kProbs[] = {"0.02", "0.05", "0.10"};
+  const std::string p = kProbs[s % 3];
+  std::vector<std::string> rules;
+  const auto arm = [&](uint64_t bit, const std::string& site, uint64_t salt) {
+    if (s & bit) {
+      rules.push_back(site + "=prob:" + p + ":" +
+                      std::to_string(s * 8 + salt));
+    }
+  };
+  arm(1, "serve.conn.*", 1);    // server-side socket faults
+  arm(2, "serve.client.*", 2);  // client-side socket faults
+  arm(4, "serve.eval", 3);      // evaluation-stage faults
+  arm(8, "serve.accept", 4);    // accept-loop faults
+  arm(16, "serve.connect", 5);  // dial faults
+  std::string spec;
+  for (const std::string& rule : rules) {
+    if (!spec.empty()) spec += ";";
+    spec += rule;
+  }
+  return spec;
+}
+
+/// Typed terminal codes a chaos-era request may legitimately end with.
+/// kOk is handled separately (bit-exactness); anything outside this set
+/// is a contract violation.
+bool IsTypedFailure(StatusCode code) {
+  switch (code) {
+    case StatusCode::kInvalidArgument:     // MALFORMED
+    case StatusCode::kResourceExhausted:   // OVERLOADED past retries
+    case StatusCode::kDeadlineExceeded:    // budget spent (retry backoff)
+    case StatusCode::kNotFound:            // unknown key
+    case StatusCode::kInternal:            // eval fault / transport final
+    case StatusCode::kFailedPrecondition:  // SHUTTING_DOWN
+      return true;
+    default:
+      return false;
+  }
+}
+
+void CheckBooksBalance(const Server& server) {
+  const ServerSummary s = server.summary();
+  EXPECT_EQ(s.requests, s.ok + s.shed + s.malformed + s.deadline_exceeded +
+                            s.not_found + s.internal + s.shutting_down)
+      << "accounting identity violated: a request was dropped silently";
+  EXPECT_EQ(s.conns_open, 0u);
+}
+
+TEST(ServeChaosSoak, EveryRequestEndsBitExactOrTyped) {
+  if (!failpoint::kCompiledIn) {
+    GTEST_SKIP() << "built with RANGESYN_FAILPOINTS=OFF";
+  }
+  Fixture f = MakeFixture();
+  uint64_t total = 0;
+  uint64_t ok_total = 0;
+  std::map<std::string, uint64_t> outcome_tally;
+  FlatSynopsis::BatchScratch scratch;
+
+  for (int s = 0; s < kSchedules; ++s) {
+    const std::string spec = SpecFor(static_cast<uint64_t>(s));
+    SCOPED_TRACE("schedule " + std::to_string(s) + " spec '" + spec + "'");
+    ASSERT_TRUE(failpoint::Configure(spec).ok());
+
+    ClientOptions copts;
+    copts.port = f.server->port();
+    copts.connect_timeout_s = 2.0;
+    copts.max_attempts = 4;
+    copts.initial_backoff_s = 0.0005;
+    copts.max_backoff_s = 0.004;
+    copts.backoff_seed = static_cast<uint64_t>(s);
+    Client client(copts);
+    Rng rng(0x50ull * 1000003 + static_cast<uint64_t>(s));
+
+    // One liveness probe plus two batched queries per schedule.
+    {
+      const Status ping = client.Ping(/*deadline_ms=*/3000);
+      ++total;
+      if (ping.ok()) {
+        ++ok_total;
+        ++outcome_tally["ok"];
+      } else {
+        EXPECT_TRUE(IsTypedFailure(ping.code()))
+            << "ping: " << ping.message();
+        ++outcome_tally[std::string(StatusCodeToString(ping.code()))];
+      }
+    }
+    for (int q = 0; q < 2; ++q) {
+      const size_t key_idx =
+          static_cast<size_t>(rng.NextInt(0, Keys().size() - 1));
+      const FlatSynopsis& oracle = *f.oracles[key_idx];
+      std::vector<FlatQuery> ranges;
+      const int count = static_cast<int>(rng.NextInt(1, 8));
+      for (int i = 0; i < count; ++i) {
+        FlatQuery range;
+        range.a = rng.NextInt(1, oracle.n());
+        range.b = rng.NextInt(range.a, oracle.n());
+        ranges.push_back(range);
+      }
+      // A slice of schedules sends a known-bad request instead: out-of-
+      // domain ranges (s % 7 == 3) or an unknown key (s % 11 == 4).
+      // Those must NEVER come back OK, chaos or not.
+      std::string key = Keys()[key_idx];
+      bool must_fail = false;
+      if (q == 0 && s % 7 == 3) {
+        ranges[0].a = 0;
+        must_fail = true;
+      } else if (q == 0 && s % 11 == 4) {
+        key = "soak.no_such_key";
+        must_fail = true;
+      }
+
+      auto got = client.Query(key, ranges, /*deadline_ms=*/3000);
+      ++total;
+      if (got.ok()) {
+        EXPECT_FALSE(must_fail) << "invalid request answered OK";
+        ASSERT_EQ(got->size(), ranges.size());
+        std::vector<double> expected(ranges.size());
+        ASSERT_TRUE(oracle.EstimateMany(ranges, expected, &scratch).ok());
+        for (size_t i = 0; i < expected.size(); ++i) {
+          // Bit-exact under chaos: retries and transport faults must
+          // never yield an almost-right answer.
+          ASSERT_EQ((*got)[i], expected[i]) << "range " << i;
+        }
+        ++ok_total;
+        ++outcome_tally["ok"];
+      } else {
+        EXPECT_TRUE(IsTypedFailure(got.status().code()))
+            << "query: " << got.status().message();
+        ++outcome_tally[std::string(
+            StatusCodeToString(got.status().code()))];
+      }
+    }
+
+    failpoint::Clear();
+    if ((s + 1) % kRestartEvery == 0) {
+      // Drain under a clean wire, audit the books, restart fresh: the
+      // soak also exercises the drain path dozens of times.
+      ASSERT_TRUE(f.server->DrainAndWait(/*grace_s=*/30.0).ok());
+      CheckBooksBalance(*f.server);
+      f = MakeFixture();
+    }
+  }
+
+  failpoint::Clear();
+  ASSERT_TRUE(f.server->DrainAndWait(/*grace_s=*/30.0).ok());
+  CheckBooksBalance(*f.server);
+
+  // The harness must have exercised both sides of the contract.
+  EXPECT_EQ(total, static_cast<uint64_t>(kSchedules) * 3);
+  EXPECT_GT(ok_total, 0u) << "chaos drowned every request; probe broken?";
+  std::string tally;
+  for (const auto& [code, n] : outcome_tally) {
+    tally += code + "=" + std::to_string(n) + " ";
+  }
+  RecordProperty("outcomes", tally);
+  std::cout << "[soak] " << total << " requests: " << tally << "\n";
+}
+
+}  // namespace
+}  // namespace rangesyn::serve

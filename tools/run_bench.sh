@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # Runs the google-benchmark microbenchmarks and writes machine-readable
 # JSON records next to the human-readable console output:
-#   BENCH_construction.json / BENCH_query.json / BENCH_query_flat.json
-#   (benchmark's native JSON)
+#   BENCH_construction.json / BENCH_query.json / BENCH_query_flat.json /
+#   BENCH_serving.json (benchmark's native JSON)
 # Environment overrides:
 #   BUILD_DIR  build tree holding bench/ binaries   (default: build)
 #   OUT_DIR    where the JSON artifacts land        (default: .)
@@ -25,7 +25,7 @@ if [[ -n "${MIN_TIME:-}" ]]; then
 fi
 
 mkdir -p "${OUT_DIR}"
-for bench in construction query query_flat; do
+for bench in construction query query_flat serving; do
   binary="${BUILD_DIR}/bench/bench_${bench}"
   out="${OUT_DIR}/BENCH_${bench}.json"
   if [[ ! -x "${binary}" ]]; then
@@ -80,7 +80,7 @@ stamp = {
     "lends_view": sorted(meta["lends_view"]),
 }
 for name in ("BENCH_construction.json", "BENCH_query.json",
-             "BENCH_query_flat.json"):
+             "BENCH_query_flat.json", "BENCH_serving.json"):
     path = out_dir / name
     doc = json.loads(path.read_text(encoding="utf-8"))
     doc.setdefault("context", {})["static_analysis"] = stamp
@@ -89,4 +89,4 @@ for name in ("BENCH_construction.json", "BENCH_query.json",
 EOF
 
 echo "wrote ${OUT_DIR}/BENCH_construction.json ${OUT_DIR}/BENCH_query.json" \
-     "${OUT_DIR}/BENCH_query_flat.json"
+     "${OUT_DIR}/BENCH_query_flat.json ${OUT_DIR}/BENCH_serving.json"
